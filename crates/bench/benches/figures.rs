@@ -1,0 +1,116 @@
+//! One benchmark per paper figure: times regenerating that figure's
+//! central experiment point. `cargo bench -p bench --bench figures`.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment, Mode};
+use simcore::SimDuration;
+use simnet::NetemProfile;
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Fig 2: baseline scAtteR on one edge machine, 4 clients.
+    g.bench_function("fig2_baseline_edge_c1_n4", |b| {
+        b.iter(|| {
+            black_box(run_experiment(bench_config(
+                Mode::Scatter,
+                placements::c1(),
+                4,
+            )))
+        })
+    });
+
+    // Fig 3: replicated scAtteR, the winning [1,2,2,1,2] vector.
+    g.bench_function("fig3_replicated_12212_n3", |b| {
+        b.iter(|| {
+            black_box(run_experiment(bench_config(
+                Mode::Scatter,
+                placements::replicas([1, 2, 2, 1, 2]),
+                3,
+            )))
+        })
+    });
+
+    // Fig 4: cloud-only deployment.
+    g.bench_function("fig4_cloud_only_n2", |b| {
+        b.iter(|| {
+            black_box(run_experiment(bench_config(
+                Mode::Scatter,
+                placements::cloud_only(),
+                2,
+            )))
+        })
+    });
+
+    // Fig 6: scAtteR++ on the edge.
+    g.bench_function("fig6_scatterpp_c12_n4", |b| {
+        b.iter(|| {
+            black_box(run_experiment(bench_config(
+                Mode::ScatterPP,
+                placements::c12(),
+                4,
+            )))
+        })
+    });
+
+    // Fig 7: scAtteR++ at scale (8 clients, 10 instances).
+    g.bench_function("fig7_scatterpp_13213_n8", |b| {
+        b.iter(|| {
+            black_box(run_experiment(bench_config(
+                Mode::ScatterPP,
+                placements::replicas([1, 3, 2, 1, 3]),
+                8,
+            )))
+        })
+    });
+
+    // Fig 8 / fig 12: stepped client arrivals with sidecar analytics.
+    g.bench_function("fig8_stepped_arrivals_n6", |b| {
+        b.iter(|| {
+            let cfg = RunConfig::new(Mode::ScatterPP, placements::replicas([1, 3, 2, 1, 3]), 6)
+                .with_stagger(SimDuration::from_secs(2))
+                .with_duration(SimDuration::from_secs(12))
+                .with_warmup(SimDuration::from_secs(0))
+                .with_seed(7);
+            black_box(run_experiment(cfg))
+        })
+    });
+
+    // Fig 9: netem conditions (LTE with mobility).
+    g.bench_function("fig9_netem_lte_n2", |b| {
+        b.iter(|| {
+            black_box(run_experiment(
+                bench_config(Mode::Scatter, placements::c2(), 2)
+                    .with_netem(NetemProfile::lte().with_mobility()),
+            ))
+        })
+    });
+
+    // Fig 10: jitter measurement path (same run, jitter aggregation).
+    g.bench_function("fig10_jitter_c2_n4", |b| {
+        b.iter(|| {
+            let r = run_experiment(bench_config(Mode::Scatter, placements::c2(), 4));
+            black_box(r.jitter_ms)
+        })
+    });
+
+    // Fig 11: hybrid edge-cloud.
+    g.bench_function("fig11_hybrid_n2", |b| {
+        b.iter(|| {
+            black_box(run_experiment(bench_config(
+                Mode::Scatter,
+                placements::hybrid_edge_cloud(),
+                2,
+            )))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

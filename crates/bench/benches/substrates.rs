@@ -1,0 +1,118 @@
+//! Micro-benchmarks of the simulation and transport substrates.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use scatter::gpu::GpuPool;
+use scatter::message::{FrameMsg, ServiceKind};
+use scatter::runtime::wire::{self, WireMsg};
+use scatter::sidecar::Sidecar;
+use simcore::{Sim, SimDuration, SimRng, SimTime};
+use simnet::{Link, NetemProfile, Testbed, UdpNet};
+use std::hint::black_box;
+
+fn substrates(c: &mut Criterion) {
+    // Event queue: schedule/execute churn.
+    c.bench_function("simcore/event_churn_10k", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            for i in 0..10_000u64 {
+                sim.schedule(SimDuration::from_micros(i % 997), |w, _| *w += 1);
+            }
+            let mut count = 0u64;
+            sim.run(&mut count);
+            black_box(count)
+        })
+    });
+
+    // RNG stream throughput.
+    c.bench_function("simcore/rng_lognormal_10k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.lognormal(0.0, 0.08);
+            }
+            black_box(acc)
+        })
+    });
+
+    // Link sampling (clean + netem).
+    let clean = Link::from_rtt_ms(1.0).bandwidth_mbps(1000.0);
+    let lte = NetemProfile::lte().with_mobility().to_link();
+    c.bench_function("simnet/link_send_clean", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| black_box(clean.send(150_000, &mut rng)))
+    });
+    c.bench_function("simnet/link_send_lte_fragmented", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| black_box(lte.send(480_000, &mut rng)))
+    });
+
+    // UdpNet with serialization queueing.
+    c.bench_function("simnet/udpnet_send", |b| {
+        let (topo, tb) = Testbed::build();
+        let mut net = UdpNet::new(topo, SimRng::new(4));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(net.send(
+                tb.client_host,
+                tb.e1,
+                150_000,
+                SimTime::from_micros(t * 33),
+            ))
+        })
+    });
+
+    // Sidecar enqueue/dequeue under projection.
+    c.bench_function("scatter/sidecar_cycle", |b| {
+        let mut sc = Sidecar::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        );
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let now = SimTime::from_micros(t * 500);
+            let msg = FrameMsg::new(0, t, simnet::NodeId(0), now, 1000);
+            sc.enqueue(msg, now);
+            black_box(sc.dequeue(now))
+        })
+    });
+
+    // GPU pool PS admission.
+    c.bench_function("scatter/gpu_ps_cycle", |b| {
+        let mut pool = GpuPool::new(2);
+        b.iter(|| {
+            let s = pool.ps_begin(1.0);
+            pool.ps_end(1.0);
+            black_box(s)
+        })
+    });
+
+    // Wire codec: fragment + reassemble a stateless (480 KB-class) frame.
+    let msg = WireMsg {
+        client: 1,
+        frame_no: 7,
+        step: ServiceKind::Encoding,
+        emit_micros: 0,
+        return_port: 40_000,
+        payload: Bytes::from(vec![0xAB; 300_000]),
+    };
+    c.bench_function("wire/encode_300k", |b| b.iter(|| black_box(wire::encode(&msg))));
+    let frames = wire::encode(&msg);
+    c.bench_function("wire/decode_reassemble_300k", |b| {
+        b.iter(|| {
+            let mut r = wire::Reassembler::new();
+            let mut out = None;
+            for f in &frames {
+                out = r.offer(wire::decode_fragment(f).expect("valid"));
+            }
+            black_box(out)
+        })
+    });
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the real CV substrate — the per-stage costs the
+//! DES cost model abstracts, measured on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::SimRng;
+use std::hint::black_box;
+use vision::db::TrainParams;
+use vision::descriptor::describe_all;
+use vision::fisher::FisherEncoder;
+use vision::gmm::DiagGmm;
+use vision::keypoints::{detect, DetectorParams};
+use vision::lsh::LshIndex;
+use vision::matching::{match_descriptors, MatchParams};
+use vision::pca::Pca;
+use vision::pyramid::{gaussian_blur, Pyramid};
+use vision::ransac::{ransac_homography, Correspondence, RansacParams};
+use vision::scene::SceneGenerator;
+use vision::ReferenceDb;
+
+const W: usize = 320;
+const H: usize = 180;
+
+fn vision_kernels(c: &mut Criterion) {
+    let scene = SceneGenerator::workplace_scaled(1, W, H);
+    let frame = scene.frame(0);
+    let mut rng = SimRng::new(42);
+
+    // primary: pre-processing kernels.
+    c.bench_function("primary/resize_0.75", |b| {
+        b.iter(|| black_box(frame.resize(W * 3 / 4, H * 3 / 4)))
+    });
+    c.bench_function("primary/render_frame", |b| {
+        let mut idx = 0u32;
+        b.iter(|| {
+            idx = (idx + 1) % 300;
+            black_box(scene.frame(idx))
+        })
+    });
+
+    // sift: pyramid + detection + description.
+    c.bench_function("sift/gaussian_blur_sigma1.6", |b| {
+        b.iter(|| black_box(gaussian_blur(&frame, 1.6)))
+    });
+    c.bench_function("sift/pyramid_3oct", |b| {
+        b.iter(|| black_box(Pyramid::build(&frame, 3, 3, 1.6)))
+    });
+    c.bench_function("sift/detect_full", |b| {
+        b.iter(|| black_box(detect(&frame, &DetectorParams::default())))
+    });
+    let (pyr, kps) = detect(&frame, &DetectorParams::default());
+    c.bench_function("sift/describe_all", |b| {
+        b.iter(|| black_box(describe_all(&pyr, &kps)))
+    });
+    let descs = describe_all(&pyr, &kps);
+
+    // encoding: PCA + Fisher.
+    let pooled: Vec<Vec<f64>> = descs
+        .iter()
+        .map(|d| d.v.iter().map(|&x| x as f64).collect())
+        .collect();
+    let pca = Pca::fit(&pooled, 16, &mut rng);
+    let reduced = pca.transform_batch(&pooled);
+    let gmm = DiagGmm::fit(&reduced, 4, 10, &mut rng);
+    let encoder = FisherEncoder::new(gmm);
+    c.bench_function("encoding/pca_transform_batch", |b| {
+        b.iter(|| black_box(pca.transform_batch(&pooled)))
+    });
+    c.bench_function("encoding/fisher_encode", |b| {
+        b.iter(|| black_box(encoder.encode(&reduced)))
+    });
+
+    // lsh: index + query.
+    let fv = encoder.encode(&reduced);
+    let mut lsh = LshIndex::new(fv.len(), 4, 8, &mut rng);
+    for i in 0..64 {
+        let mut v = fv.clone();
+        let idx = i % v.len();
+        v[idx] += 0.01 * (i as f64);
+        lsh.insert(v);
+    }
+    c.bench_function("lsh/query_top2", |b| b.iter(|| black_box(lsh.query(&fv, 2))));
+
+    // matching: ratio test + RANSAC pose.
+    c.bench_function("matching/ratio_test", |b| {
+        b.iter(|| black_box(match_descriptors(&descs, &descs, &MatchParams::default())))
+    });
+    let pairs: Vec<Correspondence> = (0..60)
+        .map(|i| {
+            let x = (i % 10) as f64 * 12.0;
+            let y = (i / 10) as f64 * 14.0;
+            ((x, y), (x + 5.0, y - 3.0))
+        })
+        .collect();
+    c.bench_function("matching/ransac_homography", |b| {
+        b.iter(|| black_box(ransac_homography(&pairs, &RansacParams::default(), &mut rng)))
+    });
+
+    // Full-pipeline recognition (the whole data plane, in-process).
+    let db = ReferenceDb::train(&scene, TrainParams::default(), &mut rng);
+    c.bench_function("pipeline/recognize_frame", |b| {
+        b.iter(|| black_box(db.recognize(&frame, &mut rng)))
+    });
+
+    // The fast extractor (§5's model-optimization alternative).
+    c.bench_function("fast/detect_fast9", |b| {
+        b.iter(|| black_box(vision::fast::detect_fast(&frame, 0.08, 300)))
+    });
+    let pattern = vision::fast::brief_pattern();
+    let corners = vision::fast::detect_fast(&frame, 0.08, 300);
+    c.bench_function("fast/describe_brief", |b| {
+        b.iter(|| black_box(vision::fast::describe_brief(&frame, &corners, &pattern)))
+    });
+    let briefs = vision::fast::describe_brief(&frame, &corners, &pattern);
+    c.bench_function("fast/match_brief_hamming", |b| {
+        b.iter(|| black_box(vision::fast::match_brief(&briefs, &briefs, 60, 0.8)))
+    });
+
+    // The client uplink codec.
+    c.bench_function("codec/encode_q85", |b| {
+        b.iter(|| black_box(vision::codec::encode(&frame, vision::codec::Quality(85))))
+    });
+    let stream = vision::codec::encode(&frame, vision::codec::Quality(85));
+    c.bench_function("codec/decode", |b| {
+        b.iter(|| black_box(vision::codec::decode(stream.clone())))
+    });
+}
+
+criterion_group!(benches, vision_kernels);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Ablation studies of the design choices behind scAtteR++ — experiments
+//! the paper motivates but does not run.
+//!
+//! 1. **Decomposition**: scAtteR++ bundles statelessness and sidecar
+//!    queues; which change buys the improvement? (Answer: statelessness
+//!    breaks the dependency-loop bottleneck; queues alone buffer frames
+//!    that `matching` still times out on — confirming §4's remark that
+//!    backpressure mitigation cannot fix a dependency loop.)
+//! 2. **Staleness threshold sweep**: the paper fixes 100 ms from the XR
+//!    literature; we sweep it to expose the freshness/throughput trade.
+//! 3. **Fetch-timeout sweep**: how long `matching` busy-waits for
+//!    `sift`'s features is the hidden knob behind scAtteR's collapse.
+
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment_with, CostModel, Mode};
+use simcore::SimDuration;
+
+use crate::common::{run, run_secs, SEED};
+use crate::table::{f1, pct, Table};
+
+pub fn run_figure() -> Vec<Table> {
+    // --- 1. Decomposition ---------------------------------------------
+    let mut decomp = Table::new(
+        "Ablation A: decomposing scAtteR++ (C2, 1–4 clients, FPS)",
+        &["pipeline", "n1", "n2", "n3", "n4"],
+    );
+    for (label, mode) in [
+        ("scAtteR (baseline)", Mode::Scatter),
+        ("+ sidecar queues only", Mode::SidecarOnly),
+        ("+ stateless sift only", Mode::StatelessOnly),
+        ("scAtteR++ (both)", Mode::ScatterPP),
+    ] {
+        let mut row = vec![label.to_string()];
+        for n in 1..=4 {
+            row.push(f1(run(mode, placements::c2(), n).fps()));
+        }
+        decomp.row(row);
+    }
+    decomp.note("statelessness carries the win: it removes the sift↔matching dependency loop");
+    decomp.note("queues alone buffer frames that matching still times out on (§4's backpressure remark)");
+
+    // --- 2. Threshold sweep --------------------------------------------
+    let mut thresh = Table::new(
+        "Ablation B: scAtteR++ staleness threshold sweep (C2, 4 clients)",
+        &["threshold ms", "FPS", "E2E mean ms", "E2E p95 ms", "success"],
+    );
+    for t in [50.0, 75.0, 100.0, 150.0, 250.0] {
+        let cost = CostModel {
+            threshold_ms: t,
+            ..Default::default()
+        };
+        let r = run_experiment_with(
+            RunConfig::new(Mode::ScatterPP, placements::c2(), 4)
+                .with_duration(SimDuration::from_secs(run_secs()))
+                .with_seed(SEED),
+            cost,
+        );
+        let mut e2e = r.e2e_ms.clone();
+        thresh.row(vec![
+            format!("{t:.0}"),
+            f1(r.fps()),
+            f1(r.e2e_mean_ms()),
+            f1(e2e.p95()),
+            pct(r.success_rate),
+        ]);
+    }
+    thresh.note("paper fixes 100 ms (max tolerable XR latency); lower = fresher but fewer frames");
+    thresh.note("higher thresholds recover FPS at the price of stale augmentations");
+
+    // --- 3. Fetch-timeout sweep ----------------------------------------
+    let mut fetch = Table::new(
+        "Ablation C: scAtteR fetch-timeout sweep (C2, 4 clients)",
+        &["timeout ms", "FPS", "success", "fetch timeouts"],
+    );
+    for t in [5.0, 10.0, 15.0, 30.0, 60.0] {
+        let cost = CostModel {
+            fetch_timeout_ms: t,
+            ..Default::default()
+        };
+        let r = run_experiment_with(
+            RunConfig::new(Mode::Scatter, placements::c2(), 4)
+                .with_duration(SimDuration::from_secs(run_secs()))
+                .with_seed(SEED),
+            cost,
+        );
+        let fetch_timeouts: u64 = r.services.iter().map(|s| s.drops.fetch_timeout).sum();
+        fetch.row(vec![
+            format!("{t:.0}"),
+            f1(r.fps()),
+            pct(r.success_rate),
+            fetch_timeouts.to_string(),
+        ]);
+    }
+    fetch.note("too short: matching gives up on fetches that would have arrived");
+    fetch.note("too long: matching stalls busy-waiting, dropping its own ingress — no good value exists (the loop is the bug)");
+
+    vec![decomp, thresh, fetch]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_ablations() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let tables = run_figure();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 4);
+        assert_eq!(tables[1].rows.len(), 5);
+        assert_eq!(tables[2].rows.len(), 5);
+    }
+}

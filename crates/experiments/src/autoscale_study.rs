@@ -1,0 +1,86 @@
+//! Application-aware orchestration study — §6's future-work proposal
+//! (insights (I) and (IV)) evaluated end to end.
+//!
+//! Three controllers manage the same overloaded deployment (everything
+//! on E2, 6 clients): no scaling, a hardware-utilization-threshold
+//! controller (all a conventional orchestrator can see), and the
+//! sidecar-hook application-aware controller the paper proposes.
+
+use scatter::autoscale::AutoscaleConfig;
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment, Mode, RunReport};
+use simcore::SimDuration;
+
+use crate::common::{run_secs, SEED};
+use crate::table::{f1, pct, Table};
+
+fn run_with(mode: Mode, auto: Option<AutoscaleConfig>, clients: usize) -> RunReport {
+    let mut cfg = RunConfig::new(mode, placements::c2(), clients)
+        .with_duration(SimDuration::from_secs(run_secs()))
+        .with_seed(SEED);
+    if let Some(a) = auto {
+        cfg = cfg.with_autoscale(a);
+    }
+    run_experiment(cfg)
+}
+
+pub fn run_figure() -> Vec<Table> {
+    let mut t = Table::new(
+        "Autoscaling study: static vs hardware-driven vs application-aware (E2-only start)",
+        &[
+            "pipeline",
+            "controller",
+            "clients",
+            "FPS",
+            "success",
+            "scale actions",
+        ],
+    );
+
+    for (mode, label) in [(Mode::ScatterPP, "scAtteR++"), (Mode::Scatter, "scAtteR")] {
+        for (controller, auto) in [
+            ("static", None),
+            ("hardware >75% busy", Some(AutoscaleConfig::hardware(0.75))),
+            (
+                "app-aware >10% drops",
+                Some(AutoscaleConfig::application_aware(0.10)),
+            ),
+        ] {
+            for clients in [4, 6] {
+                let r = run_with(mode, auto, clients);
+                t.row(vec![
+                    label.to_string(),
+                    controller.to_string(),
+                    clients.to_string(),
+                    f1(r.fps()),
+                    pct(r.success_rate),
+                    r.scale_events
+                        .iter()
+                        .map(|e| format!("{}@{}", e.service.name(), e.machine))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                        .chars()
+                        .take(40)
+                        .collect(),
+                ]);
+            }
+        }
+    }
+
+    t.note("insight (IV): the app-aware controller finds the bottleneck from sidecar drop");
+    t.note("metrics; the hardware controller reacts late (scAtteR++: queues keep services");
+    t.note("busy) or not at all (scAtteR: drops stall utilization below any threshold)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_covers_all_cells() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let tables = run_figure();
+        assert_eq!(tables[0].rows.len(), 12);
+    }
+}

@@ -1,0 +1,6 @@
+//! Extension study: see `experiments::ablation`.
+fn main() {
+    for table in experiments::ablation::run_figure() {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,6 @@
+//! Extension study: see `experiments::autoscale_study`.
+fn main() {
+    for table in experiments::autoscale_study::run_figure() {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,6 @@
+//! Extension study: see `experiments::burst_loss`.
+fn main() {
+    for table in experiments::burst_loss::run_figure() {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,6 @@
+//! Extension study: see `experiments::fast_extractor`.
+fn main() {
+    for table in experiments::fast_extractor::run_figure() {
+        println!("{}", table.render());
+    }
+}

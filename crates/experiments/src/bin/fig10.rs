@@ -1,0 +1,6 @@
+//! Regenerate fig10 of the paper. See `experiments::fig10_jitter`.
+fn main() {
+    for table in experiments::fig10_jitter::run_figure() {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerate fig11 of the paper. See `experiments::fig11_hybrid`.
+fn main() {
+    for table in experiments::fig11_hybrid::run_figure() {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerate fig12 of the paper. See `experiments::fig12_timeline`.
+fn main() {
+    for table in experiments::fig12_timeline::run_figure() {
+        println!("{}", table.render());
+    }
+}

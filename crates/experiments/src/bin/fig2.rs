@@ -1,0 +1,6 @@
+//! Regenerate fig2 of the paper. See `experiments::fig2_baseline_edge`.
+fn main() {
+    for table in experiments::fig2_baseline_edge::run_figure() {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerate fig3 of the paper. See `experiments::fig3_scalability`.
+fn main() {
+    for table in experiments::fig3_scalability::run_figure() {
+        println!("{}", table.render());
+    }
+}

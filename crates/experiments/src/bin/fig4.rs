@@ -1,0 +1,6 @@
+//! Regenerate fig4 of the paper. See `experiments::fig4_cloud`.
+fn main() {
+    for table in experiments::fig4_cloud::run_figure() {
+        println!("{}", table.render());
+    }
+}

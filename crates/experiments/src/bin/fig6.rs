@@ -1,0 +1,6 @@
+//! Regenerate fig6 of the paper. See `experiments::fig6_scatterpp_edge`.
+fn main() {
+    for table in experiments::fig6_scatterpp_edge::run_figure() {
+        println!("{}", table.render());
+    }
+}

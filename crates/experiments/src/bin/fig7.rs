@@ -1,0 +1,6 @@
+//! Regenerate fig7 of the paper. See `experiments::fig7_scaling`.
+fn main() {
+    for table in experiments::fig7_scaling::run_figure() {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerate fig8 of the paper. See `experiments::fig8_sidecar`.
+fn main() {
+    for table in experiments::fig8_sidecar::run_figure() {
+        println!("{}", table.render());
+    }
+}

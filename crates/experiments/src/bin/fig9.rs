@@ -1,0 +1,6 @@
+//! Regenerate fig9 of the paper. See `experiments::fig9_network`.
+fn main() {
+    for table in experiments::fig9_network::run_figure() {
+        println!("{}", table.render());
+    }
+}

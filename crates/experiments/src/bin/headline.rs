@@ -1,0 +1,6 @@
+//! Regenerate headline of the paper. See `experiments::headline`.
+fn main() {
+    for table in experiments::headline::run_figure() {
+        println!("{}", table.render());
+    }
+}

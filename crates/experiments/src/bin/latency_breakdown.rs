@@ -1,0 +1,6 @@
+//! Extension study: see `experiments::latency_breakdown`.
+fn main() {
+    for table in experiments::latency_breakdown::run_figure() {
+        println!("{}", table.render());
+    }
+}

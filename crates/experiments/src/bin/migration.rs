@@ -1,0 +1,6 @@
+//! Extension study: see `experiments::migration_study`.
+fn main() {
+    for table in experiments::migration_study::run_figure() {
+        println!("{}", table.render());
+    }
+}

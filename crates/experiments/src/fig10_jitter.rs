@@ -1,0 +1,61 @@
+//! Figure 10: jitter (Δ inter-frame receive time) for (a) baseline edge,
+//! (b) service scalability, and (c) cloud deployments.
+//!
+//! Anchors: baseline jitter grows with clients (frame drops), up to
+//! ≈6–9 ms at 4 clients; replicated and cloud deployments sit lower
+//! (≈1–3 ms), the cloud slightly elevated by Internet-path latency
+//! fluctuations.
+
+use scatter::config::placements;
+use scatter::Mode;
+
+use crate::common::{edge_configs, run};
+use crate::table::{f1, Table};
+
+pub fn run_figure() -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 10: jitter (ms) vs clients — baseline edge / scalability / cloud",
+        &["deployment", "n1", "n2", "n3", "n4"],
+    );
+    // (a) baseline edge configs.
+    for (label, placement) in edge_configs() {
+        let mut row = vec![format!("a) {label}")];
+        for n in 1..=4 {
+            let r = run(Mode::Scatter, placement.clone(), n);
+            row.push(f1(r.jitter_ms));
+        }
+        t.row(row);
+    }
+    // (b) scalability configs.
+    for counts in crate::fig3_scalability::CONFIGS {
+        let mut row = vec![format!("b) {counts:?}")];
+        for n in 1..=4 {
+            let r = run(Mode::Scatter, placements::replicas(counts), n);
+            row.push(f1(r.jitter_ms));
+        }
+        t.row(row);
+    }
+    // (c) cloud.
+    let mut row = vec!["c) cloud-only".to_string()];
+    for n in 1..=4 {
+        let r = run(Mode::Scatter, placements::cloud_only(), n);
+        row.push(f1(r.jitter_ms));
+    }
+    t.row(row);
+
+    t.note("paper: a) grows with clients (drops) toward ≈6–9 ms; b)+c) stay ≈1–3 ms");
+    t.note("paper: cloud jitter slightly above C1/C2 due to Internet latency fluctuation");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_series() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let tables = run_figure();
+        assert_eq!(tables[0].rows.len(), 4 + 3 + 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 11 (appendix A.1.2): hybrid edge-cloud deployment
+//! [E1, C, C, C, C] — ingress `primary` at the edge, everything else in
+//! the cloud.
+//!
+//! Anchors: severe degradation vs cloud-only — ≈2× latency increase and
+//! collapsing FPS, driven by frame drops on the public Internet path
+//! (the primary→sift hop now ships *uncompressed* pre-processed frames
+//! across the constrained uplink).
+
+use scatter::config::placements;
+use scatter::{Mode, SERVICE_KINDS};
+
+use crate::common::run;
+use crate::table::{f1, pct, Table};
+
+pub fn run_figure() -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 11: hybrid [E1,C,C,C,C] scAtteR vs cloud-only",
+        &["deployment", "clients", "FPS", "E2E ms", "success"],
+    );
+    let mut lat = Table::new(
+        "Fig 11 (service latency, ms, hybrid)",
+        &["clients", "primary", "sift", "encoding", "lsh", "matching"],
+    );
+
+    let mut hybrid_e2e_n2 = 0.0;
+    let mut cloud_e2e_n2 = 0.0;
+    for n in 1..=4 {
+        let h = run(Mode::Scatter, placements::hybrid_edge_cloud(), n);
+        let c = run(Mode::Scatter, placements::cloud_only(), n);
+        if n == 2 {
+            hybrid_e2e_n2 = h.e2e_mean_ms();
+            cloud_e2e_n2 = c.e2e_mean_ms();
+        }
+        t.row(vec![
+            "hybrid [E1,C,C,C,C]".into(),
+            n.to_string(),
+            f1(h.fps()),
+            f1(h.e2e_mean_ms()),
+            pct(h.success_rate),
+        ]);
+        t.row(vec![
+            "cloud-only".into(),
+            n.to_string(),
+            f1(c.fps()),
+            f1(c.e2e_mean_ms()),
+            pct(c.success_rate),
+        ]);
+        let mut row = vec![n.to_string()];
+        for k in SERVICE_KINDS {
+            row.push(f1(h.service_latency_ms(k).mean()));
+        }
+        lat.row(row);
+    }
+
+    t.note(format!(
+        "paper: ≈2× latency vs cloud-only with multiple clients — measured {:.1}× at 2 clients",
+        hybrid_e2e_n2 / cloud_e2e_n2
+    ));
+    t.note("paper: frame drops over the public Internet path are the primary contributor");
+    vec![t, lat]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_and_cloud_rows_interleaved() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let tables = run_figure();
+        assert_eq!(tables[0].rows.len(), 8);
+        assert_eq!(tables[1].rows.len(), 4);
+    }
+}

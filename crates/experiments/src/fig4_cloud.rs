@@ -1,0 +1,76 @@
+//! Figure 4: cloud-only deployment of scAtteR.
+//!
+//! The whole pipeline on the AWS V100 instance; clients reach it over
+//! ≈15 ms RTT. The paper's anchors: 18.2 FPS median (vs 25 at the edge),
+//! 64 % frame success, ≈+20 ms E2E — explicitly *not* a hardware
+//! bottleneck (CPU <5 %, GPU <25 %, mem <2 %).
+
+use scatter::config::placements;
+use scatter::{Mode, SERVICE_KINDS};
+
+use crate::common::run;
+use crate::table::{f1, pct, Table};
+
+pub fn run_figure() -> Vec<Table> {
+    let mut qos = Table::new(
+        "Fig 4 (QoS): scAtteR cloud-only — FPS / E2E / success vs clients",
+        &["clients", "FPS", "FPS median", "E2E ms", "success", "jitter ms"],
+    );
+    let mut hw = Table::new(
+        "Fig 4 (hardware): cloud machine utilization",
+        &["clients", "CPU %", "GPU %", "mem GB"],
+    );
+
+    let mut n1_median = 0.0;
+    let mut n1_e2e = 0.0;
+    for n in 1..=4 {
+        let r = run(Mode::Scatter, placements::cloud_only(), n);
+        if n == 1 {
+            n1_median = r.fps_median();
+            n1_e2e = r.e2e_mean_ms();
+        }
+        qos.row(vec![
+            n.to_string(),
+            f1(r.fps()),
+            f1(r.fps_median()),
+            f1(r.e2e_mean_ms()),
+            pct(r.success_rate),
+            f1(r.jitter_ms),
+        ]);
+        let m = r.machine("cloud").expect("cloud machine in report");
+        let total_mem: f64 = SERVICE_KINDS.iter().map(|&k| r.memory_gb(k)).sum();
+        hw.row(vec![
+            n.to_string(),
+            f1(m.cpu_pct),
+            f1(m.gpu_pct),
+            f1(total_mem),
+        ]);
+    }
+
+    let edge = run(Mode::Scatter, placements::c1(), 1);
+    qos.note(format!(
+        "paper: 18.2 FPS median at 1 client (edge: 25) — measured {n1_median:.1} (edge: {:.1})",
+        edge.fps_median()
+    ));
+    qos.note(format!(
+        "paper: E2E ≈+20 ms vs edge — measured +{:.1} ms",
+        n1_e2e - edge.e2e_mean_ms()
+    ));
+    qos.note("paper: 64% frame success at 1 client; slightly higher jitter than C1/C2");
+    hw.note("paper: <5% CPU, <25% GPU — the slowdown is virtualization/arch, not capacity");
+    hw.note("deviation: our PS-GPU model reports higher GPU% than the paper's nvidia-smi sampling");
+    vec![qos, hw]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_client_sweep() {
+        std::env::set_var("SCATTER_EXP_SECS", "15");
+        let tables = run_figure();
+        assert_eq!(tables[0].rows.len(), 4);
+        assert_eq!(tables[1].rows.len(), 4);
+    }
+}

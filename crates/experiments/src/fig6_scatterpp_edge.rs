@@ -1,0 +1,72 @@
+//! Figure 6: scAtteR++ on the edge (same methodology as fig. 2).
+//!
+//! Paper anchors: +9 % FPS single client (+17.6 % success); ≥2.5× frame
+//! rate with concurrent clients; 12 FPS sustained at 4 clients with C12
+//! reaching ≈20 FPS; degradation is throttling (GPU) rather than drops;
+//! memory no longer diverges (stateless sift) but queues hold buffers.
+
+use scatter::{Mode, ServiceKind, SERVICE_KINDS};
+
+use crate::common::{edge_configs, run};
+use crate::table::{f1, pct, Table};
+
+pub fn run_figure() -> Vec<Table> {
+    let mut qos = Table::new(
+        "Fig 6 (QoS): scAtteR++ on edge — FPS / E2E / success vs clients",
+        &["config", "clients", "FPS", "E2E ms", "success"],
+    );
+    let mut service_lat = Table::new(
+        "Fig 6 (service latency, ms, mean per service)",
+        &["config", "clients", "primary", "sift", "encoding", "lsh", "matching"],
+    );
+    let mut hw = Table::new(
+        "Fig 6 (hardware): memory and GPU under scAtteR++",
+        &["config", "clients", "mem GB (sift)", "mem GB (total)", "GPU %"],
+    );
+
+    for (label, placement) in edge_configs() {
+        for n in 1..=4 {
+            let r = run(Mode::ScatterPP, placement.clone(), n);
+            qos.row(vec![
+                label.to_string(),
+                n.to_string(),
+                f1(r.fps()),
+                f1(r.e2e_mean_ms()),
+                pct(r.success_rate),
+            ]);
+            let mut lat_row = vec![label.to_string(), n.to_string()];
+            for k in SERVICE_KINDS {
+                lat_row.push(f1(r.service_latency_ms(k).mean()));
+            }
+            service_lat.row(lat_row);
+            let total_mem: f64 = SERVICE_KINDS.iter().map(|&k| r.memory_gb(k)).sum();
+            hw.row(vec![
+                label.to_string(),
+                n.to_string(),
+                f1(r.memory_gb(ServiceKind::Sift)),
+                f1(total_mem),
+                f1(r.total_gpu_pct()),
+            ]);
+        }
+    }
+
+    qos.note("paper: 12 FPS sustained at 4 clients; C12 ≈20 FPS (scAtteR: <5 FPS)");
+    qos.note("paper: single client +9% FPS, +17.6% success over scAtteR");
+    service_lat.note("paper: slightly higher per-service latency (queueing), most visible at primary");
+    hw.note("paper: GPU utilization scales with load (throttling replaces request drops)");
+    vec![qos, service_lat, hw]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_points_per_panel() {
+        std::env::set_var("SCATTER_EXP_SECS", "15");
+        let tables = run_figure();
+        for t in &tables {
+            assert_eq!(t.rows.len(), 16);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's headline claims (§1, §5), verified in one table:
+//!
+//! - ≈2.75× increase in concurrent client capacity;
+//! - ≈4× improved framerate (scAtteR++ vs scAtteR under load);
+//! - +9 % FPS and +17.6 % success for a single client;
+//! - 2.5× frame-rate increase with multiple concurrent clients.
+
+use scatter::config::placements;
+use scatter::Mode;
+
+use crate::common::{run, run_seeds};
+use crate::table::{f1, f2, pct, Table};
+
+pub fn run_figure() -> Vec<Table> {
+    let mut t = Table::new(
+        "Headline claims: scAtteR++ vs scAtteR",
+        &["claim", "paper", "measured"],
+    );
+
+    // Single-client improvement (C1), mean over 3 seeds.
+    let s1_stat = run_seeds(Mode::Scatter, &placements::c1(), 1, 3, |r| r.fps());
+    let p1_stat = run_seeds(Mode::ScatterPP, &placements::c1(), 1, 3, |r| r.fps());
+    let s1 = run(Mode::Scatter, placements::c1(), 1);
+    let p1 = run(Mode::ScatterPP, placements::c1(), 1);
+    t.row(vec![
+        "single-client FPS gain".into(),
+        "+9%".into(),
+        format!(
+            "{:+.0}% ({} → {} FPS over 3 seeds)",
+            (p1_stat.mean / s1_stat.mean - 1.0) * 100.0,
+            s1_stat.format(),
+            p1_stat.format()
+        ),
+    ]);
+    t.row(vec![
+        "single-client success gain".into(),
+        "+17.6%".into(),
+        format!(
+            "{:+.1} pp ({} → {})",
+            (p1.success_rate - s1.success_rate) * 100.0,
+            pct(s1.success_rate),
+            pct(p1.success_rate)
+        ),
+    ]);
+
+    // Multi-client framerate multiple (4 clients, all edge configs mean).
+    let mut s_sum = 0.0;
+    let mut p_sum = 0.0;
+    for (_, placement) in crate::common::edge_configs() {
+        s_sum += run(Mode::Scatter, placement.clone(), 4).fps();
+        p_sum += run(Mode::ScatterPP, placement, 4).fps();
+    }
+    t.row(vec![
+        "4-client framerate multiple".into(),
+        "≈2.5–4×".into(),
+        format!("{}×", f2(p_sum / s_sum)),
+    ]);
+
+    // Client-capacity multiple: largest n where scAtteR++ still delivers
+    // the FPS scAtteR manages at 4 clients, on the scaled cluster.
+    let scatter4 = run(Mode::Scatter, placements::c2(), 4).fps();
+    let mut capacity_mult = 1.0;
+    for n in (4..=12).rev() {
+        let fps = run(Mode::ScatterPP, placements::replicas([1, 3, 2, 1, 3]), n).fps();
+        if fps >= scatter4 {
+            capacity_mult = n as f64 / 4.0;
+            break;
+        }
+    }
+    t.row(vec![
+        "concurrent-client capacity".into(),
+        "≈2.75×".into(),
+        format!("{}× (scAtteR@4: {} FPS)", f2(capacity_mult), f1(scatter4)),
+    ]);
+
+    t.note("capacity = largest client count where scAtteR++ (scaled) matches scAtteR's 4-client FPS");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_table_has_four_claims() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let tables = run_figure();
+        assert_eq!(tables[0].rows.len(), 4);
+    }
+}

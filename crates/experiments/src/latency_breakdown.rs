@@ -1,0 +1,117 @@
+//! End-to-end latency budget decomposition — where each millisecond of
+//! E2E goes (per-stage compute, queue/fetch waits, network) for the
+//! paper's key deployments. The paper plots E2E and per-service latency
+//! separately; this table reconciles them into one budget.
+
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment, Mode};
+use simcore::SimDuration;
+
+use crate::common::{run_secs, SEED};
+use crate::table::{f1, Table};
+
+fn run(mode: Mode, placement: orchestra::PlacementSpec, clients: usize) -> scatter::RunReport {
+    run_experiment(
+        RunConfig::new(mode, placement, clients)
+            .with_duration(SimDuration::from_secs(run_secs()))
+            .with_seed(SEED),
+    )
+}
+
+pub fn run_figure() -> Vec<Table> {
+    let mut t = Table::new(
+        "Latency budget: mean ms per completed frame (compute c / wait w per stage, + network)",
+        &[
+            "deployment",
+            "primary c",
+            "sift c",
+            "sift w*",
+            "enc c",
+            "enc w",
+            "lsh c",
+            "lsh w",
+            "match c",
+            "match w*",
+            "network",
+            "E2E",
+        ],
+    );
+
+    let cases: Vec<(&str, Mode, orchestra::PlacementSpec, usize)> = vec![
+        ("scAtteR C1, 1 client", Mode::Scatter, placements::c1(), 1),
+        ("scAtteR C1, 4 clients", Mode::Scatter, placements::c1(), 4),
+        ("scAtteR++ C1, 4 clients", Mode::ScatterPP, placements::c1(), 4),
+        ("scAtteR++ C12, 4 clients", Mode::ScatterPP, placements::c12(), 4),
+        ("scAtteR cloud, 1 client", Mode::Scatter, placements::cloud_only(), 1),
+        ("scAtteR hybrid, 2 clients", Mode::Scatter, placements::hybrid_edge_cloud(), 2),
+    ];
+
+    for (label, mode, placement, clients) in cases {
+        let r = run(mode, placement, clients);
+        let mut row = vec![label.to_string()];
+        // primary compute; then per-stage compute + wait for the rest.
+        row.push(f1(r.breakdown_compute[0].mean()));
+        for i in 1..5 {
+            row.push(f1(r.breakdown_compute[i].mean()));
+            row.push(f1(r.breakdown_queue[i].mean()));
+        }
+        row.push(f1(r.breakdown_network.mean()));
+        row.push(f1(r.e2e_mean_ms()));
+        t.row(row);
+    }
+
+    t.note("w = sidecar queue wait (scAtteR++); for scAtteR, match w is the fetch");
+    t.note("busy-wait on sift — the dependency loop's direct latency cost");
+    t.note("network includes client access, inter-machine hops and return path;");
+    t.note("the hybrid row shows the Internet residual dominating the budget");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_to_e2e() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let r = run(Mode::ScatterPP, placements::c1(), 2);
+        let total: f64 = (0..5)
+            .map(|i| r.breakdown_compute[i].mean() + r.breakdown_queue[i].mean())
+            .sum::<f64>()
+            + r.breakdown_network.mean();
+        let e2e = r.e2e_mean_ms();
+        assert!(
+            (total - e2e).abs() < e2e * 0.05,
+            "breakdown {total:.1} should reconstruct E2E {e2e:.1}"
+        );
+    }
+
+    #[test]
+    fn fetch_wait_shows_in_scatter_matching() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let r = run(Mode::Scatter, placements::c1(), 1);
+        let fetch_wait = r.breakdown_queue[scatter::ServiceKind::Matching.index()].mean();
+        assert!(
+            fetch_wait > 0.5,
+            "the fetch round-trip must appear in matching's wait: {fetch_wait:.2} ms"
+        );
+        // And the other stages have no queue in scAtteR.
+        for kind in &scatter::SERVICE_KINDS[..4] {
+            let w = r.breakdown_queue[kind.index()].mean();
+            assert!(w < 0.2, "{kind:?} unexpectedly queued {w:.2} ms in scAtteR");
+        }
+    }
+
+    #[test]
+    fn hybrid_network_share_dominates() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+        let edge = run(Mode::Scatter, placements::c1(), 1);
+        let hybrid = run(Mode::Scatter, placements::hybrid_edge_cloud(), 1);
+        assert!(
+            hybrid.breakdown_network.mean() > edge.breakdown_network.mean() * 3.0,
+            "hybrid network {:.1} ms should dwarf edge {:.1} ms",
+            hybrid.breakdown_network.mean(),
+            edge.breakdown_network.mean()
+        );
+    }
+}

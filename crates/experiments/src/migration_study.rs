@@ -1,0 +1,107 @@
+//! Dynamic service migration — the paper's introduction: "the interplay
+//! of virtualization and orchestration frameworks … to facilitate
+//! dynamic migrations and scaling of AR services has remained largely
+//! unexplored to date."
+//!
+//! Scenario: a provider onboards a new edge site. The pipeline starts in
+//! the cloud (clients already connected); at T the orchestrator live-
+//! migrates the four GPU stages to the edge server E2, one every two
+//! seconds (rolling migration — never more than one service in restart).
+//! We time-slice QoS around the migration window.
+
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment, Mode, ServiceKind};
+use simcore::{SimDuration, SimTime};
+
+use crate::common::SEED;
+use crate::table::{f1, Table};
+
+pub fn run_figure() -> Vec<Table> {
+    let clients = 2;
+    let duration = 60u64;
+    let migrate_at = 24u64;
+    // Roll sift, encoding, lsh, matching from the cloud to E2; primary
+    // follows last so the ingress moves once the backend is ready.
+    let mut cfg = RunConfig::new(Mode::Scatter, placements::cloud_only(), clients)
+        .with_duration(SimDuration::from_secs(duration))
+        .with_warmup(SimDuration::from_secs(0))
+        .with_seed(SEED)
+        .with_recovery(SimDuration::from_secs(2));
+    for (i, kind) in [
+        ServiceKind::Sift,
+        ServiceKind::Encoding,
+        ServiceKind::Lsh,
+        ServiceKind::Matching,
+        ServiceKind::Primary,
+    ]
+    .iter()
+    .enumerate()
+    {
+        cfg = cfg.with_migration(
+            SimDuration::from_secs(migrate_at + 2 * i as u64),
+            *kind,
+            0,
+            "E2",
+        );
+    }
+    let r = run_experiment(cfg);
+
+    // Time-sliced QoS: completions per 6-second window, mean E2E.
+    let mut t = Table::new(
+        "Migration study: cloud → edge rolling live-migration at t=24 s (scAtteR, 2 clients)",
+        &["window", "FPS/client", "phase"],
+    );
+    let windows = duration / 6;
+    for wdx in 0..windows {
+        let ws = SimTime::from_secs(wdx * 6);
+        let we = SimTime::from_secs((wdx + 1) * 6);
+        let completions: usize = r
+            .services
+            .iter()
+            .filter(|s| s.kind == ServiceKind::Matching)
+            .map(|s| s.ingress.window_count(ws, we))
+            .sum();
+        // Matching ingress ≈ completions (its own drops are small); good
+        // enough for the time-resolved view.
+        let fps = completions as f64 / 6.0 / clients as f64;
+        let phase = if (wdx * 6) < migrate_at {
+            "cloud"
+        } else if (wdx * 6) < migrate_at + 12 {
+            "migrating"
+        } else {
+            "edge"
+        };
+        t.row(vec![
+            format!("{}–{} s", wdx * 6, (wdx + 1) * 6),
+            f1(fps),
+            phase.to_string(),
+        ]);
+    }
+    let migrations = r.scale_events.iter().filter(|e| e.signal < 0.0).count();
+    t.note(format!("{migrations} migrations executed; each costs one 2 s restart"));
+    t.note("cloud phase: V100 wall-time penalty + 15 ms RTT cap the frame rate;");
+    t.note("edge phase: the same pipeline on E2 returns to full rate — live");
+    t.note("migration trades a transient dip for a permanently better placement.");
+    t.note("(under scAtteR++ the cloud phase reads ≈0: its 100 ms XR budget is");
+    t.note("simply unattainable from this cloud at 2 clients — see fig. 4's E2E)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_improves_steady_state() {
+        std::env::set_var("SCATTER_EXP_SECS", "10");
+        let tables = run_figure();
+        let rows = &tables[0].rows;
+        // Compare the first cloud window against the last edge window.
+        let first: f64 = rows[0][1].parse().unwrap();
+        let last: f64 = rows[rows.len() - 1][1].parse().unwrap();
+        assert!(
+            last > first * 1.2,
+            "edge phase {last} should beat cloud phase {first}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Hand placement vs orchestrator scheduling.
+//!
+//! The paper pins every placement manually. Real deployments let the
+//! orchestrator place from SLAs. This study plans the same replica
+//! vector with three standard disciplines (first-fit, least-loaded,
+//! round-robin), deploys each plan on the simulated testbed, and
+//! compares the resulting AR QoS against the paper's hand-tuned
+//! configurations — quantifying how much hand tuning is worth.
+
+use orchestra::{schedule, Cluster, Discipline, ServiceSla};
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment, Mode, SERVICE_NAMES};
+use simcore::SimDuration;
+use simnet::Testbed;
+
+use crate::common::{run_secs, SEED};
+use crate::table::{f1, pct, Table};
+
+fn slas() -> Vec<ServiceSla> {
+    SERVICE_NAMES
+        .iter()
+        .map(|name| ServiceSla::new(name, 0.5, 2.0, *name != "primary"))
+        .collect()
+}
+
+pub fn run_figure() -> Vec<Table> {
+    let (_, tb) = Testbed::build();
+    let cluster = Cluster::testbed(tb.e1, tb.e2, tb.cloud);
+    let replicas = [1usize, 2, 2, 1, 2]; // fig. 3's winning vector
+
+    let mut t = Table::new(
+        "Scheduler study: hand-tuned vs orchestrator placements ([1,2,2,1,2], scAtteR++)",
+        &["placement", "clients", "FPS", "E2E ms", "success"],
+    );
+
+    let mut candidates: Vec<(String, orchestra::PlacementSpec)> = vec![(
+        "hand-tuned (paper fig. 3)".into(),
+        placements::replicas(replicas),
+    )];
+    for (name, d) in [
+        ("first-fit", Discipline::FirstFit),
+        ("least-loaded", Discipline::LeastLoaded),
+        ("round-robin", Discipline::RoundRobin),
+    ] {
+        let plan = schedule(&cluster, &slas(), &replicas, d).expect("schedulable");
+        candidates.push((format!("scheduler: {name}"), plan.placement));
+    }
+
+    for (label, placement) in candidates {
+        for clients in [2, 4] {
+            let r = run_experiment(
+                RunConfig::new(Mode::ScatterPP, placement.clone(), clients)
+                    .with_duration(SimDuration::from_secs(run_secs()))
+                    .with_seed(SEED),
+            );
+            t.row(vec![
+                label.clone(),
+                clients.to_string(),
+                f1(r.fps()),
+                f1(r.e2e_mean_ms()),
+                pct(r.success_rate),
+            ]);
+        }
+    }
+
+    t.note("first-fit packs one machine (GPU contention at 4 clients); least-loaded");
+    t.note("approaches the hand-tuned configuration without knowing the pipeline");
+    t.note("round-robin naively spreads into the CLOUD mid-pipeline: every frame");
+    t.note("pays multiple 15 ms Internet crossings and dies on the 100 ms budget —");
+    t.note("placement-naive scheduling can zero out an XR app entirely (insight IV)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_candidates_two_loads() {
+        std::env::set_var("SCATTER_EXP_SECS", "10");
+        let tables = run_figure();
+        assert_eq!(tables[0].rows.len(), 8);
+    }
+
+    #[test]
+    fn disciplines_produce_valid_placements() {
+        let (_, tb) = Testbed::build();
+        let cluster = Cluster::testbed(tb.e1, tb.e2, tb.cloud);
+        for d in [Discipline::FirstFit, Discipline::LeastLoaded, Discipline::RoundRobin] {
+            let plan = schedule(&cluster, &slas(), &[1, 2, 2, 1, 2], d).unwrap();
+            assert_eq!(plan.placement.total_instances(), 8);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Minimal aligned-table rendering for experiment output, plus a
+//! markdown form used to regenerate EXPERIMENTS.md.
+
+use serde::Serialize;
+
+/// A rendered experiment table: header row + data rows of strings.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Paper-anchor / interpretation notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Fixed-width console rendering.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = format!("== {} ==\n", self.title);
+        let hdr: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+            .collect();
+        out += &hdr.join("  ");
+        out += "\n";
+        out += &"-".repeat(hdr.join("  ").len());
+        out += "\n";
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect();
+            out += &line.join("  ");
+            out += "\n";
+        }
+        for n in &self.notes {
+            out += &format!("  * {n}\n");
+        }
+        out
+    }
+
+    /// JSON rendering (machine-readable results for plotting).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+
+    /// GitHub-markdown rendering (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out += &format!("| {} |\n", self.columns.join(" | "));
+        out += &format!("|{}|\n", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            out += &format!("| {} |\n", row.join(" | "));
+        }
+        if !self.notes.is_empty() {
+            out += "\n";
+            for n in &self.notes {
+                out += &format!("- {n}\n");
+            }
+        }
+        out += "\n";
+        out
+    }
+}
+
+/// Format a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a ratio as a percentage with no decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["cfg", "fps"]);
+        t.row(vec!["C1".into(), "25.0".into()]);
+        t.note("paper: ≥25 FPS");
+        t
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let r = sample().render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("cfg"));
+        assert!(r.contains("C1"));
+        assert!(r.contains("25.0"));
+        assert!(r.contains("paper: ≥25 FPS"));
+    }
+
+    #[test]
+    fn markdown_is_table_shaped() {
+        let md = sample().render_markdown();
+        assert!(md.contains("| cfg | fps |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| C1 | 25.0 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let j = sample().render_json();
+        assert!(j.contains("\"title\": \"demo\""));
+        assert!(j.contains("\"columns\""));
+        let v: serde_json::Value = serde_json::from_str(&j).expect("valid JSON");
+        assert_eq!(v["rows"][0][0], "C1");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(3.14159), "3.1");
+        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(pct(0.643), "64%");
+    }
+}

@@ -1,0 +1,211 @@
+//! Constant-memory log-bucketed histogram.
+//!
+//! Buckets grow geometrically (configurable growth factor), giving a fixed
+//! relative quantile error regardless of the value range — the same idea
+//! as HdrHistogram/DDSketch, sized for latency-like positive values.
+
+use serde::{Deserialize, Serialize};
+
+/// Log-bucketed histogram over positive values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Smallest representable value; everything below lands in bucket 0.
+    min_value: f64,
+    /// Geometric growth factor between bucket boundaries (> 1).
+    gamma: f64,
+    ln_gamma: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Histogram covering `[min_value, max_value]` with relative error
+    /// roughly `(gamma - 1) / 2` per bucket.
+    pub fn new(min_value: f64, max_value: f64, gamma: f64) -> Self {
+        assert!(min_value > 0.0 && max_value > min_value && gamma > 1.0);
+        let n = ((max_value / min_value).ln() / gamma.ln()).ceil() as usize + 1;
+        LogHistogram {
+            min_value,
+            gamma,
+            ln_gamma: gamma.ln(),
+            counts: vec![0; n],
+            total: 0,
+            sum: 0.0,
+            overflow: 0,
+        }
+    }
+
+    /// Default configuration for millisecond-scale latencies: 1 µs to
+    /// 100 s with ~2 % relative error.
+    pub fn for_latency_ms() -> Self {
+        Self::new(0.001, 100_000.0, 1.04)
+    }
+
+    fn bucket_of(&self, x: f64) -> Option<usize> {
+        if x <= self.min_value {
+            return Some(0);
+        }
+        let idx = ((x / self.min_value).ln() / self.ln_gamma).floor() as usize;
+        if idx < self.counts.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Record one positive sample; non-finite or non-positive values are
+    /// ignored, values beyond the max are counted in an overflow bin that
+    /// still contributes to `count` and inflates high quantiles to the max.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x <= 0.0 {
+            return;
+        }
+        self.total += 1;
+        self.sum += x;
+        match self.bucket_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Upper boundary of bucket `i` — the value reported for quantiles
+    /// landing in that bucket (conservative: never under-reports).
+    fn bucket_upper(&self, i: usize) -> f64 {
+        self.min_value * self.gamma.powi(i as i32 + 1)
+    }
+
+    /// Quantile with relative error bounded by the bucket width.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_upper(i);
+            }
+        }
+        // Landed in overflow.
+        self.bucket_upper(self.counts.len() - 1)
+    }
+
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge a histogram with identical configuration.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "config mismatch");
+        assert!((self.gamma - other.gamma).abs() < 1e-12, "config mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_quantile_zero() {
+        let h = LogHistogram::for_latency_ms();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn single_value_recovered_within_error() {
+        let mut h = LogHistogram::for_latency_ms();
+        h.record(42.0);
+        let m = h.median();
+        assert!((m - 42.0).abs() / 42.0 < 0.05, "median {m} too far from 42");
+    }
+
+    #[test]
+    fn ignores_garbage() {
+        let mut h = LogHistogram::for_latency_ms();
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn overflow_counts_and_caps() {
+        let mut h = LogHistogram::new(1.0, 10.0, 1.5);
+        h.record(1e9);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) >= 10.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHistogram::for_latency_ms();
+        let mut b = LogHistogram::for_latency_ms();
+        a.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(0.99) > 50.0);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_relative_error_bounded(
+            xs in proptest::collection::vec(0.01f64..10_000.0, 1..300),
+            q in 0.0f64..1.0,
+        ) {
+            let mut h = LogHistogram::for_latency_ms();
+            for &x in &xs {
+                h.record(x);
+            }
+            let approx = h.quantile(q);
+            // The bucketed quantile has bounded relative error vs the
+            // nearest-rank exact quantile (the sample whose bucket the
+            // cumulative count lands in) — not vs an interpolated one.
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+            let e = sorted[rank - 1];
+            prop_assert!(approx >= e * 0.90, "approx {approx} < exact {e}");
+            prop_assert!(approx <= e * 1.10 + 1e-9, "approx {approx} > exact {e}");
+        }
+
+        #[test]
+        fn count_matches_records(xs in proptest::collection::vec(0.01f64..100.0, 0..100)) {
+            let mut h = LogHistogram::for_latency_ms();
+            for &x in &xs { h.record(x); }
+            prop_assert_eq!(h.count(), xs.len() as u64);
+        }
+    }
+}

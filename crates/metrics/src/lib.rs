@@ -1,0 +1,31 @@
+//! # metrics — measurement substrate for the reproduction
+//!
+//! The paper reports four QoS metrics (frame rate, end-to-end latency,
+//! per-service latency, jitter) and three hardware metrics (CPU, GPU,
+//! memory utilization). This crate provides the estimators those numbers
+//! come from:
+//!
+//! - [`Summary`]: exact streaming summary (mean, min/max, quantiles) for
+//!   bounded-cardinality series such as per-run latency samples.
+//! - [`LogHistogram`]: constant-memory log-bucketed histogram for
+//!   unbounded streams.
+//! - [`TimeSeries`]: timestamped samples with windowed aggregation, used
+//!   for the over-experiment-time figures (fig. 8 and fig. 12).
+//! - [`RateMeter`]: windowed event-rate (FPS) estimation.
+//! - [`JitterMeter`]: inter-arrival-delta jitter as the paper defines it
+//!   ("Δ inter-frame receive time").
+//! - [`Utilization`]: busy-time integration normalized against capacity,
+//!   matching the paper's normalization "against the total number of
+//!   available cores".
+
+pub mod hist;
+pub mod rate;
+pub mod series;
+pub mod summary;
+pub mod util;
+
+pub use hist::LogHistogram;
+pub use rate::{JitterMeter, RateMeter};
+pub use series::TimeSeries;
+pub use summary::Summary;
+pub use util::Utilization;

@@ -1,0 +1,248 @@
+//! Event-rate (FPS) and jitter estimation.
+//!
+//! The paper's FPS metric is "successfully analyzed frames per second";
+//! its jitter metric is the variation of the inter-frame receive delta at
+//! the client. Both are computed from arrival instants only.
+
+use simcore::{SimDuration, SimTime};
+
+use crate::summary::Summary;
+
+/// Counts events and reports their average rate over the observed span,
+/// plus windowed rates for time-resolved plots.
+#[derive(Debug, Clone, Default)]
+pub struct RateMeter {
+    arrivals: Vec<SimTime>,
+}
+
+impl RateMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, t: SimTime) {
+        debug_assert!(
+            self.arrivals.last().is_none_or(|&last| t >= last),
+            "RateMeter arrivals out of order"
+        );
+        self.arrivals.push(t);
+    }
+
+    pub fn count(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Events per second over `[start, end)`. The caller supplies the
+    /// experiment bounds so idle head/tail time counts against the rate,
+    /// exactly like dividing total analyzed frames by run length.
+    pub fn rate_over(&self, start: SimTime, end: SimTime) -> f64 {
+        let secs = (end.saturating_since(start)).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let n = self
+            .arrivals
+            .iter()
+            .filter(|&&t| t >= start && t < end)
+            .count();
+        n as f64 / secs
+    }
+
+    /// Median over per-second event counts — robust to warmup/teardown
+    /// transients, and the statistic the paper quotes ("18.2 FPS
+    /// (median)") for the cloud deployment.
+    pub fn median_per_second_rate(&self, start: SimTime, end: SimTime) -> f64 {
+        let total = end.saturating_since(start).as_secs_f64();
+        if total < 1.0 {
+            return self.rate_over(start, end);
+        }
+        let mut s = Summary::new();
+        let whole = total.floor() as u64;
+        for i in 0..whole {
+            let ws = start + SimDuration::from_secs(i);
+            let we = ws + SimDuration::from_secs(1);
+            let n = self
+                .arrivals
+                .iter()
+                .filter(|&&t| t >= ws && t < we)
+                .count();
+            s.record(n as f64);
+        }
+        s.median()
+    }
+
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.arrivals
+    }
+}
+
+/// Jitter as mean absolute deviation of consecutive inter-arrival deltas:
+/// `mean(|d_i - d_{i-1}|)` where `d_i` is the i-th inter-frame gap. This
+/// is the RFC 3550-style instantaneous jitter the paper's Δ inter-frame
+/// receive-time plots correspond to.
+#[derive(Debug, Clone, Default)]
+pub struct JitterMeter {
+    last_arrival: Option<SimTime>,
+    last_seq: Option<u64>,
+    last_gap: Option<SimDuration>,
+    deltas_ms: Summary,
+}
+
+impl JitterMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, t: SimTime) {
+        if let Some(prev) = self.last_arrival {
+            let gap = t.saturating_since(prev);
+            if let Some(pg) = self.last_gap {
+                let delta = if gap >= pg { gap - pg } else { pg - gap };
+                self.deltas_ms.record(delta.as_millis_f64());
+            }
+            self.last_gap = Some(gap);
+        }
+        self.last_arrival = Some(t);
+    }
+
+    /// Sequence-aware recording: a gap only counts when `seq` directly
+    /// follows the previously received sequence number, so jitter
+    /// reflects delivery-time variation rather than holes left by
+    /// dropped frames (the paper plots Δ inter-frame *receive* time of
+    /// frames that arrive).
+    pub fn record_seq(&mut self, seq: u64, t: SimTime) {
+        let consecutive = self.last_seq == Some(seq.wrapping_sub(1));
+        if consecutive {
+            if let Some(prev) = self.last_arrival {
+                let gap = t.saturating_since(prev);
+                if let Some(pg) = self.last_gap {
+                    let delta = if gap >= pg { gap - pg } else { pg - gap };
+                    self.deltas_ms.record(delta.as_millis_f64());
+                }
+                self.last_gap = Some(gap);
+            }
+        } else {
+            self.last_gap = None;
+        }
+        self.last_seq = Some(seq);
+        self.last_arrival = Some(t);
+    }
+
+    /// Grid-based recording: measures how far the inter-arrival gap lies
+    /// from the nearest multiple of the source frame period. A punctual
+    /// stream with drops has gaps of k × period → zero jitter; queueing
+    /// and network variance pull arrivals off the grid → jitter grows,
+    /// bounded by period/2. This matches the paper's observation that
+    /// jitter rises with frame drops yet stays below ~half the 33 ms
+    /// inter-frame time.
+    pub fn record_grid(&mut self, t: SimTime, period: SimDuration) {
+        if let Some(prev) = self.last_arrival {
+            let gap = t.saturating_since(prev).as_millis_f64();
+            let p = period.as_millis_f64();
+            if p > 0.0 && gap > 0.0 {
+                let excess = gap - p * (gap / p).round();
+                self.deltas_ms.record(excess.abs());
+            }
+        }
+        self.last_arrival = Some(t);
+    }
+
+    /// Mean |Δ inter-frame gap| in milliseconds.
+    pub fn jitter_ms(&self) -> f64 {
+        self.deltas_ms.mean()
+    }
+
+    /// 95th-percentile jitter in milliseconds.
+    pub fn p95_ms(&mut self) -> f64 {
+        self.deltas_ms.p95()
+    }
+
+    pub fn sample_count(&self) -> usize {
+        self.deltas_ms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn rate_over_counts_in_window() {
+        let mut r = RateMeter::new();
+        for i in 0..60 {
+            r.record(SimTime::from_millis(i * 50)); // 20 events/s for 3s
+        }
+        let rate = r.rate_over(SimTime::ZERO, SimTime::from_secs(3));
+        assert!((rate - 20.0).abs() < 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn median_rate_robust_to_tail() {
+        let mut r = RateMeter::new();
+        // 30/s for 4 seconds, then nothing for 1 second.
+        for i in 0..120 {
+            r.record(SimTime::from_nanos(i * 33_333_333));
+        }
+        let med = r.median_per_second_rate(SimTime::ZERO, SimTime::from_secs(5));
+        assert!(med >= 29.0, "median {med}");
+        let avg = r.rate_over(SimTime::ZERO, SimTime::from_secs(5));
+        assert!(avg < 25.0, "average {avg} should be dragged down by the idle tail");
+    }
+
+    #[test]
+    fn perfectly_periodic_stream_has_zero_jitter() {
+        let mut j = JitterMeter::new();
+        for i in 0..100 {
+            j.record(t(i * 33));
+        }
+        assert_eq!(j.jitter_ms(), 0.0);
+        assert_eq!(j.sample_count(), 98);
+    }
+
+    #[test]
+    fn alternating_gaps_have_constant_jitter() {
+        let mut j = JitterMeter::new();
+        // Gaps alternate 30ms, 40ms → |Δ| is always 10ms.
+        let mut now = 0;
+        for i in 0..50 {
+            now += if i % 2 == 0 { 30 } else { 40 };
+            j.record(t(now));
+        }
+        assert!((j.jitter_ms() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_jitter_zero_for_punctual_stream_with_drops() {
+        let mut j = JitterMeter::new();
+        let period = SimDuration::from_millis(30);
+        // Frames at 0, 30, 90, 120 (one dropped at 60): all on the grid.
+        for ms in [0u64, 30, 90, 120] {
+            j.record_grid(t(ms), period);
+        }
+        assert_eq!(j.jitter_ms(), 0.0);
+    }
+
+    #[test]
+    fn grid_jitter_measures_off_grid_arrivals() {
+        let mut j = JitterMeter::new();
+        let period = SimDuration::from_millis(30);
+        j.record_grid(t(0), period);
+        j.record_grid(t(37), period); // 7 ms off the grid
+        assert!((j.jitter_ms() - 7.0).abs() < 1e-9);
+        j.record_grid(t(37 + 55), period); // 55 → 5 ms from 60
+        assert!((j.jitter_ms() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_than_three_arrivals_no_jitter_samples() {
+        let mut j = JitterMeter::new();
+        j.record(t(0));
+        j.record(t(33));
+        assert_eq!(j.sample_count(), 0);
+        assert_eq!(j.jitter_ms(), 0.0);
+    }
+}

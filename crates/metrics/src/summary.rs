@@ -1,0 +1,218 @@
+//! Exact streaming summary statistics.
+//!
+//! Stores every sample; our longest experiment produces a few hundred
+//! thousand latency samples per run, so exactness is affordable and saves
+//! us from arguing about sketch error bars when comparing against the
+//! paper's reported medians.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact summary of a stream of `f64` samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sum: f64,
+    /// Lazily sorted copy; invalidated on insert.
+    #[serde(skip)]
+    sorted: Option<Vec<f64>>,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample. Non-finite samples are rejected (they would
+    /// poison every aggregate) and counted nowhere; callers validating
+    /// model output should check [`Summary::len`] against expectations.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.samples.push(x);
+        self.sum += x;
+        self.sorted = None;
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.sum / self.samples.len() as f64
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Quantile by linear interpolation between closest ranks.
+    /// `q` is clamped to `[0, 1]`. Returns 0 on an empty summary.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sorted = self.sorted.get_or_insert_with(|| {
+            let mut v = self.samples.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample slipped in"));
+            v
+        });
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.sorted = None;
+    }
+
+    /// Borrow the raw samples (insertion order).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let mut s = Summary::new();
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+    }
+
+    #[test]
+    fn basic_stats() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(x);
+        }
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.median(), 3.0);
+        assert!((s.std_dev() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut s = Summary::new();
+        for x in [0.0, 10.0] {
+            s.record(x);
+        }
+        assert_eq!(s.quantile(0.5), 5.0);
+        assert_eq!(s.quantile(0.25), 2.5);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut s = Summary::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        a.record(1.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn insert_after_quantile_invalidates_cache() {
+        let mut s = Summary::new();
+        s.record(1.0);
+        assert_eq!(s.median(), 1.0);
+        s.record(100.0);
+        assert_eq!(s.median(), 50.5);
+    }
+
+    proptest! {
+        #[test]
+        fn quantiles_are_monotone_and_bounded(
+            mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let mut s = Summary::new();
+            for &x in &xs { s.record(x); }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = (q1.min(q2), q1.max(q2));
+            let vlo = s.quantile(lo);
+            let vhi = s.quantile(hi);
+            prop_assert!(vlo <= vhi + 1e-9);
+            prop_assert!(vlo >= xs[0] - 1e-9);
+            prop_assert!(vhi <= xs[xs.len() - 1] + 1e-9);
+        }
+
+        #[test]
+        fn mean_between_min_and_max(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        ) {
+            let mut s = Summary::new();
+            for &x in &xs { s.record(x); }
+            prop_assert!(s.mean() >= s.min() - 1e-6);
+            prop_assert!(s.mean() <= s.max() + 1e-6);
+        }
+    }
+}

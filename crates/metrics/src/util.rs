@@ -1,0 +1,160 @@
+//! Busy-time utilization integration.
+//!
+//! The paper normalizes CPU/GPU utilization "against the total number of
+//! available cores, which allows us to compare performance over edge-cloud
+//! machines with different capacities". [`Utilization`] integrates busy
+//! intervals on a resource with `capacity` parallel units and reports the
+//! normalized percentage over an observation window.
+
+use simcore::{SimDuration, SimTime};
+
+/// Integrates busy time over a resource with a fixed parallel capacity.
+///
+/// `begin`/`end` calls may overlap (multiple service replicas or multiple
+/// cores busy simultaneously); the meter tracks the instantaneous busy
+/// count and integrates `busy_count / capacity` over time.
+#[derive(Debug, Clone)]
+pub struct Utilization {
+    capacity: f64,
+    busy: u32,
+    last_change: SimTime,
+    /// Integral of busy-units × time, in unit-nanoseconds.
+    acc_unit_ns: f64,
+    window_start: SimTime,
+    peak_busy: u32,
+}
+
+impl Utilization {
+    /// `capacity` is the number of parallel units (cores, SMs normalized
+    /// to 100%-units, …). Must be positive.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0);
+        Utilization {
+            capacity,
+            busy: 0,
+            last_change: SimTime::ZERO,
+            acc_unit_ns: 0.0,
+            window_start: SimTime::ZERO,
+            peak_busy: 0,
+        }
+    }
+
+    fn settle(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_change).as_nanos() as f64;
+        self.acc_unit_ns += dt * self.busy as f64;
+        self.last_change = now;
+    }
+
+    /// One unit became busy at `now`.
+    pub fn begin(&mut self, now: SimTime) {
+        self.settle(now);
+        self.busy += 1;
+        self.peak_busy = self.peak_busy.max(self.busy);
+    }
+
+    /// One unit became idle at `now`. Unbalanced `end` calls are a logic
+    /// error upstream and panic in debug builds.
+    pub fn end(&mut self, now: SimTime) {
+        self.settle(now);
+        debug_assert!(self.busy > 0, "Utilization::end without matching begin");
+        self.busy = self.busy.saturating_sub(1);
+    }
+
+    /// Record a closed busy interval of length `d` ending at `now` —
+    /// convenience for one-shot service executions.
+    pub fn add_busy(&mut self, now: SimTime, d: SimDuration) {
+        self.settle(now);
+        self.acc_unit_ns += d.as_nanos() as f64;
+        self.peak_busy = self.peak_busy.max(1);
+    }
+
+    /// Normalized utilization percentage over `[window_start, now]`:
+    /// `100 × busy-unit-time / (capacity × elapsed)`.
+    pub fn percent(&mut self, now: SimTime) -> f64 {
+        self.settle(now);
+        let elapsed = now.saturating_since(self.window_start).as_nanos() as f64;
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.acc_unit_ns / (self.capacity * elapsed)
+    }
+
+    /// Reset the observation window, keeping current busy state.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.settle(now);
+        self.acc_unit_ns = 0.0;
+        self.window_start = now;
+        self.peak_busy = self.busy;
+    }
+
+    /// Highest simultaneous busy count observed in the window.
+    pub fn peak(&self) -> u32 {
+        self.peak_busy
+    }
+
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn fully_busy_is_100_percent_per_unit() {
+        let mut u = Utilization::new(4.0);
+        u.begin(t(0));
+        u.end(t(1000));
+        // 1 of 4 units busy the whole window → 25%.
+        assert!((u.percent(t(1000)) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_intervals_stack() {
+        let mut u = Utilization::new(2.0);
+        u.begin(t(0));
+        u.begin(t(0));
+        u.end(t(500));
+        u.end(t(1000));
+        // unit-time = 2×0.5s + 1×0.5s = 1.5 unit-s over 2 × 1s → 75%.
+        assert!((u.percent(t(1000)) - 75.0).abs() < 1e-9);
+        assert_eq!(u.peak(), 2);
+    }
+
+    #[test]
+    fn add_busy_accumulates() {
+        let mut u = Utilization::new(1.0);
+        u.add_busy(t(100), SimDuration::from_millis(50));
+        assert!((u.percent(t(1000)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_window_clears_history() {
+        let mut u = Utilization::new(1.0);
+        u.begin(t(0));
+        u.end(t(1000));
+        u.reset_window(t(1000));
+        assert_eq!(u.percent(t(2000)), 0.0);
+    }
+
+    #[test]
+    fn idle_meter_reads_zero() {
+        let mut u = Utilization::new(8.0);
+        assert_eq!(u.percent(t(500)), 0.0);
+    }
+
+    #[test]
+    fn busy_across_percent_call_keeps_integrating() {
+        let mut u = Utilization::new(1.0);
+        u.begin(t(0));
+        assert!((u.percent(t(500)) - 100.0).abs() < 1e-9);
+        assert!((u.percent(t(1000)) - 100.0).abs() < 1e-9);
+        u.end(t(1000));
+        assert!((u.percent(t(2000)) - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Machine inventory: the heterogeneous edge-cloud hardware of §3.2.
+
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+
+/// GPU micro-architecture, which determines both container-image
+/// compatibility (sm code versions) and the relative speed multiplier of
+/// the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuArch {
+    /// E1: NVIDIA RTX 2080 (Turing consumer card).
+    GeForceRtx,
+    /// E2: NVIDIA A40 (Ampere data-centre card).
+    Ampere,
+    /// Cloud: NVIDIA Tesla V100 (Volta, virtualized).
+    Tesla,
+}
+
+impl GpuArch {
+    /// Relative service-time multiplier vs the E1 baseline, calibrated so
+    /// the reproduced figures match the paper's shapes: E2's A40s process
+    /// frames faster ("explained by the hardware capabilities of the
+    /// former"), while the virtualized V100 — an architecture the images
+    /// were not optimized for — runs slower despite ample raw capacity.
+    pub fn speed_multiplier(self) -> f64 {
+        match self {
+            GpuArch::GeForceRtx => 1.0,
+            GpuArch::Ampere => 0.80,
+            GpuArch::Tesla => 1.35,
+        }
+    }
+
+    /// Fraction of the wall-clock service time that actually occupies a
+    /// GPU execution slot. The V100 executes kernels quickly — the
+    /// paper's cloud slowdown is virtualization and image/arch mismatch,
+    /// explicitly *not* GPU saturation ("performance decrease is not due
+    /// to hardware bottlenecks") — so Tesla's occupancy is low while its
+    /// wall multiplier is high.
+    pub fn gpu_occupancy_multiplier(self) -> f64 {
+        match self {
+            GpuArch::GeForceRtx => 1.0,
+            GpuArch::Ampere => 0.80,
+            GpuArch::Tesla => 0.85,
+        }
+    }
+}
+
+/// A physical (or virtual) machine in the cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineSpec {
+    pub name: String,
+    /// Network identity in the `simnet` topology.
+    pub net: NodeId,
+    /// Logical CPU cores (normalization base for CPU %).
+    pub cpu_cores: u32,
+    /// Installed memory in GB.
+    pub memory_gb: f64,
+    /// GPUs: architecture and count.
+    pub gpu_arch: Option<GpuArch>,
+    pub gpu_count: u32,
+    /// Virtualized instance (cloud VM): service times suffer occasional
+    /// hypervisor-scheduling spikes.
+    pub virtualized: bool,
+}
+
+impl MachineSpec {
+    /// E1: Intel i9 (16 threads), 2× RTX 2080, 128 GB.
+    pub fn edge1(net: NodeId) -> Self {
+        MachineSpec {
+            name: "E1".into(),
+            net,
+            cpu_cores: 16,
+            memory_gb: 128.0,
+            gpu_arch: Some(GpuArch::GeForceRtx),
+            gpu_count: 2,
+            virtualized: false,
+        }
+    }
+
+    /// E2: 2× AMD EPYC 7302 (64 threads), 2× A40, 264 GB.
+    pub fn edge2(net: NodeId) -> Self {
+        MachineSpec {
+            name: "E2".into(),
+            net,
+            cpu_cores: 64,
+            memory_gb: 264.0,
+            gpu_arch: Some(GpuArch::Ampere),
+            gpu_count: 2,
+            virtualized: false,
+        }
+    }
+
+    /// Cloud: 4 vCPU Broadwell, 1× Tesla V100, 64 GB.
+    pub fn cloud(net: NodeId) -> Self {
+        MachineSpec {
+            name: "cloud".into(),
+            net,
+            cpu_cores: 4,
+            memory_gb: 64.0,
+            gpu_arch: Some(GpuArch::Tesla),
+            gpu_count: 1,
+            virtualized: true,
+        }
+    }
+
+    /// Client NUC host: no GPU.
+    pub fn client_host(net: NodeId) -> Self {
+        MachineSpec {
+            name: "client-host".into(),
+            net,
+            cpu_cores: 4,
+            memory_gb: 32.0,
+            gpu_arch: None,
+            gpu_count: 0,
+            virtualized: false,
+        }
+    }
+
+    pub fn has_gpu(&self) -> bool {
+        self.gpu_arch.is_some() && self.gpu_count > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_hardware() {
+        let e1 = MachineSpec::edge1(NodeId(0));
+        assert_eq!(e1.gpu_arch, Some(GpuArch::GeForceRtx));
+        assert_eq!(e1.gpu_count, 2);
+        assert_eq!(e1.memory_gb, 128.0);
+        let e2 = MachineSpec::edge2(NodeId(1));
+        assert_eq!(e2.gpu_arch, Some(GpuArch::Ampere));
+        assert_eq!(e2.memory_gb, 264.0);
+        let c = MachineSpec::cloud(NodeId(2));
+        assert_eq!(c.gpu_arch, Some(GpuArch::Tesla));
+        assert_eq!(c.cpu_cores, 4);
+        assert!(!MachineSpec::client_host(NodeId(3)).has_gpu());
+    }
+
+    #[test]
+    fn speed_ordering_matches_observations() {
+        // E2 fastest, E1 baseline, virtualized cloud slowest.
+        assert!(GpuArch::Ampere.speed_multiplier() < GpuArch::GeForceRtx.speed_multiplier());
+        assert!(GpuArch::Tesla.speed_multiplier() > GpuArch::GeForceRtx.speed_multiplier());
+    }
+}

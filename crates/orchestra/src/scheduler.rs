@@ -1,0 +1,184 @@
+//! Automatic SLA-driven placement — what Oakestra does when the operator
+//! does *not* pin services to machines.
+//!
+//! The paper pins every configuration by hand (C1, C12, replica
+//! vectors); this module adds the orchestrator-chosen alternative so
+//! experiments can compare hand placement against three standard
+//! scheduling disciplines over the same SLA set.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::sla::{PlacementSpec, ServiceSla};
+
+/// Placement discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Discipline {
+    /// First machine (by inventory order) that satisfies the SLA —
+    /// k8s-default-like bin packing.
+    FirstFit,
+    /// Machine with the most unallocated CPU after placement — spreads
+    /// load, akin to `LeastAllocated`.
+    LeastLoaded,
+    /// Round-robin over admissible machines — naive spreading.
+    RoundRobin,
+}
+
+/// A computed placement plus its per-machine allocation summary.
+#[derive(Debug, Clone)]
+pub struct SchedulePlan {
+    pub placement: PlacementSpec,
+    /// `(machine name, instances assigned)`.
+    pub assignments_per_machine: Vec<(String, usize)>,
+}
+
+/// Compute a placement for `replicas[i]` instances of `slas[i]` without
+/// mutating `cluster` (pure planning; deploy with
+/// [`Cluster::deploy_placement`]). Returns `Err` when some instance fits
+/// nowhere.
+pub fn schedule(
+    cluster: &Cluster,
+    slas: &[ServiceSla],
+    replicas: &[usize],
+    discipline: Discipline,
+) -> Result<SchedulePlan, String> {
+    assert_eq!(slas.len(), replicas.len(), "slas/replicas length mismatch");
+    // Planning copies of per-machine remaining capacity.
+    let mut remaining: Vec<(f64, f64)> = cluster
+        .machines()
+        .iter()
+        .map(|m| (m.cpu_cores as f64, m.memory_gb))
+        .collect();
+    let mut counts = vec![0usize; cluster.machines().len()];
+    let mut rr_cursor = 0usize;
+    let mut assignments: Vec<(String, Vec<String>)> = Vec::new();
+
+    for (sla, &n) in slas.iter().zip(replicas) {
+        let mut machines_for_service = Vec::new();
+        for _ in 0..n {
+            let admissible: Vec<usize> = cluster
+                .machines()
+                .iter()
+                .enumerate()
+                .filter(|(i, m)| {
+                    sla.admissible(m)
+                        && remaining[*i].0 >= sla.cpu_cores
+                        && remaining[*i].1 >= sla.memory_gb
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if admissible.is_empty() {
+                return Err(format!("no machine fits {}", sla.service));
+            }
+            let chosen = match discipline {
+                Discipline::FirstFit => admissible[0],
+                Discipline::LeastLoaded => *admissible
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        // Most remaining CPU fraction after placement.
+                        let fa = (remaining[a].0 - sla.cpu_cores)
+                            / cluster.machines()[a].cpu_cores as f64;
+                        let fb = (remaining[b].0 - sla.cpu_cores)
+                            / cluster.machines()[b].cpu_cores as f64;
+                        fa.partial_cmp(&fb).expect("finite fractions")
+                    })
+                    .expect("non-empty admissible set"),
+                Discipline::RoundRobin => {
+                    let pick = admissible[rr_cursor % admissible.len()];
+                    rr_cursor += 1;
+                    pick
+                }
+            };
+            remaining[chosen].0 -= sla.cpu_cores;
+            remaining[chosen].1 -= sla.memory_gb;
+            counts[chosen] += 1;
+            machines_for_service.push(cluster.machines()[chosen].name.clone());
+        }
+        assignments.push((sla.service.clone(), machines_for_service));
+    }
+
+    Ok(SchedulePlan {
+        placement: PlacementSpec { assignments },
+        assignments_per_machine: cluster
+            .machines()
+            .iter()
+            .zip(&counts)
+            .map(|(m, &c)| (m.name.clone(), c))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    fn cluster() -> Cluster {
+        Cluster::testbed(NodeId(1), NodeId(2), NodeId(3))
+    }
+
+    fn slas() -> Vec<ServiceSla> {
+        vec![
+            ServiceSla::new("primary", 0.5, 1.0, false),
+            ServiceSla::new("sift", 1.0, 2.0, true),
+            ServiceSla::new("encoding", 1.0, 2.0, true),
+            ServiceSla::new("lsh", 1.0, 2.0, true),
+            ServiceSla::new("matching", 1.0, 2.0, true),
+        ]
+    }
+
+    #[test]
+    fn first_fit_packs_the_first_machine() {
+        let plan = schedule(&cluster(), &slas(), &[1; 5], Discipline::FirstFit).unwrap();
+        // Inventory order is E1, E2, cloud: everything fits on E1.
+        assert_eq!(plan.assignments_per_machine[0], ("E1".to_string(), 5));
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_big_machine() {
+        let plan = schedule(&cluster(), &slas(), &[1; 5], Discipline::LeastLoaded).unwrap();
+        // E2 has 64 cores — losing one core costs it the least fraction.
+        let e2 = plan
+            .assignments_per_machine
+            .iter()
+            .find(|(n, _)| n == "E2")
+            .unwrap();
+        assert!(e2.1 >= 4, "E2 should host most services: {:?}", plan.assignments_per_machine);
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let plan = schedule(&cluster(), &slas(), &[1; 5], Discipline::RoundRobin).unwrap();
+        let hosting = plan
+            .assignments_per_machine
+            .iter()
+            .filter(|(_, c)| *c > 0)
+            .count();
+        assert!(hosting >= 2, "round-robin should use several machines");
+    }
+
+    #[test]
+    fn plan_is_deployable() {
+        let mut c = cluster();
+        let plan = schedule(&c, &slas(), &[1, 2, 1, 1, 2], Discipline::LeastLoaded).unwrap();
+        assert_eq!(plan.placement.total_instances(), 7);
+        c.deploy_placement(&slas(), &plan.placement)
+            .expect("planned placement must deploy");
+    }
+
+    #[test]
+    fn gpu_constraint_respected_in_planning() {
+        // A cluster whose only machine lacks a GPU cannot host sift.
+        let c = Cluster::new(vec![crate::node::MachineSpec::client_host(NodeId(0))]);
+        let err = schedule(&c, &slas(), &[1; 5], Discipline::FirstFit).unwrap_err();
+        assert!(err.contains("sift") || err.contains("no machine"), "{err}");
+    }
+
+    #[test]
+    fn capacity_exhaustion_detected() {
+        let c = cluster();
+        // 1000 sift replicas cannot fit anywhere.
+        let slas = vec![ServiceSla::new("sift", 2.0, 4.0, true)];
+        assert!(schedule(&c, &slas, &[1000], Discipline::LeastLoaded).is_err());
+    }
+}

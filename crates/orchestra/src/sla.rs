@@ -1,0 +1,143 @@
+//! Service-level agreements and placement specifications.
+//!
+//! Oakestra deployments describe each service's demands and hardware
+//! constraints as an SLA; the orchestrator finds machines that satisfy
+//! them. The paper additionally *pins* services to machines to realize
+//! its named configurations (C1, C2, C12, C21, replica vectors) — we
+//! model both paths.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::MachineSpec;
+
+/// Resource demands and constraints of one pipeline service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceSla {
+    pub service: String,
+    /// CPU cores requested.
+    pub cpu_cores: f64,
+    /// Memory requested in GB.
+    pub memory_gb: f64,
+    /// Whether the service needs a GPU (all scAtteR services but
+    /// `primary` do).
+    pub needs_gpu: bool,
+}
+
+impl ServiceSla {
+    pub fn new(service: &str, cpu_cores: f64, memory_gb: f64, needs_gpu: bool) -> Self {
+        ServiceSla {
+            service: service.into(),
+            cpu_cores,
+            memory_gb,
+            needs_gpu,
+        }
+    }
+
+    /// Does `machine` satisfy this SLA's constraints? (Capacity is
+    /// checked against *installed* resources; admission control against
+    /// current allocations happens in the cluster.)
+    pub fn admissible(&self, machine: &MachineSpec) -> bool {
+        if self.needs_gpu && !machine.has_gpu() {
+            return false;
+        }
+        self.cpu_cores <= machine.cpu_cores as f64 && self.memory_gb <= machine.memory_gb
+    }
+}
+
+/// Where to run each replica of each service: the paper's configuration
+/// vectors, e.g. `[E1, E1, E2, E2, E2]` or replica counts `[1,2,2,1,2]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PlacementSpec {
+    /// `replicas[service] = machines to run one replica on each`.
+    /// Order: (service name, machine names).
+    pub assignments: Vec<(String, Vec<String>)>,
+}
+
+impl PlacementSpec {
+    /// Single replica of each service, all on one machine (the paper's
+    /// C1 / C2 / cloud-only configurations).
+    pub fn all_on(services: &[&str], machine: &str) -> Self {
+        PlacementSpec {
+            assignments: services
+                .iter()
+                .map(|s| (s.to_string(), vec![machine.to_string()]))
+                .collect(),
+        }
+    }
+
+    /// One replica per service with an explicit machine per pipeline
+    /// position (C12 / C21 / hybrid).
+    pub fn pipeline(services: &[&str], machines: &[&str]) -> Self {
+        assert_eq!(services.len(), machines.len(), "length mismatch");
+        PlacementSpec {
+            assignments: services
+                .iter()
+                .zip(machines)
+                .map(|(s, m)| (s.to_string(), vec![m.to_string()]))
+                .collect(),
+        }
+    }
+
+    /// Arbitrary replica sets per service.
+    pub fn replicated(assignments: &[(&str, &[&str])]) -> Self {
+        PlacementSpec {
+            assignments: assignments
+                .iter()
+                .map(|(s, ms)| (s.to_string(), ms.iter().map(|m| m.to_string()).collect()))
+                .collect(),
+        }
+    }
+
+    pub fn replicas_of(&self, service: &str) -> Option<&[String]> {
+        self.assignments
+            .iter()
+            .find(|(s, _)| s == service)
+            .map(|(_, ms)| ms.as_slice())
+    }
+
+    /// Total instance count across services.
+    pub fn total_instances(&self) -> usize {
+        self.assignments.iter().map(|(_, ms)| ms.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    #[test]
+    fn gpu_constraint_enforced() {
+        let sla = ServiceSla::new("sift", 2.0, 4.0, true);
+        assert!(sla.admissible(&MachineSpec::edge1(NodeId(0))));
+        assert!(!sla.admissible(&MachineSpec::client_host(NodeId(1))));
+    }
+
+    #[test]
+    fn capacity_constraints_enforced() {
+        let heavy = ServiceSla::new("sift", 32.0, 8.0, false);
+        assert!(!heavy.admissible(&MachineSpec::cloud(NodeId(0))));
+        assert!(heavy.admissible(&MachineSpec::edge2(NodeId(0))));
+    }
+
+    #[test]
+    fn all_on_builds_single_machine_config() {
+        let p = PlacementSpec::all_on(&["primary", "sift"], "E1");
+        assert_eq!(p.replicas_of("primary").unwrap(), &["E1".to_string()]);
+        assert_eq!(p.total_instances(), 2);
+    }
+
+    #[test]
+    fn pipeline_maps_positionally() {
+        let p = PlacementSpec::pipeline(&["a", "b", "c"], &["E1", "E1", "E2"]);
+        assert_eq!(p.replicas_of("c").unwrap(), &["E2".to_string()]);
+    }
+
+    #[test]
+    fn replicated_configuration() {
+        let p = PlacementSpec::replicated(&[("sift", &["E1", "E2"]), ("lsh", &["E2"])]);
+        assert_eq!(p.replicas_of("sift").unwrap().len(), 2);
+        assert_eq!(p.total_instances(), 3);
+        assert!(p.replicas_of("nope").is_none());
+    }
+}

@@ -1,0 +1,207 @@
+//! Application-aware autoscaling — the paper's future-work proposal
+//! made concrete.
+//!
+//! §6 ("Application-Aware Orchestration"): hardware-level utilization is
+//! the only signal orchestrators like Kubernetes or Oakestra see, yet
+//! the paper shows it *anti-correlates* with AR QoS under congestion
+//! (services stall on drops, so utilization falls exactly when the app
+//! needs help). The proposed fix is to bridge the virtualization
+//! boundary via the scAtteR++ sidecar, "providing predefined hooks for
+//! the orchestrator to access internal application metrics".
+//!
+//! This module implements both worlds so experiments can compare them:
+//!
+//! - [`ScalePolicy::HardwareDriven`]: a k8s-HPA-style controller that
+//!   scales the service whose instances show the highest busy fraction,
+//!   once it crosses a utilization threshold — all it can see from
+//!   outside the container;
+//! - [`ScalePolicy::ApplicationAware`]: the sidecar-hook controller that
+//!   scales the service with the highest *ingress drop ratio* — the QoS
+//!   signal the paper shows actually tracks the bottleneck.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// When and how the controller scales out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalePolicy {
+    /// Scale the busiest service once its busy fraction exceeds the
+    /// threshold (0–1).
+    HardwareDriven { busy_threshold: f64 },
+    /// Scale the droppiest service once its window drop ratio exceeds
+    /// the threshold (0–1).
+    ApplicationAware { drop_threshold: f64 },
+}
+
+/// Autoscaler configuration for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleConfig {
+    pub policy: ScalePolicy,
+    /// Evaluation interval.
+    pub interval: SimDuration,
+    /// Hard cap on replicas per service.
+    pub max_replicas: usize,
+    /// Machines eligible to host new replicas (GPU machines only).
+    pub spread_over: MachinePool,
+}
+
+/// Which machines scale-out replicas may land on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachinePool {
+    /// E1 and E2, least-loaded first.
+    Edge,
+    /// E1, E2 and the cloud VM.
+    EdgeAndCloud,
+}
+
+impl AutoscaleConfig {
+    pub fn hardware(busy_threshold: f64) -> Self {
+        AutoscaleConfig {
+            policy: ScalePolicy::HardwareDriven { busy_threshold },
+            interval: SimDuration::from_secs(5),
+            max_replicas: 3,
+            spread_over: MachinePool::Edge,
+        }
+    }
+
+    pub fn application_aware(drop_threshold: f64) -> Self {
+        AutoscaleConfig {
+            policy: ScalePolicy::ApplicationAware { drop_threshold },
+            interval: SimDuration::from_secs(5),
+            max_replicas: 3,
+            spread_over: MachinePool::Edge,
+        }
+    }
+}
+
+/// One scale-out action taken during a run (reported post-hoc).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleEvent {
+    pub at: simcore::SimTime,
+    pub service: crate::message::ServiceKind,
+    pub machine: String,
+    /// The signal value that triggered the action.
+    pub signal: f64,
+}
+
+/// Pick the scale-out target given per-service window signals.
+///
+/// `signals[i] = (busy_fraction, drop_ratio)` for service kind `i`;
+/// `replica_counts[i]` the current replica count. Returns the kind index
+/// to scale and the triggering signal value.
+pub fn pick_target(
+    policy: ScalePolicy,
+    signals: &[(f64, f64); 5],
+    replica_counts: &[usize; 5],
+    max_replicas: usize,
+) -> Option<(usize, f64)> {
+    let metric = |i: usize| match policy {
+        ScalePolicy::HardwareDriven { .. } => signals[i].0,
+        ScalePolicy::ApplicationAware { .. } => signals[i].1,
+    };
+    let threshold = match policy {
+        ScalePolicy::HardwareDriven { busy_threshold } => busy_threshold,
+        ScalePolicy::ApplicationAware { drop_threshold } => drop_threshold,
+    };
+    (0..5)
+        .filter(|&i| replica_counts[i] < max_replicas)
+        .map(|i| (i, metric(i)))
+        .filter(|&(_, m)| m > threshold)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite metrics"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTS: [usize; 5] = [1, 1, 1, 1, 1];
+
+    #[test]
+    fn hardware_policy_picks_busiest() {
+        let signals = [(0.3, 0.9), (0.95, 0.0), (0.5, 0.2), (0.1, 0.0), (0.7, 0.4)];
+        let picked = pick_target(
+            ScalePolicy::HardwareDriven { busy_threshold: 0.6 },
+            &signals,
+            &COUNTS,
+            3,
+        );
+        assert_eq!(picked, Some((1, 0.95)));
+    }
+
+    #[test]
+    fn app_policy_picks_droppiest() {
+        let signals = [(0.3, 0.9), (0.95, 0.0), (0.5, 0.2), (0.1, 0.0), (0.7, 0.4)];
+        let picked = pick_target(
+            ScalePolicy::ApplicationAware { drop_threshold: 0.15 },
+            &signals,
+            &COUNTS,
+            3,
+        );
+        assert_eq!(picked, Some((0, 0.9)));
+    }
+
+    #[test]
+    fn below_threshold_no_action() {
+        let signals = [(0.3, 0.05); 5];
+        assert_eq!(
+            pick_target(
+                ScalePolicy::HardwareDriven { busy_threshold: 0.6 },
+                &signals,
+                &COUNTS,
+                3
+            ),
+            None
+        );
+        assert_eq!(
+            pick_target(
+                ScalePolicy::ApplicationAware { drop_threshold: 0.15 },
+                &signals,
+                &COUNTS,
+                3
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn replica_cap_respected() {
+        let signals = [(0.9, 0.9); 5];
+        let counts = [3, 3, 3, 3, 2];
+        let picked = pick_target(
+            ScalePolicy::ApplicationAware { drop_threshold: 0.1 },
+            &signals,
+            &counts,
+            3,
+        );
+        assert_eq!(picked.map(|(i, _)| i), Some(4), "only the uncapped service is eligible");
+    }
+
+    #[test]
+    fn the_papers_blind_spot() {
+        // The scenario insight (I) describes: QoS collapsing (drops
+        // everywhere) while utilization stalls LOW — the hardware policy
+        // sees nothing, the app-aware policy reacts.
+        let stalled = [(0.35, 0.45), (0.40, 0.55), (0.30, 0.20), (0.25, 0.10), (0.38, 0.60)];
+        assert_eq!(
+            pick_target(
+                ScalePolicy::HardwareDriven { busy_threshold: 0.7 },
+                &stalled,
+                &COUNTS,
+                3
+            ),
+            None,
+            "hardware policy is blind to the collapse"
+        );
+        assert_eq!(
+            pick_target(
+                ScalePolicy::ApplicationAware { drop_threshold: 0.15 },
+                &stalled,
+                &COUNTS,
+                3
+            )
+            .map(|(i, _)| i),
+            Some(4),
+            "app-aware policy targets the droppiest service"
+        );
+    }
+}

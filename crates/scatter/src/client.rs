@@ -1,0 +1,141 @@
+//! The AR client emulator.
+//!
+//! Each client replays the 10 s / 30 FPS / 720p workplace video in a loop
+//! (the paper's containerized NUC clients), streaming one frame every
+//! 33.3 ms with a per-client phase offset, and records QoS on the frames
+//! that come back: FPS, end-to-end latency, jitter, and success rate.
+
+use metrics::{JitterMeter, RateMeter, Summary};
+use simcore::{SimDuration, SimTime};
+
+/// Inter-frame period of the 30 FPS source.
+pub const FRAME_PERIOD: SimDuration = SimDuration::from_nanos(33_333_333);
+
+/// One emulated client and its QoS collectors.
+pub struct ClientState {
+    pub id: usize,
+    /// First emission instant (staggered arrivals in fig. 12).
+    pub start_at: SimTime,
+    /// Frames emitted so far.
+    pub emitted: u64,
+    /// Frames whose processed result came back.
+    pub completed: u64,
+    /// Frames emitted after the warmup boundary (success-rate base).
+    pub emitted_measured: u64,
+    /// Completions after the warmup boundary.
+    pub completed_measured: u64,
+    /// Completed-frame arrival instants → FPS.
+    pub rate: RateMeter,
+    /// Δ inter-frame receive-time jitter.
+    pub jitter: JitterMeter,
+    /// End-to-end latency samples, ms.
+    pub e2e_ms: Summary,
+    /// Frame numbers of completed frames (for gap statistics).
+    pub completed_frames: Vec<u64>,
+}
+
+impl ClientState {
+    pub fn new(id: usize, start_at: SimTime) -> Self {
+        ClientState {
+            id,
+            start_at,
+            emitted: 0,
+            completed: 0,
+            emitted_measured: 0,
+            completed_measured: 0,
+            rate: RateMeter::new(),
+            jitter: JitterMeter::new(),
+            e2e_ms: Summary::new(),
+            completed_frames: Vec::new(),
+        }
+    }
+
+    /// Instant of the next frame emission.
+    pub fn next_emit_at(&self) -> SimTime {
+        self.start_at + FRAME_PERIOD * self.emitted
+    }
+
+    /// Record a processed frame arriving back at `now`, emitted at
+    /// `emitted_at`. Frames arriving during warmup are recorded for rate
+    /// purposes but the caller decides the aggregation window.
+    pub fn record_completion(&mut self, frame_no: u64, emitted_at: SimTime, now: SimTime) {
+        self.completed += 1;
+        self.rate.record(now);
+        self.completed_frames.push(frame_no);
+        self.jitter.record_grid(now, FRAME_PERIOD);
+        self.e2e_ms
+            .record(now.saturating_since(emitted_at).as_millis_f64());
+    }
+
+    /// Longest run of consecutive frame numbers missing between two
+    /// completions — how long the user's augmentation freezes. Bursty
+    /// loss concentrates misses into long freezes even at equal average
+    /// loss.
+    pub fn longest_freeze(&self) -> u64 {
+        let mut frames = self.completed_frames.clone();
+        frames.sort_unstable();
+        frames
+            .windows(2)
+            .map(|w| w[1].saturating_sub(w[0] + 1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Success rate over the measurement window (post-warmup).
+    pub fn success_rate(&self) -> f64 {
+        if self.emitted_measured == 0 {
+            0.0
+        } else {
+            self.completed_measured as f64 / self.emitted_measured as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_period_is_30fps() {
+        let fps = 1e9 / FRAME_PERIOD.as_nanos() as f64;
+        assert!((fps - 30.0).abs() < 0.01, "{fps}");
+    }
+
+    #[test]
+    fn emission_schedule_is_periodic() {
+        let mut c = ClientState::new(0, SimTime::from_millis(500));
+        assert_eq!(c.next_emit_at(), SimTime::from_millis(500));
+        c.emitted = 3;
+        let t = c.next_emit_at();
+        assert_eq!(t.as_millis(), 500 + 99); // 3 × 33.33 ms
+    }
+
+    #[test]
+    fn completion_updates_all_meters() {
+        let mut c = ClientState::new(0, SimTime::ZERO);
+        c.emitted = 2;
+        c.emitted_measured = 2;
+        c.record_completion(0, SimTime::from_millis(0), SimTime::from_millis(40));
+        c.record_completion(1, SimTime::from_millis(33), SimTime::from_millis(75));
+        c.completed_measured = 2;
+        assert_eq!(c.completed, 2);
+        assert_eq!(c.success_rate(), 1.0);
+        assert_eq!(c.e2e_ms.samples(), &[40.0, 42.0]);
+    }
+
+    #[test]
+    fn longest_freeze_finds_gaps() {
+        let mut c = ClientState::new(0, SimTime::ZERO);
+        for f in [0u64, 1, 2, 9, 10, 13] {
+            c.record_completion(f, SimTime::ZERO, SimTime::from_millis(40));
+        }
+        // Missing 3..=8 (6 frames) and 11..=12 (2 frames).
+        assert_eq!(c.longest_freeze(), 6);
+    }
+
+    #[test]
+    fn success_rate_handles_zero_emissions() {
+        let c = ClientState::new(0, SimTime::ZERO);
+        assert_eq!(c.success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Experiment configuration: pipeline mode, placement, workload, network
+//! conditions — one [`RunConfig`] fully determines one experiment run.
+
+use orchestra::PlacementSpec;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+use simnet::NetemProfile;
+
+use crate::message::SERVICE_NAMES;
+
+/// Which pipeline generation to run.
+///
+/// scAtteR++ bundles two independent design changes — a stateless `sift`
+/// and sidecar ingress queues. The two ablation modes apply each change
+/// alone, letting experiments attribute the improvement (the paper
+/// evaluates only the bundle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// The baseline: stateful `sift`, drop-on-busy services.
+    Scatter,
+    /// The redesign: stateless `sift`, sidecar queues with the 100 ms
+    /// staleness filter.
+    ScatterPP,
+    /// Ablation: stateless `sift` (no fetch loop, 480 KB frames) but
+    /// still drop-on-busy — no sidecar queues.
+    StatelessOnly,
+    /// Ablation: sidecar queues on every service, but `sift` stays
+    /// stateful and `matching` still fetches.
+    SidecarOnly,
+}
+
+impl Mode {
+    /// Does `sift` embed its state in the forwarded frame?
+    pub fn stateless_sift(self) -> bool {
+        matches!(self, Mode::ScatterPP | Mode::StatelessOnly)
+    }
+
+    /// Do services front their ingress with a sidecar queue?
+    pub fn sidecar_queue(self) -> bool {
+        matches!(self, Mode::ScatterPP | Mode::SidecarOnly)
+    }
+}
+
+/// One experiment run, fully specified.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub mode: Mode,
+    /// Service placement (machine names per replica).
+    pub placement: PlacementSpec,
+    /// Number of concurrent clients (each replays the 30 FPS video).
+    pub clients: usize,
+    /// Experiment length (the paper runs five minutes; tests use less).
+    pub duration: SimDuration,
+    /// Measurement warmup discarded from aggregates.
+    pub warmup: SimDuration,
+    /// Optional netem condition on the client ↔ ingress link (fig. 9).
+    pub netem: Option<NetemProfile>,
+    /// Root RNG seed: equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Staggered client arrivals: when set, client `i` starts emitting at
+    /// `i × stagger` (fig. 12's stepped load); otherwise all start at 0
+    /// with small phase offsets.
+    pub stagger: Option<SimDuration>,
+    /// Mid-run autoscaling (the paper's future-work proposal; see
+    /// [`crate::autoscale`]). `None` keeps the placement static.
+    pub autoscale: Option<crate::autoscale::AutoscaleConfig>,
+    /// Failure injection: `(crash time, service, replica)` — the
+    /// instance loses all in-memory state (including sift's frame
+    /// store and sidecar queue) and is re-deployed by the orchestrator
+    /// after `recovery`.
+    pub failures: Vec<(SimDuration, crate::message::ServiceKind, usize)>,
+    /// Orchestrator detection + container-restart delay.
+    pub recovery: SimDuration,
+    /// Live migrations: `(time, service, replica, target machine)` — the
+    /// instance is stopped, its image started on the target machine
+    /// after `recovery`, and traffic follows (the "dynamic migrations"
+    /// the paper's introduction calls largely unexplored).
+    pub migrations: Vec<(SimDuration, crate::message::ServiceKind, usize, String)>,
+}
+
+impl RunConfig {
+    pub fn new(mode: Mode, placement: PlacementSpec, clients: usize) -> Self {
+        RunConfig {
+            mode,
+            placement,
+            clients,
+            duration: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(5),
+            netem: None,
+            seed: 7,
+            stagger: None,
+            autoscale: None,
+            failures: Vec::new(),
+            recovery: SimDuration::from_secs(2),
+            migrations: Vec::new(),
+        }
+    }
+
+    pub fn with_duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    pub fn with_warmup(mut self, d: SimDuration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    pub fn with_netem(mut self, p: NetemProfile) -> Self {
+        self.netem = Some(p);
+        self
+    }
+
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    pub fn with_stagger(mut self, d: SimDuration) -> Self {
+        self.stagger = Some(d);
+        self
+    }
+
+    pub fn with_autoscale(mut self, a: crate::autoscale::AutoscaleConfig) -> Self {
+        self.autoscale = Some(a);
+        self
+    }
+
+    /// Schedule a crash of `service`'s replica `replica` at `at`.
+    pub fn with_failure(
+        mut self,
+        at: SimDuration,
+        service: crate::message::ServiceKind,
+        replica: usize,
+    ) -> Self {
+        self.failures.push((at, service, replica));
+        self
+    }
+
+    pub fn with_recovery(mut self, d: SimDuration) -> Self {
+        self.recovery = d;
+        self
+    }
+
+    /// Schedule a live migration of `service`'s replica to `machine`.
+    pub fn with_migration(
+        mut self,
+        at: SimDuration,
+        service: crate::message::ServiceKind,
+        replica: usize,
+        machine: &str,
+    ) -> Self {
+        self.migrations.push((at, service, replica, machine.into()));
+        self
+    }
+}
+
+/// The paper's named placement configurations (§4), in the figures'
+/// ordering `[primary, sift, encoding, lsh, matching]`.
+pub mod placements {
+    use super::*;
+
+    /// C1: all services on E1.
+    pub fn c1() -> PlacementSpec {
+        PlacementSpec::all_on(&SERVICE_NAMES, "E1")
+    }
+
+    /// C2: all services on E2.
+    pub fn c2() -> PlacementSpec {
+        PlacementSpec::all_on(&SERVICE_NAMES, "E2")
+    }
+
+    /// C12 = [E1, E1, E2, E2, E2]: ingress + stateful `sift` on E1.
+    pub fn c12() -> PlacementSpec {
+        PlacementSpec::pipeline(&SERVICE_NAMES, &["E1", "E1", "E2", "E2", "E2"])
+    }
+
+    /// C21 = [E2, E2, E1, E1, E1].
+    pub fn c21() -> PlacementSpec {
+        PlacementSpec::pipeline(&SERVICE_NAMES, &["E2", "E2", "E1", "E1", "E1"])
+    }
+
+    /// Cloud-only: the full pipeline on the AWS VM (fig. 4).
+    pub fn cloud_only() -> PlacementSpec {
+        PlacementSpec::all_on(&SERVICE_NAMES, "cloud")
+    }
+
+    /// Hybrid [E1, C, C, C, C] (fig. 11): ingress at the edge, the rest
+    /// in the cloud.
+    pub fn hybrid_edge_cloud() -> PlacementSpec {
+        PlacementSpec::pipeline(&SERVICE_NAMES, &["E1", "cloud", "cloud", "cloud", "cloud"])
+    }
+
+    /// Replica-count configuration over the baseline-on-E2 deployment:
+    /// counts `[primary, sift, encoding, lsh, matching]` where the first
+    /// replica lives on E2 and any additional replica on E1 ("QoS over E2
+    /// with another replica on E1", fig. 3). A third replica (fig. 7's
+    /// `[1,3,2,1,3]`) goes back on E2, using its second GPU.
+    pub fn replicas(counts: [usize; 5]) -> PlacementSpec {
+        let ring = ["E2", "E1", "E2"];
+        let assignments: Vec<(String, Vec<String>)> = SERVICE_NAMES
+            .iter()
+            .zip(counts)
+            .map(|(s, n)| {
+                assert!(n >= 1 && n <= ring.len(), "unsupported replica count {n}");
+                (
+                    s.to_string(),
+                    (0..n).map(|i| ring[i].to_string()).collect(),
+                )
+            })
+            .collect();
+        PlacementSpec { assignments }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::placements::*;
+    use super::*;
+
+    #[test]
+    fn named_configs_match_paper_vectors() {
+        assert_eq!(c12().replicas_of("sift").unwrap(), &["E1".to_string()]);
+        assert_eq!(c12().replicas_of("lsh").unwrap(), &["E2".to_string()]);
+        assert_eq!(c21().replicas_of("primary").unwrap(), &["E2".to_string()]);
+        assert_eq!(c21().replicas_of("matching").unwrap(), &["E1".to_string()]);
+        assert_eq!(cloud_only().total_instances(), 5);
+        assert_eq!(
+            hybrid_edge_cloud().replicas_of("primary").unwrap(),
+            &["E1".to_string()]
+        );
+    }
+
+    #[test]
+    fn replica_vectors() {
+        let p = replicas([2, 2, 1, 1, 1]);
+        assert_eq!(p.replicas_of("primary").unwrap().len(), 2);
+        assert_eq!(p.replicas_of("sift").unwrap(), &["E2".to_string(), "E1".to_string()]);
+        assert_eq!(p.replicas_of("matching").unwrap(), &["E2".to_string()]);
+        let p7 = replicas([1, 3, 2, 1, 3]);
+        assert_eq!(p7.total_instances(), 10);
+        assert_eq!(
+            p7.replicas_of("sift").unwrap(),
+            &["E2".to_string(), "E1".to_string(), "E2".to_string()]
+        );
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = RunConfig::new(Mode::ScatterPP, c1(), 4)
+            .with_duration(SimDuration::from_secs(10))
+            .with_seed(99)
+            .with_stagger(SimDuration::from_secs(1));
+        assert_eq!(cfg.clients, 4);
+        assert_eq!(cfg.seed, 99);
+        assert!(cfg.stagger.is_some());
+    }
+}

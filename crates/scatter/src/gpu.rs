@@ -1,0 +1,168 @@
+//! Per-machine GPU contention.
+//!
+//! Co-located GPU services share the machine's physical GPUs. The paper's
+//! placement results (single-machine deployments degrading faster than
+//! split ones; C12 reaching ≈20 FPS where C1 reaches ≈12 under scAtteR++)
+//! are driven by exactly this contention, so the model is explicit: each
+//! machine owns `gpu_count` execution tokens, a service execution holds
+//! one token for its duration, and requests are granted in arrival order
+//! at the earliest instant a token frees up.
+
+use simcore::{SimDuration, SimTime};
+
+/// GPU execution model for one machine.
+///
+/// Two disciplines are offered:
+///
+/// - **token FIFO** ([`GpuPool::acquire`]): exclusive-kernel semantics,
+///   used in unit experiments about hard serialization;
+/// - **processor sharing** ([`GpuPool::ps_begin`] / [`GpuPool::ps_end`]):
+///   CUDA time-slicing/MPS semantics — concurrent kernels all make
+///   progress, each slowed by the ratio of active demand to physical GPU
+///   count. This is what co-located containerized GPU services actually
+///   experience and what the pipeline simulation uses.
+#[derive(Debug, Clone)]
+pub struct GpuPool {
+    /// `free_at[i]` is when token `i` next becomes available.
+    free_at: Vec<SimTime>,
+    /// Sum of occupancy weights of kernels currently executing (PS).
+    active_weight: f64,
+}
+
+impl GpuPool {
+    pub fn new(tokens: usize) -> Self {
+        assert!(tokens >= 1, "a GPU pool needs at least one token");
+        GpuPool {
+            free_at: vec![SimTime::ZERO; tokens],
+            active_weight: 0.0,
+        }
+    }
+
+    pub fn tokens(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Reserve a token for `duration` starting no earlier than `now`.
+    /// Returns the actual start time (≥ `now`); the difference is the
+    /// GPU queueing delay that inflates observed service latency under
+    /// contention.
+    pub fn acquire(&mut self, now: SimTime, duration: SimDuration) -> SimTime {
+        let (idx, &earliest) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("pool has at least one token");
+        let start = earliest.max(now);
+        self.free_at[idx] = start + duration;
+        start
+    }
+
+    /// Would an acquisition at `now` start immediately?
+    pub fn idle_token_available(&self, now: SimTime) -> bool {
+        self.free_at.iter().any(|&t| t <= now)
+    }
+
+    /// Current backlog: how far beyond `now` the least-loaded token is
+    /// committed.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        let earliest = self.free_at.iter().min().expect("non-empty pool");
+        earliest.saturating_since(now)
+    }
+
+    /// Processor-sharing admission: a kernel with `weight` GPU-occupancy
+    /// (≤ 1 GPU) starts executing immediately; returns the slowdown
+    /// factor (≥ 1) to apply to its wall time, frozen at admission.
+    pub fn ps_begin(&mut self, weight: f64) -> f64 {
+        assert!(weight >= 0.0, "negative occupancy weight");
+        self.active_weight += weight;
+        (self.active_weight / self.free_at.len() as f64).max(1.0)
+    }
+
+    /// Processor-sharing completion: release the kernel's weight.
+    pub fn ps_end(&mut self, weight: f64) {
+        self.active_weight -= weight;
+        if self.active_weight < 0.0 {
+            debug_assert!(self.active_weight > -1e-9, "PS weight underflow");
+            self.active_weight = 0.0;
+        }
+    }
+
+    /// Currently active PS weight (diagnostics).
+    pub fn active_weight(&self) -> f64 {
+        self.active_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    fn at(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn uncontended_requests_start_immediately() {
+        let mut pool = GpuPool::new(2);
+        assert_eq!(pool.acquire(at(10), ms(5)), at(10));
+        assert_eq!(pool.acquire(at(10), ms(5)), at(10)); // second token
+        assert!(!pool.idle_token_available(at(10)));
+        assert!(pool.idle_token_available(at(15)));
+    }
+
+    #[test]
+    fn contention_serializes_in_order() {
+        let mut pool = GpuPool::new(1);
+        assert_eq!(pool.acquire(at(0), ms(10)), at(0));
+        assert_eq!(pool.acquire(at(2), ms(10)), at(10));
+        assert_eq!(pool.acquire(at(3), ms(10)), at(20));
+        assert_eq!(pool.backlog(at(3)).as_millis(), 27);
+    }
+
+    #[test]
+    fn tokens_reused_after_free() {
+        let mut pool = GpuPool::new(1);
+        pool.acquire(at(0), ms(5));
+        assert_eq!(pool.acquire(at(20), ms(5)), at(20), "idle pool starts at now");
+        assert_eq!(pool.backlog(at(30)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ps_uncontended_runs_at_full_speed() {
+        let mut pool = GpuPool::new(2);
+        assert_eq!(pool.ps_begin(1.0), 1.0);
+        assert_eq!(pool.ps_begin(0.8), 1.0); // 1.8 ≤ 2 GPUs
+        pool.ps_end(1.0);
+        pool.ps_end(0.8);
+        assert_eq!(pool.active_weight(), 0.0);
+    }
+
+    #[test]
+    fn ps_oversubscription_slows_down() {
+        let mut pool = GpuPool::new(1);
+        assert_eq!(pool.ps_begin(1.0), 1.0);
+        let slow = pool.ps_begin(1.0);
+        assert!((slow - 2.0).abs() < 1e-9, "two kernels on one GPU run at half speed");
+        pool.ps_end(1.0);
+        pool.ps_end(1.0);
+    }
+
+    #[test]
+    fn two_tokens_halve_the_queue() {
+        let mut one = GpuPool::new(1);
+        let mut two = GpuPool::new(2);
+        let mut last_one = SimTime::ZERO;
+        let mut last_two = SimTime::ZERO;
+        for i in 0..10 {
+            let now = at(i);
+            last_one = one.acquire(now, ms(10)) + ms(10);
+            last_two = two.acquire(now, ms(10)) + ms(10);
+        }
+        assert!(last_two < last_one, "{last_two} !< {last_one}");
+    }
+}

@@ -1,0 +1,180 @@
+//! The inter-service frame message and the pipeline's service taxonomy.
+//!
+//! The paper lists the intermediary fields explicitly: "client ID, frame
+//! number, client's IP address and port number, and the current pipeline
+//! step — allowing us to map multiple client inputs to the same service
+//! instance". [`FrameMsg`] carries exactly those, plus the measurement
+//! timestamps and the sticky `sift` replica binding that the stateful
+//! fetch path needs.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use simnet::NodeId;
+
+/// The five pipeline services, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Pre-processing: grayscale + dimension reduction. CPU-only.
+    Primary,
+    /// Feature detection and extraction (SIFT). Stateful in scAtteR.
+    Sift,
+    /// PCA + Fisher encoding.
+    Encoding,
+    /// LSH nearest-neighbour tables.
+    Lsh,
+    /// Feature matching + pose estimation + tracking.
+    Matching,
+}
+
+/// Pipeline order of the services.
+pub const SERVICE_KINDS: [ServiceKind; 5] = [
+    ServiceKind::Primary,
+    ServiceKind::Sift,
+    ServiceKind::Encoding,
+    ServiceKind::Lsh,
+    ServiceKind::Matching,
+];
+
+/// Canonical lowercase names, used in placement specs and reports.
+pub const SERVICE_NAMES: [&str; 5] = ["primary", "sift", "encoding", "lsh", "matching"];
+
+impl ServiceKind {
+    pub fn name(self) -> &'static str {
+        SERVICE_NAMES[self.index()]
+    }
+
+    pub fn index(self) -> usize {
+        match self {
+            ServiceKind::Primary => 0,
+            ServiceKind::Sift => 1,
+            ServiceKind::Encoding => 2,
+            ServiceKind::Lsh => 3,
+            ServiceKind::Matching => 4,
+        }
+    }
+
+    pub fn from_index(i: usize) -> ServiceKind {
+        SERVICE_KINDS[i]
+    }
+
+    /// Next service in pipeline order (`None` after `matching`).
+    pub fn next(self) -> Option<ServiceKind> {
+        let i = self.index();
+        if i + 1 < SERVICE_KINDS.len() {
+            Some(SERVICE_KINDS[i + 1])
+        } else {
+            None
+        }
+    }
+
+    /// All services but `primary` run on the GPU (§3.1).
+    pub fn needs_gpu(self) -> bool {
+        self != ServiceKind::Primary
+    }
+}
+
+/// A frame (or its descriptor representation) travelling the pipeline.
+#[derive(Debug, Clone)]
+pub struct FrameMsg {
+    /// Originating client.
+    pub client: usize,
+    /// Frame sequence number within the client's stream.
+    pub frame_no: u64,
+    /// Client's return address (network node; the port is implied by the
+    /// client index in the simulation).
+    pub client_addr: NodeId,
+    /// Instant the client emitted the frame — E2E latency and the
+    /// scAtteR++ staleness filter both measure from here.
+    pub emitted_at: SimTime,
+    /// Pipeline step the message is currently bound for.
+    pub step: ServiceKind,
+    /// Current payload size in bytes (changes as the representation
+    /// changes hop to hop; grows to ≈480 KB after stateless `sift`).
+    pub payload_bytes: usize,
+    /// Which `sift` replica processed this frame — `matching` must fetch
+    /// the frame state from exactly that replica (scAtteR), and the
+    /// balancer must honour the binding.
+    pub sift_replica: Option<usize>,
+    /// Accumulated per-stage wall time (accept → complete, including GPU
+    /// wait and, for scAtteR matching, the fetch wait), ms, indexed by
+    /// [`ServiceKind::index`]. With the sidecar queue wait below, the
+    /// residual of E2E is pure network time — the latency breakdown.
+    pub stage_compute_ms: [f64; 5],
+    /// Accumulated sidecar queue wait per stage, ms.
+    pub stage_queue_ms: [f64; 5],
+}
+
+impl FrameMsg {
+    /// A fresh frame leaving a client.
+    pub fn new(client: usize, frame_no: u64, client_addr: NodeId, now: SimTime, bytes: usize) -> Self {
+        FrameMsg {
+            client,
+            frame_no,
+            client_addr,
+            emitted_at: now,
+            step: ServiceKind::Primary,
+            payload_bytes: bytes,
+            sift_replica: None,
+            stage_compute_ms: [0.0; 5],
+            stage_queue_ms: [0.0; 5],
+        }
+    }
+
+    /// Total time spent computing across stages, ms.
+    pub fn total_compute_ms(&self) -> f64 {
+        self.stage_compute_ms.iter().sum()
+    }
+
+    /// Total time spent queued in sidecars, ms.
+    pub fn total_queue_ms(&self) -> f64 {
+        self.stage_queue_ms.iter().sum()
+    }
+
+    /// Stable key identifying the frame across services.
+    pub fn key(&self) -> (usize, u64) {
+        (self.client, self.frame_no)
+    }
+
+    /// Frame age at `now` — what the sidecar threshold filter inspects.
+    pub fn age(&self, now: SimTime) -> simcore::SimDuration {
+        now.saturating_since(self.emitted_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_order() {
+        assert_eq!(ServiceKind::Primary.next(), Some(ServiceKind::Sift));
+        assert_eq!(ServiceKind::Sift.next(), Some(ServiceKind::Encoding));
+        assert_eq!(ServiceKind::Matching.next(), None);
+    }
+
+    #[test]
+    fn names_and_indices_round_trip() {
+        for (i, k) in SERVICE_KINDS.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(ServiceKind::from_index(i), *k);
+            assert_eq!(k.name(), SERVICE_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn only_primary_is_cpu_only() {
+        assert!(!ServiceKind::Primary.needs_gpu());
+        for k in &SERVICE_KINDS[1..] {
+            assert!(k.needs_gpu());
+        }
+    }
+
+    #[test]
+    fn frame_age_measures_from_emission() {
+        let m = FrameMsg::new(0, 1, NodeId(0), SimTime::from_millis(100), 1000);
+        assert_eq!(m.age(SimTime::from_millis(160)).as_millis(), 60);
+        assert_eq!(m.key(), (0, 1));
+        // Age never negative even if clocks disagree.
+        assert_eq!(m.age(SimTime::from_millis(50)).as_millis(), 0);
+    }
+}

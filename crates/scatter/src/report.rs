@@ -1,0 +1,178 @@
+//! Per-run results: the QoS and hardware numbers every figure is
+//! assembled from.
+
+use metrics::{Summary, TimeSeries};
+use simcore::SimTime;
+
+use crate::config::Mode;
+use crate::message::ServiceKind;
+use crate::service::DropCounters;
+
+/// Results for one deployed service instance.
+pub struct ServiceReport {
+    pub kind: ServiceKind,
+    pub replica: usize,
+    pub machine: String,
+    pub processed: u64,
+    pub drops: DropCounters,
+    pub latency_ms: Summary,
+    /// Ingress arrivals over time (1.0 per arrival).
+    pub ingress: TimeSeries,
+    /// Drops over time (1.0 per drop).
+    pub drops_over_time: TimeSeries,
+    /// Mean resident memory over the run, GB.
+    pub mean_memory_gb: f64,
+    pub peak_memory_gb: f64,
+    /// Sidecar statistics (scAtteR++): filter drop ratio and mean queue
+    /// delay; zero in scAtteR runs.
+    pub sidecar_drop_ratio: f64,
+    pub mean_queue_ms: f64,
+    /// `sift` only: fetch-service counters.
+    pub fetch_served: u64,
+    pub fetch_dropped: u64,
+}
+
+/// Hardware aggregates for one machine.
+pub struct MachineReport {
+    pub name: String,
+    /// Capacity-normalized utilization over the measurement window, %.
+    pub cpu_pct: f64,
+    pub gpu_pct: f64,
+    pub mean_memory_gb: f64,
+    pub peak_memory_gb: f64,
+}
+
+/// Everything one experiment run produced.
+pub struct RunReport {
+    pub mode: Mode,
+    pub clients: usize,
+    /// Measurement window (post-warmup).
+    pub measure_start: SimTime,
+    pub measure_end: SimTime,
+    /// Average completed-frame rate per client over the window.
+    pub per_client_fps: Vec<f64>,
+    /// Median of per-second rates, per client (robust statistic, what the
+    /// paper quotes for the cloud deployment).
+    pub per_client_fps_median: Vec<f64>,
+    pub success_rate: f64,
+    /// E2E latency over all clients, ms.
+    pub e2e_ms: Summary,
+    /// Mean Δ inter-frame jitter over clients, ms.
+    pub jitter_ms: f64,
+    /// Longest augmentation freeze (consecutive missing frames) over all
+    /// clients — the user-facing cost of bursty loss.
+    pub max_freeze_frames: u64,
+    pub services: Vec<ServiceReport>,
+    pub machines: Vec<MachineReport>,
+    pub bytes_on_wire: u64,
+    pub datagrams_lost: u64,
+    /// Mid-run scale-out actions taken by the autoscaler (empty when
+    /// autoscaling is off).
+    pub scale_events: Vec<crate::autoscale::ScaleEvent>,
+    /// Latency breakdown over completed frames (ms): per-stage compute,
+    /// per-stage queue/fetch wait, and the network residual.
+    pub breakdown_compute: [Summary; 5],
+    pub breakdown_queue: [Summary; 5],
+    pub breakdown_network: Summary,
+}
+
+impl RunReport {
+    /// Mean per-client FPS — the figures' headline y-axis.
+    pub fn fps(&self) -> f64 {
+        if self.per_client_fps.is_empty() {
+            return 0.0;
+        }
+        self.per_client_fps.iter().sum::<f64>() / self.per_client_fps.len() as f64
+    }
+
+    /// Median per-second FPS averaged over clients.
+    pub fn fps_median(&self) -> f64 {
+        if self.per_client_fps_median.is_empty() {
+            return 0.0;
+        }
+        self.per_client_fps_median.iter().sum::<f64>() / self.per_client_fps_median.len() as f64
+    }
+
+    /// Mean E2E latency in ms.
+    pub fn e2e_mean_ms(&self) -> f64 {
+        self.e2e_ms.mean()
+    }
+
+    /// Merged service-latency summary for one service kind (all replicas).
+    pub fn service_latency_ms(&self, kind: ServiceKind) -> Summary {
+        let mut s = Summary::new();
+        for svc in self.services.iter().filter(|s| s.kind == kind) {
+            s.merge(&svc.latency_ms);
+        }
+        s
+    }
+
+    /// Total ingress FPS for a service kind over the window (all
+    /// replicas) — fig. 8's per-service ingress rate.
+    pub fn ingress_fps(&self, kind: ServiceKind) -> f64 {
+        let secs = self
+            .measure_end
+            .saturating_since(self.measure_start)
+            .as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.services
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.ingress.window_count(self.measure_start, self.measure_end) as f64)
+            .sum::<f64>()
+            / secs
+    }
+
+    /// Aggregate drop ratio for a service kind: drops / ingress.
+    pub fn drop_ratio(&self, kind: ServiceKind) -> f64 {
+        let (mut drops, mut arrivals) = (0u64, 0u64);
+        for s in self.services.iter().filter(|s| s.kind == kind) {
+            drops += s.drops.total();
+            arrivals += s.ingress.window_count(SimTime::ZERO, self.measure_end) as u64;
+        }
+        if arrivals == 0 {
+            0.0
+        } else {
+            drops as f64 / arrivals as f64
+        }
+    }
+
+    /// Mean memory of a service kind (summed over replicas), GB.
+    pub fn memory_gb(&self, kind: ServiceKind) -> f64 {
+        self.services
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.mean_memory_gb)
+            .sum()
+    }
+
+    /// Machine report by name.
+    pub fn machine(&self, name: &str) -> Option<&MachineReport> {
+        self.machines.iter().find(|m| m.name == name)
+    }
+
+    /// Total CPU / GPU across machines that host at least one service
+    /// (utilization comparison across configurations).
+    pub fn total_cpu_pct(&self) -> f64 {
+        self.machines.iter().map(|m| m.cpu_pct).sum()
+    }
+
+    pub fn total_gpu_pct(&self) -> f64 {
+        self.machines.iter().map(|m| m.gpu_pct).sum()
+    }
+
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:?} n={} fps={:.1} succ={:.0}% e2e={:.1}ms jitter={:.2}ms",
+            self.mode,
+            self.clients,
+            self.fps(),
+            self.success_rate * 100.0,
+            self.e2e_mean_ms(),
+            self.jitter_ms
+        )
+    }
+}

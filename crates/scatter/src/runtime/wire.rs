@@ -1,0 +1,515 @@
+//! Wire format for the real-UDP runtime.
+//!
+//! A message is fragmented into ≤[`CHUNK_BYTES`] datagrams, each carrying
+//! a fixed header; the receiver reassembles by `(client, frame, step)`.
+//! There is no retransmission — a missing fragment strands the message
+//! until its reassembly slot is reclaimed, matching the pipeline's UDP
+//! semantics on the testbed.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::message::ServiceKind;
+
+/// Fragment payload size. Loopback allows ~64 KB datagrams; we stay well
+/// below to keep the format valid for real NICs too.
+pub const CHUNK_BYTES: usize = 32 * 1024;
+
+/// Magic tag guarding against stray datagrams.
+pub const MAGIC: u32 = 0x5343_4154; // "SCAT"
+
+const HEADER_BYTES: usize = 4 + 2 + 4 + 1 + 8 + 2 + 2 + 2 + 4;
+
+/// A pipeline message as it travels between service sockets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMsg {
+    pub client: u16,
+    pub frame_no: u32,
+    /// Pipeline step this message is bound for.
+    pub step: ServiceKind,
+    /// Microseconds since the deployment epoch when the client emitted
+    /// the frame (staleness filtering and E2E measurement).
+    pub emit_micros: u64,
+    /// The client's return port on loopback — the paper's messages carry
+    /// "client's IP address and port number" so `matching` can deliver
+    /// results without a session table.
+    pub return_port: u16,
+    pub payload: Bytes,
+}
+
+impl WireMsg {
+    pub fn age_ms(&self, epoch: Instant) -> f64 {
+        let now_micros = epoch.elapsed().as_micros() as u64;
+        now_micros.saturating_sub(self.emit_micros) as f64 / 1e3
+    }
+}
+
+/// Encode a message into its fragment datagrams.
+pub fn encode(msg: &WireMsg) -> Vec<Bytes> {
+    let chunks: Vec<&[u8]> = if msg.payload.is_empty() {
+        vec![&[]]
+    } else {
+        msg.payload.chunks(CHUNK_BYTES).collect()
+    };
+    let frag_count = chunks.len() as u16;
+    chunks
+        .iter()
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut buf = BytesMut::with_capacity(HEADER_BYTES + chunk.len());
+            buf.put_u32(MAGIC);
+            buf.put_u16(msg.client);
+            buf.put_u32(msg.frame_no);
+            buf.put_u8(msg.step.index() as u8);
+            buf.put_u64(msg.emit_micros);
+            buf.put_u16(msg.return_port);
+            buf.put_u16(i as u16);
+            buf.put_u16(frag_count);
+            buf.put_u32(chunk.len() as u32);
+            buf.put_slice(chunk);
+            buf.freeze()
+        })
+        .collect()
+}
+
+/// A decoded fragment header + body.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    pub client: u16,
+    pub frame_no: u32,
+    pub step: ServiceKind,
+    pub emit_micros: u64,
+    pub return_port: u16,
+    pub frag_idx: u16,
+    pub frag_count: u16,
+    pub body: Bytes,
+}
+
+/// Parse one datagram; `None` for malformed or foreign packets (dropped
+/// silently, as a UDP service must).
+pub fn decode_fragment(datagram: &[u8]) -> Option<Fragment> {
+    if datagram.len() < HEADER_BYTES {
+        return None;
+    }
+    let mut buf = datagram;
+    if buf.get_u32() != MAGIC {
+        return None;
+    }
+    let client = buf.get_u16();
+    let frame_no = buf.get_u32();
+    let step_idx = buf.get_u8() as usize;
+    if step_idx >= 5 {
+        return None;
+    }
+    let emit_micros = buf.get_u64();
+    let return_port = buf.get_u16();
+    let frag_idx = buf.get_u16();
+    let frag_count = buf.get_u16();
+    let len = buf.get_u32() as usize;
+    if frag_count == 0 || frag_idx >= frag_count || buf.remaining() != len {
+        return None;
+    }
+    Some(Fragment {
+        client,
+        frame_no,
+        step: ServiceKind::from_index(step_idx),
+        emit_micros,
+        return_port,
+        frag_idx,
+        frag_count,
+        body: Bytes::copy_from_slice(buf),
+    })
+}
+
+/// Reassembles fragments into messages. Bounded: oldest incomplete entry
+/// is evicted past [`Reassembler::MAX_PENDING`] — frames that lost a
+/// fragment must not leak memory.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    pending: HashMap<(u16, u32, u8), PendingMsg>,
+    /// Insertion order for eviction.
+    order: Vec<(u16, u32, u8)>,
+}
+
+#[derive(Debug)]
+struct PendingMsg {
+    emit_micros: u64,
+    return_port: u16,
+    parts: Vec<Option<Bytes>>,
+    received: usize,
+}
+
+impl Reassembler {
+    pub const MAX_PENDING: usize = 64;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer one fragment; returns the completed message when the last
+    /// fragment lands.
+    pub fn offer(&mut self, frag: Fragment) -> Option<WireMsg> {
+        let key = (frag.client, frag.frame_no, frag.step.index() as u8);
+        let entry = self.pending.entry(key).or_insert_with(|| {
+            self.order.push(key);
+            PendingMsg {
+                emit_micros: frag.emit_micros,
+                return_port: frag.return_port,
+                parts: vec![None; frag.frag_count as usize],
+                received: 0,
+            }
+        });
+        if (frag.frag_idx as usize) < entry.parts.len()
+            && entry.parts[frag.frag_idx as usize].is_none()
+        {
+            entry.parts[frag.frag_idx as usize] = Some(frag.body);
+            entry.received += 1;
+        }
+        if entry.received == entry.parts.len() {
+            let entry = self.pending.remove(&key).expect("entry exists");
+            self.order.retain(|k| *k != key);
+            let mut payload = BytesMut::new();
+            for part in entry.parts {
+                payload.put_slice(&part.expect("all parts received"));
+            }
+            return Some(WireMsg {
+                client: frag.client,
+                frame_no: frag.frame_no,
+                step: frag.step,
+                emit_micros: entry.emit_micros,
+                return_port: entry.return_port,
+                payload: payload.freeze(),
+            });
+        }
+        // Evict the oldest incomplete message beyond the cap.
+        if self.pending.len() > Self::MAX_PENDING {
+            let victim = self.order.remove(0);
+            self.pending.remove(&victim);
+        }
+        None
+    }
+
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed payloads
+// ---------------------------------------------------------------------
+
+/// A grayscale frame payload (u8 pixels).
+pub fn encode_frame(img: &vision::GrayImage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + img.width() * img.height());
+    buf.put_u32(img.width() as u32);
+    buf.put_u32(img.height() as u32);
+    for &v in img.data() {
+        buf.put_u8((v.clamp(0.0, 1.0) * 255.0) as u8);
+    }
+    buf.freeze()
+}
+
+pub fn decode_frame(mut buf: Bytes) -> Option<vision::GrayImage> {
+    if buf.remaining() < 8 {
+        return None;
+    }
+    let w = buf.get_u32() as usize;
+    let h = buf.get_u32() as usize;
+    if w == 0 || h == 0 || buf.remaining() != w * h {
+        return None;
+    }
+    let data: Vec<f32> = buf.iter().map(|&b| b as f32 / 255.0).collect();
+    Some(vision::GrayImage::from_vec(w, h, data))
+}
+
+/// Descriptor-set payload: keypoint geometry + 128-d vectors, plus an
+/// optional Fisher vector (set after `encoding`) and candidate object
+/// ids (set after `lsh`) — the frame-embedded state of scAtteR++.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameState {
+    pub descriptors: Vec<vision::Descriptor>,
+    pub fisher: Vec<f32>,
+    pub candidates: Vec<u32>,
+}
+
+pub fn encode_state(state: &FrameState) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32(state.descriptors.len() as u32);
+    for d in &state.descriptors {
+        let k = &d.keypoint;
+        buf.put_f32(k.x);
+        buf.put_f32(k.y);
+        buf.put_f32(k.scale);
+        buf.put_f32(k.orientation);
+        buf.put_f32(k.response);
+        buf.put_u8(k.octave as u8);
+        buf.put_u8(k.level as u8);
+        for &v in &d.v {
+            buf.put_f32(v);
+        }
+    }
+    buf.put_u32(state.fisher.len() as u32);
+    for &v in &state.fisher {
+        buf.put_f32(v);
+    }
+    buf.put_u32(state.candidates.len() as u32);
+    for &c in &state.candidates {
+        buf.put_u32(c);
+    }
+    buf.freeze()
+}
+
+pub fn decode_state(mut buf: Bytes) -> Option<FrameState> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n = buf.get_u32() as usize;
+    if n > 100_000 {
+        return None;
+    }
+    let mut descriptors = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 5 * 4 + 2 + 128 * 4 {
+            return None;
+        }
+        let keypoint = vision::Keypoint {
+            x: buf.get_f32(),
+            y: buf.get_f32(),
+            scale: buf.get_f32(),
+            orientation: buf.get_f32(),
+            response: buf.get_f32(),
+            octave: buf.get_u8() as usize,
+            level: buf.get_u8() as usize,
+        };
+        let mut v = [0f32; 128];
+        for slot in &mut v {
+            *slot = buf.get_f32();
+        }
+        descriptors.push(vision::Descriptor { keypoint, v });
+    }
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let nf = buf.get_u32() as usize;
+    if buf.remaining() < nf * 4 {
+        return None;
+    }
+    let fisher = (0..nf).map(|_| buf.get_f32()).collect();
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let nc = buf.get_u32() as usize;
+    if buf.remaining() != nc * 4 {
+        return None;
+    }
+    let candidates = (0..nc).map(|_| buf.get_u32()).collect();
+    Some(FrameState {
+        descriptors,
+        fisher,
+        candidates,
+    })
+}
+
+/// One recognized object: its name and projected box corners.
+pub type ResultEntry = (String, [(f64, f64); 4]);
+
+/// Result payload: recognized object names + projected corners.
+pub fn encode_result(recognitions: &[ResultEntry]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u16(recognitions.len() as u16);
+    for (name, corners) in recognitions {
+        buf.put_u8(name.len() as u8);
+        buf.put_slice(name.as_bytes());
+        for &(x, y) in corners {
+            buf.put_f32(x as f32);
+            buf.put_f32(y as f32);
+        }
+    }
+    buf.freeze()
+}
+
+pub fn decode_result(mut buf: Bytes) -> Option<Vec<ResultEntry>> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let n = buf.get_u16() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let len = buf.get_u8() as usize;
+        if buf.remaining() < len + 32 {
+            return None;
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(len).to_vec()).ok()?;
+        let mut corners = [(0.0, 0.0); 4];
+        for c in &mut corners {
+            *c = (buf.get_f32() as f64, buf.get_f32() as f64);
+        }
+        out.push((name, corners));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(payload_len: usize) -> WireMsg {
+        WireMsg {
+            client: 3,
+            frame_no: 42,
+            step: ServiceKind::Encoding,
+            emit_micros: 123_456,
+            return_port: 40_123,
+            payload: Bytes::from(vec![7u8; payload_len]),
+        }
+    }
+
+    #[test]
+    fn small_message_single_fragment_round_trip() {
+        let m = msg(100);
+        let frames = encode(&m);
+        assert_eq!(frames.len(), 1);
+        let frag = decode_fragment(&frames[0]).expect("valid fragment");
+        let mut r = Reassembler::new();
+        let out = r.offer(frag).expect("complete after one fragment");
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let m = msg(CHUNK_BYTES * 3 + 17);
+        let frames = encode(&m);
+        assert_eq!(frames.len(), 4);
+        let mut r = Reassembler::new();
+        // Deliver out of order.
+        let mut frags: Vec<_> = frames.iter().map(|f| decode_fragment(f).unwrap()).collect();
+        frags.reverse();
+        let mut done = None;
+        for f in frags {
+            done = r.offer(f);
+        }
+        assert_eq!(done.expect("complete"), m);
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn missing_fragment_never_completes() {
+        let m = msg(CHUNK_BYTES * 2);
+        let frames = encode(&m);
+        let mut r = Reassembler::new();
+        assert!(r.offer(decode_fragment(&frames[0]).unwrap()).is_none());
+        assert_eq!(r.pending_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_fragment_is_idempotent() {
+        let m = msg(CHUNK_BYTES + 5);
+        let frames = encode(&m);
+        let mut r = Reassembler::new();
+        let f0 = decode_fragment(&frames[0]).unwrap();
+        assert!(r.offer(f0.clone()).is_none());
+        assert!(r.offer(f0).is_none(), "duplicate must not complete");
+        let out = r.offer(decode_fragment(&frames[1]).unwrap());
+        assert_eq!(out.unwrap(), m);
+    }
+
+    #[test]
+    fn garbage_datagrams_rejected() {
+        assert!(decode_fragment(&[]).is_none());
+        assert!(decode_fragment(&[0u8; 10]).is_none());
+        let mut bogus = encode(&msg(10))[0].to_vec();
+        bogus[0] ^= 0xFF; // corrupt magic
+        assert!(decode_fragment(&bogus).is_none());
+    }
+
+    #[test]
+    fn reassembler_evicts_beyond_cap() {
+        let mut r = Reassembler::new();
+        for i in 0..(Reassembler::MAX_PENDING as u32 + 10) {
+            let m = WireMsg {
+                client: 0,
+                frame_no: i,
+                step: ServiceKind::Sift,
+                emit_micros: 0,
+                return_port: 0,
+                payload: Bytes::from(vec![0u8; CHUNK_BYTES * 2]),
+            };
+            let frames = encode(&m);
+            r.offer(decode_fragment(&frames[0]).unwrap());
+        }
+        assert!(r.pending_count() <= Reassembler::MAX_PENDING + 1);
+    }
+
+    #[test]
+    fn frame_payload_round_trip() {
+        let mut img = vision::GrayImage::new(8, 4);
+        img.set(3, 2, 0.5);
+        let encoded = encode_frame(&img);
+        let back = decode_frame(encoded).expect("valid frame payload");
+        assert_eq!(back.width(), 8);
+        assert_eq!(back.height(), 4);
+        assert!((back.get(3, 2) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn state_payload_round_trip() {
+        let kp = vision::Keypoint {
+            x: 1.0,
+            y: 2.0,
+            scale: 3.0,
+            orientation: 0.5,
+            response: 0.9,
+            octave: 1,
+            level: 2,
+        };
+        let state = FrameState {
+            descriptors: vec![vision::Descriptor { keypoint: kp, v: [0.25; 128] }],
+            fisher: vec![0.5, -0.5],
+            candidates: vec![2, 0],
+        };
+        let back = decode_state(encode_state(&state)).expect("valid state");
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn result_payload_round_trip() {
+        let recs = vec![("monitor".to_string(), [(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0)])];
+        let back = decode_result(encode_result(&recs)).expect("valid result");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, "monitor");
+        assert_eq!(back[0].1[2], (5.0, 6.0));
+    }
+
+    #[test]
+    fn state_grows_frame_size_like_the_paper() {
+        // A realistic descriptor count makes the embedded-state payload
+        // several times the compact one — the 180 KB → 480 KB effect.
+        let kp = vision::Keypoint {
+            x: 0.0,
+            y: 0.0,
+            scale: 1.0,
+            orientation: 0.0,
+            response: 1.0,
+            octave: 0,
+            level: 1,
+        };
+        let with_state = FrameState {
+            descriptors: vec![vision::Descriptor { keypoint: kp, v: [0.1; 128] }; 300],
+            fisher: vec![0.0; 128],
+            candidates: vec![],
+        };
+        let without_state = FrameState {
+            descriptors: vec![],
+            fisher: vec![0.0; 128],
+            candidates: vec![],
+        };
+        let big = encode_state(&with_state).len();
+        let small = encode_state(&without_state).len();
+        assert!(big > small * 50, "state must dominate: {big} vs {small}");
+    }
+}

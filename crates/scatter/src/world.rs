@@ -1,0 +1,1331 @@
+//! The discrete-event simulation of scAtteR / scAtteR++ on the testbed.
+//!
+//! One [`run_experiment`] call builds the paper's topology and cluster,
+//! deploys the configured placement, replays the client video streams,
+//! and returns a [`RunReport`]. All stochastic elements draw from streams
+//! split off the config seed, so runs are bit-for-bit reproducible.
+//!
+//! The semantics encoded here are the paper's, not idealizations:
+//!
+//! - every service processes one frame at a time;
+//! - scAtteR drops requests that reach a busy service, and `matching`
+//!   must fetch per-frame feature state from the exact `sift` replica
+//!   that produced it (sticky binding), busy-waiting until a timeout;
+//! - scAtteR++ queues requests in a per-service sidecar that filters
+//!   frames older than the 100 ms staleness threshold, and `sift`
+//!   embeds its state in the forwarded (≈480 KB) frame;
+//! - co-located GPU services contend for the machine's physical GPUs;
+//! - all transport is UDP: oversized datagrams fragment, losses kill the
+//!   whole frame, nothing is retransmitted.
+
+use metrics::TimeSeries;
+use orchestra::{Balancer, BalancerKind, Cluster, ServiceSla};
+
+use simcore::{Sim, SimDuration, SimRng, SimTime};
+use simnet::{NodeId, Testbed, UdpNet};
+
+use crate::autoscale::{MachinePool, ScaleEvent};
+use crate::client::{ClientState, FRAME_PERIOD};
+use crate::config::{Mode, RunConfig};
+use crate::costmodel::CostModel;
+use crate::gpu::GpuPool;
+use crate::message::{FrameMsg, ServiceKind, SERVICE_NAMES};
+use crate::report::{MachineReport, RunReport, ServiceReport};
+use crate::service::{StateEntry, SvcRuntime};
+use crate::sidecar::Sidecar;
+
+/// Simulation world: everything the event closures mutate.
+pub struct PipelineWorld {
+    pub cfg: RunConfig,
+    pub cost: CostModel,
+    pub net: UdpNet,
+    pub cluster: Cluster,
+    pub testbed: Testbed,
+    /// All deployed instances; index = "slot".
+    pub services: Vec<SvcRuntime>,
+    /// Slots per service kind, replica-ordered.
+    pub replicas: [Vec<usize>; 5],
+    pub balancers: [Balancer; 5],
+    /// GPU token pool per cluster machine index.
+    pub gpu_pools: Vec<GpuPool>,
+    pub clients: Vec<ClientState>,
+    /// Service-time sampling stream.
+    pub rng_service: SimRng,
+    /// Client phase / misc stream.
+    pub rng_misc: SimRng,
+    /// Sampled per-slot resident memory in GB (1 Hz).
+    pub mem_series: Vec<TimeSeries>,
+    /// Sampled per-machine total memory in GB (1 Hz).
+    pub machine_mem: Vec<TimeSeries>,
+    pub end_at: SimTime,
+    pub warmup_at: SimTime,
+    /// SLAs kept for mid-run scale-out deployments.
+    pub slas: Vec<ServiceSla>,
+    /// Scale-out actions taken by the autoscaler.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Latency breakdown over completed frames: per-stage compute, per-
+    /// stage queue/fetch wait, and the network residual, all ms.
+    pub breakdown_compute: [metrics::Summary; 5],
+    pub breakdown_queue: [metrics::Summary; 5],
+    pub breakdown_network: metrics::Summary,
+}
+
+type SimW = Sim<PipelineWorld>;
+
+/// Build a sidecar for a service instance (sidecar modes only). The
+/// projection estimates come from the sidecar's own collected metrics;
+/// they are seeded from the cost model: this service's expected time on
+/// this machine plus the expected remainder of the pipeline (base times
+/// + a small per-hop transit allowance).
+fn make_sidecar(
+    mode: Mode,
+    cost: &CostModel,
+    cluster: &Cluster,
+    machine: usize,
+    kind_index: usize,
+) -> Option<Sidecar> {
+    if !mode.sidecar_queue() {
+        return None;
+    }
+    let arch = cluster.machines()[machine]
+        .gpu_arch
+        .map_or(1.0, |a| a.speed_multiplier());
+    let service_est = SimDuration::from_millis_f64(cost.base_ms[kind_index] * arch);
+    let hop_ms = 1.0;
+    let downstream_ms: f64 = cost.base_ms[kind_index + 1..]
+        .iter()
+        .map(|b| b + hop_ms)
+        .sum::<f64>()
+        + hop_ms;
+    Some(Sidecar::new(
+        cost.threshold(),
+        service_est,
+        SimDuration::from_millis_f64(downstream_ms),
+    ))
+}
+
+/// Build the world, run to completion, and report.
+pub fn run_experiment(cfg: RunConfig) -> RunReport {
+    run_experiment_with(cfg, CostModel::default())
+}
+
+/// Run with an explicit cost model (ablation studies override fields).
+pub fn run_experiment_with(cfg: RunConfig, cost: CostModel) -> RunReport {
+    let mut root = SimRng::new(cfg.seed);
+    let rng_net = root.split();
+    let rng_service = root.split();
+    let mut rng_misc = root.split();
+
+    // Topology + netem overrides on the client↔ingress link(s).
+    let (mut topo, testbed) = Testbed::build();
+    let mut cluster = Cluster::testbed(testbed.e1, testbed.e2, testbed.cloud);
+    if let Some(profile) = &cfg.netem {
+        let ingress_machines = cfg
+            .placement
+            .replicas_of("primary")
+            .expect("placement must include primary")
+            .to_vec();
+        for name in ingress_machines {
+            let mi = cluster.machine_index(&name).expect("known machine");
+            let node = cluster.machines()[mi].net;
+            topo.connect(testbed.client_host, node, profile.to_link());
+        }
+    }
+    let mut net = UdpNet::new(topo, rng_net);
+    // Bursty access-network loss (extension): install Gilbert–Elliott
+    // channels on both directions of every client↔ingress link.
+    if let Some(profile) = &cfg.netem {
+        if let Some(burst_len) = profile.burst_len {
+            let ingress: Vec<NodeId> = cfg
+                .placement
+                .replicas_of("primary")
+                .expect("placement must include primary")
+                .iter()
+                .map(|name| {
+                    let mi = cluster.machine_index(name).expect("known machine");
+                    cluster.machines()[mi].net
+                })
+                .collect();
+            for node in ingress {
+                net.set_burst_channel(
+                    testbed.client_host,
+                    node,
+                    simnet::GilbertElliott::with_average_loss(profile.loss, burst_len),
+                );
+                net.set_burst_channel(
+                    node,
+                    testbed.client_host,
+                    simnet::GilbertElliott::with_average_loss(profile.loss, burst_len),
+                );
+            }
+        }
+    }
+
+    // Deploy the placement through the orchestrator.
+    let slas: Vec<ServiceSla> = SERVICE_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let kind = ServiceKind::from_index(i);
+            ServiceSla::new(name, 0.5, 2.0, kind.needs_gpu())
+        })
+        .collect();
+    let deployed = cluster
+        .deploy_placement(&slas, &cfg.placement)
+        .expect("placement must deploy");
+    let slas_kept = slas.clone();
+
+    // Materialize runtime slots in pipeline order.
+    let mut services = Vec::new();
+    let mut replicas: [Vec<usize>; 5] = Default::default();
+    for (i, name) in SERVICE_NAMES.iter().enumerate() {
+        let kind = ServiceKind::from_index(i);
+        let ids = deployed
+            .iter()
+            .find(|(s, _)| s == name)
+            .map(|(_, ids)| ids.clone())
+            .unwrap_or_default();
+        for (r, id) in ids.iter().enumerate() {
+            let machine = cluster.instance(*id).machine;
+            let sidecar = make_sidecar(cfg.mode, &cost, &cluster, machine, i);
+            let slot = services.len();
+            services.push(SvcRuntime::new(kind, r, machine, sidecar));
+            replicas[i].push(slot);
+        }
+        assert!(
+            !replicas[i].is_empty(),
+            "placement is missing service {name}"
+        );
+    }
+
+    // Frames are balanced round-robin everywhere — including across sift
+    // replicas. The statefulness shows up one hop later: the frame stays
+    // *tied* to the sift replica that processed it, so matching's fetch
+    // cannot be re-balanced to an idle replica ("frames balanced across
+    // sift instances remain tied to that replica due to state
+    // restrictions").
+    let balancers: [Balancer; 5] =
+        std::array::from_fn(|i| Balancer::new(BalancerKind::RoundRobin, replicas[i].len()));
+
+    let gpu_pools = cluster
+        .machines()
+        .iter()
+        .map(|m| GpuPool::new(m.gpu_count.max(1) as usize))
+        .collect();
+
+    // Clients with deterministic phase offsets (or staggered arrivals).
+    let clients: Vec<ClientState> = (0..cfg.clients)
+        .map(|i| {
+            let start = match cfg.stagger {
+                Some(s) => SimTime::ZERO + s * i as u64,
+                None => {
+                    SimTime::ZERO
+                        + SimDuration::from_secs_f64(
+                            rng_misc.uniform(0.0, FRAME_PERIOD.as_secs_f64()),
+                        )
+                }
+            };
+            ClientState::new(i, start)
+        })
+        .collect();
+
+    let mem_series = services.iter().map(|_| TimeSeries::new()).collect();
+    let machine_mem = cluster.machines().iter().map(|_| TimeSeries::new()).collect();
+
+    let end_at = SimTime::ZERO + cfg.duration;
+    let warmup_at = SimTime::ZERO + cfg.warmup;
+
+    let mut world = PipelineWorld {
+        cfg,
+        cost,
+        net,
+        cluster,
+        testbed,
+        services,
+        replicas,
+        balancers,
+        gpu_pools,
+        clients,
+        rng_service,
+        rng_misc,
+        mem_series,
+        machine_mem,
+        end_at,
+        warmup_at,
+        slas: slas_kept,
+        scale_events: Vec::new(),
+        breakdown_compute: Default::default(),
+        breakdown_queue: Default::default(),
+        breakdown_network: metrics::Summary::new(),
+    };
+
+    let mut sim: SimW = Sim::new();
+    // Kick off client sources.
+    for i in 0..world.clients.len() {
+        let at = world.clients[i].start_at;
+        sim.schedule_at(at, move |w, s| client_emit(w, s, i));
+    }
+    // 1 Hz metric sampling.
+    sim.schedule(SimDuration::from_secs(1), sample_metrics);
+    // 5 Hz sidecar estimate refresh (scAtteR++): propagate each stage's
+    // observed cost into upstream projections.
+    if world.cfg.mode.sidecar_queue() {
+        sim.schedule(SimDuration::from_millis(200), refresh_estimates);
+    }
+    // 4 Hz sift state eviction sweep (scAtteR only; harmless otherwise).
+    sim.schedule(SimDuration::from_millis(250), evict_sweep);
+    // Autoscaler evaluation loop (first check after warmup + interval).
+    if let Some(auto) = world.cfg.autoscale {
+        sim.schedule_at(world.warmup_at + auto.interval, autoscale_check);
+    }
+    // Failure injection schedule.
+    for (at, kind, replica) in world.cfg.failures.clone() {
+        sim.schedule_at(SimTime::ZERO + at, move |w, s| {
+            crash_instance(w, s, kind, replica)
+        });
+    }
+    // Live-migration schedule.
+    for (at, kind, replica, machine) in world.cfg.migrations.clone() {
+        sim.schedule_at(SimTime::ZERO + at, move |w, s| {
+            migrate_instance(w, s, kind, replica, &machine)
+        });
+    }
+
+    sim.run_until(&mut world, end_at);
+    build_report(world)
+}
+
+// ---------------------------------------------------------------------
+// Event functions
+// ---------------------------------------------------------------------
+
+fn client_emit(w: &mut PipelineWorld, sim: &mut SimW, client: usize) {
+    let now = sim.now();
+    if now >= w.end_at {
+        return;
+    }
+    let frame_no = w.clients[client].emitted;
+    w.clients[client].emitted += 1;
+    if now >= w.warmup_at {
+        w.clients[client].emitted_measured += 1;
+    }
+    let bytes = w.cost.payload_into(ServiceKind::Primary, w.cfg.mode);
+    let msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
+    route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
+
+    // Next frame: grid-scheduled with per-frame capture jitter so
+    // concurrent clients cannot phase-lock against each other.
+    let jitter =
+        SimDuration::from_millis_f64(w.rng_misc.uniform(0.0, w.cost.emit_jitter_ms));
+    let next = w.clients[client].next_emit_at() + jitter;
+    sim.schedule_at(next, move |w, s| client_emit(w, s, client));
+}
+
+/// Pick a replica via the service's balancer and ship the message over
+/// the network from `src_node`.
+fn route_to_service(
+    w: &mut PipelineWorld,
+    sim: &mut SimW,
+    kind: ServiceKind,
+    mut msg: FrameMsg,
+    src_node: simnet::NodeId,
+) {
+    let ki = kind.index();
+    let n_replicas = w.balancers[ki].n_replicas();
+    // matching must reach the sift replica holding the frame state; that
+    // path bypasses this router (see send_fetch). Frames to sift record
+    // their replica binding for the later fetch.
+    let replica = w.balancers[ki].pick(msg.client as u64);
+    if kind == ServiceKind::Sift {
+        msg.sift_replica = Some(replica);
+    }
+    msg.step = kind;
+    let slot = w.replicas[ki][replica];
+    let dst_node = w.cluster.machines()[w.services[slot].machine].net;
+    let lb_extra = if n_replicas > 1 {
+        SimDuration::from_millis_f64(w.cost.lb_overhead_ms)
+    } else {
+        SimDuration::ZERO
+    };
+    let now = sim.now();
+    match w.net.send(src_node, dst_node, msg.payload_bytes, now) {
+        simnet::Delivery::Lost => {}
+        simnet::Delivery::Delayed(d) => {
+            sim.schedule(d + lb_extra, move |w, s| frame_arrive(w, s, slot, msg));
+        }
+    }
+}
+
+fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMsg) {
+    let now = sim.now();
+    w.services[slot].record_ingress(now);
+    if w.services[slot].down_until.is_some() {
+        // Nothing is listening on a crashed container's port.
+        w.services[slot].drops.down += 1;
+        w.services[slot].record_drop(now);
+        return;
+    }
+    if !w.cfg.mode.sidecar_queue() {
+        // Drop-on-busy ingress.
+        if w.services[slot].busy {
+            w.services[slot].drops.busy += 1;
+            w.services[slot].record_drop(now);
+            return;
+        }
+        accept_frame(w, sim, slot, msg);
+    } else {
+        let svc = &mut w.services[slot];
+        let sc = svc.sidecar.as_mut().expect("sidecar mode has sidecars");
+        let dropped_before = sc.dropped;
+        sc.enqueue(msg, now);
+        let newly_dropped = sc.dropped - dropped_before;
+        if newly_dropped > 0 {
+            svc.drops.stale += newly_dropped;
+            svc.record_drop(now);
+        }
+        if !w.services[slot].busy {
+            pull_from_sidecar(w, sim, slot);
+        }
+    }
+}
+
+/// scAtteR++: pull the next fresh frame from the sidecar, if any.
+fn pull_from_sidecar(w: &mut PipelineWorld, sim: &mut SimW, slot: usize) {
+    let now = sim.now();
+    let kind_idx = w.services[slot].kind.index();
+    let (msg, newly_dropped) = {
+        let svc = &mut w.services[slot];
+        let sc = svc.sidecar.as_mut().expect("scAtteR++ has sidecars");
+        let before = sc.dropped;
+        let (outcome, mut msg) = sc.dequeue(now);
+        if let (crate::sidecar::Dequeue::Serve(waited), Some(m)) = (outcome, msg.as_mut()) {
+            m.stage_queue_ms[kind_idx] += waited.as_millis_f64();
+        }
+        (msg, sc.dropped - before)
+    };
+    if newly_dropped > 0 {
+        w.services[slot].drops.stale += newly_dropped;
+        w.services[slot].record_drop(now);
+    }
+    if let Some(msg) = msg {
+        accept_frame(w, sim, slot, msg);
+    }
+}
+
+/// A service takes ownership of a frame: becomes busy and either starts
+/// compute (everything except scAtteR `matching`) or launches the
+/// feature fetch (scAtteR `matching`).
+fn accept_frame(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMsg) {
+    w.services[slot].busy = true;
+    let kind = w.services[slot].kind;
+    if kind == ServiceKind::Matching && !w.cfg.mode.stateless_sift() {
+        send_fetch(w, sim, slot, msg);
+    } else {
+        start_compute(w, sim, slot, msg);
+    }
+}
+
+/// Charge the machine for this service's execution and schedule its
+/// completion. GPU services contend for the machine's token pool.
+fn start_compute(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMsg) {
+    let now = sim.now();
+    let kind = w.services[slot].kind;
+    let machine = w.services[slot].machine;
+    let spec = &w.cluster.machines()[machine];
+    let arch_mult = spec.gpu_arch.map_or(1.0, |a| a.speed_multiplier());
+    let occ_mult = spec.gpu_arch.map_or(1.0, |a| a.gpu_occupancy_multiplier());
+    let virtualized = spec.virtualized;
+    // Wall time (what the service latency metric sees) vs GPU occupancy
+    // (what contends on the token pool): a virtualized V100 is slow in
+    // wall time without saturating its GPU.
+    let duration = w
+        .cost
+        .sample_service_time(kind, arch_mult, virtualized, &mut w.rng_service);
+    // Processor-sharing GPU contention: the kernel starts now, slowed by
+    // the machine's current GPU oversubscription.
+    let (wall, occupancy, ps_weight) = if kind.needs_gpu() {
+        let weight = (occ_mult / arch_mult).min(1.0);
+        let slowdown = w.gpu_pools[machine].ps_begin(weight);
+        let wall = SimDuration::from_secs_f64(duration.as_secs_f64() * slowdown);
+        let occ = SimDuration::from_secs_f64(duration.as_secs_f64() * weight);
+        (wall, occ, weight)
+    } else {
+        (duration, SimDuration::ZERO, 0.0)
+    };
+    let completion = now + wall;
+    // Hardware meters: GPU time for GPU stages, CPU for primary plus a
+    // driver-side fraction for GPU stages.
+    let meters = w.cluster.meters_mut(machine);
+    if kind.needs_gpu() {
+        meters.gpu.add_busy(completion, occupancy);
+        meters.cpu.add_busy(
+            completion,
+            SimDuration::from_secs_f64(duration.as_secs_f64() * w.cost.gpu_cpu_fraction),
+        );
+    } else {
+        meters.cpu.add_busy(completion, duration);
+    }
+    let accepted_at = now;
+    let generation = w.services[slot].generation;
+    sim.schedule_at(completion, move |w, s| {
+        if ps_weight > 0.0 {
+            let m = w.services[slot].machine;
+            w.gpu_pools[m].ps_end(ps_weight);
+        }
+        // A crash between acceptance and completion voids the execution.
+        if w.services[slot].generation != generation {
+            return;
+        }
+        complete_compute(w, s, slot, msg, accepted_at)
+    });
+}
+
+fn complete_compute(
+    w: &mut PipelineWorld,
+    sim: &mut SimW,
+    slot: usize,
+    mut msg: FrameMsg,
+    accepted_at: SimTime,
+) {
+    let now = sim.now();
+    let kind = w.services[slot].kind;
+    let observed_ms = now.saturating_since(accepted_at).as_millis_f64();
+    msg.stage_compute_ms[kind.index()] += observed_ms;
+    w.services[slot].service_latency_ms.record(observed_ms);
+    w.services[slot].proc_series.push(now, observed_ms);
+    // Feed the sidecar's projection with what the service actually costs
+    // under current contention (EWMA over recent executions).
+    let ewma = if w.services[slot].ewma_service_ms == 0.0 {
+        observed_ms
+    } else {
+        0.9 * w.services[slot].ewma_service_ms + 0.1 * observed_ms
+    };
+    w.services[slot].ewma_service_ms = ewma;
+    if let Some(sc) = w.services[slot].sidecar.as_mut() {
+        sc.set_service_est(SimDuration::from_millis_f64(ewma));
+    }
+    w.services[slot].processed += 1;
+    w.services[slot].busy = false;
+
+    let src_node = w.cluster.machines()[w.services[slot].machine].net;
+    match kind {
+        ServiceKind::Primary => {
+            msg.payload_bytes = w.cost.payload_into(ServiceKind::Sift, w.cfg.mode);
+            route_to_service(w, sim, ServiceKind::Sift, msg, src_node);
+        }
+        ServiceKind::Sift => {
+            if !w.cfg.mode.stateless_sift() {
+                // Stateful: park the features until matching fetches them.
+                let key = msg.key();
+                let bytes = w.cost.state_entry_bytes;
+                w.services[slot].store_state(
+                    key,
+                    StateEntry {
+                        stored_at: now,
+                        bytes,
+                    },
+                );
+            }
+            msg.payload_bytes = w.cost.payload_into(ServiceKind::Encoding, w.cfg.mode);
+            route_to_service(w, sim, ServiceKind::Encoding, msg, src_node);
+        }
+        ServiceKind::Encoding => {
+            msg.payload_bytes = w.cost.payload_into(ServiceKind::Lsh, w.cfg.mode);
+            route_to_service(w, sim, ServiceKind::Lsh, msg, src_node);
+        }
+        ServiceKind::Lsh => {
+            msg.payload_bytes = w.cost.payload_into(ServiceKind::Matching, w.cfg.mode);
+            route_to_service(w, sim, ServiceKind::Matching, msg, src_node);
+        }
+        ServiceKind::Matching => {
+            msg.payload_bytes = w.cost.result_bytes();
+            deliver_result(w, sim, msg, src_node);
+        }
+    }
+
+    // Sidecar modes: the freed service immediately pulls the next queued
+    // frame. Stateful modes: a freed sift serves buffered fetches first.
+    if kind == ServiceKind::Sift && !w.cfg.mode.stateless_sift() {
+        drain_fetch_queue(w, sim, slot);
+    }
+    if w.cfg.mode.sidecar_queue() {
+        pull_from_sidecar(w, sim, slot);
+    }
+}
+
+/// scAtteR `matching`: request the frame's feature state from the sift
+/// replica that produced it. `matching` stays busy ("busy waiting for
+/// sift's output") until the response or the timeout.
+fn send_fetch(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, mut msg: FrameMsg) {
+    let now = sim.now();
+    // Stamp the fetch start; the wait until the response is charged to
+    // matching's queue share of the latency breakdown.
+    msg.stage_queue_ms[ServiceKind::Matching.index()] -= now.as_millis_f64();
+    let sift_replica = msg
+        .sift_replica
+        .expect("frame reached matching without a sift binding");
+    let sift_slot = w.replicas[ServiceKind::Sift.index()][sift_replica];
+    let src_node = w.cluster.machines()[w.services[slot].machine].net;
+    let dst_node = w.cluster.machines()[w.services[sift_slot].machine].net;
+
+    let timeout_id = {
+        let key = msg.key();
+        sim.schedule(w.cost.fetch_timeout(), move |w, s| {
+            fetch_timeout(w, s, slot, key)
+        })
+    };
+    w.services[slot].pending_fetch = Some((msg, timeout_id));
+
+    match w.net.send(src_node, dst_node, w.cost.fetch_request_bytes(), now) {
+        simnet::Delivery::Lost => {}
+        simnet::Delivery::Delayed(d) => {
+            sim.schedule(d, move |w, s| fetch_arrive_at_sift(w, s, sift_slot, slot));
+        }
+    }
+}
+
+/// Socket-buffer bound for fetch requests parked at a busy sift.
+const FETCH_QUEUE_CAP: usize = 16;
+
+/// The fetch request reaches sift. The tiny request datagram sits in the
+/// kernel socket buffer while sift is busy (overflow is dropped and the
+/// matching timeout fires); an idle sift serves it and ships the features.
+fn fetch_arrive_at_sift(w: &mut PipelineWorld, sim: &mut SimW, sift_slot: usize, matching_slot: usize) {
+    let key = match &w.services[matching_slot].pending_fetch {
+        Some((msg, _)) => msg.key(),
+        // Matching already timed out; nothing to serve.
+        None => return,
+    };
+    if w.services[sift_slot].busy {
+        if w.services[sift_slot].fetch_queue.len() >= FETCH_QUEUE_CAP {
+            w.services[sift_slot].fetch_dropped += 1;
+            return;
+        }
+        w.services[sift_slot].fetch_queue.push_back((matching_slot, key));
+        return;
+    }
+    serve_fetch(w, sim, sift_slot, matching_slot, key);
+}
+
+/// Execute one fetch on an idle sift.
+fn serve_fetch(
+    w: &mut PipelineWorld,
+    sim: &mut SimW,
+    sift_slot: usize,
+    matching_slot: usize,
+    key: (usize, u64),
+) {
+    if !w.services[sift_slot].state_store.contains_key(&key) {
+        // State evicted (or this is a different in-flight frame): the
+        // matching timeout handles the loss. Move on to any queued fetch.
+        drain_fetch_queue(w, sim, sift_slot);
+        return;
+    }
+    w.services[sift_slot].busy = true;
+    let machine = w.services[sift_slot].machine;
+    let arch_mult = w.cluster.machines()[machine]
+        .gpu_arch
+        .map_or(1.0, |a| a.speed_multiplier());
+    let d = w.cost.sample_fetch_time(arch_mult, &mut w.rng_service);
+    let completion = sim.now() + d;
+    w.cluster.meters_mut(machine).cpu.add_busy(completion, d);
+    sim.schedule_at(completion, move |w, s| {
+        fetch_served(w, s, sift_slot, matching_slot, key)
+    });
+}
+
+/// A sift that just went idle picks up the next buffered fetch request.
+fn drain_fetch_queue(w: &mut PipelineWorld, sim: &mut SimW, sift_slot: usize) {
+    if w.services[sift_slot].busy {
+        return;
+    }
+    if let Some((matching_slot, key)) = w.services[sift_slot].fetch_queue.pop_front() {
+        // Skip fetches whose matching side already gave up.
+        let still_wanted = w.services[matching_slot]
+            .pending_fetch
+            .as_ref()
+            .is_some_and(|(m, _)| m.key() == key);
+        if still_wanted {
+            serve_fetch(w, sim, sift_slot, matching_slot, key);
+        } else {
+            drain_fetch_queue(w, sim, sift_slot);
+        }
+    }
+}
+
+fn fetch_served(
+    w: &mut PipelineWorld,
+    sim: &mut SimW,
+    sift_slot: usize,
+    matching_slot: usize,
+    key: (usize, u64),
+) {
+    w.services[sift_slot].busy = false;
+    drain_fetch_queue(w, sim, sift_slot);
+    if w.services[sift_slot].state_store.remove(&key).is_none() {
+        return;
+    }
+    w.services[sift_slot].fetch_served += 1;
+    let src_node = w.cluster.machines()[w.services[sift_slot].machine].net;
+    let dst_node = w.cluster.machines()[w.services[matching_slot].machine].net;
+    match w.net.send(src_node, dst_node, w.cost.fetch_response_bytes(), sim.now()) {
+        simnet::Delivery::Lost => {}
+        simnet::Delivery::Delayed(d) => {
+            sim.schedule(d, move |w, s| fetch_response(w, s, matching_slot, key));
+        }
+    }
+}
+
+/// Features arrived back at matching: cancel the timeout and run the
+/// actual pose-estimation compute.
+fn fetch_response(w: &mut PipelineWorld, sim: &mut SimW, matching_slot: usize, key: (usize, u64)) {
+    let Some((mut msg, timeout_id)) = w.services[matching_slot].pending_fetch.take() else {
+        return;
+    };
+    if msg.key() != key {
+        // A stale response for a frame matching already gave up on.
+        w.services[matching_slot].pending_fetch = Some((msg, timeout_id));
+        return;
+    }
+    sim.cancel(timeout_id);
+    // Close the fetch-wait stamp opened in send_fetch.
+    msg.stage_queue_ms[ServiceKind::Matching.index()] += sim.now().as_millis_f64();
+    start_compute(w, sim, matching_slot, msg);
+}
+
+fn fetch_timeout(w: &mut PipelineWorld, sim: &mut SimW, matching_slot: usize, key: (usize, u64)) {
+    let now = sim.now();
+    let Some((msg, _)) = &w.services[matching_slot].pending_fetch else {
+        return;
+    };
+    if msg.key() != key {
+        return;
+    }
+    w.services[matching_slot].pending_fetch = None;
+    w.services[matching_slot].drops.fetch_timeout += 1;
+    w.services[matching_slot].record_drop(now);
+    w.services[matching_slot].busy = false;
+}
+
+/// Send the processed frame (bounding boxes) back to its client.
+fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node: simnet::NodeId) {
+    match w.net.send(src_node, msg.client_addr, msg.payload_bytes, sim.now()) {
+        simnet::Delivery::Lost => {}
+        simnet::Delivery::Delayed(d) => {
+            sim.schedule(d, move |w, s| {
+                let now = s.now();
+                let e2e_ms = now.saturating_since(msg.emitted_at).as_millis_f64();
+                for i in 0..5 {
+                    w.breakdown_compute[i].record(msg.stage_compute_ms[i]);
+                    w.breakdown_queue[i].record(msg.stage_queue_ms[i].max(0.0));
+                }
+                w.breakdown_network
+                    .record((e2e_ms - msg.total_compute_ms() - msg.total_queue_ms()).max(0.0));
+                let c = &mut w.clients[msg.client];
+                c.record_completion(msg.frame_no, msg.emitted_at, now);
+                // A completion belongs to the measurement window iff its
+                // *emission* did — otherwise warmup-boundary frames can
+                // push the success ratio past 1.
+                if msg.emitted_at >= w.warmup_at {
+                    c.completed_measured += 1;
+                }
+            });
+        }
+    }
+}
+
+/// 1 Hz resident-memory sampling (per instance and per machine).
+fn sample_metrics(w: &mut PipelineWorld, sim: &mut SimW) {
+    let now = sim.now();
+    let mut machine_totals = vec![0.0f64; w.cluster.machines().len()];
+    for slot in 0..w.services.len() {
+        let svc = &w.services[slot];
+        let base = w.cost.base_memory_gb[svc.kind.index()];
+        let state_gb = svc.state_bytes() as f64 / 1e9;
+        let queue_gb = svc
+            .sidecar
+            .as_ref()
+            .map_or(0.0, |sc| (sc.len() * w.cost.queue_slot_bytes) as f64 / 1e9);
+        let total = base + state_gb + queue_gb;
+        w.mem_series[slot].push(now, total);
+        machine_totals[svc.machine] += total;
+    }
+    for (mi, total) in machine_totals.iter().enumerate() {
+        w.machine_mem[mi].push(now, *total);
+    }
+    if now + SimDuration::from_secs(1) <= w.end_at {
+        sim.schedule(SimDuration::from_secs(1), sample_metrics);
+    }
+}
+
+/// Crash one service instance: all in-memory state is lost (sift's
+/// frame store, the sidecar queue, any in-flight execution) and the
+/// port goes dark until the orchestrator's re-deploy completes — the
+/// failure mode Oakestra's self-healing covers (§3.2: "automatically
+/// re-deploying services upon failures").
+fn crash_instance(w: &mut PipelineWorld, sim: &mut SimW, kind: ServiceKind, replica: usize) {
+    let now = sim.now();
+    let ki = kind.index();
+    let Some(&slot) = w.replicas[ki].get(replica) else {
+        return;
+    };
+    let revive_at = now + w.cfg.recovery;
+    {
+        let svc = &mut w.services[slot];
+        svc.down_until = Some(revive_at);
+        svc.generation += 1;
+        svc.busy = false;
+        svc.state_store.clear();
+        svc.fetch_queue.clear();
+        svc.pending_fetch = None;
+        if let Some(sc) = svc.sidecar.as_mut() {
+            // The queue dies with the container; rebuild it empty.
+            *sc = Sidecar::new(sc.threshold(), sc.service_est(), sc.downstream_est());
+        }
+    }
+    sim.schedule_at(revive_at, move |w, _s| {
+        w.services[slot].down_until = None;
+    });
+}
+
+/// Live-migrate a service instance to another machine: the container is
+/// stopped (in-memory state lost, like a crash), its image is started on
+/// the target after the orchestrator's `recovery` delay, and subsequent
+/// traffic is routed to the new location. This realizes the "dynamic
+/// migrations" the paper's introduction flags as unexplored for AR.
+fn migrate_instance(
+    w: &mut PipelineWorld,
+    sim: &mut SimW,
+    kind: ServiceKind,
+    replica: usize,
+    machine_name: &str,
+) {
+    let Some(target) = w.cluster.machine_index(machine_name) else {
+        return;
+    };
+    let ki = kind.index();
+    let Some(&slot) = w.replicas[ki].get(replica) else {
+        return;
+    };
+    // Stop phase: identical semantics to a crash.
+    crash_instance(w, sim, kind, replica);
+    // Relocate: traffic after the restart flows to the new machine.
+    w.services[slot].machine = target;
+    let now = sim.now();
+    w.scale_events.push(ScaleEvent {
+        at: now,
+        service: kind,
+        machine: machine_name.to_string(),
+        signal: -1.0, // marker: migration, not load-triggered scale-out
+    });
+}
+
+/// Evaluate the autoscaling policy over the last window and scale out if
+/// a service crosses its threshold (see [`crate::autoscale`]).
+fn autoscale_check(w: &mut PipelineWorld, sim: &mut SimW) {
+    let now = sim.now();
+    let auto = w.cfg.autoscale.expect("autoscale_check without config");
+    let window_start = SimTime::from_nanos(now.as_nanos().saturating_sub(auto.interval.as_nanos()));
+    let window_ms = now.saturating_since(window_start).as_millis_f64();
+
+    // Per-kind window signals: (busy fraction, drop ratio).
+    let mut signals = [(0.0f64, 0.0f64); 5];
+    let mut replica_counts = [0usize; 5];
+    for i in 0..5 {
+        let slots = &w.replicas[i];
+        replica_counts[i] = slots.len();
+        let (mut busy_ms, mut ingress, mut drops) = (0.0, 0usize, 0usize);
+        for &slot in slots {
+            let svc = &w.services[slot];
+            busy_ms += svc
+                .proc_series
+                .iter()
+                .filter(|&(t, _)| t >= window_start && t < now)
+                .map(|(_, v)| v)
+                .sum::<f64>();
+            ingress += svc.ingress.window_count(window_start, now);
+            drops += svc.drops_over_time.window_count(window_start, now);
+        }
+        let busy_frac = if window_ms > 0.0 {
+            busy_ms / (window_ms * slots.len() as f64)
+        } else {
+            0.0
+        };
+        let drop_ratio = if ingress == 0 {
+            0.0
+        } else {
+            drops as f64 / ingress as f64
+        };
+        signals[i] = (busy_frac.min(1.0), drop_ratio);
+    }
+
+    if let Some((kind_idx, signal)) = crate::autoscale::pick_target(
+        auto.policy,
+        &signals,
+        &replica_counts,
+        auto.max_replicas,
+    ) {
+        if let Some(machine_idx) = pick_scale_machine(w, auto.spread_over) {
+            add_replica(w, kind_idx, machine_idx, now, signal);
+        }
+    }
+
+    if now + auto.interval <= w.end_at {
+        sim.schedule(auto.interval, autoscale_check);
+    }
+}
+
+/// Least-loaded eligible GPU machine by current instance count.
+fn pick_scale_machine(w: &PipelineWorld, pool: MachinePool) -> Option<usize> {
+    let eligible = |name: &str| match pool {
+        MachinePool::Edge => name == "E1" || name == "E2",
+        MachinePool::EdgeAndCloud => name == "E1" || name == "E2" || name == "cloud",
+    };
+    let mut counts: Vec<(usize, usize)> = w
+        .cluster
+        .machines()
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| eligible(&m.name) && m.has_gpu())
+        .map(|(i, _)| (i, w.services.iter().filter(|s| s.machine == i).count()))
+        .collect();
+    counts.sort_by_key(|&(_, n)| n);
+    counts.first().map(|&(i, _)| i)
+}
+
+/// Deploy one more replica of a service mid-run.
+fn add_replica(
+    w: &mut PipelineWorld,
+    kind_idx: usize,
+    machine_idx: usize,
+    now: SimTime,
+    signal: f64,
+) {
+    let kind = ServiceKind::from_index(kind_idx);
+    let machine_name = w.cluster.machines()[machine_idx].name.clone();
+    let sla = w.slas[kind_idx].clone();
+    if w.cluster.deploy_on(&sla, &machine_name).is_err() {
+        return; // out of capacity — skip this round
+    }
+    let replica = w.replicas[kind_idx].len();
+    let sidecar = make_sidecar(w.cfg.mode, &w.cost, &w.cluster, machine_idx, kind_idx);
+    let slot = w.services.len();
+    w.services.push(SvcRuntime::new(kind, replica, machine_idx, sidecar));
+    w.replicas[kind_idx].push(slot);
+    w.balancers[kind_idx].add_replica();
+    w.mem_series.push(TimeSeries::new());
+    w.scale_events.push(ScaleEvent {
+        at: now,
+        service: kind,
+        machine: machine_name,
+        signal,
+    });
+}
+
+/// Propagate observed per-stage costs into every sidecar's downstream
+/// estimate (the sidecar metrics exchange of §5 / appendix A.2): stage i
+/// projects with Σ_{j>i} (observed cost of stage j + one hop).
+fn refresh_estimates(w: &mut PipelineWorld, sim: &mut SimW) {
+    let hop_ms = 1.0;
+    // Mean observed cost per kind (fallback: cost-model base).
+    let mut kind_ms = [0.0f64; 5];
+    for (i, cost) in kind_ms.iter_mut().enumerate() {
+        let slots = &w.replicas[i];
+        let (mut sum, mut n) = (0.0, 0);
+        for &slot in slots {
+            if w.services[slot].ewma_service_ms > 0.0 {
+                sum += w.services[slot].ewma_service_ms;
+                n += 1;
+            }
+        }
+        *cost = if n > 0 { sum / n as f64 } else { w.cost.base_ms[i] };
+    }
+    for slot in 0..w.services.len() {
+        let i = w.services[slot].kind.index();
+        let downstream: f64 =
+            kind_ms[i + 1..].iter().map(|c| c + hop_ms).sum::<f64>() + hop_ms;
+        if let Some(sc) = w.services[slot].sidecar.as_mut() {
+            sc.set_downstream_est(SimDuration::from_millis_f64(downstream));
+        }
+    }
+    if sim.now() + SimDuration::from_millis(200) <= w.end_at {
+        sim.schedule(SimDuration::from_millis(200), refresh_estimates);
+    }
+}
+
+/// Periodic sift state eviction (the paper notes state is held "till
+/// timeout", bounding — but not eliminating — the memory growth).
+fn evict_sweep(w: &mut PipelineWorld, sim: &mut SimW) {
+    let now = sim.now();
+    let timeout = w.cost.state_timeout();
+    for slot in w.replicas[ServiceKind::Sift.index()].clone() {
+        w.services[slot].evict_stale_state(now, timeout);
+    }
+    if now + SimDuration::from_millis(250) <= w.end_at {
+        sim.schedule(SimDuration::from_millis(250), evict_sweep);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------
+
+fn build_report(mut w: PipelineWorld) -> RunReport {
+    let measure_start = w.warmup_at;
+    let measure_end = w.end_at;
+
+    let per_client_fps: Vec<f64> = w
+        .clients
+        .iter()
+        .map(|c| c.rate.rate_over(measure_start, measure_end))
+        .collect();
+    let per_client_fps_median: Vec<f64> = w
+        .clients
+        .iter()
+        .map(|c| c.rate.median_per_second_rate(measure_start, measure_end))
+        .collect();
+
+    let (mut em, mut cm) = (0u64, 0u64);
+    let mut e2e = metrics::Summary::new();
+    let mut jitter_sum = 0.0;
+    for c in &w.clients {
+        em += c.emitted_measured;
+        cm += c.completed_measured;
+        e2e.merge(&c.e2e_ms);
+        jitter_sum += c.jitter.jitter_ms();
+    }
+    let success_rate = if em == 0 { 0.0 } else { cm as f64 / em as f64 };
+    let jitter_ms = if w.clients.is_empty() {
+        0.0
+    } else {
+        jitter_sum / w.clients.len() as f64
+    };
+    let max_freeze_frames = w.clients.iter().map(|c| c.longest_freeze()).max().unwrap_or(0);
+
+    let services: Vec<ServiceReport> = (0..w.services.len())
+        .map(|slot| {
+            let svc = &w.services[slot];
+            let mem = &w.mem_series[slot];
+            let peak = mem
+                .iter()
+                .map(|(_, v)| v)
+                .fold(0.0f64, f64::max);
+            let (sc_ratio, sc_queue_ms) = svc
+                .sidecar
+                .as_ref()
+                .map_or((0.0, 0.0), |sc| {
+                    (sc.drop_ratio(), sc.mean_queue_time().as_millis_f64())
+                });
+            ServiceReport {
+                kind: svc.kind,
+                replica: svc.replica,
+                machine: w.cluster.machines()[svc.machine].name.clone(),
+                processed: svc.processed,
+                drops: svc.drops,
+                latency_ms: svc.service_latency_ms.clone(),
+                ingress: svc.ingress.clone(),
+                drops_over_time: svc.drops_over_time.clone(),
+                mean_memory_gb: mem.mean(),
+                peak_memory_gb: peak,
+                sidecar_drop_ratio: sc_ratio,
+                mean_queue_ms: sc_queue_ms,
+                fetch_served: svc.fetch_served,
+                fetch_dropped: svc.fetch_dropped,
+            }
+        })
+        .collect();
+
+    let machine_names: Vec<String> = w
+        .cluster
+        .machines()
+        .iter()
+        .map(|m| m.name.clone())
+        .collect();
+    let hw = w.cluster.hardware_snapshot(measure_end);
+    let machines: Vec<MachineReport> = machine_names
+        .iter()
+        .enumerate()
+        .map(|(mi, name)| {
+            let (cpu, gpu, _) = hw[name];
+            let mem = &w.machine_mem[mi];
+            MachineReport {
+                name: name.clone(),
+                cpu_pct: cpu,
+                gpu_pct: gpu,
+                mean_memory_gb: mem.mean(),
+                peak_memory_gb: mem.iter().map(|(_, v)| v).fold(0.0f64, f64::max),
+            }
+        })
+        .collect();
+
+    RunReport {
+        mode: w.cfg.mode,
+        clients: w.cfg.clients,
+        measure_start,
+        measure_end,
+        per_client_fps,
+        per_client_fps_median,
+        success_rate,
+        e2e_ms: e2e,
+        jitter_ms,
+        max_freeze_frames,
+        services,
+        machines,
+        bytes_on_wire: w.net.total_bytes(),
+        datagrams_lost: w.net.total_lost(),
+        scale_events: w.scale_events,
+        breakdown_compute: w.breakdown_compute,
+        breakdown_queue: w.breakdown_queue,
+        breakdown_network: w.breakdown_network,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::placements;
+
+    fn quick(mode: Mode, placement: orchestra::PlacementSpec, clients: usize) -> RunReport {
+        let cfg = RunConfig::new(mode, placement, clients)
+            .with_duration(SimDuration::from_secs(20))
+            .with_warmup(SimDuration::from_secs(3));
+        run_experiment(cfg)
+    }
+
+    #[test]
+    fn single_client_edge_reaches_paper_fps() {
+        let r = quick(Mode::Scatter, placements::c1(), 1);
+        assert!(
+            r.fps() >= 24.0,
+            "single-client C1 FPS {:.1} below the paper's ≥25",
+            r.fps()
+        );
+        let e2e = r.e2e_mean_ms();
+        assert!(
+            (30.0..=55.0).contains(&e2e),
+            "E2E {e2e:.1} ms outside the ≈40 ms band"
+        );
+        assert!(r.success_rate > 0.75, "success {:.2}", r.success_rate);
+    }
+
+    #[test]
+    fn scatter_degrades_with_clients() {
+        let one = quick(Mode::Scatter, placements::c1(), 1);
+        let four = quick(Mode::Scatter, placements::c1(), 4);
+        assert!(
+            four.fps() < one.fps() * 0.6,
+            "scAtteR should degrade: 1 client {:.1} fps, 4 clients {:.1} fps",
+            one.fps(),
+            four.fps()
+        );
+    }
+
+    #[test]
+    fn scatterpp_beats_scatter_at_four_clients() {
+        let base = quick(Mode::Scatter, placements::c1(), 4);
+        let pp = quick(Mode::ScatterPP, placements::c1(), 4);
+        assert!(
+            pp.fps() >= base.fps() * 1.6,
+            "scAtteR++ {:.1} fps not ≥1.6× scAtteR {:.1} fps",
+            pp.fps(),
+            base.fps()
+        );
+    }
+
+    #[test]
+    fn scatterpp_respects_latency_threshold() {
+        // The sidecar filter is enforced at admission/dequeue: a frame
+        // can still overshoot if a GPU hiccup strikes *while it is being
+        // processed* (no mid-flight preemption in the real system
+        // either). So the median must honour the budget and the p99 may
+        // exceed it only by one worst-case hiccuped stage.
+        let r = quick(Mode::ScatterPP, placements::c1(), 4);
+        let mut e = r.e2e_ms.clone();
+        assert!(e.median() <= 105.0, "median E2E {:.1} ms breaches the filter", e.median());
+        assert!(e.p99() <= 160.0, "p99 E2E {:.1} ms beyond hiccup slack", e.p99());
+    }
+
+    #[test]
+    fn cloud_slower_than_edge() {
+        let edge = quick(Mode::Scatter, placements::c1(), 1);
+        let cloud = quick(Mode::Scatter, placements::cloud_only(), 1);
+        assert!(cloud.fps() < edge.fps(), "cloud {:.1} vs edge {:.1}", cloud.fps(), edge.fps());
+        assert!(
+            cloud.e2e_mean_ms() > edge.e2e_mean_ms() + 10.0,
+            "cloud E2E {:.1} should exceed edge {:.1} by ≈20 ms",
+            cloud.e2e_mean_ms(),
+            edge.e2e_mean_ms()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick(Mode::Scatter, placements::c12(), 2);
+        let b = quick(Mode::Scatter, placements::c12(), 2);
+        assert_eq!(a.per_client_fps, b.per_client_fps);
+        assert_eq!(a.bytes_on_wire, b.bytes_on_wire);
+        assert_eq!(a.e2e_ms.samples(), b.e2e_ms.samples());
+    }
+
+    #[test]
+    fn sift_memory_grows_under_scatter_load() {
+        let r = quick(Mode::Scatter, placements::c1(), 4);
+        let sift_mem = r.memory_gb(ServiceKind::Sift);
+        let lsh_mem = r.memory_gb(ServiceKind::Lsh);
+        assert!(
+            sift_mem > lsh_mem * 2.0,
+            "stateful sift memory {sift_mem:.2} GB should dominate lsh {lsh_mem:.2} GB"
+        );
+    }
+
+    #[test]
+    fn ablation_modes_sit_between_the_two_generations() {
+        let base = quick(Mode::Scatter, placements::c2(), 4).fps();
+        let stateless = quick(Mode::StatelessOnly, placements::c2(), 4).fps();
+        let sidecar = quick(Mode::SidecarOnly, placements::c2(), 4).fps();
+        let full = quick(Mode::ScatterPP, placements::c2(), 4).fps();
+        // Statelessness alone helps (it breaks the dependency loop).
+        assert!(stateless > base * 1.1, "stateless {stateless:.1} vs base {base:.1}");
+        // Queues alone do NOT: §4's point that backpressure mitigation
+        // "may not be effective, as the bottleneck not only lies in the
+        // processing complexity of the service but in the dependency
+        // loop". The sidecar buffers frames that matching then times out
+        // on anyway.
+        assert!(
+            (base * 0.75..=base * 1.25).contains(&sidecar),
+            "sidecar-only {sidecar:.1} should sit near base {base:.1}"
+        );
+        // The full redesign needs both changes and beats each alone.
+        assert!(full >= stateless * 0.85, "full {full:.1} vs stateless {stateless:.1}");
+        assert!(full > sidecar * 1.2, "full {full:.1} vs sidecar {sidecar:.1}");
+    }
+
+    #[test]
+    fn app_aware_autoscaler_scales_and_improves() {
+        use crate::autoscale::AutoscaleConfig;
+        let placement = orchestra::PlacementSpec::all_on(&crate::message::SERVICE_NAMES, "E2");
+        let static_run = quick(Mode::ScatterPP, placement.clone(), 6);
+        let cfg = RunConfig::new(Mode::ScatterPP, placement, 6)
+            .with_duration(SimDuration::from_secs(20))
+            .with_warmup(SimDuration::from_secs(3))
+            .with_autoscale(AutoscaleConfig::application_aware(0.10));
+        let scaled_run = run_experiment(cfg);
+        assert!(
+            !scaled_run.scale_events.is_empty(),
+            "autoscaler never acted under heavy load"
+        );
+        assert!(
+            scaled_run.fps() > static_run.fps(),
+            "scaling should improve FPS: {:.1} vs static {:.1} (events: {:?})",
+            scaled_run.fps(),
+            static_run.fps(),
+            scaled_run.scale_events.len()
+        );
+    }
+
+    #[test]
+    fn hardware_autoscaler_is_blind_under_scatter_drops() {
+        use crate::autoscale::AutoscaleConfig;
+        // Insight (I)/(IV): under scAtteR's drop regime utilization
+        // stalls, so a utilization-threshold policy never fires even
+        // though QoS has collapsed.
+        let placement = placements::c2();
+        let cfg = RunConfig::new(Mode::Scatter, placement.clone(), 4)
+            .with_duration(SimDuration::from_secs(20))
+            .with_warmup(SimDuration::from_secs(3))
+            .with_autoscale(AutoscaleConfig::hardware(0.75));
+        let hw = run_experiment(cfg);
+        let cfg = RunConfig::new(Mode::Scatter, placement, 4)
+            .with_duration(SimDuration::from_secs(20))
+            .with_warmup(SimDuration::from_secs(3))
+            .with_autoscale(AutoscaleConfig::application_aware(0.10));
+        let app = run_experiment(cfg);
+        assert!(
+            hw.scale_events.len() < app.scale_events.len(),
+            "hardware policy ({} actions) should lag app-aware ({} actions)",
+            hw.scale_events.len(),
+            app.scale_events.len()
+        );
+        assert!(app.fps() < 30.0, "sanity: the system is actually overloaded");
+    }
+
+    #[test]
+    fn crash_and_recovery_dent_then_restore_qos() {
+        let base = quick(Mode::ScatterPP, placements::c2(), 2);
+        let cfg = RunConfig::new(Mode::ScatterPP, placements::c2(), 2)
+            .with_duration(SimDuration::from_secs(20))
+            .with_warmup(SimDuration::from_secs(3))
+            .with_failure(SimDuration::from_secs(8), ServiceKind::Sift, 0)
+            .with_recovery(SimDuration::from_secs(2));
+        let crashed = run_experiment(cfg);
+        // The 2 s outage costs roughly 2 s × 60 frames = ~12% of the run.
+        assert!(
+            crashed.fps() < base.fps() * 0.97,
+            "crash should dent FPS: {:.1} vs {:.1}",
+            crashed.fps(),
+            base.fps()
+        );
+        assert!(
+            crashed.fps() > base.fps() * 0.6,
+            "recovery should restore most QoS: {:.1} vs {:.1}",
+            crashed.fps(),
+            base.fps()
+        );
+        let sift = crashed
+            .services
+            .iter()
+            .find(|s| s.kind == ServiceKind::Sift)
+            .unwrap();
+        assert!(sift.drops.down > 0, "downtime drops must be recorded");
+    }
+
+    #[test]
+    fn crash_loses_stateful_sift_frames() {
+        // In scAtteR a sift crash also strands matching's fetches for
+        // frames whose state died with the container: the crashed run
+        // must see at least as many fetch timeouts and a lower success
+        // rate than the identical run without the crash.
+        let run_with = |crash: bool| {
+            let mut cfg = RunConfig::new(Mode::Scatter, placements::c2(), 2)
+                .with_duration(SimDuration::from_secs(15))
+                .with_warmup(SimDuration::from_secs(2));
+            if crash {
+                cfg = cfg.with_failure(SimDuration::from_secs(7), ServiceKind::Sift, 0);
+            }
+            run_experiment(cfg)
+        };
+        let clean = run_with(false);
+        let crashed = run_with(true);
+        let timeouts = |r: &RunReport| {
+            r.services
+                .iter()
+                .filter(|s| s.kind == ServiceKind::Matching)
+                .map(|s| s.drops.fetch_timeout)
+                .sum::<u64>()
+        };
+        assert!(
+            timeouts(&crashed) >= timeouts(&clean),
+            "crash must not reduce fetch timeouts: {} vs {}",
+            timeouts(&crashed),
+            timeouts(&clean)
+        );
+        assert!(
+            crashed.success_rate < clean.success_rate,
+            "crash must cost frames: {:.2} vs {:.2}",
+            crashed.success_rate,
+            clean.success_rate
+        );
+    }
+
+    #[test]
+    fn stateless_sift_holds_no_state() {
+        let r = quick(Mode::ScatterPP, placements::c1(), 4);
+        let sift = r
+            .services
+            .iter()
+            .find(|s| s.kind == ServiceKind::Sift)
+            .unwrap();
+        assert_eq!(sift.fetch_served, 0);
+        assert_eq!(sift.fetch_dropped, 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Virtual time for the simulation: an absolute instant ([`SimTime`]) and a
+//! span ([`SimDuration`]), both counted in integer nanoseconds so that
+//! arithmetic is exact and ordering is total. Floating-point time is the
+//! classic source of non-reproducible discrete-event simulations; we avoid
+//! it at the representation layer and only convert at the measurement edge.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the run. `SimTime::ZERO` is the epoch of every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds. Unsigned: the simulator never
+/// schedules into the past, and subtraction saturates to zero to keep
+/// latency arithmetic panic-free in the presence of reordered deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// Largest representable instant; used as the "run to completion" bound.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future (e.g. comparing against a timestamp taken on another
+    /// clock domain in the real-UDP runtime).
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+    /// Construct from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero — cost
+    /// models occasionally produce tiny negative samples from additive
+    /// noise and those must not panic mid-experiment.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1e9).round() as u64)
+    }
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] where reordering is possible.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000_000 {
+            write!(f, "{}us", self.as_micros())
+        } else {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(42).as_millis(), 42);
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3_000);
+        assert_eq!(SimDuration::from_micros(1500).as_millis(), 1);
+        assert_eq!(SimDuration::from_millis(7).as_nanos(), 7_000_000);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_bad_input() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.001).as_millis(), 1);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+        assert_eq!((t - SimTime::from_millis(10)).as_millis(), 5);
+        assert_eq!(
+            SimTime::from_millis(3).saturating_since(SimTime::from_millis(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates() {
+        let max = SimDuration::MAX;
+        assert_eq!(max + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(SimDuration::from_millis(6) / 2, SimDuration::from_millis(3));
+        assert_eq!(SimDuration::from_millis(6) * 3, SimDuration::from_millis(18));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_millis(5),
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        ];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[2], SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(250)), "250us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.00ms");
+    }
+}

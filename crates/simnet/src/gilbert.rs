@@ -1,0 +1,164 @@
+//! Gilbert–Elliott burst-loss channel.
+//!
+//! The paper's `tc netem` emulation draws losses independently per
+//! packet, but real mobile channels lose in *bursts* (fading dips,
+//! handovers). The classic two-state Markov model captures this: a Good
+//! state with negligible loss and a Bad state with high loss, with
+//! geometric sojourn times. Holding the *average* loss rate fixed while
+//! concentrating it into bursts changes what an AR pipeline experiences:
+//! whole frame sequences disappear (tracking breaks) instead of isolated
+//! frames (which tracking rides over) — an effect the uniform model
+//! cannot show.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+/// Two-state Markov loss channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per packet.
+    pub p_gb: f64,
+    /// P(Bad → Good) per packet.
+    pub p_bg: f64,
+    /// Loss probability in the Good state.
+    pub loss_good: f64,
+    /// Loss probability in the Bad state.
+    pub loss_bad: f64,
+    /// Current state (true = Bad).
+    bad: bool,
+}
+
+impl GilbertElliott {
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for p in [p_gb, p_bg, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        assert!(p_bg > 0.0, "the Bad state must be escapable");
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            bad: false,
+        }
+    }
+
+    /// Build a bursty channel with a target *average* loss rate and a
+    /// mean burst length (in packets). The Bad state loses everything;
+    /// the Good state is clean.
+    ///
+    /// Stationary P(Bad) = p_gb / (p_gb + p_bg); with loss_bad = 1 and
+    /// loss_good = 0 the average loss equals P(Bad).
+    pub fn with_average_loss(avg_loss: f64, mean_burst_len: f64) -> Self {
+        assert!((0.0..1.0).contains(&avg_loss));
+        assert!(mean_burst_len >= 1.0);
+        let p_bg = 1.0 / mean_burst_len;
+        // avg = p_gb / (p_gb + p_bg)  →  p_gb = avg × p_bg / (1 − avg)
+        let p_gb = (avg_loss * p_bg / (1.0 - avg_loss)).min(1.0);
+        Self::new(p_gb, p_bg, 0.0, 1.0)
+    }
+
+    /// Advance one packet: returns `true` if it is lost.
+    pub fn lose_packet(&mut self, rng: &mut SimRng) -> bool {
+        // State transition first, then loss draw in the new state.
+        self.bad = if self.bad {
+            !rng.bernoulli(self.p_bg)
+        } else {
+            rng.bernoulli(self.p_gb)
+        };
+        let p = if self.bad { self.loss_bad } else { self.loss_good };
+        rng.bernoulli(p)
+    }
+
+    /// Stationary probability of the Bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_gb / (self.p_gb + self.p_bg)
+    }
+
+    /// Long-run average per-packet loss rate.
+    pub fn average_loss(&self) -> f64 {
+        let pb = self.stationary_bad();
+        pb * self.loss_bad + (1.0 - pb) * self.loss_good
+    }
+
+    pub fn in_bad_state(&self) -> bool {
+        self.bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn average_loss_matches_target() {
+        let mut ch = GilbertElliott::with_average_loss(0.05, 20.0);
+        assert!((ch.average_loss() - 0.05).abs() < 1e-9);
+        let mut rng = SimRng::new(1);
+        let n = 400_000;
+        let lost = (0..n).filter(|_| ch.lose_packet(&mut rng)).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "measured {rate}");
+    }
+
+    #[test]
+    fn losses_are_bursty() {
+        // Compare run-length statistics of bursty vs uniform loss at the
+        // same average rate: the bursty channel's mean loss-run length
+        // must be several times larger.
+        let mut rng = SimRng::new(2);
+        let mean_run = |losses: &[bool]| {
+            let mut runs = Vec::new();
+            let mut run = 0usize;
+            for &l in losses {
+                if l {
+                    run += 1;
+                } else if run > 0 {
+                    runs.push(run);
+                    run = 0;
+                }
+            }
+            if runs.is_empty() {
+                0.0
+            } else {
+                runs.iter().sum::<usize>() as f64 / runs.len() as f64
+            }
+        };
+        let mut bursty_ch = GilbertElliott::with_average_loss(0.05, 25.0);
+        let bursty: Vec<bool> = (0..200_000).map(|_| bursty_ch.lose_packet(&mut rng)).collect();
+        let uniform: Vec<bool> = (0..200_000).map(|_| rng.bernoulli(0.05)).collect();
+        let (rb, ru) = (mean_run(&bursty), mean_run(&uniform));
+        assert!(
+            rb > ru * 5.0,
+            "bursty mean run {rb:.1} not ≫ uniform {ru:.1}"
+        );
+    }
+
+    #[test]
+    fn good_state_is_clean() {
+        let mut ch = GilbertElliott::new(0.0, 1.0, 0.0, 1.0);
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            assert!(!ch.lose_packet(&mut rng), "p_gb = 0 must never lose");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "escapable")]
+    fn bad_state_must_be_escapable() {
+        GilbertElliott::new(0.5, 0.0, 0.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn stationary_math_consistent(
+            avg in 0.001f64..0.3,
+            burst in 1.0f64..100.0,
+        ) {
+            let ch = GilbertElliott::with_average_loss(avg, burst);
+            prop_assert!((ch.average_loss() - avg).abs() < 1e-9);
+            prop_assert!(ch.stationary_bad() <= avg + 1e-9 + avg); // loss_bad = 1
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! A duplex link with latency, jitter, loss, and bandwidth.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimRng};
+
+/// Ethernet-ish payload MTU used for fragmentation accounting.
+pub const MTU_BYTES: usize = 1472;
+
+/// Outcome of offering one datagram to a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delivery {
+    /// Datagram arrives after this one-way delay.
+    Delayed(SimDuration),
+    /// Datagram (or one of its fragments) was lost; nothing arrives.
+    Lost,
+}
+
+impl Delivery {
+    pub fn is_lost(&self) -> bool {
+        matches!(self, Delivery::Lost)
+    }
+
+    pub fn delay(&self) -> Option<SimDuration> {
+        match self {
+            Delivery::Delayed(d) => Some(*d),
+            Delivery::Lost => None,
+        }
+    }
+}
+
+/// One direction of a network link.
+///
+/// Delay composition per datagram:
+/// `base_latency + N(0, jitter_std) + oscillation + bytes/bandwidth`,
+/// where `oscillation` adds `osc_delay` with probability `osc_prob`
+/// (the paper's mobility emulation: "10 ms delay oscillation with 20 %
+/// probability"). Loss applies independently per MTU fragment, so large
+/// datagrams — like scAtteR++'s 480 KB state-carrying frames — are
+/// proportionally more exposed, exactly as over real UDP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// One-way propagation + queueing baseline.
+    pub base_latency: SimDuration,
+    /// Gaussian jitter standard deviation (truncated at zero total delay).
+    pub jitter_std: SimDuration,
+    /// Per-fragment loss probability in `[0, 1]`.
+    pub loss_prob: f64,
+    /// Link rate in bits per second, for serialization delay. `None`
+    /// means infinitely fast (pure-latency link).
+    pub bandwidth_bps: Option<f64>,
+    /// Extra delay added with probability `osc_prob`.
+    pub osc_delay: SimDuration,
+    pub osc_prob: f64,
+    /// Maximum time a datagram may wait in the sender-side serialization
+    /// queue before the buffer drops it (bufferbloat bound). Only
+    /// meaningful on bandwidth-limited links.
+    pub queue_limit: SimDuration,
+}
+
+impl Link {
+    /// A clean link with the given one-way latency and no impairments.
+    pub fn with_latency(one_way: SimDuration) -> Self {
+        Link {
+            base_latency: one_way,
+            jitter_std: SimDuration::ZERO,
+            loss_prob: 0.0,
+            bandwidth_bps: None,
+            osc_delay: SimDuration::ZERO,
+            osc_prob: 0.0,
+            queue_limit: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Convenience: latency given as an RTT in milliseconds (halved).
+    pub fn from_rtt_ms(rtt_ms: f64) -> Self {
+        Self::with_latency(SimDuration::from_millis_f64(rtt_ms / 2.0))
+    }
+
+    pub fn loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.loss_prob = p;
+        self
+    }
+
+    pub fn jitter(mut self, std: SimDuration) -> Self {
+        self.jitter_std = std;
+        self
+    }
+
+    pub fn bandwidth_mbps(mut self, mbps: f64) -> Self {
+        assert!(mbps > 0.0);
+        self.bandwidth_bps = Some(mbps * 1e6);
+        self
+    }
+
+    pub fn oscillation(mut self, delay: SimDuration, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob));
+        self.osc_delay = delay;
+        self.osc_prob = prob;
+        self
+    }
+
+    /// Number of MTU-sized fragments a `bytes`-sized datagram needs.
+    pub fn fragments(bytes: usize) -> usize {
+        bytes.div_ceil(MTU_BYTES).max(1)
+    }
+
+    /// Effective datagram loss probability after fragmentation:
+    /// `1 - (1 - p)^frags`.
+    pub fn effective_loss(&self, bytes: usize) -> f64 {
+        1.0 - (1.0 - self.loss_prob).powi(Self::fragments(bytes) as i32)
+    }
+
+    /// Offer one datagram of `bytes` to the link.
+    pub fn send(&self, bytes: usize, rng: &mut SimRng) -> Delivery {
+        let frags = Self::fragments(bytes);
+        if self.loss_prob > 0.0 {
+            for _ in 0..frags {
+                if rng.bernoulli(self.loss_prob) {
+                    return Delivery::Lost;
+                }
+            }
+        }
+        let mut delay_s = self.base_latency.as_secs_f64();
+        if !self.jitter_std.is_zero() {
+            delay_s += rng.normal_with(0.0, self.jitter_std.as_secs_f64());
+        }
+        if self.osc_prob > 0.0 && rng.bernoulli(self.osc_prob) {
+            delay_s += self.osc_delay.as_secs_f64();
+        }
+        if let Some(bps) = self.bandwidth_bps {
+            delay_s += (bytes as f64 * 8.0) / bps;
+        }
+        // Physical floor: a datagram cannot arrive before it is sent.
+        Delivery::Delayed(SimDuration::from_secs_f64(delay_s.max(1e-6)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_link_is_deterministic_latency() {
+        let link = Link::with_latency(SimDuration::from_millis(5));
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            match link.send(1000, &mut rng) {
+                Delivery::Delayed(d) => assert_eq!(d.as_millis(), 5),
+                Delivery::Lost => panic!("clean link lost a packet"),
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_helper_halves() {
+        let link = Link::from_rtt_ms(3.0);
+        assert_eq!(link.base_latency.as_micros(), 1500);
+    }
+
+    #[test]
+    fn fragmentation_counts() {
+        assert_eq!(Link::fragments(0), 1);
+        assert_eq!(Link::fragments(1), 1);
+        assert_eq!(Link::fragments(MTU_BYTES), 1);
+        assert_eq!(Link::fragments(MTU_BYTES + 1), 2);
+        assert_eq!(Link::fragments(480 * 1024), 334);
+    }
+
+    #[test]
+    fn effective_loss_grows_with_size() {
+        let link = Link::with_latency(SimDuration::from_millis(1)).loss(0.0008);
+        let small = link.effective_loss(180 * 1024);
+        let large = link.effective_loss(480 * 1024);
+        assert!(large > small, "bigger datagrams must be lossier");
+        assert!(large < 1.0);
+    }
+
+    #[test]
+    fn lossy_link_loses_at_measured_rate() {
+        // 0.08% per fragment, single-fragment packets.
+        let link = Link::with_latency(SimDuration::from_millis(1)).loss(0.0008);
+        let mut rng = SimRng::new(7);
+        let n = 200_000;
+        let lost = (0..n).filter(|_| link.send(500, &mut rng).is_lost()).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.0008).abs() < 0.0004, "loss rate {rate}");
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let link = Link::with_latency(SimDuration::ZERO).bandwidth_mbps(8.0);
+        let mut rng = SimRng::new(3);
+        // 1000 bytes at 8 Mbps = 1 ms.
+        let d = link.send(1000, &mut rng).delay().unwrap();
+        assert!((d.as_millis_f64() - 1.0).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn oscillation_sometimes_adds_delay() {
+        let link = Link::with_latency(SimDuration::from_millis(1))
+            .oscillation(SimDuration::from_millis(10), 0.2);
+        let mut rng = SimRng::new(11);
+        let n = 10_000;
+        let slow = (0..n)
+            .filter(|_| link.send(100, &mut rng).delay().unwrap().as_millis() >= 10)
+            .count();
+        let frac = slow as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.03, "oscillation fraction {frac}");
+    }
+
+    #[test]
+    fn delay_never_negative_under_jitter() {
+        let link =
+            Link::with_latency(SimDuration::from_micros(100)).jitter(SimDuration::from_millis(5));
+        let mut rng = SimRng::new(13);
+        for _ in 0..10_000 {
+            let d = link.send(100, &mut rng).delay().unwrap();
+            assert!(d.as_nanos() >= 1_000, "delay below physical floor: {d}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn send_is_deterministic_given_seed(
+            bytes in 1usize..100_000,
+            seed in 0u64..1000,
+            loss in 0.0f64..0.5,
+        ) {
+            let link = Link::with_latency(SimDuration::from_millis(2)).loss(loss);
+            let a = link.send(bytes, &mut SimRng::new(seed));
+            let b = link.send(bytes, &mut SimRng::new(seed));
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn effective_loss_in_unit_interval(
+            bytes in 1usize..1_000_000,
+            loss in 0.0f64..1.0,
+        ) {
+            let link = Link::with_latency(SimDuration::from_millis(1)).loss(loss);
+            let p = link.effective_loss(bytes);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= loss - 1e-12, "fragmented loss below per-fragment loss");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! `tc netem`-style access-network profiles.
+//!
+//! Appendix A.1.1 of the paper emulates mobile connectivity on the
+//! client→ingress link with parameters taken from measurement studies:
+//! LTE (40 ms RTT, 0.08 % loss), 5G (10 ms RTT, 0.00001–0.01 % loss), and
+//! WiFi-6 (5 ms RTT, 0.00001–0.01 % loss), plus 10 ms delay oscillation
+//! with 20 % probability to emulate mobility. Loss sweeps fix delay at
+//! 1 ms; latency sweeps fix loss at 0.00001 %.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::link::Link;
+
+/// A named access-network condition applied to the client↔ingress link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetemProfile {
+    pub name: String,
+    /// Round-trip time injected by the profile.
+    pub rtt_ms: f64,
+    /// Per-packet loss probability.
+    pub loss: f64,
+    /// Mobility emulation: extra delay added with some probability.
+    pub osc_delay_ms: f64,
+    pub osc_prob: f64,
+    /// When set, losses are bursty (Gilbert–Elliott) with this mean
+    /// burst length in packets, at the same average rate as `loss`.
+    pub burst_len: Option<f64>,
+}
+
+impl NetemProfile {
+    pub fn new(name: &str, rtt_ms: f64, loss: f64) -> Self {
+        NetemProfile {
+            name: name.to_string(),
+            rtt_ms,
+            loss,
+            osc_delay_ms: 0.0,
+            osc_prob: 0.0,
+            burst_len: None,
+        }
+    }
+
+    /// Add the paper's mobility emulation (10 ms oscillation @ 20 %).
+    pub fn with_mobility(mut self) -> Self {
+        self.osc_delay_ms = 10.0;
+        self.osc_prob = 0.2;
+        self
+    }
+
+    /// Make the loss bursty (extension; see [`crate::gilbert`]).
+    pub fn with_burst_loss(mut self, mean_burst_len: f64) -> Self {
+        self.burst_len = Some(mean_burst_len);
+        self
+    }
+
+    /// LTE: 40 ms RTT, 0.08 % loss.
+    pub fn lte() -> Self {
+        Self::new("LTE", 40.0, 0.0008)
+    }
+
+    /// 5G: 10 ms RTT, loss in 0.00001–0.01 % (we take the upper bound).
+    pub fn fiveg() -> Self {
+        Self::new("5G", 10.0, 0.0001)
+    }
+
+    /// WiFi-6: 5 ms RTT, loss in 0.00001–0.01 % (upper bound).
+    pub fn wifi6() -> Self {
+        Self::new("WiFi-6", 5.0, 0.0001)
+    }
+
+    /// The paper's loss-sweep points (fig. 9a): delay fixed at 1 ms.
+    pub fn loss_sweep() -> Vec<Self> {
+        [1e-7, 1e-4, 8e-4]
+            .iter()
+            .map(|&l| Self::new(&format!("loss {:.5}%", l * 100.0), 1.0, l).with_mobility())
+            .collect()
+    }
+
+    /// The paper's latency-sweep points (fig. 9b): loss fixed at 0.00001 %.
+    pub fn latency_sweep() -> Vec<Self> {
+        [1.0, 5.0, 10.0, 40.0]
+            .iter()
+            .map(|&ms| Self::new(&format!("{ms} ms"), ms, 1e-7).with_mobility())
+            .collect()
+    }
+
+    /// Materialize the profile as a one-way [`Link`]. Bursty profiles
+    /// leave the link's i.i.d. loss at zero — the burst channel installed
+    /// via [`crate::UdpNet::set_burst_channel`] supplies losses instead.
+    pub fn to_link(&self) -> Link {
+        let iid_loss = if self.burst_len.is_some() { 0.0 } else { self.loss };
+        Link::from_rtt_ms(self.rtt_ms)
+            .loss(iid_loss)
+            .oscillation(SimDuration::from_millis_f64(self.osc_delay_ms), self.osc_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let lte = NetemProfile::lte();
+        assert_eq!(lte.rtt_ms, 40.0);
+        assert_eq!(lte.loss, 0.0008);
+        let g5 = NetemProfile::fiveg();
+        assert_eq!(g5.rtt_ms, 10.0);
+        let wifi = NetemProfile::wifi6();
+        assert_eq!(wifi.rtt_ms, 5.0);
+    }
+
+    #[test]
+    fn mobility_adds_oscillation() {
+        let p = NetemProfile::lte().with_mobility();
+        assert_eq!(p.osc_delay_ms, 10.0);
+        assert_eq!(p.osc_prob, 0.2);
+        let link = p.to_link();
+        assert_eq!(link.osc_delay.as_millis(), 10);
+    }
+
+    #[test]
+    fn sweeps_have_paper_cardinality() {
+        assert_eq!(NetemProfile::loss_sweep().len(), 3);
+        assert_eq!(NetemProfile::latency_sweep().len(), 4);
+    }
+
+    #[test]
+    fn bursty_profile_moves_loss_off_the_link() {
+        let p = NetemProfile::new("b", 10.0, 0.01).with_burst_loss(20.0);
+        assert_eq!(p.to_link().loss_prob, 0.0);
+        assert_eq!(p.burst_len, Some(20.0));
+    }
+
+    #[test]
+    fn to_link_halves_rtt() {
+        let link = NetemProfile::fiveg().to_link();
+        assert_eq!(link.base_latency.as_millis(), 5);
+    }
+}

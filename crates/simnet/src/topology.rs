@@ -1,0 +1,193 @@
+//! The testbed topology: named machines and the links between them.
+//!
+//! The paper's infrastructure (§3.2): client NUCs wired to E1 over
+//! Ethernet (≤1 ms RTT), E2 reachable from E1 across 2–4 LAN hops
+//! (≈3 ms RTT), and an AWS cloud instance at ≈15 ms RTT from everything
+//! on-premises. Co-located services talk over loopback.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::link::Link;
+
+/// Identifier of a machine in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A set of machines and the duplex links between them.
+///
+/// Links are stored per unordered pair and used symmetrically (the
+/// testbed's links are symmetric); loopback traffic within one machine
+/// uses a dedicated low-latency link.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    names: Vec<String>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    loopback: Link,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Topology {
+            names: Vec::new(),
+            links: HashMap::new(),
+            // Loopback/IPC between co-located containers: ~60 µs, no loss.
+            loopback: Link::with_latency(SimDuration::from_micros(60)),
+        }
+    }
+
+    /// Add a machine; returns its id.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        id
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Install (or replace) the duplex link between `a` and `b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: Link) {
+        assert_ne!(a, b, "use the loopback for same-node traffic");
+        self.links.insert(Self::key(a, b), link);
+    }
+
+    /// Link used for traffic from `a` to `b`. Same-node traffic gets the
+    /// loopback; unknown pairs get `None` (unroutable).
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&Link> {
+        if a == b {
+            return Some(&self.loopback);
+        }
+        self.links.get(&Self::key(a, b))
+    }
+
+    /// Replace the loopback link (tests and ablations).
+    pub fn set_loopback(&mut self, link: Link) {
+        self.loopback = link;
+    }
+}
+
+/// Handles to the machines of the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Testbed {
+    pub e1: NodeId,
+    pub e2: NodeId,
+    pub cloud: NodeId,
+    /// One node per client NUC host.
+    pub client_host: NodeId,
+}
+
+impl Testbed {
+    /// Build the paper's testbed. The returned [`Topology`] has four
+    /// machines: E1, E2, cloud, and a client host standing in for the
+    /// NUC pool (clients are virtualized containers on NUCs in the paper,
+    /// so one network vantage point suffices).
+    pub fn build() -> (Topology, Testbed) {
+        let mut topo = Topology::new();
+        let client_host = topo.add_node("client-host");
+        let e1 = topo.add_node("E1");
+        let e2 = topo.add_node("E2");
+        let cloud = topo.add_node("cloud");
+
+        // Client NUCs wired directly to E1: ≤1 ms RTT gigabit Ethernet.
+        topo.connect(client_host, e1, Link::from_rtt_ms(1.0).bandwidth_mbps(1000.0));
+        // E1 ↔ E2 over 2–4 LAN hops: ≈3 ms RTT, gigabit.
+        topo.connect(e1, e2, Link::from_rtt_ms(3.0).bandwidth_mbps(1000.0));
+        // Clients reach E2 through the LAN: 1 + 3 ms RTT.
+        topo.connect(client_host, e2, Link::from_rtt_ms(4.0).bandwidth_mbps(1000.0));
+        // Cloud at ≈15 ms RTT from the premises. The public Internet path
+        // has mild jitter (the paper observes elevated cloud-side frame
+        // jitter), residual loss, and a constrained uplink — the
+        // congestion the hybrid deployment of fig. 11 runs into.
+        let inet_jitter = SimDuration::from_micros(400);
+        let inet = |l: Link| l.jitter(inet_jitter).loss(5e-4).bandwidth_mbps(120.0);
+        topo.connect(client_host, cloud, inet(Link::from_rtt_ms(15.0)));
+        topo.connect(e1, cloud, inet(Link::from_rtt_ms(15.0)));
+        topo.connect(e2, cloud, inet(Link::from_rtt_ms(15.0)));
+
+        (
+            topo,
+            Testbed {
+                e1,
+                e2,
+                cloud,
+                client_host,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_paper_latencies() {
+        let (topo, tb) = Testbed::build();
+        assert_eq!(topo.node_count(), 4);
+        let c_e1 = topo.link_between(tb.client_host, tb.e1).unwrap();
+        assert_eq!(c_e1.base_latency.as_micros(), 500);
+        let e1_e2 = topo.link_between(tb.e1, tb.e2).unwrap();
+        assert_eq!(e1_e2.base_latency.as_micros(), 1500);
+        let e1_cloud = topo.link_between(tb.e1, tb.cloud).unwrap();
+        assert_eq!(e1_cloud.base_latency.as_micros(), 7500);
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let (topo, tb) = Testbed::build();
+        let ab = topo.link_between(tb.e1, tb.e2).unwrap().base_latency;
+        let ba = topo.link_between(tb.e2, tb.e1).unwrap().base_latency;
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn loopback_for_same_node() {
+        let (topo, tb) = Testbed::build();
+        let lo = topo.link_between(tb.e1, tb.e1).unwrap();
+        assert!(lo.base_latency < SimDuration::from_millis(1));
+        assert_eq!(lo.loss_prob, 0.0);
+    }
+
+    #[test]
+    fn unknown_pair_is_unroutable() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        assert!(topo.link_between(a, b).is_none());
+    }
+
+    #[test]
+    fn connect_replaces_link() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        topo.connect(a, b, Link::from_rtt_ms(2.0));
+        topo.connect(b, a, Link::from_rtt_ms(8.0));
+        assert_eq!(
+            topo.link_between(a, b).unwrap().base_latency.as_millis(),
+            4
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! DoG extrema detection with edge rejection and orientation assignment —
+//! the detection half of the `sift` service.
+
+use crate::image::GrayImage;
+use crate::pyramid::Pyramid;
+
+/// A detected scale-space keypoint, in input-image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Keypoint {
+    pub x: f32,
+    pub y: f32,
+    /// Characteristic scale (sigma in input-image pixels).
+    pub scale: f32,
+    /// Dominant gradient orientation in radians, `[-π, π]`.
+    pub orientation: f32,
+    /// |DoG| response; larger = stronger.
+    pub response: f32,
+    /// Octave and level the keypoint was found in (for descriptor
+    /// extraction at the right blur level).
+    pub octave: usize,
+    pub level: usize,
+}
+
+/// Detection thresholds. The defaults are scaled-down Lowe constants that
+/// work on the synthetic scene's contrast range.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorParams {
+    /// Minimum |DoG| response to consider.
+    pub contrast_threshold: f32,
+    /// Maximum principal-curvature ratio (Lowe's r = 10).
+    pub edge_ratio: f32,
+    /// Hard cap on keypoints per frame (strongest kept); the real
+    /// pipeline also caps features to bound downstream load.
+    pub max_keypoints: usize,
+}
+
+impl Default for DetectorParams {
+    fn default() -> Self {
+        DetectorParams {
+            contrast_threshold: 0.015,
+            edge_ratio: 10.0,
+            max_keypoints: 600,
+        }
+    }
+}
+
+/// Is `dogs[s]` at (x, y) a strict extremum over its 26 scale-space
+/// neighbours?
+fn is_extremum(dogs: &[GrayImage], s: usize, x: usize, y: usize) -> bool {
+    let v = dogs[s].get(x, y);
+    let mut is_max = true;
+    let mut is_min = true;
+    for img in &dogs[s - 1..=s + 1] {
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                let n = img.get_clamped(x as isize + dx, y as isize + dy);
+                // Skip self.
+                if std::ptr::eq(img, &dogs[s]) && dx == 0 && dy == 0 {
+                    continue;
+                }
+                if n >= v {
+                    is_max = false;
+                }
+                if n <= v {
+                    is_min = false;
+                }
+                if !is_max && !is_min {
+                    return false;
+                }
+            }
+        }
+    }
+    is_max || is_min
+}
+
+/// Reject edge-like responses via the Hessian trace/determinant test.
+fn passes_edge_test(dog: &GrayImage, x: usize, y: usize, edge_ratio: f32) -> bool {
+    let (xi, yi) = (x as isize, y as isize);
+    let v = dog.get(x, y);
+    let dxx = dog.get_clamped(xi + 1, yi) + dog.get_clamped(xi - 1, yi) - 2.0 * v;
+    let dyy = dog.get_clamped(xi, yi + 1) + dog.get_clamped(xi, yi - 1) - 2.0 * v;
+    let dxy = (dog.get_clamped(xi + 1, yi + 1) - dog.get_clamped(xi - 1, yi + 1)
+        - dog.get_clamped(xi + 1, yi - 1)
+        + dog.get_clamped(xi - 1, yi - 1))
+        / 4.0;
+    let tr = dxx + dyy;
+    let det = dxx * dyy - dxy * dxy;
+    if det <= 0.0 {
+        return false;
+    }
+    let r = edge_ratio;
+    tr * tr / det < (r + 1.0) * (r + 1.0) / r
+}
+
+/// Dominant gradient orientation from a 36-bin histogram over a
+/// Gaussian-weighted neighbourhood.
+fn dominant_orientation(img: &GrayImage, x: usize, y: usize, sigma: f32) -> f32 {
+    let radius = (2.5 * sigma).ceil().max(2.0) as isize;
+    let mut hist = [0f32; 36];
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let px = x as isize + dx;
+            let py = y as isize + dy;
+            if px < 1 || py < 1 || px >= img.width() as isize - 1 || py >= img.height() as isize - 1
+            {
+                continue;
+            }
+            let (gx, gy) = img.gradient(px as usize, py as usize);
+            let mag = (gx * gx + gy * gy).sqrt();
+            let weight =
+                (-((dx * dx + dy * dy) as f32) / (2.0 * (1.5 * sigma) * (1.5 * sigma))).exp();
+            let angle = gy.atan2(gx); // [-π, π]
+            let bin =
+                (((angle + std::f32::consts::PI) / std::f32::consts::TAU * 36.0) as usize).min(35);
+            hist[bin] += mag * weight;
+        }
+    }
+    let best = hist
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite hist"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (best as f32 + 0.5) / 36.0 * std::f32::consts::TAU - std::f32::consts::PI
+}
+
+/// Detect keypoints on a prebuilt pyramid.
+pub fn detect_on_pyramid(pyr: &Pyramid, params: &DetectorParams) -> Vec<Keypoint> {
+    let mut kps = Vec::new();
+    let k = 2f32.powf(1.0 / pyr.scales_per_octave as f32);
+    for (oi, oct) in pyr.octaves.iter().enumerate() {
+        let (w, h) = (oct.dogs[0].width(), oct.dogs[0].height());
+        for s in 1..oct.dogs.len() - 1 {
+            for y in 1..h - 1 {
+                for x in 1..w - 1 {
+                    let v = oct.dogs[s].get(x, y);
+                    if v.abs() < params.contrast_threshold {
+                        continue;
+                    }
+                    if !is_extremum(&oct.dogs, s, x, y) {
+                        continue;
+                    }
+                    if !passes_edge_test(&oct.dogs[s], x, y, params.edge_ratio) {
+                        continue;
+                    }
+                    let sigma = pyr.sigma0 * k.powi(s as i32) * oct.downscale as f32;
+                    let orientation = dominant_orientation(&oct.levels[s], x, y, pyr.sigma0);
+                    kps.push(Keypoint {
+                        x: x as f32 * oct.downscale as f32,
+                        y: y as f32 * oct.downscale as f32,
+                        scale: sigma,
+                        orientation,
+                        response: v.abs(),
+                        octave: oi,
+                        level: s,
+                    });
+                }
+            }
+        }
+    }
+    // Keep the strongest responses, deterministically tie-broken by
+    // position so equal-response keypoints sort stably.
+    kps.sort_by(|a, b| {
+        b.response
+            .partial_cmp(&a.response)
+            .expect("finite responses")
+            .then(a.y.partial_cmp(&b.y).expect("finite"))
+            .then(a.x.partial_cmp(&b.x).expect("finite"))
+    });
+    kps.truncate(params.max_keypoints);
+    kps
+}
+
+/// Detect keypoints on an image: build the standard 3-octave pyramid and
+/// run detection. This is the `sift` service's detection entry point.
+pub fn detect(img: &GrayImage, params: &DetectorParams) -> (Pyramid, Vec<Keypoint>) {
+    let pyr = Pyramid::build(img, 3, 3, 1.6);
+    let kps = detect_on_pyramid(&pyr, params);
+    (pyr, kps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::SceneGenerator;
+
+    fn blob_image() -> GrayImage {
+        // A bright Gaussian blob on black: a canonical DoG detection.
+        let mut img = GrayImage::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                let dx = x as f32 - 32.0;
+                let dy = y as f32 - 32.0;
+                img.set(x, y, (-(dx * dx + dy * dy) / 18.0).exp());
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn detects_blob_near_centre() {
+        let (_, kps) = detect(&blob_image(), &DetectorParams::default());
+        assert!(!kps.is_empty(), "blob must be detected");
+        let best = &kps[0];
+        assert!(
+            (best.x - 32.0).abs() < 6.0 && (best.y - 32.0).abs() < 6.0,
+            "strongest keypoint at ({}, {}) not near blob centre",
+            best.x,
+            best.y,
+        );
+    }
+
+    #[test]
+    fn blank_image_has_no_keypoints() {
+        let img = GrayImage::from_vec(64, 64, vec![0.5; 64 * 64]);
+        let (_, kps) = detect(&img, &DetectorParams::default());
+        assert!(kps.is_empty(), "constant image produced {} keypoints", kps.len());
+    }
+
+    #[test]
+    fn straight_edge_is_rejected() {
+        // A step edge: strong DoG response but edge-like curvature.
+        let mut img = GrayImage::new(64, 64);
+        for y in 0..64 {
+            for x in 32..64 {
+                img.set(x, y, 1.0);
+            }
+        }
+        let (_, kps) = detect(&img, &DetectorParams::default());
+        // Keypoints on the interior of the edge (far from image corners)
+        // should be rejected by the curvature test.
+        let on_edge = kps
+            .iter()
+            .filter(|k| (k.x - 32.0).abs() < 3.0 && k.y > 12.0 && k.y < 52.0)
+            .count();
+        assert_eq!(on_edge, 0, "edge interior produced {on_edge} keypoints");
+    }
+
+    #[test]
+    fn synthetic_scene_yields_rich_features() {
+        let g = SceneGenerator::workplace_scaled(1, 320, 180);
+        let (_, kps) = detect(&g.frame(0), &DetectorParams::default());
+        assert!(
+            kps.len() >= 50,
+            "workplace scene produced only {} keypoints",
+            kps.len()
+        );
+    }
+
+    #[test]
+    fn max_keypoints_cap_enforced() {
+        let g = SceneGenerator::workplace_scaled(1, 320, 180);
+        let params = DetectorParams {
+            max_keypoints: 20,
+            ..Default::default()
+        };
+        let (_, kps) = detect(&g.frame(0), &params);
+        assert!(kps.len() <= 20);
+        // Cap keeps the strongest.
+        for w in kps.windows(2) {
+            assert!(w[0].response >= w[1].response);
+        }
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let g = SceneGenerator::workplace_scaled(1, 160, 90);
+        let (_, a) = detect(&g.frame(3), &DetectorParams::default());
+        let (_, b) = detect(&g.frame(3), &DetectorParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn orientation_in_range() {
+        let g = SceneGenerator::workplace_scaled(2, 160, 90);
+        let (_, kps) = detect(&g.frame(0), &DetectorParams::default());
+        for k in kps {
+            assert!(k.orientation >= -std::f32::consts::PI - 1e-3);
+            assert!(k.orientation <= std::f32::consts::PI + 1e-3);
+        }
+    }
+}

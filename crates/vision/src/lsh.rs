@@ -1,0 +1,239 @@
+//! Random-hyperplane locality-sensitive hashing — the `lsh` service.
+//!
+//! Fisher vectors are compared by cosine similarity; sign-of-projection
+//! hashing (Charikar's SimHash) is the classic LSH family for that metric.
+//! The service maintains several hash tables and answers nearest-neighbour
+//! queries by scanning only the buckets the query lands in.
+
+use std::collections::HashMap;
+
+use simcore::SimRng;
+
+/// A multi-table random-hyperplane LSH index over fixed-dimension vectors.
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    dim: usize,
+    bits: usize,
+    /// `planes[t][b]` is hyperplane `b` of table `t`, length `dim`.
+    planes: Vec<Vec<Vec<f64>>>,
+    tables: Vec<HashMap<u64, Vec<usize>>>,
+    /// Stored vectors, indexed by insertion id.
+    items: Vec<Vec<f64>>,
+}
+
+impl LshIndex {
+    /// Build an index with `n_tables` tables of `bits`-bit hashes.
+    pub fn new(dim: usize, n_tables: usize, bits: usize, rng: &mut SimRng) -> Self {
+        assert!(dim > 0 && n_tables > 0 && bits > 0 && bits <= 64);
+        let planes = (0..n_tables)
+            .map(|_| {
+                (0..bits)
+                    .map(|_| (0..dim).map(|_| rng.normal()).collect())
+                    .collect()
+            })
+            .collect();
+        LshIndex {
+            dim,
+            bits,
+            planes,
+            tables: vec![HashMap::new(); n_tables],
+            items: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn hash(&self, table: usize, v: &[f64]) -> u64 {
+        let mut h = 0u64;
+        for (b, plane) in self.planes[table].iter().enumerate() {
+            let dot: f64 = plane.iter().zip(v).map(|(p, x)| p * x).sum();
+            if dot >= 0.0 {
+                h |= 1 << b;
+            }
+        }
+        h
+    }
+
+    /// Insert a vector; returns its id.
+    pub fn insert(&mut self, v: Vec<f64>) -> usize {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        let id = self.items.len();
+        for t in 0..self.tables.len() {
+            let h = self.hash(t, &v);
+            self.tables[t].entry(h).or_default().push(id);
+        }
+        self.items.push(v);
+        id
+    }
+
+    /// Candidate ids colliding with `q` in at least one table
+    /// (deduplicated, ascending).
+    pub fn candidates(&self, q: &[f64]) -> Vec<usize> {
+        assert_eq!(q.len(), self.dim, "dimension mismatch");
+        let mut out: Vec<usize> = Vec::new();
+        for t in 0..self.tables.len() {
+            if let Some(bucket) = self.tables[t].get(&self.hash(t, q)) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Approximate nearest neighbours: the top-`k` candidates by cosine
+    /// similarity, `(id, similarity)` in descending similarity. Falls back
+    /// to a linear scan when no bucket collides (rare with several tables)
+    /// so the pipeline never returns "nothing" for a valid query.
+    pub fn query(&self, q: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut cands = self.candidates(q);
+        if cands.is_empty() {
+            cands = (0..self.items.len()).collect();
+        }
+        let mut scored: Vec<(usize, f64)> = cands
+            .into_iter()
+            .map(|id| (id, crate::fisher::cosine(q, &self.items[id])))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sim").then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Fraction of buckets a linear scan is reduced to for `q` — the
+    /// speedup diagnostic the `lsh` service exports.
+    pub fn candidate_fraction(&self, q: &[f64]) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
+        self.candidates(q).len() as f64 / self.items.len() as f64
+    }
+
+    pub fn item(&self, id: usize) -> &[f64] {
+        &self.items[id]
+    }
+
+    pub fn n_bits(&self) -> usize {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit(rng: &mut SimRng, dim: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..dim).map(|_| rng.normal()).collect();
+        let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for x in &mut v {
+            *x /= n;
+        }
+        v
+    }
+
+    fn perturb(rng: &mut SimRng, v: &[f64], eps: f64) -> Vec<f64> {
+        let mut out: Vec<f64> = v.iter().map(|&x| x + eps * rng.normal()).collect();
+        let n = out.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for x in &mut out {
+            *x /= n;
+        }
+        out
+    }
+
+    #[test]
+    fn exact_duplicate_is_top_hit() {
+        let mut rng = SimRng::new(1);
+        let mut idx = LshIndex::new(16, 4, 12, &mut rng);
+        let mut ids = Vec::new();
+        for _ in 0..100 {
+            let v = unit(&mut rng, 16);
+            ids.push(idx.insert(v));
+        }
+        let probe = idx.item(37).to_vec();
+        let hits = idx.query(&probe, 1);
+        assert_eq!(hits[0].0, 37);
+        assert!((hits[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_neighbour_found_under_noise() {
+        let mut rng = SimRng::new(2);
+        let mut idx = LshIndex::new(32, 6, 10, &mut rng);
+        let targets: Vec<Vec<f64>> = (0..200).map(|_| unit(&mut rng, 32)).collect();
+        for t in &targets {
+            idx.insert(t.clone());
+        }
+        let mut found = 0;
+        for (i, t) in targets.iter().enumerate().take(50) {
+            let noisy = perturb(&mut rng, t, 0.05);
+            if idx.query(&noisy, 1)[0].0 == i {
+                found += 1;
+            }
+        }
+        assert!(found >= 45, "only {found}/50 noisy probes recovered");
+    }
+
+    #[test]
+    fn candidate_fraction_below_full_scan() {
+        let mut rng = SimRng::new(3);
+        let mut idx = LshIndex::new(32, 2, 14, &mut rng);
+        for _ in 0..2000 {
+            let v = unit(&mut rng, 32);
+            idx.insert(v);
+        }
+        let q = unit(&mut rng, 32);
+        let frac = idx.candidate_fraction(&q);
+        assert!(frac < 0.25, "LSH scanned {frac} of the index");
+    }
+
+    #[test]
+    fn empty_index_queries_safely() {
+        let mut rng = SimRng::new(4);
+        let idx = LshIndex::new(8, 2, 8, &mut rng);
+        assert!(idx.query(&vec![0.5; 8], 3).is_empty());
+        assert_eq!(idx.candidate_fraction(&vec![0.5; 8]), 0.0);
+    }
+
+    #[test]
+    fn fallback_linear_scan_when_no_collision() {
+        let mut rng = SimRng::new(5);
+        // 1 table × 16 bits on opposite vectors: likely no collision.
+        let mut idx = LshIndex::new(4, 1, 16, &mut rng);
+        idx.insert(vec![1.0, 0.0, 0.0, 0.0]);
+        let hits = idx.query(&[-1.0, 0.0, 0.0, 0.0], 1);
+        assert_eq!(hits.len(), 1, "fallback must return the only item");
+    }
+
+    proptest! {
+        #[test]
+        fn query_returns_at_most_k(
+            k in 1usize..10,
+            n in 0usize..30,
+            seed in 0u64..100,
+        ) {
+            let mut rng = SimRng::new(seed);
+            let mut idx = LshIndex::new(8, 3, 6, &mut rng);
+            for _ in 0..n {
+                let v = unit(&mut rng, 8);
+                idx.insert(v);
+            }
+            let q = unit(&mut rng, 8);
+            let hits = idx.query(&q, k);
+            prop_assert!(hits.len() <= k.min(n));
+            // Similarities sorted descending.
+            for w in hits.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+}

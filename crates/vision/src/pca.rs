@@ -1,0 +1,254 @@
+//! Principal component analysis by power iteration with deflation — the
+//! dimensionality-reduction half of the `encoding` service.
+//!
+//! The pipeline compresses 128-d SIFT descriptors before Fisher encoding
+//! (Perronnin et al. use PCA-64; we default to the same). Power iteration
+//! is O(components × iters × n × d) with no external linear-algebra
+//! dependency, and is deterministic given the seeded start vectors.
+
+use simcore::SimRng;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Mean of the training data, length `d`.
+    pub mean: Vec<f64>,
+    /// Principal axes, `components[k]` has length `d`, unit norm,
+    /// mutually orthogonal.
+    pub components: Vec<Vec<f64>>,
+    /// Explained variance (eigenvalue) per component, non-increasing.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit `n_components` principal components to `data` (rows are
+    /// samples). Requires at least two samples and `n_components ≤ d`.
+    pub fn fit(data: &[Vec<f64>], n_components: usize, rng: &mut SimRng) -> Pca {
+        assert!(data.len() >= 2, "PCA needs at least two samples");
+        let d = data[0].len();
+        assert!(n_components >= 1 && n_components <= d);
+        assert!(data.iter().all(|r| r.len() == d), "ragged data");
+
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in data {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+
+        // Centred data copy.
+        let centred: Vec<Vec<f64>> = data
+            .iter()
+            .map(|row| row.iter().zip(&mean).map(|(&x, &m)| x - m).collect())
+            .collect();
+
+        let mut components: Vec<Vec<f64>> = Vec::with_capacity(n_components);
+        let mut variances = Vec::with_capacity(n_components);
+
+        for _ in 0..n_components {
+            // Random unit start vector.
+            let mut v: Vec<f64> = (0..d).map(|_| rng.normal()).collect();
+            orthogonalize(&mut v, &components);
+            normalize(&mut v);
+
+            let mut eigenvalue = 0.0;
+            for _ in 0..60 {
+                // w = (Xᵀ X / n) v computed as Xᵀ (X v) / n without
+                // materializing the covariance matrix.
+                let mut w = vec![0.0; d];
+                for row in &centred {
+                    let proj: f64 = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                    for (wi, &xi) in w.iter_mut().zip(row) {
+                        *wi += proj * xi;
+                    }
+                }
+                for wi in &mut w {
+                    *wi /= n;
+                }
+                orthogonalize(&mut w, &components);
+                let norm = normed(&w);
+                if norm < 1e-14 {
+                    // No variance left in the remaining subspace.
+                    eigenvalue = 0.0;
+                    break;
+                }
+                eigenvalue = norm;
+                for (vi, wi) in v.iter_mut().zip(&w) {
+                    *vi = wi / norm;
+                }
+            }
+            components.push(v);
+            variances.push(eigenvalue);
+        }
+
+        Pca {
+            mean,
+            components,
+            explained_variance: variances,
+        }
+    }
+
+    /// Project one sample onto the principal axes.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(x.iter().zip(&self.mean))
+                    .map(|(&ci, (&xi, &mi))| ci * (xi - mi))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Project a batch.
+    pub fn transform_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+
+    /// Output dimensionality.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+}
+
+fn normed(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = normed(v);
+    if n > 1e-14 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+/// Remove the projections of `v` onto each of `basis` (Gram–Schmidt).
+fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let dot: f64 = v.iter().zip(b).map(|(a, c)| a * c).sum();
+        for (vi, bi) in v.iter_mut().zip(b) {
+            *vi -= dot * bi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Anisotropic Gaussian cloud with a known dominant axis.
+    fn cloud(rng: &mut SimRng, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                let a = rng.normal() * 10.0; // dominant direction (1, 1)/√2
+                let b = rng.normal() * 1.0; // minor direction (1, -1)/√2
+                vec![
+                    (a + b) / 2f64.sqrt() + 5.0,
+                    (a - b) / 2f64.sqrt() - 3.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_dominant_axis() {
+        let mut rng = SimRng::new(1);
+        let data = cloud(&mut rng, 2000);
+        let pca = Pca::fit(&data, 2, &mut rng);
+        let c0 = &pca.components[0];
+        // Dominant axis should be ±(1,1)/√2.
+        let expected = 1.0 / 2f64.sqrt();
+        assert!(
+            (c0[0].abs() - expected).abs() < 0.05 && (c0[1].abs() - expected).abs() < 0.05,
+            "axis {c0:?}"
+        );
+        assert!((c0[0] - c0[1]).abs() < 0.1, "components should share sign structure");
+    }
+
+    #[test]
+    fn variances_non_increasing_and_match_scales() {
+        let mut rng = SimRng::new(2);
+        let data = cloud(&mut rng, 2000);
+        let pca = Pca::fit(&data, 2, &mut rng);
+        let ev = &pca.explained_variance;
+        assert!(ev[0] >= ev[1]);
+        assert!((ev[0] - 100.0).abs() < 12.0, "major variance {}", ev[0]);
+        assert!((ev[1] - 1.0).abs() < 0.3, "minor variance {}", ev[1]);
+    }
+
+    #[test]
+    fn components_orthonormal() {
+        let mut rng = SimRng::new(3);
+        let data: Vec<Vec<f64>> = (0..500)
+            .map(|_| (0..6).map(|_| rng.normal()).collect())
+            .collect();
+        let pca = Pca::fit(&data, 4, &mut rng);
+        for i in 0..4 {
+            let ni = normed(&pca.components[i]);
+            assert!((ni - 1.0).abs() < 1e-6, "component {i} norm {ni}");
+            for j in 0..i {
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(&pca.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-6, "components {i},{j} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_centres_data() {
+        let mut rng = SimRng::new(4);
+        let data = cloud(&mut rng, 1000);
+        let pca = Pca::fit(&data, 2, &mut rng);
+        let projected = pca.transform_batch(&data);
+        for k in 0..2 {
+            let mean_k: f64 =
+                projected.iter().map(|p| p[k]).sum::<f64>() / projected.len() as f64;
+            assert!(mean_k.abs() < 1e-9, "projected mean {mean_k}");
+        }
+    }
+
+    #[test]
+    fn projection_variance_matches_eigenvalue() {
+        let mut rng = SimRng::new(5);
+        let data = cloud(&mut rng, 2000);
+        let pca = Pca::fit(&data, 1, &mut rng);
+        let projected = pca.transform_batch(&data);
+        let var: f64 =
+            projected.iter().map(|p| p[0] * p[0]).sum::<f64>() / projected.len() as f64;
+        let rel = (var - pca.explained_variance[0]).abs() / pca.explained_variance[0];
+        assert!(rel < 0.01, "variance mismatch {rel}");
+    }
+
+    #[test]
+    fn degenerate_rank_yields_zero_variance_components() {
+        // Rank-1 data in 3-D: second and third components find no variance.
+        let mut rng = SimRng::new(6);
+        let data: Vec<Vec<f64>> = (0..100)
+            .map(|_| {
+                let t = rng.normal();
+                vec![t, 2.0 * t, -t]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 3, &mut rng);
+        assert!(pca.explained_variance[1] < 1e-6);
+        assert!(pca.explained_variance[2] < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn rejects_single_sample() {
+        let mut rng = SimRng::new(7);
+        Pca::fit(&[vec![1.0, 2.0]], 1, &mut rng);
+    }
+}

@@ -1,0 +1,235 @@
+//! Temporal pose smoothing — what the AR client does with the poses the
+//! pipeline returns before rendering.
+//!
+//! Per-frame RANSAC poses jitter by a few pixels even on a static scene;
+//! rendered raw they make the augmentation shimmer. A constant-velocity
+//! alpha–beta filter per box corner smooths the render while following
+//! real motion, and coasts through short gaps (dropped frames) — which
+//! is why the paper can treat FPS as a proxy for augmentation stability:
+//! the filter hides isolated misses but diverges across long freezes.
+
+use crate::ransac::ObjectPose;
+
+/// Alpha–beta filter state for one 2-D point.
+#[derive(Debug, Clone, Copy, Default)]
+struct PointState {
+    x: f64,
+    y: f64,
+    vx: f64,
+    vy: f64,
+}
+
+/// Constant-velocity alpha–beta smoother over an object's four corners.
+#[derive(Debug, Clone)]
+pub struct PoseFilter {
+    corners: [PointState; 4],
+    /// Position correction gain (0–1): higher = snappier, noisier.
+    pub alpha: f64,
+    /// Velocity correction gain (0–1).
+    pub beta: f64,
+    /// Frame index of the last observation (for gap-aware prediction).
+    last_frame: Option<u64>,
+    /// Observations consumed.
+    pub updates: u64,
+}
+
+impl PoseFilter {
+    /// Gains tuned for 30 FPS AR: ≈3-frame smoothing horizon.
+    pub fn new() -> Self {
+        Self::with_gains(0.4, 0.1)
+    }
+
+    pub fn with_gains(alpha: f64, beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && (0.0..=1.0).contains(&beta));
+        PoseFilter {
+            corners: [PointState::default(); 4],
+            alpha,
+            beta,
+            last_frame: None,
+            updates: 0,
+        }
+    }
+
+    /// Feed one observed pose at `frame_no`; returns the smoothed pose.
+    /// Gaps since the last observation are coasted at constant velocity
+    /// before the correction is applied.
+    pub fn update(&mut self, frame_no: u64, observed: &ObjectPose) -> ObjectPose {
+        let dt = match self.last_frame {
+            Some(prev) => frame_no.saturating_sub(prev).max(1) as f64,
+            None => {
+                // First observation: snap.
+                for (st, &(ox, oy)) in self.corners.iter_mut().zip(&observed.corners) {
+                    *st = PointState {
+                        x: ox,
+                        y: oy,
+                        vx: 0.0,
+                        vy: 0.0,
+                    };
+                }
+                self.last_frame = Some(frame_no);
+                self.updates += 1;
+                return observed.clone();
+            }
+        };
+        for (st, &(ox, oy)) in self.corners.iter_mut().zip(&observed.corners) {
+            // Predict across the gap.
+            st.x += st.vx * dt;
+            st.y += st.vy * dt;
+            // Correct.
+            let rx = ox - st.x;
+            let ry = oy - st.y;
+            st.x += self.alpha * rx;
+            st.y += self.alpha * ry;
+            st.vx += self.beta * rx / dt;
+            st.vy += self.beta * ry / dt;
+        }
+        self.last_frame = Some(frame_no);
+        self.updates += 1;
+        ObjectPose {
+            corners: std::array::from_fn(|i| (self.corners[i].x, self.corners[i].y)),
+            inlier_count: observed.inlier_count,
+        }
+    }
+
+    /// Predict the pose at `frame_no` without an observation (render
+    /// during a dropped frame). `None` before the first observation.
+    pub fn predict(&self, frame_no: u64) -> Option<ObjectPose> {
+        let prev = self.last_frame?;
+        let dt = frame_no.saturating_sub(prev) as f64;
+        Some(ObjectPose {
+            corners: std::array::from_fn(|i| {
+                let st = &self.corners[i];
+                (st.x + st.vx * dt, st.y + st.vy * dt)
+            }),
+            inlier_count: 0,
+        })
+    }
+}
+
+impl Default for PoseFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RMS corner distance between two poses — the shimmer metric.
+pub fn pose_rms(a: &ObjectPose, b: &ObjectPose) -> f64 {
+    let ss: f64 = a
+        .corners
+        .iter()
+        .zip(&b.corners)
+        .map(|(&(ax, ay), &(bx, by))| (ax - bx).powi(2) + (ay - by).powi(2))
+        .sum();
+    (ss / 4.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimRng;
+
+    fn pose(x: f64, y: f64) -> ObjectPose {
+        ObjectPose {
+            corners: [(x, y), (x + 40.0, y), (x + 40.0, y + 30.0), (x, y + 30.0)],
+            inlier_count: 12,
+        }
+    }
+
+    #[test]
+    fn first_observation_snaps() {
+        let mut f = PoseFilter::new();
+        let p = pose(100.0, 50.0);
+        let out = f.update(0, &p);
+        assert_eq!(out.corners, p.corners);
+    }
+
+    #[test]
+    fn static_noisy_pose_is_smoothed() {
+        // Noisy observations of a static box: filtered shimmer must be
+        // well below raw shimmer.
+        let mut rng = SimRng::new(1);
+        let mut f = PoseFilter::new();
+        let truth = pose(100.0, 50.0);
+        let mut raw_shimmer = 0.0;
+        let mut filt_shimmer = 0.0;
+        let mut prev_raw = truth.clone();
+        let mut prev_filt = truth.clone();
+        for frame in 0..200u64 {
+            let noisy = ObjectPose {
+                corners: std::array::from_fn(|i| {
+                    (
+                        truth.corners[i].0 + rng.normal_with(0.0, 2.0),
+                        truth.corners[i].1 + rng.normal_with(0.0, 2.0),
+                    )
+                }),
+                inlier_count: 12,
+            };
+            let filtered = f.update(frame, &noisy);
+            if frame > 10 {
+                raw_shimmer += pose_rms(&noisy, &prev_raw);
+                filt_shimmer += pose_rms(&filtered, &prev_filt);
+            }
+            prev_raw = noisy;
+            prev_filt = filtered;
+        }
+        assert!(
+            filt_shimmer < raw_shimmer * 0.6,
+            "filtered shimmer {filt_shimmer:.1} not ≪ raw {raw_shimmer:.1}"
+        );
+    }
+
+    #[test]
+    fn tracks_constant_motion_without_lag_blowup() {
+        let mut f = PoseFilter::new();
+        for frame in 0..120u64 {
+            let p = pose(100.0 + frame as f64 * 2.0, 50.0);
+            let out = f.update(frame, &p);
+            if frame > 60 {
+                // Once converged, lag stays bounded within a few pixels.
+                assert!(
+                    pose_rms(&out, &p) < 4.0,
+                    "lag {:.1} px at frame {frame}",
+                    pose_rms(&out, &p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coasts_through_gaps() {
+        let mut f = PoseFilter::new();
+        // Converge on motion of 2 px/frame.
+        for frame in 0..60u64 {
+            f.update(frame, &pose(frame as f64 * 2.0, 0.0));
+        }
+        // Predict 5 frames into a drop gap.
+        let predicted = f.predict(65).expect("initialized");
+        let expected_x = 65.0 * 2.0;
+        assert!(
+            (predicted.corners[0].0 - expected_x).abs() < 6.0,
+            "coasted to {:.1}, expected ≈{expected_x}",
+            predicted.corners[0].0
+        );
+    }
+
+    #[test]
+    fn predict_before_first_observation_is_none() {
+        let f = PoseFilter::new();
+        assert!(f.predict(3).is_none());
+    }
+
+    #[test]
+    fn gap_aware_update_does_not_jump() {
+        let mut f = PoseFilter::new();
+        for frame in 0..30u64 {
+            f.update(frame, &pose(frame as f64 * 2.0, 0.0));
+        }
+        // 10-frame freeze, then the object reappears where it should be.
+        let out = f.update(40, &pose(80.0, 0.0));
+        assert!(
+            (out.corners[0].0 - 80.0).abs() < 8.0,
+            "post-gap correction at {:.1}",
+            out.corners[0].0
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Gaussian scale space and difference-of-Gaussians — the front half of
+//! the `sift` service.
+
+use crate::image::GrayImage;
+
+/// Build a 1-D Gaussian kernel with radius `ceil(3σ)`, normalized to sum 1.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as isize;
+    let mut k: Vec<f32> = (-radius..=radius)
+        .map(|i| (-((i * i) as f32) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let sum: f32 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Separable Gaussian blur with clamped borders.
+pub fn gaussian_blur(img: &GrayImage, sigma: f32) -> GrayImage {
+    let k = gaussian_kernel(sigma);
+    let radius = (k.len() / 2) as isize;
+    let (w, h) = (img.width(), img.height());
+
+    // Horizontal pass.
+    let mut tmp = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in k.iter().enumerate() {
+                acc += kv * img.get_clamped(x as isize + i as isize - radius, y as isize);
+            }
+            tmp.set(x, y, acc);
+        }
+    }
+    // Vertical pass.
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, &kv) in k.iter().enumerate() {
+                acc += kv * tmp.get_clamped(x as isize, y as isize + i as isize - radius);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// One octave of scale space: progressively blurred copies at one
+/// resolution, plus their DoG differences.
+#[derive(Debug, Clone)]
+pub struct Octave {
+    /// Blurred levels, `levels[s]` has effective sigma `sigma0 * k^s`.
+    pub levels: Vec<GrayImage>,
+    /// `dogs[s] = levels[s + 1] - levels[s]`.
+    pub dogs: Vec<GrayImage>,
+    /// Scale factor of this octave relative to the input image (1, 2, 4…).
+    pub downscale: u32,
+}
+
+/// The full scale-space pyramid.
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    pub octaves: Vec<Octave>,
+    pub sigma0: f32,
+    pub scales_per_octave: usize,
+}
+
+impl Pyramid {
+    /// Build a pyramid with `n_octaves` octaves and `scales + 3` levels
+    /// per octave (the +3 padding lets DoG extrema be localized at every
+    /// intended scale, as in Lowe's construction).
+    pub fn build(img: &GrayImage, n_octaves: usize, scales: usize, sigma0: f32) -> Pyramid {
+        assert!(n_octaves >= 1 && scales >= 1);
+        let k = 2f32.powf(1.0 / scales as f32);
+        let mut octaves = Vec::with_capacity(n_octaves);
+        let mut base = gaussian_blur(img, sigma0);
+        let mut downscale = 1u32;
+        for _ in 0..n_octaves {
+            let n_levels = scales + 3;
+            let mut levels = Vec::with_capacity(n_levels);
+            levels.push(base.clone());
+            let mut sigma_prev = sigma0;
+            for _ in 1..n_levels {
+                let sigma_next = sigma_prev * k;
+                // Incremental blur: blur the previous level by the sigma
+                // delta in quadrature.
+                let delta = (sigma_next * sigma_next - sigma_prev * sigma_prev).sqrt();
+                let next = gaussian_blur(levels.last().expect("nonempty"), delta.max(1e-3));
+                levels.push(next);
+                sigma_prev = sigma_next;
+            }
+            let dogs = levels
+                .windows(2)
+                .map(|w| {
+                    let mut d = GrayImage::new(w[0].width(), w[0].height());
+                    for i in 0..d.data().len() {
+                        d.data_mut()[i] = w[1].data()[i] - w[0].data()[i];
+                    }
+                    d
+                })
+                .collect();
+            let next_base = levels[scales].half();
+            octaves.push(Octave {
+                levels,
+                dogs,
+                downscale,
+            });
+            if next_base.width() < 16 || next_base.height() < 16 {
+                break;
+            }
+            base = next_base;
+            downscale *= 2;
+        }
+        Pyramid {
+            octaves,
+            sigma0,
+            scales_per_octave: scales,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_normalized_and_symmetric() {
+        let k = gaussian_kernel(1.5);
+        let sum: f32 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(k.len() % 2, 1);
+        for i in 0..k.len() / 2 {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+        }
+        // Peak at centre.
+        let mid = k.len() / 2;
+        assert!(k[mid] >= *k.first().unwrap());
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let img = GrayImage::from_vec(16, 16, vec![0.7; 256]);
+        let b = gaussian_blur(&img, 2.0);
+        for &v in b.data() {
+            assert!((v - 0.7).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        // Checkerboard has high variance; blurring must smooth it.
+        let mut img = GrayImage::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                img.set(x, y, ((x + y) % 2) as f32);
+            }
+        }
+        let var = |im: &GrayImage| {
+            let m = im.mean();
+            im.data().iter().map(|v| (v - m) * (v - m)).sum::<f32>() / im.data().len() as f32
+        };
+        let blurred = gaussian_blur(&img, 1.0);
+        assert!(var(&blurred) < var(&img) * 0.5);
+    }
+
+    #[test]
+    fn pyramid_shape() {
+        let img = GrayImage::new(128, 64);
+        let p = Pyramid::build(&img, 3, 2, 1.6);
+        assert_eq!(p.octaves.len(), 3);
+        for (i, oct) in p.octaves.iter().enumerate() {
+            assert_eq!(oct.levels.len(), 2 + 3);
+            assert_eq!(oct.dogs.len(), 2 + 2);
+            assert_eq!(oct.downscale, 1 << i);
+            assert_eq!(oct.levels[0].width(), 128 >> i);
+        }
+    }
+
+    #[test]
+    fn pyramid_stops_at_tiny_images() {
+        let img = GrayImage::new(40, 40);
+        let p = Pyramid::build(&img, 10, 2, 1.6);
+        assert!(p.octaves.len() < 10, "should stop before 10 octaves");
+        let last = p.octaves.last().unwrap();
+        assert!(last.levels[0].width() >= 10);
+    }
+
+    #[test]
+    fn dog_of_constant_image_is_zero() {
+        let img = GrayImage::from_vec(32, 32, vec![0.3; 1024]);
+        let p = Pyramid::build(&img, 1, 2, 1.6);
+        for dog in &p.octaves[0].dogs {
+            for &v in dog.data() {
+                assert!(v.abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Multi-frame object tracking — the "(ii) tracking them across multiple
+//! frames" half of scAtteR's core operation (§3.1).
+//!
+//! The `matching` service doesn't just recognize objects per frame; it
+//! maintains identity across frames so the client's augmentation is
+//! stable. [`TrackTable`] associates per-frame recognitions to persistent
+//! tracks by projected-box overlap, ages out unmatched tracks, and
+//! exposes the stability statistics the paper's FPS metric is a proxy
+//! for ("the metric encapsulates augmentation stability").
+
+use std::collections::HashMap;
+
+use crate::ransac::ObjectPose;
+
+/// A persistent object track.
+#[derive(Debug, Clone)]
+pub struct Track {
+    pub id: u64,
+    pub name: String,
+    pub last_pose: ObjectPose,
+    /// Frame index of the last associated observation.
+    pub last_seen: u64,
+    /// Consecutive frames this track has been observed.
+    pub hits: u64,
+    /// Total association gaps (missed frames while alive).
+    pub misses: u64,
+}
+
+/// Axis-aligned bounds of a projected quadrilateral.
+fn bounds(p: &ObjectPose) -> (f64, f64, f64, f64) {
+    let xs = p.corners.iter().map(|c| c.0);
+    let ys = p.corners.iter().map(|c| c.1);
+    (
+        xs.clone().fold(f64::INFINITY, f64::min),
+        ys.clone().fold(f64::INFINITY, f64::min),
+        xs.fold(f64::NEG_INFINITY, f64::max),
+        ys.fold(f64::NEG_INFINITY, f64::max),
+    )
+}
+
+/// Intersection-over-union of two poses' bounding rectangles.
+pub fn iou(a: &ObjectPose, b: &ObjectPose) -> f64 {
+    let (ax0, ay0, ax1, ay1) = bounds(a);
+    let (bx0, by0, bx1, by1) = bounds(b);
+    let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+    let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+    let inter = ix * iy;
+    let union = (ax1 - ax0) * (ay1 - ay0) + (bx1 - bx0) * (by1 - by0) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Track association table.
+#[derive(Debug, Default)]
+pub struct TrackTable {
+    tracks: HashMap<u64, Track>,
+    next_id: u64,
+    /// Tracks unmatched for more than this many frames are retired.
+    pub max_age: u64,
+    /// Minimum IoU (same object name) to associate.
+    pub min_iou: f64,
+    /// Retired-track count (diagnostics).
+    pub retired: u64,
+}
+
+impl TrackTable {
+    pub fn new() -> Self {
+        TrackTable {
+            tracks: HashMap::new(),
+            next_id: 0,
+            max_age: 15,
+            min_iou: 0.2,
+            retired: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    pub fn tracks(&self) -> impl Iterator<Item = &Track> {
+        self.tracks.values()
+    }
+
+    /// Associate one frame's recognitions; returns the track id assigned
+    /// to each observation (in input order).
+    pub fn observe(&mut self, frame_no: u64, observations: &[(String, ObjectPose)]) -> Vec<u64> {
+        let mut assigned = Vec::with_capacity(observations.len());
+        let mut taken: Vec<u64> = Vec::new();
+        for (name, pose) in observations {
+            // Best unclaimed same-name track by IoU.
+            let best = self
+                .tracks
+                .values()
+                .filter(|t| &t.name == name && !taken.contains(&t.id))
+                .map(|t| (t.id, iou(&t.last_pose, pose)))
+                .filter(|&(_, v)| v >= self.min_iou)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite IoU"));
+            let id = match best {
+                Some((id, _)) => {
+                    let t = self.tracks.get_mut(&id).expect("track exists");
+                    t.misses += frame_no.saturating_sub(t.last_seen + 1);
+                    t.hits += 1;
+                    t.last_seen = frame_no;
+                    t.last_pose = pose.clone();
+                    id
+                }
+                None => {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.tracks.insert(
+                        id,
+                        Track {
+                            id,
+                            name: name.clone(),
+                            last_pose: pose.clone(),
+                            last_seen: frame_no,
+                            hits: 1,
+                            misses: 0,
+                        },
+                    );
+                    id
+                }
+            };
+            taken.push(id);
+            assigned.push(id);
+        }
+        // Retire stale tracks.
+        let max_age = self.max_age;
+        let before = self.tracks.len();
+        self.tracks
+            .retain(|_, t| frame_no.saturating_sub(t.last_seen) <= max_age);
+        self.retired += (before - self.tracks.len()) as u64;
+        assigned
+    }
+
+    /// Augmentation stability: mean hits/(hits+misses) over live tracks —
+    /// 1.0 means every alive track was observed every frame.
+    pub fn stability(&self) -> f64 {
+        if self.tracks.is_empty() {
+            return 0.0;
+        }
+        self.tracks
+            .values()
+            .map(|t| t.hits as f64 / (t.hits + t.misses) as f64)
+            .sum::<f64>()
+            / self.tracks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pose(x: f64, y: f64, w: f64, h: f64) -> ObjectPose {
+        ObjectPose {
+            corners: [(x, y), (x + w, y), (x + w, y + h), (x, y + h)],
+            inlier_count: 10,
+        }
+    }
+
+    #[test]
+    fn iou_identity_and_disjoint() {
+        let a = pose(0.0, 0.0, 10.0, 10.0);
+        assert!((iou(&a, &a) - 1.0).abs() < 1e-9);
+        let b = pose(100.0, 100.0, 10.0, 10.0);
+        assert_eq!(iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn stable_object_keeps_its_track_id() {
+        let mut table = TrackTable::new();
+        let mut ids = Vec::new();
+        for frame in 0..10 {
+            let obs = vec![("monitor".to_string(), pose(50.0 + frame as f64, 20.0, 40.0, 30.0))];
+            ids.push(table.observe(frame, &obs)[0]);
+        }
+        assert!(ids.iter().all(|&id| id == ids[0]), "track id changed: {ids:?}");
+        assert_eq!(table.len(), 1);
+        assert!((table.stability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_objects_get_different_tracks() {
+        let mut table = TrackTable::new();
+        let obs = vec![
+            ("monitor".to_string(), pose(0.0, 0.0, 40.0, 30.0)),
+            ("keyboard".to_string(), pose(0.0, 50.0, 40.0, 15.0)),
+        ];
+        let ids = table.observe(0, &obs);
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn same_name_far_away_spawns_new_track() {
+        let mut table = TrackTable::new();
+        table.observe(0, &[("monitor".to_string(), pose(0.0, 0.0, 40.0, 30.0))]);
+        let ids = table.observe(1, &[("monitor".to_string(), pose(500.0, 400.0, 40.0, 30.0))]);
+        assert_eq!(table.len(), 2, "teleported object must not be associated");
+        assert_eq!(ids[0], 1);
+    }
+
+    #[test]
+    fn missed_frames_count_and_tracks_retire() {
+        let mut table = TrackTable::new();
+        table.max_age = 5;
+        table.observe(0, &[("monitor".to_string(), pose(0.0, 0.0, 40.0, 30.0))]);
+        // Re-observed after a 3-frame gap: 3 misses.
+        table.observe(4, &[("monitor".to_string(), pose(1.0, 0.0, 40.0, 30.0))]);
+        let t = table.tracks().next().expect("track alive");
+        assert_eq!(t.misses, 3);
+        assert_eq!(t.hits, 2);
+        assert!(table.stability() < 0.5);
+        // Silence past max_age retires it.
+        table.observe(20, &[]);
+        assert!(table.is_empty());
+        assert_eq!(table.retired, 1);
+    }
+
+    #[test]
+    fn two_same_name_objects_keep_distinct_tracks() {
+        let mut table = TrackTable::new();
+        let obs = vec![
+            ("chair".to_string(), pose(0.0, 0.0, 20.0, 20.0)),
+            ("chair".to_string(), pose(100.0, 0.0, 20.0, 20.0)),
+        ];
+        let ids0 = table.observe(0, &obs);
+        let ids1 = table.observe(1, &obs);
+        assert_eq!(ids0, ids1, "both chairs should keep their own track");
+        assert_eq!(table.len(), 2);
+    }
+}

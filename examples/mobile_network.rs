@@ -1,0 +1,57 @@
+//! Scenario: wireless AR glasses on mobile access networks.
+//!
+//! Appendix A.1.1 of the paper: augmented-tourism clients reach the edge
+//! ingress over LTE / 5G / WiFi-6 with mobility-induced delay
+//! oscillation. This example evaluates all three access networks at
+//! increasing client counts and shows which ones keep real-time AR
+//! viable — plus the scAtteR++ comparison the paper leaves implicit.
+//!
+//! ```sh
+//! cargo run --release --example mobile_network
+//! ```
+
+use scatter::config::placements;
+use scatter::{run_experiment, Mode, RunConfig};
+use simcore::SimDuration;
+use simnet::NetemProfile;
+
+fn main() {
+    let profiles = vec![
+        NetemProfile::wifi6().with_mobility(),
+        NetemProfile::fiveg().with_mobility(),
+        NetemProfile::lte().with_mobility(),
+    ];
+
+    println!("wireless AR glasses: access-network impact (pipeline on E2)\n");
+    println!(
+        "{:<8} {:<10} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "network", "pipeline", "clients", "FPS", "E2E ms", "success", "jitter ms"
+    );
+
+    for profile in &profiles {
+        for mode in [Mode::Scatter, Mode::ScatterPP] {
+            for clients in [1, 2, 4] {
+                let cfg = RunConfig::new(mode, placements::c2(), clients)
+                    .with_netem(profile.clone())
+                    .with_duration(SimDuration::from_secs(30))
+                    .with_seed(99);
+                let r = run_experiment(cfg);
+                println!(
+                    "{:<8} {:<10} {:>8} {:>8.1} {:>8.1} {:>8.0}% {:>9.2}",
+                    profile.name,
+                    format!("{mode:?}"),
+                    clients,
+                    r.fps(),
+                    r.e2e_mean_ms(),
+                    r.success_rate * 100.0,
+                    r.jitter_ms,
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("paper's finding: loss mainly lowers frame success; latency shifts E2E but");
+    println!("does not collapse FPS in scAtteR (no staleness threshold). scAtteR++ trades");
+    println!("late frames for kept-fresh ones under its 100 ms budget.");
+}

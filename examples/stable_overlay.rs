@@ -1,0 +1,71 @@
+//! Scenario: augmentation stability — why FPS is a QoE proxy.
+//!
+//! The paper: "the [FPS] metric encapsulates augmentation stability and,
+//! therefore, directly correlates to end-user experience." This example
+//! makes that correlation concrete with the real CV stack: it measures
+//! the overlay *shimmer* (RMS frame-to-frame corner motion of a static
+//! object) and the freeze behaviour, raw vs temporally filtered, at full
+//! frame rate and under simulated frame drops.
+//!
+//! ```sh
+//! cargo run --release --example stable_overlay
+//! ```
+
+use simcore::SimRng;
+use vision::db::TrainParams;
+use vision::pose_filter::{pose_rms, PoseFilter};
+use vision::scene::SceneGenerator;
+use vision::tracking::TrackTable;
+use vision::ReferenceDb;
+
+fn main() {
+    let scene = SceneGenerator::workplace_scaled(1, 320, 180);
+    let mut rng = SimRng::new(42);
+    println!("training recognizer...");
+    let db = ReferenceDb::train(&scene, TrainParams::default(), &mut rng);
+
+    // Recognize the table across 60 frames; compare raw vs filtered
+    // shimmer, at full rate and with every 3rd frame "delivered".
+    for (label, keep_every) in [("full 30 FPS", 1u32), ("dropped to 10 FPS", 3)] {
+        let mut tracks = TrackTable::new();
+        let mut filter: Option<PoseFilter> = None;
+        let (mut raw_prev, mut filt_prev) = (None, None);
+        let (mut raw_shimmer, mut filt_shimmer, mut n) = (0.0, 0.0, 0);
+        for frame_no in 0..60u32 {
+            if frame_no % keep_every != 0 {
+                continue; // frame dropped by the pipeline
+            }
+            let recs = db.recognize(&scene.frame(frame_no), &mut rng);
+            let Some(rec) = recs.iter().find(|r| r.name == "table") else {
+                continue;
+            };
+            let obs = vec![(rec.name.clone(), rec.pose.clone())];
+            tracks.observe(frame_no as u64, &obs);
+            let f = filter.get_or_insert_with(PoseFilter::new);
+            let smoothed = f.update(frame_no as u64, &rec.pose);
+            if let (Some(rp), Some(fp)) = (&raw_prev, &filt_prev) {
+                raw_shimmer += pose_rms(&rec.pose, rp);
+                filt_shimmer += pose_rms(&smoothed, fp);
+                n += 1;
+            }
+            raw_prev = Some(rec.pose.clone());
+            filt_prev = Some(smoothed);
+        }
+        if n > 0 {
+            println!(
+                "\n{label}: overlay shimmer over {n} deliveries\n  raw poses:      {:.2} px/frame\n  pose-filtered:  {:.2} px/frame  ({:.0}% calmer)",
+                raw_shimmer / n as f64,
+                filt_shimmer / n as f64,
+                (1.0 - filt_shimmer / raw_shimmer) * 100.0
+            );
+        }
+        println!(
+            "  track stability: {:.2} (1.0 = observed every delivered frame)",
+            tracks.stability()
+        );
+    }
+
+    println!("\ntakeaway: the filter hides isolated drops, but sustained low FPS");
+    println!("(the scAtteR regime at 4 clients) starves it — augmentation freezes.");
+    println!("That is the QoS→QoE link behind the paper's FPS metric.");
+}

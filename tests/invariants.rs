@@ -1,0 +1,153 @@
+//! Property-based invariants over randomized experiment configurations:
+//! whatever the mode, placement, load, or network conditions, certain
+//! conservation laws must hold or the simulation is lying.
+
+use proptest::prelude::*;
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment, Mode, ServiceKind, RunReport};
+use simcore::SimDuration;
+use simnet::NetemProfile;
+
+fn any_mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::Scatter),
+        Just(Mode::ScatterPP),
+        Just(Mode::StatelessOnly),
+        Just(Mode::SidecarOnly),
+    ]
+}
+
+fn any_placement() -> impl Strategy<Value = orchestra::PlacementSpec> {
+    prop_oneof![
+        Just(placements::c1()),
+        Just(placements::c2()),
+        Just(placements::c12()),
+        Just(placements::c21()),
+        Just(placements::cloud_only()),
+        Just(placements::replicas([1, 2, 1, 1, 2])),
+    ]
+}
+
+fn short_run(mode: Mode, placement: orchestra::PlacementSpec, clients: usize, seed: u64) -> RunReport {
+    run_experiment(
+        RunConfig::new(mode, placement, clients)
+            .with_duration(SimDuration::from_secs(8))
+            .with_warmup(SimDuration::from_secs(1))
+            .with_seed(seed),
+    )
+}
+
+/// Frame conservation per stage: a stage cannot process more frames than
+/// arrived at it, and arrivals − drops bounds processing (fetch-loop
+/// executions at matching are gated by arrivals too).
+fn check_conservation(r: &RunReport) {
+    for svc in &r.services {
+        let arrivals = svc
+            .ingress
+            .window_count(simcore::SimTime::ZERO, r.measure_end) as u64;
+        assert!(
+            svc.processed <= arrivals,
+            "{:?}/{} processed {} > arrivals {arrivals}",
+            svc.kind,
+            svc.replica,
+            svc.processed
+        );
+        assert!(
+            svc.drops.total() <= arrivals,
+            "{:?} drops {} > arrivals {arrivals}",
+            svc.kind,
+            svc.drops.total()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_laws_hold(
+        mode in any_mode(),
+        placement in any_placement(),
+        clients in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let r = short_run(mode, placement, clients, seed);
+        check_conservation(&r);
+        // Client-side conservation.
+        prop_assert!(r.success_rate >= 0.0 && r.success_rate <= 1.0);
+        prop_assert!(r.e2e_ms.len() as f64 >= r.fps() * 0.0); // e2e recorded for completions
+        // Completions can never exceed what matching produced.
+        let matched: u64 = r
+            .services
+            .iter()
+            .filter(|s| s.kind == ServiceKind::Matching)
+            .map(|s| s.processed)
+            .sum();
+        prop_assert!(
+            r.e2e_ms.len() as u64 <= matched,
+            "completions {} > matching outputs {matched}",
+            r.e2e_ms.len()
+        );
+    }
+
+    #[test]
+    fn latencies_are_physical(
+        mode in any_mode(),
+        clients in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let r = short_run(mode, placements::c2(), clients, seed);
+        for &s in r.e2e_ms.samples() {
+            // A frame cannot complete faster than the sum of base compute
+            // (no-jitter lower bound ≈ 23 ms at the E2's 0.8×) plus two
+            // client-link crossings; nor slower than the run itself.
+            prop_assert!(s > 15.0, "impossible E2E {s} ms");
+            prop_assert!(s < 8_000.0, "E2E {s} ms exceeds the run length");
+        }
+        for kind in scatter::SERVICE_KINDS {
+            let lat = r.service_latency_ms(kind);
+            if lat.len() > 0 {
+                prop_assert!(lat.min() > 0.0, "{kind:?} zero-time execution");
+            }
+        }
+    }
+
+    #[test]
+    fn netem_only_redistributes_outcomes(
+        rtt in 1.0f64..50.0,
+        loss in 0.0f64..0.001,
+        seed in 0u64..100,
+    ) {
+        let r = run_experiment(
+            RunConfig::new(Mode::Scatter, placements::c2(), 2)
+                .with_netem(NetemProfile::new("prop", rtt, loss))
+                .with_duration(SimDuration::from_secs(8))
+                .with_warmup(SimDuration::from_secs(1))
+                .with_seed(seed),
+        );
+        check_conservation(&r);
+        prop_assert!(r.success_rate <= 1.0);
+        // E2E of completed frames reflects at least the injected RTT.
+        if r.e2e_ms.len() > 0 {
+            prop_assert!(
+                r.e2e_ms.min() + 1.0 >= rtt,
+                "E2E {} below injected RTT {rtt}",
+                r.e2e_ms.min()
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_utilization_bounded(
+        mode in any_mode(),
+        clients in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let r = short_run(mode, placements::c1(), clients, seed);
+        for m in &r.machines {
+            prop_assert!(m.gpu_pct >= 0.0 && m.gpu_pct <= 100.5, "{}: {}%", m.name, m.gpu_pct);
+            prop_assert!(m.cpu_pct >= 0.0 && m.cpu_pct <= 100.5);
+            prop_assert!(m.mean_memory_gb >= 0.0);
+        }
+    }
+}

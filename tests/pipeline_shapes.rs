@@ -1,0 +1,202 @@
+//! Integration: the paper's qualitative result shapes must hold across
+//! the full stack (simnet + orchestra + scatter + metrics).
+
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment, Mode, RunReport, ServiceKind};
+use simcore::SimDuration;
+
+fn run(mode: Mode, placement: orchestra::PlacementSpec, clients: usize) -> RunReport {
+    run_experiment(
+        RunConfig::new(mode, placement, clients)
+            .with_duration(SimDuration::from_secs(25))
+            .with_warmup(SimDuration::from_secs(4))
+            .with_seed(1234),
+    )
+}
+
+#[test]
+fn single_client_matches_paper_anchors() {
+    // ≥25 FPS at ≈40 ms E2E with ≈85% success on a single edge machine.
+    let r = run(Mode::Scatter, placements::c1(), 1);
+    assert!(r.fps() >= 23.0, "FPS {:.1}", r.fps());
+    assert!((30.0..=60.0).contains(&r.e2e_mean_ms()), "E2E {:.1}", r.e2e_mean_ms());
+    assert!((0.70..=1.0).contains(&r.success_rate), "success {:.2}", r.success_rate);
+}
+
+#[test]
+fn scatter_fps_monotonically_degrades_with_clients() {
+    let fps: Vec<f64> = (1..=4)
+        .map(|n| run(Mode::Scatter, placements::c2(), n).fps())
+        .collect();
+    for w in fps.windows(2) {
+        assert!(w[1] <= w[0] + 1.0, "FPS should fall with load: {fps:?}");
+    }
+    assert!(fps[3] < fps[0] * 0.5, "4-client FPS should at least halve: {fps:?}");
+}
+
+#[test]
+fn scatterpp_outperforms_scatter_under_load() {
+    for placement in [placements::c1(), placements::c2(), placements::c12()] {
+        let s = run(Mode::Scatter, placement.clone(), 4);
+        let pp = run(Mode::ScatterPP, placement, 4);
+        assert!(
+            pp.fps() > s.fps() * 1.4,
+            "scAtteR++ {:.1} vs scAtteR {:.1}",
+            pp.fps(),
+            s.fps()
+        );
+        assert!(pp.success_rate > s.success_rate);
+    }
+}
+
+#[test]
+fn split_deployment_beats_colocated_under_scatterpp_load() {
+    // Fig. 6: C12 relieves GPU contention vs C1 at 4 clients.
+    let c1 = run(Mode::ScatterPP, placements::c1(), 4);
+    let c12 = run(Mode::ScatterPP, placements::c12(), 4);
+    assert!(
+        c12.fps() > c1.fps() * 1.15,
+        "C12 {:.1} should beat C1 {:.1}",
+        c12.fps(),
+        c1.fps()
+    );
+}
+
+#[test]
+fn cloud_deployment_slower_than_edge() {
+    let edge = run(Mode::Scatter, placements::c2(), 1);
+    let cloud = run(Mode::Scatter, placements::cloud_only(), 1);
+    assert!(cloud.fps() < edge.fps() * 0.85, "cloud {:.1} vs edge {:.1}", cloud.fps(), edge.fps());
+    assert!(cloud.e2e_mean_ms() > edge.e2e_mean_ms() + 15.0);
+    assert!(cloud.success_rate < edge.success_rate);
+}
+
+#[test]
+fn hybrid_split_degrades_beyond_cloud_only() {
+    // At 3 clients the uncompressed primary→sift frames saturate the
+    // E1→cloud uplink (fig. 11's "frame drops over the public Internet
+    // path"): latency inflates and datagram losses multiply.
+    let cloud = run(Mode::Scatter, placements::cloud_only(), 3);
+    let hybrid = run(Mode::Scatter, placements::hybrid_edge_cloud(), 3);
+    assert!(
+        hybrid.e2e_mean_ms() > cloud.e2e_mean_ms() * 1.3,
+        "hybrid E2E {:.1} vs cloud {:.1}",
+        hybrid.e2e_mean_ms(),
+        cloud.e2e_mean_ms()
+    );
+    assert!(
+        hybrid.datagrams_lost > cloud.datagrams_lost * 13 / 10,
+        "hybrid losses {} vs cloud {}",
+        hybrid.datagrams_lost,
+        cloud.datagrams_lost
+    );
+}
+
+#[test]
+fn stateful_sift_memory_dominates_and_stateless_does_not() {
+    let s = run(Mode::Scatter, placements::c1(), 4);
+    let pp = run(Mode::ScatterPP, placements::c1(), 4);
+    let sift_stateful = s.memory_gb(ServiceKind::Sift);
+    let sift_stateless = pp.memory_gb(ServiceKind::Sift);
+    assert!(
+        sift_stateful > sift_stateless * 1.5,
+        "stateful sift {sift_stateful:.2} GB vs stateless {sift_stateless:.2} GB"
+    );
+}
+
+#[test]
+fn sift_sees_double_request_load_in_scatter() {
+    // The dependency loop: sift serves frames AND matching's fetches.
+    let r = run(Mode::Scatter, placements::c1(), 1);
+    let sift = r
+        .services
+        .iter()
+        .find(|s| s.kind == ServiceKind::Sift)
+        .expect("sift deployed");
+    assert!(
+        sift.fetch_served + sift.fetch_dropped > sift.processed / 2,
+        "fetch load missing: {} fetches vs {} frames",
+        sift.fetch_served + sift.fetch_dropped,
+        sift.processed
+    );
+}
+
+#[test]
+fn utilization_declines_while_memory_grows_in_scatter() {
+    // Insight (I): hardware metrics anti-correlate with load under drops.
+    let two = run(Mode::Scatter, placements::c1(), 2);
+    let four = run(Mode::Scatter, placements::c1(), 4);
+    let total_mem =
+        |r: &RunReport| -> f64 { [ServiceKind::Sift].iter().map(|&k| r.memory_gb(k)).sum() };
+    assert!(
+        total_mem(&four) > total_mem(&two),
+        "sift memory should grow with clients: {:.2} vs {:.2}",
+        total_mem(&four),
+        total_mem(&two)
+    );
+    // GPU utilization must NOT grow proportionally with offered load
+    // (2× clients ⇒ far less than 2× utilization).
+    let gpu2 = two.total_gpu_pct();
+    let gpu4 = four.total_gpu_pct();
+    assert!(
+        gpu4 < gpu2 * 1.6,
+        "GPU% should stall under drops: {gpu2:.1} → {gpu4:.1}"
+    );
+}
+
+#[test]
+fn scatterpp_gpu_scales_with_load_instead() {
+    let one = run(Mode::ScatterPP, placements::c1(), 1);
+    let three = run(Mode::ScatterPP, placements::c1(), 3);
+    assert!(
+        three.total_gpu_pct() > one.total_gpu_pct() * 1.5,
+        "scAtteR++ GPU should scale: {:.1} → {:.1}",
+        one.total_gpu_pct(),
+        three.total_gpu_pct()
+    );
+}
+
+#[test]
+fn best_replication_config_wins_but_costs_latency() {
+    // Fig. 3: [1,2,2,1,2] improves FPS over the E2 baseline at 2–3
+    // clients at the cost of elevated E2E.
+    let base = run(Mode::Scatter, placements::c2(), 2);
+    let best = run(Mode::Scatter, placements::replicas([1, 2, 2, 1, 2]), 2);
+    assert!(
+        best.fps() > base.fps() * 1.05,
+        "replication should help: {:.1} vs {:.1}",
+        best.fps(),
+        base.fps()
+    );
+    assert!(
+        best.e2e_mean_ms() > base.e2e_mean_ms() * 1.1,
+        "balancing overhead should show in E2E: {:.1} vs {:.1}",
+        best.e2e_mean_ms(),
+        base.e2e_mean_ms()
+    );
+}
+
+#[test]
+fn scatterpp_enforces_latency_budget_at_the_median() {
+    let r = run(Mode::ScatterPP, placements::c2(), 4);
+    let mut e2e = r.e2e_ms.clone();
+    assert!(
+        e2e.median() <= 105.0,
+        "median E2E {:.1} breaches the 100 ms threshold",
+        e2e.median()
+    );
+}
+
+#[test]
+fn wire_traffic_reflects_stateless_frame_growth() {
+    // §5: 180 KB → 480 KB per frame shows up as more bytes on the wire
+    // per completed frame.
+    let s = run(Mode::Scatter, placements::c12(), 1);
+    let pp = run(Mode::ScatterPP, placements::c12(), 1);
+    let per_frame_s = s.bytes_on_wire as f64 / s.e2e_ms.len().max(1) as f64;
+    let per_frame_pp = pp.bytes_on_wire as f64 / pp.e2e_ms.len().max(1) as f64;
+    assert!(
+        per_frame_pp > per_frame_s * 1.3,
+        "stateless frames should cost more wire bytes: {per_frame_s:.0} vs {per_frame_pp:.0}"
+    );
+}

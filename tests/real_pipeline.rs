@@ -1,0 +1,61 @@
+//! Integration: the real-UDP runtime agrees with the in-process vision
+//! pipeline, end to end.
+
+use scatter::runtime::deploy::{run_local, RuntimeOptions};
+use simcore::SimRng;
+use vision::db::TrainParams;
+use vision::scene::SceneGenerator;
+use vision::ReferenceDb;
+
+#[test]
+fn loopback_results_match_direct_recognition() {
+    // What the distributed pipeline recognizes over real sockets must be
+    // consistent with recognizing the same frames in-process.
+    let report = run_local(RuntimeOptions {
+        frames: 6,
+        fps: 6.0,
+        seed: 7,
+        ..Default::default()
+    });
+    assert!(report.completed >= 3, "completed {}/6", report.completed);
+
+    let scene = SceneGenerator::workplace_scaled(7, 256, 144);
+    let mut rng = SimRng::new(7);
+    let db = ReferenceDb::train(&scene, TrainParams::default(), &mut rng);
+    let mut direct_names = std::collections::HashSet::new();
+    for idx in 0..6 {
+        for rec in db.recognize(&scene.frame(idx), &mut rng) {
+            direct_names.insert(rec.name);
+        }
+    }
+    // Note: the runtime's primary stage downsizes frames (dimension
+    // reduction), so it may see fewer objects than the direct full-size
+    // pass — but everything it reports must be a real scene object.
+    for name in report.recognitions.keys() {
+        assert!(
+            ["table", "monitor", "keyboard"].contains(&name.as_str()),
+            "runtime hallucinated object {name}"
+        );
+    }
+    assert!(
+        !report.recognitions.is_empty(),
+        "runtime recognized nothing; direct pass saw {direct_names:?}"
+    );
+}
+
+#[test]
+fn runtime_statistics_are_consistent() {
+    let report = run_local(RuntimeOptions {
+        frames: 5,
+        fps: 5.0,
+        ..Default::default()
+    });
+    // Conservation: later stages cannot process more than earlier ones
+    // produced.
+    let processed: Vec<u64> = report.service_counts.iter().map(|(_, _, p, _)| *p).collect();
+    for w in processed.windows(2) {
+        assert!(w[1] <= w[0], "stage conservation violated: {processed:?}");
+    }
+    assert!(report.completed as u64 <= processed[4]);
+    assert!(report.success_rate() <= 1.0);
+}
