@@ -55,12 +55,7 @@ fn substrates(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 1;
-            black_box(net.send(
-                tb.client_host,
-                tb.e1,
-                150_000,
-                SimTime::from_micros(t * 33),
-            ))
+            black_box(net.send(tb.client_host, tb.e1, 150_000, SimTime::from_micros(t * 33)))
         })
     });
 
@@ -98,9 +93,14 @@ fn substrates(c: &mut Criterion) {
         step: ServiceKind::Encoding,
         emit_micros: 0,
         return_port: 40_000,
+        trace_id: (1u64 << 32) | 7,
+        flags: 0,
+        sent_micros: 0,
         payload: Bytes::from(vec![0xAB; 300_000]),
     };
-    c.bench_function("wire/encode_300k", |b| b.iter(|| black_box(wire::encode(&msg))));
+    c.bench_function("wire/encode_300k", |b| {
+        b.iter(|| black_box(wire::encode(&msg)))
+    });
     let frames = wire::encode(&msg);
     c.bench_function("wire/decode_reassemble_300k", |b| {
         b.iter(|| {

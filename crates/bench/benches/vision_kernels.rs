@@ -78,7 +78,9 @@ fn vision_kernels(c: &mut Criterion) {
         v[idx] += 0.01 * (i as f64);
         lsh.insert(v);
     }
-    c.bench_function("lsh/query_top2", |b| b.iter(|| black_box(lsh.query(&fv, 2))));
+    c.bench_function("lsh/query_top2", |b| {
+        b.iter(|| black_box(lsh.query(&fv, 2)))
+    });
 
     // matching: ratio test + RANSAC pose.
     c.bench_function("matching/ratio_test", |b| {
@@ -92,7 +94,13 @@ fn vision_kernels(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("matching/ransac_homography", |b| {
-        b.iter(|| black_box(ransac_homography(&pairs, &RansacParams::default(), &mut rng)))
+        b.iter(|| {
+            black_box(ransac_homography(
+                &pairs,
+                &RansacParams::default(),
+                &mut rng,
+            ))
+        })
     });
 
     // Full-pipeline recognition (the whole data plane, in-process).

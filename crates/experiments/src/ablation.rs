@@ -37,12 +37,20 @@ pub fn run_figure() -> Vec<Table> {
         decomp.row(row);
     }
     decomp.note("statelessness carries the win: it removes the sift↔matching dependency loop");
-    decomp.note("queues alone buffer frames that matching still times out on (§4's backpressure remark)");
+    decomp.note(
+        "queues alone buffer frames that matching still times out on (§4's backpressure remark)",
+    );
 
     // --- 2. Threshold sweep --------------------------------------------
     let mut thresh = Table::new(
         "Ablation B: scAtteR++ staleness threshold sweep (C2, 4 clients)",
-        &["threshold ms", "FPS", "E2E mean ms", "E2E p95 ms", "success"],
+        &[
+            "threshold ms",
+            "FPS",
+            "E2E mean ms",
+            "E2E p95 ms",
+            "success",
+        ],
     );
     for t in [50.0, 75.0, 100.0, 150.0, 250.0] {
         let cost = CostModel {

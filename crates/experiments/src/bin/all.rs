@@ -24,7 +24,10 @@ fn main() {
         ("scheduler", experiments::scheduler_study::run_figure),
         ("migration", experiments::migration_study::run_figure),
         ("burst_loss", experiments::burst_loss::run_figure),
-        ("latency_breakdown", experiments::latency_breakdown::run_figure),
+        (
+            "latency_breakdown",
+            experiments::latency_breakdown::run_figure,
+        ),
     ];
     let mut json_tables = Vec::new();
     for (name, f) in figures {

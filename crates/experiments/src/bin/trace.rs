@@ -1,0 +1,3 @@
+fn main() {
+    experiments::trace_study::main();
+}

@@ -35,8 +35,7 @@ pub fn run_figure() -> Vec<Table> {
     for &avg_loss in &[0.01, 0.03] {
         for (label, burst) in [("uniform", None), ("bursty (mean 25 pkts)", Some(25.0))] {
             for clients in [1usize, 2] {
-                let mut profile =
-                    NetemProfile::new(&format!("{label} {avg_loss}"), 5.0, avg_loss);
+                let mut profile = NetemProfile::new(&format!("{label} {avg_loss}"), 5.0, avg_loss);
                 if let Some(b) = burst {
                     profile = profile.with_burst_loss(b);
                 }

@@ -63,7 +63,14 @@ pub fn run_figure() -> Vec<Table> {
     let factor = speedup.max(3.0);
     let mut sim = Table::new(
         "Fast extractor, part 2: scAtteR client sweep with accelerated sift (C2)",
-        &["sift model", "n2", "n4", "n6", "n8", "first n with <50% success"],
+        &[
+            "sift model",
+            "n2",
+            "n4",
+            "n6",
+            "n8",
+            "first n with <50% success",
+        ],
     );
     for (label, scale) in [("SIFT (baseline)", 1.0), ("accelerated", 1.0 / factor)] {
         let mut cost = CostModel::default();
@@ -103,8 +110,11 @@ pub fn run_figure() -> Vec<Table> {
         let d0 = vision::descriptor::describe_all(&pyr0, &kps0);
         let (pyr1, kps1) = detect(&f1_img, &DetectorParams::default());
         let d1 = vision::descriptor::describe_all(&pyr1, &kps1);
-        let matches =
-            vision::matching::match_descriptors(&d0, &d1, &vision::matching::MatchParams::default());
+        let matches = vision::matching::match_descriptors(
+            &d0,
+            &d1,
+            &vision::matching::MatchParams::default(),
+        );
         quality.row(vec![
             "DoG/SIFT".into(),
             pct(matches.len() as f64 / d0.len().max(1) as f64),
@@ -122,7 +132,8 @@ pub fn run_figure() -> Vec<Table> {
             pct(matches.len() as f64 / d0.len().max(1) as f64),
         ]);
     }
-    quality.note("both extractors track the scene across frames; BRIEF trades invariance for speed");
+    quality
+        .note("both extractors track the scene across frames; BRIEF trades invariance for speed");
 
     vec![real, sim, quality]
 }

@@ -58,7 +58,9 @@ pub fn run_figure() -> Vec<Table> {
         drops.row(drop_row);
     }
 
-    fps.note("paper: services keep up until the 3rd client; later stages' FPS sags at 90 FPS input");
+    fps.note(
+        "paper: services keep up until the 3rd client; later stages' FPS sags at 90 FPS input",
+    );
     drops.note("paper: encoding's queue drops approach 0.5 once the 3rd client joins");
     vec![fps, drops]
 }

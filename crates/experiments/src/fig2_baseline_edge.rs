@@ -17,11 +17,20 @@ pub fn run_figure() -> Vec<Table> {
     );
     let mut service_lat = Table::new(
         "Fig 2 (service latency, ms, mean per service)",
-        &["config", "clients", "primary", "sift", "encoding", "lsh", "matching"],
+        &[
+            "config", "clients", "primary", "sift", "encoding", "lsh", "matching",
+        ],
     );
     let mut hw = Table::new(
         "Fig 2 (hardware): stacked service memory and machine CPU/GPU utilization",
-        &["config", "clients", "mem GB (sift)", "mem GB (total)", "CPU %", "GPU %"],
+        &[
+            "config",
+            "clients",
+            "mem GB (sift)",
+            "mem GB (total)",
+            "CPU %",
+            "GPU %",
+        ],
     );
 
     for (label, placement) in edge_configs() {

@@ -59,7 +59,9 @@ pub fn run_figure() -> Vec<Table> {
         "paper: its E2E rises ≈30% from balancing overhead — measured {:+.0}%",
         (best2.e2e_mean_ms() / base2.e2e_mean_ms() - 1.0) * 100.0
     ));
-    qos.note("paper: [2,2,1,1,1] loses FPS (−26%) — replicated ingress congests single-instance tail");
+    qos.note(
+        "paper: [2,2,1,1,1] loses FPS (−26%) — replicated ingress congests single-instance tail",
+    );
     qos.note("paper: sticky sift state limits the benefit of balancing ([1,2,1,1,2] ≈ baseline)");
     vec![qos, hw]
 }

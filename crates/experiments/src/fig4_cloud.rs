@@ -14,7 +14,14 @@ use crate::table::{f1, pct, Table};
 pub fn run_figure() -> Vec<Table> {
     let mut qos = Table::new(
         "Fig 4 (QoS): scAtteR cloud-only — FPS / E2E / success vs clients",
-        &["clients", "FPS", "FPS median", "E2E ms", "success", "jitter ms"],
+        &[
+            "clients",
+            "FPS",
+            "FPS median",
+            "E2E ms",
+            "success",
+            "jitter ms",
+        ],
     );
     let mut hw = Table::new(
         "Fig 4 (hardware): cloud machine utilization",

@@ -17,11 +17,19 @@ pub fn run_figure() -> Vec<Table> {
     );
     let mut service_lat = Table::new(
         "Fig 6 (service latency, ms, mean per service)",
-        &["config", "clients", "primary", "sift", "encoding", "lsh", "matching"],
+        &[
+            "config", "clients", "primary", "sift", "encoding", "lsh", "matching",
+        ],
     );
     let mut hw = Table::new(
         "Fig 6 (hardware): memory and GPU under scAtteR++",
-        &["config", "clients", "mem GB (sift)", "mem GB (total)", "GPU %"],
+        &[
+            "config",
+            "clients",
+            "mem GB (sift)",
+            "mem GB (total)",
+            "GPU %",
+        ],
     );
 
     for (label, placement) in edge_configs() {
@@ -52,7 +60,8 @@ pub fn run_figure() -> Vec<Table> {
 
     qos.note("paper: 12 FPS sustained at 4 clients; C12 ≈20 FPS (scAtteR: <5 FPS)");
     qos.note("paper: single client +9% FPS, +17.6% success over scAtteR");
-    service_lat.note("paper: slightly higher per-service latency (queueing), most visible at primary");
+    service_lat
+        .note("paper: slightly higher per-service latency (queueing), most visible at primary");
     hw.note("paper: GPU utilization scales with load (throttling replaces request drops)");
     vec![qos, service_lat, hw]
 }

@@ -19,9 +19,7 @@ use scatter::config::RunConfig;
 use simcore::SimDuration;
 
 fn run_netem(profile: NetemProfile, clients: usize) -> scatter::RunReport {
-    run_config(
-        RunConfig::new(Mode::Scatter, placements::c2(), clients).with_netem(profile),
-    )
+    run_config(RunConfig::new(Mode::Scatter, placements::c2(), clients).with_netem(profile))
 }
 
 pub fn run_figure() -> Vec<Table> {

@@ -73,7 +73,9 @@ pub fn run_figure() -> Vec<Table> {
         format!("{}× (scAtteR@4: {} FPS)", f2(capacity_mult), f1(scatter4)),
     ]);
 
-    t.note("capacity = largest client count where scAtteR++ (scaled) matches scAtteR's 4-client FPS");
+    t.note(
+        "capacity = largest client count where scAtteR++ (scaled) matches scAtteR's 4-client FPS",
+    );
     vec![t]
 }
 

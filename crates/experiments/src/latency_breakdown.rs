@@ -40,10 +40,30 @@ pub fn run_figure() -> Vec<Table> {
     let cases: Vec<(&str, Mode, orchestra::PlacementSpec, usize)> = vec![
         ("scAtteR C1, 1 client", Mode::Scatter, placements::c1(), 1),
         ("scAtteR C1, 4 clients", Mode::Scatter, placements::c1(), 4),
-        ("scAtteR++ C1, 4 clients", Mode::ScatterPP, placements::c1(), 4),
-        ("scAtteR++ C12, 4 clients", Mode::ScatterPP, placements::c12(), 4),
-        ("scAtteR cloud, 1 client", Mode::Scatter, placements::cloud_only(), 1),
-        ("scAtteR hybrid, 2 clients", Mode::Scatter, placements::hybrid_edge_cloud(), 2),
+        (
+            "scAtteR++ C1, 4 clients",
+            Mode::ScatterPP,
+            placements::c1(),
+            4,
+        ),
+        (
+            "scAtteR++ C12, 4 clients",
+            Mode::ScatterPP,
+            placements::c12(),
+            4,
+        ),
+        (
+            "scAtteR cloud, 1 client",
+            Mode::Scatter,
+            placements::cloud_only(),
+            1,
+        ),
+        (
+            "scAtteR hybrid, 2 clients",
+            Mode::Scatter,
+            placements::hybrid_edge_cloud(),
+            2,
+        ),
     ];
 
     for (label, mode, placement, clients) in cases {

@@ -36,5 +36,6 @@ pub mod latency_breakdown;
 pub mod migration_study;
 pub mod scheduler_study;
 pub mod table;
+pub mod trace_study;
 
 pub use table::Table;

@@ -78,7 +78,9 @@ pub fn run_figure() -> Vec<Table> {
         ]);
     }
     let migrations = r.scale_events.iter().filter(|e| e.signal < 0.0).count();
-    t.note(format!("{migrations} migrations executed; each costs one 2 s restart"));
+    t.note(format!(
+        "{migrations} migrations executed; each costs one 2 s restart"
+    ));
     t.note("cloud phase: V100 wall-time penalty + 15 ms RTT cap the frame rate;");
     t.note("edge phase: the same pipeline on E2 returns to full rate — live");
     t.note("migration trades a transient dip for a permanently better placement.");

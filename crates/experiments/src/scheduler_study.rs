@@ -86,7 +86,11 @@ mod tests {
     fn disciplines_produce_valid_placements() {
         let (_, tb) = Testbed::build();
         let cluster = Cluster::testbed(tb.e1, tb.e2, tb.cloud);
-        for d in [Discipline::FirstFit, Discipline::LeastLoaded, Discipline::RoundRobin] {
+        for d in [
+            Discipline::FirstFit,
+            Discipline::LeastLoaded,
+            Discipline::RoundRobin,
+        ] {
             let plan = schedule(&cluster, &slas(), &[1, 2, 2, 1, 2], d).unwrap();
             assert_eq!(plan.placement.total_instances(), 8);
         }

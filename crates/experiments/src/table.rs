@@ -1,10 +1,10 @@
 //! Minimal aligned-table rendering for experiment output, plus a
 //! markdown form used to regenerate EXPERIMENTS.md.
 
-use serde::Serialize;
+use trace::json::escape;
 
 /// A rendered experiment table: header row + data rows of strings.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     pub title: String,
     pub columns: Vec<String>,
@@ -71,16 +71,51 @@ impl Table {
         out
     }
 
-    /// JSON rendering (machine-readable results for plotting).
+    /// JSON rendering (machine-readable results for plotting). Written
+    /// by hand — the workspace builds offline, without serde_json — in
+    /// the same pretty-printed shape the serde derive used to produce.
     pub fn render_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        fn string_array(items: &[String], indent: &str) -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let inner: Vec<String> = items
+                .iter()
+                .map(|s| format!("{indent}  \"{}\"", escape(s)))
+                .collect();
+            format!("[\n{}\n{indent}]", inner.join(",\n"))
+        }
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let inner: Vec<String> = self
+                .rows
+                .iter()
+                .map(|r| format!("    {}", string_array(r, "    ")))
+                .collect();
+            format!("[\n{}\n  ]", inner.join(",\n"))
+        };
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"columns\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            escape(&self.title),
+            string_array(&self.columns, "  "),
+            rows,
+            string_array(&self.notes, "  "),
+        )
     }
 
     /// GitHub-markdown rendering (for EXPERIMENTS.md).
     pub fn render_markdown(&self) -> String {
         let mut out = format!("### {}\n\n", self.title);
         out += &format!("| {} |\n", self.columns.join(" | "));
-        out += &format!("|{}|\n", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        out += &format!(
+            "|{}|\n",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             out += &format!("| {} |\n", row.join(" | "));
         }
@@ -151,14 +186,27 @@ mod tests {
         let j = sample().render_json();
         assert!(j.contains("\"title\": \"demo\""));
         assert!(j.contains("\"columns\""));
-        let v: serde_json::Value = serde_json::from_str(&j).expect("valid JSON");
-        assert_eq!(v["rows"][0][0], "C1");
+        let v = trace::json::Value::parse(&j).expect("valid JSON");
+        assert_eq!(
+            v.get("rows")
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .idx(0)
+                .unwrap()
+                .as_str(),
+            Some("C1")
+        );
+        assert_eq!(
+            v.get("notes").unwrap().idx(0).unwrap().as_str(),
+            Some("paper: ≥25 FPS")
+        );
     }
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(f1(3.14159), "3.1");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f1(2.4651), "2.5");
+        assert_eq!(f2(2.4651), "2.47");
         assert_eq!(pct(0.643), "64%");
     }
 }

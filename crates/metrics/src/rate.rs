@@ -61,11 +61,7 @@ impl RateMeter {
         for i in 0..whole {
             let ws = start + SimDuration::from_secs(i);
             let we = ws + SimDuration::from_secs(1);
-            let n = self
-                .arrivals
-                .iter()
-                .filter(|&&t| t >= ws && t < we)
-                .count();
+            let n = self.arrivals.iter().filter(|&&t| t >= ws && t < we).count();
             s.record(n as f64);
         }
         s.median()
@@ -190,7 +186,10 @@ mod tests {
         let med = r.median_per_second_rate(SimTime::ZERO, SimTime::from_secs(5));
         assert!(med >= 29.0, "median {med}");
         let avg = r.rate_over(SimTime::ZERO, SimTime::from_secs(5));
-        assert!(avg < 25.0, "average {avg} should be dragged down by the idle tail");
+        assert!(
+            avg < 25.0,
+            "average {avg} should be dragged down by the idle tail"
+        );
     }
 
     #[test]

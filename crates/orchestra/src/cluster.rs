@@ -107,7 +107,11 @@ impl Cluster {
 
     /// Deploy one instance of `sla` on the named machine. Checks GPU and
     /// capacity constraints against remaining (unallocated) resources.
-    pub fn deploy_on(&mut self, sla: &ServiceSla, machine_name: &str) -> Result<InstanceId, String> {
+    pub fn deploy_on(
+        &mut self,
+        sla: &ServiceSla,
+        machine_name: &str,
+    ) -> Result<InstanceId, String> {
         let mi = self
             .machine_index(machine_name)
             .ok_or_else(|| format!("unknown machine {machine_name}"))?;
@@ -122,7 +126,10 @@ impl Cluster {
         if cpu_used + sla.cpu_cores > machine.cpu_cores as f64
             || mem_used + sla.memory_gb > machine.memory_gb
         {
-            return Err(format!("{machine_name} out of capacity for {}", sla.service));
+            return Err(format!(
+                "{machine_name} out of capacity for {}",
+                sla.service
+            ));
         }
         self.allocated[mi] = (cpu_used + sla.cpu_cores, mem_used + sla.memory_gb);
         let replica = self

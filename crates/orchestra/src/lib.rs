@@ -18,9 +18,9 @@
 //!   sees, which the paper shows are insufficient for AR QoS.
 
 pub mod balancer;
-pub mod scheduler;
 pub mod cluster;
 pub mod node;
+pub mod scheduler;
 pub mod sla;
 
 pub use balancer::{Balancer, BalancerKind};

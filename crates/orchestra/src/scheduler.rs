@@ -143,7 +143,11 @@ mod tests {
             .iter()
             .find(|(n, _)| n == "E2")
             .unwrap();
-        assert!(e2.1 >= 4, "E2 should host most services: {:?}", plan.assignments_per_machine);
+        assert!(
+            e2.1 >= 4,
+            "E2 should host most services: {:?}",
+            plan.assignments_per_machine
+        );
     }
 
     #[test]

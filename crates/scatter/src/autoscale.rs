@@ -120,7 +120,9 @@ mod tests {
     fn hardware_policy_picks_busiest() {
         let signals = [(0.3, 0.9), (0.95, 0.0), (0.5, 0.2), (0.1, 0.0), (0.7, 0.4)];
         let picked = pick_target(
-            ScalePolicy::HardwareDriven { busy_threshold: 0.6 },
+            ScalePolicy::HardwareDriven {
+                busy_threshold: 0.6,
+            },
             &signals,
             &COUNTS,
             3,
@@ -132,7 +134,9 @@ mod tests {
     fn app_policy_picks_droppiest() {
         let signals = [(0.3, 0.9), (0.95, 0.0), (0.5, 0.2), (0.1, 0.0), (0.7, 0.4)];
         let picked = pick_target(
-            ScalePolicy::ApplicationAware { drop_threshold: 0.15 },
+            ScalePolicy::ApplicationAware {
+                drop_threshold: 0.15,
+            },
             &signals,
             &COUNTS,
             3,
@@ -145,7 +149,9 @@ mod tests {
         let signals = [(0.3, 0.05); 5];
         assert_eq!(
             pick_target(
-                ScalePolicy::HardwareDriven { busy_threshold: 0.6 },
+                ScalePolicy::HardwareDriven {
+                    busy_threshold: 0.6
+                },
                 &signals,
                 &COUNTS,
                 3
@@ -154,7 +160,9 @@ mod tests {
         );
         assert_eq!(
             pick_target(
-                ScalePolicy::ApplicationAware { drop_threshold: 0.15 },
+                ScalePolicy::ApplicationAware {
+                    drop_threshold: 0.15
+                },
                 &signals,
                 &COUNTS,
                 3
@@ -168,12 +176,18 @@ mod tests {
         let signals = [(0.9, 0.9); 5];
         let counts = [3, 3, 3, 3, 2];
         let picked = pick_target(
-            ScalePolicy::ApplicationAware { drop_threshold: 0.1 },
+            ScalePolicy::ApplicationAware {
+                drop_threshold: 0.1,
+            },
             &signals,
             &counts,
             3,
         );
-        assert_eq!(picked.map(|(i, _)| i), Some(4), "only the uncapped service is eligible");
+        assert_eq!(
+            picked.map(|(i, _)| i),
+            Some(4),
+            "only the uncapped service is eligible"
+        );
     }
 
     #[test]
@@ -181,10 +195,18 @@ mod tests {
         // The scenario insight (I) describes: QoS collapsing (drops
         // everywhere) while utilization stalls LOW — the hardware policy
         // sees nothing, the app-aware policy reacts.
-        let stalled = [(0.35, 0.45), (0.40, 0.55), (0.30, 0.20), (0.25, 0.10), (0.38, 0.60)];
+        let stalled = [
+            (0.35, 0.45),
+            (0.40, 0.55),
+            (0.30, 0.20),
+            (0.25, 0.10),
+            (0.38, 0.60),
+        ];
         assert_eq!(
             pick_target(
-                ScalePolicy::HardwareDriven { busy_threshold: 0.7 },
+                ScalePolicy::HardwareDriven {
+                    busy_threshold: 0.7
+                },
                 &stalled,
                 &COUNTS,
                 3
@@ -194,7 +216,9 @@ mod tests {
         );
         assert_eq!(
             pick_target(
-                ScalePolicy::ApplicationAware { drop_threshold: 0.15 },
+                ScalePolicy::ApplicationAware {
+                    drop_threshold: 0.15
+                },
                 &stalled,
                 &COUNTS,
                 3

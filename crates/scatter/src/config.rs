@@ -76,6 +76,11 @@ pub struct RunConfig {
     /// after `recovery`, and traffic follows (the "dynamic migrations"
     /// the paper's introduction calls largely unexplored).
     pub migrations: Vec<(SimDuration, crate::message::ServiceKind, usize, String)>,
+    /// Per-frame causal tracing. `None` (the default) disables tracing
+    /// entirely — the tracer short-circuits on an unsampled context, so
+    /// the disabled path costs a branch per record site. `Some` enables
+    /// span collection with the configured 1-in-N sampling.
+    pub trace: Option<trace::TraceConfig>,
 }
 
 impl RunConfig {
@@ -93,7 +98,14 @@ impl RunConfig {
             failures: Vec::new(),
             recovery: SimDuration::from_secs(2),
             migrations: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Enable per-frame causal tracing for this run.
+    pub fn with_trace(mut self, t: trace::TraceConfig) -> Self {
+        self.trace = Some(t);
+        self
     }
 
     pub fn with_duration(mut self, d: SimDuration) -> Self {
@@ -203,10 +215,7 @@ pub mod placements {
             .zip(counts)
             .map(|(s, n)| {
                 assert!(n >= 1 && n <= ring.len(), "unsupported replica count {n}");
-                (
-                    s.to_string(),
-                    (0..n).map(|i| ring[i].to_string()).collect(),
-                )
+                (s.to_string(), (0..n).map(|i| ring[i].to_string()).collect())
             })
             .collect();
         PlacementSpec { assignments }
@@ -235,7 +244,10 @@ mod tests {
     fn replica_vectors() {
         let p = replicas([2, 2, 1, 1, 1]);
         assert_eq!(p.replicas_of("primary").unwrap().len(), 2);
-        assert_eq!(p.replicas_of("sift").unwrap(), &["E2".to_string(), "E1".to_string()]);
+        assert_eq!(
+            p.replicas_of("sift").unwrap(),
+            &["E2".to_string(), "E1".to_string()]
+        );
         assert_eq!(p.replicas_of("matching").unwrap(), &["E2".to_string()]);
         let p7 = replicas([1, 3, 2, 1, 3]);
         assert_eq!(p7.total_instances(), 10);

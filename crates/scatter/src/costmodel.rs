@@ -262,11 +262,20 @@ mod tests {
         // Hiccup spikes inflate the mean uniformly, so the architecture
         // multipliers must survive as *ratios*.
         assert!((e2 / e1 - 0.8).abs() < 0.03, "E2/E1 ratio {}", e2 / e1);
-        assert!((cloud / e1 - 1.35).abs() < 0.05, "cloud/E1 ratio {}", cloud / e1);
+        assert!(
+            (cloud / e1 - 1.35).abs() < 0.05,
+            "cloud/E1 ratio {}",
+            cloud / e1
+        );
         // And the baseline mean stays near base × spike inflation.
         let m = CostModel::default();
-        let infl = 1.0 + m.edge_spike_prob * ((m.edge_spike_mult.0 + m.edge_spike_mult.1) / 2.0 - 1.0);
-        assert!((e1 - 10.0 * infl).abs() < 0.5, "E1 mean {e1} vs expected {}", 10.0 * infl);
+        let infl =
+            1.0 + m.edge_spike_prob * ((m.edge_spike_mult.0 + m.edge_spike_mult.1) / 2.0 - 1.0);
+        assert!(
+            (e1 - 10.0 * infl).abs() < 0.5,
+            "E1 mean {e1} vs expected {}",
+            10.0 * infl
+        );
     }
 
     #[test]

@@ -128,7 +128,11 @@ mod tests {
     fn tokens_reused_after_free() {
         let mut pool = GpuPool::new(1);
         pool.acquire(at(0), ms(5));
-        assert_eq!(pool.acquire(at(20), ms(5)), at(20), "idle pool starts at now");
+        assert_eq!(
+            pool.acquire(at(20), ms(5)),
+            at(20),
+            "idle pool starts at now"
+        );
         assert_eq!(pool.backlog(at(30)), SimDuration::ZERO);
     }
 
@@ -147,7 +151,10 @@ mod tests {
         let mut pool = GpuPool::new(1);
         assert_eq!(pool.ps_begin(1.0), 1.0);
         let slow = pool.ps_begin(1.0);
-        assert!((slow - 2.0).abs() < 1e-9, "two kernels on one GPU run at half speed");
+        assert!(
+            (slow - 2.0).abs() < 1e-9,
+            "two kernels on one GPU run at half speed"
+        );
         pool.ps_end(1.0);
         pool.ps_end(1.0);
     }

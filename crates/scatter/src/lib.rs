@@ -44,4 +44,4 @@ pub use config::{Mode, RunConfig};
 pub use costmodel::CostModel;
 pub use message::{FrameMsg, ServiceKind, SERVICE_KINDS, SERVICE_NAMES};
 pub use report::RunReport;
-pub use world::{run_experiment, run_experiment_with};
+pub use world::{run_experiment, run_experiment_traced, run_experiment_with};

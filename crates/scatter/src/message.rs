@@ -102,11 +102,20 @@ pub struct FrameMsg {
     pub stage_compute_ms: [f64; 5],
     /// Accumulated sidecar queue wait per stage, ms.
     pub stage_queue_ms: [f64; 5],
+    /// Causal trace context (sampled flag + ids). Defaults to unsampled;
+    /// [`world`](crate::world) stamps it at emission when tracing is on.
+    pub trace: trace::TraceCtx,
 }
 
 impl FrameMsg {
     /// A fresh frame leaving a client.
-    pub fn new(client: usize, frame_no: u64, client_addr: NodeId, now: SimTime, bytes: usize) -> Self {
+    pub fn new(
+        client: usize,
+        frame_no: u64,
+        client_addr: NodeId,
+        now: SimTime,
+        bytes: usize,
+    ) -> Self {
         FrameMsg {
             client,
             frame_no,
@@ -117,6 +126,7 @@ impl FrameMsg {
             sift_replica: None,
             stage_compute_ms: [0.0; 5],
             stage_queue_ms: [0.0; 5],
+            trace: trace::TraceCtx::unsampled(),
         }
     }
 

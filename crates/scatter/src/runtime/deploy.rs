@@ -39,6 +39,9 @@ pub struct RuntimeOptions {
     pub seed: u64,
     /// Extra time after the last frame to wait for in-flight results.
     pub drain: Duration,
+    /// Per-frame causal tracing; `None` (default) is the near-zero-cost
+    /// disabled mode. Same config type as the DES plane.
+    pub trace: Option<trace::TraceConfig>,
 }
 
 impl Default for RuntimeOptions {
@@ -53,6 +56,7 @@ impl Default for RuntimeOptions {
             stateful: false,
             seed: 7,
             drain: Duration::from_millis(1500),
+            trace: None,
         }
     }
 }
@@ -76,6 +80,9 @@ pub struct RuntimeReport {
     pub fetch_failures: u64,
     /// Stateful mode: sift store entries at shutdown.
     pub sift_store_size: u64,
+    /// Datagrams every service rejected as malformed (see
+    /// [`crate::runtime::wire::WireError`]).
+    pub malformed_datagrams: u64,
 }
 
 impl RuntimeReport {
@@ -104,6 +111,9 @@ pub struct LocalDeployment {
     opts: RuntimeOptions,
     fetch_failures: Arc<AtomicU64>,
     sift_store_size: Arc<AtomicU64>,
+    collector: trace::Collector,
+    /// One trace track per client, registered up front.
+    client_tracks: Vec<trace::TrackId>,
 }
 
 fn bind_loopback() -> UdpSocket {
@@ -140,6 +150,10 @@ impl LocalDeployment {
         let fetch_failures = Arc::new(AtomicU64::new(0));
         let sift_store_size = Arc::new(AtomicU64::new(0));
         let sift_addr = addrs[1];
+        let mut collector = match opts.trace {
+            Some(cfg) => trace::Collector::new(cfg),
+            None => trace::Collector::disabled(),
+        };
         let mut stats = Vec::new();
         let mut handles = Vec::new();
         for (i, socket) in sockets.into_iter().enumerate() {
@@ -150,6 +164,8 @@ impl LocalDeployment {
             let ctx = ctx.clone();
             let shutdown = shutdown.clone();
             let seed = opts.seed ^ ((i as u64 + 1) * 0x9E37);
+            let track = collector.register_track(format!("{}#0", kind.name()), "runtime-host");
+            let tracer = collector.handle();
             let handle = if opts.stateful && kind == ServiceKind::Sift {
                 let store_size = sift_store_size.clone();
                 std::thread::Builder::new()
@@ -163,6 +179,8 @@ impl LocalDeployment {
                             shutdown,
                             StatefulOptions::default(),
                             store_size,
+                            tracer,
+                            track,
                         )
                     })
             } else if opts.stateful && kind == ServiceKind::Matching {
@@ -179,16 +197,22 @@ impl LocalDeployment {
                             StatefulOptions::default(),
                             failures,
                             seed,
+                            tracer,
+                            track,
                         )
                     })
             } else {
                 let wiring = ServiceWiring { kind, socket, next };
                 std::thread::Builder::new()
                     .name(format!("scatter-{}", kind.name()))
-                    .spawn(move || run_service(wiring, ctx, st, shutdown, seed))
+                    .spawn(move || run_service(wiring, ctx, st, shutdown, seed, tracer, track))
             };
             handles.push(handle.expect("spawn service thread"));
         }
+
+        let client_tracks = (0..opts.clients)
+            .map(|cid| collector.register_track(format!("client-{cid}"), "client-host"))
+            .collect();
 
         LocalDeployment {
             handles,
@@ -201,11 +225,14 @@ impl LocalDeployment {
             opts,
             fetch_failures,
             sift_store_size,
+            collector,
+            client_tracks,
         }
     }
 
     /// One client's stream: emit paced frames from `scene`, collect
     /// completions. Runs on the calling thread.
+    #[allow(clippy::too_many_arguments)]
     fn client_loop(
         client_id: u16,
         socket: &UdpSocket,
@@ -213,6 +240,8 @@ impl LocalDeployment {
         scene: &SceneGenerator,
         ctx: &SharedCtx,
         opts: &RuntimeOptions,
+        tracer: &trace::ThreadTracer,
+        track: trace::TrackId,
     ) -> ClientOutcome {
         socket
             .set_read_timeout(Some(Duration::from_millis(5)))
@@ -234,12 +263,18 @@ impl LocalDeployment {
                 // clients stream compressed video; primary decodes).
                 let img = scene.frame(emitted);
                 let compressed = vision::codec::encode(&img, vision::codec::Quality(85));
+                let tctx = tracer.ctx(client_id, emitted);
+                let emit_micros = ctx.epoch.elapsed().as_micros() as u64;
+                tracer.emitted(tctx, emit_micros * 1_000);
                 let msg = WireMsg {
                     client: client_id,
                     frame_no: emitted,
                     step: ServiceKind::Primary,
-                    emit_micros: ctx.epoch.elapsed().as_micros() as u64,
+                    emit_micros,
                     return_port: socket.local_addr().expect("local addr").port(),
+                    trace_id: tctx.trace_id,
+                    flags: if tctx.sampled { wire::FLAG_SAMPLED } else { 0 },
+                    sent_micros: emit_micros,
                     payload: compressed,
                 };
                 send_msg(socket, primary_addr, &msg, &client_stats);
@@ -251,13 +286,25 @@ impl LocalDeployment {
                 Ok((n, _)) => n,
                 Err(_) => continue,
             };
-            let Some(frag) = wire::decode_fragment(&buf[..n]) else {
+            let Ok(frag) = wire::decode_fragment(&buf[..n]) else {
+                client_stats.malformed.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
             let Some(msg) = reassembler.offer(frag) else {
                 continue;
             };
             let now_micros = ctx.epoch.elapsed().as_micros() as u64;
+            let tctx = msg.trace_ctx();
+            // Return hop: matching's send → this client's receive.
+            tracer.span(
+                tctx,
+                track,
+                trace::STAGE_CLIENT,
+                trace::Phase::IngressQueue,
+                (msg.sent_micros * 1_000).min(now_micros * 1_000),
+                now_micros * 1_000,
+            );
+            tracer.terminal(tctx, now_micros * 1_000, trace::FrameFate::Completed);
             e2e.push(now_micros.saturating_sub(msg.emit_micros) as f64 / 1e3);
             completed += 1;
             if let Some(recs) = wire::decode_result(msg.payload) {
@@ -282,6 +329,8 @@ impl LocalDeployment {
                 let primary_addr = self.primary_addr;
                 let ctx = self.ctx.clone();
                 let opts = self.opts.clone();
+                let tracer = self.collector.handle();
+                let track = self.client_tracks[cid as usize];
                 // Each client replays its own camera (distinct seed).
                 let scene = SceneGenerator::workplace_scaled(
                     opts.seed ^ (cid as u64) << 8,
@@ -292,12 +341,22 @@ impl LocalDeployment {
                     .name(format!("scatter-client-{cid}"))
                     .spawn(move || {
                         let socket = bind_loopback();
-                        Self::client_loop(cid, &socket, primary_addr, &scene, &ctx, &opts)
+                        Self::client_loop(
+                            cid,
+                            &socket,
+                            primary_addr,
+                            &scene,
+                            &ctx,
+                            &opts,
+                            &tracer,
+                            track,
+                        )
                     })
                     .expect("spawn client thread")
             })
             .collect();
 
+        let tracer0 = self.collector.handle();
         let (em0, cp0, mut e2e, mut recognitions) = Self::client_loop(
             0,
             &self.client_socket,
@@ -305,6 +364,8 @@ impl LocalDeployment {
             &self.scene,
             &self.ctx,
             opts,
+            &tracer0,
+            self.client_tracks[0],
         );
         let mut per_client_completed = vec![cp0];
         let mut emitted = em0;
@@ -336,6 +397,11 @@ impl LocalDeployment {
             per_client_completed,
             fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
             sift_store_size: self.sift_store_size.load(Ordering::Relaxed),
+            malformed_datagrams: self
+                .stats
+                .iter()
+                .map(|s| s.malformed.load(Ordering::Relaxed))
+                .sum(),
             service_counts: SERVICE_KINDS
                 .iter()
                 .zip(&self.stats)
@@ -351,12 +417,15 @@ impl LocalDeployment {
         }
     }
 
-    /// Stop the service threads and join them.
-    pub fn shutdown(self) {
+    /// Stop the service threads, join them, and close the trace log
+    /// (empty when tracing was disabled).
+    pub fn shutdown(self) -> trace::TraceLog {
         self.shutdown.store(true, Ordering::Relaxed);
         for h in self.handles {
             let _ = h.join();
         }
+        let end_ns = self.ctx.epoch.elapsed().as_nanos() as u64;
+        self.collector.collect(end_ns)
     }
 }
 
@@ -364,8 +433,21 @@ impl LocalDeployment {
 pub fn run_local(opts: RuntimeOptions) -> RuntimeReport {
     let dep = LocalDeployment::start(opts);
     let report = dep.run_client();
-    dep.shutdown();
+    let _ = dep.shutdown();
     report
+}
+
+/// Like [`run_local`], but returns the trace log alongside the report.
+/// Enables tracing (sample-every-frame) unless `opts.trace` already set
+/// a policy.
+pub fn run_local_traced(mut opts: RuntimeOptions) -> (RuntimeReport, trace::TraceLog) {
+    if opts.trace.is_none() {
+        opts.trace = Some(trace::TraceConfig::default());
+    }
+    let dep = LocalDeployment::start(opts);
+    let report = dep.run_client();
+    let log = dep.shutdown();
+    (report, log)
 }
 
 #[cfg(test)]
@@ -415,7 +497,11 @@ mod tests {
             ..Default::default()
         });
         let total_stale: u64 = report.service_counts.iter().map(|(_, _, _, d)| d).sum();
-        assert!(total_stale > 0, "filter never fired: {:?}", report.service_counts);
+        assert!(
+            total_stale > 0,
+            "filter never fired: {:?}",
+            report.service_counts
+        );
         assert!(report.completed < report.emitted);
     }
 }

@@ -24,4 +24,5 @@ pub mod services;
 pub mod stateful;
 pub mod wire;
 
-pub use deploy::{LocalDeployment, RuntimeOptions, RuntimeReport};
+pub use deploy::{run_local, run_local_traced, LocalDeployment, RuntimeOptions, RuntimeReport};
+pub use wire::WireError;

@@ -39,6 +39,9 @@ pub struct SvcStats {
     pub processed: AtomicU64,
     pub dropped_stale: AtomicU64,
     pub send_errors: AtomicU64,
+    /// Datagrams rejected by [`wire::decode_fragment`] — malformed or
+    /// foreign traffic, counted instead of crashing the service.
+    pub malformed: AtomicU64,
     /// `matching` only: live object tracks across all clients.
     pub tracks_active: AtomicU64,
     /// `matching` only: tracks retired after going unobserved.
@@ -62,6 +65,11 @@ pub fn send_msg(socket: &UdpSocket, to: SocketAddr, msg: &WireMsg, stats: &SvcSt
     }
 }
 
+/// Nanoseconds since the deployment epoch (the runtime trace clock).
+pub fn epoch_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
 /// Service main loop: receive → reassemble → filter → compute → forward.
 pub fn run_service(
     wiring: ServiceWiring,
@@ -69,8 +77,11 @@ pub fn run_service(
     stats: Arc<SvcStats>,
     shutdown: Arc<AtomicBool>,
     rng_seed: u64,
+    tracer: trace::ThreadTracer,
+    track: trace::TrackId,
 ) {
     let ServiceWiring { kind, socket, next } = wiring;
+    let stage = kind.index() as u8;
     socket
         .set_read_timeout(Some(Duration::from_millis(20)))
         .expect("set_read_timeout");
@@ -93,26 +104,67 @@ pub fn run_service(
             }
             Err(_) => break,
         };
-        let Some(frag) = wire::decode_fragment(&buf[..n]) else {
-            continue;
+        let frag = match wire::decode_fragment(&buf[..n]) {
+            Ok(frag) => frag,
+            Err(_) => {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
         };
-        let Some(msg) = reassembler.offer(frag) else {
+        let completed = reassembler.offer(frag);
+        if tracer.is_enabled() {
+            // Attribute frames the reassembler gave up on (lost fragment).
+            let at_ns = epoch_ns(ctx.epoch);
+            for (client, frame_no, flags) in reassembler.drain_evicted() {
+                let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
+                tracer.terminal(
+                    tctx,
+                    at_ns,
+                    trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
+                );
+            }
+        }
+        let Some(msg) = completed else {
             continue;
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
+        let tctx = msg.trace_ctx();
+        let recv_ns = epoch_ns(ctx.epoch);
+        // Previous hop's send → this service's reassembled receive:
+        // loopback transit plus socket buffer wait.
+        tracer.span(
+            tctx,
+            track,
+            stage,
+            trace::Phase::IngressQueue,
+            (msg.sent_micros * 1_000).min(recv_ns),
+            recv_ns,
+        );
         // Sidecar staleness filter: do not spend compute on frames that
         // can no longer meet the latency budget.
         if ctx.threshold_ms > 0.0 && msg.age_ms(ctx.epoch) > ctx.threshold_ms {
             stats.dropped_stale.fetch_add(1, Ordering::Relaxed);
+            tracer.terminal(
+                tctx,
+                epoch_ns(ctx.epoch),
+                trace::FrameFate::Dropped(trace::DropReason::ThresholdFilter),
+            );
             continue;
         }
         if let Some(out) = process(kind, &msg, &ctx, &mut rng, &mut tracks, &mut filters) {
+            let done_ns = epoch_ns(ctx.epoch);
+            tracer.span(tctx, track, stage, trace::Phase::Compute, recv_ns, done_ns);
             let fwd = WireMsg {
                 client: msg.client,
                 frame_no: msg.frame_no,
                 step: kind.next().unwrap_or(ServiceKind::Primary),
                 emit_micros: msg.emit_micros,
                 return_port: msg.return_port,
+                trace_id: msg.trace_id,
+                flags: msg.flags,
+                // Re-stamped per hop: the next service's ingress-queue
+                // span starts where this compute span ends.
+                sent_micros: done_ns / 1_000,
                 payload: out,
             };
             stats.processed.fetch_add(1, Ordering::Relaxed);
@@ -127,10 +179,9 @@ pub fn run_service(
                     tracks.values().map(|t| t.len() as u64).sum(),
                     Ordering::Relaxed,
                 );
-                stats.tracks_retired.store(
-                    tracks.values().map(|t| t.retired).sum(),
-                    Ordering::Relaxed,
-                );
+                stats
+                    .tracks_retired
+                    .store(tracks.values().map(|t| t.retired).sum(), Ordering::Relaxed);
             }
             send_msg(&socket, next, &fwd, &stats);
         }
@@ -190,9 +241,9 @@ fn process(
             let state = decode_state(msg.payload.clone())?;
             let mut observations = Vec::new();
             for &cand in &state.candidates {
-                if let Some(rec) =
-                    ctx.db
-                        .match_object(cand as usize, &state.descriptors, 0.0, rng)
+                if let Some(rec) = ctx
+                    .db
+                    .match_object(cand as usize, &state.descriptors, 0.0, rng)
                 {
                     observations.push((rec.name, rec.pose));
                 }
@@ -205,9 +256,7 @@ fn process(
                 .into_iter()
                 .zip(track_ids)
                 .map(|((name, pose), track_id)| {
-                    let filter = filters
-                        .entry((msg.client, track_id))
-                        .or_default();
+                    let filter = filters.entry((msg.client, track_id)).or_default();
                     let smoothed = filter.update(msg.frame_no as u64, &pose);
                     (name, smoothed.corners)
                 })
@@ -221,8 +270,8 @@ fn process(
 mod tests {
     use super::*;
     use simcore::SimRng;
-    use vision::scene::SceneGenerator;
     use vision::db::TrainParams;
+    use vision::scene::SceneGenerator;
 
     fn ctx() -> SharedCtx {
         let scene = SceneGenerator::workplace_scaled(1, 256, 144);
@@ -252,6 +301,9 @@ mod tests {
                 step: kind,
                 emit_micros: 0,
                 return_port: 0,
+                trace_id: 0,
+                flags: 0,
+                sent_micros: 0,
                 payload,
             };
             payload = process(kind, &msg, &ctx, &mut rng, &mut tracks, &mut HashMap::new())
@@ -276,6 +328,9 @@ mod tests {
             step: ServiceKind::Primary,
             emit_micros: 0,
             return_port: 0,
+            trace_id: 0,
+            flags: 0,
+            sent_micros: 0,
             payload: vision::codec::encode(&scene.frame(0), vision::codec::Quality(85)),
         };
         let out = process(
@@ -301,6 +356,9 @@ mod tests {
             step: ServiceKind::Sift,
             emit_micros: 0,
             return_port: 0,
+            trace_id: 0,
+            flags: 0,
+            sent_micros: 0,
             payload: Bytes::from_static(b"not a frame"),
         };
         assert!(process(

@@ -27,10 +27,9 @@ use simcore::SimRng;
 use vision::keypoints::DetectorParams;
 
 use crate::message::ServiceKind;
-use crate::runtime::services::{send_msg, SharedCtx, SvcStats};
+use crate::runtime::services::{epoch_ns, send_msg, SharedCtx, SvcStats};
 use crate::runtime::wire::{
-    self, decode_frame, decode_state, encode_result, encode_state, FrameState, Reassembler,
-    WireMsg,
+    self, decode_frame, decode_state, encode_result, encode_state, FrameState, Reassembler, WireMsg,
 };
 
 /// Control datagrams of the fetch protocol ride the payload of a
@@ -91,6 +90,7 @@ fn decode_fetch_rsp(mut buf: Bytes) -> Option<FrameState> {
 
 /// `sift` with a stateful feature store: detects/describes, parks the
 /// state, forwards a stub, and serves fetch requests.
+#[allow(clippy::too_many_arguments)]
 pub fn run_stateful_sift(
     socket: UdpSocket,
     next: SocketAddr,
@@ -99,7 +99,10 @@ pub fn run_stateful_sift(
     shutdown: Arc<AtomicBool>,
     opts: StatefulOptions,
     store_size: Arc<AtomicU64>,
+    tracer: trace::ThreadTracer,
+    track: trace::TrackId,
 ) {
+    let stage = ServiceKind::Sift.index() as u8;
     socket
         .set_read_timeout(Some(Duration::from_millis(20)))
         .expect("set_read_timeout");
@@ -134,6 +137,11 @@ pub fn run_stateful_sift(
                         step: ServiceKind::Matching,
                         emit_micros: 0,
                         return_port: 0,
+                        // Fetch responses ride inside matching's
+                        // FetchWait span; they carry identity only.
+                        trace_id: ((client as u64) << 32) | frame_no as u64,
+                        flags: 0,
+                        sent_micros: 0,
                         payload: encode_fetch_rsp(&state),
                     };
                     let to = SocketAddr::from(([127, 0, 0, 1], reply_port));
@@ -142,13 +150,39 @@ pub fn run_stateful_sift(
             }
             continue;
         }
-        let Some(frag) = wire::decode_fragment(&buf[..n]) else {
-            continue;
+        let frag = match wire::decode_fragment(&buf[..n]) {
+            Ok(frag) => frag,
+            Err(_) => {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
         };
-        let Some(msg) = reassembler.offer(frag) else {
+        let completed = reassembler.offer(frag);
+        if tracer.is_enabled() {
+            let at_ns = epoch_ns(ctx.epoch);
+            for (client, frame_no, flags) in reassembler.drain_evicted() {
+                let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
+                tracer.terminal(
+                    tctx,
+                    at_ns,
+                    trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
+                );
+            }
+        }
+        let Some(msg) = completed else {
             continue;
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
+        let tctx = msg.trace_ctx();
+        let recv_ns = epoch_ns(ctx.epoch);
+        tracer.span(
+            tctx,
+            track,
+            stage,
+            trace::Phase::IngressQueue,
+            (msg.sent_micros * 1_000).min(recv_ns),
+            recv_ns,
+        );
         let Some(img) = decode_frame(msg.payload.clone()) else {
             continue;
         };
@@ -169,12 +203,17 @@ pub fn run_stateful_sift(
         };
         store.insert((msg.client, msg.frame_no), (state.clone(), Instant::now()));
         store_size.store(store.len() as u64, Ordering::Relaxed);
+        let done_ns = epoch_ns(ctx.epoch);
+        tracer.span(tctx, track, stage, trace::Phase::Compute, recv_ns, done_ns);
         let fwd = WireMsg {
             client: msg.client,
             frame_no: msg.frame_no,
             step: ServiceKind::Encoding,
             emit_micros: msg.emit_micros,
             return_port: msg.return_port,
+            trace_id: msg.trace_id,
+            flags: msg.flags,
+            sent_micros: done_ns / 1_000,
             payload: encode_state(&FrameState {
                 descriptors,
                 fisher: Vec::new(),
@@ -198,7 +237,10 @@ pub fn run_stateful_matching(
     opts: StatefulOptions,
     fetch_failures: Arc<AtomicU64>,
     rng_seed: u64,
+    tracer: trace::ThreadTracer,
+    track: trace::TrackId,
 ) {
+    let stage = ServiceKind::Matching.index() as u8;
     socket
         .set_read_timeout(Some(Duration::from_millis(20)))
         .expect("set_read_timeout");
@@ -217,13 +259,39 @@ pub fn run_stateful_matching(
             }
             Err(_) => break,
         };
-        let Some(frag) = wire::decode_fragment(&buf[..n]) else {
-            continue;
+        let frag = match wire::decode_fragment(&buf[..n]) {
+            Ok(frag) => frag,
+            Err(_) => {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
         };
-        let Some(msg) = reassembler.offer(frag) else {
+        let completed = reassembler.offer(frag);
+        if tracer.is_enabled() {
+            let at_ns = epoch_ns(ctx.epoch);
+            for (client, frame_no, flags) in reassembler.drain_evicted() {
+                let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
+                tracer.terminal(
+                    tctx,
+                    at_ns,
+                    trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
+                );
+            }
+        }
+        let Some(msg) = completed else {
             continue;
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
+        let tctx = msg.trace_ctx();
+        let recv_ns = epoch_ns(ctx.epoch);
+        tracer.span(
+            tctx,
+            track,
+            stage,
+            trace::Phase::IngressQueue,
+            (msg.sent_micros * 1_000).min(recv_ns),
+            recv_ns,
+        );
         let Some(lsh_state) = decode_state(msg.payload.clone()) else {
             continue;
         };
@@ -232,6 +300,7 @@ pub fn run_stateful_matching(
         // busy-wait (this thread serves nothing else meanwhile — the
         // "matching is busy waiting for sift's output" behaviour).
         let req = encode_fetch_req(msg.client, msg.frame_no, my_port);
+        let fetch_sent_ns = epoch_ns(ctx.epoch);
         let _ = socket.send_to(&req, sift_addr);
         let deadline = Instant::now() + opts.fetch_timeout;
         let mut fetched: Option<FrameState> = None;
@@ -241,21 +310,39 @@ pub fn run_stateful_matching(
                 Ok((n, _)) => n,
                 Err(_) => continue,
             };
-            if let Some(frag) = wire::decode_fragment(&buf[..n]) {
-                let key_matches =
-                    frag.client == msg.client && frag.frame_no == msg.frame_no;
-                if let Some(rsp) = fetch_reasm.offer(frag) {
-                    if key_matches {
-                        if let Some(state) = decode_fetch_rsp(rsp.payload) {
-                            fetched = Some(state);
-                            break;
+            match wire::decode_fragment(&buf[..n]) {
+                Ok(frag) => {
+                    let key_matches = frag.client == msg.client && frag.frame_no == msg.frame_no;
+                    if let Some(rsp) = fetch_reasm.offer(frag) {
+                        if key_matches {
+                            if let Some(state) = decode_fetch_rsp(rsp.payload) {
+                                fetched = Some(state);
+                                break;
+                            }
                         }
                     }
                 }
+                Err(_) => {
+                    stats.malformed.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
+        let fetch_end_ns = epoch_ns(ctx.epoch);
+        tracer.span(
+            tctx,
+            track,
+            stage,
+            trace::Phase::FetchWait,
+            fetch_sent_ns,
+            fetch_end_ns,
+        );
         let Some(state) = fetched else {
             fetch_failures.fetch_add(1, Ordering::Relaxed);
+            tracer.terminal(
+                tctx,
+                fetch_end_ns,
+                trace::FrameFate::Dropped(trace::DropReason::StaleFetch),
+            );
             continue;
         };
 
@@ -268,12 +355,24 @@ pub fn run_stateful_matching(
                 recognitions.push((rec.name, rec.pose.corners));
             }
         }
+        let done_ns = epoch_ns(ctx.epoch);
+        tracer.span(
+            tctx,
+            track,
+            stage,
+            trace::Phase::Compute,
+            fetch_end_ns,
+            done_ns,
+        );
         let out = WireMsg {
             client: msg.client,
             frame_no: msg.frame_no,
             step: ServiceKind::Primary, // terminal hop marker
             emit_micros: msg.emit_micros,
             return_port: msg.return_port,
+            trace_id: msg.trace_id,
+            flags: msg.flags,
+            sent_micros: done_ns / 1_000,
             payload: encode_result(&recognitions),
         };
         stats.processed.fetch_add(1, Ordering::Relaxed);
@@ -302,7 +401,10 @@ mod tests {
             level: 1,
         };
         let state = FrameState {
-            descriptors: vec![vision::Descriptor { keypoint: kp, v: [0.1; 128] }],
+            descriptors: vec![vision::Descriptor {
+                keypoint: kp,
+                v: [0.1; 128],
+            }],
             fisher: vec![],
             candidates: vec![1],
         };

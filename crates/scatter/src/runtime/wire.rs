@@ -6,7 +6,8 @@
 //! until its reassembly slot is reclaimed, matching the pipeline's UDP
 //! semantics on the testbed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::time::Instant;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -20,7 +21,42 @@ pub const CHUNK_BYTES: usize = 32 * 1024;
 /// Magic tag guarding against stray datagrams.
 pub const MAGIC: u32 = 0x5343_4154; // "SCAT"
 
-const HEADER_BYTES: usize = 4 + 2 + 4 + 1 + 8 + 2 + 2 + 2 + 4;
+/// `flags` bit 0: this frame was chosen by trace sampling.
+pub const FLAG_SAMPLED: u8 = 0b0000_0001;
+
+const HEADER_BYTES: usize = 4 + 2 + 4 + 1 + 8 + 2 + 8 + 1 + 8 + 2 + 2 + 4;
+
+/// Why a datagram failed to parse. Malformed traffic on a UDP socket is
+/// a fact of life, not a panic: callers count the reason and drop the
+/// datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Shorter than the fixed fragment header.
+    Truncated,
+    /// Magic tag mismatch — a foreign or corrupted datagram.
+    BadMagic,
+    /// Step index outside the five pipeline services.
+    BadStep,
+    /// `frag_count == 0` or `frag_idx >= frag_count`.
+    BadFragmentIndex,
+    /// Body length disagrees with the header's length field.
+    LengthMismatch,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WireError::Truncated => "datagram shorter than the fragment header",
+            WireError::BadMagic => "magic tag mismatch",
+            WireError::BadStep => "step index out of range",
+            WireError::BadFragmentIndex => "fragment index/count invalid",
+            WireError::LengthMismatch => "body length disagrees with header",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// A pipeline message as it travels between service sockets.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +72,14 @@ pub struct WireMsg {
     /// "client's IP address and port number" so `matching` can deliver
     /// results without a session table.
     pub return_port: u16,
+    /// Causal trace id (`client << 32 | frame_no`), carried end to end.
+    pub trace_id: u64,
+    /// Trace flags; see [`FLAG_SAMPLED`].
+    pub flags: u8,
+    /// Microseconds since the epoch when the *previous hop* sent this
+    /// message — re-stamped per hop, so the receiver's `recv − sent` gap
+    /// is the ingress-queue span (transit + socket buffer wait).
+    pub sent_micros: u64,
     pub payload: Bytes,
 }
 
@@ -43,6 +87,11 @@ impl WireMsg {
     pub fn age_ms(&self, epoch: Instant) -> f64 {
         let now_micros = epoch.elapsed().as_micros() as u64;
         now_micros.saturating_sub(self.emit_micros) as f64 / 1e3
+    }
+
+    /// Reconstruct the trace context this message carries.
+    pub fn trace_ctx(&self) -> trace::TraceCtx {
+        trace::TraceCtx::new(self.client, self.frame_no, self.flags & FLAG_SAMPLED != 0)
     }
 }
 
@@ -65,6 +114,9 @@ pub fn encode(msg: &WireMsg) -> Vec<Bytes> {
             buf.put_u8(msg.step.index() as u8);
             buf.put_u64(msg.emit_micros);
             buf.put_u16(msg.return_port);
+            buf.put_u64(msg.trace_id);
+            buf.put_u8(msg.flags);
+            buf.put_u64(msg.sent_micros);
             buf.put_u16(i as u16);
             buf.put_u16(frag_count);
             buf.put_u32(chunk.len() as u32);
@@ -75,48 +127,61 @@ pub fn encode(msg: &WireMsg) -> Vec<Bytes> {
 }
 
 /// A decoded fragment header + body.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fragment {
     pub client: u16,
     pub frame_no: u32,
     pub step: ServiceKind,
     pub emit_micros: u64,
     pub return_port: u16,
+    pub trace_id: u64,
+    pub flags: u8,
+    pub sent_micros: u64,
     pub frag_idx: u16,
     pub frag_count: u16,
     pub body: Bytes,
 }
 
-/// Parse one datagram; `None` for malformed or foreign packets (dropped
-/// silently, as a UDP service must).
-pub fn decode_fragment(datagram: &[u8]) -> Option<Fragment> {
+/// Parse one datagram. Malformed or foreign packets yield a typed
+/// [`WireError`] so the caller can count *why* before dropping, as a
+/// UDP service must.
+pub fn decode_fragment(datagram: &[u8]) -> Result<Fragment, WireError> {
     if datagram.len() < HEADER_BYTES {
-        return None;
+        return Err(WireError::Truncated);
     }
     let mut buf = datagram;
     if buf.get_u32() != MAGIC {
-        return None;
+        return Err(WireError::BadMagic);
     }
     let client = buf.get_u16();
     let frame_no = buf.get_u32();
     let step_idx = buf.get_u8() as usize;
     if step_idx >= 5 {
-        return None;
+        return Err(WireError::BadStep);
     }
     let emit_micros = buf.get_u64();
     let return_port = buf.get_u16();
+    let trace_id = buf.get_u64();
+    let flags = buf.get_u8();
+    let sent_micros = buf.get_u64();
     let frag_idx = buf.get_u16();
     let frag_count = buf.get_u16();
     let len = buf.get_u32() as usize;
-    if frag_count == 0 || frag_idx >= frag_count || buf.remaining() != len {
-        return None;
+    if frag_count == 0 || frag_idx >= frag_count {
+        return Err(WireError::BadFragmentIndex);
     }
-    Some(Fragment {
+    if buf.remaining() != len {
+        return Err(WireError::LengthMismatch);
+    }
+    Ok(Fragment {
         client,
         frame_no,
         step: ServiceKind::from_index(step_idx),
         emit_micros,
         return_port,
+        trace_id,
+        flags,
+        sent_micros,
         frag_idx,
         frag_count,
         body: Bytes::copy_from_slice(buf),
@@ -125,24 +190,39 @@ pub fn decode_fragment(datagram: &[u8]) -> Option<Fragment> {
 
 /// Reassembles fragments into messages. Bounded: oldest incomplete entry
 /// is evicted past [`Reassembler::MAX_PENDING`] — frames that lost a
-/// fragment must not leak memory.
+/// fragment must not leak memory. Evictions are logged (with the frame's
+/// trace identity) so the service loop can attribute the loss, and the
+/// victim key is tombstoned so a late straggler fragment cannot rebuild
+/// a half-frame and double-report it.
 #[derive(Debug, Default)]
 pub struct Reassembler {
     pending: HashMap<(u16, u32, u8), PendingMsg>,
     /// Insertion order for eviction.
     order: Vec<(u16, u32, u8)>,
+    /// Keys evicted as incomplete; late fragments for these are ignored.
+    tombstones: HashSet<(u16, u32, u8)>,
+    /// Evicted frames awaiting drop attribution: `(client, frame_no, flags)`.
+    evicted: Vec<(u16, u32, u8)>,
 }
 
 #[derive(Debug)]
 struct PendingMsg {
     emit_micros: u64,
     return_port: u16,
+    trace_id: u64,
+    flags: u8,
+    sent_micros: u64,
     parts: Vec<Option<Bytes>>,
     received: usize,
 }
 
 impl Reassembler {
     pub const MAX_PENDING: usize = 64;
+
+    /// Tombstone-set bound; cleared wholesale past this (a late fragment
+    /// for a long-evicted frame then merely restarts a pending entry that
+    /// will itself age out — bounded memory matters more than perfection).
+    const MAX_TOMBSTONES: usize = 4096;
 
     pub fn new() -> Self {
         Self::default()
@@ -152,11 +232,17 @@ impl Reassembler {
     /// fragment lands.
     pub fn offer(&mut self, frag: Fragment) -> Option<WireMsg> {
         let key = (frag.client, frag.frame_no, frag.step.index() as u8);
+        if self.tombstones.contains(&key) {
+            return None;
+        }
         let entry = self.pending.entry(key).or_insert_with(|| {
             self.order.push(key);
             PendingMsg {
                 emit_micros: frag.emit_micros,
                 return_port: frag.return_port,
+                trace_id: frag.trace_id,
+                flags: frag.flags,
+                sent_micros: frag.sent_micros,
                 parts: vec![None; frag.frag_count as usize],
                 received: 0,
             }
@@ -180,15 +266,31 @@ impl Reassembler {
                 step: frag.step,
                 emit_micros: entry.emit_micros,
                 return_port: entry.return_port,
+                trace_id: entry.trace_id,
+                flags: entry.flags,
+                sent_micros: entry.sent_micros,
                 payload: payload.freeze(),
             });
         }
         // Evict the oldest incomplete message beyond the cap.
         if self.pending.len() > Self::MAX_PENDING {
             let victim = self.order.remove(0);
-            self.pending.remove(&victim);
+            if let Some(lost) = self.pending.remove(&victim) {
+                self.evicted.push((victim.0, victim.1, lost.flags));
+            }
+            if self.tombstones.len() >= Self::MAX_TOMBSTONES {
+                self.tombstones.clear();
+            }
+            self.tombstones.insert(victim);
         }
         None
+    }
+
+    /// Take the log of frames evicted incomplete since the last call:
+    /// `(client, frame_no, flags)` — enough to emit a fragment-loss
+    /// terminal on the frame's trace.
+    pub fn drain_evicted(&mut self) -> Vec<(u16, u32, u8)> {
+        std::mem::take(&mut self.evicted)
     }
 
     pub fn pending_count(&self) -> usize {
@@ -365,6 +467,9 @@ mod tests {
             step: ServiceKind::Encoding,
             emit_micros: 123_456,
             return_port: 40_123,
+            trace_id: (3u64 << 32) | 42,
+            flags: FLAG_SAMPLED,
+            sent_micros: 123_500,
             payload: Bytes::from(vec![7u8; payload_len]),
         }
     }
@@ -419,12 +524,62 @@ mod tests {
     }
 
     #[test]
-    fn garbage_datagrams_rejected() {
-        assert!(decode_fragment(&[]).is_none());
-        assert!(decode_fragment(&[0u8; 10]).is_none());
-        let mut bogus = encode(&msg(10))[0].to_vec();
+    fn garbage_datagrams_rejected_with_reason() {
+        assert_eq!(decode_fragment(&[]), Err(WireError::Truncated));
+        assert_eq!(decode_fragment(&[0u8; 10]), Err(WireError::Truncated));
+        let good = encode(&msg(10))[0].to_vec();
+        let mut bogus = good.clone();
         bogus[0] ^= 0xFF; // corrupt magic
-        assert!(decode_fragment(&bogus).is_none());
+        assert_eq!(decode_fragment(&bogus), Err(WireError::BadMagic));
+        let mut bad_step = good.clone();
+        bad_step[10] = 9; // step byte out of range
+        assert_eq!(decode_fragment(&bad_step), Err(WireError::BadStep));
+        let mut short_body = good.clone();
+        short_body.pop(); // body one byte shorter than header claims
+        assert_eq!(decode_fragment(&short_body), Err(WireError::LengthMismatch));
+        let mut bad_frag = good;
+        // frag_count field (two bytes after frag_idx) zeroed.
+        let off = HEADER_BYTES - 6;
+        bad_frag[off] = 0;
+        bad_frag[off + 1] = 0;
+        assert_eq!(decode_fragment(&bad_frag), Err(WireError::BadFragmentIndex));
+    }
+
+    #[test]
+    fn trace_fields_survive_the_wire() {
+        let m = msg(64);
+        let frag = decode_fragment(&encode(&m)[0]).unwrap();
+        assert_eq!(frag.trace_id, (3u64 << 32) | 42);
+        assert_eq!(frag.flags, FLAG_SAMPLED);
+        assert_eq!(frag.sent_micros, 123_500);
+        let out = Reassembler::new().offer(frag).unwrap();
+        assert_eq!(out, m);
+        let ctx = out.trace_ctx();
+        assert!(ctx.sampled);
+        assert_eq!(ctx.trace_id, (3u64 << 32) | 42);
+    }
+
+    #[test]
+    fn eviction_logs_loss_and_tombstones_stragglers() {
+        let mut r = Reassembler::new();
+        let mut all_frames = Vec::new();
+        for i in 0..(Reassembler::MAX_PENDING as u32 + 1) {
+            let mut m = msg(CHUNK_BYTES * 2);
+            m.frame_no = i;
+            m.trace_id = i as u64;
+            let frames = encode(&m);
+            assert!(r.offer(decode_fragment(&frames[0]).unwrap()).is_none());
+            all_frames.push(frames);
+        }
+        let evicted = r.drain_evicted();
+        assert_eq!(evicted, vec![(3, 0, FLAG_SAMPLED)], "oldest frame evicted");
+        assert!(r.drain_evicted().is_empty(), "drain is one-shot");
+        // The straggler second fragment of the evicted frame must not
+        // complete a half message nor create a fresh pending entry.
+        let straggler = decode_fragment(&all_frames[0][1]).unwrap();
+        let before = r.pending_count();
+        assert!(r.offer(straggler).is_none());
+        assert_eq!(r.pending_count(), before, "tombstoned key stays dead");
     }
 
     #[test]
@@ -437,6 +592,9 @@ mod tests {
                 step: ServiceKind::Sift,
                 emit_micros: 0,
                 return_port: 0,
+                trace_id: 0,
+                flags: 0,
+                sent_micros: 0,
                 payload: Bytes::from(vec![0u8; CHUNK_BYTES * 2]),
             };
             let frames = encode(&m);
@@ -468,7 +626,10 @@ mod tests {
             level: 2,
         };
         let state = FrameState {
-            descriptors: vec![vision::Descriptor { keypoint: kp, v: [0.25; 128] }],
+            descriptors: vec![vision::Descriptor {
+                keypoint: kp,
+                v: [0.25; 128],
+            }],
             fisher: vec![0.5, -0.5],
             candidates: vec![2, 0],
         };
@@ -478,7 +639,10 @@ mod tests {
 
     #[test]
     fn result_payload_round_trip() {
-        let recs = vec![("monitor".to_string(), [(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0)])];
+        let recs = vec![(
+            "monitor".to_string(),
+            [(1.0, 2.0), (3.0, 4.0), (5.0, 6.0), (7.0, 8.0)],
+        )];
         let back = decode_result(encode_result(&recs)).expect("valid result");
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].0, "monitor");
@@ -499,7 +663,13 @@ mod tests {
             level: 1,
         };
         let with_state = FrameState {
-            descriptors: vec![vision::Descriptor { keypoint: kp, v: [0.1; 128] }; 300],
+            descriptors: vec![
+                vision::Descriptor {
+                    keypoint: kp,
+                    v: [0.1; 128]
+                };
+                300
+            ],
             fisher: vec![0.0; 128],
             candidates: vec![],
         };

@@ -79,8 +79,9 @@ pub struct SvcRuntime {
     pub fetch_served: u64,
     pub fetch_dropped: u64,
     /// `matching` only: frame parked while its feature fetch is in
-    /// flight, plus the timeout event to cancel on success.
-    pub pending_fetch: Option<(FrameMsg, simcore::EventId)>,
+    /// flight, plus the timeout event to cancel on success and the
+    /// instant the fetch was sent (start of the frame's fetch-wait span).
+    pub pending_fetch: Option<(FrameMsg, simcore::EventId, SimTime)>,
     /// `sift` only: fetch requests waiting in the UDP socket buffer while
     /// the service is busy — tiny datagrams are buffered by the kernel,
     /// unlike full frames which the service-level drop policy rejects.
@@ -89,7 +90,12 @@ pub struct SvcRuntime {
 }
 
 impl SvcRuntime {
-    pub fn new(kind: ServiceKind, replica: usize, machine: usize, sidecar: Option<Sidecar>) -> Self {
+    pub fn new(
+        kind: ServiceKind,
+        replica: usize,
+        machine: usize,
+        sidecar: Option<Sidecar>,
+    ) -> Self {
         SvcRuntime {
             kind,
             replica,
@@ -192,7 +198,8 @@ mod tests {
                 bytes: 10,
             },
         );
-        let evicted = s.evict_stale_state(SimTime::from_millis(1000), SimDuration::from_millis(500));
+        let evicted =
+            s.evict_stale_state(SimTime::from_millis(1000), SimDuration::from_millis(500));
         assert_eq!(evicted, 1);
         assert!(s.state_store.contains_key(&(0, 2)));
     }

@@ -58,7 +58,11 @@ impl Sidecar {
     /// `service_est` and `downstream_est` are the sidecar's running
     /// expectations used for projection. Zero estimates degrade to pure
     /// age filtering.
-    pub fn new(threshold: SimDuration, service_est: SimDuration, downstream_est: SimDuration) -> Self {
+    pub fn new(
+        threshold: SimDuration,
+        service_est: SimDuration,
+        downstream_est: SimDuration,
+    ) -> Self {
         Sidecar {
             queue: VecDeque::new(),
             threshold,
@@ -88,29 +92,57 @@ impl Sidecar {
     /// Accept a frame into the queue if its projected completion fits the
     /// threshold; otherwise filter it immediately.
     pub fn enqueue(&mut self, msg: FrameMsg, now: SimTime) -> bool {
+        self.enqueue_or_reject(msg, now).is_none()
+    }
+
+    /// Like [`enqueue`](Sidecar::enqueue), but hands back the rejected
+    /// frame so the caller can attribute the drop (trace forensics need
+    /// the frame's [`TraceCtx`](trace::TraceCtx), not just a count).
+    /// Returns `None` on admission, `Some(msg)` when filtered.
+    pub fn enqueue_or_reject(&mut self, msg: FrameMsg, now: SimTime) -> Option<FrameMsg> {
         if self.projected(msg.age(now), self.queue.len()) > self.threshold {
             self.dropped += 1;
-            return false;
+            return Some(msg);
         }
         self.enqueued += 1;
         self.queue.push_back((msg, now));
-        true
+        None
     }
 
     /// Pop the next serviceable frame in FIFO order, filtering out any
     /// whose remaining budget can no longer cover service + downstream.
     pub fn dequeue(&mut self, now: SimTime) -> (Dequeue, Option<FrameMsg>) {
+        let (outcome, served, _) = self.dequeue_with_drops(now);
+        (outcome, served)
+    }
+
+    /// Like [`dequeue`](Sidecar::dequeue), but also returns the frames the
+    /// filter discarded while searching for a serviceable one, so each
+    /// discarded frame's drop can be attributed to its trace.
+    pub fn dequeue_with_drops(
+        &mut self,
+        now: SimTime,
+    ) -> (Dequeue, Option<FrameMsg>, Vec<FrameMsg>) {
+        let mut filtered = Vec::new();
         while let Some((msg, arrived)) = self.queue.pop_front() {
             if self.projected(msg.age(now), 0) > self.threshold {
                 self.dropped += 1;
+                filtered.push(msg);
                 continue;
             }
             let waited = now.saturating_since(arrived);
             self.served += 1;
             self.queue_time_sum += waited;
-            return (Dequeue::Serve(waited), Some(msg));
+            return (Dequeue::Serve(waited), Some(msg), filtered);
         }
-        (Dequeue::Empty, None)
+        (Dequeue::Empty, None, filtered)
+    }
+
+    /// Empty the queue, returning the queued frames. Used when the
+    /// attached service crashes: the frames are lost with the instance
+    /// and must be accounted as crash drops, not filter drops.
+    pub fn drain(&mut self) -> Vec<FrameMsg> {
+        self.queue.drain(..).map(|(msg, _)| msg).collect()
     }
 
     /// Fraction of frames dropped by the filter among all seen.

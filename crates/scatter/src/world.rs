@@ -68,6 +68,14 @@ pub struct PipelineWorld {
     pub breakdown_compute: [metrics::Summary; 5],
     pub breakdown_queue: [metrics::Summary; 5],
     pub breakdown_network: metrics::Summary,
+    /// Per-frame causal tracing (inert unless `cfg.trace` is set). Event
+    /// recording is append-only and draws no randomness, so enabling it
+    /// cannot perturb the simulation's determinism.
+    pub tracer: trace::Tracer,
+    /// Trace track per service slot (parallel to `services`).
+    pub track_of_slot: Vec<trace::TrackId>,
+    /// Trace track per client (the result's return transit lands here).
+    pub client_tracks: Vec<trace::TrackId>,
 }
 
 type SimW = Sim<PipelineWorld>;
@@ -111,6 +119,18 @@ pub fn run_experiment(cfg: RunConfig) -> RunReport {
 
 /// Run with an explicit cost model (ablation studies override fields).
 pub fn run_experiment_with(cfg: RunConfig, cost: CostModel) -> RunReport {
+    run_world(cfg, cost).0
+}
+
+/// Run and additionally return the causal trace log. Callers usually set
+/// `cfg.trace` first — without it the log is empty (but the report is
+/// identical to [`run_experiment`]'s, which is the point: tracing is an
+/// observer, not a participant).
+pub fn run_experiment_traced(cfg: RunConfig) -> (RunReport, trace::TraceLog) {
+    run_world(cfg, CostModel::default())
+}
+
+fn run_world(cfg: RunConfig, cost: CostModel) -> (RunReport, trace::TraceLog) {
     let mut root = SimRng::new(cfg.seed);
     let rng_net = root.split();
     let rng_service = root.split();
@@ -230,7 +250,31 @@ pub fn run_experiment_with(cfg: RunConfig, cost: CostModel) -> RunReport {
         .collect();
 
     let mem_series = services.iter().map(|_| TimeSeries::new()).collect();
-    let machine_mem = cluster.machines().iter().map(|_| TimeSeries::new()).collect();
+    let machine_mem = cluster
+        .machines()
+        .iter()
+        .map(|_| TimeSeries::new())
+        .collect();
+
+    // Trace tracks: one per service instance per machine, one per client.
+    // Registration is unconditional (cheap) so slot ↔ track stays aligned
+    // whether or not tracing is on.
+    let mut tracer = match cfg.trace {
+        Some(tc) => trace::Tracer::new(tc),
+        None => trace::Tracer::disabled(),
+    };
+    let track_of_slot: Vec<trace::TrackId> = services
+        .iter()
+        .map(|svc| {
+            tracer.register_track(
+                format!("{}#{}", svc.kind.name(), svc.replica),
+                cluster.machines()[svc.machine].name.clone(),
+            )
+        })
+        .collect();
+    let client_tracks: Vec<trace::TrackId> = (0..cfg.clients)
+        .map(|i| tracer.register_track(format!("client-{i}"), "client-host"))
+        .collect();
 
     let end_at = SimTime::ZERO + cfg.duration;
     let warmup_at = SimTime::ZERO + cfg.warmup;
@@ -257,6 +301,9 @@ pub fn run_experiment_with(cfg: RunConfig, cost: CostModel) -> RunReport {
         breakdown_compute: Default::default(),
         breakdown_queue: Default::default(),
         breakdown_network: metrics::Summary::new(),
+        tracer,
+        track_of_slot,
+        client_tracks,
     };
 
     let mut sim: SimW = Sim::new();
@@ -292,7 +339,19 @@ pub fn run_experiment_with(cfg: RunConfig, cost: CostModel) -> RunReport {
     }
 
     sim.run_until(&mut world, end_at);
-    build_report(world)
+    let tracer = std::mem::replace(&mut world.tracer, trace::Tracer::disabled());
+    let log = tracer.finish(end_at.as_nanos());
+    (build_report(world), log)
+}
+
+/// Network-loss drop reason: a multi-fragment datagram dies to
+/// fragment loss, a single-fragment one to plain netem loss.
+fn net_loss_reason(payload_bytes: usize) -> trace::DropReason {
+    if simnet::Link::fragments(payload_bytes) > 1 {
+        trace::DropReason::FragmentLoss
+    } else {
+        trace::DropReason::NetemLoss
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -310,13 +369,14 @@ fn client_emit(w: &mut PipelineWorld, sim: &mut SimW, client: usize) {
         w.clients[client].emitted_measured += 1;
     }
     let bytes = w.cost.payload_into(ServiceKind::Primary, w.cfg.mode);
-    let msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
+    let mut msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
+    msg.trace = w.tracer.ctx(client as u16, frame_no as u32);
+    w.tracer.emitted(msg.trace, now.as_nanos());
     route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
 
     // Next frame: grid-scheduled with per-frame capture jitter so
     // concurrent clients cannot phase-lock against each other.
-    let jitter =
-        SimDuration::from_millis_f64(w.rng_misc.uniform(0.0, w.cost.emit_jitter_ms));
+    let jitter = SimDuration::from_millis_f64(w.rng_misc.uniform(0.0, w.cost.emit_jitter_ms));
     let next = w.clients[client].next_emit_at() + jitter;
     sim.schedule_at(next, move |w, s| client_emit(w, s, client));
 }
@@ -349,8 +409,24 @@ fn route_to_service(
     };
     let now = sim.now();
     match w.net.send(src_node, dst_node, msg.payload_bytes, now) {
-        simnet::Delivery::Lost => {}
+        simnet::Delivery::Lost => {
+            let reason = net_loss_reason(msg.payload_bytes);
+            w.tracer
+                .terminal(msg.trace, now.as_nanos(), trace::FrameFate::Dropped(reason));
+        }
         simnet::Delivery::Delayed(d) => {
+            // The transit span is recorded up front (the arrival event may
+            // fall past the run's end); clamp to the horizon so run-end
+            // terminals never precede a span's end.
+            let arrive_ns = (now + d + lb_extra).as_nanos().min(w.end_at.as_nanos());
+            w.tracer.span(
+                msg.trace,
+                w.track_of_slot[slot],
+                ki as u8,
+                trace::Phase::NetworkTransit,
+                now.as_nanos(),
+                arrive_ns,
+            );
             sim.schedule(d + lb_extra, move |w, s| frame_arrive(w, s, slot, msg));
         }
     }
@@ -363,6 +439,11 @@ fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMs
         // Nothing is listening on a crashed container's port.
         w.services[slot].drops.down += 1;
         w.services[slot].record_drop(now);
+        w.tracer.terminal(
+            msg.trace,
+            now.as_nanos(),
+            trace::FrameFate::Dropped(trace::DropReason::Crash),
+        );
         return;
     }
     if !w.cfg.mode.sidecar_queue() {
@@ -370,18 +451,28 @@ fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMs
         if w.services[slot].busy {
             w.services[slot].drops.busy += 1;
             w.services[slot].record_drop(now);
+            w.tracer.terminal(
+                msg.trace,
+                now.as_nanos(),
+                trace::FrameFate::Dropped(trace::DropReason::BusyIngress),
+            );
             return;
         }
         accept_frame(w, sim, slot, msg);
     } else {
-        let svc = &mut w.services[slot];
-        let sc = svc.sidecar.as_mut().expect("sidecar mode has sidecars");
-        let dropped_before = sc.dropped;
-        sc.enqueue(msg, now);
-        let newly_dropped = sc.dropped - dropped_before;
-        if newly_dropped > 0 {
-            svc.drops.stale += newly_dropped;
-            svc.record_drop(now);
+        let rejected = {
+            let svc = &mut w.services[slot];
+            let sc = svc.sidecar.as_mut().expect("sidecar mode has sidecars");
+            sc.enqueue_or_reject(msg, now)
+        };
+        if let Some(rejected) = rejected {
+            w.services[slot].drops.stale += 1;
+            w.services[slot].record_drop(now);
+            w.tracer.terminal(
+                rejected.trace,
+                now.as_nanos(),
+                trace::FrameFate::Dropped(trace::DropReason::ThresholdFilter),
+            );
         }
         if !w.services[slot].busy {
             pull_from_sidecar(w, sim, slot);
@@ -393,21 +484,41 @@ fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMs
 fn pull_from_sidecar(w: &mut PipelineWorld, sim: &mut SimW, slot: usize) {
     let now = sim.now();
     let kind_idx = w.services[slot].kind.index();
-    let (msg, newly_dropped) = {
+    let (msg, waited, filtered) = {
         let svc = &mut w.services[slot];
         let sc = svc.sidecar.as_mut().expect("scAtteR++ has sidecars");
-        let before = sc.dropped;
-        let (outcome, mut msg) = sc.dequeue(now);
-        if let (crate::sidecar::Dequeue::Serve(waited), Some(m)) = (outcome, msg.as_mut()) {
-            m.stage_queue_ms[kind_idx] += waited.as_millis_f64();
+        let (outcome, mut msg, filtered) = sc.dequeue_with_drops(now);
+        let waited = match outcome {
+            crate::sidecar::Dequeue::Serve(wt) => Some(wt),
+            crate::sidecar::Dequeue::Empty => None,
+        };
+        if let (Some(wt), Some(m)) = (waited, msg.as_mut()) {
+            m.stage_queue_ms[kind_idx] += wt.as_millis_f64();
         }
-        (msg, sc.dropped - before)
+        (msg, waited, filtered)
     };
-    if newly_dropped > 0 {
-        w.services[slot].drops.stale += newly_dropped;
+    if !filtered.is_empty() {
+        w.services[slot].drops.stale += filtered.len() as u64;
         w.services[slot].record_drop(now);
+        for f in &filtered {
+            w.tracer.terminal(
+                f.trace,
+                now.as_nanos(),
+                trace::FrameFate::Dropped(trace::DropReason::ThresholdFilter),
+            );
+        }
     }
     if let Some(msg) = msg {
+        if let Some(wt) = waited {
+            w.tracer.span(
+                msg.trace,
+                w.track_of_slot[slot],
+                kind_idx as u8,
+                trace::Phase::SidecarHold,
+                now.as_nanos().saturating_sub(wt.as_nanos()),
+                now.as_nanos(),
+            );
+        }
         accept_frame(w, sim, slot, msg);
     }
 }
@@ -474,6 +585,11 @@ fn start_compute(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameM
         }
         // A crash between acceptance and completion voids the execution.
         if w.services[slot].generation != generation {
+            w.tracer.terminal(
+                msg.trace,
+                s.now().as_nanos(),
+                trace::FrameFate::Dropped(trace::DropReason::Crash),
+            );
             return;
         }
         complete_compute(w, s, slot, msg, accepted_at)
@@ -490,6 +606,14 @@ fn complete_compute(
     let now = sim.now();
     let kind = w.services[slot].kind;
     let observed_ms = now.saturating_since(accepted_at).as_millis_f64();
+    w.tracer.span(
+        msg.trace,
+        w.track_of_slot[slot],
+        kind.index() as u8,
+        trace::Phase::Compute,
+        accepted_at.as_nanos(),
+        now.as_nanos(),
+    );
     msg.stage_compute_ms[kind.index()] += observed_ms;
     w.services[slot].service_latency_ms.record(observed_ms);
     w.services[slot].proc_series.push(now, observed_ms);
@@ -574,9 +698,12 @@ fn send_fetch(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, mut msg: Frame
             fetch_timeout(w, s, slot, key)
         })
     };
-    w.services[slot].pending_fetch = Some((msg, timeout_id));
+    w.services[slot].pending_fetch = Some((msg, timeout_id, now));
 
-    match w.net.send(src_node, dst_node, w.cost.fetch_request_bytes(), now) {
+    match w
+        .net
+        .send(src_node, dst_node, w.cost.fetch_request_bytes(), now)
+    {
         simnet::Delivery::Lost => {}
         simnet::Delivery::Delayed(d) => {
             sim.schedule(d, move |w, s| fetch_arrive_at_sift(w, s, sift_slot, slot));
@@ -590,9 +717,14 @@ const FETCH_QUEUE_CAP: usize = 16;
 /// The fetch request reaches sift. The tiny request datagram sits in the
 /// kernel socket buffer while sift is busy (overflow is dropped and the
 /// matching timeout fires); an idle sift serves it and ships the features.
-fn fetch_arrive_at_sift(w: &mut PipelineWorld, sim: &mut SimW, sift_slot: usize, matching_slot: usize) {
+fn fetch_arrive_at_sift(
+    w: &mut PipelineWorld,
+    sim: &mut SimW,
+    sift_slot: usize,
+    matching_slot: usize,
+) {
     let key = match &w.services[matching_slot].pending_fetch {
-        Some((msg, _)) => msg.key(),
+        Some((msg, _, _)) => msg.key(),
         // Matching already timed out; nothing to serve.
         None => return,
     };
@@ -601,7 +733,9 @@ fn fetch_arrive_at_sift(w: &mut PipelineWorld, sim: &mut SimW, sift_slot: usize,
             w.services[sift_slot].fetch_dropped += 1;
             return;
         }
-        w.services[sift_slot].fetch_queue.push_back((matching_slot, key));
+        w.services[sift_slot]
+            .fetch_queue
+            .push_back((matching_slot, key));
         return;
     }
     serve_fetch(w, sim, sift_slot, matching_slot, key);
@@ -644,7 +778,7 @@ fn drain_fetch_queue(w: &mut PipelineWorld, sim: &mut SimW, sift_slot: usize) {
         let still_wanted = w.services[matching_slot]
             .pending_fetch
             .as_ref()
-            .is_some_and(|(m, _)| m.key() == key);
+            .is_some_and(|(m, _, _)| m.key() == key);
         if still_wanted {
             serve_fetch(w, sim, sift_slot, matching_slot, key);
         } else {
@@ -668,7 +802,10 @@ fn fetch_served(
     w.services[sift_slot].fetch_served += 1;
     let src_node = w.cluster.machines()[w.services[sift_slot].machine].net;
     let dst_node = w.cluster.machines()[w.services[matching_slot].machine].net;
-    match w.net.send(src_node, dst_node, w.cost.fetch_response_bytes(), sim.now()) {
+    match w
+        .net
+        .send(src_node, dst_node, w.cost.fetch_response_bytes(), sim.now())
+    {
         simnet::Delivery::Lost => {}
         simnet::Delivery::Delayed(d) => {
             sim.schedule(d, move |w, s| fetch_response(w, s, matching_slot, key));
@@ -679,41 +816,87 @@ fn fetch_served(
 /// Features arrived back at matching: cancel the timeout and run the
 /// actual pose-estimation compute.
 fn fetch_response(w: &mut PipelineWorld, sim: &mut SimW, matching_slot: usize, key: (usize, u64)) {
-    let Some((mut msg, timeout_id)) = w.services[matching_slot].pending_fetch.take() else {
+    let Some((mut msg, timeout_id, sent_at)) = w.services[matching_slot].pending_fetch.take()
+    else {
         return;
     };
     if msg.key() != key {
         // A stale response for a frame matching already gave up on.
-        w.services[matching_slot].pending_fetch = Some((msg, timeout_id));
+        w.services[matching_slot].pending_fetch = Some((msg, timeout_id, sent_at));
         return;
     }
     sim.cancel(timeout_id);
     // Close the fetch-wait stamp opened in send_fetch.
     msg.stage_queue_ms[ServiceKind::Matching.index()] += sim.now().as_millis_f64();
+    // The fetch-wait span subsumes the fetch datagrams' transit and
+    // sift's service time — the dependency loop's direct cost.
+    w.tracer.span(
+        msg.trace,
+        w.track_of_slot[matching_slot],
+        ServiceKind::Matching.index() as u8,
+        trace::Phase::FetchWait,
+        sent_at.as_nanos(),
+        sim.now().as_nanos(),
+    );
     start_compute(w, sim, matching_slot, msg);
 }
 
 fn fetch_timeout(w: &mut PipelineWorld, sim: &mut SimW, matching_slot: usize, key: (usize, u64)) {
     let now = sim.now();
-    let Some((msg, _)) = &w.services[matching_slot].pending_fetch else {
+    let Some((msg, _, sent_at)) = &w.services[matching_slot].pending_fetch else {
         return;
     };
     if msg.key() != key {
         return;
     }
+    let (ctx, sent_at) = (msg.trace, *sent_at);
     w.services[matching_slot].pending_fetch = None;
     w.services[matching_slot].drops.fetch_timeout += 1;
     w.services[matching_slot].record_drop(now);
     w.services[matching_slot].busy = false;
+    // Record where the frame's last milliseconds went before attributing
+    // the drop: it died busy-waiting on sift.
+    w.tracer.span(
+        ctx,
+        w.track_of_slot[matching_slot],
+        ServiceKind::Matching.index() as u8,
+        trace::Phase::FetchWait,
+        sent_at.as_nanos(),
+        now.as_nanos(),
+    );
+    w.tracer.terminal(
+        ctx,
+        now.as_nanos(),
+        trace::FrameFate::Dropped(trace::DropReason::StaleFetch),
+    );
 }
 
 /// Send the processed frame (bounding boxes) back to its client.
 fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node: simnet::NodeId) {
-    match w.net.send(src_node, msg.client_addr, msg.payload_bytes, sim.now()) {
-        simnet::Delivery::Lost => {}
+    let now = sim.now();
+    match w
+        .net
+        .send(src_node, msg.client_addr, msg.payload_bytes, now)
+    {
+        simnet::Delivery::Lost => {
+            let reason = net_loss_reason(msg.payload_bytes);
+            w.tracer
+                .terminal(msg.trace, now.as_nanos(), trace::FrameFate::Dropped(reason));
+        }
         simnet::Delivery::Delayed(d) => {
+            let arrive_ns = (now + d).as_nanos().min(w.end_at.as_nanos());
+            w.tracer.span(
+                msg.trace,
+                w.client_tracks[msg.client],
+                trace::STAGE_CLIENT,
+                trace::Phase::NetworkTransit,
+                now.as_nanos(),
+                arrive_ns,
+            );
             sim.schedule(d, move |w, s| {
                 let now = s.now();
+                w.tracer
+                    .terminal(msg.trace, now.as_nanos(), trace::FrameFate::Completed);
                 let e2e_ms = now.saturating_since(msg.emitted_at).as_millis_f64();
                 for i in 0..5 {
                     w.breakdown_compute[i].record(msg.stage_compute_ms[i]);
@@ -770,6 +953,7 @@ fn crash_instance(w: &mut PipelineWorld, sim: &mut SimW, kind: ServiceKind, repl
         return;
     };
     let revive_at = now + w.cfg.recovery;
+    let mut lost: Vec<trace::TraceCtx> = Vec::new();
     {
         let svc = &mut w.services[slot];
         svc.down_until = Some(revive_at);
@@ -777,11 +961,24 @@ fn crash_instance(w: &mut PipelineWorld, sim: &mut SimW, kind: ServiceKind, repl
         svc.busy = false;
         svc.state_store.clear();
         svc.fetch_queue.clear();
-        svc.pending_fetch = None;
+        // A frame parked awaiting its fetch dies with the instance (the
+        // in-compute frame, if any, is voided by the generation bump and
+        // attributed when its completion event fires).
+        if let Some((msg, _, _)) = svc.pending_fetch.take() {
+            lost.push(msg.trace);
+        }
         if let Some(sc) = svc.sidecar.as_mut() {
             // The queue dies with the container; rebuild it empty.
+            lost.extend(sc.drain().into_iter().map(|m| m.trace));
             *sc = Sidecar::new(sc.threshold(), sc.service_est(), sc.downstream_est());
         }
+    }
+    for ctx in lost {
+        w.tracer.terminal(
+            ctx,
+            now.as_nanos(),
+            trace::FrameFate::Dropped(trace::DropReason::Crash),
+        );
     }
     sim.schedule_at(revive_at, move |w, _s| {
         w.services[slot].down_until = None;
@@ -809,8 +1006,14 @@ fn migrate_instance(
     };
     // Stop phase: identical semantics to a crash.
     crash_instance(w, sim, kind, replica);
-    // Relocate: traffic after the restart flows to the new machine.
+    // Relocate: traffic after the restart flows to the new machine. The
+    // instance gets a fresh trace track so post-migration spans group
+    // under the right machine in the exported trace.
     w.services[slot].machine = target;
+    w.track_of_slot[slot] = w.tracer.register_track(
+        format!("{}#{replica}@{machine_name}", kind.name()),
+        machine_name.to_string(),
+    );
     let now = sim.now();
     w.scale_events.push(ScaleEvent {
         at: now,
@@ -859,12 +1062,9 @@ fn autoscale_check(w: &mut PipelineWorld, sim: &mut SimW) {
         signals[i] = (busy_frac.min(1.0), drop_ratio);
     }
 
-    if let Some((kind_idx, signal)) = crate::autoscale::pick_target(
-        auto.policy,
-        &signals,
-        &replica_counts,
-        auto.max_replicas,
-    ) {
+    if let Some((kind_idx, signal)) =
+        crate::autoscale::pick_target(auto.policy, &signals, &replica_counts, auto.max_replicas)
+    {
         if let Some(machine_idx) = pick_scale_machine(w, auto.spread_over) {
             add_replica(w, kind_idx, machine_idx, now, signal);
         }
@@ -910,10 +1110,15 @@ fn add_replica(
     let replica = w.replicas[kind_idx].len();
     let sidecar = make_sidecar(w.cfg.mode, &w.cost, &w.cluster, machine_idx, kind_idx);
     let slot = w.services.len();
-    w.services.push(SvcRuntime::new(kind, replica, machine_idx, sidecar));
+    w.services
+        .push(SvcRuntime::new(kind, replica, machine_idx, sidecar));
     w.replicas[kind_idx].push(slot);
     w.balancers[kind_idx].add_replica();
     w.mem_series.push(TimeSeries::new());
+    let track = w
+        .tracer
+        .register_track(format!("{}#{replica}", kind.name()), machine_name.clone());
+    w.track_of_slot.push(track);
     w.scale_events.push(ScaleEvent {
         at: now,
         service: kind,
@@ -938,12 +1143,15 @@ fn refresh_estimates(w: &mut PipelineWorld, sim: &mut SimW) {
                 n += 1;
             }
         }
-        *cost = if n > 0 { sum / n as f64 } else { w.cost.base_ms[i] };
+        *cost = if n > 0 {
+            sum / n as f64
+        } else {
+            w.cost.base_ms[i]
+        };
     }
     for slot in 0..w.services.len() {
         let i = w.services[slot].kind.index();
-        let downstream: f64 =
-            kind_ms[i + 1..].iter().map(|c| c + hop_ms).sum::<f64>() + hop_ms;
+        let downstream: f64 = kind_ms[i + 1..].iter().map(|c| c + hop_ms).sum::<f64>() + hop_ms;
         if let Some(sc) = w.services[slot].sidecar.as_mut() {
             sc.set_downstream_est(SimDuration::from_millis_f64(downstream));
         }
@@ -1000,22 +1208,21 @@ fn build_report(mut w: PipelineWorld) -> RunReport {
     } else {
         jitter_sum / w.clients.len() as f64
     };
-    let max_freeze_frames = w.clients.iter().map(|c| c.longest_freeze()).max().unwrap_or(0);
+    let max_freeze_frames = w
+        .clients
+        .iter()
+        .map(|c| c.longest_freeze())
+        .max()
+        .unwrap_or(0);
 
     let services: Vec<ServiceReport> = (0..w.services.len())
         .map(|slot| {
             let svc = &w.services[slot];
             let mem = &w.mem_series[slot];
-            let peak = mem
-                .iter()
-                .map(|(_, v)| v)
-                .fold(0.0f64, f64::max);
-            let (sc_ratio, sc_queue_ms) = svc
-                .sidecar
-                .as_ref()
-                .map_or((0.0, 0.0), |sc| {
-                    (sc.drop_ratio(), sc.mean_queue_time().as_millis_f64())
-                });
+            let peak = mem.iter().map(|(_, v)| v).fold(0.0f64, f64::max);
+            let (sc_ratio, sc_queue_ms) = svc.sidecar.as_ref().map_or((0.0, 0.0), |sc| {
+                (sc.drop_ratio(), sc.mean_queue_time().as_millis_f64())
+            });
             ServiceReport {
                 kind: svc.kind,
                 replica: svc.replica,
@@ -1141,15 +1348,28 @@ mod tests {
         // exceed it only by one worst-case hiccuped stage.
         let r = quick(Mode::ScatterPP, placements::c1(), 4);
         let mut e = r.e2e_ms.clone();
-        assert!(e.median() <= 105.0, "median E2E {:.1} ms breaches the filter", e.median());
-        assert!(e.p99() <= 160.0, "p99 E2E {:.1} ms beyond hiccup slack", e.p99());
+        assert!(
+            e.median() <= 105.0,
+            "median E2E {:.1} ms breaches the filter",
+            e.median()
+        );
+        assert!(
+            e.p99() <= 160.0,
+            "p99 E2E {:.1} ms beyond hiccup slack",
+            e.p99()
+        );
     }
 
     #[test]
     fn cloud_slower_than_edge() {
         let edge = quick(Mode::Scatter, placements::c1(), 1);
         let cloud = quick(Mode::Scatter, placements::cloud_only(), 1);
-        assert!(cloud.fps() < edge.fps(), "cloud {:.1} vs edge {:.1}", cloud.fps(), edge.fps());
+        assert!(
+            cloud.fps() < edge.fps(),
+            "cloud {:.1} vs edge {:.1}",
+            cloud.fps(),
+            edge.fps()
+        );
         assert!(
             cloud.e2e_mean_ms() > edge.e2e_mean_ms() + 10.0,
             "cloud E2E {:.1} should exceed edge {:.1} by ≈20 ms",
@@ -1185,7 +1405,10 @@ mod tests {
         let sidecar = quick(Mode::SidecarOnly, placements::c2(), 4).fps();
         let full = quick(Mode::ScatterPP, placements::c2(), 4).fps();
         // Statelessness alone helps (it breaks the dependency loop).
-        assert!(stateless > base * 1.1, "stateless {stateless:.1} vs base {base:.1}");
+        assert!(
+            stateless > base * 1.1,
+            "stateless {stateless:.1} vs base {base:.1}"
+        );
         // Queues alone do NOT: §4's point that backpressure mitigation
         // "may not be effective, as the bottleneck not only lies in the
         // processing complexity of the service but in the dependency
@@ -1196,8 +1419,14 @@ mod tests {
             "sidecar-only {sidecar:.1} should sit near base {base:.1}"
         );
         // The full redesign needs both changes and beats each alone.
-        assert!(full >= stateless * 0.85, "full {full:.1} vs stateless {stateless:.1}");
-        assert!(full > sidecar * 1.2, "full {full:.1} vs sidecar {sidecar:.1}");
+        assert!(
+            full >= stateless * 0.85,
+            "full {full:.1} vs stateless {stateless:.1}"
+        );
+        assert!(
+            full > sidecar * 1.2,
+            "full {full:.1} vs sidecar {sidecar:.1}"
+        );
     }
 
     #[test]
@@ -1246,7 +1475,10 @@ mod tests {
             hw.scale_events.len(),
             app.scale_events.len()
         );
-        assert!(app.fps() < 30.0, "sanity: the system is actually overloaded");
+        assert!(
+            app.fps() < 30.0,
+            "sanity: the system is actually overloaded"
+        );
     }
 
     #[test]

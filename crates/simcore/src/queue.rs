@@ -234,11 +234,11 @@ mod tests {
         fn tick(count: &mut u32, sim: &mut Sim<u32>) {
             *count += 1;
             if *count < 5 {
-                sim.schedule(SimDuration::from_millis(1), |c, s| tick(c, s));
+                sim.schedule(SimDuration::from_millis(1), tick);
             }
         }
         let mut sim: Sim<u32> = Sim::new();
-        sim.schedule(SimDuration::ZERO, |c, s| tick(c, s));
+        sim.schedule(SimDuration::ZERO, tick);
         let mut count = 0;
         sim.run(&mut count);
         assert_eq!(count, 5);
@@ -274,7 +274,7 @@ mod tests {
     #[test]
     fn schedule_in_past_clamps_to_now() {
         let mut sim: Sim<Vec<u64>> = Sim::new();
-        sim.schedule(SimDuration::from_millis(10), |w: &mut Vec<u64>, s| {
+        sim.schedule(SimDuration::from_millis(10), |_w: &mut Vec<u64>, s| {
             // Attempt to schedule "before now" — must fire at now, not panic.
             s.schedule_at(SimTime::from_millis(1), |w: &mut Vec<u64>, s| {
                 w.push(s.now().as_millis())

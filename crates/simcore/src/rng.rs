@@ -272,6 +272,9 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "50-element shuffle landing on identity is ~impossible");
+        assert_ne!(
+            v, sorted,
+            "50-element shuffle landing on identity is ~impossible"
+        );
     }
 }

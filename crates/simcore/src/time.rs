@@ -10,13 +10,17 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An absolute instant on the simulation clock, in nanoseconds since the
 /// start of the run. `SimTime::ZERO` is the epoch of every experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in nanoseconds. Unsigned: the simulator never
 /// schedules into the past, and subtraction saturates to zero to keep
 /// latency arithmetic panic-free in the presence of reordered deliveries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -235,12 +239,15 @@ mod tests {
         let max = SimDuration::MAX;
         assert_eq!(max + SimDuration::from_secs(1), SimDuration::MAX);
         assert_eq!(SimDuration::from_millis(6) / 2, SimDuration::from_millis(3));
-        assert_eq!(SimDuration::from_millis(6) * 3, SimDuration::from_millis(18));
+        assert_eq!(
+            SimDuration::from_millis(6) * 3,
+            SimDuration::from_millis(18)
+        );
     }
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_millis(5),
             SimTime::ZERO,
             SimTime::from_secs(1),

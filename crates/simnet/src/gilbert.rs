@@ -66,7 +66,11 @@ impl GilbertElliott {
         } else {
             rng.bernoulli(self.p_gb)
         };
-        let p = if self.bad { self.loss_bad } else { self.loss_good };
+        let p = if self.bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
         rng.bernoulli(p)
     }
 
@@ -126,7 +130,9 @@ mod tests {
             }
         };
         let mut bursty_ch = GilbertElliott::with_average_loss(0.05, 25.0);
-        let bursty: Vec<bool> = (0..200_000).map(|_| bursty_ch.lose_packet(&mut rng)).collect();
+        let bursty: Vec<bool> = (0..200_000)
+            .map(|_| bursty_ch.lose_packet(&mut rng))
+            .collect();
         let uniform: Vec<bool> = (0..200_000).map(|_| rng.bernoulli(0.05)).collect();
         let (rb, ru) = (mean_run(&bursty), mean_run(&uniform));
         assert!(

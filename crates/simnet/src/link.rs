@@ -183,7 +183,9 @@ mod tests {
         let link = Link::with_latency(SimDuration::from_millis(1)).loss(0.0008);
         let mut rng = SimRng::new(7);
         let n = 200_000;
-        let lost = (0..n).filter(|_| link.send(500, &mut rng).is_lost()).count();
+        let lost = (0..n)
+            .filter(|_| link.send(500, &mut rng).is_lost())
+            .count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.0008).abs() < 0.0004, "loss rate {rate}");
     }

@@ -88,10 +88,15 @@ impl NetemProfile {
     /// leave the link's i.i.d. loss at zero — the burst channel installed
     /// via [`crate::UdpNet::set_burst_channel`] supplies losses instead.
     pub fn to_link(&self) -> Link {
-        let iid_loss = if self.burst_len.is_some() { 0.0 } else { self.loss };
-        Link::from_rtt_ms(self.rtt_ms)
-            .loss(iid_loss)
-            .oscillation(SimDuration::from_millis_f64(self.osc_delay_ms), self.osc_prob)
+        let iid_loss = if self.burst_len.is_some() {
+            0.0
+        } else {
+            self.loss
+        };
+        Link::from_rtt_ms(self.rtt_ms).loss(iid_loss).oscillation(
+            SimDuration::from_millis_f64(self.osc_delay_ms),
+            self.osc_prob,
+        )
     }
 }
 

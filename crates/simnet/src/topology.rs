@@ -111,11 +111,19 @@ impl Testbed {
         let cloud = topo.add_node("cloud");
 
         // Client NUCs wired directly to E1: ≤1 ms RTT gigabit Ethernet.
-        topo.connect(client_host, e1, Link::from_rtt_ms(1.0).bandwidth_mbps(1000.0));
+        topo.connect(
+            client_host,
+            e1,
+            Link::from_rtt_ms(1.0).bandwidth_mbps(1000.0),
+        );
         // E1 ↔ E2 over 2–4 LAN hops: ≈3 ms RTT, gigabit.
         topo.connect(e1, e2, Link::from_rtt_ms(3.0).bandwidth_mbps(1000.0));
         // Clients reach E2 through the LAN: 1 + 3 ms RTT.
-        topo.connect(client_host, e2, Link::from_rtt_ms(4.0).bandwidth_mbps(1000.0));
+        topo.connect(
+            client_host,
+            e2,
+            Link::from_rtt_ms(4.0).bandwidth_mbps(1000.0),
+        );
         // Cloud at ≈15 ms RTT from the premises. The public Internet path
         // has mild jitter (the paper observes elevated cloud-side frame
         // jitter), residual loss, and a constrained uplink — the
@@ -185,9 +193,6 @@ mod tests {
         let b = topo.add_node("b");
         topo.connect(a, b, Link::from_rtt_ms(2.0));
         topo.connect(b, a, Link::from_rtt_ms(8.0));
-        assert_eq!(
-            topo.link_between(a, b).unwrap().base_latency.as_millis(),
-            4
-        );
+        assert_eq!(topo.link_between(a, b).unwrap().base_latency.as_millis(), 4);
     }
 }

@@ -168,12 +168,19 @@ mod tests {
         let a = topo.add_node("a");
         let b = topo.add_node("b");
         // 8 Mbps: a 10_000-byte datagram takes 10 ms to serialize.
-        topo.connect(a, b, Link::with_latency(SimDuration::from_millis(1)).bandwidth_mbps(8.0));
+        topo.connect(
+            a,
+            b,
+            Link::with_latency(SimDuration::from_millis(1)).bandwidth_mbps(8.0),
+        );
         let mut net = UdpNet::new(topo, SimRng::new(4));
         let d1 = net.send(a, b, 10_000, SimTime::ZERO).delay().unwrap();
         let d2 = net.send(a, b, 10_000, SimTime::ZERO).delay().unwrap();
         // Second datagram queues behind the first: ≥ 10 ms more delay.
-        assert!(d2.as_millis_f64() >= d1.as_millis_f64() + 9.5, "{d1} then {d2}");
+        assert!(
+            d2.as_millis_f64() >= d1.as_millis_f64() + 9.5,
+            "{d1} then {d2}"
+        );
     }
 
     #[test]
@@ -212,7 +219,11 @@ mod tests {
         let mut topo = Topology::new();
         let a = topo.add_node("a");
         let b = topo.add_node("b");
-        topo.connect(a, b, Link::with_latency(SimDuration::from_millis(1)).loss(0.5));
+        topo.connect(
+            a,
+            b,
+            Link::with_latency(SimDuration::from_millis(1)).loss(0.5),
+        );
         let mut net = UdpNet::new(topo, SimRng::new(2));
         for _ in 0..1000 {
             net.send(a, b, 100, SimTime::ZERO);
@@ -238,7 +249,10 @@ mod tests {
             let (topo, tb) = Testbed::build();
             let mut net = UdpNet::new(topo, SimRng::new(seed));
             (0..100)
-                .map(|_| net.send(tb.client_host, tb.cloud, 50_000, SimTime::ZERO).delay())
+                .map(|_| {
+                    net.send(tb.client_host, tb.cloud, 50_000, SimTime::ZERO)
+                        .delay()
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));

@@ -1,0 +1,416 @@
+//! From an event soup to per-frame stories: critical paths, phase
+//! budgets, and drop forensics.
+//!
+//! [`Analysis::from_log`] groups the stream by frame, orders each
+//! frame's spans, and *closes the books*: any sampled frame without a
+//! terminal is assigned [`DropReason::RunEnd`] at the log's end time, so
+//! `completed + dropped == emitted` holds for every finite run — the
+//! 100%-attribution property the forensics table relies on.
+
+use std::collections::BTreeMap;
+
+use crate::collect::TraceLog;
+use crate::model::{DropReason, FrameFate, Phase, SpanRecord, TraceCtx, TrackInfo};
+
+/// One frame's reconstructed story.
+#[derive(Debug, Clone)]
+pub struct FrameTrace {
+    pub ctx: TraceCtx,
+    pub emitted_ns: Option<u64>,
+    /// Sorted by start time by [`Analysis::from_log`].
+    pub spans: Vec<SpanRecord>,
+    pub fate: (u64, FrameFate),
+}
+
+impl FrameTrace {
+    pub fn completed(&self) -> bool {
+        matches!(self.fate.1, FrameFate::Completed)
+    }
+
+    /// Emission → terminal, in ms.
+    pub fn e2e_ms(&self) -> f64 {
+        let from = self.emitted_ns.unwrap_or(self.fate.0);
+        self.fate.0.saturating_sub(from) as f64 / 1e6
+    }
+
+    /// Sum of span durations, in ms. For a completed DES frame this
+    /// equals [`FrameTrace::e2e_ms`] because the DES spans tile the
+    /// interval.
+    pub fn span_total_ms(&self) -> f64 {
+        self.spans.iter().map(|s| s.duration_ms()).sum()
+    }
+}
+
+/// A (track, phase) aggregate over completed frames — one row of the
+/// critical-path table.
+#[derive(Debug, Clone)]
+pub struct StageContribution {
+    pub track: String,
+    pub phase: Phase,
+    pub total_ms: f64,
+    /// Mean over completed frames that touched this (track, phase).
+    pub mean_ms: f64,
+    pub frames: usize,
+    /// Fraction of all completed frames' span time.
+    pub share: f64,
+}
+
+/// The analyzer: per-frame stories plus aggregates.
+pub struct Analysis {
+    frames: BTreeMap<(u16, u32), FrameTrace>,
+    tracks: Vec<TrackInfo>,
+    /// Frames closed by the analyzer as [`DropReason::RunEnd`].
+    pub assigned_run_end: usize,
+    /// Frames that carried more than one terminal event (a bug if > 0).
+    pub duplicate_terminals: usize,
+    pub end_ns: u64,
+}
+
+impl Analysis {
+    pub fn from_log(log: &TraceLog) -> Analysis {
+        struct Partial {
+            ctx: TraceCtx,
+            emitted_ns: Option<u64>,
+            spans: Vec<SpanRecord>,
+            fate: Option<(u64, FrameFate)>,
+            extra_terminals: usize,
+        }
+        let mut partials: BTreeMap<(u16, u32), Partial> = BTreeMap::new();
+        fn entry<'a>(
+            partials: &'a mut BTreeMap<(u16, u32), Partial>,
+            ctx: &TraceCtx,
+        ) -> &'a mut Partial {
+            partials.entry(ctx.key()).or_insert_with(|| Partial {
+                ctx: *ctx,
+                emitted_ns: None,
+                spans: Vec::new(),
+                fate: None,
+                extra_terminals: 0,
+            })
+        }
+        for ev in &log.events {
+            match ev {
+                crate::model::TraceEvent::Emitted { ctx, at_ns } => {
+                    entry(&mut partials, ctx).emitted_ns = Some(*at_ns);
+                }
+                crate::model::TraceEvent::Span(s) => {
+                    entry(&mut partials, &s.ctx).spans.push(*s);
+                }
+                crate::model::TraceEvent::Terminal { ctx, at_ns, fate } => {
+                    let p = entry(&mut partials, ctx);
+                    if p.fate.is_some() {
+                        p.extra_terminals += 1;
+                    } else {
+                        p.fate = Some((*at_ns, *fate));
+                    }
+                }
+            }
+        }
+        let mut assigned_run_end = 0;
+        let mut duplicate_terminals = 0;
+        let frames = partials
+            .into_iter()
+            .map(|(key, mut p)| {
+                p.spans.sort_by_key(|s| (s.start_ns, s.end_ns));
+                duplicate_terminals += p.extra_terminals;
+                let fate = p.fate.unwrap_or_else(|| {
+                    assigned_run_end += 1;
+                    (log.end_ns, FrameFate::Dropped(DropReason::RunEnd))
+                });
+                (
+                    key,
+                    FrameTrace {
+                        ctx: p.ctx,
+                        emitted_ns: p.emitted_ns,
+                        spans: p.spans,
+                        fate,
+                    },
+                )
+            })
+            .collect();
+        Analysis {
+            frames,
+            tracks: log.tracks.clone(),
+            assigned_run_end,
+            duplicate_terminals,
+            end_ns: log.end_ns,
+        }
+    }
+
+    pub fn frames(&self) -> impl Iterator<Item = &FrameTrace> {
+        self.frames.values()
+    }
+
+    pub fn frame(&self, client: u16, frame_no: u32) -> Option<&FrameTrace> {
+        self.frames.get(&(client, frame_no))
+    }
+
+    pub fn emitted(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn completed(&self) -> usize {
+        self.frames.values().filter(|f| f.completed()).count()
+    }
+
+    pub fn dropped(&self) -> usize {
+        self.emitted() - self.completed()
+    }
+
+    /// Drop counts by reason; values sum to [`Analysis::dropped`].
+    pub fn drop_reasons(&self) -> BTreeMap<DropReason, usize> {
+        let mut out = BTreeMap::new();
+        for f in self.frames.values() {
+            if let FrameFate::Dropped(r) = f.fate.1 {
+                *out.entry(r).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Mean end-to-end latency of completed frames, ms.
+    pub fn mean_e2e_ms(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for f in self.frames.values().filter(|f| f.completed()) {
+            sum += f.e2e_ms();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean ms spent in `phase` per completed frame (frames that skip
+    /// the phase contribute 0 — matching how report-level breakdowns
+    /// average).
+    pub fn mean_phase_ms(&self, phase: Phase) -> f64 {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for f in self.frames.values().filter(|f| f.completed()) {
+            n += 1;
+            sum += f
+                .spans
+                .iter()
+                .filter(|s| s.phase == phase)
+                .map(|s| s.duration_ms())
+                .sum::<f64>();
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean ms per completed frame in `phase` at service stage `stage`.
+    pub fn mean_stage_phase_ms(&self, stage: u8, phase: Phase) -> f64 {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for f in self.frames.values().filter(|f| f.completed()) {
+            n += 1;
+            sum += f
+                .spans
+                .iter()
+                .filter(|s| s.phase == phase && s.stage == stage)
+                .map(|s| s.duration_ms())
+                .sum::<f64>();
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// The critical path of one frame: its spans in time order. With
+    /// non-overlapping spans, the path *is* the sequence.
+    pub fn critical_path(&self, client: u16, frame_no: u32) -> Option<&[SpanRecord]> {
+        self.frames
+            .get(&(client, frame_no))
+            .map(|f| f.spans.as_slice())
+    }
+
+    /// (track, phase) contributions over completed frames, heaviest
+    /// first — "where do the milliseconds go".
+    pub fn critical_stages(&self) -> Vec<StageContribution> {
+        let mut agg: BTreeMap<(u16, Phase), (f64, usize)> = BTreeMap::new();
+        let mut grand_total = 0.0;
+        for f in self.frames.values().filter(|f| f.completed()) {
+            let mut seen: BTreeMap<(u16, Phase), f64> = BTreeMap::new();
+            for s in &f.spans {
+                *seen.entry((s.track.0, s.phase)).or_insert(0.0) += s.duration_ms();
+            }
+            for ((track, phase), ms) in seen {
+                let e = agg.entry((track, phase)).or_insert((0.0, 0));
+                e.0 += ms;
+                e.1 += 1;
+                grand_total += ms;
+            }
+        }
+        let mut out: Vec<StageContribution> = agg
+            .into_iter()
+            .map(|((track, phase), (total_ms, frames))| StageContribution {
+                track: self
+                    .tracks
+                    .get(track as usize)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_else(|| format!("track-{track}")),
+                phase,
+                total_ms,
+                mean_ms: total_ms / frames as f64,
+                frames,
+                share: if grand_total > 0.0 {
+                    total_ms / grand_total
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| b.total_ms.partial_cmp(&a.total_ms).unwrap());
+        out
+    }
+
+    /// Structural invariants every log must satisfy:
+    ///
+    /// 1. every frame has an emission event and exactly one terminal;
+    /// 2. timestamps are monotone: spans end no earlier than they start,
+    ///    start no earlier than the emission, and the terminal is not
+    ///    before the last span's end;
+    /// 3. a frame's spans do not overlap (its life is a path, not a DAG);
+    /// 4. conservation: completed + dropped == emitted.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.duplicate_terminals > 0 {
+            return Err(format!(
+                "{} duplicate terminal events",
+                self.duplicate_terminals
+            ));
+        }
+        for f in self.frames.values() {
+            let key = f.ctx.key();
+            let Some(emitted) = f.emitted_ns else {
+                return Err(format!("frame {key:?}: events without an Emitted record"));
+            };
+            let mut cursor = emitted;
+            for s in &f.spans {
+                if s.end_ns < s.start_ns {
+                    return Err(format!(
+                        "frame {key:?}: span {:?} ends before it starts",
+                        s.phase
+                    ));
+                }
+                if s.start_ns < emitted {
+                    return Err(format!(
+                        "frame {key:?}: span {:?} starts before emission",
+                        s.phase
+                    ));
+                }
+                if s.start_ns < cursor {
+                    return Err(format!(
+                        "frame {key:?}: span {:?} @{} overlaps previous span ending @{cursor}",
+                        s.phase, s.start_ns
+                    ));
+                }
+                cursor = s.end_ns;
+            }
+            if f.fate.0 < cursor {
+                return Err(format!(
+                    "frame {key:?}: terminal @{} precedes last span end @{cursor}",
+                    f.fate.0
+                ));
+            }
+        }
+        let by_reason: usize = self.drop_reasons().values().sum();
+        if self.completed() + by_reason != self.emitted() {
+            return Err(format!(
+                "conservation: {} completed + {} dropped != {} emitted",
+                self.completed(),
+                by_reason,
+                self.emitted()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{TraceConfig, Tracer};
+    use crate::model::{FrameFate, TrackId};
+
+    fn sample_log() -> TraceLog {
+        let mut t = Tracer::new(TraceConfig::default());
+        let net = t.register_track("client-0", "edge");
+        let svc = t.register_track("sift#0", "c1");
+        // Frame 0: completes. Emit 0, transit 0-2ms, compute 2-7ms.
+        let c0 = t.ctx(0, 0);
+        t.emitted(c0, 0);
+        t.span(c0, net, 1, Phase::NetworkTransit, 0, 2_000_000);
+        t.span(c0, svc, 1, Phase::Compute, 2_000_000, 7_000_000);
+        t.terminal(c0, 7_000_000, FrameFate::Completed);
+        // Frame 1: dropped busy after transit.
+        let c1 = t.ctx(0, 1);
+        t.emitted(c1, 1_000_000);
+        t.span(c1, net, 1, Phase::NetworkTransit, 1_000_000, 3_000_000);
+        t.terminal(c1, 3_000_000, FrameFate::Dropped(DropReason::BusyIngress));
+        // Frame 2: emitted, never resolved (in flight at end).
+        let c2 = t.ctx(0, 2);
+        t.emitted(c2, 2_000_000);
+        t.finish(10_000_000)
+    }
+
+    #[test]
+    fn reconstruction_and_conservation() {
+        let log = sample_log();
+        let a = Analysis::from_log(&log);
+        assert_eq!(a.emitted(), 3);
+        assert_eq!(a.completed(), 1);
+        assert_eq!(a.dropped(), 2);
+        assert_eq!(a.assigned_run_end, 1);
+        let reasons = a.drop_reasons();
+        assert_eq!(reasons[&DropReason::BusyIngress], 1);
+        assert_eq!(reasons[&DropReason::RunEnd], 1);
+        a.check_invariants().unwrap();
+        // e2e of frame 0 = 7ms; spans tile it exactly.
+        let f0 = a.frame(0, 0).unwrap();
+        assert!((f0.e2e_ms() - 7.0).abs() < 1e-9);
+        assert!((f0.span_total_ms() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_stages_rank_by_total_time() {
+        let a = Analysis::from_log(&sample_log());
+        let stages = a.critical_stages();
+        assert_eq!(stages[0].phase, Phase::Compute);
+        assert_eq!(stages[0].track, "sift#0");
+        assert!((stages[0].total_ms - 5.0).abs() < 1e-9);
+        let share_sum: f64 = stages.iter().map(|s| s.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let mut t = Tracer::new(TraceConfig::default());
+        let tr = t.register_track("svc", "m");
+        let c = t.ctx(0, 0);
+        t.emitted(c, 0);
+        t.span(c, tr, 0, Phase::Compute, 0, 5);
+        t.span(c, tr, 0, Phase::FetchWait, 3, 8); // overlaps
+        t.terminal(c, 8, FrameFate::Completed);
+        let a = Analysis::from_log(&t.finish(10));
+        assert!(a.check_invariants().is_err());
+    }
+
+    #[test]
+    fn unknown_track_id_does_not_panic() {
+        let mut t = Tracer::new(TraceConfig::default());
+        let c = t.ctx(0, 0);
+        t.emitted(c, 0);
+        t.span(c, TrackId(99), 0, Phase::Compute, 0, 5);
+        t.terminal(c, 5, FrameFate::Completed);
+        let a = Analysis::from_log(&t.finish(10));
+        assert_eq!(a.critical_stages()[0].track, "track-99");
+    }
+}

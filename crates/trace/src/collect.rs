@@ -1,0 +1,378 @@
+//! Collectors for the two execution planes.
+//!
+//! - [`Tracer`] is the DES-side collector: a plain `Vec` append behind a
+//!   sampling gate. The simulation is single-threaded and virtual-timed,
+//!   so there is nothing to synchronize and — crucially — nothing that
+//!   could perturb determinism (no RNG, no wall clock).
+//! - [`Collector`] / [`ThreadTracer`] is the runtime-side pair: service
+//!   threads each hold a cheap [`ThreadTracer`] handle that ships events
+//!   over an unbounded MPMC channel; the deployment drains the channel
+//!   once at shutdown.
+//!
+//! Both produce the same [`TraceLog`], so the exporter and the analyzer
+//! are plane-agnostic.
+//!
+//! **Disabled mode** is the default and costs one branch per call site:
+//! the inert tracer hands out unsampled contexts, and every recording
+//! method begins with `if !ctx.sampled { return }`.
+
+use crate::model::{FrameFate, Phase, SpanRecord, TraceCtx, TraceEvent, TrackId, TrackInfo};
+
+/// Sampling policy: record 1 frame in `sample_every` (per client, keyed
+/// on frame number so the choice is deterministic and identical across
+/// runs and planes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// `1` records every frame; `N` records frames `0, N, 2N, …`.
+    pub sample_every: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { sample_every: 1 }
+    }
+}
+
+impl TraceConfig {
+    pub fn sample_every(n: u32) -> TraceConfig {
+        TraceConfig {
+            sample_every: n.max(1),
+        }
+    }
+
+    pub fn is_sampled(&self, frame_no: u32) -> bool {
+        frame_no.is_multiple_of(self.sample_every.max(1))
+    }
+}
+
+/// Everything one run produced: the track table and the event stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    pub tracks: Vec<TrackInfo>,
+    pub events: Vec<TraceEvent>,
+    /// Run end, for attributing still-in-flight frames.
+    pub end_ns: u64,
+}
+
+impl TraceLog {
+    pub fn track_name(&self, id: TrackId) -> &str {
+        self.tracks
+            .get(id.0 as usize)
+            .map(|t| t.name.as_str())
+            .unwrap_or("?")
+    }
+}
+
+/// DES-side collector. Create with [`Tracer::new`] to record or
+/// [`Tracer::disabled`] (the `Default`) for the near-zero-cost inert
+/// mode.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    config: Option<TraceConfig>,
+    tracks: Vec<TrackInfo>,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    pub fn new(config: TraceConfig) -> Tracer {
+        Tracer {
+            config: Some(config),
+            tracks: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The inert tracer: hands out unsampled contexts, records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.config.is_some()
+    }
+
+    /// Register a track; ids are dense and double as `Vec` indices.
+    /// Registration happens even when disabled so that ids line up if a
+    /// caller builds its track table unconditionally.
+    pub fn register_track(
+        &mut self,
+        name: impl Into<String>,
+        machine: impl Into<String>,
+    ) -> TrackId {
+        let id = TrackId(self.tracks.len() as u16);
+        self.tracks.push(TrackInfo {
+            id,
+            name: name.into(),
+            machine: machine.into(),
+        });
+        id
+    }
+
+    /// Mint the context for a new frame, applying the sampling policy.
+    pub fn ctx(&self, client: u16, frame_no: u32) -> TraceCtx {
+        match self.config {
+            Some(cfg) => TraceCtx::new(client, frame_no, cfg.is_sampled(frame_no)),
+            None => TraceCtx::unsampled(),
+        }
+    }
+
+    pub fn emitted(&mut self, ctx: TraceCtx, at_ns: u64) {
+        if !ctx.sampled {
+            return;
+        }
+        self.events.push(TraceEvent::Emitted { ctx, at_ns });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        ctx: TraceCtx,
+        track: TrackId,
+        stage: u8,
+        phase: Phase,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        if !ctx.sampled {
+            return;
+        }
+        self.events.push(TraceEvent::Span(SpanRecord {
+            ctx,
+            phase,
+            stage,
+            track,
+            start_ns,
+            end_ns,
+        }));
+    }
+
+    pub fn terminal(&mut self, ctx: TraceCtx, at_ns: u64, fate: FrameFate) {
+        if !ctx.sampled {
+            return;
+        }
+        self.events.push(TraceEvent::Terminal { ctx, at_ns, fate });
+    }
+
+    /// Close the log. `end_ns` lets the analyzer attribute frames still
+    /// in flight.
+    pub fn finish(self, end_ns: u64) -> TraceLog {
+        TraceLog {
+            tracks: self.tracks,
+            events: self.events,
+            end_ns,
+        }
+    }
+}
+
+/// Runtime-side hub: owns the channel's receive end plus the track
+/// table; hand [`ThreadTracer`]s to service/client threads.
+pub struct Collector {
+    config: Option<TraceConfig>,
+    tx: crossbeam::channel::Sender<TraceEvent>,
+    rx: crossbeam::channel::Receiver<TraceEvent>,
+    tracks: Vec<TrackInfo>,
+}
+
+impl Collector {
+    pub fn new(config: TraceConfig) -> Collector {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        Collector {
+            config: Some(config),
+            tx,
+            rx,
+            tracks: Vec::new(),
+        }
+    }
+
+    /// Inert hub: handles it hands out are no-ops.
+    pub fn disabled() -> Collector {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        Collector {
+            config: None,
+            tx,
+            rx,
+            tracks: Vec::new(),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.config.is_some()
+    }
+
+    pub fn register_track(
+        &mut self,
+        name: impl Into<String>,
+        machine: impl Into<String>,
+    ) -> TrackId {
+        let id = TrackId(self.tracks.len() as u16);
+        self.tracks.push(TrackInfo {
+            id,
+            name: name.into(),
+            machine: machine.into(),
+        });
+        id
+    }
+
+    /// A handle for one thread. Cloning the underlying sender is the
+    /// only cost; disabled hubs hand out senderless no-op handles.
+    pub fn handle(&self) -> ThreadTracer {
+        ThreadTracer {
+            config: self.config,
+            tx: self.config.map(|_| self.tx.clone()),
+        }
+    }
+
+    /// Drain everything recorded so far and close the log. Call after
+    /// the producing threads have shut down (or accept a partial log).
+    pub fn collect(self, end_ns: u64) -> TraceLog {
+        let Collector { tx, rx, tracks, .. } = self;
+        drop(tx); // only ThreadTracer senders remain
+        let events: Vec<TraceEvent> = rx.try_iter().collect();
+        TraceLog {
+            tracks,
+            events,
+            end_ns,
+        }
+    }
+}
+
+/// Per-thread recording handle for the runtime plane. `Clone` is cheap;
+/// all methods are lock-free on the caller's side except the channel's
+/// internal push.
+#[derive(Clone)]
+pub struct ThreadTracer {
+    config: Option<TraceConfig>,
+    tx: Option<crossbeam::channel::Sender<TraceEvent>>,
+}
+
+impl ThreadTracer {
+    /// A free-standing no-op handle (for tests and default wiring).
+    pub fn disabled() -> ThreadTracer {
+        ThreadTracer {
+            config: None,
+            tx: None,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    pub fn ctx(&self, client: u16, frame_no: u32) -> TraceCtx {
+        match self.config {
+            Some(cfg) => TraceCtx::new(client, frame_no, cfg.is_sampled(frame_no)),
+            None => TraceCtx::unsampled(),
+        }
+    }
+
+    pub fn emitted(&self, ctx: TraceCtx, at_ns: u64) {
+        if !ctx.sampled {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(TraceEvent::Emitted { ctx, at_ns });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        ctx: TraceCtx,
+        track: TrackId,
+        stage: u8,
+        phase: Phase,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        if !ctx.sampled {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(TraceEvent::Span(SpanRecord {
+                ctx,
+                phase,
+                stage,
+                track,
+                start_ns,
+                end_ns,
+            }));
+        }
+    }
+
+    pub fn terminal(&self, ctx: TraceCtx, at_ns: u64, fate: FrameFate) {
+        if !ctx.sampled {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(TraceEvent::Terminal { ctx, at_ns, fate });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DropReason;
+
+    #[test]
+    fn sampling_gates_recording() {
+        let mut t = Tracer::new(TraceConfig::sample_every(3));
+        let tr = t.register_track("svc", "m1");
+        for f in 0..9u32 {
+            let ctx = t.ctx(0, f);
+            assert_eq!(ctx.sampled, f % 3 == 0);
+            t.emitted(ctx, f as u64);
+            t.span(ctx, tr, 0, Phase::Compute, f as u64, f as u64 + 1);
+            t.terminal(ctx, f as u64 + 2, FrameFate::Completed);
+        }
+        let log = t.finish(100);
+        // 3 sampled frames × 3 events.
+        assert_eq!(log.events.len(), 9);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        let tr = t.register_track("svc", "m1");
+        let ctx = t.ctx(0, 0);
+        assert!(!ctx.sampled);
+        t.emitted(ctx, 0);
+        t.span(ctx, tr, 0, Phase::Compute, 0, 1);
+        t.terminal(ctx, 2, FrameFate::Dropped(DropReason::Crash));
+        assert!(t.finish(10).events.is_empty());
+    }
+
+    #[test]
+    fn collector_gathers_across_threads() {
+        let mut c = Collector::new(TraceConfig::default());
+        let tr = c.register_track("sift", "runtime");
+        let handles: Vec<_> = (0..4u16)
+            .map(|client| {
+                let h = c.handle();
+                std::thread::spawn(move || {
+                    for f in 0..25u32 {
+                        let ctx = h.ctx(client, f);
+                        h.span(ctx, tr, 1, Phase::Compute, 0, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = c.collect(42);
+        assert_eq!(log.events.len(), 100);
+        assert_eq!(log.end_ns, 42);
+        assert_eq!(log.track_name(tr), "sift");
+    }
+
+    #[test]
+    fn disabled_collector_handles_are_inert() {
+        let c = Collector::disabled();
+        let h = c.handle();
+        assert!(!h.is_enabled());
+        let ctx = h.ctx(0, 0);
+        h.emitted(ctx, 0);
+        assert!(c.collect(0).events.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # trace — per-frame causal tracing for both execution planes
+//!
+//! The paper's analysis hinges on *where frames spend their time* and
+//! *why frames die*. This crate gives every frame a [`TraceCtx`] that
+//! travels with it — through the discrete-event simulation's
+//! `FrameMsg` and through the UDP runtime's wire header — and records
+//! its journey as phase spans on per-instance tracks:
+//!
+//! ```text
+//! emitted ──网─▶ [network-transit] ─▶ [sidecar-hold] ─▶ [compute] ─▶ …
+//!                                                   └▶ dropped: threshold-filter
+//! ```
+//!
+//! - [`model`] — contexts, phases, drop reasons, spans, tracks;
+//! - [`collect`] — the DES [`Tracer`] (deterministic, allocation-only)
+//!   and the runtime [`Collector`]/[`ThreadTracer`] (channel-based);
+//! - [`analysis`] — per-frame reconstruction, critical paths, phase
+//!   budgets, and drop forensics with 100% attribution;
+//! - [`chrome`] — Chrome trace-event / Perfetto export;
+//! - [`json`] — escaping + a small parser (offline substitute for
+//!   serde_json, also used by `experiments`' tables).
+//!
+//! Tracing defaults to **off** and costs one branch per call site when
+//! disabled; 1-in-N sampling is deterministic in the frame number, so
+//! enabling it never perturbs the DES's RNG streams.
+
+pub mod analysis;
+pub mod chrome;
+pub mod collect;
+pub mod json;
+pub mod model;
+
+pub use analysis::{Analysis, FrameTrace, StageContribution};
+pub use collect::{Collector, ThreadTracer, TraceConfig, TraceLog, Tracer};
+pub use model::{
+    DropReason, FrameFate, Phase, SpanRecord, TraceCtx, TraceEvent, TrackId, TrackInfo,
+    STAGE_CLIENT,
+};

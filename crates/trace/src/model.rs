@@ -1,0 +1,263 @@
+//! The span model: what one frame's journey through the pipeline looks
+//! like when written down.
+//!
+//! A frame's life is a sequence of non-overlapping **phase spans** on
+//! named **tracks** (one track per service instance per machine, plus
+//! one per client), bracketed by an `Emitted` event and exactly one
+//! `Terminal` event. The phase vocabulary is shared between the
+//! discrete-event simulation and the real UDP runtime so that traces
+//! from both planes load into the same tooling:
+//!
+//! - the DES emits [`Phase::NetworkTransit`], [`Phase::SidecarHold`],
+//!   [`Phase::Compute`] and [`Phase::FetchWait`]; its spans tile the
+//!   frame's end-to-end interval exactly, so per-phase sums reconcile
+//!   with the report-level latency breakdown by construction;
+//! - the runtime additionally emits [`Phase::IngressQueue`] (previous
+//!   hop's send → this service's receive: loopback transit plus socket
+//!   buffer wait), because on real sockets the queue is invisible from
+//!   the inside and can only be observed as the recv-side gap.
+
+/// Per-frame trace context, carried in [`crate::collect`] events, in the
+/// DES frame message, and on the wire (8-byte id + 1 flag byte).
+///
+/// `Copy` and 16 bytes: cheap enough to ride every frame even with
+/// tracing disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// Globally unique per frame and stable across runs:
+    /// `client << 32 | frame_no` (no RNG involved, so tracing never
+    /// perturbs DES determinism).
+    pub trace_id: u64,
+    pub client: u16,
+    pub frame_no: u32,
+    /// Whether this frame was chosen by 1-in-N sampling. Unsampled
+    /// frames short-circuit every recording call.
+    pub sampled: bool,
+}
+
+impl TraceCtx {
+    /// Context for a sampled-or-not frame; the id derivation is the one
+    /// both planes use.
+    pub fn new(client: u16, frame_no: u32, sampled: bool) -> TraceCtx {
+        TraceCtx {
+            trace_id: ((client as u64) << 32) | frame_no as u64,
+            client,
+            frame_no,
+            sampled,
+        }
+    }
+
+    /// The inert context: never sampled, id 0. Default for frames built
+    /// outside any tracer (tests, un-traced runs).
+    pub fn unsampled() -> TraceCtx {
+        TraceCtx {
+            trace_id: 0,
+            client: 0,
+            frame_no: 0,
+            sampled: false,
+        }
+    }
+
+    /// Frame key used throughout analysis.
+    pub fn key(&self) -> (u16, u32) {
+        (self.client, self.frame_no)
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> TraceCtx {
+        TraceCtx::unsampled()
+    }
+}
+
+/// What a frame is doing during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Runtime only: previous hop's send to this service's reassembled
+    /// receive (transit + socket buffer wait).
+    IngressQueue,
+    /// Service compute, accept to completion (includes GPU service time).
+    Compute,
+    /// `matching` parked, waiting for `sift`'s state response — the
+    /// dependency loop's direct cost. Subsumes the fetch datagrams'
+    /// transit, which is why those hops emit no spans of their own.
+    FetchWait,
+    /// In flight between services (or back to the client), including
+    /// load-balancer overhead.
+    NetworkTransit,
+    /// Queued in the scAtteR++ sidecar awaiting admission.
+    SidecarHold,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 5] = [
+        Phase::IngressQueue,
+        Phase::Compute,
+        Phase::FetchWait,
+        Phase::NetworkTransit,
+        Phase::SidecarHold,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::IngressQueue => "ingress-queue",
+            Phase::Compute => "compute",
+            Phase::FetchWait => "fetch-wait",
+            Phase::NetworkTransit => "network-transit",
+            Phase::SidecarHold => "sidecar-hold",
+        }
+    }
+}
+
+/// Why a frame failed to complete — the unified vocabulary for both
+/// planes. Every emitted frame ends `Completed` or `Dropped(reason)`;
+/// the forensics table in `experiments --bin trace` must account for
+/// 100% of emissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DropReason {
+    /// Arrived while the (stateful, one-in-one-out) instance was busy.
+    BusyIngress,
+    /// Rejected by the sidecar's projected-completion filter, at
+    /// admission or on dequeue (DES), or by the staleness threshold
+    /// (runtime).
+    ThresholdFilter,
+    /// The network ate a single-fragment datagram.
+    NetemLoss,
+    /// A multi-fragment datagram lost at least one fragment (or the
+    /// runtime reassembler evicted a partial message).
+    FragmentLoss,
+    /// `matching`'s fetch to `sift` timed out / state already evicted.
+    StaleFetch,
+    /// Lost to an instance crash: arrived while down, queued or
+    /// in-compute at crash time, or parked awaiting a fetch that the
+    /// crash voided.
+    Crash,
+    /// Still in flight when the run ended — assigned by
+    /// [`crate::analysis::Analysis`], never by an instrument site. Keeps
+    /// attribution at exactly 100% for finite runs.
+    RunEnd,
+}
+
+impl DropReason {
+    pub const ALL: [DropReason; 7] = [
+        DropReason::BusyIngress,
+        DropReason::ThresholdFilter,
+        DropReason::NetemLoss,
+        DropReason::FragmentLoss,
+        DropReason::StaleFetch,
+        DropReason::Crash,
+        DropReason::RunEnd,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DropReason::BusyIngress => "busy-ingress",
+            DropReason::ThresholdFilter => "threshold-filter",
+            DropReason::NetemLoss => "netem-loss",
+            DropReason::FragmentLoss => "fragment-loss",
+            DropReason::StaleFetch => "stale-fetch",
+            DropReason::Crash => "crash",
+            DropReason::RunEnd => "run-end",
+        }
+    }
+}
+
+/// How a frame's story ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFate {
+    Completed,
+    Dropped(DropReason),
+}
+
+/// Handle to a registered track (service instance or client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackId(pub u16);
+
+/// A track: one service instance on one machine (or one client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackInfo {
+    pub id: TrackId,
+    /// e.g. `sift#1` or `client-3`.
+    pub name: String,
+    /// Machine the instance runs on; becomes the Chrome trace `pid`.
+    pub machine: String,
+}
+
+/// Stage index of the owning service (0..=4 per
+/// `scatter::ServiceKind::index`); [`STAGE_CLIENT`] for client-side
+/// spans such as the result's return transit.
+pub const STAGE_CLIENT: u8 = 5;
+
+/// One contiguous interval of a frame's life on one track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    pub ctx: TraceCtx,
+    pub phase: Phase,
+    /// Service stage index, or [`STAGE_CLIENT`].
+    pub stage: u8,
+    pub track: TrackId,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    pub fn duration_ms(&self) -> f64 {
+        self.duration_ns() as f64 / 1e6
+    }
+}
+
+/// The collector's event stream: everything needed to reconstruct every
+/// sampled frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    Emitted {
+        ctx: TraceCtx,
+        at_ns: u64,
+    },
+    Span(SpanRecord),
+    Terminal {
+        ctx: TraceCtx,
+        at_ns: u64,
+        fate: FrameFate,
+    },
+}
+
+impl TraceEvent {
+    pub fn ctx(&self) -> &TraceCtx {
+        match self {
+            TraceEvent::Emitted { ctx, .. } => ctx,
+            TraceEvent::Span(s) => &s.ctx,
+            TraceEvent::Terminal { ctx, .. } => ctx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_is_stable_and_distinct() {
+        let a = TraceCtx::new(1, 7, true);
+        let b = TraceCtx::new(1, 7, false);
+        assert_eq!(a.trace_id, b.trace_id); // sampling doesn't change identity
+        assert_ne!(TraceCtx::new(2, 7, true).trace_id, a.trace_id);
+        assert_ne!(TraceCtx::new(1, 8, true).trace_id, a.trace_id);
+        assert_eq!(a.key(), (1, 7));
+    }
+
+    #[test]
+    fn vocabulary_is_total() {
+        // Every phase and reason has a distinct printable name.
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.as_str()).collect();
+        names.extend(DropReason::ALL.iter().map(|r| r.as_str()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

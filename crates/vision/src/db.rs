@@ -162,7 +162,10 @@ impl ReferenceDb {
     pub fn encode_frame(&self, descs: &[Descriptor]) -> Vec<f64> {
         let reduced: Vec<Vec<f64>> = descs
             .iter()
-            .map(|d| self.pca.transform(&d.v.iter().map(|&x| x as f64).collect::<Vec<_>>()))
+            .map(|d| {
+                self.pca
+                    .transform(&d.v.iter().map(|&x| x as f64).collect::<Vec<_>>())
+            })
             .collect();
         self.encoder.encode(&reduced)
     }
@@ -244,9 +247,7 @@ impl ReferenceDb {
                 })
                 .collect();
             if let Some(fit) = ransac_homography(&pairs, &RansacParams::default(), rng) {
-                if let Some(pose) =
-                    project_bbox(&fit.homography, &obj.bbox, fit.inliers.len())
-                {
+                if let Some(pose) = project_bbox(&fit.homography, &obj.bbox, fit.inliers.len()) {
                     out.push(Recognition {
                         name: obj.name.clone(),
                         pose,
@@ -320,7 +321,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 2, "recognized objects in only {hits}/3 moving frames");
+        assert!(
+            hits >= 2,
+            "recognized objects in only {hits}/3 moving frames"
+        );
     }
 
     #[test]

@@ -264,11 +264,12 @@ mod tests {
         assert!(!corners.is_empty(), "square corners not detected");
         // All detections near the square's corners.
         for c in &corners {
-            let near = [(10, 10), (21, 10), (10, 21), (21, 21)]
-                .iter()
-                .any(|&(cx, cy): &(i32, i32)| {
-                    (c.x as i32 - cx).abs() <= 3 && (c.y as i32 - cy).abs() <= 3
-                });
+            let near =
+                [(10, 10), (21, 10), (10, 21), (21, 21)]
+                    .iter()
+                    .any(|&(cx, cy): &(i32, i32)| {
+                        (c.x as i32 - cx).abs() <= 3 && (c.y as i32 - cy).abs() <= 3
+                    });
             assert!(near, "corner at ({}, {}) not near the square", c.x, c.y);
         }
     }

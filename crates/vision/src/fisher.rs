@@ -171,11 +171,7 @@ mod tests {
     #[test]
     fn encoding_is_permutation_invariant() {
         let enc = encoder();
-        let descs = vec![
-            vec![1.0, 0.5],
-            vec![-2.0, 0.1],
-            vec![0.3, -0.7],
-        ];
+        let descs = vec![vec![1.0, 0.5], vec![-2.0, 0.1], vec![0.3, -0.7]];
         let mut rev = descs.clone();
         rev.reverse();
         let a = enc.encode(&descs);

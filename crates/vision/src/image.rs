@@ -37,9 +37,7 @@ impl GrayImage {
         assert_eq!(rgb.len(), 3 * width * height, "rgb buffer size mismatch");
         let data = rgb
             .chunks_exact(3)
-            .map(|px| {
-                (0.299 * px[0] as f32 + 0.587 * px[1] as f32 + 0.114 * px[2] as f32) / 255.0
-            })
+            .map(|px| (0.299 * px[0] as f32 + 0.587 * px[1] as f32 + 0.114 * px[2] as f32) / 255.0)
             .collect();
         GrayImage {
             width,

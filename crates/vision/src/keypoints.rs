@@ -79,7 +79,8 @@ fn passes_edge_test(dog: &GrayImage, x: usize, y: usize, edge_ratio: f32) -> boo
     let v = dog.get(x, y);
     let dxx = dog.get_clamped(xi + 1, yi) + dog.get_clamped(xi - 1, yi) - 2.0 * v;
     let dyy = dog.get_clamped(xi, yi + 1) + dog.get_clamped(xi, yi - 1) - 2.0 * v;
-    let dxy = (dog.get_clamped(xi + 1, yi + 1) - dog.get_clamped(xi - 1, yi + 1)
+    let dxy = (dog.get_clamped(xi + 1, yi + 1)
+        - dog.get_clamped(xi - 1, yi + 1)
         - dog.get_clamped(xi + 1, yi - 1)
         + dog.get_clamped(xi - 1, yi - 1))
         / 4.0;
@@ -214,7 +215,11 @@ mod tests {
     fn blank_image_has_no_keypoints() {
         let img = GrayImage::from_vec(64, 64, vec![0.5; 64 * 64]);
         let (_, kps) = detect(&img, &DetectorParams::default());
-        assert!(kps.is_empty(), "constant image produced {} keypoints", kps.len());
+        assert!(
+            kps.is_empty(),
+            "constant image produced {} keypoints",
+            kps.len()
+        );
     }
 
     #[test]

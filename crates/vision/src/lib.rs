@@ -37,8 +37,8 @@
 
 pub mod codec;
 pub mod db;
-pub mod fast;
 pub mod descriptor;
+pub mod fast;
 pub mod fisher;
 pub mod gmm;
 pub mod image;

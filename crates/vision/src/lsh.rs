@@ -104,7 +104,11 @@ impl LshIndex {
             .into_iter()
             .map(|id| (id, crate::fisher::cosine(q, &self.items[id])))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sim").then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite sim")
+                .then(a.0.cmp(&b.0))
+        });
         scored.truncate(k);
         scored
     }
@@ -200,8 +204,8 @@ mod tests {
     fn empty_index_queries_safely() {
         let mut rng = SimRng::new(4);
         let idx = LshIndex::new(8, 2, 8, &mut rng);
-        assert!(idx.query(&vec![0.5; 8], 3).is_empty());
-        assert_eq!(idx.candidate_fraction(&vec![0.5; 8]), 0.0);
+        assert!(idx.query(&[0.5; 8], 3).is_empty());
+        assert_eq!(idx.candidate_fraction(&[0.5; 8]), 0.0);
     }
 
     #[test]

@@ -150,10 +150,7 @@ mod tests {
             .map(|_| {
                 let a = rng.normal() * 10.0; // dominant direction (1, 1)/√2
                 let b = rng.normal() * 1.0; // minor direction (1, -1)/√2
-                vec![
-                    (a + b) / 2f64.sqrt() + 5.0,
-                    (a - b) / 2f64.sqrt() - 3.0,
-                ]
+                vec![(a + b) / 2f64.sqrt() + 5.0, (a - b) / 2f64.sqrt() - 3.0]
             })
             .collect()
     }
@@ -170,7 +167,10 @@ mod tests {
             (c0[0].abs() - expected).abs() < 0.05 && (c0[1].abs() - expected).abs() < 0.05,
             "axis {c0:?}"
         );
-        assert!((c0[0] - c0[1]).abs() < 0.1, "components should share sign structure");
+        assert!(
+            (c0[0] - c0[1]).abs() < 0.1,
+            "components should share sign structure"
+        );
     }
 
     #[test]
@@ -212,8 +212,7 @@ mod tests {
         let pca = Pca::fit(&data, 2, &mut rng);
         let projected = pca.transform_batch(&data);
         for k in 0..2 {
-            let mean_k: f64 =
-                projected.iter().map(|p| p[k]).sum::<f64>() / projected.len() as f64;
+            let mean_k: f64 = projected.iter().map(|p| p[k]).sum::<f64>() / projected.len() as f64;
             assert!(mean_k.abs() < 1e-9, "projected mean {mean_k}");
         }
     }
@@ -224,8 +223,7 @@ mod tests {
         let data = cloud(&mut rng, 2000);
         let pca = Pca::fit(&data, 1, &mut rng);
         let projected = pca.transform_batch(&data);
-        let var: f64 =
-            projected.iter().map(|p| p[0] * p[0]).sum::<f64>() / projected.len() as f64;
+        let var: f64 = projected.iter().map(|p| p[0] * p[0]).sum::<f64>() / projected.len() as f64;
         let rel = (var - pca.explained_variance[0]).abs() / pca.explained_variance[0];
         assert!(rel < 0.01, "variance mismatch {rel}");
     }

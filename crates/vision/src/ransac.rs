@@ -146,7 +146,9 @@ pub fn ransac_homography(
             .map(|(i, _)| i)
             .collect();
         if inliers.len() >= params.min_inliers
-            && best.as_ref().is_none_or(|b| inliers.len() > b.inliers.len())
+            && best
+                .as_ref()
+                .is_none_or(|b| inliers.len() > b.inliers.len())
         {
             best = Some(RansacResult {
                 homography: h,
@@ -242,7 +244,11 @@ mod tests {
         }
         let res = ransac_homography(&pairs, &RansacParams::default(), &mut rng)
             .expect("should fit despite outliers");
-        assert!(res.inliers.len() >= 38, "found {} inliers", res.inliers.len());
+        assert!(
+            res.inliers.len() >= 38,
+            "found {} inliers",
+            res.inliers.len()
+        );
         let (x, y) = res.homography.apply(50.0, 50.0).unwrap();
         assert!((x - 57.0).abs() < 0.5 && (y - 46.0).abs() < 0.5);
     }

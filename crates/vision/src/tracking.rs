@@ -179,10 +179,16 @@ mod tests {
         let mut table = TrackTable::new();
         let mut ids = Vec::new();
         for frame in 0..10 {
-            let obs = vec![("monitor".to_string(), pose(50.0 + frame as f64, 20.0, 40.0, 30.0))];
+            let obs = vec![(
+                "monitor".to_string(),
+                pose(50.0 + frame as f64, 20.0, 40.0, 30.0),
+            )];
             ids.push(table.observe(frame, &obs)[0]);
         }
-        assert!(ids.iter().all(|&id| id == ids[0]), "track id changed: {ids:?}");
+        assert!(
+            ids.iter().all(|&id| id == ids[0]),
+            "track id changed: {ids:?}"
+        );
         assert_eq!(table.len(), 1);
         assert!((table.stability() - 1.0).abs() < 1e-9);
     }
@@ -203,7 +209,10 @@ mod tests {
     fn same_name_far_away_spawns_new_track() {
         let mut table = TrackTable::new();
         table.observe(0, &[("monitor".to_string(), pose(0.0, 0.0, 40.0, 30.0))]);
-        let ids = table.observe(1, &[("monitor".to_string(), pose(500.0, 400.0, 40.0, 30.0))]);
+        let ids = table.observe(
+            1,
+            &[("monitor".to_string(), pose(500.0, 400.0, 40.0, 30.0))],
+        );
         assert_eq!(table.len(), 2, "teleported object must not be associated");
         assert_eq!(ids[0], 1);
     }

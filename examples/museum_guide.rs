@@ -74,7 +74,10 @@ fn main() {
                 break;
             }
         }
-        println!("{:<32} → serves up to {} visitors at target QoS\n", label, capacity);
+        println!(
+            "{:<32} → serves up to {} visitors at target QoS\n",
+            label, capacity
+        );
     }
 
     println!("(the paper's §5 takeaway: statelessness + sidecar queues ≈2.75× visitor capacity)");

@@ -33,7 +33,9 @@ fn main() {
         ("matching", &["E2", "E1"]),
     ]);
     println!("deploying scAtteR with SLA constraints (GPU required for all but primary)...");
-    let deployed = cluster.deploy_placement(&slas, &placement).expect("deploys");
+    let deployed = cluster
+        .deploy_placement(&slas, &placement)
+        .expect("deploys");
     for (service, ids) in &deployed {
         let machines: Vec<_> = ids
             .iter()
@@ -62,7 +64,10 @@ fn main() {
     let sift_replicas = cluster.replicas_of("sift");
     println!("\nsift replicas before crash: {}", sift_replicas.len());
     cluster.fail_instance(sift_replicas[0]);
-    println!("sift replicas after crash:  {}", cluster.replicas_of("sift").len());
+    println!(
+        "sift replicas after crash:  {}",
+        cluster.replicas_of("sift").len()
+    );
     let healed = cluster.redeploy_failed(&slas);
     println!(
         "orchestrator re-deployed {} instance(s); sift replicas now: {}",
@@ -77,8 +82,7 @@ fn main() {
         ("split C12", placements::c12()),
     ] {
         let r = run_experiment(
-            RunConfig::new(Mode::ScatterPP, placement, 4)
-                .with_duration(SimDuration::from_secs(30)),
+            RunConfig::new(Mode::ScatterPP, placement, 4).with_duration(SimDuration::from_secs(30)),
         );
         println!(
             "  {label:<16} {:.1} FPS/client, E2E {:.1} ms",

@@ -1,0 +1,404 @@
+//! Offline stand-in for `proptest`: the subset the workspace consumes.
+//!
+//! Differences from the real crate, by design:
+//! * case generation is a deterministic SplitMix64 stream seeded from
+//!   the test's module path — failures reproduce run-to-run;
+//! * no shrinking: the failing inputs are printed as-is;
+//! * `Strategy` is a plain "generate a value" trait (object-safe, so
+//!   `prop_oneof!` boxes its arms).
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Why a property case failed; produced by the `prop_assert*!`
+    /// macros and surfaced as a panic by the `proptest!` harness.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// SplitMix64 — tiny, fast, and plenty for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic per-test stream: seeded by FNV-1a of the test's
+        /// full path so every test sees an independent sequence.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant at test-generation fidelity.
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Harness knobs; only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generate one value per case. Object-safe so strategies can be
+    /// boxed (`prop_oneof!`).
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Every reference to a strategy is itself a strategy (lets the
+    /// harness take strategies by value or reference).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies — `prop_oneof!`'s
+    /// backing type.
+    pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Cap at u64 span — ranges here are far smaller.
+                    let off = rng.below(span.min(u64::MAX as u128) as u64);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.next_f64() as $t
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count bounds for collection strategies: `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `proptest::bool::ANY` — a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The harness macro: expands each `fn name(arg in strategy, ...)` into
+/// a `#[test]` that runs `cases` deterministic iterations, treating
+/// `prop_assert*!` failures as reported-and-abort.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            cfg.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice over strategies producing a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::OneOf(arms)
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        let (sa, sb): (Vec<_>, Vec<_>) = (
+            (0..8).map(|_| a.next_u64()).collect(),
+            (0..8).map(|_| b.next_u64()).collect(),
+        );
+        assert_eq!(sa, sb);
+        assert_ne!(sa, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -2.0f64..2.0, n in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(
+            xs in crate::collection::vec(0u32..10, 2..6),
+            fixed in crate::collection::vec(crate::bool::ANY, 7),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert_eq!(fixed.len(), 7);
+        }
+
+        #[test]
+        fn oneof_and_just_cover_arms(v in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+    }
+}

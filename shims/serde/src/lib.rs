@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: derive macros in the macro namespace,
+//! marker traits in the type namespace, exactly like the real crate's
+//! `derive` feature. See `shims/README.md` for why this exists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait so `T: Serialize` bounds still compile. The no-op derive
+/// does not implement it; nothing in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker trait mirroring [`Serialize`].
+pub trait Deserialize<'de> {}

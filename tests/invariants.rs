@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use scatter::config::{placements, RunConfig};
-use scatter::{run_experiment, Mode, ServiceKind, RunReport};
+use scatter::{run_experiment, Mode, RunReport, ServiceKind};
 use simcore::SimDuration;
 use simnet::NetemProfile;
 
@@ -28,7 +28,12 @@ fn any_placement() -> impl Strategy<Value = orchestra::PlacementSpec> {
     ]
 }
 
-fn short_run(mode: Mode, placement: orchestra::PlacementSpec, clients: usize, seed: u64) -> RunReport {
+fn short_run(
+    mode: Mode,
+    placement: orchestra::PlacementSpec,
+    clients: usize,
+    seed: u64,
+) -> RunReport {
     run_experiment(
         RunConfig::new(mode, placement, clients)
             .with_duration(SimDuration::from_secs(8))
@@ -106,7 +111,7 @@ proptest! {
         }
         for kind in scatter::SERVICE_KINDS {
             let lat = r.service_latency_ms(kind);
-            if lat.len() > 0 {
+            if !lat.is_empty() {
                 prop_assert!(lat.min() > 0.0, "{kind:?} zero-time execution");
             }
         }
@@ -128,7 +133,7 @@ proptest! {
         check_conservation(&r);
         prop_assert!(r.success_rate <= 1.0);
         // E2E of completed frames reflects at least the injected RTT.
-        if r.e2e_ms.len() > 0 {
+        if !r.e2e_ms.is_empty() {
             prop_assert!(
                 r.e2e_ms.min() + 1.0 >= rtt,
                 "E2E {} below injected RTT {rtt}",

@@ -39,9 +39,7 @@ fn loss_reduces_success_not_latency() {
 fn latency_shifts_e2e_roughly_linearly() {
     let e2e: Vec<f64> = [1.0, 5.0, 10.0, 40.0]
         .iter()
-        .map(|&rtt| {
-            run_with(NetemProfile::new("rtt", rtt, 1e-7), Mode::Scatter, 1).e2e_mean_ms()
-        })
+        .map(|&rtt| run_with(NetemProfile::new("rtt", rtt, 1e-7), Mode::Scatter, 1).e2e_mean_ms())
         .collect();
     for w in e2e.windows(2) {
         assert!(w[1] > w[0], "E2E must grow with RTT: {e2e:?}");
@@ -116,5 +114,8 @@ fn bigger_stateless_frames_lose_more_on_lossy_links() {
     let s = run_with(NetemProfile::lte(), Mode::Scatter, 1);
     let pp = run_with(NetemProfile::lte(), Mode::ScatterPP, 1);
     assert!(s.datagrams_lost > 0);
-    assert!(pp.bytes_on_wire > s.bytes_on_wire, "stateless frames carry more bytes");
+    assert!(
+        pp.bytes_on_wire > s.bytes_on_wire,
+        "stateless frames carry more bytes"
+    );
 }

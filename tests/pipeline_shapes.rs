@@ -19,8 +19,16 @@ fn single_client_matches_paper_anchors() {
     // ≥25 FPS at ≈40 ms E2E with ≈85% success on a single edge machine.
     let r = run(Mode::Scatter, placements::c1(), 1);
     assert!(r.fps() >= 23.0, "FPS {:.1}", r.fps());
-    assert!((30.0..=60.0).contains(&r.e2e_mean_ms()), "E2E {:.1}", r.e2e_mean_ms());
-    assert!((0.70..=1.0).contains(&r.success_rate), "success {:.2}", r.success_rate);
+    assert!(
+        (30.0..=60.0).contains(&r.e2e_mean_ms()),
+        "E2E {:.1}",
+        r.e2e_mean_ms()
+    );
+    assert!(
+        (0.70..=1.0).contains(&r.success_rate),
+        "success {:.2}",
+        r.success_rate
+    );
 }
 
 #[test]
@@ -31,7 +39,10 @@ fn scatter_fps_monotonically_degrades_with_clients() {
     for w in fps.windows(2) {
         assert!(w[1] <= w[0] + 1.0, "FPS should fall with load: {fps:?}");
     }
-    assert!(fps[3] < fps[0] * 0.5, "4-client FPS should at least halve: {fps:?}");
+    assert!(
+        fps[3] < fps[0] * 0.5,
+        "4-client FPS should at least halve: {fps:?}"
+    );
 }
 
 #[test]
@@ -66,7 +77,12 @@ fn split_deployment_beats_colocated_under_scatterpp_load() {
 fn cloud_deployment_slower_than_edge() {
     let edge = run(Mode::Scatter, placements::c2(), 1);
     let cloud = run(Mode::Scatter, placements::cloud_only(), 1);
-    assert!(cloud.fps() < edge.fps() * 0.85, "cloud {:.1} vs edge {:.1}", cloud.fps(), edge.fps());
+    assert!(
+        cloud.fps() < edge.fps() * 0.85,
+        "cloud {:.1} vs edge {:.1}",
+        cloud.fps(),
+        edge.fps()
+    );
     assert!(cloud.e2e_mean_ms() > edge.e2e_mean_ms() + 15.0);
     assert!(cloud.success_rate < edge.success_rate);
 }

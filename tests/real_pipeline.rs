@@ -52,7 +52,11 @@ fn runtime_statistics_are_consistent() {
     });
     // Conservation: later stages cannot process more than earlier ones
     // produced.
-    let processed: Vec<u64> = report.service_counts.iter().map(|(_, _, p, _)| *p).collect();
+    let processed: Vec<u64> = report
+        .service_counts
+        .iter()
+        .map(|(_, _, p, _)| *p)
+        .collect();
     for w in processed.windows(2) {
         assert!(w[1] <= w[0], "stage conservation violated: {processed:?}");
     }

@@ -1,0 +1,137 @@
+//! Property tests for the tracing subsystem: the trace context must
+//! survive the real-UDP wire format byte-for-byte, and whatever DES
+//! configuration runs, the resulting trace must satisfy the span
+//! invariants (non-overlapping per frame, monotone timestamps) and the
+//! frame conservation law `completed + dropped == emitted`.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use scatter::config::{placements, RunConfig};
+use scatter::runtime::wire::{self, Reassembler, WireMsg, FLAG_SAMPLED};
+use scatter::{run_experiment_traced, Mode, ServiceKind};
+use simcore::SimDuration;
+use trace::{Analysis, TraceConfig};
+
+fn any_mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::Scatter),
+        Just(Mode::ScatterPP),
+        Just(Mode::StatelessOnly),
+        Just(Mode::SidecarOnly),
+    ]
+}
+
+fn any_placement() -> impl Strategy<Value = orchestra::PlacementSpec> {
+    prop_oneof![
+        Just(placements::c1()),
+        Just(placements::c2()),
+        Just(placements::c12()),
+        Just(placements::cloud_only()),
+        Just(placements::replicas([1, 2, 1, 1, 2])),
+    ]
+}
+
+fn any_step() -> impl Strategy<Value = ServiceKind> {
+    prop_oneof![
+        Just(ServiceKind::Primary),
+        Just(ServiceKind::Sift),
+        Just(ServiceKind::Encoding),
+        Just(ServiceKind::Lsh),
+        Just(ServiceKind::Matching),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The trace identity (trace_id, sampled flag) and the per-hop
+    /// timing stamps must round-trip through fragmentation and
+    /// reassembly for any payload size, including multi-fragment and
+    /// empty messages.
+    #[test]
+    fn trace_ctx_round_trips_through_the_wire(
+        client in 0u16..512,
+        frame_no in 0u32..100_000,
+        sampled in proptest::bool::ANY,
+        payload_len in 0usize..(wire::CHUNK_BYTES * 3),
+        emit_micros in 0u64..10_000_000,
+        sent_micros in 0u64..10_000_000,
+        step in any_step(),
+    ) {
+        let ctx = trace::TraceCtx::new(client, frame_no, sampled);
+        let msg = WireMsg {
+            client,
+            frame_no,
+            step,
+            emit_micros,
+            return_port: 40_000,
+            trace_id: ctx.trace_id,
+            flags: if sampled { FLAG_SAMPLED } else { 0 },
+            sent_micros,
+            payload: Bytes::from(vec![0xA5u8; payload_len]),
+        };
+        let datagrams = wire::encode(&msg);
+        prop_assert!(!datagrams.is_empty());
+        let mut reassembler = Reassembler::new();
+        let mut out = None;
+        for dg in &datagrams {
+            let frag = wire::decode_fragment(dg)
+                .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+            prop_assert_eq!(frag.trace_id, ctx.trace_id);
+            prop_assert_eq!(frag.sent_micros, sent_micros);
+            out = reassembler.offer(frag);
+        }
+        let out = out.expect("all fragments delivered");
+        prop_assert_eq!(&out, &msg);
+        let back = out.trace_ctx();
+        prop_assert_eq!(back, ctx);
+        prop_assert_eq!(back.sampled, sampled);
+    }
+
+    /// Any DES configuration, traced at any sampling rate, must produce
+    /// a log whose spans tile cleanly (non-overlapping per frame,
+    /// monotone timestamps — enforced by `check_invariants`) and whose
+    /// terminals conserve frames: every sampled emission ends exactly
+    /// once, as a completion or as an attributed drop.
+    #[test]
+    fn des_traces_conserve_frames_for_every_config(
+        mode in any_mode(),
+        placement in any_placement(),
+        clients in 1usize..5,
+        seed in 0u64..1000,
+        sample_every in 1u32..5,
+    ) {
+        let (report, log) = run_experiment_traced(
+            RunConfig::new(mode, placement, clients)
+                .with_duration(SimDuration::from_secs(8))
+                .with_warmup(SimDuration::from_secs(1))
+                .with_seed(seed)
+                .with_trace(TraceConfig::sample_every(sample_every)),
+        );
+        let a = Analysis::from_log(&log);
+        if let Err(e) = a.check_invariants() {
+            return Err(TestCaseError::fail(format!(
+                "{mode:?} x{clients} seed={seed} every={sample_every}: {e}"
+            )));
+        }
+        let dropped: usize = a.drop_reasons().values().sum();
+        prop_assert_eq!(
+            a.completed() + dropped,
+            a.emitted(),
+            "conservation violated: {} completed + {} dropped != {} emitted",
+            a.completed(), dropped, a.emitted()
+        );
+        // The trace and the report agree on scale: the trace covers the
+        // whole run (warmup included), so with 1-in-1 sampling its
+        // completion count can never fall below the report's post-warmup
+        // E2E sample count.
+        if sample_every == 1 {
+            prop_assert!(
+                a.completed() >= report.e2e_ms.len(),
+                "trace completed {} < report completions {}",
+                a.completed(), report.e2e_ms.len()
+            );
+        }
+    }
+}
