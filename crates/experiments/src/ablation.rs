@@ -15,7 +15,7 @@ use scatter::config::{placements, RunConfig};
 use scatter::{run_experiment_with, CostModel, Mode};
 use simcore::SimDuration;
 
-use crate::common::{run, run_secs, SEED};
+use crate::common::{par_map, run_many, run_secs, SEED};
 use crate::table::{f1, pct, Table};
 
 pub fn run_figure() -> Vec<Table> {
@@ -24,15 +24,21 @@ pub fn run_figure() -> Vec<Table> {
         "Ablation A: decomposing scAtteR++ (C2, 1–4 clients, FPS)",
         &["pipeline", "n1", "n2", "n3", "n4"],
     );
-    for (label, mode) in [
+    const VARIANTS: [(&str, Mode); 4] = [
         ("scAtteR (baseline)", Mode::Scatter),
         ("+ sidecar queues only", Mode::SidecarOnly),
         ("+ stateless sift only", Mode::StatelessOnly),
         ("scAtteR++ (both)", Mode::ScatterPP),
-    ] {
+    ];
+    let points: Vec<_> = VARIANTS
+        .iter()
+        .flat_map(|&(_, mode)| (1..=4).map(move |n| (mode, placements::c2(), n)))
+        .collect();
+    let mut reports = run_many(&points).into_iter();
+    for (label, _) in VARIANTS {
         let mut row = vec![label.to_string()];
-        for n in 1..=4 {
-            row.push(f1(run(mode, placements::c2(), n).fps()));
+        for _ in 1..=4 {
+            row.push(f1(reports.next().unwrap().fps()));
         }
         decomp.row(row);
     }
@@ -52,17 +58,21 @@ pub fn run_figure() -> Vec<Table> {
             "success",
         ],
     );
-    for t in [50.0, 75.0, 100.0, 150.0, 250.0] {
-        let cost = CostModel {
-            threshold_ms: t,
-            ..Default::default()
-        };
-        let r = run_experiment_with(
+    // Each point ablates a *different* cost model, so these bypass the
+    // run cache and fan out directly over `par_map`.
+    const THRESHOLDS: [f64; 5] = [50.0, 75.0, 100.0, 150.0, 250.0];
+    let thresh_reports = par_map(&THRESHOLDS, |&t| {
+        run_experiment_with(
             RunConfig::new(Mode::ScatterPP, placements::c2(), 4)
                 .with_duration(SimDuration::from_secs(run_secs()))
                 .with_seed(SEED),
-            cost,
-        );
+            CostModel {
+                threshold_ms: t,
+                ..Default::default()
+            },
+        )
+    });
+    for (t, r) in THRESHOLDS.iter().zip(thresh_reports) {
         let mut e2e = r.e2e_ms.clone();
         thresh.row(vec![
             format!("{t:.0}"),
@@ -80,17 +90,19 @@ pub fn run_figure() -> Vec<Table> {
         "Ablation C: scAtteR fetch-timeout sweep (C2, 4 clients)",
         &["timeout ms", "FPS", "success", "fetch timeouts"],
     );
-    for t in [5.0, 10.0, 15.0, 30.0, 60.0] {
-        let cost = CostModel {
-            fetch_timeout_ms: t,
-            ..Default::default()
-        };
-        let r = run_experiment_with(
+    const TIMEOUTS: [f64; 5] = [5.0, 10.0, 15.0, 30.0, 60.0];
+    let fetch_reports = par_map(&TIMEOUTS, |&t| {
+        run_experiment_with(
             RunConfig::new(Mode::Scatter, placements::c2(), 4)
                 .with_duration(SimDuration::from_secs(run_secs()))
                 .with_seed(SEED),
-            cost,
-        );
+            CostModel {
+                fetch_timeout_ms: t,
+                ..Default::default()
+            },
+        )
+    });
+    for (t, r) in TIMEOUTS.iter().zip(fetch_reports) {
         let fetch_timeouts: u64 = r.services.iter().map(|s| s.drops.fetch_timeout).sum();
         fetch.row(vec![
             format!("{t:.0}"),

@@ -8,20 +8,17 @@
 
 use scatter::autoscale::AutoscaleConfig;
 use scatter::config::{placements, RunConfig};
-use scatter::{run_experiment, Mode, RunReport};
-use simcore::SimDuration;
+use scatter::Mode;
 
-use crate::common::{run_secs, SEED};
+use crate::common::run_batch;
 use crate::table::{f1, pct, Table};
 
-fn run_with(mode: Mode, auto: Option<AutoscaleConfig>, clients: usize) -> RunReport {
-    let mut cfg = RunConfig::new(mode, placements::c2(), clients)
-        .with_duration(SimDuration::from_secs(run_secs()))
-        .with_seed(SEED);
+fn cfg_with(mode: Mode, auto: Option<AutoscaleConfig>, clients: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(mode, placements::c2(), clients);
     if let Some(a) = auto {
         cfg = cfg.with_autoscale(a);
     }
-    run_experiment(cfg)
+    cfg
 }
 
 pub fn run_figure() -> Vec<Table> {
@@ -37,17 +34,32 @@ pub fn run_figure() -> Vec<Table> {
         ],
     );
 
-    for (mode, label) in [(Mode::ScatterPP, "scAtteR++"), (Mode::Scatter, "scAtteR")] {
-        for (controller, auto) in [
+    const MODES: [(Mode, &str); 2] = [(Mode::ScatterPP, "scAtteR++"), (Mode::Scatter, "scAtteR")];
+    let controllers = || {
+        [
             ("static", None),
             ("hardware >75% busy", Some(AutoscaleConfig::hardware(0.75))),
             (
                 "app-aware >10% drops",
                 Some(AutoscaleConfig::application_aware(0.10)),
             ),
-        ] {
+        ]
+    };
+    // 12 grid cells, one parallel batch.
+    let cfgs: Vec<RunConfig> = MODES
+        .iter()
+        .flat_map(|&(mode, _)| {
+            controllers()
+                .into_iter()
+                .flat_map(move |(_, auto)| [4, 6].map(|clients| cfg_with(mode, auto, clients)))
+        })
+        .collect();
+    let mut reports = run_batch(cfgs).into_iter();
+
+    for (_, label) in MODES {
+        for (controller, _) in controllers() {
             for clients in [4, 6] {
-                let r = run_with(mode, auto, clients);
+                let r = reports.next().unwrap();
                 t.row(vec![
                     label.to_string(),
                     controller.to_string(),

@@ -1,0 +1,295 @@
+//! Reproducible performance benchmark suite — the gate behind
+//! `scripts/bench.sh`.
+//!
+//! Times a fixed matrix over fixed seeds:
+//!
+//! * `des_steady` / `des_scatter` — single-thread DES throughput on the
+//!   scAtteR++ / scAtteR C12×4 steady state (60 simulated seconds),
+//!   reported as wall time and events/sec.
+//! * `fig2_fig6` — regeneration of the two core figure tables, timed
+//!   sequentially (`SCATTER_JOBS=1`, cache off) and again with the
+//!   parallel cached harness, yielding `speedup_vs_sequential`.
+//! * `figure_suite` — every simulation figure module (the `--bin all`
+//!   set minus `fast_extractor`, which times real kernel wall-clock and
+//!   would pollute a throughput measurement), same two passes.
+//! * `vision_pyramid` / `vision_blur` — the sift-stage kernels on a
+//!   synthetic 320×240 frame.
+//!
+//! Results land in `BENCH_2.json` as `name → {wall_ms, events_per_sec,
+//! speedup_vs_sequential}` (null where a field is not meaningful).
+//!
+//! `perfbench --smoke <BENCH_2.json>` re-measures `des_steady` quickly
+//! and fails (exit 1) if throughput regressed below 25% of the recorded
+//! figure — the floor `scripts/verify.sh` enforces.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment, Mode};
+use simcore::SimDuration;
+
+/// Best-of-`reps` wall time in ms.
+fn time_ms<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn des_cfg(mode: Mode, secs: u64) -> RunConfig {
+    RunConfig::new(mode, placements::c12(), 4)
+        .with_duration(SimDuration::from_secs(secs))
+        .with_warmup(SimDuration::from_secs(5))
+        .with_seed(experiments::common::SEED)
+}
+
+/// One timed DES point: (wall_ms best-of-reps, events/sec at that wall).
+fn bench_des(mode: Mode, secs: u64, reps: usize) -> (f64, f64) {
+    let mut events = 0u64;
+    let wall_ms = time_ms(
+        || {
+            let r = run_experiment(des_cfg(mode, secs));
+            assert!(r.fps() > 0.5, "bench run produced no frames");
+            events = r.events_executed;
+        },
+        reps,
+    );
+    (wall_ms, events as f64 / (wall_ms / 1e3))
+}
+
+type FigureFn = fn() -> Vec<experiments::Table>;
+
+/// The simulation figure modules (the `--bin all` set minus
+/// `fast_extractor`, which measures real kernel wall-clock).
+fn sim_figures() -> Vec<(&'static str, FigureFn)> {
+    vec![
+        (
+            "fig2",
+            experiments::fig2_baseline_edge::run_figure as FigureFn,
+        ),
+        ("fig3", experiments::fig3_scalability::run_figure),
+        ("fig4", experiments::fig4_cloud::run_figure),
+        ("fig6", experiments::fig6_scatterpp_edge::run_figure),
+        ("fig7", experiments::fig7_scaling::run_figure),
+        ("fig8", experiments::fig8_sidecar::run_figure),
+        ("fig9", experiments::fig9_network::run_figure),
+        ("fig10", experiments::fig10_jitter::run_figure),
+        ("fig11", experiments::fig11_hybrid::run_figure),
+        ("fig12", experiments::fig12_timeline::run_figure),
+        ("headline", experiments::headline::run_figure),
+        ("ablation", experiments::ablation::run_figure),
+        ("autoscale", experiments::autoscale_study::run_figure),
+        ("scheduler", experiments::scheduler_study::run_figure),
+        ("migration", experiments::migration_study::run_figure),
+        ("burst_loss", experiments::burst_loss::run_figure),
+        (
+            "latency_breakdown",
+            experiments::latency_breakdown::run_figure,
+        ),
+    ]
+}
+
+/// Render a set of figures, returning total rendered length (a cheap
+/// checksum keeping the work from being optimized away).
+fn render_figures(figs: &[(&'static str, FigureFn)]) -> usize {
+    figs.iter()
+        .flat_map(|(_, f)| f())
+        .map(|t| t.render().len())
+        .sum()
+}
+
+/// Time one figure set sequentially (jobs=1, cache off) and then with
+/// the parallel cached harness; returns (par_wall_ms, speedup).
+fn bench_figures(figs: &[(&'static str, FigureFn)], jobs: usize) -> (f64, f64) {
+    std::env::set_var("SCATTER_JOBS", "1");
+    std::env::set_var("SCATTER_RUN_CACHE", "0");
+    experiments::common::clear_run_cache();
+    let seq_ms = time_ms(|| assert!(render_figures(figs) > 0), 1);
+
+    std::env::set_var("SCATTER_JOBS", jobs.to_string());
+    std::env::set_var("SCATTER_RUN_CACHE", "1");
+    experiments::common::clear_run_cache();
+    let par_ms = time_ms(|| assert!(render_figures(figs) > 0), 1);
+    experiments::common::clear_run_cache();
+    (par_ms, seq_ms / par_ms)
+}
+
+fn synthetic_frame() -> vision::GrayImage {
+    let (w, h) = (320usize, 240usize);
+    let mut v = vec![0f32; w * h];
+    for (i, px) in v.iter_mut().enumerate() {
+        let (x, y) = (i % w, i / w);
+        *px = ((x * 7 + y * 13) % 251) as f32 / 251.0;
+    }
+    vision::GrayImage::from_vec(w, h, v)
+}
+
+struct Entry {
+    name: &'static str,
+    wall_ms: f64,
+    events_per_sec: Option<f64>,
+    speedup_vs_sequential: Option<f64>,
+}
+
+fn render_json(entries: &[Entry], jobs: usize) -> String {
+    let opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.2}"),
+        None => "null".into(),
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    // Context for reading `speedup_vs_sequential`: thread fan-out can
+    // only beat sequential when host_cpus > 1 — on a single-core host
+    // the recorded suite speedup is the run cache's contribution alone.
+    let _ = writeln!(out, "  \"host_cpus\": {cpus},");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "  \"{}\": {{\"wall_ms\": {:.2}, \"events_per_sec\": {}, \
+             \"speedup_vs_sequential\": {}}}{comma}",
+            e.name,
+            e.wall_ms,
+            opt(e.events_per_sec),
+            opt(e.speedup_vs_sequential),
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pull `"<bench>": {... "<field>": <number> ...}` out of BENCH_2.json.
+/// The file is machine-written by this binary with one bench per line,
+/// so a line scan is a full parser for it.
+fn read_recorded(json: &str, bench: &str, field: &str) -> Option<f64> {
+    let line = json.lines().find(|l| l.contains(&format!("\"{bench}\"")))?;
+    let at = line.find(&format!("\"{field}\""))?;
+    let rest = &line[at..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn smoke(path: &str) -> i32 {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perfbench --smoke: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let Some(recorded) = read_recorded(&json, "des_steady", "events_per_sec") else {
+        eprintln!("perfbench --smoke: no des_steady.events_per_sec in {path}");
+        return 1;
+    };
+    // Short run, generous floor: the gate catches order-of-magnitude
+    // regressions (an accidental O(n²) or debug-only path), not noise.
+    let (wall_ms, eps) = bench_des(Mode::ScatterPP, 15, 2);
+    let floor = recorded * 0.25;
+    println!(
+        "smoke des_steady: {eps:.0} events/sec ({wall_ms:.1} ms), \
+         recorded {recorded:.0}, floor {floor:.0}"
+    );
+    if eps < floor {
+        eprintln!("perfbench --smoke: throughput below floor — perf regression");
+        return 1;
+    }
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--smoke") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_2.json");
+        std::process::exit(smoke(path));
+    }
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
+    let jobs = 4; // fixed for reproducible speedup accounting
+
+    eprintln!("perfbench: DES steady state (scAtteR++ C12, 4 clients, 60 s)...");
+    let (des_ms, des_eps) = bench_des(Mode::ScatterPP, 60, 3);
+    eprintln!("perfbench: DES scAtteR (cancel-heavy fetch path)...");
+    let (sca_ms, sca_eps) = bench_des(Mode::Scatter, 60, 3);
+
+    eprintln!("perfbench: fig2 + fig6 regeneration, sequential vs parallel...");
+    let core: Vec<(&'static str, FigureFn)> = vec![
+        (
+            "fig2",
+            experiments::fig2_baseline_edge::run_figure as FigureFn,
+        ),
+        ("fig6", experiments::fig6_scatterpp_edge::run_figure),
+    ];
+    let (core_ms, core_speedup) = bench_figures(&core, jobs);
+    eprintln!("perfbench: full simulation figure suite, sequential vs parallel...");
+    let (suite_ms, suite_speedup) = bench_figures(&sim_figures(), jobs);
+
+    eprintln!("perfbench: sift-stage vision kernels (320x240)...");
+    let img = synthetic_frame();
+    let pyr_ms = time_ms(
+        || {
+            assert!(!vision::pyramid::Pyramid::build(&img, 4, 3, 1.6)
+                .octaves
+                .is_empty())
+        },
+        5,
+    );
+    let blur_ms = time_ms(
+        || assert_eq!(vision::pyramid::gaussian_blur(&img, 2.0).width(), 320),
+        10,
+    );
+
+    let entries = [
+        Entry {
+            name: "des_steady",
+            wall_ms: des_ms,
+            events_per_sec: Some(des_eps),
+            speedup_vs_sequential: None,
+        },
+        Entry {
+            name: "des_scatter",
+            wall_ms: sca_ms,
+            events_per_sec: Some(sca_eps),
+            speedup_vs_sequential: None,
+        },
+        Entry {
+            name: "fig2_fig6",
+            wall_ms: core_ms,
+            events_per_sec: None,
+            speedup_vs_sequential: Some(core_speedup),
+        },
+        Entry {
+            name: "figure_suite",
+            wall_ms: suite_ms,
+            events_per_sec: None,
+            speedup_vs_sequential: Some(suite_speedup),
+        },
+        Entry {
+            name: "vision_pyramid",
+            wall_ms: pyr_ms,
+            events_per_sec: None,
+            speedup_vs_sequential: None,
+        },
+        Entry {
+            name: "vision_blur",
+            wall_ms: blur_ms,
+            events_per_sec: None,
+            speedup_vs_sequential: None,
+        },
+    ];
+    let json = render_json(&entries, jobs);
+    print!("{json}");
+    std::fs::write(&out_path, &json).expect("write benchmark results");
+    eprintln!("perfbench: wrote {out_path}");
+}

@@ -12,11 +12,10 @@
 //! produces constant long freezes; bursts produce rare short ones).
 
 use scatter::config::{placements, RunConfig};
-use scatter::{run_experiment, Mode};
-use simcore::SimDuration;
+use scatter::Mode;
 use simnet::NetemProfile;
 
-use crate::common::{run_secs, SEED};
+use crate::common::run_batch;
 use crate::table::{f1, pct, Table};
 
 pub fn run_figure() -> Vec<Table> {
@@ -32,19 +31,29 @@ pub fn run_figure() -> Vec<Table> {
         ],
     );
 
-    for &avg_loss in &[0.01, 0.03] {
-        for (label, burst) in [("uniform", None), ("bursty (mean 25 pkts)", Some(25.0))] {
+    const GRID: [f64; 2] = [0.01, 0.03];
+    let channels = || [("uniform", None), ("bursty (mean 25 pkts)", Some(25.0))];
+    let cfgs: Vec<RunConfig> = GRID
+        .iter()
+        .flat_map(|&avg_loss| {
+            channels().into_iter().flat_map(move |(label, burst)| {
+                [1usize, 2].map(move |clients| {
+                    let mut profile =
+                        NetemProfile::new(&format!("{label} {avg_loss}"), 5.0, avg_loss);
+                    if let Some(b) = burst {
+                        profile = profile.with_burst_loss(b);
+                    }
+                    RunConfig::new(Mode::Scatter, placements::c2(), clients).with_netem(profile)
+                })
+            })
+        })
+        .collect();
+    let mut reports = run_batch(cfgs).into_iter();
+
+    for &avg_loss in &GRID {
+        for (label, _) in channels() {
             for clients in [1usize, 2] {
-                let mut profile = NetemProfile::new(&format!("{label} {avg_loss}"), 5.0, avg_loss);
-                if let Some(b) = burst {
-                    profile = profile.with_burst_loss(b);
-                }
-                let r = run_experiment(
-                    RunConfig::new(Mode::Scatter, placements::c2(), clients)
-                        .with_netem(profile)
-                        .with_duration(SimDuration::from_secs(run_secs()))
-                        .with_seed(SEED),
-                );
+                let r = reports.next().unwrap();
                 t.row(vec![
                     label.to_string(),
                     format!("{:.0}%", avg_loss * 100.0),

@@ -9,7 +9,7 @@
 use scatter::config::placements;
 use scatter::Mode;
 
-use crate::common::{edge_configs, run};
+use crate::common::{edge_configs, run_many};
 use crate::table::{f1, Table};
 
 pub fn run_figure() -> Vec<Table> {
@@ -17,31 +17,30 @@ pub fn run_figure() -> Vec<Table> {
         "Fig 10: jitter (ms) vs clients — baseline edge / scalability / cloud",
         &["deployment", "n1", "n2", "n3", "n4"],
     );
-    // (a) baseline edge configs.
+    // Every point here re-plots a fig 2/3/4 config under the jitter
+    // metric, so in `--bin all` the whole figure is served from the run
+    // cache; standalone it fans out as one 32-point batch.
+    let mut series: Vec<(String, orchestra::PlacementSpec)> = Vec::new();
     for (label, placement) in edge_configs() {
-        let mut row = vec![format!("a) {label}")];
-        for n in 1..=4 {
-            let r = run(Mode::Scatter, placement.clone(), n);
-            row.push(f1(r.jitter_ms));
-        }
-        t.row(row);
+        series.push((format!("a) {label}"), placement));
     }
-    // (b) scalability configs.
     for counts in crate::fig3_scalability::CONFIGS {
-        let mut row = vec![format!("b) {counts:?}")];
-        for n in 1..=4 {
-            let r = run(Mode::Scatter, placements::replicas(counts), n);
-            row.push(f1(r.jitter_ms));
+        series.push((format!("b) {counts:?}"), placements::replicas(counts)));
+    }
+    series.push(("c) cloud-only".to_string(), placements::cloud_only()));
+
+    let points: Vec<_> = series
+        .iter()
+        .flat_map(|(_, p)| (1..=4).map(|n| (Mode::Scatter, p.clone(), n)))
+        .collect();
+    let mut reports = run_many(&points).into_iter();
+    for (label, _) in &series {
+        let mut row = vec![label.clone()];
+        for _ in 1..=4 {
+            row.push(f1(reports.next().unwrap().jitter_ms));
         }
         t.row(row);
     }
-    // (c) cloud.
-    let mut row = vec!["c) cloud-only".to_string()];
-    for n in 1..=4 {
-        let r = run(Mode::Scatter, placements::cloud_only(), n);
-        row.push(f1(r.jitter_ms));
-    }
-    t.row(row);
 
     t.note("paper: a) grows with clients (drops) toward ≈6–9 ms; b)+c) stay ≈1–3 ms");
     t.note("paper: cloud jitter slightly above C1/C2 due to Internet latency fluctuation");

@@ -10,7 +10,7 @@
 use scatter::config::placements;
 use scatter::{Mode, SERVICE_KINDS};
 
-use crate::common::run;
+use crate::common::run_many;
 use crate::table::{f1, pct, Table};
 
 pub fn run_figure() -> Vec<Table> {
@@ -23,11 +23,23 @@ pub fn run_figure() -> Vec<Table> {
         &["clients", "primary", "sift", "encoding", "lsh", "matching"],
     );
 
+    // Hybrid + cloud reference, 8 points in one batch (cloud points are
+    // cache hits after fig 4 in `--bin all`).
+    let points: Vec<_> = (1..=4)
+        .flat_map(|n| {
+            [
+                (Mode::Scatter, placements::hybrid_edge_cloud(), n),
+                (Mode::Scatter, placements::cloud_only(), n),
+            ]
+        })
+        .collect();
+    let mut reports = run_many(&points).into_iter();
+
     let mut hybrid_e2e_n2 = 0.0;
     let mut cloud_e2e_n2 = 0.0;
     for n in 1..=4 {
-        let h = run(Mode::Scatter, placements::hybrid_edge_cloud(), n);
-        let c = run(Mode::Scatter, placements::cloud_only(), n);
+        let h = reports.next().unwrap();
+        let c = reports.next().unwrap();
         if n == 2 {
             hybrid_e2e_n2 = h.e2e_mean_ms();
             cloud_e2e_n2 = c.e2e_mean_ms();

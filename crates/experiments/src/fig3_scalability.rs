@@ -8,7 +8,7 @@
 use scatter::config::placements;
 use scatter::{Mode, SERVICE_KINDS};
 
-use crate::common::run;
+use crate::common::{run, run_many};
 use crate::table::{f1, pct, Table};
 
 pub const CONFIGS: [[usize; 5]; 3] = [[2, 2, 1, 1, 1], [1, 2, 1, 1, 2], [1, 2, 2, 1, 2]];
@@ -23,13 +23,22 @@ pub fn run_figure() -> Vec<Table> {
         &["replicas", "clients", "mem GB (total)", "CPU %", "GPU %"],
     );
 
-    // Baseline for the improvement notes: single-instance on E2.
-    let base2 = run(Mode::Scatter, placements::c2(), 2);
-    let base3 = run(Mode::Scatter, placements::c2(), 3);
+    // Baselines for the improvement notes plus the 12 sweep points, all
+    // fanned out together (the baselines are just two more batch items).
+    let mut points: Vec<_> = vec![
+        (Mode::Scatter, placements::c2(), 2),
+        (Mode::Scatter, placements::c2(), 3),
+    ];
+    points.extend(CONFIGS.iter().flat_map(|&counts| {
+        (1..=4).map(move |n| (Mode::Scatter, placements::replicas(counts), n))
+    }));
+    let mut reports = run_many(&points).into_iter();
+    let base2 = reports.next().unwrap();
+    let base3 = reports.next().unwrap();
 
     for counts in CONFIGS {
         for n in 1..=4 {
-            let r = run(Mode::Scatter, placements::replicas(counts), n);
+            let r = reports.next().unwrap();
             qos.row(vec![
                 format!("{counts:?}"),
                 n.to_string(),

@@ -8,7 +8,7 @@
 use scatter::config::placements;
 use scatter::{Mode, SERVICE_KINDS};
 
-use crate::common::run;
+use crate::common::run_many;
 use crate::table::{f1, pct, Table};
 
 pub fn run_figure() -> Vec<Table> {
@@ -28,10 +28,17 @@ pub fn run_figure() -> Vec<Table> {
         &["clients", "CPU %", "GPU %", "mem GB"],
     );
 
+    // Four cloud points plus the edge reference, one parallel batch.
+    let mut points: Vec<_> = (1..=4)
+        .map(|n| (Mode::Scatter, placements::cloud_only(), n))
+        .collect();
+    points.push((Mode::Scatter, placements::c1(), 1));
+    let mut reports = run_many(&points).into_iter();
+
     let mut n1_median = 0.0;
     let mut n1_e2e = 0.0;
     for n in 1..=4 {
-        let r = run(Mode::Scatter, placements::cloud_only(), n);
+        let r = reports.next().unwrap();
         if n == 1 {
             n1_median = r.fps_median();
             n1_e2e = r.e2e_mean_ms();
@@ -54,7 +61,7 @@ pub fn run_figure() -> Vec<Table> {
         ]);
     }
 
-    let edge = run(Mode::Scatter, placements::c1(), 1);
+    let edge = reports.next().unwrap();
     qos.note(format!(
         "paper: 18.2 FPS median at 1 client (edge: 25) — measured {n1_median:.1} (edge: {:.1})",
         edge.fps_median()

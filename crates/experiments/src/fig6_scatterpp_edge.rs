@@ -7,7 +7,7 @@
 
 use scatter::{Mode, ServiceKind, SERVICE_KINDS};
 
-use crate::common::{edge_configs, run};
+use crate::common::{edge_configs, run_many};
 use crate::table::{f1, pct, Table};
 
 pub fn run_figure() -> Vec<Table> {
@@ -32,30 +32,37 @@ pub fn run_figure() -> Vec<Table> {
         ],
     );
 
-    for (label, placement) in edge_configs() {
-        for n in 1..=4 {
-            let r = run(Mode::ScatterPP, placement.clone(), n);
-            qos.row(vec![
-                label.to_string(),
-                n.to_string(),
-                f1(r.fps()),
-                f1(r.e2e_mean_ms()),
-                pct(r.success_rate),
-            ]);
-            let mut lat_row = vec![label.to_string(), n.to_string()];
-            for k in SERVICE_KINDS {
-                lat_row.push(f1(r.service_latency_ms(k).mean()));
-            }
-            service_lat.row(lat_row);
-            let total_mem: f64 = SERVICE_KINDS.iter().map(|&k| r.memory_gb(k)).sum();
-            hw.row(vec![
-                label.to_string(),
-                n.to_string(),
-                f1(r.memory_gb(ServiceKind::Sift)),
-                f1(total_mem),
-                f1(r.total_gpu_pct()),
-            ]);
+    // 16 independent points, fanned out in parallel (same shape as fig 2).
+    let configs = edge_configs();
+    let points: Vec<_> = configs
+        .iter()
+        .flat_map(|(_, p)| (1..=4).map(|n| (Mode::ScatterPP, p.clone(), n)))
+        .collect();
+    let labels = configs
+        .iter()
+        .flat_map(|(label, _)| (1..=4).map(move |n| (*label, n)));
+
+    for ((label, n), r) in labels.zip(run_many(&points)) {
+        qos.row(vec![
+            label.to_string(),
+            n.to_string(),
+            f1(r.fps()),
+            f1(r.e2e_mean_ms()),
+            pct(r.success_rate),
+        ]);
+        let mut lat_row = vec![label.to_string(), n.to_string()];
+        for k in SERVICE_KINDS {
+            lat_row.push(f1(r.service_latency_ms(k).mean()));
         }
+        service_lat.row(lat_row);
+        let total_mem: f64 = SERVICE_KINDS.iter().map(|&k| r.memory_gb(k)).sum();
+        hw.row(vec![
+            label.to_string(),
+            n.to_string(),
+            f1(r.memory_gb(ServiceKind::Sift)),
+            f1(total_mem),
+            f1(r.total_gpu_pct()),
+        ]);
     }
 
     qos.note("paper: 12 FPS sustained at 4 clients; C12 ≈20 FPS (scAtteR: <5 FPS)");

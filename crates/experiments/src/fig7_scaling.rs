@@ -7,8 +7,9 @@
 use scatter::config::placements;
 use scatter::Mode;
 
-use crate::common::run;
+use crate::common::{run, run_batch};
 use crate::table::{f1, Table};
+use scatter::config::RunConfig;
 
 pub const CONFIGS: [[usize; 5]; 3] = [[1, 2, 2, 1, 2], [1, 2, 1, 1, 2], [1, 3, 2, 1, 3]];
 
@@ -19,11 +20,19 @@ pub fn run_figure() -> Vec<Table> {
             "replicas", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8", "n9", "n10",
         ],
     );
+    // 30 points — the widest grid in the suite, and the reason the
+    // harness is parallel. One batch, consumed row-major.
+    let cfgs: Vec<RunConfig> = CONFIGS
+        .iter()
+        .flat_map(|&counts| {
+            (1..=10).map(move |n| RunConfig::new(Mode::ScatterPP, placements::replicas(counts), n))
+        })
+        .collect();
+    let mut reports = run_batch(cfgs).into_iter();
     for counts in CONFIGS {
         let mut row = vec![format!("{counts:?}")];
-        for n in 1..=10 {
-            let r = run(Mode::ScatterPP, placements::replicas(counts), n);
-            row.push(f1(r.fps()));
+        for _ in 1..=10 {
+            row.push(f1(reports.next().unwrap().fps()));
         }
         t.row(row);
     }

@@ -13,13 +13,35 @@ use scatter::config::placements;
 use scatter::Mode;
 use simnet::NetemProfile;
 
-use crate::common::{run_config, SEED};
+use crate::common::{run_batch, SEED};
 use crate::table::{f1, pct, Table};
 use scatter::config::RunConfig;
 use simcore::SimDuration;
 
-fn run_netem(profile: NetemProfile, clients: usize) -> scatter::RunReport {
-    run_config(RunConfig::new(Mode::Scatter, placements::c2(), clients).with_netem(profile))
+fn netem_cfg(profile: NetemProfile, clients: usize) -> RunConfig {
+    RunConfig::new(Mode::Scatter, placements::c2(), clients).with_netem(profile)
+}
+
+/// Run a netem sweep (profiles × 1–4 clients) in one parallel batch and
+/// emit its rows into `table`.
+fn sweep_into(table: &mut Table, profiles: &[NetemProfile]) {
+    let cfgs: Vec<RunConfig> = profiles
+        .iter()
+        .flat_map(|p| (1..=4).map(|n| netem_cfg(p.clone(), n)))
+        .collect();
+    let mut reports = run_batch(cfgs).into_iter();
+    for profile in profiles {
+        for n in 1..=4 {
+            let r = reports.next().unwrap();
+            table.row(vec![
+                profile.name.clone(),
+                n.to_string(),
+                f1(r.fps()),
+                f1(r.e2e_mean_ms()),
+                pct(r.success_rate),
+            ]);
+        }
+    }
 }
 
 pub fn run_figure() -> Vec<Table> {
@@ -27,18 +49,7 @@ pub fn run_figure() -> Vec<Table> {
         "Fig 9a: packet-loss sweep (delay 1 ms, mobility oscillation on)",
         &["loss", "clients", "FPS", "E2E ms", "success"],
     );
-    for profile in NetemProfile::loss_sweep() {
-        for n in 1..=4 {
-            let r = run_netem(profile.clone(), n);
-            loss.row(vec![
-                profile.name.clone(),
-                n.to_string(),
-                f1(r.fps()),
-                f1(r.e2e_mean_ms()),
-                pct(r.success_rate),
-            ]);
-        }
-    }
+    sweep_into(&mut loss, &NetemProfile::loss_sweep());
     loss.note("paper: loss lowers frame success/FPS but leaves E2E of surviving frames similar");
     loss.note("paper: at high client counts, higher loss mildly relieves congested services");
 
@@ -46,18 +57,7 @@ pub fn run_figure() -> Vec<Table> {
         "Fig 9b: latency sweep (loss 0.00001%, mobility oscillation on)",
         &["RTT", "clients", "FPS", "E2E ms", "success"],
     );
-    for profile in NetemProfile::latency_sweep() {
-        for n in 1..=4 {
-            let r = run_netem(profile.clone(), n);
-            lat.row(vec![
-                profile.name.clone(),
-                n.to_string(),
-                f1(r.fps()),
-                f1(r.e2e_mean_ms()),
-                pct(r.success_rate),
-            ]);
-        }
-    }
+    sweep_into(&mut lat, &NetemProfile::latency_sweep());
     lat.note("paper: added RTT shifts E2E up ≈ linearly; framerate stays consistent because");
     lat.note("scAtteR never drops frames for exceeding the 100 ms budget (unlike scAtteR++)");
     vec![loss, lat]

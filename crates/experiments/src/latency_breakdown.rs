@@ -3,19 +3,18 @@
 //! paper's key deployments. The paper plots E2E and per-service latency
 //! separately; this table reconciles them into one budget.
 
-use scatter::config::{placements, RunConfig};
-use scatter::{run_experiment, Mode};
-use simcore::SimDuration;
+use scatter::config::placements;
+use scatter::Mode;
 
-use crate::common::{run_secs, SEED};
+use crate::common::run_many;
 use crate::table::{f1, Table};
 
+#[cfg(test)]
 fn run(mode: Mode, placement: orchestra::PlacementSpec, clients: usize) -> scatter::RunReport {
-    run_experiment(
-        RunConfig::new(mode, placement, clients)
-            .with_duration(SimDuration::from_secs(run_secs()))
-            .with_seed(SEED),
-    )
+    // Standard length/seed/warmup (the explicit warmup equals the
+    // RunConfig default, so these points share cache entries with the
+    // figure sweeps).
+    crate::common::run(mode, placement, clients)
 }
 
 pub fn run_figure() -> Vec<Table> {
@@ -66,8 +65,11 @@ pub fn run_figure() -> Vec<Table> {
         ),
     ];
 
-    for (label, mode, placement, clients) in cases {
-        let r = run(mode, placement, clients);
+    let points: Vec<_> = cases
+        .iter()
+        .map(|(_, m, p, c)| (*m, p.clone(), *c))
+        .collect();
+    for ((label, _, _, _), r) in cases.iter().zip(run_many(&points)) {
         let mut row = vec![label.to_string()];
         // primary compute; then per-stage compute + wait for the rest.
         row.push(f1(r.breakdown_compute[0].mean()));

@@ -8,12 +8,11 @@
 //! configurations — quantifying how much hand tuning is worth.
 
 use orchestra::{schedule, Cluster, Discipline, ServiceSla};
-use scatter::config::{placements, RunConfig};
-use scatter::{run_experiment, Mode, SERVICE_NAMES};
-use simcore::SimDuration;
+use scatter::config::placements;
+use scatter::{Mode, SERVICE_NAMES};
 use simnet::Testbed;
 
-use crate::common::{run_secs, SEED};
+use crate::common::run_many;
 use crate::table::{f1, pct, Table};
 
 fn slas() -> Vec<ServiceSla> {
@@ -46,13 +45,15 @@ pub fn run_figure() -> Vec<Table> {
         candidates.push((format!("scheduler: {name}"), plan.placement));
     }
 
-    for (label, placement) in candidates {
+    // 4 candidate placements × 2 loads, one parallel batch.
+    let points: Vec<_> = candidates
+        .iter()
+        .flat_map(|(_, p)| [2, 4].map(|clients| (Mode::ScatterPP, p.clone(), clients)))
+        .collect();
+    let mut reports = run_many(&points).into_iter();
+    for (label, _) in &candidates {
         for clients in [2, 4] {
-            let r = run_experiment(
-                RunConfig::new(Mode::ScatterPP, placement.clone(), clients)
-                    .with_duration(SimDuration::from_secs(run_secs()))
-                    .with_seed(SEED),
-            );
+            let r = reports.next().unwrap();
             t.row(vec![
                 label.clone(),
                 clients.to_string(),

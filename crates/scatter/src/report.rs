@@ -9,6 +9,7 @@ use crate::message::ServiceKind;
 use crate::service::DropCounters;
 
 /// Results for one deployed service instance.
+#[derive(Debug, Clone)]
 pub struct ServiceReport {
     pub kind: ServiceKind,
     pub replica: usize,
@@ -33,6 +34,7 @@ pub struct ServiceReport {
 }
 
 /// Hardware aggregates for one machine.
+#[derive(Debug, Clone)]
 pub struct MachineReport {
     pub name: String,
     /// Capacity-normalized utilization over the measurement window, %.
@@ -43,6 +45,7 @@ pub struct MachineReport {
 }
 
 /// Everything one experiment run produced.
+#[derive(Debug, Clone)]
 pub struct RunReport {
     pub mode: Mode,
     pub clients: usize,
@@ -74,6 +77,9 @@ pub struct RunReport {
     pub breakdown_compute: [Summary; 5],
     pub breakdown_queue: [Summary; 5],
     pub breakdown_network: Summary,
+    /// DES events executed over the whole run — the denominator for
+    /// events/sec throughput benchmarking (`experiments --bin perfbench`).
+    pub events_executed: u64,
 }
 
 impl RunReport {

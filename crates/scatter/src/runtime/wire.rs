@@ -96,34 +96,37 @@ impl WireMsg {
 }
 
 /// Encode a message into its fragment datagrams.
+///
+/// The payload [`Bytes`] is never cloned here: each fragment copies only
+/// its own `≤ CHUNK_BYTES` window once, into the datagram buffer the
+/// socket needs anyway (header and body must be contiguous on the wire).
 pub fn encode(msg: &WireMsg) -> Vec<Bytes> {
-    let chunks: Vec<&[u8]> = if msg.payload.is_empty() {
-        vec![&[]]
-    } else {
-        msg.payload.chunks(CHUNK_BYTES).collect()
-    };
-    let frag_count = chunks.len() as u16;
-    chunks
-        .iter()
-        .enumerate()
-        .map(|(i, chunk)| {
-            let mut buf = BytesMut::with_capacity(HEADER_BYTES + chunk.len());
-            buf.put_u32(MAGIC);
-            buf.put_u16(msg.client);
-            buf.put_u32(msg.frame_no);
-            buf.put_u8(msg.step.index() as u8);
-            buf.put_u64(msg.emit_micros);
-            buf.put_u16(msg.return_port);
-            buf.put_u64(msg.trace_id);
-            buf.put_u8(msg.flags);
-            buf.put_u64(msg.sent_micros);
-            buf.put_u16(i as u16);
-            buf.put_u16(frag_count);
-            buf.put_u32(chunk.len() as u32);
-            buf.put_slice(chunk);
-            buf.freeze()
-        })
-        .collect()
+    let frag_count = msg.payload.len().div_ceil(CHUNK_BYTES).max(1);
+    let mut out = Vec::with_capacity(frag_count);
+    for i in 0..frag_count {
+        let chunk = if msg.payload.is_empty() {
+            &[][..]
+        } else {
+            let start = i * CHUNK_BYTES;
+            &msg.payload[start..msg.payload.len().min(start + CHUNK_BYTES)]
+        };
+        let mut buf = BytesMut::with_capacity(HEADER_BYTES + chunk.len());
+        buf.put_u32(MAGIC);
+        buf.put_u16(msg.client);
+        buf.put_u32(msg.frame_no);
+        buf.put_u8(msg.step.index() as u8);
+        buf.put_u64(msg.emit_micros);
+        buf.put_u16(msg.return_port);
+        buf.put_u64(msg.trace_id);
+        buf.put_u8(msg.flags);
+        buf.put_u64(msg.sent_micros);
+        buf.put_u16(i as u16);
+        buf.put_u16(frag_count as u16);
+        buf.put_u32(chunk.len() as u32);
+        buf.put_slice(chunk);
+        out.push(buf.freeze());
+    }
+    out
 }
 
 /// A decoded fragment header + body.
@@ -235,6 +238,23 @@ impl Reassembler {
         if self.tombstones.contains(&key) {
             return None;
         }
+        // Single-fragment fast path (the overwhelmingly common case for
+        // control and result messages): the fragment body *is* the
+        // payload — hand the `Bytes` through without a pending entry or
+        // a reassembly copy.
+        if frag.frag_count == 1 {
+            return Some(WireMsg {
+                client: frag.client,
+                frame_no: frag.frame_no,
+                step: frag.step,
+                emit_micros: frag.emit_micros,
+                return_port: frag.return_port,
+                trace_id: frag.trace_id,
+                flags: frag.flags,
+                sent_micros: frag.sent_micros,
+                payload: frag.body,
+            });
+        }
         let entry = self.pending.entry(key).or_insert_with(|| {
             self.order.push(key);
             PendingMsg {
@@ -256,7 +276,8 @@ impl Reassembler {
         if entry.received == entry.parts.len() {
             let entry = self.pending.remove(&key).expect("entry exists");
             self.order.retain(|k| *k != key);
-            let mut payload = BytesMut::new();
+            let total: usize = entry.parts.iter().flatten().map(Bytes::len).sum();
+            let mut payload = BytesMut::with_capacity(total);
             for part in entry.parts {
                 payload.put_slice(&part.expect("all parts received"));
             }
@@ -337,7 +358,14 @@ pub struct FrameState {
 }
 
 pub fn encode_state(state: &FrameState) -> Bytes {
-    let mut buf = BytesMut::new();
+    // Exact-size preallocation: descriptors dominate (534 B each), and
+    // growing a BytesMut through several hundred KB reallocates the
+    // whole frame-state payload multiple times otherwise.
+    let cap = 12
+        + state.descriptors.len() * (5 * 4 + 2 + 128 * 4)
+        + state.fisher.len() * 4
+        + state.candidates.len() * 4;
+    let mut buf = BytesMut::with_capacity(cap);
     buf.put_u32(state.descriptors.len() as u32);
     for d in &state.descriptors {
         let k = &d.keypoint;

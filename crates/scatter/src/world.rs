@@ -339,9 +339,10 @@ fn run_world(cfg: RunConfig, cost: CostModel) -> (RunReport, trace::TraceLog) {
     }
 
     sim.run_until(&mut world, end_at);
+    let events_executed = sim.executed();
     let tracer = std::mem::replace(&mut world.tracer, trace::Tracer::disabled());
     let log = tracer.finish(end_at.as_nanos());
-    (build_report(world), log)
+    (build_report(world, events_executed), log)
 }
 
 /// Network-loss drop reason: a multi-fragment datagram dies to
@@ -1178,7 +1179,7 @@ fn evict_sweep(w: &mut PipelineWorld, sim: &mut SimW) {
 // Reporting
 // ---------------------------------------------------------------------
 
-fn build_report(mut w: PipelineWorld) -> RunReport {
+fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
     let measure_start = w.warmup_at;
     let measure_end = w.end_at;
 
@@ -1284,6 +1285,7 @@ fn build_report(mut w: PipelineWorld) -> RunReport {
         breakdown_compute: w.breakdown_compute,
         breakdown_queue: w.breakdown_queue,
         breakdown_network: w.breakdown_network,
+        events_executed,
     }
 }
 

@@ -7,7 +7,8 @@
 //! are processed in a stable order regardless of heap internals.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -17,12 +18,38 @@ pub struct EventId(u64);
 
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
 
+/// One heap entry: fire time, FIFO tie-break, and the closure. Kept
+/// lean on purpose — this struct is moved during every heap sift, so
+/// every byte shows up in the simulator's events/sec.
 struct Scheduled<W> {
     at: SimTime,
     seq: u64,
-    cancelled: bool,
-    run: Option<EventFn<W>>,
+    run: EventFn<W>,
 }
+
+/// Hasher for the cancellation set. Event sequence numbers are already
+/// unique dense integers, so hashing them through SipHash (the
+/// `HashSet` default) costs more than the set membership test itself;
+/// a Fibonacci multiply spreads consecutive seqs across buckets at the
+/// price of one instruction.
+#[derive(Default, Clone)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(8) ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
 
 impl<W> PartialEq for Scheduled<W> {
     fn eq(&self, other: &Self) -> bool {
@@ -55,7 +82,7 @@ pub struct Sim<W> {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Scheduled<W>>,
-    cancelled: std::collections::HashSet<u64>,
+    cancelled: SeqSet,
     executed: u64,
     stopped: bool,
 }
@@ -71,8 +98,10 @@ impl<W> Sim<W> {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
+            // A steady-state AR pipeline run keeps a few hundred events in
+            // flight; pre-reserving skips the early growth reallocations.
+            heap: BinaryHeap::with_capacity(1024),
+            cancelled: SeqSet::default(),
             executed: 0,
             stopped: false,
         }
@@ -116,8 +145,7 @@ impl<W> Sim<W> {
         self.heap.push(Scheduled {
             at,
             seq,
-            cancelled: false,
-            run: Some(Box::new(f)),
+            run: Box::new(f),
         });
         EventId(seq)
     }
@@ -139,19 +167,28 @@ impl<W> Sim<W> {
     /// queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
         loop {
-            let Some(mut ev) = self.heap.pop() else {
+            let Some(ev) = self.heap.pop() else {
                 return false;
             };
-            if ev.cancelled || self.cancelled.remove(&ev.seq) {
+            // Fast path: no outstanding cancellations (the common case in
+            // scAtteR++ runs, which cancel only on served fetches) means no
+            // set lookup per pop at all.
+            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
                 continue;
             }
-            debug_assert!(ev.at >= self.now, "event queue time went backwards");
-            self.now = ev.at;
-            self.executed += 1;
-            let run = ev.run.take().expect("event scheduled without closure");
-            run(world, self);
+            self.fire(ev, world);
             return true;
         }
+    }
+
+    /// Advance the clock to `ev` and run it. Caller guarantees `ev` is
+    /// live (popped and not cancelled).
+    #[inline]
+    fn fire(&mut self, ev: Scheduled<W>, world: &mut W) {
+        debug_assert!(ev.at >= self.now, "event queue time went backwards");
+        self.now = ev.at;
+        self.executed += 1;
+        (ev.run)(world, self);
     }
 
     /// Run until the queue drains or [`Sim::stop`] is called.
@@ -167,9 +204,14 @@ impl<W> Sim<W> {
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
         self.stopped = false;
         while !self.stopped {
+            // `peek_time` reaps cancelled heads, so after it returns the
+            // head is known live and can be popped and fired directly —
+            // the old peek-then-step double inspection paid the
+            // cancellation check twice per event.
             match self.peek_time() {
                 Some(t) if t <= deadline => {
-                    self.step(world);
+                    let ev = self.heap.pop().expect("peeked entry vanished");
+                    self.fire(ev, world);
                 }
                 _ => break,
             }
@@ -181,8 +223,12 @@ impl<W> Sim<W> {
 
     /// Instant of the earliest live pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.cancelled.is_empty() {
+            // Fast path: nothing tombstoned, the head is authoritative.
+            return self.heap.peek().map(|head| head.at);
+        }
         while let Some(head) = self.heap.peek() {
-            if head.cancelled || self.cancelled.contains(&head.seq) {
+            if self.cancelled.contains(&head.seq) {
                 let ev = self.heap.pop().expect("peeked entry vanished");
                 self.cancelled.remove(&ev.seq);
                 continue;

@@ -5,8 +5,6 @@
 //! (≈3 ms RTT), and an AWS cloud instance at ≈15 ms RTT from everything
 //! on-premises. Co-located services talk over loopback.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
@@ -21,10 +19,19 @@ pub struct NodeId(pub u32);
 /// Links are stored per unordered pair and used symmetrically (the
 /// testbed's links are symmetric); loopback traffic within one machine
 /// uses a dedicated low-latency link.
+///
+/// Storage is a dense `n × n` matrix rather than a hash map:
+/// `link_between` sits on the per-datagram hot path (every fragment of
+/// every frame consults it), and with a handful of machines the matrix
+/// is tiny while the lookup shrinks to one multiply-add — no SipHash of
+/// the node pair per datagram.
 #[derive(Debug, Clone)]
 pub struct Topology {
     names: Vec<String>,
-    links: HashMap<(NodeId, NodeId), Link>,
+    /// Row-major upper-triangular-by-convention matrix of links, indexed
+    /// through [`Topology::key_index`] with the pair normalized so both
+    /// directions share one entry.
+    links: Vec<Option<Link>>,
     loopback: Link,
 }
 
@@ -38,7 +45,7 @@ impl Topology {
     pub fn new() -> Self {
         Topology {
             names: Vec::new(),
-            links: HashMap::new(),
+            links: Vec::new(),
             // Loopback/IPC between co-located containers: ~60 µs, no loss.
             loopback: Link::with_latency(SimDuration::from_micros(60)),
         }
@@ -48,6 +55,16 @@ impl Topology {
     pub fn add_node(&mut self, name: &str) -> NodeId {
         let id = NodeId(self.names.len() as u32);
         self.names.push(name.to_string());
+        // Grow the matrix from (n-1)² to n², preserving old entries.
+        let n = self.names.len();
+        let mut grown = vec![None; n * n];
+        let old = n - 1;
+        for a in 0..old {
+            for b in 0..old {
+                grown[a * n + b] = self.links[a * old + b].take();
+            }
+        }
+        self.links = grown;
         id
     }
 
@@ -59,27 +76,28 @@ impl Topology {
         &self.names[id.0 as usize]
     }
 
-    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
-        if a <= b {
-            (a, b)
-        } else {
-            (b, a)
-        }
+    /// Matrix slot of the unordered pair `(a, b)`.
+    #[inline]
+    fn key_index(&self, a: NodeId, b: NodeId) -> usize {
+        let (lo, hi) = if a <= b { (a.0, b.0) } else { (b.0, a.0) };
+        lo as usize * self.names.len() + hi as usize
     }
 
     /// Install (or replace) the duplex link between `a` and `b`.
     pub fn connect(&mut self, a: NodeId, b: NodeId, link: Link) {
         assert_ne!(a, b, "use the loopback for same-node traffic");
-        self.links.insert(Self::key(a, b), link);
+        let idx = self.key_index(a, b);
+        self.links[idx] = Some(link);
     }
 
     /// Link used for traffic from `a` to `b`. Same-node traffic gets the
     /// loopback; unknown pairs get `None` (unroutable).
+    #[inline]
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&Link> {
         if a == b {
             return Some(&self.loopback);
         }
-        self.links.get(&Self::key(a, b))
+        self.links[self.key_index(a, b)].as_ref()
     }
 
     /// Replace the loopback link (tests and ablations).

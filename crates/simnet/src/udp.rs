@@ -6,8 +6,6 @@
 //! on the wire per link — how we verified scAtteR++'s 180 KB → 480 KB
 //! frame growth shows up as ~2.7× client-uplink traffic.
 
-use std::collections::HashMap;
-
 use simcore::{SimDuration, SimRng, SimTime};
 
 use crate::gilbert::GilbertElliott;
@@ -24,27 +22,72 @@ pub struct PairStats {
 
 /// Datagram transport facade: topology + RNG + counters + per-direction
 /// serialization queues for bandwidth-limited links.
+///
+/// Per-direction state (counters, transmitter free times, burst
+/// channels) lives in dense `n × n` matrices indexed by `(src, dst)`:
+/// `send` is called for every datagram in the simulation, and the three
+/// hash lookups it used to perform per call (SipHash each) dominated
+/// the transport's cost with only a handful of nodes.
 #[derive(Debug)]
 pub struct UdpNet {
     topo: Topology,
     rng: SimRng,
-    stats: HashMap<(NodeId, NodeId), PairStats>,
+    /// Node count the matrices were sized for (re-sized lazily if the
+    /// topology grows after construction).
+    n: usize,
+    stats: Vec<PairStats>,
     /// When the (src, dst) direction's transmitter frees up.
-    tx_free_at: HashMap<(NodeId, NodeId), SimTime>,
+    tx_free_at: Vec<SimTime>,
     /// Optional per-direction burst-loss channels (Gilbert–Elliott),
-    /// replacing the link's i.i.d. fragment loss when present.
-    burst: HashMap<(NodeId, NodeId), GilbertElliott>,
+    /// replacing the link's i.i.d. fragment loss when present. `true`
+    /// in `has_burst` only when at least one channel is installed, so
+    /// the common no-burst run skips the per-send check entirely.
+    burst: Vec<Option<GilbertElliott>>,
+    has_burst: bool,
 }
 
 impl UdpNet {
     pub fn new(topo: Topology, rng: SimRng) -> Self {
+        let n = topo.node_count();
         UdpNet {
             topo,
             rng,
-            stats: HashMap::new(),
-            tx_free_at: HashMap::new(),
-            burst: HashMap::new(),
+            n,
+            stats: vec![PairStats::default(); n * n],
+            tx_free_at: vec![SimTime::ZERO; n * n],
+            burst: (0..n * n).map(|_| None).collect(),
+            has_burst: false,
         }
+    }
+
+    /// Directed-pair matrix slot; grows the matrices first if nodes were
+    /// added through [`UdpNet::topology_mut`] after construction.
+    #[inline]
+    fn dir_index(&mut self, src: NodeId, dst: NodeId) -> usize {
+        let n = self.topo.node_count();
+        if n != self.n {
+            self.resize_matrices(n);
+        }
+        src.0 as usize * n + dst.0 as usize
+    }
+
+    #[cold]
+    fn resize_matrices(&mut self, n: usize) {
+        let old = self.n;
+        let mut stats = vec![PairStats::default(); n * n];
+        let mut tx_free_at = vec![SimTime::ZERO; n * n];
+        let mut burst: Vec<Option<GilbertElliott>> = (0..n * n).map(|_| None).collect();
+        for a in 0..old {
+            for b in 0..old {
+                stats[a * n + b] = self.stats[a * old + b];
+                tx_free_at[a * n + b] = self.tx_free_at[a * old + b];
+                burst[a * n + b] = self.burst[a * old + b].take();
+            }
+        }
+        self.stats = stats;
+        self.tx_free_at = tx_free_at;
+        self.burst = burst;
+        self.n = n;
     }
 
     /// Install a burst-loss channel on the `(src, dst)` direction (and
@@ -52,7 +95,9 @@ impl UdpNet {
     /// losses on this direction then come from the Markov channel
     /// instead of the link's i.i.d. loss probability.
     pub fn set_burst_channel(&mut self, src: NodeId, dst: NodeId, ch: GilbertElliott) {
-        self.burst.insert((src, dst), ch);
+        let idx = self.dir_index(src, dst);
+        self.burst[idx] = Some(ch);
+        self.has_burst = true;
     }
 
     pub fn topology(&self) -> &Topology {
@@ -72,6 +117,7 @@ impl UdpNet {
     /// suffers from. Panics if the pair is unroutable — a placement bug,
     /// not a runtime condition.
     pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: usize, now: SimTime) -> Delivery {
+        let idx = self.dir_index(src, dst);
         let link = self
             .topo
             .link_between(src, dst)
@@ -79,38 +125,37 @@ impl UdpNet {
         // Per-fragment loss / propagation from the link model (which also
         // accounts for per-byte serialization on an idle transmitter).
         let mut outcome = link.send(bytes, &mut self.rng);
+        let (bandwidth_bps, queue_limit) = (link.bandwidth_bps, link.queue_limit);
         // Burst-loss override: advance the Markov channel one step per
         // fragment; any lost fragment kills the datagram.
-        if let Some(ch) = self.burst.get_mut(&(src, dst)) {
-            let frags = crate::link::Link::fragments(bytes);
-            let mut lost = false;
-            for _ in 0..frags {
-                lost |= ch.lose_packet(&mut self.rng);
-            }
-            if lost {
-                outcome = Delivery::Lost;
+        if self.has_burst {
+            if let Some(ch) = self.burst[idx].as_mut() {
+                let frags = crate::link::Link::fragments(bytes);
+                let mut lost = false;
+                for _ in 0..frags {
+                    lost |= ch.lose_packet(&mut self.rng);
+                }
+                if lost {
+                    outcome = Delivery::Lost;
+                }
             }
         }
         // FIFO transmitter queueing for bandwidth-limited links.
-        if let (Delivery::Delayed(d), Some(bps)) = (outcome, link.bandwidth_bps) {
+        if let (Delivery::Delayed(d), Some(bps)) = (outcome, bandwidth_bps) {
             let ser = SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps);
-            let free_at = self
-                .tx_free_at
-                .get(&(src, dst))
-                .copied()
-                .unwrap_or(SimTime::ZERO);
+            let free_at = self.tx_free_at[idx];
             let start = free_at.max(now);
             let queue_wait = start.saturating_since(now);
-            if queue_wait > link.queue_limit {
+            if queue_wait > queue_limit {
                 outcome = Delivery::Lost;
             } else {
-                self.tx_free_at.insert((src, dst), start + ser);
+                self.tx_free_at[idx] = start + ser;
                 // `link.send` already charged one serialization time; add
                 // only the queueing component.
                 outcome = Delivery::Delayed(d + queue_wait);
             }
         }
-        let entry = self.stats.entry((src, dst)).or_default();
+        let entry = &mut self.stats[idx];
         entry.datagrams_sent += 1;
         entry.bytes_sent += bytes as u64;
         if outcome.is_lost() {
@@ -121,17 +166,26 @@ impl UdpNet {
 
     /// Counters for the `(src, dst)` direction.
     pub fn pair_stats(&self, src: NodeId, dst: NodeId) -> PairStats {
-        self.stats.get(&(src, dst)).copied().unwrap_or_default()
+        let n = self.topo.node_count();
+        if n != self.n {
+            // Matrices lag a grown topology; new pairs have no traffic.
+            let (s, d) = (src.0 as usize, dst.0 as usize);
+            if s >= self.n || d >= self.n {
+                return PairStats::default();
+            }
+            return self.stats[s * self.n + d];
+        }
+        self.stats[src.0 as usize * n + dst.0 as usize]
     }
 
     /// Total bytes offered to the network (all pairs, both directions).
     pub fn total_bytes(&self) -> u64 {
-        self.stats.values().map(|s| s.bytes_sent).sum()
+        self.stats.iter().map(|s| s.bytes_sent).sum()
     }
 
     /// Total datagrams lost across all pairs.
     pub fn total_lost(&self) -> u64 {
-        self.stats.values().map(|s| s.datagrams_lost).sum()
+        self.stats.iter().map(|s| s.datagrams_lost).sum()
     }
 }
 

@@ -19,33 +19,103 @@ pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
 
 /// Separable Gaussian blur with clamped borders.
 pub fn gaussian_blur(img: &GrayImage, sigma: f32) -> GrayImage {
-    let k = gaussian_kernel(sigma);
-    let radius = (k.len() / 2) as isize;
+    gaussian_blur_with(img, &gaussian_kernel(sigma))
+}
+
+/// Separable blur with a precomputed (odd-length, normalized) kernel —
+/// the memoized path [`Pyramid::build`] uses.
+///
+/// Both passes split interior from border work: interior pixels read the
+/// image through plain slice windows (no per-tap coordinate clamping,
+/// which dominated the original kernel's cost), borders fall back to
+/// clamped access. Per-pixel accumulation stays in tap order, so the
+/// output is bit-identical to the naive clamped convolution.
+pub fn gaussian_blur_with(img: &GrayImage, k: &[f32]) -> GrayImage {
+    debug_assert_eq!(k.len() % 2, 1, "kernel must have odd length");
+    let radius = k.len() / 2;
     let (w, h) = (img.width(), img.height());
 
-    // Horizontal pass.
+    // Horizontal pass: sliding slice window over each row's interior.
+    let (int_lo, int_hi) = if w > 2 * radius {
+        (radius, w - radius)
+    } else {
+        (0, 0) // kernel wider than the row: everything is border.
+    };
     let mut tmp = GrayImage::new(w, h);
+    let src = img.data();
     for y in 0..h {
-        for x in 0..w {
+        let row = &src[y * w..(y + 1) * w];
+        let out_row = &mut tmp.data_mut()[y * w..(y + 1) * w];
+        for x in int_lo..int_hi {
+            let window = &row[x - radius..=x + radius];
+            let mut acc = 0.0;
+            for (kv, v) in k.iter().zip(window) {
+                acc += kv * v;
+            }
+            out_row[x] = acc;
+        }
+        // Border columns, clamped per tap.
+        for x in (0..int_lo).chain(int_hi.max(int_lo)..w) {
             let mut acc = 0.0;
             for (i, &kv) in k.iter().enumerate() {
-                acc += kv * img.get_clamped(x as isize + i as isize - radius, y as isize);
+                let xi = (x as isize + i as isize - radius as isize).clamp(0, w as isize - 1);
+                acc += kv * row[xi as usize];
             }
-            tmp.set(x, y, acc);
+            out_row[x] = acc;
         }
     }
-    // Vertical pass.
+
+    // Vertical pass: per output row, accumulate tap rows in kernel order
+    // (row index clamped once per tap — the border case costs nothing).
     let mut out = GrayImage::new(w, h);
+    let tsrc = tmp.data();
     for y in 0..h {
-        for x in 0..w {
-            let mut acc = 0.0;
-            for (i, &kv) in k.iter().enumerate() {
-                acc += kv * tmp.get_clamped(x as isize, y as isize + i as isize - radius);
+        let out_row = &mut out.data_mut()[y * w..(y + 1) * w];
+        for (i, &kv) in k.iter().enumerate() {
+            let yi = (y as isize + i as isize - radius as isize).clamp(0, h as isize - 1) as usize;
+            let tap_row = &tsrc[yi * w..(yi + 1) * w];
+            for (slot, v) in out_row.iter_mut().zip(tap_row) {
+                *slot += kv * v;
             }
-            out.set(x, y, acc);
         }
     }
     out
+}
+
+/// Per-build memo of Gaussian kernels, keyed by sigma quantized to
+/// 1e-4 steps. The pyramid builder asks for the same handful of sigmas
+/// (one prefilter + `scales + 2` identical deltas per octave), so a tiny
+/// linear map beats hashing. Quantization only dedups keys — the stored
+/// kernel is computed from the *first* exact sigma seen, and equal
+/// sigmas (the cross-octave case) are bit-identical by construction.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    entries: Vec<(u32, Vec<f32>)>,
+}
+
+impl KernelCache {
+    fn key(sigma: f32) -> u32 {
+        (sigma * 1e4).round() as u32
+    }
+
+    /// Kernel for `sigma`, computed on first use and reused after.
+    pub fn get(&mut self, sigma: f32) -> &[f32] {
+        let key = Self::key(sigma);
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            return &self.entries[pos].1;
+        }
+        self.entries.push((key, gaussian_kernel(sigma)));
+        &self.entries.last().expect("just pushed").1
+    }
+
+    /// Number of distinct kernels computed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// One octave of scale space: progressively blurred copies at one
@@ -76,19 +146,25 @@ impl Pyramid {
         assert!(n_octaves >= 1 && scales >= 1);
         let k = 2f32.powf(1.0 / scales as f32);
         let mut octaves = Vec::with_capacity(n_octaves);
-        let mut base = gaussian_blur(img, sigma0);
+        // Every octave restarts the sigma ladder at `sigma0`, so the
+        // incremental-blur deltas repeat exactly across octaves — memoize
+        // the kernels instead of re-deriving ceil(3σ)+1 exponentials per
+        // level per octave.
+        let mut kernels = KernelCache::default();
+        let mut base = gaussian_blur_with(img, kernels.get(sigma0));
         let mut downscale = 1u32;
         for _ in 0..n_octaves {
             let n_levels = scales + 3;
             let mut levels = Vec::with_capacity(n_levels);
-            levels.push(base.clone());
+            levels.push(base);
             let mut sigma_prev = sigma0;
             for _ in 1..n_levels {
                 let sigma_next = sigma_prev * k;
                 // Incremental blur: blur the previous level by the sigma
                 // delta in quadrature.
                 let delta = (sigma_next * sigma_next - sigma_prev * sigma_prev).sqrt();
-                let next = gaussian_blur(levels.last().expect("nonempty"), delta.max(1e-3));
+                let kernel = kernels.get(delta.max(1e-3));
+                let next = gaussian_blur_with(levels.last().expect("nonempty"), kernel);
                 levels.push(next);
                 sigma_prev = sigma_next;
             }
@@ -138,6 +214,61 @@ mod tests {
         // Peak at centre.
         let mid = k.len() / 2;
         assert!(k[mid] >= *k.first().unwrap());
+    }
+
+    #[test]
+    fn cached_kernels_agree_with_fresh() {
+        let mut cache = KernelCache::default();
+        for &sigma in &[0.5f32, 1.2, 1.6, 2.0, 1.2] {
+            let cached = cache.get(sigma).to_vec();
+            assert_eq!(cached, gaussian_kernel(sigma), "sigma {sigma}");
+        }
+        // The repeated sigma hit the cache instead of recomputing.
+        assert_eq!(cache.len(), 4);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn blur_with_kernel_matches_naive_clamped_convolution() {
+        // Deterministic pseudo-random image, width chosen so interior,
+        // border, and kernel-wider-than-image paths all exercise.
+        for (w, h) in [(23usize, 17usize), (5, 5), (3, 9)] {
+            let data: Vec<f32> = (0..w * h)
+                .map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0)
+                .collect();
+            let img = GrayImage::from_vec(w, h, data);
+            for sigma in [0.6f32, 1.6, 3.0] {
+                let k = gaussian_kernel(sigma);
+                let radius = (k.len() / 2) as isize;
+                let fast = gaussian_blur(&img, sigma);
+                // Naive reference: clamped taps in the same order.
+                let mut tmp = GrayImage::new(w, h);
+                for y in 0..h {
+                    for x in 0..w {
+                        let mut acc = 0.0;
+                        for (i, &kv) in k.iter().enumerate() {
+                            acc +=
+                                kv * img.get_clamped(x as isize + i as isize - radius, y as isize);
+                        }
+                        tmp.set(x, y, acc);
+                    }
+                }
+                let mut naive = GrayImage::new(w, h);
+                for y in 0..h {
+                    for x in 0..w {
+                        let mut acc = 0.0;
+                        for (i, &kv) in k.iter().enumerate() {
+                            acc +=
+                                kv * tmp.get_clamped(x as isize, y as isize + i as isize - radius);
+                        }
+                        naive.set(x, y, acc);
+                    }
+                }
+                for (a, b) in fast.data().iter().zip(naive.data()) {
+                    assert_eq!(a, b, "blur must be bit-identical ({w}x{h}, sigma {sigma})");
+                }
+            }
+        }
     }
 
     #[test]

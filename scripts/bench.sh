@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Reproducible benchmark gate: builds the release profile and runs the
+# fixed perfbench matrix (DES steady-state events/sec, fig2+fig6 and
+# full-suite regeneration sequential vs parallel, sift-stage vision
+# kernels) over fixed seeds, writing BENCH_2.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh                # write BENCH_2.json
+#   scripts/bench.sh out.json       # write elsewhere
+#
+# The matrix is single-machine wall-clock: compare BENCH_*.json files
+# from the *same* host only. See README "Performance".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_2.json}"
+
+echo "==> cargo build --release -p experiments"
+cargo build --release -p experiments
+
+echo "==> perfbench -> ${OUT}"
+# Benchmarks ignore ambient tuning knobs so recorded numbers are
+# comparable run to run.
+env -u SCATTER_EXP_SECS -u SCATTER_JOBS -u SCATTER_RUN_CACHE \
+    ./target/release/perfbench "${OUT}"

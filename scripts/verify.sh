@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full local verification gate: formatting, lints, build, tests.
-# Run from anywhere; operates on the repo root.
+# Full local verification gate: formatting, lints, build, tests, and a
+# perf smoke stage (parallel figure suite completes, parallelism is
+# deterministic, DES throughput has not regressed below the floor in
+# BENCH_2.json). Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +17,14 @@ cargo build --release
 
 echo "==> cargo test"
 cargo test -q
+
+echo "==> perf smoke: parallel figure suite completes"
+SCATTER_EXP_SECS=2 SCATTER_JOBS=2 ./target/release/all > /dev/null
+
+echo "==> perf smoke: parallel-vs-sequential determinism"
+cargo test -q -p experiments --test parallel_determinism
+
+echo "==> perf smoke: DES throughput floor from BENCH_2.json"
+./target/release/perfbench --smoke BENCH_2.json
 
 echo "verify: all green"

@@ -1,8 +1,28 @@
 //! Offline stand-in for `crossbeam`: the `channel::unbounded` MPMC
-//! channel the trace collector uses. `Mutex<VecDeque>` + `Condvar`
-//! rather than a lock-free queue — same semantics (send never blocks,
+//! channel the trace collector uses, plus `thread::scope` for the
+//! parallel experiment runner. `Mutex<VecDeque>` + `Condvar` rather
+//! than a lock-free queue — same semantics (send never blocks,
 //! receivers observe disconnect once all senders drop), lower peak
 //! throughput, which the per-frame tracing load nowhere near reaches.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's calling convention.
+    //!
+    //! `scope(|s| ...)` returns a `Result` like crossbeam's (so callers
+    //! write `.unwrap()` or propagate), delegating to `std::thread::scope`
+    //! which already guarantees joining every spawned thread — a panic in
+    //! a child propagates at join, so `Ok` is only returned when every
+    //! thread ran to completion.
+
+    /// Crossbeam-style scope over [`std::thread::scope`]. Spawn with
+    /// `s.spawn(|| ...)` (no `|_|` argument, matching std).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -214,5 +234,23 @@ mod tests {
         let (tx, rx) = channel::unbounded::<u8>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        crate::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|| {
+                    sum.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 10);
     }
 }
