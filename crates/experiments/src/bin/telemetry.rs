@@ -1,0 +1,3 @@
+fn main() {
+    experiments::telemetry_study::main();
+}

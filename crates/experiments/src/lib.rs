@@ -36,6 +36,7 @@ pub mod latency_breakdown;
 pub mod migration_study;
 pub mod scheduler_study;
 pub mod table;
+pub mod telemetry_study;
 pub mod trace_study;
 
 pub use table::Table;

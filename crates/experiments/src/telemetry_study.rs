@@ -1,0 +1,636 @@
+//! Live-telemetry study (`--bin telemetry`): run scAtteR vs scAtteR++
+//! under load with the metrics plane attached, print the live per-service
+//! view and the SLO burn-rate log, and *reconcile* the live telemetry
+//! against the simulation's post-hoc [`RunReport`] accounting — the
+//! sim-vs-report drift table. Counters must agree exactly (they increment
+//! at the same program points); histogram-derived latencies must agree
+//! within 1% (the log-linear buckets' guarantee). The same gate runs the
+//! real UDP runtime with a registry attached and reconciles the scrape
+//! against the deployment's `SvcStats` counters.
+//!
+//! Artifacts: `results/telemetry_{scatter,scatterpp}.prom` (final DES
+//! scrapes), `results/telemetry_runtime.prom` (runtime scrape), and
+//! `results/telemetry_tables.json`.
+
+use std::time::Duration;
+
+use scatter::config::{placements, RunConfig};
+use scatter::obs::{PLANE, RT_PLANE};
+use scatter::runtime::deploy::{LocalDeployment, RuntimeOptions};
+use scatter::{DesTelemetry, Mode, RunReport, ServiceKind, SERVICE_KINDS};
+use simcore::SimDuration;
+use telemetry::{HistSnapshot, Labels, Registry, SloEventKind, Snapshot};
+
+use crate::common::{run_secs, SEED};
+use crate::table::{f1, f2, pct, Table};
+
+/// One telemetered experiment point: the standard 4-client C1 deployment
+/// in either mode. No warmup — the registry sees every frame the report
+/// sees, so the two views cover identical populations.
+pub struct ModePoint {
+    pub mode: Mode,
+    pub report: RunReport,
+    pub tel: DesTelemetry,
+    /// Final registry scrape, taken after the run ended.
+    pub snap: Snapshot,
+}
+
+pub fn telemetered_run(mode: Mode, clients: usize) -> ModePoint {
+    let registry = Registry::new();
+    let cfg = RunConfig::new(mode, placements::c1(), clients)
+        .with_duration(SimDuration::from_secs(run_secs()))
+        .with_seed(SEED);
+    let (report, tel) = scatter::run_experiment_telemetered(cfg, registry.clone());
+    ModePoint {
+        mode,
+        report,
+        tel,
+        snap: registry.snapshot(),
+    }
+}
+
+fn mode_label(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Scatter => "scAtteR",
+        Mode::ScatterPP => "scAtteR++",
+        Mode::StatelessOnly => "stateless-only",
+        Mode::SidecarOnly => "sidecar-only",
+    }
+}
+
+/// One drift check: the same quantity seen by the report and the live
+/// registry. `exact` rows are counters sharing their increment sites with
+/// the report's accounting; inexact rows go through the log-linear
+/// histogram and must agree within 1%.
+pub struct DriftRow {
+    pub label: String,
+    pub report: f64,
+    pub live: f64,
+    pub exact: bool,
+}
+
+impl DriftRow {
+    /// Relative disagreement, with a 0.05 ms floor so near-zero
+    /// components don't blow up the ratio.
+    pub fn rel_err(&self) -> f64 {
+        let scale = self.report.abs().max(self.live.abs()).max(0.05);
+        (self.report - self.live).abs() / scale
+    }
+
+    pub fn ok(&self) -> bool {
+        if self.exact {
+            self.report == self.live
+        } else {
+            self.rel_err() <= 0.01
+        }
+    }
+}
+
+fn des_labels(kind: ServiceKind) -> impl Fn(&Labels) -> bool {
+    move |l: &Labels| l.plane == Some(PLANE) && l.service == Some(kind.name())
+}
+
+fn e2e_hist(snap: &Snapshot) -> HistSnapshot {
+    snap.histogram("scatter_e2e_latency_ms", &Labels::EMPTY.with_plane(PLANE))
+        .cloned()
+        .unwrap_or_else(HistSnapshot::empty_latency_ms)
+}
+
+/// The drift checks for one DES run.
+pub fn drift_rows(r: &RunReport, snap: &Snapshot) -> Vec<DriftRow> {
+    let mut rows = Vec::new();
+    let live_e2e = e2e_hist(snap);
+    rows.push(DriftRow {
+        label: "frames completed".into(),
+        report: r.e2e_ms.len() as f64,
+        live: live_e2e.count() as f64,
+        exact: true,
+    });
+    rows.push(DriftRow {
+        label: "e2e mean ms".into(),
+        report: r.e2e_mean_ms(),
+        live: live_e2e.mean(),
+        exact: false,
+    });
+    let mut e2e = r.e2e_ms.clone();
+    rows.push(DriftRow {
+        label: "e2e p95 ms".into(),
+        report: e2e.p95(),
+        live: live_e2e.p95(),
+        exact: false,
+    });
+    for kind in SERVICE_KINDS {
+        let processed: u64 = r
+            .services
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.processed)
+            .sum();
+        rows.push(DriftRow {
+            label: format!("{} processed", kind.name()),
+            report: processed as f64,
+            live: snap.counter_sum("scatter_service_processed_total", des_labels(kind)) as f64,
+            exact: true,
+        });
+        let drops: u64 = r
+            .services
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.drops.total())
+            .sum();
+        rows.push(DriftRow {
+            label: format!("{} drops", kind.name()),
+            report: drops as f64,
+            live: snap.counter_sum("scatter_drops_total", des_labels(kind)) as f64,
+            exact: true,
+        });
+    }
+    let (fetch_served, fetch_dropped) = r
+        .services
+        .iter()
+        .filter(|s| s.kind == ServiceKind::Sift)
+        .fold((0u64, 0u64), |(a, b), s| {
+            (a + s.fetch_served, b + s.fetch_dropped)
+        });
+    rows.push(DriftRow {
+        label: "sift fetches served".into(),
+        report: fetch_served as f64,
+        live: snap.counter_sum("scatter_fetch_served_total", des_labels(ServiceKind::Sift)) as f64,
+        exact: true,
+    });
+    rows.push(DriftRow {
+        label: "sift fetches dropped".into(),
+        report: fetch_dropped as f64,
+        live: snap.counter_sum("scatter_fetch_dropped_total", des_labels(ServiceKind::Sift)) as f64,
+        exact: true,
+    });
+    rows
+}
+
+/// The two telemetered DES runs this study is built on (fanned out on
+/// the shared experiment pool).
+fn runs() -> Vec<ModePoint> {
+    let modes = [Mode::Scatter, Mode::ScatterPP];
+    crate::common::par_map(&modes, |mode| telemetered_run(*mode, 4))
+}
+
+fn live_table(points: &[ModePoint]) -> Table {
+    let mut t = Table::new(
+        "Live telemetry: final scrape per service (4 clients, C1)",
+        &[
+            "deployment",
+            "service",
+            "ingress",
+            "processed",
+            "drops",
+            "lat p50 ms",
+            "lat p95 ms",
+        ],
+    );
+    for p in points {
+        for kind in SERVICE_KINDS {
+            let ingress = p
+                .snap
+                .counter_sum("scatter_service_ingress_total", des_labels(kind));
+            let processed = p
+                .snap
+                .counter_sum("scatter_service_processed_total", des_labels(kind));
+            let drops = p.snap.counter_sum("scatter_drops_total", des_labels(kind));
+            let lat = p
+                .snap
+                .histogram_merged("scatter_service_latency_ms", des_labels(kind))
+                .unwrap_or_else(HistSnapshot::empty_latency_ms);
+            t.row(vec![
+                mode_label(p.mode).to_string(),
+                kind.name().to_string(),
+                ingress.to_string(),
+                processed.to_string(),
+                drops.to_string(),
+                f2(lat.median()),
+                f2(lat.p95()),
+            ]);
+        }
+    }
+    t.note("every number is read from the lock-free registry, not the report;");
+    t.note("drops sum the per-reason series (busy-ingress/threshold-filter/stale-fetch/crash)");
+    t
+}
+
+fn slo_table(points: &[ModePoint]) -> Table {
+    let mut t = Table::new(
+        "SLO: 100 ms objective, 95% target, multi-window burn rate (30 s / 5 s)",
+        &[
+            "deployment",
+            "observed",
+            "breach frac",
+            "roll p50 ms",
+            "roll p95 ms",
+            "roll p99 ms",
+            "alerts",
+            "clears",
+            "first alert s",
+        ],
+    );
+    for p in points {
+        let alerts = p
+            .tel
+            .slo_events
+            .iter()
+            .filter(|e| matches!(e.kind, SloEventKind::BurnRateAlert { .. }))
+            .count();
+        let clears = p.tel.slo_events.len() - alerts;
+        let first_alert = p
+            .tel
+            .slo_events
+            .iter()
+            .find(|e| matches!(e.kind, SloEventKind::BurnRateAlert { .. }))
+            .map(|e| f1(e.at_s))
+            .unwrap_or_else(|| "-".to_string());
+        let q = |v: Option<f64>| v.map(f1).unwrap_or_else(|| "-".to_string());
+        t.row(vec![
+            mode_label(p.mode).to_string(),
+            p.tel.slo.observations().to_string(),
+            pct(p.tel.slo.lifetime_breach_fraction()),
+            q(p.tel.slo.rolling_p50()),
+            q(p.tel.slo.rolling_p95()),
+            q(p.tel.slo.rolling_p99()),
+            alerts.to_string(),
+            clears.to_string(),
+            first_alert,
+        ]);
+    }
+    t.note("a dropped frame counts as a breach; rolling quantiles cover the last 30 s");
+    t.note("alert = both windows burning ≥2× the sustainable error-budget rate");
+    t
+}
+
+fn window_table(points: &[ModePoint]) -> Table {
+    let mut t = Table::new(
+        "Windowed scrapes: completion rate from Snapshot::delta between 5 s windows",
+        &[
+            "deployment",
+            "windows",
+            "first win fps",
+            "last win fps",
+            "last win e2e p95 ms",
+        ],
+    );
+    for p in points {
+        let wins = &p.tel.window_snapshots;
+        let plane = Labels::EMPTY.with_plane(PLANE);
+        let rate = |earlier: &Snapshot, later: &Snapshot, secs: f64| {
+            let d = Snapshot::delta(earlier, later);
+            d.counter("scatter_frames_completed_total", &plane) as f64 / secs
+        };
+        let (first_fps, last_fps, last_p95) = match wins.len() {
+            0 => (0.0, 0.0, 0.0),
+            _ => {
+                let empty = Registry::new().snapshot();
+                let (t0, ref s0) = wins[0];
+                let first = rate(&empty, s0, t0.max(1e-9));
+                let (last_fps, last_p95) = if wins.len() >= 2 {
+                    let (ta, ref sa) = wins[wins.len() - 2];
+                    let (tb, ref sb) = wins[wins.len() - 1];
+                    let d = Snapshot::delta(sa, sb);
+                    let h = d
+                        .histogram("scatter_e2e_latency_ms", &plane)
+                        .cloned()
+                        .unwrap_or_else(HistSnapshot::empty_latency_ms);
+                    (rate(sa, sb, (tb - ta).max(1e-9)), h.p95())
+                } else {
+                    (first, e2e_hist(s0).p95())
+                };
+                (first, last_fps, last_p95)
+            }
+        };
+        t.row(vec![
+            mode_label(p.mode).to_string(),
+            wins.len().to_string(),
+            f1(first_fps),
+            f1(last_fps),
+            f1(last_p95),
+        ]);
+    }
+    t.note("the DES dumps one full scrape per 5 simulated seconds; deltas between");
+    t.note("consecutive scrapes recover per-window rates without any extra state");
+    t
+}
+
+fn drift_table(points: &[ModePoint]) -> Table {
+    let mut t = Table::new(
+        "Drift reconciliation: live registry vs post-hoc RunReport",
+        &["deployment", "quantity", "report", "live", "check", "ok"],
+    );
+    for p in points {
+        for row in drift_rows(&p.report, &p.snap) {
+            t.row(vec![
+                mode_label(p.mode).to_string(),
+                row.label.clone(),
+                f2(row.report),
+                f2(row.live),
+                if row.exact {
+                    "exact".to_string()
+                } else {
+                    format!("{} (≤1%)", pct(row.rel_err()))
+                },
+                if row.ok() { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    t.note("counters share their increment sites with the report's accounting, so they");
+    t.note("must agree exactly; histogram quantiles carry ≤0.4% log-linear bucket error");
+    t
+}
+
+/// Runtime-plane reconciliation: run the real UDP pipeline with a
+/// registry attached, scrape it, and compare against `SvcStats`.
+pub struct RuntimePoint {
+    pub rows: Vec<DriftRow>,
+    /// Final scrape (Prometheus text).
+    pub scrape: String,
+    /// A mid-run scrape parsed successfully.
+    pub live_scrape_ok: bool,
+}
+
+pub fn runtime_point(frames: u32) -> RuntimePoint {
+    let registry = Registry::new();
+    let dep = LocalDeployment::start(RuntimeOptions {
+        frames,
+        fps: 8.0,
+        threshold_ms: 250.0, // keep the staleness-filter path live
+        drain: Duration::from_millis(1200),
+        registry: Some(registry.clone()),
+        ..Default::default()
+    });
+    let client_report = dep.run_client();
+    let live = dep.scrape().expect("registry attached");
+    let live_scrape_ok = telemetry::prom::parse(&live).is_ok();
+    let (_log, counts) = dep.shutdown_with_counts();
+    let snap = registry.snapshot();
+    let rt = |kind: ServiceKind| {
+        move |l: &Labels| l.plane == Some(RT_PLANE) && l.service == Some(kind.name())
+    };
+    let mut rows = Vec::new();
+    for (kind, received, processed, dropped_stale) in counts {
+        rows.push(DriftRow {
+            label: format!("{} received", kind.name()),
+            report: received as f64,
+            live: snap.counter_sum("scatter_service_ingress_total", rt(kind)) as f64,
+            exact: true,
+        });
+        rows.push(DriftRow {
+            label: format!("{} processed", kind.name()),
+            report: processed as f64,
+            live: snap.counter_sum("scatter_service_processed_total", rt(kind)) as f64,
+            exact: true,
+        });
+        rows.push(DriftRow {
+            label: format!("{} stale drops", kind.name()),
+            report: dropped_stale as f64,
+            live: snap.counter_sum("scatter_drops_total", move |l| {
+                rt(kind)(l) && l.reason == Some("threshold-filter")
+            }) as f64,
+            exact: true,
+        });
+    }
+    let e2e = snap
+        .histogram(
+            "scatter_e2e_latency_ms",
+            &Labels::EMPTY.with_plane(RT_PLANE),
+        )
+        .cloned()
+        .unwrap_or_else(HistSnapshot::empty_latency_ms);
+    rows.push(DriftRow {
+        label: "frames completed".into(),
+        report: client_report.completed as f64,
+        live: e2e.count() as f64,
+        exact: true,
+    });
+    RuntimePoint {
+        rows,
+        scrape: telemetry::prom::encode(&snap),
+        live_scrape_ok,
+    }
+}
+
+fn runtime_table(rt: &RuntimePoint) -> Table {
+    let mut t = Table::new(
+        "Runtime plane: post-shutdown scrape vs SvcStats (real loopback UDP)",
+        &["quantity", "stats", "scrape", "ok"],
+    );
+    for row in &t_rows(rt) {
+        t.row(row.clone());
+    }
+    t.note("counters are read after the service threads joined, so agreement is exact;");
+    t.note(if rt.live_scrape_ok {
+        "the mid-run scrape parsed as valid Prometheus text"
+    } else {
+        "WARNING: the mid-run scrape failed to parse"
+    });
+    t
+}
+
+fn t_rows(rt: &RuntimePoint) -> Vec<Vec<String>> {
+    rt.rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.label.clone(),
+                format!("{:.0}", row.report),
+                format!("{:.0}", row.live),
+                if row.ok() { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Everything the study produced, plus the overall gate verdict.
+pub struct Study {
+    pub points: Vec<ModePoint>,
+    pub runtime: RuntimePoint,
+    pub tables: Vec<Table>,
+}
+
+impl Study {
+    pub fn ok(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| drift_rows(&p.report, &p.snap).iter().all(|r| r.ok()))
+            && self.runtime.rows.iter().all(|r| r.ok())
+            && self.runtime.live_scrape_ok
+    }
+}
+
+pub fn run_study(runtime_frames: u32) -> Study {
+    let points = runs();
+    let runtime = runtime_point(runtime_frames);
+    let tables = vec![
+        live_table(&points),
+        slo_table(&points),
+        window_table(&points),
+        drift_table(&points),
+        runtime_table(&runtime),
+    ];
+    Study {
+        points,
+        runtime,
+        tables,
+    }
+}
+
+pub fn run_figure() -> Vec<Table> {
+    run_study(6).tables
+}
+
+/// `--bin telemetry` entry point. `--smoke` shortens the runs (12 s DES,
+/// 4 runtime frames) for the verify gate; `--json` renders the tables as
+/// a JSON array on stdout (warnings stay on stderr). Exits 1 when any
+/// reconciliation check fails — drift between the live metrics plane and
+/// the report accounting is a bug, not noise.
+pub fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    if smoke && std::env::var("SCATTER_EXP_SECS").is_err() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+    }
+    let study = run_study(if smoke { 4 } else { 8 });
+
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+    }
+    for p in &study.points {
+        let name = match p.mode {
+            Mode::ScatterPP => "telemetry_scatterpp.prom",
+            _ => "telemetry_scatter.prom",
+        };
+        let path = dir.join(name);
+        match std::fs::write(&path, telemetry::prom::encode(&p.snap)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+    let path = dir.join("telemetry_runtime.prom");
+    match std::fs::write(&path, &study.runtime.scrape) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+    let rendered: Vec<String> = study.tables.iter().map(|t| t.render_json()).collect();
+    let doc = format!("[{}]", rendered.join(",\n"));
+    let path = dir.join("telemetry_tables.json");
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+
+    if json {
+        println!("{doc}");
+    } else {
+        for t in &study.tables {
+            println!("{}", t.render());
+        }
+    }
+    if !study.ok() {
+        eprintln!("telemetry reconciliation FAILED (see the drift tables above)");
+        std::process::exit(1);
+    }
+    eprintln!("telemetry reconciliation OK");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short() {
+        std::env::set_var("SCATTER_EXP_SECS", "12");
+    }
+
+    #[test]
+    fn des_drift_is_within_bounds_in_both_modes() {
+        short();
+        for mode in [Mode::Scatter, Mode::ScatterPP] {
+            let p = telemetered_run(mode, 4);
+            for row in drift_rows(&p.report, &p.snap) {
+                assert!(
+                    row.ok(),
+                    "{mode:?} {}: report {} vs live {} ({}%)",
+                    row.label,
+                    row.report,
+                    row.live,
+                    row.rel_err() * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn telemetered_run_matches_untelemetered_report() {
+        short();
+        let p = telemetered_run(Mode::ScatterPP, 3);
+        let plain = scatter::run_experiment(
+            RunConfig::new(Mode::ScatterPP, placements::c1(), 3)
+                .with_duration(SimDuration::from_secs(run_secs()))
+                .with_seed(SEED),
+        );
+        assert_eq!(
+            p.report.summary_line(),
+            plain.summary_line(),
+            "telemetry must be a pure observer: attaching a registry cannot change the run"
+        );
+        assert_eq!(p.report.events_executed, plain.events_executed);
+    }
+
+    #[test]
+    fn overloaded_scatter_trips_the_burn_rate_alert() {
+        short();
+        // 10 clients on C1 drop most frames: the burn rate must trip.
+        let p = telemetered_run(Mode::Scatter, 10);
+        assert!(
+            p.tel
+                .slo_events
+                .iter()
+                .any(|e| matches!(e.kind, SloEventKind::BurnRateAlert { .. })),
+            "no alert despite success rate {:.0}%",
+            p.report.success_rate * 100.0
+        );
+        assert!(p.tel.slo.lifetime_breach_fraction() > 0.05);
+    }
+
+    #[test]
+    fn windowed_scrapes_cover_the_run() {
+        short();
+        let p = telemetered_run(Mode::ScatterPP, 2);
+        // 12 s run, 5 s windows -> at least 2 scrapes.
+        assert!(
+            p.tel.window_snapshots.len() >= 2,
+            "got {} windows",
+            p.tel.window_snapshots.len()
+        );
+        // Windows are cumulative: later scrapes never lose counts.
+        let plane = Labels::EMPTY.with_plane(PLANE);
+        let counts: Vec<u64> = p
+            .tel
+            .window_snapshots
+            .iter()
+            .map(|(_, s)| s.counter("scatter_frames_completed_total", &plane))
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn runtime_scrape_reconciles_exactly() {
+        let rt = runtime_point(4);
+        assert!(rt.live_scrape_ok, "mid-run scrape must parse");
+        for row in &rt.rows {
+            assert!(
+                row.ok(),
+                "{}: stats {} vs scrape {}",
+                row.label,
+                row.report,
+                row.live
+            );
+        }
+        telemetry::prom::parse(&rt.scrape).expect("final scrape parses");
+    }
+}

@@ -207,5 +207,35 @@ mod tests {
             for &x in &xs { h.record(x); }
             prop_assert_eq!(h.count(), xs.len() as u64);
         }
+
+        /// Merging two histograms with identical configuration is exactly
+        /// equivalent to recording the union of their samples: the bucket
+        /// counts are integers that simply add, so every quantile (a pure
+        /// function of the integer counts) is bitwise equal to the
+        /// union's; count is exact and the mean agrees up to fp
+        /// association in the running sum.
+        #[test]
+        fn merge_equals_union_recording(
+            xs in proptest::collection::vec(0.001f64..200_000.0, 0..150),
+            ys in proptest::collection::vec(0.001f64..200_000.0, 0..150),
+            q in 0.0f64..1.0,
+        ) {
+            let mut a = LogHistogram::for_latency_ms();
+            for &x in &xs { a.record(x); }
+            let mut b = LogHistogram::for_latency_ms();
+            for &y in &ys { b.record(y); }
+            let mut union = LogHistogram::for_latency_ms();
+            for &x in xs.iter().chain(ys.iter()) { union.record(x); }
+
+            a.merge(&b);
+            prop_assert_eq!(a.count(), union.count());
+            prop_assert_eq!(a.quantile(q).to_bits(), union.quantile(q).to_bits());
+            prop_assert_eq!(a.median().to_bits(), union.median().to_bits());
+            prop_assert_eq!(a.p99().to_bits(), union.p99().to_bits());
+            if a.count() > 0 {
+                let scale = union.quantile(1.0).max(1.0);
+                prop_assert!((a.mean() - union.mean()).abs() <= 1e-9 * scale * union.count() as f64);
+            }
+        }
     }
 }

@@ -214,5 +214,38 @@ mod tests {
             prop_assert!(s.mean() >= s.min() - 1e-6);
             prop_assert!(s.mean() <= s.max() + 1e-6);
         }
+
+        /// Merging two summaries is exactly equivalent to recording the
+        /// union of their samples: `merge` concatenates the sample vecs,
+        /// so order statistics (and hence every quantile) are *bitwise*
+        /// equal to the union's, and the mean agrees up to fp association
+        /// in the running sum.
+        #[test]
+        fn merge_equals_union_recording(
+            xs in proptest::collection::vec(-1e6f64..1e6, 0..150),
+            ys in proptest::collection::vec(-1e6f64..1e6, 0..150),
+            q in 0.0f64..1.0,
+        ) {
+            let mut a = Summary::new();
+            for &x in &xs { a.record(x); }
+            let mut b = Summary::new();
+            for &y in &ys { b.record(y); }
+            let mut union = Summary::new();
+            for &x in xs.iter().chain(ys.iter()) { union.record(x); }
+
+            a.merge(&b);
+            prop_assert_eq!(a.len(), union.len());
+            if !a.is_empty() {
+                // Same multiset of samples -> identical sorted order ->
+                // identical interpolated quantiles, bit for bit.
+                prop_assert_eq!(a.quantile(q).to_bits(), union.quantile(q).to_bits());
+                prop_assert_eq!(a.min().to_bits(), union.min().to_bits());
+                prop_assert_eq!(a.max().to_bits(), union.max().to_bits());
+                // The running sums associate differently; allow fp slack
+                // proportional to the magnitude of the samples.
+                let scale = a.min().abs().max(a.max().abs()).max(1.0);
+                prop_assert!((a.mean() - union.mean()).abs() <= 1e-9 * scale);
+            }
+        }
     }
 }

@@ -34,6 +34,7 @@ pub mod config;
 pub mod costmodel;
 pub mod gpu;
 pub mod message;
+pub mod obs;
 pub mod report;
 pub mod runtime;
 pub mod service;
@@ -43,5 +44,8 @@ pub mod world;
 pub use config::{Mode, RunConfig};
 pub use costmodel::CostModel;
 pub use message::{FrameMsg, ServiceKind, SERVICE_KINDS, SERVICE_NAMES};
+pub use obs::DesTelemetry;
 pub use report::RunReport;
-pub use world::{run_experiment, run_experiment_traced, run_experiment_with};
+pub use world::{
+    run_experiment, run_experiment_telemetered, run_experiment_traced, run_experiment_with,
+};

@@ -25,9 +25,11 @@ pub struct ServiceReport {
     pub mean_memory_gb: f64,
     pub peak_memory_gb: f64,
     /// Sidecar statistics (scAtteR++): filter drop ratio and mean queue
-    /// delay; zero in scAtteR runs.
-    pub sidecar_drop_ratio: f64,
-    pub mean_queue_ms: f64,
+    /// delay. `None` when the instance has no sidecar (scAtteR runs) —
+    /// previously these silently reported `0.0`, indistinguishable from
+    /// a sidecar that never dropped/queued anything.
+    pub sidecar_drop_ratio: Option<f64>,
+    pub mean_queue_ms: Option<f64>,
     /// `sift` only: fetch-service counters.
     pub fetch_served: u64,
     pub fetch_dropped: u64,

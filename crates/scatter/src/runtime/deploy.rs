@@ -15,6 +15,7 @@ use vision::ReferenceDb;
 use std::sync::atomic::AtomicU64;
 
 use crate::message::{ServiceKind, SERVICE_KINDS};
+use crate::obs::{RtClientObs, RtSvcObs};
 use crate::runtime::services::{run_service, send_msg, ServiceWiring, SharedCtx, SvcStats};
 use crate::runtime::stateful::{run_stateful_matching, run_stateful_sift, StatefulOptions};
 use crate::runtime::wire::{self, Reassembler, WireMsg};
@@ -42,6 +43,10 @@ pub struct RuntimeOptions {
     /// Per-frame causal tracing; `None` (default) is the near-zero-cost
     /// disabled mode. Same config type as the DES plane.
     pub trace: Option<trace::TraceConfig>,
+    /// Live metrics registry; `None` (default) disables instrumentation
+    /// (service threads skip every record call). When set, the running
+    /// deployment can be scraped via [`LocalDeployment::scrape`].
+    pub registry: Option<telemetry::Registry>,
 }
 
 impl Default for RuntimeOptions {
@@ -57,6 +62,7 @@ impl Default for RuntimeOptions {
             seed: 7,
             drain: Duration::from_millis(1500),
             trace: None,
+            registry: None,
         }
     }
 }
@@ -114,6 +120,9 @@ pub struct LocalDeployment {
     collector: trace::Collector,
     /// One trace track per client, registered up front.
     client_tracks: Vec<trace::TrackId>,
+    /// Live metrics plane (when `opts.registry` was set).
+    registry: Option<telemetry::Registry>,
+    client_obs: Option<RtClientObs>,
 }
 
 fn bind_loopback() -> UdpSocket {
@@ -166,6 +175,12 @@ impl LocalDeployment {
             let seed = opts.seed ^ ((i as u64 + 1) * 0x9E37);
             let track = collector.register_track(format!("{}#0", kind.name()), "runtime-host");
             let tracer = collector.handle();
+            // Telemetry handles are acquired once here (the only lock),
+            // then every record on the service thread is wait-free.
+            let obs = opts
+                .registry
+                .as_ref()
+                .map(|reg| RtSvcObs::new(reg, kind.name()));
             let handle = if opts.stateful && kind == ServiceKind::Sift {
                 let store_size = sift_store_size.clone();
                 std::thread::Builder::new()
@@ -181,6 +196,7 @@ impl LocalDeployment {
                             store_size,
                             tracer,
                             track,
+                            obs,
                         )
                     })
             } else if opts.stateful && kind == ServiceKind::Matching {
@@ -199,13 +215,14 @@ impl LocalDeployment {
                             seed,
                             tracer,
                             track,
+                            obs,
                         )
                     })
             } else {
                 let wiring = ServiceWiring { kind, socket, next };
                 std::thread::Builder::new()
                     .name(format!("scatter-{}", kind.name()))
-                    .spawn(move || run_service(wiring, ctx, st, shutdown, seed, tracer, track))
+                    .spawn(move || run_service(wiring, ctx, st, shutdown, seed, tracer, track, obs))
             };
             handles.push(handle.expect("spawn service thread"));
         }
@@ -213,6 +230,8 @@ impl LocalDeployment {
         let client_tracks = (0..opts.clients)
             .map(|cid| collector.register_track(format!("client-{cid}"), "client-host"))
             .collect();
+        let registry = opts.registry.clone();
+        let client_obs = registry.as_ref().map(RtClientObs::new);
 
         LocalDeployment {
             handles,
@@ -227,7 +246,17 @@ impl LocalDeployment {
             sift_store_size,
             collector,
             client_tracks,
+            registry,
+            client_obs,
         }
+    }
+
+    /// Prometheus exposition of the live registry — the runtime's
+    /// on-demand scrape endpoint (None when telemetry is disabled).
+    pub fn scrape(&self) -> Option<String> {
+        self.registry
+            .as_ref()
+            .map(|reg| telemetry::prom::encode(&reg.snapshot()))
     }
 
     /// One client's stream: emit paced frames from `scene`, collect
@@ -242,6 +271,7 @@ impl LocalDeployment {
         opts: &RuntimeOptions,
         tracer: &trace::ThreadTracer,
         track: trace::TrackId,
+        obs: Option<&RtClientObs>,
     ) -> ClientOutcome {
         socket
             .set_read_timeout(Some(Duration::from_millis(5)))
@@ -278,6 +308,9 @@ impl LocalDeployment {
                     payload: compressed,
                 };
                 send_msg(socket, primary_addr, &msg, &client_stats);
+                if let Some(o) = obs {
+                    o.frames_emitted.inc();
+                }
                 emitted += 1;
                 next_emit += period;
                 drain_until = Instant::now() + opts.drain;
@@ -305,7 +338,12 @@ impl LocalDeployment {
                 now_micros * 1_000,
             );
             tracer.terminal(tctx, now_micros * 1_000, trace::FrameFate::Completed);
-            e2e.push(now_micros.saturating_sub(msg.emit_micros) as f64 / 1e3);
+            let e2e_ms = now_micros.saturating_sub(msg.emit_micros) as f64 / 1e3;
+            if let Some(o) = obs {
+                o.frames_completed.inc();
+                o.e2e_ms.record(e2e_ms);
+            }
+            e2e.push(e2e_ms);
             completed += 1;
             if let Some(recs) = wire::decode_result(msg.payload) {
                 for (name, _) in recs {
@@ -331,6 +369,7 @@ impl LocalDeployment {
                 let opts = self.opts.clone();
                 let tracer = self.collector.handle();
                 let track = self.client_tracks[cid as usize];
+                let obs = self.client_obs.clone();
                 // Each client replays its own camera (distinct seed).
                 let scene = SceneGenerator::workplace_scaled(
                     opts.seed ^ (cid as u64) << 8,
@@ -350,6 +389,7 @@ impl LocalDeployment {
                             &opts,
                             &tracer,
                             track,
+                            obs.as_ref(),
                         )
                     })
                     .expect("spawn client thread")
@@ -366,6 +406,7 @@ impl LocalDeployment {
             opts,
             &tracer0,
             self.client_tracks[0],
+            self.client_obs.as_ref(),
         );
         let mut per_client_completed = vec![cp0];
         let mut emitted = em0;
@@ -420,12 +461,32 @@ impl LocalDeployment {
     /// Stop the service threads, join them, and close the trace log
     /// (empty when tracing was disabled).
     pub fn shutdown(self) -> trace::TraceLog {
+        self.shutdown_with_counts().0
+    }
+
+    /// Like [`Self::shutdown`], but also returns the final per-service
+    /// `(kind, received, processed, dropped_stale)` counters read *after*
+    /// the threads have joined — the exact population a post-shutdown
+    /// registry snapshot covers (no in-flight increments).
+    pub fn shutdown_with_counts(self) -> (trace::TraceLog, Vec<(ServiceKind, u64, u64, u64)>) {
         self.shutdown.store(true, Ordering::Relaxed);
         for h in self.handles {
             let _ = h.join();
         }
+        let counts = SERVICE_KINDS
+            .iter()
+            .zip(&self.stats)
+            .map(|(&k, s)| {
+                (
+                    k,
+                    s.received.load(Ordering::Relaxed),
+                    s.processed.load(Ordering::Relaxed),
+                    s.dropped_stale.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
         let end_ns = self.ctx.epoch.elapsed().as_nanos() as u64;
-        self.collector.collect(end_ns)
+        (self.collector.collect(end_ns), counts)
     }
 }
 
@@ -503,6 +564,62 @@ mod tests {
             report.service_counts
         );
         assert!(report.completed < report.emitted);
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::obs::{RT_MACHINE, RT_PLANE};
+
+    /// The live metrics plane and the `SvcStats` counters increment at
+    /// the same program points, so after the threads join they must
+    /// agree *exactly* — and the scrape must be valid Prometheus text.
+    #[test]
+    fn scrape_reconciles_with_svc_stats() {
+        let reg = telemetry::Registry::new();
+        let dep = LocalDeployment::start(RuntimeOptions {
+            frames: 5,
+            fps: 8.0,
+            registry: Some(reg.clone()),
+            ..Default::default()
+        });
+        let report = dep.run_client();
+        let stats: Vec<Arc<SvcStats>> = dep.stats.clone();
+        let live = dep.scrape().expect("registry enabled");
+        telemetry::prom::parse(&live).expect("mid-run scrape parses");
+        let _ = dep.shutdown(); // joins the service threads
+
+        let snap = reg.snapshot();
+        for (i, kind) in SERVICE_KINDS.iter().enumerate() {
+            let labels = telemetry::Labels::service(kind.name())
+                .with_replica(0)
+                .with_machine(RT_MACHINE)
+                .with_plane(RT_PLANE);
+            assert_eq!(
+                snap.counter("scatter_service_ingress_total", &labels),
+                stats[i].received.load(Ordering::Relaxed),
+                "{} ingress drifted",
+                kind.name()
+            );
+            assert_eq!(
+                snap.counter("scatter_service_processed_total", &labels),
+                stats[i].processed.load(Ordering::Relaxed),
+                "{} processed drifted",
+                kind.name()
+            );
+        }
+        let e2e = snap
+            .histogram(
+                "scatter_e2e_latency_ms",
+                &telemetry::Labels::EMPTY.with_plane(RT_PLANE),
+            )
+            .expect("e2e histogram registered");
+        assert_eq!(e2e.count(), report.completed as u64);
+        // Final snapshot round-trips through the text format.
+        let text = telemetry::prom::encode(&snap);
+        let exp = telemetry::prom::parse(&text).expect("final scrape parses");
+        assert!(!exp.samples.is_empty());
     }
 }
 

@@ -14,6 +14,7 @@ use vision::tracking::TrackTable;
 use vision::ReferenceDb;
 
 use crate::message::ServiceKind;
+use crate::obs::RtSvcObs;
 use crate::runtime::wire::{
     self, decode_frame, decode_state, encode_frame, encode_result, encode_state, FrameState,
     Reassembler, WireMsg,
@@ -58,9 +59,24 @@ pub struct ServiceWiring {
 
 /// Ship a message as fragments; errors are counted, not fatal (UDP).
 pub fn send_msg(socket: &UdpSocket, to: SocketAddr, msg: &WireMsg, stats: &SvcStats) {
+    send_msg_obs(socket, to, msg, stats, None)
+}
+
+/// [`send_msg`] with an optional telemetry handle so `send_errors`
+/// increments in both planes at the same program point.
+pub fn send_msg_obs(
+    socket: &UdpSocket,
+    to: SocketAddr,
+    msg: &WireMsg,
+    stats: &SvcStats,
+    obs: Option<&RtSvcObs>,
+) {
     for frame in wire::encode(msg) {
         if socket.send_to(&frame, to).is_err() {
             stats.send_errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = obs {
+                o.send_errors.inc();
+            }
         }
     }
 }
@@ -71,6 +87,7 @@ pub fn epoch_ns(epoch: Instant) -> u64 {
 }
 
 /// Service main loop: receive → reassemble → filter → compute → forward.
+#[allow(clippy::too_many_arguments)]
 pub fn run_service(
     wiring: ServiceWiring,
     ctx: Arc<SharedCtx>,
@@ -79,6 +96,7 @@ pub fn run_service(
     rng_seed: u64,
     tracer: trace::ThreadTracer,
     track: trace::TrackId,
+    obs: Option<RtSvcObs>,
 ) {
     let ServiceWiring { kind, socket, next } = wiring;
     let stage = kind.index() as u8;
@@ -108,11 +126,14 @@ pub fn run_service(
             Ok(frag) => frag,
             Err(_) => {
                 stats.malformed.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.malformed.inc();
+                }
                 continue;
             }
         };
         let completed = reassembler.offer(frag);
-        if tracer.is_enabled() {
+        if tracer.is_enabled() || obs.is_some() {
             // Attribute frames the reassembler gave up on (lost fragment).
             let at_ns = epoch_ns(ctx.epoch);
             for (client, frame_no, flags) in reassembler.drain_evicted() {
@@ -122,12 +143,21 @@ pub fn run_service(
                     at_ns,
                     trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
                 );
+                if let Some(o) = &obs {
+                    o.drop_fragment.inc();
+                }
             }
+        }
+        if let Some(o) = &obs {
+            o.reassembly_pending.set(reassembler.pending_count() as f64);
         }
         let Some(msg) = completed else {
             continue;
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &obs {
+            o.ingress.inc();
+        }
         let tctx = msg.trace_ctx();
         let recv_ns = epoch_ns(ctx.epoch);
         // Previous hop's send → this service's reassembled receive:
@@ -144,6 +174,9 @@ pub fn run_service(
         // can no longer meet the latency budget.
         if ctx.threshold_ms > 0.0 && msg.age_ms(ctx.epoch) > ctx.threshold_ms {
             stats.dropped_stale.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &obs {
+                o.drop_stale.inc();
+            }
             tracer.terminal(
                 tctx,
                 epoch_ns(ctx.epoch),
@@ -168,6 +201,11 @@ pub fn run_service(
                 payload: out,
             };
             stats.processed.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &obs {
+                o.processed.inc();
+                o.latency_ms
+                    .record(done_ns.saturating_sub(recv_ns) as f64 / 1e6);
+            }
             // matching delivers to the frame's own return address.
             let next = if kind == ServiceKind::Matching {
                 SocketAddr::from(([127, 0, 0, 1], msg.return_port))
@@ -183,7 +221,7 @@ pub fn run_service(
                     .tracks_retired
                     .store(tracks.values().map(|t| t.retired).sum(), Ordering::Relaxed);
             }
-            send_msg(&socket, next, &fwd, &stats);
+            send_msg_obs(&socket, next, &fwd, &stats, obs.as_ref());
         }
     }
 }

@@ -27,7 +27,8 @@ use simcore::SimRng;
 use vision::keypoints::DetectorParams;
 
 use crate::message::ServiceKind;
-use crate::runtime::services::{epoch_ns, send_msg, SharedCtx, SvcStats};
+use crate::obs::RtSvcObs;
+use crate::runtime::services::{epoch_ns, send_msg_obs, SharedCtx, SvcStats};
 use crate::runtime::wire::{
     self, decode_frame, decode_state, encode_result, encode_state, FrameState, Reassembler, WireMsg,
 };
@@ -101,6 +102,7 @@ pub fn run_stateful_sift(
     store_size: Arc<AtomicU64>,
     tracer: trace::ThreadTracer,
     track: trace::TrackId,
+    obs: Option<RtSvcObs>,
 ) {
     let stage = ServiceKind::Sift.index() as u8;
     socket
@@ -114,6 +116,9 @@ pub fn run_stateful_sift(
         let ttl = opts.state_ttl;
         store.retain(|_, (_, at)| at.elapsed() <= ttl);
         store_size.store(store.len() as u64, Ordering::Relaxed);
+        if let Some(o) = &obs {
+            o.state_store.set(store.len() as f64);
+        }
 
         let n = match socket.recv_from(&mut buf) {
             Ok((n, _)) => n,
@@ -145,7 +150,7 @@ pub fn run_stateful_sift(
                         payload: encode_fetch_rsp(&state),
                     };
                     let to = SocketAddr::from(([127, 0, 0, 1], reply_port));
-                    send_msg(&socket, to, &rsp, &stats);
+                    send_msg_obs(&socket, to, &rsp, &stats, obs.as_ref());
                 }
             }
             continue;
@@ -154,11 +159,14 @@ pub fn run_stateful_sift(
             Ok(frag) => frag,
             Err(_) => {
                 stats.malformed.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.malformed.inc();
+                }
                 continue;
             }
         };
         let completed = reassembler.offer(frag);
-        if tracer.is_enabled() {
+        if tracer.is_enabled() || obs.is_some() {
             let at_ns = epoch_ns(ctx.epoch);
             for (client, frame_no, flags) in reassembler.drain_evicted() {
                 let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
@@ -167,12 +175,21 @@ pub fn run_stateful_sift(
                     at_ns,
                     trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
                 );
+                if let Some(o) = &obs {
+                    o.drop_fragment.inc();
+                }
             }
+        }
+        if let Some(o) = &obs {
+            o.reassembly_pending.set(reassembler.pending_count() as f64);
         }
         let Some(msg) = completed else {
             continue;
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &obs {
+            o.ingress.inc();
+        }
         let tctx = msg.trace_ctx();
         let recv_ns = epoch_ns(ctx.epoch);
         tracer.span(
@@ -221,7 +238,12 @@ pub fn run_stateful_sift(
             }),
         };
         stats.processed.fetch_add(1, Ordering::Relaxed);
-        send_msg(&socket, next, &fwd, &stats);
+        if let Some(o) = &obs {
+            o.processed.inc();
+            o.latency_ms
+                .record(done_ns.saturating_sub(recv_ns) as f64 / 1e6);
+        }
+        send_msg_obs(&socket, next, &fwd, &stats, obs.as_ref());
     }
 }
 
@@ -239,6 +261,7 @@ pub fn run_stateful_matching(
     rng_seed: u64,
     tracer: trace::ThreadTracer,
     track: trace::TrackId,
+    obs: Option<RtSvcObs>,
 ) {
     let stage = ServiceKind::Matching.index() as u8;
     socket
@@ -263,11 +286,14 @@ pub fn run_stateful_matching(
             Ok(frag) => frag,
             Err(_) => {
                 stats.malformed.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.malformed.inc();
+                }
                 continue;
             }
         };
         let completed = reassembler.offer(frag);
-        if tracer.is_enabled() {
+        if tracer.is_enabled() || obs.is_some() {
             let at_ns = epoch_ns(ctx.epoch);
             for (client, frame_no, flags) in reassembler.drain_evicted() {
                 let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
@@ -276,12 +302,21 @@ pub fn run_stateful_matching(
                     at_ns,
                     trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
                 );
+                if let Some(o) = &obs {
+                    o.drop_fragment.inc();
+                }
             }
+        }
+        if let Some(o) = &obs {
+            o.reassembly_pending.set(reassembler.pending_count() as f64);
         }
         let Some(msg) = completed else {
             continue;
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &obs {
+            o.ingress.inc();
+        }
         let tctx = msg.trace_ctx();
         let recv_ns = epoch_ns(ctx.epoch);
         tracer.span(
@@ -324,6 +359,9 @@ pub fn run_stateful_matching(
                 }
                 Err(_) => {
                     stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &obs {
+                        o.malformed.inc();
+                    }
                 }
             }
         }
@@ -338,6 +376,9 @@ pub fn run_stateful_matching(
         );
         let Some(state) = fetched else {
             fetch_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &obs {
+                o.drop_stale_fetch.inc();
+            }
             tracer.terminal(
                 tctx,
                 fetch_end_ns,
@@ -376,8 +417,13 @@ pub fn run_stateful_matching(
             payload: encode_result(&recognitions),
         };
         stats.processed.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &obs {
+            o.processed.inc();
+            o.latency_ms
+                .record(done_ns.saturating_sub(recv_ns) as f64 / 1e6);
+        }
         let to = SocketAddr::from(([127, 0, 0, 1], msg.return_port));
-        send_msg(&socket, to, &out, &stats);
+        send_msg_obs(&socket, to, &out, &stats, obs.as_ref());
     }
 }
 

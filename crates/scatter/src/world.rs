@@ -30,6 +30,7 @@ use crate::config::{Mode, RunConfig};
 use crate::costmodel::CostModel;
 use crate::gpu::GpuPool;
 use crate::message::{FrameMsg, ServiceKind, SERVICE_NAMES};
+use crate::obs::{DesObs, DesTelemetry};
 use crate::report::{MachineReport, RunReport, ServiceReport};
 use crate::service::{StateEntry, SvcRuntime};
 use crate::sidecar::Sidecar;
@@ -76,6 +77,10 @@ pub struct PipelineWorld {
     pub track_of_slot: Vec<trace::TrackId>,
     /// Trace track per client (the result's return transit lands here).
     pub client_tracks: Vec<trace::TrackId>,
+    /// Live telemetry (inert unless a registry was passed in). Like the
+    /// tracer it is an observer — no RNG, no scheduled events, no
+    /// feedback — so telemetered runs stay bit-identical.
+    pub obs: Option<DesObs>,
 }
 
 type SimW = Sim<PipelineWorld>;
@@ -119,7 +124,7 @@ pub fn run_experiment(cfg: RunConfig) -> RunReport {
 
 /// Run with an explicit cost model (ablation studies override fields).
 pub fn run_experiment_with(cfg: RunConfig, cost: CostModel) -> RunReport {
-    run_world(cfg, cost).0
+    run_world(cfg, cost, None).0 .0
 }
 
 /// Run and additionally return the causal trace log. Callers usually set
@@ -127,10 +132,29 @@ pub fn run_experiment_with(cfg: RunConfig, cost: CostModel) -> RunReport {
 /// identical to [`run_experiment`]'s, which is the point: tracing is an
 /// observer, not a participant).
 pub fn run_experiment_traced(cfg: RunConfig) -> (RunReport, trace::TraceLog) {
-    run_world(cfg, CostModel::default())
+    let ((report, _), log) = run_world(cfg, CostModel::default(), None);
+    (report, log)
 }
 
-fn run_world(cfg: RunConfig, cost: CostModel) -> (RunReport, trace::TraceLog) {
+/// Run with live telemetry recording into `registry`. Every service
+/// records ingress/processed/latency/drops-by-reason, clients record
+/// emissions/completions/e2e latency, and 1 Hz gauges sample queue
+/// depth, memory, and machine CPU/GPU. Returns the report plus the SLO
+/// event log and per-window scrapes; the caller keeps the registry for
+/// exposition. Telemetry is an observer: the report is bit-identical to
+/// [`run_experiment`]'s.
+pub fn run_experiment_telemetered(
+    cfg: RunConfig,
+    registry: telemetry::Registry,
+) -> (RunReport, DesTelemetry) {
+    run_world(cfg, CostModel::default(), Some(registry)).0
+}
+
+fn run_world(
+    cfg: RunConfig,
+    cost: CostModel,
+    registry: Option<telemetry::Registry>,
+) -> ((RunReport, DesTelemetry), trace::TraceLog) {
     let mut root = SimRng::new(cfg.seed);
     let rng_net = root.split();
     let rng_service = root.split();
@@ -279,6 +303,24 @@ fn run_world(cfg: RunConfig, cost: CostModel) -> (RunReport, trace::TraceLog) {
     let end_at = SimTime::ZERO + cfg.duration;
     let warmup_at = SimTime::ZERO + cfg.warmup;
 
+    // Live telemetry handles (only if the caller passed a registry).
+    let obs = registry.map(|reg| {
+        let machine_names: Vec<String> =
+            cluster.machines().iter().map(|m| m.name.clone()).collect();
+        let mut obs = DesObs::new(reg, &machine_names);
+        obs.slots = services
+            .iter()
+            .map(|svc| {
+                obs.register_slot(
+                    svc.kind.name(),
+                    svc.replica,
+                    &cluster.machines()[svc.machine].name,
+                )
+            })
+            .collect();
+        obs
+    });
+
     let mut world = PipelineWorld {
         cfg,
         cost,
@@ -304,6 +346,7 @@ fn run_world(cfg: RunConfig, cost: CostModel) -> (RunReport, trace::TraceLog) {
         tracer,
         track_of_slot,
         client_tracks,
+        obs,
     };
 
     let mut sim: SimW = Sim::new();
@@ -342,7 +385,19 @@ fn run_world(cfg: RunConfig, cost: CostModel) -> (RunReport, trace::TraceLog) {
     let events_executed = sim.executed();
     let tracer = std::mem::replace(&mut world.tracer, trace::Tracer::disabled());
     let log = tracer.finish(end_at.as_nanos());
-    (build_report(world, events_executed), log)
+    let des_telemetry = match world.obs.take() {
+        Some(obs) => DesTelemetry {
+            slo_events: obs.slo_events,
+            window_snapshots: obs.window_snapshots,
+            slo: obs.slo,
+        },
+        None => DesTelemetry {
+            slo_events: Vec::new(),
+            window_snapshots: Vec::new(),
+            slo: telemetry::SloTracker::new(telemetry::SloConfig::default()),
+        },
+    };
+    ((build_report(world, events_executed), des_telemetry), log)
 }
 
 /// Network-loss drop reason: a multi-fragment datagram dies to
@@ -373,6 +428,9 @@ fn client_emit(w: &mut PipelineWorld, sim: &mut SimW, client: usize) {
     let mut msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
     msg.trace = w.tracer.ctx(client as u16, frame_no as u32);
     w.tracer.emitted(msg.trace, now.as_nanos());
+    if let Some(o) = &w.obs {
+        o.frames_emitted.inc();
+    }
     route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
 
     // Next frame: grid-scheduled with per-frame capture jitter so
@@ -414,6 +472,13 @@ fn route_to_service(
             let reason = net_loss_reason(msg.payload_bytes);
             w.tracer
                 .terminal(msg.trace, now.as_nanos(), trace::FrameFate::Dropped(reason));
+            if let Some(o) = w.obs.as_mut() {
+                match reason {
+                    trace::DropReason::FragmentLoss => o.net_drop_fragment.inc(),
+                    _ => o.net_drop_netem.inc(),
+                }
+                o.slo_breach(now.as_secs_f64());
+            }
         }
         simnet::Delivery::Delayed(d) => {
             // The transit span is recorded up front (the arrival event may
@@ -436,6 +501,9 @@ fn route_to_service(
 fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMsg) {
     let now = sim.now();
     w.services[slot].record_ingress(now);
+    if let Some(o) = &w.obs {
+        o.slots[slot].ingress.inc();
+    }
     if w.services[slot].down_until.is_some() {
         // Nothing is listening on a crashed container's port.
         w.services[slot].drops.down += 1;
@@ -445,6 +513,10 @@ fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMs
             now.as_nanos(),
             trace::FrameFate::Dropped(trace::DropReason::Crash),
         );
+        if let Some(o) = w.obs.as_mut() {
+            o.slots[slot].drop_crash.inc();
+            o.slo_breach(now.as_secs_f64());
+        }
         return;
     }
     if !w.cfg.mode.sidecar_queue() {
@@ -457,6 +529,10 @@ fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMs
                 now.as_nanos(),
                 trace::FrameFate::Dropped(trace::DropReason::BusyIngress),
             );
+            if let Some(o) = w.obs.as_mut() {
+                o.slots[slot].drop_busy.inc();
+                o.slo_breach(now.as_secs_f64());
+            }
             return;
         }
         accept_frame(w, sim, slot, msg);
@@ -474,6 +550,10 @@ fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMs
                 now.as_nanos(),
                 trace::FrameFate::Dropped(trace::DropReason::ThresholdFilter),
             );
+            if let Some(o) = w.obs.as_mut() {
+                o.slots[slot].drop_threshold.inc();
+                o.slo_breach(now.as_secs_f64());
+            }
         }
         if !w.services[slot].busy {
             pull_from_sidecar(w, sim, slot);
@@ -507,6 +587,12 @@ fn pull_from_sidecar(w: &mut PipelineWorld, sim: &mut SimW, slot: usize) {
                 now.as_nanos(),
                 trace::FrameFate::Dropped(trace::DropReason::ThresholdFilter),
             );
+        }
+        if let Some(o) = w.obs.as_mut() {
+            o.slots[slot].drop_threshold.add(filtered.len() as u64);
+            for _ in &filtered {
+                o.slo_breach(now.as_secs_f64());
+            }
         }
     }
     if let Some(msg) = msg {
@@ -591,6 +677,9 @@ fn start_compute(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameM
                 s.now().as_nanos(),
                 trace::FrameFate::Dropped(trace::DropReason::Crash),
             );
+            if let Some(o) = w.obs.as_mut() {
+                o.slo_breach(s.now().as_secs_f64());
+            }
             return;
         }
         complete_compute(w, s, slot, msg, accepted_at)
@@ -631,6 +720,10 @@ fn complete_compute(
     }
     w.services[slot].processed += 1;
     w.services[slot].busy = false;
+    if let Some(o) = &w.obs {
+        o.slots[slot].latency_ms.record(observed_ms);
+        o.slots[slot].processed.inc();
+    }
 
     let src_node = w.cluster.machines()[w.services[slot].machine].net;
     match kind {
@@ -732,6 +825,9 @@ fn fetch_arrive_at_sift(
     if w.services[sift_slot].busy {
         if w.services[sift_slot].fetch_queue.len() >= FETCH_QUEUE_CAP {
             w.services[sift_slot].fetch_dropped += 1;
+            if let Some(o) = &w.obs {
+                o.slots[sift_slot].fetch_dropped.inc();
+            }
             return;
         }
         w.services[sift_slot]
@@ -801,6 +897,9 @@ fn fetch_served(
         return;
     }
     w.services[sift_slot].fetch_served += 1;
+    if let Some(o) = &w.obs {
+        o.slots[sift_slot].fetch_served.inc();
+    }
     let src_node = w.cluster.machines()[w.services[sift_slot].machine].net;
     let dst_node = w.cluster.machines()[w.services[matching_slot].machine].net;
     match w
@@ -870,6 +969,10 @@ fn fetch_timeout(w: &mut PipelineWorld, sim: &mut SimW, matching_slot: usize, ke
         now.as_nanos(),
         trace::FrameFate::Dropped(trace::DropReason::StaleFetch),
     );
+    if let Some(o) = w.obs.as_mut() {
+        o.slots[matching_slot].drop_stale_fetch.inc();
+        o.slo_breach(now.as_secs_f64());
+    }
 }
 
 /// Send the processed frame (bounding boxes) back to its client.
@@ -883,6 +986,13 @@ fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node
             let reason = net_loss_reason(msg.payload_bytes);
             w.tracer
                 .terminal(msg.trace, now.as_nanos(), trace::FrameFate::Dropped(reason));
+            if let Some(o) = w.obs.as_mut() {
+                match reason {
+                    trace::DropReason::FragmentLoss => o.net_drop_fragment.inc(),
+                    _ => o.net_drop_netem.inc(),
+                }
+                o.slo_breach(now.as_secs_f64());
+            }
         }
         simnet::Delivery::Delayed(d) => {
             let arrive_ns = (now + d).as_nanos().min(w.end_at.as_nanos());
@@ -905,6 +1015,11 @@ fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node
                 }
                 w.breakdown_network
                     .record((e2e_ms - msg.total_compute_ms() - msg.total_queue_ms()).max(0.0));
+                if let Some(o) = w.obs.as_mut() {
+                    o.frames_completed.inc();
+                    o.e2e_ms.record(e2e_ms);
+                    o.slo_complete(now.as_secs_f64(), e2e_ms);
+                }
                 let c = &mut w.clients[msg.client];
                 c.record_completion(msg.frame_no, msg.emitted_at, now);
                 // A completion belongs to the measurement window iff its
@@ -933,9 +1048,41 @@ fn sample_metrics(w: &mut PipelineWorld, sim: &mut SimW) {
         let total = base + state_gb + queue_gb;
         w.mem_series[slot].push(now, total);
         machine_totals[svc.machine] += total;
+        if let Some(o) = &w.obs {
+            o.slots[slot].memory_gb.set(total);
+            // Queue depth: the sidecar queue (scAtteR++) or the fetch
+            // requests parked at a busy sift (scAtteR).
+            let depth = svc
+                .sidecar
+                .as_ref()
+                .map_or(svc.fetch_queue.len(), |sc| sc.len());
+            o.slots[slot].queue_depth.set(depth as f64);
+        }
     }
     for (mi, total) in machine_totals.iter().enumerate() {
         w.machine_mem[mi].push(now, *total);
+        if let Some(o) = &w.obs {
+            o.machine_mem[mi].set(*total);
+        }
+    }
+    if w.obs.is_some() {
+        // CPU/GPU proxy gauges from the cluster's hardware meters, and
+        // the SLO state machine's 1 Hz evaluation.
+        let hw = w.cluster.hardware_snapshot(now);
+        let names: Vec<String> = w
+            .cluster
+            .machines()
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        if let Some(o) = w.obs.as_mut() {
+            for (mi, name) in names.iter().enumerate() {
+                let (cpu, gpu, _) = hw[name];
+                o.machine_cpu[mi].set(cpu);
+                o.machine_gpu[mi].set(gpu);
+            }
+            o.tick(now.as_secs_f64());
+        }
     }
     if now + SimDuration::from_secs(1) <= w.end_at {
         sim.schedule(SimDuration::from_secs(1), sample_metrics);
@@ -980,6 +1127,12 @@ fn crash_instance(w: &mut PipelineWorld, sim: &mut SimW, kind: ServiceKind, repl
             now.as_nanos(),
             trace::FrameFate::Dropped(trace::DropReason::Crash),
         );
+        if let Some(o) = w.obs.as_mut() {
+            // Not mirrored into `scatter_drops_total` — the report's
+            // per-service DropCounters don't count crash-voided frames
+            // either, and the live counters must match them exactly.
+            o.slo_breach(now.as_secs_f64());
+        }
     }
     sim.schedule_at(revive_at, move |w, _s| {
         w.services[slot].down_until = None;
@@ -1015,6 +1168,11 @@ fn migrate_instance(
         format!("{}#{replica}@{machine_name}", kind.name()),
         machine_name.to_string(),
     );
+    if let Some(o) = w.obs.as_mut() {
+        // Re-home the slot's series: post-migration records land on the
+        // new machine's label set (the old series keeps its history).
+        o.slots[slot] = o.register_slot(kind.name(), replica, machine_name);
+    }
     let now = sim.now();
     w.scale_events.push(ScaleEvent {
         at: now,
@@ -1116,6 +1274,10 @@ fn add_replica(
     w.replicas[kind_idx].push(slot);
     w.balancers[kind_idx].add_replica();
     w.mem_series.push(TimeSeries::new());
+    if let Some(o) = w.obs.as_mut() {
+        let s = o.register_slot(kind.name(), replica, &machine_name);
+        o.slots.push(s);
+    }
     let track = w
         .tracer
         .register_track(format!("{}#{replica}", kind.name()), machine_name.clone());
@@ -1221,9 +1383,13 @@ fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
             let svc = &w.services[slot];
             let mem = &w.mem_series[slot];
             let peak = mem.iter().map(|(_, v)| v).fold(0.0f64, f64::max);
-            let (sc_ratio, sc_queue_ms) = svc.sidecar.as_ref().map_or((0.0, 0.0), |sc| {
-                (sc.drop_ratio(), sc.mean_queue_time().as_millis_f64())
-            });
+            // `None` (not 0.0) when there is no sidecar: a scAtteR run
+            // has no filter to have a drop ratio.
+            let sc_ratio = svc.sidecar.as_ref().map(|sc| sc.drop_ratio());
+            let sc_queue_ms = svc
+                .sidecar
+                .as_ref()
+                .map(|sc| sc.mean_queue_time().as_millis_f64());
             ServiceReport {
                 kind: svc.kind,
                 replica: svc.replica,

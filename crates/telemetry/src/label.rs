@@ -1,0 +1,155 @@
+//! Typed label sets.
+//!
+//! Prometheus identifies a series by `(name, label set)`. Free-form
+//! string maps invite typos and unbounded cardinality; the workloads in
+//! this workspace only ever label by the pipeline's structure, so the
+//! label set is a typed struct with a deterministic rendering order.
+//! `None` fields are omitted from the rendered form.
+
+use std::fmt;
+
+/// A typed label set. Ordered, hashable, and cheap to clone (the only
+/// owned string is the machine name).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Labels {
+    /// Pipeline service (`primary`/`sift`/…) or `client`.
+    pub service: Option<&'static str>,
+    /// Replica ordinal within the service.
+    pub replica: Option<u32>,
+    /// Hosting machine (`E1`, `E2`, `cloud`, `runtime-host`, …).
+    pub machine: Option<String>,
+    /// Drop reason (mirrors `trace::DropReason::as_str`).
+    pub reason: Option<&'static str>,
+    /// Execution plane: `des` (simulation) or `runtime` (real UDP).
+    pub plane: Option<&'static str>,
+}
+
+impl Labels {
+    pub const EMPTY: Labels = Labels {
+        service: None,
+        replica: None,
+        machine: None,
+        reason: None,
+        plane: None,
+    };
+
+    pub fn service(service: &'static str) -> Labels {
+        Labels {
+            service: Some(service),
+            ..Labels::EMPTY
+        }
+    }
+
+    pub fn with_replica(mut self, replica: u32) -> Labels {
+        self.replica = Some(replica);
+        self
+    }
+
+    pub fn with_machine(mut self, machine: impl Into<String>) -> Labels {
+        self.machine = Some(machine.into());
+        self
+    }
+
+    pub fn with_reason(mut self, reason: &'static str) -> Labels {
+        self.reason = Some(reason);
+        self
+    }
+
+    pub fn with_plane(mut self, plane: &'static str) -> Labels {
+        self.plane = Some(plane);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.service.is_none()
+            && self.replica.is_none()
+            && self.machine.is_none()
+            && self.reason.is_none()
+            && self.plane.is_none()
+    }
+
+    /// `(key, value)` pairs in rendering order.
+    pub fn pairs(&self) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
+        if let Some(s) = self.service {
+            out.push(("service", s.to_string()));
+        }
+        if let Some(r) = self.replica {
+            out.push(("replica", r.to_string()));
+        }
+        if let Some(m) = &self.machine {
+            out.push(("machine", m.clone()));
+        }
+        if let Some(r) = self.reason {
+            out.push(("reason", r.to_string()));
+        }
+        if let Some(p) = self.plane {
+            out.push(("plane", p.to_string()));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Labels {
+    /// Prometheus label syntax: `{service="sift",replica="0"}`; empty
+    /// sets render as the empty string.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pairs = self.pairs();
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        write!(f, "{{")?;
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            // Label values escape backslash, quote, and newline.
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            write!(f, "{k}=\"{escaped}\"")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_renders_nothing() {
+        assert_eq!(Labels::EMPTY.to_string(), "");
+        assert!(Labels::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn full_set_renders_in_order() {
+        let l = Labels::service("sift")
+            .with_replica(2)
+            .with_machine("E1")
+            .with_reason("busy_ingress")
+            .with_plane("des");
+        assert_eq!(
+            l.to_string(),
+            "{service=\"sift\",replica=\"2\",machine=\"E1\",reason=\"busy_ingress\",plane=\"des\"}"
+        );
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn values_are_escaped() {
+        let l = Labels::EMPTY.with_machine("a\"b\\c");
+        assert_eq!(l.to_string(), "{machine=\"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn labels_are_hashable_identity() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Labels::service("lsh"), 1);
+        assert_eq!(m.get(&Labels::service("lsh")), Some(&1));
+        assert_eq!(m.get(&Labels::service("sift")), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Counters and gauges with wait-free record paths.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shards per counter. Eight 64-byte-padded cells keep concurrent
+/// service threads off each other's cache lines; a read sums the shards.
+pub(crate) const SHARDS: usize = 8;
+
+/// A cache-line-padded atomic cell.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub(crate) struct PaddedU64(pub AtomicU64);
+
+thread_local! {
+    /// This thread's home shard, assigned round-robin on first use.
+    static HOME_SHARD: Cell<usize> = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        Cell::new(NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS)
+    };
+}
+
+#[inline]
+fn home_shard() -> usize {
+    HOME_SHARD.with(|c| c.get())
+}
+
+/// Shared core of a counter: monotonically increasing, sharded.
+#[derive(Debug, Default)]
+pub(crate) struct CounterCore {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl CounterCore {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[home_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning shares the core;
+/// `inc`/`add` are wait-free (one `fetch_add` on the thread's home
+/// shard).
+#[derive(Debug, Clone)]
+pub struct Counter(pub(crate) Arc<CounterCore>);
+
+impl Counter {
+    /// A free-standing counter not attached to any registry (tests,
+    /// default wiring).
+    pub fn detached() -> Counter {
+        Counter(Arc::new(CounterCore::default()))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.add(n);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Shared core of a gauge: last-write-wins `f64` stored as bits.
+#[derive(Debug)]
+pub(crate) struct GaugeCore {
+    bits: AtomicU64,
+}
+
+impl Default for GaugeCore {
+    fn default() -> GaugeCore {
+        GaugeCore {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl GaugeCore {
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: f64) {
+        // CAS loop; contention on gauges is negligible (they are set by
+        // one owner or sampled at low rate), so this converges fast.
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A point-in-time gauge handle (queue depth, resident memory, …).
+/// `set` is wait-free; `add` is lock-free.
+#[derive(Debug, Clone)]
+pub struct Gauge(pub(crate) Arc<GaugeCore>);
+
+impl Gauge {
+    /// A free-standing gauge not attached to any registry.
+    pub fn detached() -> Gauge {
+        Gauge(Arc::new(GaugeCore::default()))
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    pub fn add(&self, d: f64) {
+        self.0.add(d);
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Counter::detached();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn counter_add_accumulates() {
+        let c = Counter::detached();
+        c.add(5);
+        c.add(7);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::detached();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn gauge_concurrent_adds_conserve() {
+        let g = Gauge::detached();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        g.add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 4_000.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Prometheus text-format exposition (version 0.0.4) and a tiny parser.
+//!
+//! The encoder renders a [`Snapshot`] as the classic text format any
+//! Prometheus server scrapes: `# HELP` / `# TYPE` once per family, then
+//! one sample line per series. Histograms render only their *non-empty*
+//! cumulative `_bucket{le=…}` lines plus the mandatory `+Inf` bucket,
+//! `_sum`, and `_count` — a log-linear histogram has 6144 buckets and
+//! emitting empty ones would swamp the page.
+//!
+//! The parser handles exactly what the encoder emits (and the general
+//! shape of the format: comments, labels with escapes, float values).
+//! It exists so the verify gate and round-trip tests can check the
+//! exposition is well-formed without an external Prometheus.
+
+use std::fmt::Write as _;
+
+use crate::registry::MetricKind;
+use crate::snapshot::{SeriesValue, Snapshot};
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn encode(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in &snap.series {
+        if last_name != Some(s.name) {
+            let kind = match &s.value {
+                SeriesValue::Counter(_) => "counter",
+                SeriesValue::Gauge(_) => "gauge",
+                SeriesValue::Histogram(_) => "histogram",
+            };
+            let help = s.help.replace('\\', "\\\\").replace('\n', "\\n");
+            let _ = writeln!(out, "# HELP {} {}", s.name, help);
+            let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+            last_name = Some(s.name);
+        }
+        let labels = s.labels.to_string();
+        match &s.value {
+            SeriesValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, labels, v);
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", s.name, labels, fmt_f64(*v));
+            }
+            SeriesValue::Histogram(h) => {
+                for (le, cum) in h.cumulative() {
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        with_le(&s.labels.pairs(), fmt_f64(le)),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    s.name,
+                    with_le(&s.labels.pairs(), "+Inf".to_string()),
+                    h.count()
+                );
+                let _ = writeln!(out, "{}_sum{} {}", s.name, labels, fmt_f64(h.sum()));
+                let _ = writeln!(out, "{}_count{} {}", s.name, labels, h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects (no trailing noise, `+Inf`
+/// style handled by the caller).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a label set with an extra `le` pair appended (histogram
+/// bucket lines).
+fn with_le(pairs: &[(&'static str, String)], le: String) -> String {
+    let mut out = String::from("{");
+    for (k, v) in pairs {
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\",");
+    }
+    let _ = write!(out, "le=\"{le}\"}}");
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    /// `(key, value)` pairs in source order.
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// A parsed exposition page: type declarations and samples.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// `(family name, declared kind)` in source order.
+    pub types: Vec<(String, MetricKind)>,
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The value of the first sample matching `name` and all `labels`
+    /// pairs (sample may carry more labels than queried).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+}
+
+/// Parse a Prometheus text-format page. Returns an error string with a
+/// line number on malformed input.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE missing name", lineno + 1))?;
+            let kind = match it.next() {
+                Some("counter") => MetricKind::Counter,
+                Some("gauge") => MetricKind::Gauge,
+                Some("histogram") => MetricKind::Histogram,
+                other => {
+                    return Err(format!("line {}: unknown TYPE {:?}", lineno + 1, other));
+                }
+            };
+            out.types.push((name.to_string(), kind));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        out.samples
+            .push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value_str) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            (
+                (&line[..brace], Some(&line[brace + 1..close])),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut it = line.splitn(2, char::is_whitespace);
+            let name = it.next().unwrap();
+            let rest = it.next().ok_or_else(|| "missing value".to_string())?;
+            ((name, None), rest.trim())
+        }
+    };
+    let (name, labels_src) = name_labels;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let labels = match labels_src {
+        None => Vec::new(),
+        Some(src) => parse_labels(src)?,
+    };
+    // Timestamps (a trailing integer) are not emitted by our encoder;
+    // take the first token as the value.
+    let value_tok = value_str
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| "missing value".to_string())?;
+    let value = match value_tok {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse::<f64>().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(src: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    loop {
+        // Skip separators / trailing comma.
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label key".to_string());
+        }
+        match chars.next() {
+            Some('"') => {}
+            other => return Err(format!("expected opening quote, got {other:?}")),
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => val.push('\\'),
+                    Some('"') => val.push('"'),
+                    Some('n') => val.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some('"') => break,
+                Some(c) => val.push(c),
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        out.push((key, val));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Labels;
+    use crate::registry::Registry;
+
+    fn demo_registry() -> Registry {
+        let r = Registry::new();
+        r.counter(
+            "frames_total",
+            "Frames offered to the service",
+            Labels::service("sift").with_replica(0),
+        )
+        .add(42);
+        r.gauge(
+            "queue_depth",
+            "Sidecar queue depth",
+            Labels::service("sift"),
+        )
+        .set(3.5);
+        let h = r.histogram(
+            "service_latency_ms",
+            "Per-frame service latency",
+            Labels::service("primary"),
+        );
+        for v in [5.0, 10.0, 20.0, 80.0] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn encode_emits_help_type_and_samples() {
+        let text = encode(&demo_registry().snapshot());
+        assert!(text.contains("# HELP frames_total Frames offered to the service"));
+        assert!(text.contains("# TYPE frames_total counter"));
+        assert!(text.contains("frames_total{service=\"sift\",replica=\"0\"} 42"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth{service=\"sift\"} 3.5"));
+        assert!(text.contains("# TYPE service_latency_ms histogram"));
+        assert!(text.contains("service_latency_ms_bucket{service=\"primary\",le=\"+Inf\"} 4"));
+        assert!(text.contains("service_latency_ms_count{service=\"primary\"} 4"));
+    }
+
+    #[test]
+    fn roundtrip_counter_gauge_histogram() {
+        let snap = demo_registry().snapshot();
+        let text = encode(&snap);
+        let exp = parse(&text).expect("parse");
+        assert_eq!(
+            exp.value("frames_total", &[("service", "sift"), ("replica", "0")]),
+            Some(42.0)
+        );
+        assert_eq!(exp.value("queue_depth", &[("service", "sift")]), Some(3.5));
+        assert_eq!(
+            exp.value("service_latency_ms_count", &[("service", "primary")]),
+            Some(4.0)
+        );
+        // Sum is exact (µs fixed point): 115 ms.
+        let sum = exp
+            .value("service_latency_ms_sum", &[("service", "primary")])
+            .unwrap();
+        assert!((sum - 115.0).abs() < 0.01, "sum {sum}");
+        // +Inf bucket equals the count.
+        assert_eq!(
+            exp.value(
+                "service_latency_ms_bucket",
+                &[("service", "primary"), ("le", "+Inf")]
+            ),
+            Some(4.0)
+        );
+        // Types declared once per family.
+        assert_eq!(exp.types.len(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_text() {
+        let snap = demo_registry().snapshot();
+        let exp = parse(&encode(&snap)).unwrap();
+        let mut les: Vec<(f64, f64)> = exp
+            .samples
+            .iter()
+            .filter(|s| s.name == "service_latency_ms_bucket")
+            .map(|s| {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| {
+                        if v == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            v.parse().unwrap()
+                        }
+                    })
+                    .unwrap();
+                (le, s.value)
+            })
+            .collect();
+        les.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in les.windows(2) {
+            assert!(w[0].1 <= w[1].1, "cumulative counts must be monotone");
+        }
+        assert_eq!(les.last().unwrap().1, 4.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        assert!(parse("no_value_here").is_err());
+        assert!(parse("bad-name 1").is_err());
+        assert!(parse("x{unterminated=\"v} 1").is_err());
+        assert!(parse("# TYPE x summary").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_empty_lines() {
+        let text = "\n# comment\nm{k=\"a\\\"b\\\\c\\nd\"} 7\n";
+        let exp = parse(text).unwrap();
+        assert_eq!(exp.samples.len(), 1);
+        assert_eq!(exp.samples[0].labels[0].1, "a\"b\\c\nd");
+        assert_eq!(exp.samples[0].value, 7.0);
+    }
+}

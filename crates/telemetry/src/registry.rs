@@ -1,0 +1,243 @@
+//! The metrics registry: named, labeled series with get-or-create
+//! handle acquisition.
+//!
+//! Registration (handle acquisition) takes a short `Mutex`; the
+//! returned handles share `Arc`ed cores, so the *record* path never
+//! touches the registry again — sharded atomic adds for counters, an
+//! atomic store for gauges, one indexed atomic increment for
+//! histograms. Service threads acquire their handles once at spawn and
+//! then record wait-free for the lifetime of the run.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramCore};
+use crate::label::Labels;
+use crate::metric::{Counter, CounterCore, Gauge, GaugeCore};
+use crate::snapshot::{Series, SeriesValue, Snapshot};
+
+/// What kind of series a name refers to. A name is bound to one kind
+/// at first registration; re-registering under a different kind
+/// panics (it is a programming error, like a type mismatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+#[derive(Debug)]
+enum Core {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Core {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Core::Counter(_) => MetricKind::Counter,
+            Core::Gauge(_) => MetricKind::Gauge,
+            Core::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    help: &'static str,
+    kind: Option<MetricKind>,
+    /// BTreeMap gives deterministic iteration order for snapshots and
+    /// exposition, independent of registration order.
+    series: BTreeMap<Labels, Core>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    families: BTreeMap<&'static str, Family>,
+}
+
+/// A registry of named metric families. Cheap to clone (shared inner).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name{labels}`. The first caller for
+    /// a name sets its help text and kind.
+    pub fn counter(&self, name: &'static str, help: &'static str, labels: Labels) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        let fam = inner.families.entry(name).or_default();
+        Self::bind(fam, name, help, MetricKind::Counter);
+        let core = fam
+            .series
+            .entry(labels)
+            .or_insert_with(|| Core::Counter(Arc::new(CounterCore::default())));
+        match core {
+            Core::Counter(c) => Counter(Arc::clone(c)),
+            other => panic!(
+                "metric {name:?} registered as {:?}, requested Counter",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &'static str, help: &'static str, labels: Labels) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        let fam = inner.families.entry(name).or_default();
+        Self::bind(fam, name, help, MetricKind::Gauge);
+        let core = fam
+            .series
+            .entry(labels)
+            .or_insert_with(|| Core::Gauge(Arc::new(GaugeCore::default())));
+        match core {
+            Core::Gauge(g) => Gauge(Arc::clone(g)),
+            other => panic!(
+                "metric {name:?} registered as {:?}, requested Gauge",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Get or create the latency histogram `name{labels}` (values in
+    /// milliseconds, recorded internally at microsecond resolution).
+    pub fn histogram(&self, name: &'static str, help: &'static str, labels: Labels) -> Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        let fam = inner.families.entry(name).or_default();
+        Self::bind(fam, name, help, MetricKind::Histogram);
+        let core = fam
+            .series
+            .entry(labels)
+            .or_insert_with(|| Core::Histogram(Arc::new(HistogramCore::new_latency_ms())));
+        match core {
+            Core::Histogram(h) => Histogram(Arc::clone(h)),
+            other => panic!(
+                "metric {name:?} registered as {:?}, requested Histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    fn bind(fam: &mut Family, name: &str, help: &'static str, kind: MetricKind) {
+        match fam.kind {
+            None => {
+                fam.kind = Some(kind);
+                fam.help = help;
+            }
+            Some(k) if k == kind => {}
+            Some(k) => panic!("metric {name:?} registered as {k:?}, requested {kind:?}"),
+        }
+    }
+
+    /// Point-in-time scrape of every series. Values are read with
+    /// relaxed atomics; a scrape concurrent with recording sees some
+    /// consistent recent value per series (exactness across series is
+    /// not needed — deltas between scrapes are what reports consume).
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut series = Vec::new();
+        for (name, fam) in &inner.families {
+            for (labels, core) in &fam.series {
+                let value = match core {
+                    Core::Counter(c) => SeriesValue::Counter(c.get()),
+                    Core::Gauge(g) => SeriesValue::Gauge(g.get()),
+                    Core::Histogram(h) => SeriesValue::Histogram(h.snapshot()),
+                };
+                series.push(Series {
+                    name,
+                    help: fam.help,
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        Snapshot { series }
+    }
+
+    /// Number of registered series across all families.
+    pub fn series_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.families.values().map(|f| f.series.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_core() {
+        let r = Registry::new();
+        let a = r.counter("frames_total", "frames", Labels::service("sift"));
+        let b = r.counter("frames_total", "frames", Labels::service("sift"));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.series_count(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let r = Registry::new();
+        let a = r.counter("frames_total", "frames", Labels::service("sift"));
+        let b = r.counter("frames_total", "frames", Labels::service("lsh"));
+        a.inc();
+        assert_eq!(b.get(), 0);
+        assert_eq!(r.series_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "x", Labels::EMPTY);
+        let _ = r.gauge("x_total", "x", Labels::EMPTY);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_sorted() {
+        let r = Registry::new();
+        // Register out of order; snapshot must sort by (name, labels).
+        r.gauge("z_depth", "depth", Labels::service("sift"))
+            .set(3.0);
+        r.counter("a_total", "a", Labels::service("sift")).inc();
+        r.counter("a_total", "a", Labels::service("lsh")).add(2);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap
+            .series
+            .iter()
+            .map(|s| (s.name, s.labels.to_string()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a_total", "{service=\"lsh\"}".to_string()),
+                ("a_total", "{service=\"sift\"}".to_string()),
+                ("z_depth", "{service=\"sift\"}".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_snapshot_roundtrip() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ms", "latency", Labels::service("primary"));
+        h.record(10.0);
+        h.record(20.0);
+        let snap = r.snapshot();
+        let s = &snap.series[0];
+        match &s.value {
+            SeriesValue::Histogram(hs) => {
+                assert_eq!(hs.count(), 2);
+                assert!((hs.mean() - 15.0).abs() < 0.05);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! SLO tracking: rolling latency quantiles and multi-window burn rate.
+//!
+//! The paper's serviceability bar is a 100 ms end-to-end budget — a
+//! frame slower than that (or dropped outright) misses the objective.
+//! [`SloTracker`] consumes the completion stream (`observe`) and the
+//! drop stream (`observe_breach`) and maintains:
+//!
+//! - **rolling p50/p95/p99** over a short sliding window, for display;
+//! - **multi-window burn rate** (the Google SRE alerting recipe): the
+//!   error budget is `1 − target` (e.g. 5% of frames may breach); the
+//!   burn rate over a window is `breach_fraction / budget`. An alert
+//!   fires only when *both* a long window and a short window burn above
+//!   threshold — the long window gives significance, the short window
+//!   guarantees the problem is still happening — and clears when the
+//!   short window recovers. This avoids both flapping on single slow
+//!   frames and alerting hours after a transient.
+//!
+//! The tracker is an observer: single-owner, no interior mutability, no
+//! RNG. The DES feeds it simulated time; the runtime feeds wall time.
+
+use std::collections::VecDeque;
+
+/// Objective + alerting policy.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Latency objective in milliseconds (the paper's budget: 100 ms).
+    pub threshold_ms: f64,
+    /// Fraction of frames that must meet the objective (e.g. 0.95).
+    pub target: f64,
+    /// Long alerting window, seconds (significance).
+    pub long_window_s: f64,
+    /// Short alerting window, seconds (recency).
+    pub short_window_s: f64,
+    /// Burn-rate multiple that trips the alert (1.0 = burning the budget
+    /// exactly at the sustainable rate).
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            threshold_ms: 100.0,
+            target: 0.95,
+            long_window_s: 30.0,
+            short_window_s: 5.0,
+            burn_threshold: 2.0,
+        }
+    }
+}
+
+/// What happened at an alert transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloEventKind {
+    /// Both windows burning above threshold; alert raised.
+    BurnRateAlert { short_burn: f64, long_burn: f64 },
+    /// Short window recovered; alert cleared.
+    BurnRateClear { short_burn: f64, long_burn: f64 },
+}
+
+/// A structured alert transition, timestamped in tracker time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloEvent {
+    pub at_s: f64,
+    pub kind: SloEventKind,
+}
+
+/// One observation: `(time, breached?)`; completions also carry latency.
+#[derive(Debug, Clone, Copy)]
+struct Obs {
+    t_s: f64,
+    latency_ms: f64,
+    breach: bool,
+}
+
+/// Rolling quantiles + burn-rate state machine. Single-owner.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    /// Observations within the long window, oldest first.
+    window: VecDeque<Obs>,
+    alerting: bool,
+    total: u64,
+    total_breaches: u64,
+}
+
+impl SloTracker {
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        assert!(cfg.threshold_ms > 0.0 && cfg.target > 0.0 && cfg.target < 1.0);
+        assert!(cfg.short_window_s > 0.0 && cfg.long_window_s >= cfg.short_window_s);
+        SloTracker {
+            cfg,
+            window: VecDeque::new(),
+            alerting: false,
+            total: 0,
+            total_breaches: 0,
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Record a completed frame with its end-to-end latency.
+    pub fn observe(&mut self, t_s: f64, latency_ms: f64) {
+        let breach = latency_ms > self.cfg.threshold_ms;
+        self.push(Obs {
+            t_s,
+            latency_ms,
+            breach,
+        });
+    }
+
+    /// Record a frame that never completed (dropped): an objective
+    /// breach with no latency sample.
+    pub fn observe_breach(&mut self, t_s: f64) {
+        self.push(Obs {
+            t_s,
+            latency_ms: f64::NAN,
+            breach: true,
+        });
+    }
+
+    fn push(&mut self, obs: Obs) {
+        self.total += 1;
+        if obs.breach {
+            self.total_breaches += 1;
+        }
+        self.window.push_back(obs);
+        self.evict(obs.t_s);
+    }
+
+    fn evict(&mut self, now_s: f64) {
+        let horizon = now_s - self.cfg.long_window_s;
+        while self.window.front().is_some_and(|o| o.t_s < horizon) {
+            self.window.pop_front();
+        }
+    }
+
+    /// Breach fraction over the trailing `window_s` seconds ending at
+    /// `now_s`; `None` if no observations fall in the window.
+    fn breach_fraction(&self, now_s: f64, window_s: f64) -> Option<f64> {
+        let horizon = now_s - window_s;
+        let (mut n, mut breaches) = (0u64, 0u64);
+        for o in self.window.iter().rev() {
+            if o.t_s < horizon {
+                break;
+            }
+            n += 1;
+            if o.breach {
+                breaches += 1;
+            }
+        }
+        (n > 0).then(|| breaches as f64 / n as f64)
+    }
+
+    /// Burn rate over a trailing window: breach fraction divided by the
+    /// error budget (`1 − target`). 1.0 = exactly sustainable.
+    pub fn burn_rate(&self, now_s: f64, window_s: f64) -> Option<f64> {
+        let budget = 1.0 - self.cfg.target;
+        self.breach_fraction(now_s, window_s).map(|f| f / budget)
+    }
+
+    /// Rolling quantile over completions in the long window (drops have
+    /// no latency and are excluded). Sort-on-demand: evaluated at ~1 Hz
+    /// over a bounded window, not on the record path.
+    pub fn rolling_quantile(&self, q: f64) -> Option<f64> {
+        let mut lat: Vec<f64> = self
+            .window
+            .iter()
+            .filter(|o| o.latency_ms.is_finite())
+            .map(|o| o.latency_ms)
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((q.clamp(0.0, 1.0) * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1;
+        Some(lat[idx])
+    }
+
+    pub fn rolling_p50(&self) -> Option<f64> {
+        self.rolling_quantile(0.50)
+    }
+
+    pub fn rolling_p95(&self) -> Option<f64> {
+        self.rolling_quantile(0.95)
+    }
+
+    pub fn rolling_p99(&self) -> Option<f64> {
+        self.rolling_quantile(0.99)
+    }
+
+    /// Lifetime breach fraction (all observations, not windowed).
+    pub fn lifetime_breach_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.total_breaches as f64 / self.total as f64
+        }
+    }
+
+    pub fn observations(&self) -> u64 {
+        self.total
+    }
+
+    /// Evaluate the alert state machine at `now_s`. Returns an event on
+    /// a transition (raise or clear), `None` while the state holds.
+    pub fn evaluate(&mut self, now_s: f64) -> Option<SloEvent> {
+        self.evict(now_s);
+        let long = self.burn_rate(now_s, self.cfg.long_window_s);
+        let short = self.burn_rate(now_s, self.cfg.short_window_s);
+        let (long_burn, short_burn) = (long.unwrap_or(0.0), short.unwrap_or(0.0));
+        let firing = long_burn >= self.cfg.burn_threshold && short_burn >= self.cfg.burn_threshold;
+        if firing && !self.alerting {
+            self.alerting = true;
+            return Some(SloEvent {
+                at_s: now_s,
+                kind: SloEventKind::BurnRateAlert {
+                    short_burn,
+                    long_burn,
+                },
+            });
+        }
+        // Clear on short-window recovery: the problem has stopped, even
+        // if the long window still remembers it.
+        if self.alerting && short_burn < self.cfg.burn_threshold {
+            self.alerting = false;
+            return Some(SloEvent {
+                at_s: now_s,
+                kind: SloEventKind::BurnRateClear {
+                    short_burn,
+                    long_burn,
+                },
+            });
+        }
+        None
+    }
+
+    pub fn is_alerting(&self) -> bool {
+        self.alerting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            threshold_ms: 100.0,
+            target: 0.95,
+            long_window_s: 30.0,
+            short_window_s: 5.0,
+            burn_threshold: 2.0,
+        }
+    }
+
+    #[test]
+    fn healthy_stream_never_alerts() {
+        let mut t = SloTracker::new(cfg());
+        for i in 0..600 {
+            let now = i as f64 * 0.1;
+            t.observe(now, 40.0 + (i % 10) as f64);
+            assert!(t.evaluate(now).is_none());
+        }
+        assert!(!t.is_alerting());
+        assert_eq!(t.lifetime_breach_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sustained_breaches_alert_then_clear() {
+        let mut t = SloTracker::new(cfg());
+        // 20 s healthy.
+        for i in 0..200 {
+            let now = i as f64 * 0.1;
+            t.observe(now, 50.0);
+            assert!(t.evaluate(now).is_none());
+        }
+        // 15 s of 50% breaches: burn = 0.5/0.05 = 10 ≫ 2.
+        let mut raised_at = None;
+        for i in 0..150 {
+            let now = 20.0 + i as f64 * 0.1;
+            t.observe(now, if i % 2 == 0 { 150.0 } else { 50.0 });
+            if let Some(ev) = t.evaluate(now) {
+                assert!(matches!(ev.kind, SloEventKind::BurnRateAlert { .. }));
+                raised_at = Some(ev.at_s);
+                break;
+            }
+        }
+        let raised_at = raised_at.expect("alert should raise under sustained burn");
+        assert!(t.is_alerting());
+        // Recovery: healthy stream clears once the short window drains.
+        let mut cleared = false;
+        for i in 0..200 {
+            let now = raised_at + 0.1 + i as f64 * 0.1;
+            t.observe(now, 50.0);
+            if let Some(ev) = t.evaluate(now) {
+                assert!(matches!(ev.kind, SloEventKind::BurnRateClear { .. }));
+                cleared = true;
+                break;
+            }
+        }
+        assert!(cleared, "alert should clear after recovery");
+        assert!(!t.is_alerting());
+    }
+
+    #[test]
+    fn single_slow_frame_does_not_alert() {
+        let mut t = SloTracker::new(cfg());
+        for i in 0..100 {
+            let now = i as f64 * 0.1;
+            t.observe(now, 50.0);
+            t.evaluate(now);
+        }
+        t.observe(10.0, 500.0); // one outlier
+        assert!(t.evaluate(10.0).is_none());
+        assert!(!t.is_alerting());
+    }
+
+    #[test]
+    fn drops_count_as_breaches() {
+        let mut t = SloTracker::new(cfg());
+        let mut alerted = false;
+        for i in 0..100 {
+            let now = i as f64 * 0.1;
+            t.observe_breach(now); // everything dropped
+            if t.evaluate(now).is_some() {
+                alerted = true;
+                break;
+            }
+        }
+        assert!(alerted, "all-drops stream must alert");
+        assert_eq!(t.lifetime_breach_fraction(), 1.0);
+    }
+
+    #[test]
+    fn rolling_quantiles_track_the_window() {
+        let mut t = SloTracker::new(cfg());
+        for i in 1..=100 {
+            t.observe(i as f64 * 0.01, i as f64); // 1..=100 ms within window
+        }
+        assert_eq!(t.rolling_p50(), Some(50.0));
+        assert_eq!(t.rolling_p95(), Some(95.0));
+        assert_eq!(t.rolling_p99(), Some(99.0));
+        // Drops (NaN latency) are excluded from quantiles.
+        t.observe_breach(1.01);
+        assert_eq!(t.rolling_p50(), Some(50.0));
+    }
+
+    #[test]
+    fn window_eviction_forgets_old_observations() {
+        let mut t = SloTracker::new(cfg());
+        t.observe(0.0, 500.0); // breach at t=0
+        t.observe(100.0, 10.0); // far later; long window is 30 s
+        assert_eq!(t.burn_rate(100.0, 30.0), Some(0.0));
+        assert_eq!(t.rolling_p99(), Some(10.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Point-in-time scrapes and windowed views.
+//!
+//! A [`Snapshot`] is what a scrape returns: every registered series with
+//! its value at that instant. Two snapshots of the same registry bound a
+//! *window*: [`Snapshot::delta`] subtracts counters and histogram
+//! buckets (they are monotone) and keeps the later gauge value — the
+//! standard rate/window semantics of a Prometheus range query, computed
+//! locally.
+
+use crate::hist::HistSnapshot;
+use crate::label::Labels;
+
+/// The value of one series at scrape time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistSnapshot),
+}
+
+/// One series: `(name, labels)` identity plus help text and value.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: &'static str,
+    pub help: &'static str,
+    pub labels: Labels,
+    pub value: SeriesValue,
+}
+
+/// A point-in-time scrape of a registry. Series are ordered by
+/// `(name, labels)` — deterministic regardless of registration order.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub series: Vec<Series>,
+}
+
+impl Snapshot {
+    /// Look up one series by name and labels.
+    pub fn get(&self, name: &str, labels: &Labels) -> Option<&SeriesValue> {
+        self.series
+            .iter()
+            .find(|s| s.name == name && &s.labels == labels)
+            .map(|s| &s.value)
+    }
+
+    /// Counter value, or 0 if the series is absent / not a counter.
+    pub fn counter(&self, name: &str, labels: &Labels) -> u64 {
+        match self.get(name, labels) {
+            Some(SeriesValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value, or `None` if absent / not a gauge.
+    pub fn gauge(&self, name: &str, labels: &Labels) -> Option<f64> {
+        match self.get(name, labels) {
+            Some(SeriesValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot, or `None` if absent / not a histogram.
+    pub fn histogram(&self, name: &str, labels: &Labels) -> Option<&HistSnapshot> {
+        match self.get(name, labels) {
+            Some(SeriesValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum of a counter family across all label sets matching `pred`.
+    pub fn counter_sum(&self, name: &str, pred: impl Fn(&Labels) -> bool) -> u64 {
+        self.series
+            .iter()
+            .filter(|s| s.name == name && pred(&s.labels))
+            .map(|s| match &s.value {
+                SeriesValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Merge of a histogram family across all label sets matching `pred`.
+    pub fn histogram_merged(
+        &self,
+        name: &str,
+        pred: impl Fn(&Labels) -> bool,
+    ) -> Option<HistSnapshot> {
+        let mut acc: Option<HistSnapshot> = None;
+        for s in &self.series {
+            if s.name != name || !pred(&s.labels) {
+                continue;
+            }
+            if let SeriesValue::Histogram(h) = &s.value {
+                match &mut acc {
+                    None => acc = Some(h.clone()),
+                    Some(a) => a.merge(h),
+                }
+            }
+        }
+        acc
+    }
+
+    /// The window `later − earlier`: counters and histogram buckets
+    /// subtract (saturating, robust to resets); gauges take the later
+    /// value. Series present only in `later` pass through unchanged;
+    /// series that disappeared are dropped.
+    pub fn delta(earlier: &Snapshot, later: &Snapshot) -> Snapshot {
+        let series = later
+            .series
+            .iter()
+            .map(|s| {
+                let value = match (&s.value, earlier.get(s.name, &s.labels)) {
+                    (SeriesValue::Counter(b), Some(SeriesValue::Counter(a))) => {
+                        SeriesValue::Counter(b.saturating_sub(*a))
+                    }
+                    (SeriesValue::Histogram(b), Some(SeriesValue::Histogram(a))) => {
+                        SeriesValue::Histogram(HistSnapshot::delta(a, b))
+                    }
+                    // Gauges are point-in-time: keep the later value.
+                    (v, _) => v.clone(),
+                };
+                Series { value, ..s.clone() }
+            })
+            .collect();
+        Snapshot { series }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn delta_windows_counters_and_keeps_gauges() {
+        let r = Registry::new();
+        let c = r.counter("frames_total", "frames", Labels::service("sift"));
+        let g = r.gauge("queue_depth", "depth", Labels::service("sift"));
+        c.add(10);
+        g.set(3.0);
+        let early = r.snapshot();
+        c.add(5);
+        g.set(7.0);
+        let late = r.snapshot();
+        let win = Snapshot::delta(&early, &late);
+        assert_eq!(win.counter("frames_total", &Labels::service("sift")), 5);
+        assert_eq!(
+            win.gauge("queue_depth", &Labels::service("sift")),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn delta_windows_histograms() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ms", "latency", Labels::service("primary"));
+        h.record(10.0);
+        let early = r.snapshot();
+        h.record(30.0);
+        let late = r.snapshot();
+        let win = Snapshot::delta(&early, &late);
+        let hs = win
+            .histogram("lat_ms", &Labels::service("primary"))
+            .unwrap();
+        assert_eq!(hs.count(), 1);
+        assert!((hs.mean() - 30.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn family_sums_and_merges() {
+        let r = Registry::new();
+        r.counter(
+            "drops_total",
+            "d",
+            Labels::service("sift").with_reason("busy_ingress"),
+        )
+        .add(2);
+        r.counter(
+            "drops_total",
+            "d",
+            Labels::service("sift").with_reason("stale_sidecar"),
+        )
+        .add(3);
+        r.counter(
+            "drops_total",
+            "d",
+            Labels::service("lsh").with_reason("busy_ingress"),
+        )
+        .add(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_sum("drops_total", |_| true), 12);
+        assert_eq!(
+            snap.counter_sum("drops_total", |l| l.service == Some("sift")),
+            5
+        );
+
+        let h1 = r.histogram("lat_ms", "l", Labels::service("sift"));
+        let h2 = r.histogram("lat_ms", "l", Labels::service("lsh"));
+        h1.record(10.0);
+        h2.record(20.0);
+        let snap = r.snapshot();
+        let merged = snap.histogram_merged("lat_ms", |_| true).unwrap();
+        assert_eq!(merged.count(), 2);
+        assert!((merged.mean() - 15.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn absent_series_defaults() {
+        let snap = Snapshot::default();
+        assert_eq!(snap.counter("nope", &Labels::EMPTY), 0);
+        assert_eq!(snap.gauge("nope", &Labels::EMPTY), None);
+        assert!(snap.histogram("nope", &Labels::EMPTY).is_none());
+    }
+}

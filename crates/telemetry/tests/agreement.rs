@@ -1,0 +1,92 @@
+//! Cross-crate agreement: the telemetry [`Histogram`] (log-linear,
+//! µs fixed-point) must agree with an exact [`metrics::Summary`] fed the
+//! same stream — count exactly, mean to within the per-sample rounding,
+//! and nearest-rank quantiles to within one bucket width, the bound the
+//! drift tables in `experiments --bin telemetry` lean on.
+
+use proptest::prelude::*;
+use telemetry::{HistSnapshot, Histogram};
+
+/// Exact nearest-rank quantile (`ceil(q·n)`-th smallest) — the same rank
+/// convention [`HistSnapshot::quantile`] uses, so any disagreement is
+/// bucketing error, not a rank-convention mismatch.
+fn exact_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let k = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[k - 1]
+}
+
+proptest! {
+    /// Count is exact, the mean carries only the ±0.5 µs fixed-point
+    /// rounding (no bucketing error — the sum is kept in integer units),
+    /// and every quantile lands within one bucket width of the exact
+    /// nearest-rank sample.
+    #[test]
+    fn histogram_agrees_with_exact_summary(
+        xs in proptest::collection::vec(0.001f64..50_000.0, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::detached_latency_ms();
+        let mut s = metrics::Summary::new();
+        for &x in &xs {
+            h.record(x);
+            s.record(x);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count() as usize, s.len());
+        prop_assert!(
+            (snap.mean() - s.mean()).abs() <= 0.0005 + 1e-9 * s.mean().abs(),
+            "mean drift beyond quantization: hist {} vs exact {}",
+            snap.mean(), s.mean()
+        );
+
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = exact_nearest_rank(&sorted, q);
+        let approx = snap.quantile(q);
+        // Half a bucket of midpoint error + half a µs of quantization,
+        // each doubled for slack at bucket/segment boundaries.
+        let tol = 2.0 * snap.bucket_width_at(exact.max(0.001)) + 0.002;
+        prop_assert!(
+            (approx - exact).abs() <= tol,
+            "q={q}: hist {approx} vs exact {exact} (tol {tol})"
+        );
+    }
+
+    /// `midpoint_samples` is a faithful bridge into the exact-summary
+    /// world: a [`metrics::Summary`] built from the expansion reproduces
+    /// the snapshot's count, its quantiles bitwise (the expansion *is*
+    /// the per-bucket midpoint list the snapshot ranks over), and its
+    /// mean to within the advertised relative error bound.
+    #[test]
+    fn midpoint_expansion_matches_snapshot(
+        xs in proptest::collection::vec(0.001f64..50_000.0, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::detached_latency_ms();
+        for &x in &xs {
+            h.record(x);
+        }
+        let snap = h.snapshot();
+        let mids = snap.midpoint_samples();
+        prop_assert_eq!(mids.len() as u64, snap.count());
+        // Buckets are emitted in ascending index order, so the expansion
+        // is already sorted — its nearest-rank quantile is exactly the
+        // snapshot's.
+        prop_assert!(mids.windows(2).all(|w| w[0] <= w[1]));
+        let from_mids = exact_nearest_rank(&mids, q);
+        prop_assert_eq!(from_mids.to_bits(), snap.quantile(q).to_bits());
+
+        let mut s = metrics::Summary::new();
+        for &m in &mids {
+            s.record(m);
+        }
+        prop_assert_eq!(s.len() as u64, snap.count());
+        let tol = 2.0 * HistSnapshot::relative_error_bound() * snap.mean() + 0.002;
+        prop_assert!(
+            (s.mean() - snap.mean()).abs() <= tol,
+            "midpoint mean {} vs exact-sum mean {} (tol {tol})",
+            s.mean(), snap.mean()
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Regression: the experiment harness's env-var diagnostics go to
+//! *stderr*, never stdout — `--json` output must stay machine-parsable
+//! even when `SCATTER_JOBS`/`SCATTER_EXP_SECS` are garbage. A corrupted
+//! stdout silently breaks every downstream plotting pipeline, so this is
+//! pinned by spawning the real binary.
+
+use std::process::Command;
+
+#[test]
+fn invalid_env_warns_on_stderr_and_keeps_json_stdout_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_telemetry"))
+        .args(["--smoke", "--json"])
+        .env("SCATTER_EXP_SECS", "6")
+        .env("SCATTER_JOBS", "banana") // invalid: must warn, not die
+        .output()
+        .expect("spawn telemetry bin");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "telemetry --smoke --json failed: {:?}\nstderr: {stderr}",
+        out.status
+    );
+
+    // stdout is exactly one JSON document (the table array).
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let v = trace::json::Value::parse(stdout.trim())
+        .expect("stdout must parse as JSON — no warnings may leak into it");
+    assert!(
+        v.idx(0).and_then(|t| t.get("title")).is_some(),
+        "expected a non-empty array of tables"
+    );
+
+    // The warning fired, on stderr.
+    assert!(
+        stderr.contains("warning: invalid SCATTER_JOBS"),
+        "stderr missing the SCATTER_JOBS warning: {stderr}"
+    );
+}
