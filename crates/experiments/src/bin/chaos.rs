@@ -1,0 +1,3 @@
+fn main() {
+    experiments::chaos_study::main();
+}

@@ -1,0 +1,706 @@
+//! Chaos study (`--bin chaos`): the same seeded fault schedule through
+//! the DES *and* a live loopback-UDP deployment, with a hard agreement
+//! gate on crash accounting.
+//!
+//! The schedule is **frame-indexed**, not wall-clock-indexed: "kill sift
+//! half a frame-period before frame `a` is emitted, revive it exactly
+//! `m` periods later". Each plane converts the schedule into its own
+//! timebase (the DES clients emit on the paper's 30 FPS grid, the
+//! runtime is paced slower so a 1-CPU box keeps lock-step), and as long
+//! as the emission→sift delay stays under half a period, *exactly* the
+//! frames `[a, a+m)` of every client arrive at a dead replica — in both
+//! planes, by construction. That turns crash attribution into an exact
+//! cross-plane invariant instead of a statistical comparison:
+//!
+//! 1. **Gate scenario** (lock-step, calm calibration): the DES trace and
+//!    the runtime trace must report *identical* `Crash` drop counts,
+//!    equal to `outage_frames × clients`, in both scAtteR and scAtteR++
+//!    modes, with every frame attributed (no frame ends without a
+//!    terminal). Any mismatch exits non-zero — this is the CI stage.
+//! 2. **Survival scenario** (loaded, impaired): the paper's robustness
+//!    claim. A mid-run sift crash under pipeline depth (the impairment
+//!    shim adds 80 ms of sift→encoding transit plus bursty uplink loss)
+//!    strands scAtteR's in-flight frames: their fetches hit the respawned
+//!    replica's empty store and each burns a fetch deadline at matching,
+//!    so scAtteR's recovery stretches far past the orchestrator's
+//!    recovery delay, while scAtteR++'s frame-embedded state recovers
+//!    within it. Tables show FPS collapse and drop forensics per plane.
+//!
+//! Artifacts: `results/chaos_tables.json`.
+
+use std::time::Duration;
+
+use scatter::client::FRAME_PERIOD;
+use scatter::config::{placements, RunConfig};
+use scatter::runtime::deploy::{run_local_traced, RuntimeOptions};
+use scatter::runtime::impair::{Ep, ImpairmentProfile, LinkImpairment, LinkRule};
+use scatter::runtime::stateful::StatefulOptions;
+use scatter::{run_experiment_traced_with, CostModel, Mode, ServiceKind};
+use simcore::SimDuration;
+use trace::{Analysis, DropReason, FrameFate, TraceConfig, TraceLog};
+
+use crate::table::{f1, Table};
+
+/// One seed drives both planes (DES world seed, runtime scene/service
+/// seed, and the impairment shim).
+pub const CHAOS_SEED: u64 = 1107;
+
+/// Runtime client pace for the lock-step gate: slow enough that one
+/// frame fully completes (fetch round-trip included) inside a period on
+/// a 1-CPU release build, fast enough to keep the stage short.
+const GATE_RT_FPS: f64 = 8.0;
+
+/// Runtime client pace for the loaded survival scenario.
+const SURVIVAL_RT_FPS: f64 = 20.0;
+
+/// A frame-indexed fault schedule, convertible to any plane's timebase.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSchedule {
+    /// First frame index that must find the replica dead.
+    pub kill_frame: u32,
+    /// Outage length in frame periods; frames
+    /// `[kill_frame, kill_frame + outage_frames)` arrive while down.
+    pub outage_frames: u32,
+}
+
+impl FaultSchedule {
+    /// `(kill_at, outage)` in a plane emitting one frame per `period`:
+    /// the kill lands half a period *before* frame `kill_frame`'s
+    /// emission and the outage lasts exactly `outage_frames` periods.
+    /// Valid whenever the plane's emission→sift delay (plus sift's
+    /// per-frame service time) stays under `period / 2` — then the
+    /// outage boundary falls mid-gap on both edges and the crash-dropped
+    /// frame set is exact.
+    pub fn window(&self, period: Duration) -> (Duration, Duration) {
+        let start = period * self.kill_frame - period / 2;
+        (start, period * self.outage_frames)
+    }
+
+    /// The exact crash-drop count both planes must report.
+    pub fn expected_crash_drops(&self, clients: u64) -> u64 {
+        u64::from(self.outage_frames) * clients
+    }
+}
+
+/// The DES plane's frame period as wall-clock time (30 FPS grid).
+pub fn des_period() -> Duration {
+    Duration::from_nanos(FRAME_PERIOD.as_nanos())
+}
+
+/// Low-noise DES calibration for the lock-step gate: deterministic-ish
+/// service times, no emission jitter, no GPU/virtualization spikes —
+/// every timing margin in [`FaultSchedule::window`]'s analysis holds
+/// with millisecond headroom. The realistic default model stays in the
+/// survival scenario, where exactness is not gated.
+pub fn calm_cost() -> CostModel {
+    CostModel {
+        base_ms: [3.0, 4.0, 3.0, 2.0, 3.0],
+        sigma: 0.02,
+        fetch_service_ms: 1.0,
+        emit_jitter_ms: 0.0,
+        edge_spike_prob: 0.0,
+        virt_spike_prob: 0.0,
+        ..CostModel::default()
+    }
+}
+
+fn mode_label(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Scatter => "scAtteR",
+        Mode::ScatterPP => "scAtteR++",
+        Mode::StatelessOnly => "stateless-only",
+        Mode::SidecarOnly => "sidecar-only",
+    }
+}
+
+/// Audit a trace log: span invariants hold and no frame vanished
+/// mid-run without a terminal. Frames still in flight when the log ends
+/// are tolerated only inside the final `tail` window (the DES stops
+/// mid-stream by design; the runtime's drain should leave none).
+pub fn audit(log: &TraceLog, tail: Duration) -> Result<Analysis, String> {
+    let a = Analysis::from_log(log);
+    a.check_invariants()?;
+    let horizon = a.end_ns.saturating_sub(tail.as_nanos() as u64);
+    let stragglers = a
+        .frames()
+        .filter(|f| {
+            matches!(f.fate.1, FrameFate::Dropped(DropReason::RunEnd))
+                && f.emitted_ns.unwrap_or(0) < horizon
+        })
+        .count();
+    if stragglers > 0 {
+        return Err(format!(
+            "{stragglers} frame(s) vanished mid-run without a terminal"
+        ));
+    }
+    Ok(a)
+}
+
+fn crash_count(a: &Analysis) -> u64 {
+    a.drop_reasons()
+        .get(&DropReason::Crash)
+        .copied()
+        .unwrap_or(0) as u64
+}
+
+// ---------------------------------------------------------------------
+// Gate scenario: exact DES-vs-real crash-drop agreement.
+// ---------------------------------------------------------------------
+
+pub struct GatePoint {
+    pub mode: Mode,
+    pub clients: u64,
+    pub expected: u64,
+    pub des_crash: u64,
+    pub rt_crash: u64,
+    pub des_audit: Result<(), String>,
+    pub rt_audit: Result<(), String>,
+}
+
+impl GatePoint {
+    pub fn ok(&self) -> bool {
+        self.des_crash == self.expected
+            && self.rt_crash == self.expected
+            && self.des_audit.is_ok()
+            && self.rt_audit.is_ok()
+    }
+}
+
+/// The DES half of the gate: 30 FPS grid, calm calibration, clients
+/// staggered by 6 ms so their identical emission grids never collide at
+/// a drop-on-busy ingress (the stagger is well under half a period, so
+/// the window analysis is unchanged).
+pub fn des_gate_run(mode: Mode, clients: usize, sched: FaultSchedule) -> (Analysis, TraceLog) {
+    let p = des_period();
+    let (at, outage) = sched.window(p);
+    let total = sched.kill_frame + 2 * sched.outage_frames + 6;
+    let cfg = RunConfig::new(mode, placements::c1(), clients)
+        .with_duration(SimDuration::from_secs_f64(
+            f64::from(total) * p.as_secs_f64(),
+        ))
+        .with_warmup(SimDuration::ZERO)
+        .with_seed(CHAOS_SEED)
+        .with_stagger(SimDuration::from_millis(6))
+        .with_failure(
+            SimDuration::from_secs_f64(at.as_secs_f64()),
+            ServiceKind::Sift,
+            0,
+        )
+        .with_recovery(SimDuration::from_secs_f64(outage.as_secs_f64()))
+        .with_trace(TraceConfig::default());
+    let (_report, log) = run_experiment_traced_with(cfg, calm_cost());
+    (Analysis::from_log(&log), log)
+}
+
+/// The runtime half of the gate: same schedule converted to the slower
+/// loopback pace, pristine network, one kill of sift's replica.
+fn rt_gate_run(mode: Mode, clients: u16, sched: FaultSchedule) -> (RuntimeReportLite, TraceLog) {
+    let p = Duration::from_secs_f64(1.0 / GATE_RT_FPS);
+    let (at, outage) = sched.window(p);
+    let frames = sched.kill_frame + sched.outage_frames + 4;
+    let (report, log) = run_local_traced(RuntimeOptions {
+        clients,
+        frames,
+        fps: GATE_RT_FPS,
+        stateful: mode == Mode::Scatter,
+        seed: CHAOS_SEED,
+        kills: vec![(at, ServiceKind::Sift, outage)],
+        drain: Duration::from_millis(2000),
+        ..Default::default()
+    });
+    (
+        RuntimeReportLite {
+            emitted: report.emitted,
+            completed: report.completed,
+            crash_drops: report.crash_drops,
+            fetch_retransmits: report.fetch_retransmits,
+        },
+        log,
+    )
+}
+
+/// The runtime fields the tables need (keeps the full report private to
+/// the run helpers).
+pub struct RuntimeReportLite {
+    pub emitted: u32,
+    pub completed: u32,
+    pub crash_drops: u64,
+    pub fetch_retransmits: u64,
+}
+
+pub fn gate_point(mode: Mode, sched: FaultSchedule) -> GatePoint {
+    let clients = 2u64;
+    let (des_a, des_log) = des_gate_run(mode, clients as usize, sched);
+    let (rt_report, rt_log) = rt_gate_run(mode, clients as u16, sched);
+    let rt_a = Analysis::from_log(&rt_log);
+    let des_audit = audit(&des_log, Duration::from_millis(1500)).map(|_| ());
+    let rt_audit = audit(&rt_log, Duration::ZERO).map(|_| ());
+    // The runtime's counter plane and its trace plane must agree with
+    // each other before we compare across planes.
+    let rt_crash = crash_count(&rt_a);
+    let rt_audit = rt_audit.and_then(|()| {
+        if rt_report.crash_drops == rt_crash {
+            Ok(())
+        } else {
+            Err(format!(
+                "runtime counter/trace split: {} counted vs {} terminals",
+                rt_report.crash_drops, rt_crash
+            ))
+        }
+    });
+    GatePoint {
+        mode,
+        clients,
+        expected: sched.expected_crash_drops(clients),
+        des_crash: crash_count(&des_a),
+        rt_crash,
+        des_audit,
+        rt_audit,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Survival scenario: the paper's fragility claim under load.
+// ---------------------------------------------------------------------
+
+pub struct SurvivalPoint {
+    pub plane: &'static str,
+    pub mode: Mode,
+    pub emitted: usize,
+    pub completed: usize,
+    /// Completions/sec before the kill vs inside the fault window.
+    pub baseline_fps: f64,
+    pub fault_fps: f64,
+    /// Restart → first completion of a frame emitted after the restart.
+    pub recovery_ms: f64,
+    pub reasons: Vec<(DropReason, usize)>,
+    pub audit: Result<(), String>,
+}
+
+fn fps_in(a: &Analysis, from_ns: u64, to_ns: u64) -> f64 {
+    if to_ns <= from_ns {
+        return 0.0;
+    }
+    let n = a
+        .frames()
+        .filter(|f| f.completed() && f.fate.0 >= from_ns && f.fate.0 < to_ns)
+        .count();
+    n as f64 / ((to_ns - from_ns) as f64 / 1e9)
+}
+
+fn recovery_ms(a: &Analysis, restart_ns: u64) -> f64 {
+    a.frames()
+        .filter(|f| f.completed() && f.emitted_ns.unwrap_or(0) >= restart_ns)
+        .map(|f| (f.fate.0.saturating_sub(restart_ns)) as f64 / 1e6)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn survival_point(
+    plane: &'static str,
+    mode: Mode,
+    a: &Analysis,
+    audit_res: Result<(), String>,
+    kill_at: Duration,
+    outage: Duration,
+) -> SurvivalPoint {
+    let kill_ns = kill_at.as_nanos() as u64;
+    let restart_ns = kill_ns + outage.as_nanos() as u64;
+    let fault_end_ns = restart_ns + outage.as_nanos() as u64;
+    SurvivalPoint {
+        plane,
+        mode,
+        emitted: a.emitted(),
+        completed: a.completed(),
+        baseline_fps: fps_in(
+            a,
+            kill_ns.saturating_sub(kill_ns.min(1_000_000_000)),
+            kill_ns,
+        ),
+        fault_fps: fps_in(a, kill_ns, fault_end_ns),
+        recovery_ms: recovery_ms(a, restart_ns),
+        reasons: a.drop_reasons().into_iter().collect(),
+        audit: audit_res,
+    }
+}
+
+/// The loaded runtime network: 80 ms of sift→encoding transit (pipeline
+/// depth: several frames are always past sift) and 1 % bursty uplink
+/// loss — both deterministic from [`CHAOS_SEED`].
+pub fn survival_impair() -> ImpairmentProfile {
+    ImpairmentProfile::new(CHAOS_SEED)
+        .with_rule(LinkRule::between(
+            Ep::Svc(ServiceKind::Sift),
+            Ep::Svc(ServiceKind::Encoding),
+            LinkImpairment::loss(0.0)
+                .with_delay(Duration::from_millis(80), Duration::from_millis(10)),
+        ))
+        .with_rule(LinkRule::between(
+            Ep::Client,
+            Ep::Svc(ServiceKind::Primary),
+            LinkImpairment::bursty(0.01, 4.0),
+        ))
+}
+
+fn rt_survival_run(mode: Mode, sched: FaultSchedule) -> (SurvivalPoint, RuntimeReportLite) {
+    let p = Duration::from_secs_f64(1.0 / SURVIVAL_RT_FPS);
+    let (at, outage) = sched.window(p);
+    let frames = sched.kill_frame + 2 * sched.outage_frames + 10;
+    let drain = Duration::from_millis(3500);
+    let (report, log) = run_local_traced(RuntimeOptions {
+        clients: 2,
+        frames,
+        fps: SURVIVAL_RT_FPS,
+        stateful: mode == Mode::Scatter,
+        stateful_opts: StatefulOptions {
+            fetch_timeout: Duration::from_millis(300),
+            ..Default::default()
+        },
+        seed: CHAOS_SEED,
+        impair: Some(survival_impair()),
+        kills: vec![(at, ServiceKind::Sift, outage)],
+        drain,
+        ..Default::default()
+    });
+    let audit_res = audit(&log, drain).map(|_| ());
+    let a = Analysis::from_log(&log);
+    (
+        survival_point("runtime", mode, &a, audit_res, at, outage),
+        RuntimeReportLite {
+            emitted: report.emitted,
+            completed: report.completed,
+            crash_drops: report.crash_drops,
+            fetch_retransmits: report.fetch_retransmits,
+        },
+    )
+}
+
+fn des_survival_run(mode: Mode, sched: FaultSchedule) -> SurvivalPoint {
+    let p = des_period();
+    let (at, outage) = sched.window(p);
+    let total = sched.kill_frame + 2 * sched.outage_frames + 30;
+    let cfg = RunConfig::new(mode, placements::c1(), 2)
+        .with_duration(SimDuration::from_secs_f64(
+            f64::from(total) * p.as_secs_f64(),
+        ))
+        .with_warmup(SimDuration::ZERO)
+        .with_seed(CHAOS_SEED)
+        .with_netem(simnet::NetemProfile::new("chaos-ge", 2.0, 0.01).with_burst_loss(4.0))
+        .with_failure(
+            SimDuration::from_secs_f64(at.as_secs_f64()),
+            ServiceKind::Sift,
+            0,
+        )
+        .with_recovery(SimDuration::from_secs_f64(outage.as_secs_f64()))
+        .with_trace(TraceConfig::default());
+    let (_report, log) = scatter::run_experiment_traced(cfg);
+    let audit_res = audit(&log, Duration::from_millis(1500)).map(|_| ());
+    let a = Analysis::from_log(&log);
+    survival_point("DES", mode, &a, audit_res, at, outage)
+}
+
+// ---------------------------------------------------------------------
+// Study driver + tables.
+// ---------------------------------------------------------------------
+
+pub struct ChaosStudy {
+    pub gates: Vec<GatePoint>,
+    pub survival: Vec<SurvivalPoint>,
+    /// Runtime survival recovery per mode, for the collapse gate.
+    rt_recovery: Vec<(Mode, f64)>,
+    /// Recovery delay of the survival scenario (runtime timebase), ms.
+    rt_outage_ms: f64,
+    pub tables: Vec<Table>,
+}
+
+impl ChaosStudy {
+    /// Every hard condition the chaos stage enforces.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for g in &self.gates {
+            if g.des_crash != g.expected || g.rt_crash != g.expected {
+                out.push(format!(
+                    "{}: crash-drop disagreement (expected {}, DES {}, runtime {})",
+                    mode_label(g.mode),
+                    g.expected,
+                    g.des_crash,
+                    g.rt_crash
+                ));
+            }
+            if let Err(e) = &g.des_audit {
+                out.push(format!("{} DES audit: {e}", mode_label(g.mode)));
+            }
+            if let Err(e) = &g.rt_audit {
+                out.push(format!("{} runtime audit: {e}", mode_label(g.mode)));
+            }
+        }
+        for s in &self.survival {
+            if let Err(e) = &s.audit {
+                out.push(format!(
+                    "survival {} {} audit: {e}",
+                    s.plane,
+                    mode_label(s.mode)
+                ));
+            }
+        }
+        let rec = |mode: Mode| {
+            self.rt_recovery
+                .iter()
+                .find(|(m, _)| *m == mode)
+                .map(|(_, r)| *r)
+                .unwrap_or(f64::INFINITY)
+        };
+        let (pp, sc) = (rec(Mode::ScatterPP), rec(Mode::Scatter));
+        // The paper's claim, made executable: frame-embedded state comes
+        // back within the orchestrator's recovery delay; the stateful
+        // dependency loop does not.
+        if pp > self.rt_outage_ms {
+            out.push(format!(
+                "scAtteR++ runtime recovery {:.0} ms exceeds the recovery delay {:.0} ms",
+                pp, self.rt_outage_ms
+            ));
+        }
+        if sc <= pp {
+            out.push(format!(
+                "scAtteR runtime recovery {sc:.0} ms not slower than scAtteR++ {pp:.0} ms — \
+                 the stranded-fetch collapse did not reproduce"
+            ));
+        }
+        out
+    }
+
+    pub fn ok(&self) -> bool {
+        self.failures().is_empty()
+    }
+}
+
+pub fn run_study(smoke: bool) -> ChaosStudy {
+    let gate_sched = if smoke {
+        FaultSchedule {
+            kill_frame: 10,
+            outage_frames: 4,
+        }
+    } else {
+        FaultSchedule {
+            kill_frame: 24,
+            outage_frames: 8,
+        }
+    };
+    // The outage stays at 20 periods in both profiles: the stranded-fetch
+    // collapse is visible precisely when the serial fetch-deadline burn at
+    // matching outlasts the outage, so stretching the outage (rather than
+    // the runway before the kill) would mask the effect being measured.
+    let survival_sched = if smoke {
+        FaultSchedule {
+            kill_frame: 30,
+            outage_frames: 20,
+        }
+    } else {
+        FaultSchedule {
+            kill_frame: 60,
+            outage_frames: 20,
+        }
+    };
+
+    let gates: Vec<GatePoint> = [Mode::Scatter, Mode::ScatterPP]
+        .into_iter()
+        .map(|m| gate_point(m, gate_sched))
+        .collect();
+
+    let mut survival = Vec::new();
+    let mut rt_recovery = Vec::new();
+    for mode in [Mode::Scatter, Mode::ScatterPP] {
+        survival.push(des_survival_run(mode, survival_sched));
+        let (point, _lite) = rt_survival_run(mode, survival_sched);
+        rt_recovery.push((mode, point.recovery_ms));
+        survival.push(point);
+    }
+    let rt_p = Duration::from_secs_f64(1.0 / SURVIVAL_RT_FPS);
+    let rt_outage_ms = survival_sched.window(rt_p).1.as_secs_f64() * 1e3;
+
+    let mut tables = Vec::new();
+
+    let mut t = Table::new(
+        "chaos gate — crash-attributed drops, same fault schedule in both planes",
+        &[
+            "mode",
+            "clients",
+            "expected",
+            "DES",
+            "runtime",
+            "DES audit",
+            "rt audit",
+            "verdict",
+        ],
+    );
+    for g in &gates {
+        t.row(vec![
+            mode_label(g.mode).into(),
+            g.clients.to_string(),
+            g.expected.to_string(),
+            g.des_crash.to_string(),
+            g.rt_crash.to_string(),
+            g.des_audit
+                .as_ref()
+                .map_or_else(|e| e.clone(), |()| "ok".into()),
+            g.rt_audit
+                .as_ref()
+                .map_or_else(|e| e.clone(), |()| "ok".into()),
+            if g.ok() { "ok".into() } else { "FAIL".into() },
+        ]);
+    }
+    t.note(format!(
+        "schedule: kill sift half a period before frame {}, revive {} periods later \
+         (DES 30 FPS grid; runtime {} FPS); expected = outage_frames x clients",
+        gate_sched.kill_frame, gate_sched.outage_frames, GATE_RT_FPS
+    ));
+    tables.push(t);
+
+    let mut t = Table::new(
+        "survival — a mid-run sift crash, scAtteR vs scAtteR++",
+        &[
+            "plane",
+            "mode",
+            "emitted",
+            "completed",
+            "baseline fps",
+            "fault-window fps",
+            "recovery ms",
+            "audit",
+        ],
+    );
+    for s in &survival {
+        t.row(vec![
+            s.plane.into(),
+            mode_label(s.mode).into(),
+            s.emitted.to_string(),
+            s.completed.to_string(),
+            f1(s.baseline_fps),
+            f1(s.fault_fps),
+            if s.recovery_ms.is_finite() {
+                f1(s.recovery_ms)
+            } else {
+                "never".into()
+            },
+            s.audit
+                .as_ref()
+                .map_or_else(|e| e.clone(), |()| "ok".into()),
+        ]);
+    }
+    t.note(format!(
+        "recovery = restart -> first completion of a frame emitted after the restart; \
+         the runtime's recovery delay is {rt_outage_ms:.0} ms. The impairment shim adds \
+         80 ms sift->encoding transit + 1% bursty uplink loss (seed {CHAOS_SEED})."
+    ));
+    tables.push(t);
+
+    let mut t = Table::new(
+        "drop forensics — every loss carries a reason",
+        &["plane", "mode", "reason", "frames"],
+    );
+    for s in &survival {
+        for (reason, n) in &s.reasons {
+            t.row(vec![
+                s.plane.into(),
+                mode_label(s.mode).into(),
+                format!("{reason:?}"),
+                n.to_string(),
+            ]);
+        }
+    }
+    t.note(
+        "RunEnd rows are frames still in flight when the log closed (tolerated only \
+         within the drain tail — anything earlier fails the audit column above).",
+    );
+    tables.push(t);
+
+    ChaosStudy {
+        gates,
+        survival,
+        rt_recovery,
+        rt_outage_ms,
+        tables,
+    }
+}
+
+/// `--bin chaos` entry point. `--smoke` shrinks both scenarios for the
+/// verify gate; `--json` renders the tables as a JSON array on stdout.
+/// Exits 1 when the crash-agreement gate, an attribution audit, or the
+/// survival claim fails.
+pub fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    let study = run_study(smoke);
+
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+    }
+    let rendered: Vec<String> = study.tables.iter().map(|t| t.render_json()).collect();
+    let doc = format!("[{}]", rendered.join(",\n"));
+    let path = dir.join("chaos_tables.json");
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+
+    if json {
+        println!("{doc}");
+    } else {
+        for t in &study.tables {
+            println!("{}", t.render());
+        }
+    }
+    let failures = study.failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("chaos gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("chaos gate OK: DES and runtime agree on crash-attributed drops");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The window conversion: half a period early, exact outage length,
+    /// linear in the period.
+    #[test]
+    fn schedule_windows_scale_with_the_period() {
+        let s = FaultSchedule {
+            kill_frame: 10,
+            outage_frames: 4,
+        };
+        let (at, outage) = s.window(Duration::from_millis(100));
+        assert_eq!(at, Duration::from_millis(950));
+        assert_eq!(outage, Duration::from_millis(400));
+        let (at2, outage2) = s.window(Duration::from_millis(200));
+        assert_eq!(at2, at * 2);
+        assert_eq!(outage2, outage * 2);
+        assert_eq!(s.expected_crash_drops(2), 8);
+    }
+
+    /// The DES half of the gate is exact on its own: the calm
+    /// calibration keeps every margin, so the crash-dropped frame set is
+    /// precisely `[kill_frame, kill_frame+outage) x clients` — in both
+    /// modes.
+    #[test]
+    fn des_gate_counts_exactly() {
+        let sched = FaultSchedule {
+            kill_frame: 10,
+            outage_frames: 4,
+        };
+        for mode in [Mode::Scatter, Mode::ScatterPP] {
+            let (a, log) = des_gate_run(mode, 2, sched);
+            audit(&log, Duration::from_millis(1500)).expect("attribution audit");
+            assert_eq!(
+                crash_count(&a),
+                sched.expected_crash_drops(2),
+                "{mode:?}: {:?}",
+                a.drop_reasons()
+            );
+        }
+    }
+}

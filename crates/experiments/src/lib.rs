@@ -19,6 +19,7 @@
 pub mod ablation;
 pub mod autoscale_study;
 pub mod burst_loss;
+pub mod chaos_study;
 pub mod common;
 pub mod fast_extractor;
 pub mod fig10_jitter;

@@ -263,8 +263,28 @@ pub struct RtSvcObs {
     /// Stateful `matching` only: frames abandoned after the sift fetch
     /// timed out (mirrors the deployment's `fetch_failures`).
     pub drop_stale_fetch: Counter,
+    /// Frames lost to a replica crash: half-reassembled state that died
+    /// with the thread plus arrivals at the dead socket during recovery
+    /// (mirrors the DES `drops.down` / `DropReason::Crash`).
+    pub drop_crash: Counter,
+    /// Stateful `matching` only: frames completed during a fetch-wait
+    /// that overflowed the parked queue (mirrors the DES busy-ingress
+    /// drop — the service was busy waiting on sift).
+    pub drop_busy: Counter,
+    /// Frame messages the impairment shim ate whole, attributed at the
+    /// send site exactly like the DES's netem losses (single-fragment
+    /// messages).
+    pub net_drop_netem: Counter,
+    /// Same, for multi-fragment messages (all fragments eaten).
+    pub net_drop_fragment: Counter,
     pub malformed: Counter,
     pub send_errors: Counter,
+    /// Real (non-WouldBlock/TimedOut) socket errors on the receive
+    /// path — previously conflated with "no data yet" and hot-spun on.
+    pub io_errors: Counter,
+    /// Stateful `matching` only: fetch-request retransmissions under
+    /// the deadline-bounded exponential backoff.
+    pub fetch_retransmits: Counter,
     /// Partial messages currently buffered in the reassembler.
     pub reassembly_pending: Gauge,
     /// Stateful `sift` only: parked frame states awaiting fetch.
@@ -310,6 +330,26 @@ impl RtSvcObs {
                 "Frames dropped at a service instance, by reason",
                 l().with_reason("stale-fetch"),
             ),
+            drop_crash: registry.counter(
+                "scatter_drops_total",
+                "Frames dropped at a service instance, by reason",
+                l().with_reason("crash"),
+            ),
+            drop_busy: registry.counter(
+                "scatter_drops_total",
+                "Frames dropped at a service instance, by reason",
+                l().with_reason("busy-ingress"),
+            ),
+            net_drop_netem: registry.counter(
+                "scatter_net_drops_total",
+                "Frame datagrams lost in the network, by reason",
+                l().with_reason("netem-loss"),
+            ),
+            net_drop_fragment: registry.counter(
+                "scatter_net_drops_total",
+                "Frame datagrams lost in the network, by reason",
+                l().with_reason("fragment-loss"),
+            ),
             malformed: registry.counter(
                 "scatter_malformed_datagrams_total",
                 "Datagrams rejected by the wire decoder",
@@ -318,6 +358,16 @@ impl RtSvcObs {
             send_errors: registry.counter(
                 "scatter_send_errors_total",
                 "UDP send errors (counted, not fatal)",
+                l(),
+            ),
+            io_errors: registry.counter(
+                "scatter_io_errors_total",
+                "Real socket errors on the receive path (not WouldBlock)",
+                l(),
+            ),
+            fetch_retransmits: registry.counter(
+                "scatter_fetch_retransmits_total",
+                "Fetch-request retransmissions (deadline-bounded backoff)",
                 l(),
             ),
             reassembly_pending: registry.gauge(

@@ -1,10 +1,14 @@
 //! Local deployment of the real pipeline: five service threads on
-//! loopback UDP sockets plus a paced client.
+//! loopback UDP sockets plus a paced client — with fault injection at
+//! parity with the DES: a seeded impairment shim on every socket
+//! ([`crate::runtime::impair`]) and replica kill/restart with
+//! generation-stamped state loss ([`LocalDeployment::kill`], mirroring
+//! the DES `crash_instance`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use simcore::SimRng;
@@ -16,7 +20,11 @@ use std::sync::atomic::AtomicU64;
 
 use crate::message::{ServiceKind, SERVICE_KINDS};
 use crate::obs::{RtClientObs, RtSvcObs};
-use crate::runtime::services::{run_service, send_msg, ServiceWiring, SharedCtx, SvcStats};
+use crate::runtime::impair::{Ep, ImpairedNet, ImpairmentProfile, RtSocket};
+use crate::runtime::services::{
+    attribute_net_drop, is_would_block, run_service, send_msg, ExitReport, FaultCell,
+    ServiceWiring, SharedCtx, SvcStats,
+};
 use crate::runtime::stateful::{run_stateful_matching, run_stateful_sift, StatefulOptions};
 use crate::runtime::wire::{self, Reassembler, WireMsg};
 
@@ -37,6 +45,9 @@ pub struct RuntimeOptions {
     /// Run the scAtteR-baseline data plane: stateful `sift` with a real
     /// fetch round-trip from `matching` (see [`crate::runtime::stateful`]).
     pub stateful: bool,
+    /// Fetch-loop tuning for the stateful plane (timeout, retransmit
+    /// backoff, store TTL).
+    pub stateful_opts: StatefulOptions,
     pub seed: u64,
     /// Extra time after the last frame to wait for in-flight results.
     pub drain: Duration,
@@ -47,6 +58,13 @@ pub struct RuntimeOptions {
     /// (service threads skip every record call). When set, the running
     /// deployment can be scraped via [`LocalDeployment::scrape`].
     pub registry: Option<telemetry::Registry>,
+    /// Deterministic, seeded network impairment applied at every
+    /// socket's send site (`None` = pristine loopback, the default).
+    pub impair: Option<ImpairmentProfile>,
+    /// Fault schedule: `(at, service, recovery)` — `at` after the run
+    /// starts, the replica is killed and respawned `recovery` later
+    /// with all in-memory state lost (the runtime `crash_instance`).
+    pub kills: Vec<(Duration, ServiceKind, Duration)>,
 }
 
 impl Default for RuntimeOptions {
@@ -59,10 +77,13 @@ impl Default for RuntimeOptions {
             height: 144,
             threshold_ms: 0.0,
             stateful: false,
+            stateful_opts: StatefulOptions::default(),
             seed: 7,
             drain: Duration::from_millis(1500),
             trace: None,
             registry: None,
+            impair: None,
+            kills: Vec::new(),
         }
     }
 }
@@ -89,6 +110,26 @@ pub struct RuntimeReport {
     /// Datagrams every service rejected as malformed (see
     /// [`crate::runtime::wire::WireError`]).
     pub malformed_datagrams: u64,
+    /// Frames lost to replica crashes (state that died with a killed
+    /// thread + arrivals at the dead socket during recovery).
+    pub crash_drops: u64,
+    /// Frames dropped because matching's parked queue overflowed
+    /// during a fetch-wait.
+    pub busy_drops: u64,
+    /// Frame messages the impairment shim ate whole, attributed at the
+    /// send site (services + clients).
+    pub net_drops: u64,
+    /// Frames whose reassembly gave up after partial fragment loss.
+    pub fragment_drops: u64,
+    /// Real receive-path socket errors (not WouldBlock/TimedOut).
+    pub io_errors: u64,
+    /// Stateful mode: fetch-request retransmissions.
+    pub fetch_retransmits: u64,
+    /// Stateful mode: fetch responses that arrived after their wait
+    /// expired (recognized by the CTRL flag, counted not swallowed).
+    pub late_fetch_rsp: u64,
+    /// Replica kills injected during the run.
+    pub kills: u64,
 }
 
 impl RuntimeReport {
@@ -105,12 +146,103 @@ impl RuntimeReport {
 /// recognition counts)`.
 type ClientOutcome = (u32, u32, Vec<f64>, HashMap<String, u32>);
 
+/// Everything needed to (re)spawn one service replica — the runtime
+/// analogue of a container image plus its mounts. Cloned by the kill
+/// supervisor to restart the service after the recovery delay.
+#[derive(Clone)]
+struct ReplicaRunner {
+    kind: ServiceKind,
+    socket: RtSocket,
+    next: SocketAddr,
+    sift_addr: SocketAddr,
+    ctx: Arc<SharedCtx>,
+    stats: Arc<SvcStats>,
+    shutdown: Arc<AtomicBool>,
+    fault: Arc<FaultCell>,
+    seed: u64,
+    stateful: bool,
+    sopts: StatefulOptions,
+    store_size: Arc<AtomicU64>,
+    fetch_failures: Arc<AtomicU64>,
+    tracer: trace::ThreadTracer,
+    track: trace::TrackId,
+    obs: Option<RtSvcObs>,
+}
+
+impl ReplicaRunner {
+    /// Spawn the service thread at the fault cell's *current*
+    /// generation. The thread exits (returning its [`ExitReport`]) as
+    /// soon as the live generation moves past its snapshot.
+    fn spawn(&self) -> std::thread::JoinHandle<ExitReport> {
+        let r = self.clone();
+        let my_gen = r.fault.current();
+        std::thread::Builder::new()
+            .name(format!("scatter-{}", r.kind.name()))
+            .spawn(move || {
+                if r.stateful && r.kind == ServiceKind::Sift {
+                    run_stateful_sift(
+                        r.socket,
+                        r.next,
+                        r.ctx,
+                        r.stats,
+                        r.shutdown,
+                        r.fault.clone(),
+                        my_gen,
+                        r.sopts,
+                        r.store_size,
+                        r.tracer,
+                        r.track,
+                        r.obs,
+                    )
+                } else if r.stateful && r.kind == ServiceKind::Matching {
+                    run_stateful_matching(
+                        r.socket,
+                        r.sift_addr,
+                        r.ctx,
+                        r.stats,
+                        r.shutdown,
+                        r.fault.clone(),
+                        my_gen,
+                        r.sopts,
+                        r.fetch_failures,
+                        r.seed,
+                        r.tracer,
+                        r.track,
+                        r.obs,
+                    )
+                } else {
+                    run_service(
+                        ServiceWiring {
+                            kind: r.kind,
+                            socket: r.socket,
+                            next: r.next,
+                        },
+                        r.ctx,
+                        r.stats,
+                        r.shutdown,
+                        r.fault.clone(),
+                        my_gen,
+                        r.seed,
+                        r.tracer,
+                        r.track,
+                        r.obs,
+                    )
+                }
+            })
+            .expect("spawn service thread")
+    }
+}
+
 /// A running local deployment.
 pub struct LocalDeployment {
-    handles: Vec<std::thread::JoinHandle<()>>,
+    /// One slot per service; `None` while a replica is down (killed and
+    /// not yet respawned) or after shutdown joined it.
+    handles: Mutex<Vec<Option<std::thread::JoinHandle<ExitReport>>>>,
+    runners: Vec<ReplicaRunner>,
     shutdown: Arc<AtomicBool>,
     stats: Vec<Arc<SvcStats>>,
-    client_socket: UdpSocket,
+    client_stats: Arc<SvcStats>,
+    client_socket: RtSocket,
     primary_addr: SocketAddr,
     ctx: Arc<SharedCtx>,
     scene: SceneGenerator,
@@ -123,6 +255,8 @@ pub struct LocalDeployment {
     /// Live metrics plane (when `opts.registry` was set).
     registry: Option<telemetry::Registry>,
     client_obs: Option<RtClientObs>,
+    /// The impairment plane shared by every socket (None = pristine).
+    net: Option<Arc<ImpairedNet>>,
 }
 
 fn bind_loopback() -> UdpSocket {
@@ -136,17 +270,23 @@ impl LocalDeployment {
         let mut rng = SimRng::new(opts.seed);
         let db = ReferenceDb::train(&scene, TrainParams::default(), &mut rng);
 
-        let client_socket = bind_loopback();
-        let client_addr = client_socket.local_addr().expect("local addr");
+        let net = opts.impair.clone().map(ImpairedNet::new);
+        let client_socket = RtSocket::new(Arc::new(bind_loopback()), Ep::Client, net.clone());
 
         // One socket per service; wire each to its successor, matching
         // back to the client.
-        let sockets: Vec<UdpSocket> = (0..5).map(|_| bind_loopback()).collect();
+        let client_addr = client_socket.local_addr().expect("local addr");
+        let sockets: Vec<Arc<UdpSocket>> = (0..5).map(|_| Arc::new(bind_loopback())).collect();
         let addrs: Vec<SocketAddr> = sockets
             .iter()
             .map(|s| s.local_addr().expect("local addr"))
             .collect();
         let primary_addr = addrs[0];
+        if let Some(n) = &net {
+            for (i, addr) in addrs.iter().enumerate() {
+                n.register_port(addr.port(), Ep::Svc(SERVICE_KINDS[i]));
+            }
+        }
 
         let ctx = Arc::new(SharedCtx {
             db,
@@ -164,14 +304,13 @@ impl LocalDeployment {
             None => trace::Collector::disabled(),
         };
         let mut stats = Vec::new();
+        let mut runners = Vec::new();
         let mut handles = Vec::new();
         for (i, socket) in sockets.into_iter().enumerate() {
             let kind = SERVICE_KINDS[i];
             let next = if i + 1 < 5 { addrs[i + 1] } else { client_addr };
             let st = Arc::new(SvcStats::default());
             stats.push(st.clone());
-            let ctx = ctx.clone();
-            let shutdown = shutdown.clone();
             let seed = opts.seed ^ ((i as u64 + 1) * 0x9E37);
             let track = collector.register_track(format!("{}#0", kind.name()), "runtime-host");
             let tracer = collector.handle();
@@ -181,50 +320,26 @@ impl LocalDeployment {
                 .registry
                 .as_ref()
                 .map(|reg| RtSvcObs::new(reg, kind.name()));
-            let handle = if opts.stateful && kind == ServiceKind::Sift {
-                let store_size = sift_store_size.clone();
-                std::thread::Builder::new()
-                    .name("scatter-sift-stateful".into())
-                    .spawn(move || {
-                        run_stateful_sift(
-                            socket,
-                            next,
-                            ctx,
-                            st,
-                            shutdown,
-                            StatefulOptions::default(),
-                            store_size,
-                            tracer,
-                            track,
-                            obs,
-                        )
-                    })
-            } else if opts.stateful && kind == ServiceKind::Matching {
-                let failures = fetch_failures.clone();
-                std::thread::Builder::new()
-                    .name("scatter-matching-stateful".into())
-                    .spawn(move || {
-                        run_stateful_matching(
-                            socket,
-                            sift_addr,
-                            ctx,
-                            st,
-                            shutdown,
-                            StatefulOptions::default(),
-                            failures,
-                            seed,
-                            tracer,
-                            track,
-                            obs,
-                        )
-                    })
-            } else {
-                let wiring = ServiceWiring { kind, socket, next };
-                std::thread::Builder::new()
-                    .name(format!("scatter-{}", kind.name()))
-                    .spawn(move || run_service(wiring, ctx, st, shutdown, seed, tracer, track, obs))
+            let runner = ReplicaRunner {
+                kind,
+                socket: RtSocket::new(socket, Ep::Svc(kind), net.clone()),
+                next,
+                sift_addr,
+                ctx: ctx.clone(),
+                stats: st,
+                shutdown: shutdown.clone(),
+                fault: Arc::new(FaultCell::default()),
+                seed,
+                stateful: opts.stateful,
+                sopts: opts.stateful_opts.clone(),
+                store_size: sift_store_size.clone(),
+                fetch_failures: fetch_failures.clone(),
+                tracer,
+                track,
+                obs,
             };
-            handles.push(handle.expect("spawn service thread"));
+            handles.push(Some(runner.spawn()));
+            runners.push(runner);
         }
 
         let client_tracks = (0..opts.clients)
@@ -234,9 +349,11 @@ impl LocalDeployment {
         let client_obs = registry.as_ref().map(RtClientObs::new);
 
         LocalDeployment {
-            handles,
+            handles: Mutex::new(handles),
+            runners,
             shutdown,
             stats,
+            client_stats: Arc::new(SvcStats::default()),
             client_socket,
             primary_addr,
             ctx,
@@ -248,6 +365,7 @@ impl LocalDeployment {
             client_tracks,
             registry,
             client_obs,
+            net,
         }
     }
 
@@ -259,16 +377,93 @@ impl LocalDeployment {
             .map(|reg| telemetry::prom::encode(&reg.snapshot()))
     }
 
+    /// Kill one replica and supervise its recovery: mirror of the DES
+    /// `crash_instance`. Blocking — call from a dedicated thread (the
+    /// built-in `RuntimeOptions::kills` schedule does) while the
+    /// clients run elsewhere. Sequence:
+    ///
+    /// 1. the fault generation is bumped; the thread notices within its
+    ///    20 ms poll and exits, surrendering an [`ExitReport`] naming
+    ///    the frames whose in-memory state died with it;
+    /// 2. those frames get `Crash` terminals + counters (exactly once);
+    /// 3. for the `recovery` window nothing serves the socket — the
+    ///    supervisor drains arriving datagrams and attributes each
+    ///    distinct frame as a `Crash` drop (DES: `drops.down`), while
+    ///    control traffic is ignored (requesters retransmit into the
+    ///    void and give up on their own deadline);
+    /// 4. the replica is respawned at the new generation with empty
+    ///    state (fresh store/reassembler/parked queue).
+    pub fn kill(&self, kind: ServiceKind, recovery: Duration) {
+        let idx = kind.index();
+        let runner = &self.runners[idx];
+        runner.stats.kills.fetch_add(1, Ordering::Relaxed);
+        runner.fault.generation.fetch_add(1, Ordering::Relaxed);
+        let old = self.handles.lock().expect("handles lock")[idx].take();
+        let exit = old
+            .map(|h| h.join().expect("service thread"))
+            .unwrap_or_default();
+
+        let mut seen: HashSet<(u16, u32)> = HashSet::new();
+        let attribute = |client: u16, frame_no: u32, flags: u8| {
+            runner.stats.dropped_crash.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &runner.obs {
+                o.drop_crash.inc();
+            }
+            let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
+            runner.tracer.terminal(
+                tctx,
+                self.ctx.epoch.elapsed().as_nanos() as u64,
+                trace::FrameFate::Dropped(trace::DropReason::Crash),
+            );
+        };
+        for (client, frame_no, flags) in exit.lost_frames {
+            if seen.insert((client, frame_no)) {
+                attribute(client, frame_no, flags);
+            }
+        }
+
+        // Nothing listens on a crashed container's port: drain and
+        // attribute arrivals for the whole recovery window.
+        let _ = runner
+            .socket
+            .set_read_timeout(Some(Duration::from_millis(5)));
+        let mut buf = vec![0u8; 65_536];
+        let t_end = Instant::now() + recovery;
+        while Instant::now() < t_end && !self.shutdown.load(Ordering::Relaxed) {
+            match runner.socket.recv_from(&mut buf) {
+                Ok((n, _)) => {
+                    if let Ok(frag) = wire::decode_fragment(&buf[..n]) {
+                        if frag.flags & wire::FLAG_CTRL != 0 {
+                            continue; // fetch responses: not frame traffic
+                        }
+                        if seen.insert((frag.client, frag.frame_no)) {
+                            attribute(frag.client, frag.frame_no, frag.flags);
+                        }
+                    }
+                    // Control requests / malformed datagrams die silently,
+                    // exactly like a dark port.
+                }
+                Err(ref e) if is_would_block(e) => continue,
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+
+        if !self.shutdown.load(Ordering::Relaxed) {
+            self.handles.lock().expect("handles lock")[idx] = Some(runner.spawn());
+        }
+    }
+
     /// One client's stream: emit paced frames from `scene`, collect
     /// completions. Runs on the calling thread.
     #[allow(clippy::too_many_arguments)]
     fn client_loop(
         client_id: u16,
-        socket: &UdpSocket,
+        socket: &RtSocket,
         primary_addr: SocketAddr,
         scene: &SceneGenerator,
         ctx: &SharedCtx,
         opts: &RuntimeOptions,
+        client_stats: &SvcStats,
         tracer: &trace::ThreadTracer,
         track: trace::TrackId,
         obs: Option<&RtClientObs>,
@@ -277,7 +472,6 @@ impl LocalDeployment {
             .set_read_timeout(Some(Duration::from_millis(5)))
             .expect("set_read_timeout");
         let period = Duration::from_secs_f64(1.0 / opts.fps);
-        let client_stats = SvcStats::default();
         let mut reassembler = Reassembler::new();
         let mut buf = vec![0u8; 65_536];
         let mut completed = 0u32;
@@ -307,7 +501,17 @@ impl LocalDeployment {
                     sent_micros: emit_micros,
                     payload: compressed,
                 };
-                send_msg(socket, primary_addr, &msg, &client_stats);
+                let outcome = send_msg(socket, primary_addr, &msg, client_stats);
+                // An uplink frame the shim ate whole never reaches
+                // primary: the client is the only witness.
+                attribute_net_drop(
+                    outcome,
+                    tctx,
+                    ctx.epoch.elapsed().as_nanos() as u64,
+                    tracer,
+                    client_stats,
+                    None,
+                );
                 if let Some(o) = obs {
                     o.frames_emitted.inc();
                 }
@@ -317,7 +521,12 @@ impl LocalDeployment {
             }
             let n = match socket.recv_from(&mut buf) {
                 Ok((n, _)) => n,
-                Err(_) => continue,
+                Err(ref e) if is_would_block(e) => continue,
+                Err(_) => {
+                    client_stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
             };
             let Ok(frag) = wire::decode_fragment(&buf[..n]) else {
                 client_stats.malformed.fetch_add(1, Ordering::Relaxed);
@@ -326,7 +535,11 @@ impl LocalDeployment {
             let Some(msg) = reassembler.offer(frag) else {
                 continue;
             };
-            let now_micros = ctx.epoch.elapsed().as_micros() as u64;
+            // Full-ns receive stamp: matching's `sent_micros` is rounded
+            // up at the send site, so flooring here to whole micros
+            // could order this span *before* matching's compute end.
+            let recv_ns = ctx.epoch.elapsed().as_nanos() as u64;
+            let now_micros = recv_ns / 1_000;
             let tctx = msg.trace_ctx();
             // Return hop: matching's send → this client's receive.
             tracer.span(
@@ -334,10 +547,10 @@ impl LocalDeployment {
                 track,
                 trace::STAGE_CLIENT,
                 trace::Phase::IngressQueue,
-                (msg.sent_micros * 1_000).min(now_micros * 1_000),
-                now_micros * 1_000,
+                (msg.sent_micros * 1_000).min(recv_ns),
+                recv_ns,
             );
-            tracer.terminal(tctx, now_micros * 1_000, trace::FrameFate::Completed);
+            tracer.terminal(tctx, recv_ns, trace::FrameFate::Completed);
             let e2e_ms = now_micros.saturating_sub(msg.emit_micros) as f64 / 1e3;
             if let Some(o) = obs {
                 o.frames_completed.inc();
@@ -356,8 +569,31 @@ impl LocalDeployment {
 
     /// Stream frames from all configured clients concurrently (client 0
     /// runs on the calling thread; the rest get their own threads and
-    /// sockets — like the paper's containerized NUC clients).
+    /// sockets — like the paper's containerized NUC clients), executing
+    /// the `RuntimeOptions::kills` fault schedule on timer threads.
     pub fn run_client(&self) -> RuntimeReport {
+        if self.opts.kills.is_empty() {
+            return self.run_client_inner();
+        }
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for &(at, kind, recovery) in &self.opts.kills {
+                scope.spawn(move || {
+                    // Sleep in slices so a finished run isn't held open.
+                    while started.elapsed() < at && !self.shutdown.load(Ordering::Relaxed) {
+                        let left = at - started.elapsed();
+                        std::thread::sleep(left.min(Duration::from_millis(10)));
+                    }
+                    if !self.shutdown.load(Ordering::Relaxed) {
+                        self.kill(kind, recovery);
+                    }
+                });
+            }
+            self.run_client_inner()
+        })
+    }
+
+    fn run_client_inner(&self) -> RuntimeReport {
         let opts = &self.opts;
         // Results are returned to the socket the frame was sent from,
         // but routing goes through the service chain; every client needs
@@ -370,6 +606,8 @@ impl LocalDeployment {
                 let tracer = self.collector.handle();
                 let track = self.client_tracks[cid as usize];
                 let obs = self.client_obs.clone();
+                let client_stats = self.client_stats.clone();
+                let net = self.net.clone();
                 // Each client replays its own camera (distinct seed).
                 let scene = SceneGenerator::workplace_scaled(
                     opts.seed ^ (cid as u64) << 8,
@@ -379,7 +617,7 @@ impl LocalDeployment {
                 std::thread::Builder::new()
                     .name(format!("scatter-client-{cid}"))
                     .spawn(move || {
-                        let socket = bind_loopback();
+                        let socket = RtSocket::new(Arc::new(bind_loopback()), Ep::Client, net);
                         Self::client_loop(
                             cid,
                             &socket,
@@ -387,6 +625,7 @@ impl LocalDeployment {
                             &scene,
                             &ctx,
                             &opts,
+                            &client_stats,
                             &tracer,
                             track,
                             obs.as_ref(),
@@ -404,6 +643,7 @@ impl LocalDeployment {
             &self.scene,
             &self.ctx,
             opts,
+            &self.client_stats,
             &tracer0,
             self.client_tracks[0],
             self.client_obs.as_ref(),
@@ -428,6 +668,9 @@ impl LocalDeployment {
             e2e.iter().sum::<f64>() / e2e.len() as f64
         };
         let max_e2e = e2e.iter().copied().fold(0.0f64, f64::max);
+        let sum = |f: &dyn Fn(&SvcStats) -> u64| -> u64 {
+            self.stats.iter().map(|s| f(s)).sum::<u64>() + f(&self.client_stats)
+        };
         RuntimeReport {
             emitted,
             completed,
@@ -438,11 +681,15 @@ impl LocalDeployment {
             per_client_completed,
             fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
             sift_store_size: self.sift_store_size.load(Ordering::Relaxed),
-            malformed_datagrams: self
-                .stats
-                .iter()
-                .map(|s| s.malformed.load(Ordering::Relaxed))
-                .sum(),
+            malformed_datagrams: sum(&|s| s.malformed.load(Ordering::Relaxed)),
+            crash_drops: sum(&|s| s.dropped_crash.load(Ordering::Relaxed)),
+            busy_drops: sum(&|s| s.dropped_busy.load(Ordering::Relaxed)),
+            net_drops: sum(&|s| s.net_dropped.load(Ordering::Relaxed)),
+            fragment_drops: sum(&|s| s.dropped_fragment.load(Ordering::Relaxed)),
+            io_errors: sum(&|s| s.io_errors.load(Ordering::Relaxed)),
+            fetch_retransmits: sum(&|s| s.fetch_retransmits.load(Ordering::Relaxed)),
+            late_fetch_rsp: sum(&|s| s.late_fetch_rsp.load(Ordering::Relaxed)),
+            kills: sum(&|s| s.kills.load(Ordering::Relaxed)),
             service_counts: SERVICE_KINDS
                 .iter()
                 .zip(&self.stats)
@@ -470,7 +717,14 @@ impl LocalDeployment {
     /// registry snapshot covers (no in-flight increments).
     pub fn shutdown_with_counts(self) -> (trace::TraceLog, Vec<(ServiceKind, u64, u64, u64)>) {
         self.shutdown.store(true, Ordering::Relaxed);
-        for h in self.handles {
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .expect("handles lock")
+            .iter_mut()
+            .map(|slot| slot.take())
+            .collect();
+        for h in handles.into_iter().flatten() {
             let _ = h.join();
         }
         let counts = SERVICE_KINDS
@@ -545,6 +799,10 @@ mod tests {
             assert!(*received > 0, "{} received nothing", kind.name());
             assert!(*processed > 0, "{} processed nothing", kind.name());
         }
+        // Pristine loopback: the fault plane must stay silent.
+        assert_eq!(report.crash_drops, 0);
+        assert_eq!(report.net_drops, 0);
+        assert_eq!(report.kills, 0);
     }
 
     /// The staleness filter drops frames when the budget is impossible.
@@ -649,12 +907,191 @@ mod stateful_tests {
             !report.recognitions.is_empty(),
             "no recognitions through the fetch path"
         );
-        // Fetched entries are removed from the store: it must not hold
-        // every frame at shutdown.
+        // Served entries linger only one fetch-timeout, then the TTL
+        // sweep removes them: the store must not hold every frame at
+        // shutdown.
         assert!(
             report.sift_store_size < 4,
             "sift store leaked: {} entries",
             report.sift_store_size
+        );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::runtime::impair::{LinkImpairment, LinkRule};
+
+    /// Satellite regression: the shim eats the *first* fetch-request
+    /// datagram on the matching→sift link. Pre-retransmit, matching
+    /// busy-waited the full timeout and recorded a fetch failure; with
+    /// deadline-bounded backoff the frame must still complete.
+    #[test]
+    fn fetch_request_loss_recovers_with_retransmit() {
+        let impair = ImpairmentProfile::new(11).with_rule(LinkRule::between(
+            Ep::Svc(ServiceKind::Matching),
+            Ep::Svc(ServiceKind::Sift),
+            LinkImpairment::drop_first(1),
+        ));
+        let report = run_local(RuntimeOptions {
+            stateful: true,
+            frames: 3,
+            fps: 1.5,
+            drain: Duration::from_millis(3000),
+            impair: Some(impair),
+            ..Default::default()
+        });
+        assert!(
+            report.fetch_retransmits >= 1,
+            "the dropped request never triggered a retransmit"
+        );
+        assert_eq!(
+            report.fetch_failures, 0,
+            "retransmit should recover within the fetch deadline"
+        );
+        assert!(
+            report.completed >= 2,
+            "only {}/3 completed after a single request loss",
+            report.completed
+        );
+    }
+
+    /// Headline regression for the frame-swallowing bug: while matching
+    /// is wedged in a fetch-wait, fragments of *other* frames keep
+    /// arriving on its socket. Before the fix they were consumed into a
+    /// throwaway reassembler and vanished without any drop accounting;
+    /// now they are parked and processed after the wait resolves.
+    ///
+    /// The wedge is forced deterministically: the shim eats the first
+    /// four fetch-request datagrams, so with a 100 ms initial backoff
+    /// the fifth attempt succeeds ~1.5 s in — long enough that every
+    /// later frame reaches matching mid-wait even on slow builds.
+    #[test]
+    fn frames_arriving_during_fetch_wait_survive() {
+        let impair = ImpairmentProfile::new(13).with_rule(LinkRule::between(
+            Ep::Svc(ServiceKind::Matching),
+            Ep::Svc(ServiceKind::Sift),
+            LinkImpairment::drop_first(4),
+        ));
+        let (report, log) = run_local_traced(RuntimeOptions {
+            stateful: true,
+            frames: 4,
+            fps: 4.0,
+            stateful_opts: StatefulOptions {
+                fetch_timeout: Duration::from_millis(2500),
+                fetch_retry_initial: Duration::from_millis(100),
+                ..Default::default()
+            },
+            drain: Duration::from_millis(5000),
+            impair: Some(impair),
+            ..Default::default()
+        });
+        assert!(
+            report.fetch_retransmits >= 4,
+            "wedge never formed: only {} retransmits",
+            report.fetch_retransmits
+        );
+        assert_eq!(
+            report.completed,
+            report.emitted,
+            "frames were swallowed during the fetch wait: {}/{} completed \
+             (busy={} crash={} net={} frag={} fetch_failures={})",
+            report.completed,
+            report.emitted,
+            report.busy_drops,
+            report.crash_drops,
+            report.net_drops,
+            report.fragment_drops,
+            report.fetch_failures
+        );
+        let a = trace::Analysis::from_log(&log);
+        a.check_invariants().expect("trace invariants hold");
+        assert_eq!(
+            a.assigned_run_end,
+            0,
+            "some frame ended without a terminal: {:?}",
+            a.drop_reasons()
+        );
+    }
+
+    /// Every frame the shim eats whole is attributed at the send site —
+    /// nothing disappears silently even under 100% loss.
+    #[test]
+    fn total_loss_is_fully_attributed() {
+        let impair = ImpairmentProfile::new(17).with_rule(LinkRule::between(
+            Ep::Client,
+            Ep::Svc(ServiceKind::Primary),
+            LinkImpairment::loss(1.0),
+        ));
+        let (report, log) = run_local_traced(RuntimeOptions {
+            frames: 5,
+            fps: 10.0,
+            drain: Duration::from_millis(300),
+            impair: Some(impair),
+            ..Default::default()
+        });
+        assert_eq!(report.completed, 0);
+        assert_eq!(
+            report.net_drops + report.fragment_drops,
+            u64::from(report.emitted),
+            "shim losses must be counted, not silent"
+        );
+        let a = trace::Analysis::from_log(&log);
+        a.check_invariants().expect("trace invariants hold");
+        assert_eq!(a.assigned_run_end, 0, "every loss carries a terminal");
+        let reasons = a.drop_reasons();
+        let attributed: usize = reasons
+            .iter()
+            .filter(|(r, _)| {
+                matches!(
+                    r,
+                    trace::DropReason::NetemLoss | trace::DropReason::FragmentLoss
+                )
+            })
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(attributed, report.emitted as usize, "{reasons:?}");
+    }
+
+    /// Kill/restart parity with the DES `crash_instance`: killing sift
+    /// mid-run voids in-flight state (counted + trace-attributed as
+    /// [`trace::DropReason::Crash`]), and the respawned replica serves
+    /// the remaining frames.
+    #[test]
+    fn kill_and_restart_attributes_crash_drops() {
+        let (report, log) = run_local_traced(RuntimeOptions {
+            frames: 10,
+            fps: 8.0,
+            kills: vec![(
+                Duration::from_millis(400),
+                ServiceKind::Sift,
+                Duration::from_millis(400),
+            )],
+            drain: Duration::from_millis(3000),
+            ..Default::default()
+        });
+        assert_eq!(report.kills, 1);
+        assert!(
+            report.crash_drops >= 1,
+            "a kill at mid-stream must void at least one in-flight frame"
+        );
+        assert!(
+            report.completed >= 2,
+            "the respawned replica never recovered: {}/{} completed",
+            report.completed,
+            report.emitted
+        );
+        let a = trace::Analysis::from_log(&log);
+        a.check_invariants().expect("trace invariants hold");
+        let crashed = a
+            .drop_reasons()
+            .get(&trace::DropReason::Crash)
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            crashed as u64, report.crash_drops,
+            "crash terminals must match the crash counter"
         );
     }
 }

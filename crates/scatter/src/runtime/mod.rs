@@ -20,9 +20,13 @@
 //! loses the message, exactly like the testbed's fragmented frames.
 
 pub mod deploy;
+pub mod impair;
 pub mod services;
 pub mod stateful;
 pub mod wire;
 
 pub use deploy::{run_local, run_local_traced, LocalDeployment, RuntimeOptions, RuntimeReport};
+pub use impair::{
+    Ep, ImpairedNet, ImpairmentProfile, LinkImpairment, LinkRule, RtSocket, SendDisposition,
+};
 pub use wire::WireError;

@@ -1,7 +1,7 @@
 //! The five services as socket-driven threads running real CV compute.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -15,6 +15,7 @@ use vision::ReferenceDb;
 
 use crate::message::ServiceKind;
 use crate::obs::RtSvcObs;
+use crate::runtime::impair::{RtSocket, SendDisposition};
 use crate::runtime::wire::{
     self, decode_frame, decode_state, encode_frame, encode_result, encode_state, FrameState,
     Reassembler, WireMsg,
@@ -39,44 +40,189 @@ pub struct SvcStats {
     pub received: AtomicU64,
     pub processed: AtomicU64,
     pub dropped_stale: AtomicU64,
+    /// Frames the reassembler gave up on (lost a fragment): capacity
+    /// evictions plus age-based sweeps.
+    pub dropped_fragment: AtomicU64,
+    /// Frames lost to a replica crash (half-reassembled state that died
+    /// with the thread + arrivals at the dead socket during recovery).
+    pub dropped_crash: AtomicU64,
+    /// Stateful `matching`: frames that completed reassembly during a
+    /// fetch-wait but overflowed the parked queue.
+    pub dropped_busy: AtomicU64,
     pub send_errors: AtomicU64,
     /// Datagrams rejected by [`wire::decode_fragment`] — malformed or
     /// foreign traffic, counted instead of crashing the service.
     pub malformed: AtomicU64,
+    /// Real (non-WouldBlock/TimedOut) receive-path socket errors.
+    pub io_errors: AtomicU64,
+    /// Frame messages eaten whole by the impairment shim, attributed at
+    /// this sender (the runtime mirror of the DES netem loss counters).
+    pub net_dropped: AtomicU64,
+    /// Stateful `matching`: fetch-request retransmissions.
+    pub fetch_retransmits: AtomicU64,
+    /// Times this replica was killed by fault injection.
+    pub kills: AtomicU64,
+    /// Stateful `matching`: late fetch responses that arrived after
+    /// their fetch-wait had already given up (recognized by the CTRL
+    /// wire flag instead of being mistaken for frame traffic).
+    pub late_fetch_rsp: AtomicU64,
     /// `matching` only: live object tracks across all clients.
     pub tracks_active: AtomicU64,
     /// `matching` only: tracks retired after going unobserved.
     pub tracks_retired: AtomicU64,
 }
 
+/// Crash-injection cell shared between a replica's thread, its runner,
+/// and the deployment. The thread snapshots `generation` at spawn and
+/// exits as soon as the live value differs — the runtime analogue of
+/// the DES `generation` bump in `crash_instance`, which voids all of
+/// the replica's in-memory state.
+#[derive(Debug, Default)]
+pub struct FaultCell {
+    pub generation: AtomicU64,
+}
+
+impl FaultCell {
+    pub fn current(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+}
+
+/// What a service thread leaves behind when it exits: the identities of
+/// frames whose in-memory state died with it (`(client, frame_no,
+/// flags)`), for the supervisor to attribute as crash drops. Empty on a
+/// clean shutdown.
+#[derive(Debug, Default)]
+pub struct ExitReport {
+    pub lost_frames: Vec<(u16, u32, u8)>,
+}
+
 /// One service's wiring: its socket, where its output goes, and (for
 /// `matching`) where results return to.
 pub struct ServiceWiring {
     pub kind: ServiceKind,
-    pub socket: UdpSocket,
+    pub socket: RtSocket,
     pub next: SocketAddr,
 }
 
+/// How a whole message fared against the impairment shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// At least one fragment reached the wire — the receiver owns any
+    /// further attribution (partial loss ages out of its reassembler).
+    Delivered,
+    /// The shim ate *every* fragment: the receiver can never know this
+    /// message existed, so the SENDER must attribute the loss.
+    AllShimDropped { frags: usize },
+}
+
 /// Ship a message as fragments; errors are counted, not fatal (UDP).
-pub fn send_msg(socket: &UdpSocket, to: SocketAddr, msg: &WireMsg, stats: &SvcStats) {
+pub fn send_msg(socket: &RtSocket, to: SocketAddr, msg: &WireMsg, stats: &SvcStats) -> SendOutcome {
     send_msg_obs(socket, to, msg, stats, None)
 }
 
 /// [`send_msg`] with an optional telemetry handle so `send_errors`
 /// increments in both planes at the same program point.
 pub fn send_msg_obs(
-    socket: &UdpSocket,
+    socket: &RtSocket,
     to: SocketAddr,
     msg: &WireMsg,
     stats: &SvcStats,
     obs: Option<&RtSvcObs>,
-) {
+) -> SendOutcome {
+    let mut frags = 0usize;
+    let mut shim_dropped = 0usize;
     for frame in wire::encode(msg) {
-        if socket.send_to(&frame, to).is_err() {
-            stats.send_errors.fetch_add(1, Ordering::Relaxed);
-            if let Some(o) = obs {
-                o.send_errors.inc();
+        frags += 1;
+        match socket.send_to(&frame, to) {
+            SendDisposition::Sent => {}
+            SendDisposition::ShimDropped => shim_dropped += 1,
+            SendDisposition::Error => {
+                stats.send_errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = obs {
+                    o.send_errors.inc();
+                }
             }
+        }
+    }
+    if frags > 0 && shim_dropped == frags {
+        SendOutcome::AllShimDropped { frags }
+    } else {
+        SendOutcome::Delivered
+    }
+}
+
+/// Sender-side attribution when the shim ate a *frame* message whole:
+/// the runtime mirror of the DES's `net_loss_reason` split (single
+/// fragment → netem loss, multi-fragment → fragment loss). Control
+/// traffic (fetch req/rsp) must NOT go through here — its loss is
+/// recovered by retransmit or surfaces as a stale fetch.
+pub fn attribute_net_drop(
+    outcome: SendOutcome,
+    tctx: trace::TraceCtx,
+    at_ns: u64,
+    tracer: &trace::ThreadTracer,
+    stats: &SvcStats,
+    obs: Option<&RtSvcObs>,
+) {
+    let SendOutcome::AllShimDropped { frags } = outcome else {
+        return;
+    };
+    stats.net_dropped.fetch_add(1, Ordering::Relaxed);
+    let reason = if frags > 1 {
+        trace::DropReason::FragmentLoss
+    } else {
+        trace::DropReason::NetemLoss
+    };
+    tracer.terminal(tctx, at_ns, trace::FrameFate::Dropped(reason));
+    if let Some(o) = obs {
+        match reason {
+            trace::DropReason::FragmentLoss => o.net_drop_fragment.inc(),
+            _ => o.net_drop_netem.inc(),
+        }
+    }
+}
+
+/// Classify a receive-path error: `true` = "no data yet" (WouldBlock /
+/// TimedOut — keep polling), `false` = a real socket error the caller
+/// must count. Previously every error was treated as the former, which
+/// both hid real faults and hot-spun on them.
+pub fn is_would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// How long a partial message may sit in a reassembler before the
+/// age-based sweep gives up on it. Far beyond any healthy reassembly
+/// window (fragments of one message arrive back-to-back on loopback),
+/// far below a run's drain period — so a frame that lost a fragment is
+/// attributed before the run ends even when no later traffic pushes it
+/// out by capacity.
+pub const REASM_MAX_AGE: Duration = Duration::from_millis(1000);
+
+/// Sweep aged partial messages and attribute every eviction (capacity
+/// or age) exactly once: `FragmentLoss` terminal + per-service counter.
+pub fn attribute_evictions(
+    reassembler: &mut Reassembler,
+    epoch: Instant,
+    tracer: &trace::ThreadTracer,
+    stats: &SvcStats,
+    obs: Option<&RtSvcObs>,
+) {
+    reassembler.sweep(REASM_MAX_AGE);
+    let at_ns = epoch_ns(epoch);
+    for (client, frame_no, flags) in reassembler.drain_evicted() {
+        stats.dropped_fragment.fetch_add(1, Ordering::Relaxed);
+        let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
+        tracer.terminal(
+            tctx,
+            at_ns,
+            trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
+        );
+        if let Some(o) = obs {
+            o.drop_fragment.inc();
         }
     }
 }
@@ -87,17 +233,24 @@ pub fn epoch_ns(epoch: Instant) -> u64 {
 }
 
 /// Service main loop: receive → reassemble → filter → compute → forward.
+///
+/// Exits when `shutdown` is raised *or* the [`FaultCell`] generation
+/// moves past the snapshot this thread was spawned with (a kill). The
+/// returned [`ExitReport`] names the frames whose in-memory state died
+/// here so the supervisor can attribute them.
 #[allow(clippy::too_many_arguments)]
 pub fn run_service(
     wiring: ServiceWiring,
     ctx: Arc<SharedCtx>,
     stats: Arc<SvcStats>,
     shutdown: Arc<AtomicBool>,
+    fault: Arc<FaultCell>,
+    my_gen: u64,
     rng_seed: u64,
     tracer: trace::ThreadTracer,
     track: trace::TrackId,
     obs: Option<RtSvcObs>,
-) {
+) -> ExitReport {
     let ServiceWiring { kind, socket, next } = wiring;
     let stage = kind.index() as u8;
     socket
@@ -111,16 +264,23 @@ pub fn run_service(
     // plus a per-track pose filter that smooths the rendered overlay.
     let mut tracks: HashMap<u16, TrackTable> = HashMap::new();
     let mut filters: HashMap<(u16, u64), PoseFilter> = HashMap::new();
-    while !shutdown.load(Ordering::Relaxed) {
+    while !shutdown.load(Ordering::Relaxed) && fault.current() == my_gen {
         let n = match socket.recv_from(&mut buf) {
             Ok((n, _)) => n,
-            Err(ref e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
+            Err(ref e) if is_would_block(e) => {
+                // Quiet socket: still age out (and attribute) partial
+                // messages that will never complete.
+                attribute_evictions(&mut reassembler, ctx.epoch, &tracer, &stats, obs.as_ref());
+                continue;
             }
-            Err(_) => break,
+            Err(_) => {
+                stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.io_errors.inc();
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
         };
         let frag = match wire::decode_fragment(&buf[..n]) {
             Ok(frag) => frag,
@@ -133,21 +293,8 @@ pub fn run_service(
             }
         };
         let completed = reassembler.offer(frag);
-        if tracer.is_enabled() || obs.is_some() {
-            // Attribute frames the reassembler gave up on (lost fragment).
-            let at_ns = epoch_ns(ctx.epoch);
-            for (client, frame_no, flags) in reassembler.drain_evicted() {
-                let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
-                tracer.terminal(
-                    tctx,
-                    at_ns,
-                    trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
-                );
-                if let Some(o) = &obs {
-                    o.drop_fragment.inc();
-                }
-            }
-        }
+        // Attribute frames the reassembler gave up on (lost fragment).
+        attribute_evictions(&mut reassembler, ctx.epoch, &tracer, &stats, obs.as_ref());
         if let Some(o) = &obs {
             o.reassembly_pending.set(reassembler.pending_count() as f64);
         }
@@ -196,8 +343,10 @@ pub fn run_service(
                 trace_id: msg.trace_id,
                 flags: msg.flags,
                 // Re-stamped per hop: the next service's ingress-queue
-                // span starts where this compute span ends.
-                sent_micros: done_ns / 1_000,
+                // span starts where this compute span ends. Rounded
+                // *up* so the truncated stamp can never precede this
+                // hop's span end (the trace overlap invariant).
+                sent_micros: done_ns.div_ceil(1_000),
                 payload: out,
             };
             stats.processed.fetch_add(1, Ordering::Relaxed);
@@ -221,8 +370,19 @@ pub fn run_service(
                     .tracks_retired
                     .store(tracks.values().map(|t| t.retired).sum(), Ordering::Relaxed);
             }
-            send_msg_obs(&socket, next, &fwd, &stats, obs.as_ref());
+            let outcome = send_msg_obs(&socket, next, &fwd, &stats, obs.as_ref());
+            attribute_net_drop(
+                outcome,
+                tctx,
+                epoch_ns(ctx.epoch),
+                &tracer,
+                &stats,
+                obs.as_ref(),
+            );
         }
+    }
+    ExitReport {
+        lost_frames: reassembler.pending_keys(),
     }
 }
 

@@ -7,17 +7,24 @@
 //!
 //! - `sift` forwards only a *stub* state (empty descriptor list), parking
 //!   the real descriptors in its store under `(client, frame)` with a
-//!   TTL;
+//!   TTL; fetched entries linger (marked served) for one fetch-timeout so
+//!   a retransmitted request whose first response was lost still succeeds;
 //! - `matching`, upon receiving the `lsh` output, sends a `FetchReq`
-//!   datagram to `sift` and parks the frame; `sift` answers with the
-//!   descriptors (or silence if evicted); a parked frame times out after
-//!   [`StatefulOptions::fetch_timeout`];
-//! - all services drop frames that arrive while one is being processed
-//!   (single-threaded receive loop ≈ one-in-one-out; the socket buffer
-//!   provides only minimal slack).
+//!   datagram to `sift` and waits; lost requests are retransmitted under
+//!   deadline-bounded exponential backoff
+//!   ([`StatefulOptions::fetch_retry_initial`] doubling up to
+//!   [`StatefulOptions::fetch_timeout`]); `sift` answers with the
+//!   descriptors (or silence if evicted/crashed), and a frame whose wait
+//!   exhausts the deadline is dropped as a stale fetch;
+//! - fetch responses are marked with [`wire::FLAG_CTRL`] on the wire, so
+//!   the fetch-wait can route *control* fragments to its private
+//!   reassembler while *frame* fragments continue through the main one —
+//!   completed frames are parked for the next loop turn instead of being
+//!   silently destroyed (the historical frame-swallowing bug), and a
+//!   parked-queue overflow is a counted busy-ingress drop.
 
-use std::collections::HashMap;
-use std::net::{SocketAddr, UdpSocket};
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,7 +35,11 @@ use vision::keypoints::DetectorParams;
 
 use crate::message::ServiceKind;
 use crate::obs::RtSvcObs;
-use crate::runtime::services::{epoch_ns, send_msg_obs, SharedCtx, SvcStats};
+use crate::runtime::impair::{RtSocket, SendDisposition};
+use crate::runtime::services::{
+    attribute_evictions, attribute_net_drop, epoch_ns, is_would_block, send_msg_obs, ExitReport,
+    FaultCell, SharedCtx, SvcStats,
+};
 use crate::runtime::wire::{
     self, decode_frame, decode_state, encode_result, encode_state, FrameState, Reassembler, WireMsg,
 };
@@ -39,11 +50,20 @@ use crate::runtime::wire::{
 const CTRL_FETCH_REQ: u8 = 0xF1;
 const CTRL_FETCH_RSP: u8 = 0xF2;
 
+/// Frames that complete reassembly while `matching` is busy inside a
+/// fetch-wait are parked for the next loop turn; past this depth the
+/// arriving frame is a (counted, traced) busy-ingress drop — the same
+/// semantics as the DES's drop-on-busy ingress.
+const PARK_CAP: usize = 32;
+
 /// Options for the stateful deployment.
 #[derive(Debug, Clone)]
 pub struct StatefulOptions {
-    /// How long `matching` waits for sift's feature response.
+    /// How long `matching` waits for sift's feature response in total
+    /// (the retransmit deadline).
     pub fetch_timeout: Duration,
+    /// First retransmit delay; doubles each retry until `fetch_timeout`.
+    pub fetch_retry_initial: Duration,
     /// How long `sift` keeps un-fetched state.
     pub state_ttl: Duration,
 }
@@ -52,8 +72,18 @@ impl Default for StatefulOptions {
     fn default() -> Self {
         StatefulOptions {
             fetch_timeout: Duration::from_millis(500),
+            fetch_retry_initial: Duration::from_millis(25),
             state_ttl: Duration::from_secs(5),
         }
+    }
+}
+
+impl StatefulOptions {
+    /// How long a *served* store entry lingers before removal: long
+    /// enough that a retransmitted request (response lost) still finds
+    /// it, bounded by the requester's own deadline.
+    fn serve_linger(&self) -> Duration {
+        self.fetch_timeout
     }
 }
 
@@ -89,32 +119,50 @@ fn decode_fetch_rsp(mut buf: Bytes) -> Option<FrameState> {
     decode_state(buf)
 }
 
+/// One parked frame state in sift's store.
+struct StoredState {
+    state: FrameState,
+    stored_at: Instant,
+    /// Set when first served; the entry then lingers for
+    /// [`StatefulOptions::serve_linger`] so retransmitted requests
+    /// (first response lost in the network) can still be answered.
+    served_at: Option<Instant>,
+}
+
 /// `sift` with a stateful feature store: detects/describes, parks the
-/// state, forwards a stub, and serves fetch requests.
+/// state, forwards a stub, and serves fetch requests. Exits on shutdown
+/// or when the fault generation moves (a kill): the store — the whole
+/// point of this variant — dies with the thread.
 #[allow(clippy::too_many_arguments)]
 pub fn run_stateful_sift(
-    socket: UdpSocket,
+    socket: RtSocket,
     next: SocketAddr,
     ctx: Arc<SharedCtx>,
     stats: Arc<SvcStats>,
     shutdown: Arc<AtomicBool>,
+    fault: Arc<FaultCell>,
+    my_gen: u64,
     opts: StatefulOptions,
     store_size: Arc<AtomicU64>,
     tracer: trace::ThreadTracer,
     track: trace::TrackId,
     obs: Option<RtSvcObs>,
-) {
+) -> ExitReport {
     let stage = ServiceKind::Sift.index() as u8;
     socket
         .set_read_timeout(Some(Duration::from_millis(20)))
         .expect("set_read_timeout");
     let mut reassembler = Reassembler::new();
     let mut buf = vec![0u8; 65_536];
-    let mut store: HashMap<(u16, u32), (FrameState, Instant)> = HashMap::new();
-    while !shutdown.load(Ordering::Relaxed) {
-        // TTL sweep.
+    let mut store: HashMap<(u16, u32), StoredState> = HashMap::new();
+    while !shutdown.load(Ordering::Relaxed) && fault.current() == my_gen {
+        // TTL sweep: unfetched entries age out after `state_ttl`; served
+        // entries are removed once their linger window closes.
         let ttl = opts.state_ttl;
-        store.retain(|_, (_, at)| at.elapsed() <= ttl);
+        let linger = opts.serve_linger();
+        store.retain(|_, s| {
+            s.stored_at.elapsed() <= ttl && s.served_at.is_none_or(|at| at.elapsed() <= linger)
+        });
         store_size.store(store.len() as u64, Ordering::Relaxed);
         if let Some(o) = &obs {
             o.state_store.set(store.len() as f64);
@@ -122,20 +170,29 @@ pub fn run_stateful_sift(
 
         let n = match socket.recv_from(&mut buf) {
             Ok((n, _)) => n,
-            Err(ref e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
+            Err(ref e) if is_would_block(e) => {
+                attribute_evictions(&mut reassembler, ctx.epoch, &tracer, &stats, obs.as_ref());
+                continue;
             }
-            Err(_) => break,
+            Err(_) => {
+                stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.io_errors.inc();
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
         };
         // Control datagrams (fetch requests) are not fragmented.
         if n >= 1 && buf[0] == CTRL_FETCH_REQ {
             if let Some((client, frame_no, reply_port)) =
                 decode_fetch_req(Bytes::copy_from_slice(&buf[..n]))
             {
-                if let Some((state, _)) = store.remove(&(client, frame_no)) {
+                if let Some(entry) = store.get_mut(&(client, frame_no)) {
+                    // Serve WITHOUT removing: mark served and let the
+                    // linger sweep reclaim it, so a retransmitted
+                    // request after a lost response still succeeds.
+                    entry.served_at.get_or_insert_with(Instant::now);
                     let rsp = WireMsg {
                         client,
                         frame_no,
@@ -145,12 +202,15 @@ pub fn run_stateful_sift(
                         // Fetch responses ride inside matching's
                         // FetchWait span; they carry identity only.
                         trace_id: ((client as u64) << 32) | frame_no as u64,
-                        flags: 0,
+                        flags: wire::FLAG_CTRL,
                         sent_micros: 0,
-                        payload: encode_fetch_rsp(&state),
+                        payload: encode_fetch_rsp(&entry.state),
                     };
                     let to = SocketAddr::from(([127, 0, 0, 1], reply_port));
-                    send_msg_obs(&socket, to, &rsp, &stats, obs.as_ref());
+                    // Control traffic: a shim-eaten response is NOT a
+                    // frame terminal — matching retransmits, and the
+                    // frame's fate is decided there.
+                    let _ = send_msg_obs(&socket, to, &rsp, &stats, obs.as_ref());
                 }
             }
             continue;
@@ -166,20 +226,7 @@ pub fn run_stateful_sift(
             }
         };
         let completed = reassembler.offer(frag);
-        if tracer.is_enabled() || obs.is_some() {
-            let at_ns = epoch_ns(ctx.epoch);
-            for (client, frame_no, flags) in reassembler.drain_evicted() {
-                let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
-                tracer.terminal(
-                    tctx,
-                    at_ns,
-                    trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
-                );
-                if let Some(o) = &obs {
-                    o.drop_fragment.inc();
-                }
-            }
-        }
+        attribute_evictions(&mut reassembler, ctx.epoch, &tracer, &stats, obs.as_ref());
         if let Some(o) = &obs {
             o.reassembly_pending.set(reassembler.pending_count() as f64);
         }
@@ -218,7 +265,14 @@ pub fn run_stateful_sift(
             fisher: Vec::new(),
             candidates: Vec::new(),
         };
-        store.insert((msg.client, msg.frame_no), (state.clone(), Instant::now()));
+        store.insert(
+            (msg.client, msg.frame_no),
+            StoredState {
+                state,
+                stored_at: Instant::now(),
+                served_at: None,
+            },
+        );
         store_size.store(store.len() as u64, Ordering::Relaxed);
         let done_ns = epoch_ns(ctx.epoch);
         tracer.span(tctx, track, stage, trace::Phase::Compute, recv_ns, done_ns);
@@ -230,7 +284,7 @@ pub fn run_stateful_sift(
             return_port: msg.return_port,
             trace_id: msg.trace_id,
             flags: msg.flags,
-            sent_micros: done_ns / 1_000,
+            sent_micros: done_ns.div_ceil(1_000),
             payload: encode_state(&FrameState {
                 descriptors,
                 fisher: Vec::new(),
@@ -243,26 +297,43 @@ pub fn run_stateful_sift(
             o.latency_ms
                 .record(done_ns.saturating_sub(recv_ns) as f64 / 1e6);
         }
-        send_msg_obs(&socket, next, &fwd, &stats, obs.as_ref());
+        let outcome = send_msg_obs(&socket, next, &fwd, &stats, obs.as_ref());
+        attribute_net_drop(
+            outcome,
+            tctx,
+            epoch_ns(ctx.epoch),
+            &tracer,
+            &stats,
+            obs.as_ref(),
+        );
+    }
+    // Half-reassembled frames die with the thread; parked *store*
+    // entries are NOT reported — their frames are still alive downstream
+    // and will be attributed at matching (stale fetch) or complete.
+    ExitReport {
+        lost_frames: reassembler.pending_keys(),
     }
 }
 
 /// `matching` with the fetch loop: on lsh output, request sift's parked
-/// state, wait (bounded), then match + pose and reply to the client.
+/// state, wait (bounded, with retransmits), then match + pose and reply
+/// to the client.
 #[allow(clippy::too_many_arguments)]
 pub fn run_stateful_matching(
-    socket: UdpSocket,
+    socket: RtSocket,
     sift_addr: SocketAddr,
     ctx: Arc<SharedCtx>,
     stats: Arc<SvcStats>,
     shutdown: Arc<AtomicBool>,
+    fault: Arc<FaultCell>,
+    my_gen: u64,
     opts: StatefulOptions,
     fetch_failures: Arc<AtomicU64>,
     rng_seed: u64,
     tracer: trace::ThreadTracer,
     track: trace::TrackId,
     obs: Option<RtSvcObs>,
-) {
+) -> ExitReport {
     let stage = ServiceKind::Matching.index() as u8;
     socket
         .set_read_timeout(Some(Duration::from_millis(20)))
@@ -271,47 +342,58 @@ pub fn run_stateful_matching(
     let mut rng = SimRng::new(rng_seed);
     let mut buf = vec![0u8; 65_536];
     let my_port = socket.local_addr().expect("local addr").port();
-    while !shutdown.load(Ordering::Relaxed) {
-        let n = match socket.recv_from(&mut buf) {
-            Ok((n, _)) => n,
-            Err(ref e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
-            Err(_) => break,
-        };
-        let frag = match wire::decode_fragment(&buf[..n]) {
-            Ok(frag) => frag,
-            Err(_) => {
-                stats.malformed.fetch_add(1, Ordering::Relaxed);
-                if let Some(o) = &obs {
-                    o.malformed.inc();
+    // Frames that completed reassembly during a fetch-wait, awaiting
+    // their own turn (the fix for the fetch-wait frame-swallowing bug).
+    let mut parked: VecDeque<WireMsg> = VecDeque::new();
+    // The frame whose fetch-wait a kill interrupted, for the exit report.
+    let mut killed_mid_fetch: Option<(u16, u32, u8)> = None;
+    while !shutdown.load(Ordering::Relaxed) && fault.current() == my_gen {
+        // Parked frames (arrived during an earlier fetch-wait) are
+        // served before new socket traffic.
+        let msg = if let Some(m) = parked.pop_front() {
+            m
+        } else {
+            let n = match socket.recv_from(&mut buf) {
+                Ok((n, _)) => n,
+                Err(ref e) if is_would_block(e) => {
+                    attribute_evictions(&mut reassembler, ctx.epoch, &tracer, &stats, obs.as_ref());
+                    continue;
                 }
+                Err(_) => {
+                    stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &obs {
+                        o.io_errors.inc();
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+            };
+            let frag = match wire::decode_fragment(&buf[..n]) {
+                Ok(frag) => frag,
+                Err(_) => {
+                    stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &obs {
+                        o.malformed.inc();
+                    }
+                    continue;
+                }
+            };
+            if frag.flags & wire::FLAG_CTRL != 0 {
+                // A fetch response arriving after its wait gave up
+                // (StaleFetch already attributed). Count it — it must
+                // not enter the frame reassembler.
+                stats.late_fetch_rsp.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-        };
-        let completed = reassembler.offer(frag);
-        if tracer.is_enabled() || obs.is_some() {
-            let at_ns = epoch_ns(ctx.epoch);
-            for (client, frame_no, flags) in reassembler.drain_evicted() {
-                let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
-                tracer.terminal(
-                    tctx,
-                    at_ns,
-                    trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
-                );
-                if let Some(o) = &obs {
-                    o.drop_fragment.inc();
-                }
+            let completed = reassembler.offer(frag);
+            attribute_evictions(&mut reassembler, ctx.epoch, &tracer, &stats, obs.as_ref());
+            if let Some(o) = &obs {
+                o.reassembly_pending.set(reassembler.pending_count() as f64);
             }
-        }
-        if let Some(o) = &obs {
-            o.reassembly_pending.set(reassembler.pending_count() as f64);
-        }
-        let Some(msg) = completed else {
-            continue;
+            let Some(msg) = completed else {
+                continue;
+            };
+            msg
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = &obs {
@@ -327,35 +409,110 @@ pub fn run_stateful_matching(
             (msg.sent_micros * 1_000).min(recv_ns),
             recv_ns,
         );
+        // Sidecar staleness filter (frames parked through a long
+        // fetch-wait may have aged past the budget).
+        if ctx.threshold_ms > 0.0 && msg.age_ms(ctx.epoch) > ctx.threshold_ms {
+            stats.dropped_stale.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &obs {
+                o.drop_stale.inc();
+            }
+            tracer.terminal(
+                tctx,
+                epoch_ns(ctx.epoch),
+                trace::FrameFate::Dropped(trace::DropReason::ThresholdFilter),
+            );
+            continue;
+        }
         let Some(lsh_state) = decode_state(msg.payload.clone()) else {
             continue;
         };
 
-        // The dependency loop, for real: ask sift for the frame state and
-        // busy-wait (this thread serves nothing else meanwhile — the
-        // "matching is busy waiting for sift's output" behaviour).
+        // The dependency loop, for real: ask sift for the frame state.
+        // A single lost request datagram no longer costs the whole
+        // timeout — the request is retransmitted under exponential
+        // backoff, bounded by the fetch deadline. Meanwhile the wait
+        // routes CTRL fragments to a private reassembler and parks
+        // completed *frame* messages instead of destroying them.
         let req = encode_fetch_req(msg.client, msg.frame_no, my_port);
         let fetch_sent_ns = epoch_ns(ctx.epoch);
-        let _ = socket.send_to(&req, sift_addr);
+        if socket.send_to(&req, sift_addr) == SendDisposition::Error {
+            stats.send_errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &obs {
+                o.send_errors.inc();
+            }
+        }
         let deadline = Instant::now() + opts.fetch_timeout;
+        let mut backoff = opts.fetch_retry_initial;
+        let mut next_retry = Instant::now() + backoff;
         let mut fetched: Option<FrameState> = None;
         let mut fetch_reasm = Reassembler::new();
-        while Instant::now() < deadline {
+        while fetched.is_none()
+            && Instant::now() < deadline
+            && !shutdown.load(Ordering::Relaxed)
+            && fault.current() == my_gen
+        {
+            if Instant::now() >= next_retry {
+                if socket.send_to(&req, sift_addr) == SendDisposition::Error {
+                    stats.send_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &obs {
+                        o.send_errors.inc();
+                    }
+                }
+                stats.fetch_retransmits.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.fetch_retransmits.inc();
+                }
+                backoff = backoff.saturating_mul(2);
+                next_retry = Instant::now() + backoff;
+            }
             let n = match socket.recv_from(&mut buf) {
                 Ok((n, _)) => n,
-                Err(_) => continue,
+                Err(ref e) if is_would_block(e) => continue,
+                Err(_) => {
+                    stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &obs {
+                        o.io_errors.inc();
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
             };
             match wire::decode_fragment(&buf[..n]) {
-                Ok(frag) => {
-                    let key_matches = frag.client == msg.client && frag.frame_no == msg.frame_no;
+                Ok(frag) if frag.flags & wire::FLAG_CTRL != 0 => {
                     if let Some(rsp) = fetch_reasm.offer(frag) {
-                        if key_matches {
+                        if rsp.client == msg.client && rsp.frame_no == msg.frame_no {
                             if let Some(state) = decode_fetch_rsp(rsp.payload) {
                                 fetched = Some(state);
-                                break;
                             }
+                        } else {
+                            // A response for an *earlier* frame whose
+                            // wait already expired.
+                            stats.late_fetch_rsp.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                }
+                Ok(frag) => {
+                    // Frame traffic mid-wait: offer it to the MAIN
+                    // reassembler and park completions. (The old code
+                    // fed these to the throwaway fetch reassembler —
+                    // unrelated in-flight frames vanished without a
+                    // counter or a trace terminal.)
+                    if let Some(m) = reassembler.offer(frag) {
+                        if parked.len() >= PARK_CAP {
+                            stats.dropped_busy.fetch_add(1, Ordering::Relaxed);
+                            if let Some(o) = &obs {
+                                o.drop_busy.inc();
+                            }
+                            tracer.terminal(
+                                m.trace_ctx(),
+                                epoch_ns(ctx.epoch),
+                                trace::FrameFate::Dropped(trace::DropReason::BusyIngress),
+                            );
+                        } else {
+                            parked.push_back(m);
+                        }
+                    }
+                    attribute_evictions(&mut reassembler, ctx.epoch, &tracer, &stats, obs.as_ref());
                 }
                 Err(_) => {
                     stats.malformed.fetch_add(1, Ordering::Relaxed);
@@ -364,6 +521,12 @@ pub fn run_stateful_matching(
                     }
                 }
             }
+        }
+        if fetched.is_none() && (shutdown.load(Ordering::Relaxed) || fault.current() != my_gen) {
+            // Killed (or shut down) mid-wait: this frame's in-memory
+            // state dies with the thread; the supervisor attributes it.
+            killed_mid_fetch = Some((msg.client, msg.frame_no, msg.flags));
+            break;
         }
         let fetch_end_ns = epoch_ns(ctx.epoch);
         tracer.span(
@@ -413,7 +576,7 @@ pub fn run_stateful_matching(
             return_port: msg.return_port,
             trace_id: msg.trace_id,
             flags: msg.flags,
-            sent_micros: done_ns / 1_000,
+            sent_micros: done_ns.div_ceil(1_000),
             payload: encode_result(&recognitions),
         };
         stats.processed.fetch_add(1, Ordering::Relaxed);
@@ -423,8 +586,20 @@ pub fn run_stateful_matching(
                 .record(done_ns.saturating_sub(recv_ns) as f64 / 1e6);
         }
         let to = SocketAddr::from(([127, 0, 0, 1], msg.return_port));
-        send_msg_obs(&socket, to, &out, &stats, obs.as_ref());
+        let outcome = send_msg_obs(&socket, to, &out, &stats, obs.as_ref());
+        attribute_net_drop(
+            outcome,
+            tctx,
+            epoch_ns(ctx.epoch),
+            &tracer,
+            &stats,
+            obs.as_ref(),
+        );
     }
+    let mut lost_frames = reassembler.pending_keys();
+    lost_frames.extend(parked.iter().map(|m| (m.client, m.frame_no, m.flags)));
+    lost_frames.extend(killed_mid_fetch);
+    ExitReport { lost_frames }
 }
 
 #[cfg(test)]
@@ -464,5 +639,24 @@ mod tests {
         // MAGIC (0x53); control datagrams must not collide.
         assert_ne!(CTRL_FETCH_REQ, 0x53);
         assert_ne!(CTRL_FETCH_RSP, 0x53);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deadline_bounded() {
+        // 25 → 50 → 100 → 200 ms doublings stay inside a 500 ms
+        // deadline: at most 4 retransmits after the initial send.
+        let opts = StatefulOptions::default();
+        let mut at = Duration::ZERO;
+        let mut backoff = opts.fetch_retry_initial;
+        let mut retries = 0;
+        loop {
+            at += backoff;
+            if at >= opts.fetch_timeout {
+                break;
+            }
+            retries += 1;
+            backoff = backoff.saturating_mul(2);
+        }
+        assert_eq!(retries, 4);
     }
 }

@@ -24,6 +24,12 @@ pub const MAGIC: u32 = 0x5343_4154; // "SCAT"
 /// `flags` bit 0: this frame was chosen by trace sampling.
 pub const FLAG_SAMPLED: u8 = 0b0000_0001;
 
+/// `flags` bit 1: this message is *control traffic* (a fetch response),
+/// not a pipeline frame. `matching` uses it during its fetch-wait to
+/// route fragments to the fetch reassembler without ever consuming
+/// frame traffic — the fix for the fetch-wait frame-swallowing bug.
+pub const FLAG_CTRL: u8 = 0b0000_0010;
+
 const HEADER_BYTES: usize = 4 + 2 + 4 + 1 + 8 + 2 + 8 + 1 + 8 + 2 + 2 + 4;
 
 /// Why a datagram failed to parse. Malformed traffic on a UDP socket is
@@ -217,6 +223,9 @@ struct PendingMsg {
     sent_micros: u64,
     parts: Vec<Option<Bytes>>,
     received: usize,
+    /// When the first fragment arrived — [`Reassembler::sweep`] evicts
+    /// entries that have waited longer than the caller's patience.
+    first_seen: Instant,
 }
 
 impl Reassembler {
@@ -265,6 +274,7 @@ impl Reassembler {
                 sent_micros: frag.sent_micros,
                 parts: vec![None; frag.frag_count as usize],
                 received: 0,
+                first_seen: Instant::now(),
             }
         });
         if (frag.frag_idx as usize) < entry.parts.len()
@@ -314,8 +324,44 @@ impl Reassembler {
         std::mem::take(&mut self.evicted)
     }
 
+    /// Evict every incomplete entry whose *first* fragment is older than
+    /// `max_age`. Under injected fragment loss the capacity-based
+    /// eviction above only fires when traffic keeps flowing; a quiet
+    /// link would otherwise strand a half-received frame forever with
+    /// no drop attribution. Victims land in the same evicted log (and
+    /// tombstone set) as capacity evictions.
+    pub fn sweep(&mut self, max_age: std::time::Duration) {
+        let now = Instant::now();
+        let mut victims: Vec<(u16, u32, u8)> = Vec::new();
+        for (key, entry) in &self.pending {
+            if now.duration_since(entry.first_seen) > max_age {
+                victims.push(*key);
+            }
+        }
+        for key in victims {
+            if let Some(lost) = self.pending.remove(&key) {
+                self.evicted.push((key.0, key.1, lost.flags));
+            }
+            self.order.retain(|k| *k != key);
+            if self.tombstones.len() >= Self::MAX_TOMBSTONES {
+                self.tombstones.clear();
+            }
+            self.tombstones.insert(key);
+        }
+    }
+
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Identities of the partially-reassembled frames currently held:
+    /// `(client, frame_no, flags)`. A crashing service reports these so
+    /// the supervisor can attribute them as crash-lost.
+    pub fn pending_keys(&self) -> Vec<(u16, u32, u8)> {
+        self.pending
+            .iter()
+            .map(|(k, v)| (k.0, k.1, v.flags))
+            .collect()
     }
 }
 
@@ -608,6 +654,37 @@ mod tests {
         let before = r.pending_count();
         assert!(r.offer(straggler).is_none());
         assert_eq!(r.pending_count(), before, "tombstoned key stays dead");
+    }
+
+    #[test]
+    fn sweep_evicts_aged_incomplete_entries() {
+        let m = msg(CHUNK_BYTES * 2);
+        let frames = encode(&m);
+        let mut r = Reassembler::new();
+        assert!(r.offer(decode_fragment(&frames[0]).unwrap()).is_none());
+        // Young entries survive a sweep.
+        r.sweep(std::time::Duration::from_secs(60));
+        assert_eq!(r.pending_count(), 1);
+        assert!(r.drain_evicted().is_empty());
+        // Zero patience evicts, attributes, and tombstones.
+        r.sweep(std::time::Duration::ZERO);
+        assert_eq!(r.pending_count(), 0);
+        assert_eq!(r.drain_evicted(), vec![(3, 42, FLAG_SAMPLED)]);
+        let straggler = decode_fragment(&frames[1]).unwrap();
+        assert!(r.offer(straggler).is_none(), "swept key is tombstoned");
+        assert_eq!(r.pending_count(), 0);
+    }
+
+    #[test]
+    fn ctrl_flag_survives_the_wire_and_is_distinct() {
+        assert_eq!(FLAG_SAMPLED & FLAG_CTRL, 0, "flag bits must not overlap");
+        let mut m = msg(32);
+        m.flags = FLAG_CTRL | FLAG_SAMPLED;
+        let frag = decode_fragment(&encode(&m)[0]).unwrap();
+        assert_eq!(frag.flags & FLAG_CTRL, FLAG_CTRL);
+        let out = Reassembler::new().offer(frag).unwrap();
+        assert_eq!(out.flags, FLAG_CTRL | FLAG_SAMPLED);
+        assert!(out.trace_ctx().sampled, "sampling survives alongside ctrl");
     }
 
     #[test]

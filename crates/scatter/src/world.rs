@@ -136,6 +136,14 @@ pub fn run_experiment_traced(cfg: RunConfig) -> (RunReport, trace::TraceLog) {
     (report, log)
 }
 
+/// Traced run with an explicit cost model — what the chaos study uses to
+/// run a low-noise calibration whose fault windows can be reasoned about
+/// exactly (see `experiments --bin chaos`).
+pub fn run_experiment_traced_with(cfg: RunConfig, cost: CostModel) -> (RunReport, trace::TraceLog) {
+    let ((report, _), log) = run_world(cfg, cost, None);
+    (report, log)
+}
+
 /// Run with live telemetry recording into `registry`. Every service
 /// records ingress/processed/latency/drops-by-reason, clients record
 /// emissions/completions/e2e latency, and 1 Hz gauges sample queue

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Full local verification gate: formatting, lints, build, tests, a
 # telemetry smoke stage (the live metrics plane reconciles against the
-# post-hoc report, the binary exits non-zero on drift), and a perf smoke
-# stage (parallel figure suite completes, parallelism is deterministic,
-# DES throughput has not regressed below the floor in BENCH_2.json).
+# post-hoc report, the binary exits non-zero on drift), a chaos smoke
+# stage (the DES and the real-UDP runtime must agree bit-exactly on
+# crash-attributed drops under one seeded fault schedule), and a perf
+# smoke stage (parallel figure suite completes, parallelism is
+# deterministic, DES throughput has not regressed below the floor in
+# BENCH_2.json).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,6 +31,9 @@ cargo test -q -p experiments --test parallel_determinism
 
 echo "==> telemetry smoke: live plane reconciles with the post-hoc report"
 SCATTER_EXP_SECS=8 SCATTER_JOBS=2 ./target/release/telemetry --smoke --json > /dev/null
+
+echo "==> chaos smoke: DES and runtime agree on crash-attributed drops"
+./target/release/chaos --smoke --json > /dev/null
 
 echo "==> perf smoke: DES throughput floor from BENCH_2.json"
 ./target/release/perfbench --smoke BENCH_2.json

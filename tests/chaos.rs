@@ -1,0 +1,152 @@
+//! Property tests for the fault plane: whatever crash schedule the DES
+//! runs — any mode, any victim service, any kill time, any recovery
+//! delay — the trace must still conserve frames (every emission ends in
+//! exactly one terminal) and the run must stay bit-for-bit reproducible
+//! from its seed. The pre-existing determinism suite never exercises
+//! `failures`; this one does nothing else.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use scatter::config::{placements, RunConfig};
+use scatter::{run_experiment_traced, Mode, ServiceKind};
+use simcore::SimDuration;
+use trace::{Analysis, DropReason, TraceConfig};
+
+fn any_mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::Scatter),
+        Just(Mode::ScatterPP),
+        Just(Mode::StatelessOnly),
+        Just(Mode::SidecarOnly),
+    ]
+}
+
+fn any_victim() -> impl Strategy<Value = ServiceKind> {
+    prop_oneof![
+        Just(ServiceKind::Primary),
+        Just(ServiceKind::Sift),
+        Just(ServiceKind::Encoding),
+        Just(ServiceKind::Lsh),
+        Just(ServiceKind::Matching),
+    ]
+}
+
+/// A randomized crash schedule: one or two kills inside the run, each
+/// hitting replica 0 of some service, with a shared recovery delay.
+#[derive(Debug, Clone)]
+struct CrashSchedule {
+    kills: Vec<(u64, ServiceKind)>, // (kill time in ms, victim)
+    recovery_ms: u64,
+}
+
+fn cfg(mode: Mode, clients: usize, seed: u64, sched: &CrashSchedule) -> RunConfig {
+    let mut cfg = RunConfig::new(mode, placements::c1(), clients)
+        .with_duration(SimDuration::from_secs(8))
+        .with_warmup(SimDuration::from_secs(1))
+        .with_seed(seed)
+        .with_recovery(SimDuration::from_millis(sched.recovery_ms))
+        .with_trace(TraceConfig::default());
+    for &(at_ms, victim) in &sched.kills {
+        cfg = cfg.with_failure(SimDuration::from_millis(at_ms), victim, 0);
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Frame conservation under arbitrary crash schedules: the span
+    /// invariants hold and `completed + dropped == emitted` — a crash
+    /// may strand frames mid-pipeline, but every one of them must end
+    /// in an attributed terminal (`Crash`, `StaleFetch`, …), never
+    /// vanish.
+    #[test]
+    fn crashed_runs_conserve_frames(
+        mode in any_mode(),
+        clients in 1usize..4,
+        seed in 0u64..1000,
+        two_kills in proptest::bool::ANY,
+        kill1_ms in 500u64..6_000,
+        kill2_ms in 500u64..6_000,
+        victim1 in any_victim(),
+        victim2 in any_victim(),
+        recovery_ms in 100u64..2_500,
+    ) {
+        let mut kills = vec![(kill1_ms, victim1)];
+        if two_kills {
+            kills.push((kill2_ms, victim2));
+        }
+        let sched = CrashSchedule { kills, recovery_ms };
+        let (_report, log) = run_experiment_traced(cfg(mode, clients, seed, &sched));
+        let a = Analysis::from_log(&log);
+        if let Err(e) = a.check_invariants() {
+            return Err(TestCaseError::fail(format!(
+                "{mode:?} x{clients} seed={seed} {sched:?}: {e}"
+            )));
+        }
+        let dropped: usize = a.drop_reasons().values().sum();
+        prop_assert_eq!(
+            a.completed() + dropped,
+            a.emitted(),
+            "conservation violated under {:?}: {} completed + {} dropped != {} emitted",
+            sched, a.completed(), dropped, a.emitted()
+        );
+        // Crash terminals are the orchestrator's doing, not the
+        // network's: they may only appear when a kill is scheduled.
+        let crash = a.drop_reasons().get(&DropReason::Crash).copied().unwrap_or(0);
+        prop_assert!(
+            sched.kills.is_empty() || crash <= a.emitted(),
+            "impossible crash count {crash}"
+        );
+    }
+
+    /// Crashes do not break determinism: the same seed and the same
+    /// schedule reproduce the identical event log, byte for byte. (The
+    /// determinism suite never sets `failures`; this closes that gap.)
+    #[test]
+    fn crashed_runs_are_bit_identical(
+        mode in any_mode(),
+        clients in 1usize..4,
+        seed in 0u64..1000,
+        kill_ms in 500u64..6_000,
+        victim in any_victim(),
+        recovery_ms in 100u64..2_500,
+    ) {
+        let sched = CrashSchedule {
+            kills: vec![(kill_ms, victim)],
+            recovery_ms,
+        };
+        let (ra, la) = run_experiment_traced(cfg(mode, clients, seed, &sched));
+        let (rb, lb) = run_experiment_traced(cfg(mode, clients, seed, &sched));
+        prop_assert_eq!(la.end_ns, lb.end_ns);
+        prop_assert_eq!(&la.events, &lb.events, "event logs diverged");
+        prop_assert_eq!(ra.e2e_ms.samples(), rb.e2e_ms.samples());
+        let fps_a: Vec<u64> = ra.per_client_fps.iter().map(|f| f.to_bits()).collect();
+        let fps_b: Vec<u64> = rb.per_client_fps.iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(fps_a, fps_b);
+    }
+}
+
+/// A crash schedule that demonstrably bites: killing sift mid-run in
+/// scAtteR mode must produce `Crash`-attributed drops (not merely lower
+/// throughput), and the trace must name them.
+#[test]
+fn sift_kill_produces_attributed_crash_drops() {
+    let sched = CrashSchedule {
+        kills: vec![(3_000, ServiceKind::Sift)],
+        recovery_ms: 1_000,
+    };
+    let (_report, log) = run_experiment_traced(cfg(Mode::Scatter, 2, 42, &sched));
+    let a = Analysis::from_log(&log);
+    a.check_invariants().expect("span invariants");
+    let crash = a
+        .drop_reasons()
+        .get(&DropReason::Crash)
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        crash > 0,
+        "a 1 s sift outage at 30 FPS must crash-drop frames; reasons: {:?}",
+        a.drop_reasons()
+    );
+}
