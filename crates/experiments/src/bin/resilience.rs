@@ -1,0 +1,3 @@
+fn main() {
+    experiments::resilience_study::main();
+}

@@ -11,6 +11,25 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+/// Removing the last replica of a service would leave nothing to route
+/// to. Instead of panicking mid-run, [`Balancer::remove_replica`]
+/// reports the outage and leaves the balancer untouched; the caller is
+/// expected to stop routing to the service and account subsequent
+/// frames as service-outage drops until a replica comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LastReplica;
+
+impl std::fmt::Display for LastReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot remove the last replica: service would be in outage"
+        )
+    }
+}
+
+impl std::error::Error for LastReplica {}
+
 /// Balancing discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BalancerKind {
@@ -75,10 +94,16 @@ impl Balancer {
 
     /// Remove a failed replica: rebind its flows on next pick. Indices
     /// above `replica` shift down by one (mirroring instance-list
-    /// compaction in the cluster).
-    pub fn remove_replica(&mut self, replica: usize) {
-        assert!(self.n_replicas > 1, "cannot remove the last replica");
+    /// compaction in the cluster). Removing the last replica is a
+    /// service outage, reported instead of asserted so a mid-run
+    /// failure degrades to counted drops rather than an abort.
+    pub fn remove_replica(&mut self, replica: usize) -> Result<(), LastReplica> {
         assert!(replica < self.n_replicas);
+        if self.n_replicas == 1 {
+            // Flows bound to the dead replica are unbound either way.
+            self.bindings.clear();
+            return Err(LastReplica);
+        }
         self.n_replicas -= 1;
         self.next %= self.n_replicas;
         self.bindings.retain(|_, r| *r != replica);
@@ -87,6 +112,7 @@ impl Balancer {
                 *r -= 1;
             }
         }
+        Ok(())
     }
 
     /// Add a replica (scale-out).
@@ -138,7 +164,7 @@ mod tests {
             b.pick(f);
         }
         let victim = b.binding(1).unwrap();
-        b.remove_replica(victim);
+        b.remove_replica(victim).expect("two replicas remain");
         assert_eq!(b.binding(1), None, "flows on the victim are unbound");
         // Remaining bindings are valid indices.
         for &f in &flows {
@@ -148,6 +174,20 @@ mod tests {
         }
         // Re-pick lands in range.
         assert!(b.pick(1) < b.n_replicas());
+    }
+
+    #[test]
+    fn removing_last_replica_reports_outage_without_panicking() {
+        let mut b = Balancer::new(BalancerKind::StickyByFlow, 1);
+        b.pick(42);
+        assert_eq!(b.remove_replica(0), Err(LastReplica));
+        // The balancer survives: still one (dead-to-the-caller) replica,
+        // but the stale binding is gone so a later revival starts clean.
+        assert_eq!(b.n_replicas(), 1);
+        assert_eq!(b.binding(42), None);
+        // Outage is recoverable: scale back out and routing resumes.
+        b.add_replica();
+        assert!(b.pick(42) < b.n_replicas());
     }
 
     proptest! {

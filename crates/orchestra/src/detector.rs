@@ -1,0 +1,267 @@
+//! Heartbeat failure detection (φ-accrual style, deterministic).
+//!
+//! Oakestra's root/cluster managers detect replica loss by missed
+//! liveness reports and re-deploy the service (§3.2: "the failure is
+//! detected, and a new instance is deployed"). This module is the
+//! detection half of that loop, shared by both planes:
+//!
+//! - the DES feeds it *simulated* heartbeat timestamps (scheduled
+//!   events, jitter drawn from a dedicated RNG stream so runs stay
+//!   bit-identical);
+//! - the real-UDP runtime feeds it wall-clock arrivals of heartbeat
+//!   datagrams that traveled through the impairment shim.
+//!
+//! The suspicion statistic is a simplified φ-accrual: we keep an EWMA
+//! of the observed inter-arrival interval per instance and declare an
+//! instance *suspected* when the time since its last heartbeat exceeds
+//! `suspect_factor × max(ewma_interval, nominal_interval)`. With an
+//! exponential inter-arrival assumption this corresponds to a φ
+//! threshold of `suspect_factor / ln 10`; expressing the knob in
+//! "missed intervals" keeps it legible (3.0 ≈ "three beats missed").
+//! The max() floor makes the detector robust to an instance that
+//! happened to beat fast just before dying.
+//!
+//! The detector itself is pure state + arithmetic: no clocks, no RNG,
+//! no I/O. Determinism is therefore inherited from the caller's
+//! timestamps, which is what the failover proptests pin.
+
+use std::collections::HashMap;
+
+use crate::cluster::InstanceId;
+
+/// Detector tuning. Times are in milliseconds (the unit both planes
+/// already use for latency accounting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Nominal heartbeat interval the senders aim for.
+    pub interval_ms: f64,
+    /// Suspect when `elapsed > suspect_factor × expected interval`.
+    pub suspect_factor: f64,
+    /// EWMA weight of the newest inter-arrival observation.
+    pub alpha: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            interval_ms: 50.0,
+            suspect_factor: 3.0,
+            alpha: 0.2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Liveness {
+    last_beat_ms: f64,
+    /// EWMA of observed inter-arrival; seeded with the nominal interval.
+    ewma_interval_ms: f64,
+    suspected: bool,
+}
+
+/// A detection: which instance, when it was declared, and how stale its
+/// last heartbeat was at that moment (the detector-side component of
+/// detection latency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Suspicion {
+    pub instance: InstanceId,
+    pub at_ms: f64,
+    pub silence_ms: f64,
+}
+
+/// Per-instance heartbeat bookkeeping and suspicion checks.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    cfg: DetectorConfig,
+    instances: HashMap<InstanceId, Liveness>,
+}
+
+impl FailureDetector {
+    pub fn new(cfg: DetectorConfig) -> Self {
+        FailureDetector {
+            cfg,
+            instances: HashMap::new(),
+        }
+    }
+
+    pub fn config(&self) -> DetectorConfig {
+        self.cfg
+    }
+
+    /// Start watching an instance; `now_ms` counts as its first beat.
+    pub fn register(&mut self, id: InstanceId, now_ms: f64) {
+        self.instances.insert(
+            id,
+            Liveness {
+                last_beat_ms: now_ms,
+                ewma_interval_ms: self.cfg.interval_ms,
+                suspected: false,
+            },
+        );
+    }
+
+    /// Stop watching an instance (it was deliberately torn down).
+    pub fn deregister(&mut self, id: InstanceId) {
+        self.instances.remove(&id);
+    }
+
+    /// Record a heartbeat. A beat from a suspected instance clears the
+    /// suspicion (the φ-accrual "accrue down" path: the instance is
+    /// alive after all, or its replacement took over the identity);
+    /// returns `true` when that happened so the caller can log the
+    /// recovery.
+    pub fn heartbeat(&mut self, id: InstanceId, now_ms: f64) -> bool {
+        let Some(live) = self.instances.get_mut(&id) else {
+            return false;
+        };
+        let gap = (now_ms - live.last_beat_ms).max(0.0);
+        // Only fold plausible inter-arrivals into the EWMA: the first
+        // beat after an outage would otherwise poison the expected
+        // interval and blind the detector to the next failure.
+        if gap <= self.cfg.suspect_factor * live.ewma_interval_ms {
+            live.ewma_interval_ms =
+                (1.0 - self.cfg.alpha) * live.ewma_interval_ms + self.cfg.alpha * gap;
+        }
+        live.last_beat_ms = now_ms;
+        std::mem::replace(&mut live.suspected, false)
+    }
+
+    /// Expected inter-arrival used for the suspicion threshold.
+    fn expected_interval(&self, live: &Liveness) -> f64 {
+        live.ewma_interval_ms.max(self.cfg.interval_ms)
+    }
+
+    /// Suspicion level in "missed expected intervals" (φ-like, ≥ 0).
+    pub fn suspicion(&self, id: InstanceId, now_ms: f64) -> Option<f64> {
+        let live = self.instances.get(&id)?;
+        Some((now_ms - live.last_beat_ms).max(0.0) / self.expected_interval(live))
+    }
+
+    /// Sweep all instances; returns the *newly* suspected ones (each
+    /// failure is reported exactly once until a heartbeat clears it).
+    pub fn check(&mut self, now_ms: f64) -> Vec<Suspicion> {
+        let mut out = Vec::new();
+        let factor = self.cfg.suspect_factor;
+        let mut ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+        // Deterministic report order regardless of hash-map iteration.
+        ids.sort_by_key(|id| id.0);
+        for id in ids {
+            let expected = {
+                let live = &self.instances[&id];
+                self.expected_interval(live)
+            };
+            let live = self.instances.get_mut(&id).expect("present");
+            let silence = (now_ms - live.last_beat_ms).max(0.0);
+            if !live.suspected && silence > factor * expected {
+                live.suspected = true;
+                out.push(Suspicion {
+                    instance: id,
+                    at_ms: now_ms,
+                    silence_ms: silence,
+                });
+            }
+        }
+        out
+    }
+
+    /// Whether an instance is currently suspected.
+    pub fn is_suspected(&self, id: InstanceId) -> bool {
+        self.instances
+            .get(&id)
+            .map(|l| l.suspected)
+            .unwrap_or(false)
+    }
+
+    pub fn watched(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> FailureDetector {
+        FailureDetector::new(DetectorConfig {
+            interval_ms: 50.0,
+            suspect_factor: 3.0,
+            alpha: 0.2,
+        })
+    }
+
+    #[test]
+    fn regular_heartbeats_never_suspect() {
+        let mut d = det();
+        d.register(InstanceId(1), 0.0);
+        for k in 1..100 {
+            let now = k as f64 * 50.0;
+            d.heartbeat(InstanceId(1), now);
+            assert!(d.check(now + 1.0).is_empty());
+        }
+    }
+
+    #[test]
+    fn silence_raises_suspicion_once() {
+        let mut d = det();
+        d.register(InstanceId(7), 0.0);
+        for k in 1..10 {
+            d.heartbeat(InstanceId(7), k as f64 * 50.0);
+        }
+        // Last beat at 450 ms; threshold is 3 × ~50 ms of silence.
+        assert!(d.check(500.0).is_empty(), "one missed beat is tolerated");
+        let s = d.check(650.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].instance, InstanceId(7));
+        assert!(s[0].silence_ms >= 150.0);
+        assert!(d.is_suspected(InstanceId(7)));
+        // Reported exactly once while silent.
+        assert!(d.check(2_000.0).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_after_suspicion_clears_it() {
+        let mut d = det();
+        d.register(InstanceId(3), 0.0);
+        assert_eq!(d.check(1_000.0).len(), 1);
+        assert!(d.heartbeat(InstanceId(3), 1_100.0), "beat reports recovery");
+        assert!(!d.is_suspected(InstanceId(3)));
+        // The outage gap must not have poisoned the expected interval:
+        // a fresh silence is detected on the normal timescale again.
+        assert_eq!(d.check(1_400.0).len(), 1);
+    }
+
+    #[test]
+    fn jittery_but_alive_instance_stays_trusted() {
+        let mut d = det();
+        d.register(InstanceId(2), 0.0);
+        // Alternating 30/70 ms gaps: mean 50, all below the 3× bar.
+        let mut now = 0.0;
+        for k in 0..60 {
+            now += if k % 2 == 0 { 30.0 } else { 70.0 };
+            d.heartbeat(InstanceId(2), now);
+            assert!(d.check(now).is_empty());
+        }
+        let phi = d.suspicion(InstanceId(2), now + 50.0).unwrap();
+        assert!(phi < 3.0, "one nominal gap of silence gives phi {phi}");
+    }
+
+    #[test]
+    fn deregistered_instances_are_ignored() {
+        let mut d = det();
+        d.register(InstanceId(1), 0.0);
+        d.deregister(InstanceId(1));
+        assert!(d.check(10_000.0).is_empty());
+        assert!(!d.heartbeat(InstanceId(1), 10_000.0));
+        assert_eq!(d.suspicion(InstanceId(1), 10_000.0), None);
+    }
+
+    #[test]
+    fn report_order_is_deterministic() {
+        let mut d = det();
+        for i in [9u32, 1, 5, 3] {
+            d.register(InstanceId(i), 0.0);
+        }
+        let ids: Vec<u32> = d.check(1_000.0).iter().map(|s| s.instance.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+}

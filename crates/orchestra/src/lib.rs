@@ -19,12 +19,14 @@
 
 pub mod balancer;
 pub mod cluster;
+pub mod detector;
 pub mod node;
 pub mod scheduler;
 pub mod sla;
 
-pub use balancer::{Balancer, BalancerKind};
+pub use balancer::{Balancer, BalancerKind, LastReplica};
 pub use cluster::{Cluster, InstanceId, InstanceState, ServiceInstance};
+pub use detector::{DetectorConfig, FailureDetector, Suspicion};
 pub use node::{GpuArch, MachineSpec};
 pub use scheduler::{schedule, Discipline, SchedulePlan};
 pub use sla::{PlacementSpec, ServiceSla};

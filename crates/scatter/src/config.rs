@@ -81,6 +81,10 @@ pub struct RunConfig {
     /// the disabled path costs a branch per record site. `Some` enables
     /// span collection with the configured 1-in-N sampling.
     pub trace: Option<trace::TraceConfig>,
+    /// The resilience control plane (failure detection + failover,
+    /// client deadlines/retries, the degradation ladder). The default
+    /// is fully inert and byte-identical to a pre-resilience run.
+    pub resilience: crate::resilience::ResilienceConfig,
 }
 
 impl RunConfig {
@@ -99,7 +103,14 @@ impl RunConfig {
             recovery: SimDuration::from_secs(2),
             migrations: Vec::new(),
             trace: None,
+            resilience: crate::resilience::ResilienceConfig::default(),
         }
+    }
+
+    /// Enable (parts of) the resilience control plane for this run.
+    pub fn with_resilience(mut self, r: crate::resilience::ResilienceConfig) -> Self {
+        self.resilience = r;
+        self
     }
 
     /// Enable per-frame causal tracing for this run.

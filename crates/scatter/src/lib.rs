@@ -36,6 +36,7 @@ pub mod gpu;
 pub mod message;
 pub mod obs;
 pub mod report;
+pub mod resilience;
 pub mod runtime;
 pub mod service;
 pub mod sidecar;

@@ -105,6 +105,16 @@ pub struct FrameMsg {
     /// Causal trace context (sampled flag + ids). Defaults to unsampled;
     /// [`world`](crate::world) stamps it at emission when tracing is on.
     pub trace: trace::TraceCtx,
+    /// Degradation-ladder rung the frame was captured at (0 = full
+    /// resolution; ≥ [`crate::resilience::LADDER_DOWNSCALE`] means the
+    /// client sent a pyramid-downscaled capture, shrinking both payload
+    /// and GPU work).
+    pub quality: u8,
+    /// Which delivery attempt this is (0 = original emission; retries
+    /// after a response deadline re-capture with `attempt + 1`). Keeps
+    /// per-attempt trace identities distinct so frame conservation
+    /// holds attempt by attempt.
+    pub attempt: u8,
 }
 
 impl FrameMsg {
@@ -127,6 +137,8 @@ impl FrameMsg {
             stage_compute_ms: [0.0; 5],
             stage_queue_ms: [0.0; 5],
             trace: trace::TraceCtx::unsampled(),
+            quality: 0,
+            attempt: 0,
         }
     }
 

@@ -35,6 +35,55 @@ pub struct ServiceReport {
     pub fetch_dropped: u64,
 }
 
+/// Resilience-plane accounting for one run. All zeros when the plane is
+/// disabled ([`crate::resilience::ResilienceConfig::default`]).
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceReport {
+    /// Suspicions raised by the heartbeat failure detector.
+    pub detections: u64,
+    /// Automatic redeploys driven by detection
+    /// ([`orchestra::Cluster::redeploy_failed`]).
+    pub redeploys: u64,
+    /// Detection latencies (crash instant → suspicion), ms.
+    pub detection_latency_ms: Vec<f64>,
+    /// Frames the balancer handed to an instance *after* the detector
+    /// had marked it failed. Failover correctness requires exactly 0.
+    pub post_detection_misroutes: u64,
+    /// Frames dropped because every replica of their next service was
+    /// out (counted [`trace::DropReason::ServiceOutage`] terminals).
+    pub outage_drops: u64,
+    /// Client response deadlines that expired, and the retries issued.
+    pub deadline_expired: u64,
+    pub retries: u64,
+    /// Results that arrived after their deadline and were re-attributed
+    /// to [`trace::DropReason::ResponseDeadline`] instead of counted as
+    /// completions.
+    pub late_completions: u64,
+    /// Explicit admission NACKs issued at the ladder's last rung.
+    pub admission_nacks: u64,
+    /// Ladder transitions applied, and the deepest rung reached.
+    pub ladder_steps: u64,
+    pub max_ladder_level: u8,
+    /// Frames emitted at reduced quality (rung ≥ 1).
+    pub degraded_frames: u64,
+}
+
+impl ResilienceReport {
+    pub fn mean_detection_latency_ms(&self) -> f64 {
+        if self.detection_latency_ms.is_empty() {
+            return 0.0;
+        }
+        self.detection_latency_ms.iter().sum::<f64>() / self.detection_latency_ms.len() as f64
+    }
+
+    pub fn max_detection_latency_ms(&self) -> f64 {
+        self.detection_latency_ms
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+}
+
 /// Hardware aggregates for one machine.
 #[derive(Debug, Clone)]
 pub struct MachineReport {
@@ -82,6 +131,8 @@ pub struct RunReport {
     /// DES events executed over the whole run — the denominator for
     /// events/sec throughput benchmarking (`experiments --bin perfbench`).
     pub events_executed: u64,
+    /// Resilience-plane accounting (all zeros when the plane is off).
+    pub resilience: ResilienceReport,
 }
 
 impl RunReport {

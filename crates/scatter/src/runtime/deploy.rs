@@ -8,8 +8,10 @@
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use orchestra::{FailureDetector, InstanceId};
 
 use simcore::SimRng;
 use vision::db::TrainParams;
@@ -65,6 +67,11 @@ pub struct RuntimeOptions {
     /// starts, the replica is killed and respawned `recovery` later
     /// with all in-memory state lost (the runtime `crash_instance`).
     pub kills: Vec<(Duration, ServiceKind, Duration)>,
+    /// Heartbeat failure detection: when set, every replica streams
+    /// tiny UDP heartbeats *through the impairment shim* to a monitor
+    /// thread that runs the same [`orchestra::FailureDetector`] math as
+    /// the DES plane. `None` (default) spawns no extra threads.
+    pub detection: Option<crate::resilience::DetectionConfig>,
 }
 
 impl Default for RuntimeOptions {
@@ -84,6 +91,7 @@ impl Default for RuntimeOptions {
             registry: None,
             impair: None,
             kills: Vec::new(),
+            detection: None,
         }
     }
 }
@@ -130,6 +138,16 @@ pub struct RuntimeReport {
     pub late_fetch_rsp: u64,
     /// Replica kills injected during the run.
     pub kills: u64,
+    /// Detection plane: suspicions raised by the heartbeat monitor
+    /// (0 when [`RuntimeOptions::detection`] is `None`).
+    pub detections: u64,
+    /// Respawns that happened *after* the detector had flagged the
+    /// replica — the runtime analogue of the DES's detection-driven
+    /// `redeploy_failed` count.
+    pub redeploys: u64,
+    /// Wall-clock detection latencies (take-down instant → suspicion),
+    /// ms, one per detected crash.
+    pub detection_latency_ms: Vec<f64>,
 }
 
 impl RuntimeReport {
@@ -140,11 +158,44 @@ impl RuntimeReport {
             self.completed as f64 / self.emitted as f64
         }
     }
+
+    pub fn mean_detection_latency_ms(&self) -> f64 {
+        if self.detection_latency_ms.is_empty() {
+            return 0.0;
+        }
+        self.detection_latency_ms.iter().sum::<f64>() / self.detection_latency_ms.len() as f64
+    }
 }
 
 /// What one client's loop returns: `(emitted, completed, e2e samples,
 /// recognition counts)`.
 type ClientOutcome = (u32, u32, Vec<f64>, HashMap<String, u32>);
+
+/// Heartbeat datagram: `[b'H', b'B', kind_index]`. Small enough that
+/// the shim treats it like any other datagram (the point: a lossy link
+/// delays detection in the runtime exactly as dropped heartbeat events
+/// would in the DES).
+const HB_MAGIC: [u8; 2] = [b'H', b'B'];
+
+fn hb_datagram(kind: ServiceKind) -> [u8; 3] {
+    [HB_MAGIC[0], HB_MAGIC[1], kind.index() as u8]
+}
+
+fn parse_hb(datagram: &[u8]) -> Option<ServiceKind> {
+    if datagram.len() == 3 && datagram[..2] == HB_MAGIC && (datagram[2] as usize) < 5 {
+        Some(ServiceKind::from_index(datagram[2] as usize))
+    } else {
+        None
+    }
+}
+
+/// Where a replica's heartbeat thread reports to.
+#[derive(Clone)]
+struct HbSpec {
+    monitor: SocketAddr,
+    interval: Duration,
+    net: Option<Arc<ImpairedNet>>,
+}
 
 /// Everything needed to (re)spawn one service replica — the runtime
 /// analogue of a container image plus its mounts. Cloned by the kill
@@ -167,15 +218,38 @@ struct ReplicaRunner {
     tracer: trace::ThreadTracer,
     track: trace::TrackId,
     obs: Option<RtSvcObs>,
+    /// Heartbeat reporting (None when detection is off).
+    hb: Option<HbSpec>,
 }
 
 impl ReplicaRunner {
     /// Spawn the service thread at the fault cell's *current*
     /// generation. The thread exits (returning its [`ExitReport`]) as
-    /// soon as the live generation moves past its snapshot.
+    /// soon as the live generation moves past its snapshot. When the
+    /// detection plane is on, a sibling heartbeat thread is spawned at
+    /// the same generation: it streams `[H, B, kind]` datagrams through
+    /// the impairment shim to the monitor and dies with its generation,
+    /// so a killed replica falls silent within one interval.
     fn spawn(&self) -> std::thread::JoinHandle<ExitReport> {
         let r = self.clone();
         let my_gen = r.fault.current();
+        if let Some(hb) = &self.hb {
+            let hb = hb.clone();
+            let kind = self.kind;
+            let fault = self.fault.clone();
+            let shutdown = self.shutdown.clone();
+            std::thread::Builder::new()
+                .name(format!("scatter-hb-{}", kind.name()))
+                .spawn(move || {
+                    let sock = RtSocket::new(Arc::new(bind_loopback()), Ep::Svc(kind), hb.net);
+                    let beat = hb_datagram(kind);
+                    while !shutdown.load(Ordering::Relaxed) && fault.current() == my_gen {
+                        let _ = sock.send_to(&beat, hb.monitor);
+                        std::thread::sleep(hb.interval);
+                    }
+                })
+                .expect("spawn heartbeat thread");
+        }
         std::thread::Builder::new()
             .name(format!("scatter-{}", r.kind.name()))
             .spawn(move || {
@@ -233,6 +307,31 @@ impl ReplicaRunner {
     }
 }
 
+/// The runtime detection plane: a monitor thread owning the heartbeat
+/// socket and the same [`orchestra::FailureDetector`] the DES runs,
+/// plus the accounting the report surfaces. Instance ids are stable
+/// `InstanceId(kind.index())` — a respawned replica inherits the
+/// identity, so its first heartbeat clears the suspicion.
+struct DetectionPlane {
+    /// Suspicions raised by the monitor.
+    detections: Arc<AtomicU64>,
+    /// Respawns that happened after a detection flagged the replica.
+    redeploys: AtomicU64,
+    /// take-down instant → suspicion instant, ms.
+    latencies: Arc<Mutex<Vec<f64>>>,
+    /// Crash instants recorded by [`LocalDeployment::take_down`],
+    /// consumed by the monitor when the detector fires.
+    crash_at: Arc<Mutex<[Option<Instant>; 5]>>,
+    /// Kinds the detector has flagged since their last respawn;
+    /// `bring_up` consumes the flag to count a detection-driven
+    /// redeploy (parity with the DES `redeploy_failed` count).
+    detected_down: Arc<Mutex<[bool; 5]>>,
+    /// Detection events, for experiment drivers that want to sequence
+    /// take-down → detection → bring-up ([`LocalDeployment::await_detection`]).
+    events: Mutex<mpsc::Receiver<ServiceKind>>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
 /// A running local deployment.
 pub struct LocalDeployment {
     /// One slot per service; `None` while a replica is down (killed and
@@ -257,10 +356,27 @@ pub struct LocalDeployment {
     client_obs: Option<RtClientObs>,
     /// The impairment plane shared by every socket (None = pristine).
     net: Option<Arc<ImpairedNet>>,
+    /// Heartbeat failure detection (None when `opts.detection` is off).
+    detection: Option<DetectionPlane>,
 }
 
 fn bind_loopback() -> UdpSocket {
     UdpSocket::bind("127.0.0.1:0").expect("bind loopback socket")
+}
+
+/// Token returned by [`LocalDeployment::take_down`]: the replica is
+/// crashed and its socket dark until the token is redeemed with
+/// [`LocalDeployment::bring_up`]. Carries the frames already
+/// attributed so the drain window never double-counts.
+pub struct DownReplica {
+    kind: ServiceKind,
+    seen: HashSet<(u16, u32)>,
+}
+
+impl DownReplica {
+    pub fn kind(&self) -> ServiceKind {
+        self.kind
+    }
 }
 
 impl LocalDeployment {
@@ -299,6 +415,83 @@ impl LocalDeployment {
         let fetch_failures = Arc::new(AtomicU64::new(0));
         let sift_store_size = Arc::new(AtomicU64::new(0));
         let sift_addr = addrs[1];
+
+        // Detection plane: bind the monitor socket first so replicas
+        // know where to report, then run the detector on its own
+        // thread against the shared wall-clock epoch.
+        let mut hb_spec = None;
+        let detection = opts.detection.map(|dcfg| {
+            let monitor_sock = bind_loopback();
+            let monitor_addr = monitor_sock.local_addr().expect("monitor addr");
+            monitor_sock
+                .set_read_timeout(Some(Duration::from_millis(5)))
+                .expect("monitor timeout");
+            hb_spec = Some(HbSpec {
+                monitor: monitor_addr,
+                interval: Duration::from_secs_f64(dcfg.hb_interval.as_millis_f64() / 1e3),
+                net: net.clone(),
+            });
+            let detections = Arc::new(AtomicU64::new(0));
+            let latencies = Arc::new(Mutex::new(Vec::new()));
+            let crash_at: Arc<Mutex<[Option<Instant>; 5]>> = Arc::new(Mutex::new([None; 5]));
+            let detected_down = Arc::new(Mutex::new([false; 5]));
+            let (tx, rx) = mpsc::channel();
+            let monitor = {
+                let shutdown = shutdown.clone();
+                let ctx = ctx.clone();
+                let detections = detections.clone();
+                let latencies = latencies.clone();
+                let crash_at = crash_at.clone();
+                let detected_down = detected_down.clone();
+                std::thread::Builder::new()
+                    .name("scatter-monitor".into())
+                    .spawn(move || {
+                        let mut det = FailureDetector::new(dcfg.detector());
+                        let now_ms = ctx.epoch.elapsed().as_secs_f64() * 1e3;
+                        for i in 0..5u32 {
+                            det.register(InstanceId(i), now_ms);
+                        }
+                        let mut buf = [0u8; 64];
+                        while !shutdown.load(Ordering::Relaxed) {
+                            match monitor_sock.recv_from(&mut buf) {
+                                Ok((n, _)) => {
+                                    if let Some(kind) = parse_hb(&buf[..n]) {
+                                        let now_ms = ctx.epoch.elapsed().as_secs_f64() * 1e3;
+                                        det.heartbeat(InstanceId(kind.index() as u32), now_ms);
+                                    }
+                                }
+                                Err(ref e) if is_would_block(e) => {}
+                                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                            }
+                            let now_ms = ctx.epoch.elapsed().as_secs_f64() * 1e3;
+                            for s in det.check(now_ms) {
+                                let idx = s.instance.0 as usize;
+                                detections.fetch_add(1, Ordering::Relaxed);
+                                if let Some(at) =
+                                    crash_at.lock().expect("crash_at lock")[idx].take()
+                                {
+                                    latencies
+                                        .lock()
+                                        .expect("latencies lock")
+                                        .push(at.elapsed().as_secs_f64() * 1e3);
+                                }
+                                detected_down.lock().expect("detected lock")[idx] = true;
+                                let _ = tx.send(ServiceKind::from_index(idx));
+                            }
+                        }
+                    })
+                    .expect("spawn monitor thread")
+            };
+            DetectionPlane {
+                detections,
+                redeploys: AtomicU64::new(0),
+                latencies,
+                crash_at,
+                detected_down,
+                events: Mutex::new(rx),
+                monitor: Mutex::new(Some(monitor)),
+            }
+        });
         let mut collector = match opts.trace {
             Some(cfg) => trace::Collector::new(cfg),
             None => trace::Collector::disabled(),
@@ -337,6 +530,7 @@ impl LocalDeployment {
                 tracer,
                 track,
                 obs,
+                hb: hb_spec.clone(),
             };
             handles.push(Some(runner.spawn()));
             runners.push(runner);
@@ -366,6 +560,7 @@ impl LocalDeployment {
             registry,
             client_obs,
             net,
+            detection,
         }
     }
 
@@ -393,34 +588,53 @@ impl LocalDeployment {
     ///    void and give up on their own deadline);
     /// 4. the replica is respawned at the new generation with empty
     ///    state (fresh store/reassembler/parked queue).
+    ///
+    /// `kill` composes [`Self::take_down`] + [`Self::bring_up`]; use
+    /// the halves directly to sequence a detection in between
+    /// (take-down → [`Self::await_detection`] → bring-up), which is
+    /// how detection-driven redeploys are counted.
     pub fn kill(&self, kind: ServiceKind, recovery: Duration) {
+        let down = self.take_down(kind);
+        self.bring_up(down, recovery);
+    }
+
+    /// Crash one replica *without* recovering it: bump the fault
+    /// generation (the heartbeat thread dies with it, so the detector
+    /// starts accruing silence), join the thread, and attribute the
+    /// frames whose in-memory state died with it. The replica's socket
+    /// stays dark until the returned token is passed to
+    /// [`Self::bring_up`].
+    pub fn take_down(&self, kind: ServiceKind) -> DownReplica {
         let idx = kind.index();
         let runner = &self.runners[idx];
         runner.stats.kills.fetch_add(1, Ordering::Relaxed);
         runner.fault.generation.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = &self.detection {
+            d.crash_at.lock().expect("crash_at lock")[idx] = Some(Instant::now());
+        }
         let old = self.handles.lock().expect("handles lock")[idx].take();
         let exit = old
             .map(|h| h.join().expect("service thread"))
             .unwrap_or_default();
 
         let mut seen: HashSet<(u16, u32)> = HashSet::new();
-        let attribute = |client: u16, frame_no: u32, flags: u8| {
-            runner.stats.dropped_crash.fetch_add(1, Ordering::Relaxed);
-            if let Some(o) = &runner.obs {
-                o.drop_crash.inc();
-            }
-            let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
-            runner.tracer.terminal(
-                tctx,
-                self.ctx.epoch.elapsed().as_nanos() as u64,
-                trace::FrameFate::Dropped(trace::DropReason::Crash),
-            );
-        };
         for (client, frame_no, flags) in exit.lost_frames {
             if seen.insert((client, frame_no)) {
-                attribute(client, frame_no, flags);
+                self.attribute_crash(runner, client, frame_no, flags);
             }
         }
+        DownReplica { kind, seen }
+    }
+
+    /// Drain the dead replica's socket for the `recovery` window
+    /// (attributing each distinct arriving frame as a `Crash` drop),
+    /// then respawn it at the new generation with empty state. If the
+    /// detector flagged the replica while it was down, the respawn
+    /// counts as a detection-driven redeploy.
+    pub fn bring_up(&self, down: DownReplica, recovery: Duration) {
+        let DownReplica { kind, mut seen } = down;
+        let idx = kind.index();
+        let runner = &self.runners[idx];
 
         // Nothing listens on a crashed container's port: drain and
         // attribute arrivals for the whole recovery window.
@@ -437,7 +651,7 @@ impl LocalDeployment {
                             continue; // fetch responses: not frame traffic
                         }
                         if seen.insert((frag.client, frag.frame_no)) {
-                            attribute(frag.client, frag.frame_no, frag.flags);
+                            self.attribute_crash(runner, frag.client, frag.frame_no, frag.flags);
                         }
                     }
                     // Control requests / malformed datagrams die silently,
@@ -449,8 +663,46 @@ impl LocalDeployment {
         }
 
         if !self.shutdown.load(Ordering::Relaxed) {
+            if let Some(d) = &self.detection {
+                let flagged = {
+                    let mut down = d.detected_down.lock().expect("detected lock");
+                    std::mem::take(&mut down[idx])
+                };
+                if flagged {
+                    d.redeploys.fetch_add(1, Ordering::Relaxed);
+                }
+                // A respawn without a detection also clears the stale
+                // crash instant so a later unrelated detection doesn't
+                // measure against it.
+                d.crash_at.lock().expect("crash_at lock")[idx] = None;
+            }
             self.handles.lock().expect("handles lock")[idx] = Some(runner.spawn());
         }
+    }
+
+    /// Block until the detector raises a suspicion (returns the flagged
+    /// service), or `timeout` elapses. `None` when detection is off or
+    /// nothing fired in time.
+    pub fn await_detection(&self, timeout: Duration) -> Option<ServiceKind> {
+        let d = self.detection.as_ref()?;
+        d.events
+            .lock()
+            .expect("events lock")
+            .recv_timeout(timeout)
+            .ok()
+    }
+
+    fn attribute_crash(&self, runner: &ReplicaRunner, client: u16, frame_no: u32, flags: u8) {
+        runner.stats.dropped_crash.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &runner.obs {
+            o.drop_crash.inc();
+        }
+        let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
+        runner.tracer.terminal(
+            tctx,
+            self.ctx.epoch.elapsed().as_nanos() as u64,
+            trace::FrameFate::Dropped(trace::DropReason::Crash),
+        );
     }
 
     /// One client's stream: emit paced frames from `scene`, collect
@@ -690,6 +942,21 @@ impl LocalDeployment {
             fetch_retransmits: sum(&|s| s.fetch_retransmits.load(Ordering::Relaxed)),
             late_fetch_rsp: sum(&|s| s.late_fetch_rsp.load(Ordering::Relaxed)),
             kills: sum(&|s| s.kills.load(Ordering::Relaxed)),
+            detections: self
+                .detection
+                .as_ref()
+                .map(|d| d.detections.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            redeploys: self
+                .detection
+                .as_ref()
+                .map(|d| d.redeploys.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            detection_latency_ms: self
+                .detection
+                .as_ref()
+                .map(|d| d.latencies.lock().expect("latencies lock").clone())
+                .unwrap_or_default(),
             service_counts: SERVICE_KINDS
                 .iter()
                 .zip(&self.stats)
@@ -717,6 +984,14 @@ impl LocalDeployment {
     /// registry snapshot covers (no in-flight increments).
     pub fn shutdown_with_counts(self) -> (trace::TraceLog, Vec<(ServiceKind, u64, u64, u64)>) {
         self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(d) = &self.detection {
+            // The monitor polls with a 5 ms timeout, so it notices the
+            // flag promptly; heartbeat threads are detached and die on
+            // the same flag within one interval.
+            if let Some(h) = d.monitor.lock().expect("monitor lock").take() {
+                let _ = h.join();
+            }
+        }
         let handles: Vec<_> = self
             .handles
             .lock()
@@ -1093,6 +1368,84 @@ mod fault_tests {
             crashed as u64, report.crash_drops,
             "crash terminals must match the crash counter"
         );
+    }
+}
+
+#[cfg(test)]
+mod detection_tests {
+    use super::*;
+    use crate::resilience::DetectionConfig;
+
+    /// A healthy run with detection on must look exactly like one with
+    /// detection off: no suspicions, no redeploys, frames complete.
+    #[test]
+    fn detection_plane_is_silent_on_a_healthy_run() {
+        let report = run_local(RuntimeOptions {
+            frames: 6,
+            fps: 8.0,
+            detection: Some(DetectionConfig::default()),
+            ..Default::default()
+        });
+        assert_eq!(report.detections, 0, "spurious suspicion on a healthy run");
+        assert_eq!(report.redeploys, 0);
+        assert!(report.detection_latency_ms.is_empty());
+        assert!(
+            report.completed >= 3,
+            "only {}/6 completed with detection enabled",
+            report.completed
+        );
+    }
+
+    /// The tentpole sequence over real sockets: take a replica down,
+    /// wait for the heartbeat monitor to flag it (UDP heartbeats fell
+    /// silent), then bring it up — counted as a detection-driven
+    /// redeploy, with the detection latency measured from the crash
+    /// instant. The respawned replica serves the remaining frames.
+    #[test]
+    fn heartbeat_detection_catches_a_kill_and_drives_the_redeploy() {
+        let dep = LocalDeployment::start(RuntimeOptions {
+            frames: 12,
+            fps: 8.0,
+            detection: Some(DetectionConfig::default()),
+            drain: Duration::from_millis(3500),
+            ..Default::default()
+        });
+        let report = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(400));
+                let down = dep.take_down(ServiceKind::Sift);
+                assert_eq!(down.kind(), ServiceKind::Sift);
+                let detected = dep.await_detection(Duration::from_secs(5));
+                assert_eq!(
+                    detected,
+                    Some(ServiceKind::Sift),
+                    "the monitor never flagged the silent replica"
+                );
+                dep.bring_up(down, Duration::from_millis(100));
+            });
+            dep.run_client()
+        });
+        assert!(report.detections >= 1, "no detection recorded");
+        assert_eq!(
+            report.redeploys, 1,
+            "the respawn after detection must count as a redeploy"
+        );
+        assert!(!report.detection_latency_ms.is_empty());
+        let lat = report.detection_latency_ms[0];
+        // suspect_factor × interval = 150 ms of silence, minus up to
+        // one interval of pre-crash credit; generous upper bound for
+        // loaded CI machines.
+        assert!(
+            lat > 50.0 && lat < 3000.0,
+            "detection latency {lat:.0} ms outside the plausible band"
+        );
+        assert!(
+            report.completed >= 2,
+            "the redeployed replica never recovered: {}/{}",
+            report.completed,
+            report.emitted
+        );
+        let _ = dep.shutdown();
     }
 }
 

@@ -51,6 +51,10 @@ pub struct Sidecar {
     pub served: u64,
     /// Sum of queueing delays (for mean queue time).
     queue_time_sum: SimDuration,
+    /// Running EWMA of observed service time, ms — the sidecar's own
+    /// "collected processing-time metric". Seeded from the constructor
+    /// estimate; every completion observation tightens it.
+    ewma_service_ms: f64,
 }
 
 impl Sidecar {
@@ -66,6 +70,7 @@ impl Sidecar {
         Sidecar {
             queue: VecDeque::new(),
             threshold,
+            ewma_service_ms: service_est.as_millis_f64(),
             service_est,
             downstream_est,
             enqueued: 0,
@@ -168,13 +173,32 @@ impl Sidecar {
         self.threshold
     }
 
-    /// Update the expected service time from the sidecar's collected
-    /// processing-time metrics (EWMA maintained by the service runtime).
+    /// Fold one observed service time (accept → completion, ms) into
+    /// the sidecar's running EWMA estimate — the paper's "the sidecar
+    /// also collects metrics (i.e., queueing and processing time)".
     /// This is what keeps the projection honest under GPU contention:
     /// when co-located kernels slow the service down, admission tightens
-    /// instead of wasting GPU time on frames that cannot finish.
+    /// instead of wasting GPU time on frames that cannot finish. The
+    /// constructor estimate is only the EWMA's seed; after a load step
+    /// the estimate converges to the observed level geometrically
+    /// (weight 0.1 per observation — ≈ 90% of the way in 22 frames).
+    pub fn observe_service_ms(&mut self, observed_ms: f64) {
+        self.ewma_service_ms = 0.9 * self.ewma_service_ms + 0.1 * observed_ms;
+        self.service_est = SimDuration::from_nanos((self.ewma_service_ms * 1e6) as u64);
+    }
+
+    /// Override the expected service time (tests; migration re-seeding).
     pub fn set_service_est(&mut self, est: SimDuration) {
+        self.ewma_service_ms = est.as_millis_f64();
         self.service_est = est;
+    }
+
+    /// The sidecar's exported backpressure signal: projected wait for a
+    /// hypothetical frame admitted *now* — queue occupancy times the
+    /// running service estimate plus the expected downstream remainder.
+    /// The overload controller steps the degradation ladder off this.
+    pub fn backpressure_ms(&self) -> f64 {
+        (self.service_est * (self.queue.len() as u64 + 1) + self.downstream_est).as_millis_f64()
     }
 
     /// Update the expected post-service pipeline time (from downstream
@@ -309,6 +333,47 @@ mod tests {
         assert!(!sc.enqueue(msg(0), at(75)));
         // Age 69: 69 + 30 = 99 ≤ 100 → admitted.
         assert!(sc.enqueue(msg(0), at(69)));
+    }
+
+    #[test]
+    fn ewma_estimate_converges_under_a_load_step() {
+        // Constructor seeds 5 ms; the service then takes 20 ms per frame
+        // (a load step: GPU contention kicked in). The running estimate
+        // must converge to the observed level, not stay pinned at the
+        // constructor value.
+        let mut sc = Sidecar::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(20),
+        );
+        assert_eq!(sc.service_est().as_millis(), 5);
+        for _ in 0..40 {
+            sc.observe_service_ms(20.0);
+        }
+        let est = sc.service_est().as_millis_f64();
+        assert!(
+            (est - 20.0).abs() < 0.5,
+            "estimate {est} ms did not converge to the observed 20 ms"
+        );
+        // And back down after the contention clears.
+        for _ in 0..40 {
+            sc.observe_service_ms(8.0);
+        }
+        let est = sc.service_est().as_millis_f64();
+        assert!((est - 8.0).abs() < 0.5, "estimate {est} ms stuck high");
+    }
+
+    #[test]
+    fn backpressure_reflects_queue_and_estimates() {
+        let mut sc = Sidecar::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        );
+        assert_eq!(sc.backpressure_ms(), 30.0, "empty queue: service + rest");
+        sc.enqueue(msg(100), at(100));
+        sc.enqueue(msg(100), at(100));
+        assert_eq!(sc.backpressure_ms(), 50.0, "(2+1)×10 + 20");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! - all transport is UDP: oversized datagrams fragment, losses kill the
 //!   whole frame, nothing is retransmitted.
 
+use std::collections::HashMap;
+
 use metrics::TimeSeries;
 use orchestra::{Balancer, BalancerKind, Cluster, ServiceSla};
 
@@ -81,6 +83,45 @@ pub struct PipelineWorld {
     /// tracer it is an observer — no RNG, no scheduled events, no
     /// feedback — so telemetered runs stay bit-identical.
     pub obs: Option<DesObs>,
+    // --- resilience control plane (inert unless `cfg.resilience` has a
+    // leg enabled; every field below then stays at its default) ---
+    /// Cluster instance id per slot (parallel to `services`) — the
+    /// identity the failure detector and redeploy bookkeeping use.
+    pub instance_ids: Vec<orchestra::InstanceId>,
+    /// Heartbeat failure detector (detection leg only).
+    pub detector: Option<orchestra::FailureDetector>,
+    /// Heartbeat-jitter stream — a 4th root split taken ONLY when the
+    /// detection leg is on, so baseline runs keep their stream
+    /// assignments (and bytes) untouched.
+    pub rng_hb: Option<SimRng>,
+    /// Slots the balancer currently routes to, per kind: position `p`
+    /// in `routable[ki]` is balancer replica `p`. Equal to `replicas`
+    /// until a detection removes an instance; empty = service outage.
+    pub routable: [Vec<usize>; 5],
+    /// Slots the detector has removed from routing (parallel to
+    /// `services`). A frame dispatched to a `derouted` slot is a
+    /// failover bug — counted, and gated to zero by the experiments.
+    pub derouted: Vec<bool>,
+    /// Crash instants awaiting detection (detection-latency numerator).
+    pub crash_pending: HashMap<usize, SimTime>,
+    /// Per-original-frame client deadline state (deadline leg only).
+    pub inflight: HashMap<(usize, u64), InflightFrame>,
+    /// The degradation-ladder controller (ladder leg only).
+    pub ladder: Option<crate::resilience::OverloadController>,
+    /// Resilience-plane accumulators, moved into the report at the end.
+    pub resilience: crate::report::ResilienceReport,
+}
+
+/// Client-side deadline state for one original frame.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InflightFrame {
+    /// A completion was already counted; later arrivals are duplicates.
+    settled: bool,
+    /// Attempts `0..expired_attempts` passed their deadline — their late
+    /// results re-attribute to [`trace::DropReason::ResponseDeadline`].
+    expired_attempts: u8,
+    /// The latest attempt armed (deadline events for older ones no-op).
+    attempt: u8,
 }
 
 type SimW = Sim<PipelineWorld>;
@@ -167,6 +208,10 @@ fn run_world(
     let rng_net = root.split();
     let rng_service = root.split();
     let mut rng_misc = root.split();
+    // Heartbeat jitter draws from its own stream, split off the root
+    // ONLY when the detection leg is on: a resilience-off run takes the
+    // exact same three splits as before and stays byte-identical.
+    let rng_hb = cfg.resilience.detection.map(|_| root.split());
 
     // Topology + netem overrides on the client↔ingress link(s).
     let (mut topo, testbed) = Testbed::build();
@@ -230,6 +275,7 @@ fn run_world(
     // Materialize runtime slots in pipeline order.
     let mut services = Vec::new();
     let mut replicas: [Vec<usize>; 5] = Default::default();
+    let mut instance_ids: Vec<orchestra::InstanceId> = Vec::new();
     for (i, name) in SERVICE_NAMES.iter().enumerate() {
         let kind = ServiceKind::from_index(i);
         let ids = deployed
@@ -243,6 +289,7 @@ fn run_world(
             let slot = services.len();
             services.push(SvcRuntime::new(kind, r, machine, sidecar));
             replicas[i].push(slot);
+            instance_ids.push(*id);
         }
         assert!(
             !replicas[i].is_empty(),
@@ -329,6 +376,21 @@ fn run_world(
         obs
     });
 
+    // Resilience-plane state (all `None`/empty when the plane is off).
+    let detector = cfg.resilience.detection.map(|d| {
+        let mut det = orchestra::FailureDetector::new(d.detector());
+        for &id in &instance_ids {
+            det.register(id, 0.0);
+        }
+        det
+    });
+    let ladder = cfg
+        .resilience
+        .ladder
+        .map(|l| crate::resilience::OverloadController::new(l, cfg.clients));
+    let derouted = vec![false; services.len()];
+    let routable = replicas.clone();
+
     let mut world = PipelineWorld {
         cfg,
         cost,
@@ -355,6 +417,15 @@ fn run_world(
         track_of_slot,
         client_tracks,
         obs,
+        instance_ids,
+        detector,
+        rng_hb,
+        routable,
+        derouted,
+        crash_pending: HashMap::new(),
+        inflight: HashMap::new(),
+        ladder,
+        resilience: crate::report::ResilienceReport::default(),
     };
 
     let mut sim: SimW = Sim::new();
@@ -372,6 +443,17 @@ fn run_world(
     }
     // 4 Hz sift state eviction sweep (scAtteR only; harmless otherwise).
     sim.schedule(SimDuration::from_millis(250), evict_sweep);
+    // Resilience: per-instance heartbeats + the detector's sweep loop.
+    if let Some(det_cfg) = world.cfg.resilience.detection {
+        for slot in 0..world.services.len() {
+            sim.schedule(det_cfg.hb_interval, move |w, s| heartbeat(w, s, slot));
+        }
+        sim.schedule(det_cfg.hb_interval, detector_check);
+    }
+    // Resilience: the overload controller's backpressure sampling tick.
+    if let Some(lcfg) = world.cfg.resilience.ladder {
+        sim.schedule(lcfg.tick, ladder_tick);
+    }
     // Autoscaler evaluation loop (first check after warmup + interval).
     if let Some(auto) = world.cfg.autoscale {
         sim.schedule_at(world.warmup_at + auto.interval, autoscale_check);
@@ -432,20 +514,135 @@ fn client_emit(w: &mut PipelineWorld, sim: &mut SimW, client: usize) {
     if now >= w.warmup_at {
         w.clients[client].emitted_measured += 1;
     }
-    let bytes = w.cost.payload_into(ServiceKind::Primary, w.cfg.mode);
+    // Degradation ladder: the client's current rung shapes (or denies)
+    // this capture.
+    let level = w.ladder.as_ref().map_or(0, |l| l.level(client));
+    let mut bytes = w.cost.payload_into(ServiceKind::Primary, w.cfg.mode);
+    if level >= crate::resilience::LADDER_DOWNSCALE {
+        let lcfg = w.cfg.resilience.ladder.expect("rung > 0 implies a ladder");
+        bytes = ((bytes as f64) * lcfg.downscale_payload).max(1.0) as usize;
+    }
     let mut msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
+    msg.quality = level.min(crate::resilience::LADDER_HALF_RATE);
     msg.trace = w.tracer.ctx(client as u16, frame_no as u32);
     w.tracer.emitted(msg.trace, now.as_nanos());
     if let Some(o) = &w.obs {
         o.frames_emitted.inc();
     }
-    route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
+    if level >= crate::resilience::LADDER_DENIED {
+        // The ladder's last rung: admission denied with an explicit NACK
+        // — the client knows immediately instead of silently losing the
+        // frame past the knee.
+        w.resilience.admission_nacks += 1;
+        w.tracer.terminal(
+            msg.trace,
+            now.as_nanos(),
+            trace::FrameFate::Dropped(trace::DropReason::AdmissionNack),
+        );
+        if let Some(o) = w.obs.as_mut() {
+            o.slo_breach(now.as_secs_f64());
+        }
+    } else {
+        if msg.quality >= crate::resilience::LADDER_DOWNSCALE {
+            w.resilience.degraded_frames += 1;
+        }
+        arm_deadline(w, sim, client, frame_no, 0);
+        route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
+    }
 
+    // Half-rate rungs skip every other slot on the capture grid (the
+    // camera effectively runs at 15 FPS; skipped slots never become
+    // frames, so the skipped frame numbers read as inter-update gaps).
+    if w.ladder.as_ref().map_or(1, |l| l.period_factor(client)) == 2 {
+        w.clients[client].emitted += 1;
+    }
     // Next frame: grid-scheduled with per-frame capture jitter so
     // concurrent clients cannot phase-lock against each other.
     let jitter = SimDuration::from_millis_f64(w.rng_misc.uniform(0.0, w.cost.emit_jitter_ms));
     let next = w.clients[client].next_emit_at() + jitter;
     sim.schedule_at(next, move |w, s| client_emit(w, s, client));
+}
+
+/// Re-emit a fresh capture after a response deadline expired. AR cannot
+/// usefully re-send the stale original pixels, so the retry is a *new*
+/// capture of the scene at `now` — staleness filtering measures from the
+/// retry's own emission — carrying the same frame number with a distinct
+/// per-attempt trace identity (frame conservation holds attempt by
+/// attempt).
+fn client_retry(w: &mut PipelineWorld, sim: &mut SimW, client: usize, frame_no: u64, attempt: u8) {
+    let now = sim.now();
+    if now >= w.end_at {
+        return;
+    }
+    let level = w.ladder.as_ref().map_or(0, |l| l.level(client));
+    if level >= crate::resilience::LADDER_DENIED {
+        // Admission control outranks the retry policy.
+        return;
+    }
+    let mut bytes = w.cost.payload_into(ServiceKind::Primary, w.cfg.mode);
+    if level >= crate::resilience::LADDER_DOWNSCALE {
+        let lcfg = w.cfg.resilience.ladder.expect("rung > 0 implies a ladder");
+        bytes = ((bytes as f64) * lcfg.downscale_payload).max(1.0) as usize;
+    }
+    let mut msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
+    msg.quality = level.min(crate::resilience::LADDER_HALF_RATE);
+    msg.attempt = attempt;
+    msg.trace = w
+        .tracer
+        .ctx(client as u16, frame_no as u32 | ((attempt as u32) << 24));
+    w.tracer.emitted(msg.trace, now.as_nanos());
+    if let Some(o) = &w.obs {
+        o.frames_emitted.inc();
+    }
+    w.resilience.retries += 1;
+    arm_deadline(w, sim, client, frame_no, attempt);
+    route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
+}
+
+/// Arm (or re-arm, for a retry) the client's response deadline for one
+/// frame attempt. No-op when the deadline leg is off.
+fn arm_deadline(w: &mut PipelineWorld, sim: &mut SimW, client: usize, frame_no: u64, attempt: u8) {
+    let Some(dcfg) = w.cfg.resilience.deadline else {
+        return;
+    };
+    let entry = w.inflight.entry((client, frame_no)).or_default();
+    entry.attempt = attempt;
+    sim.schedule(dcfg.deadline, move |w, s| {
+        deadline_expire(w, s, client, frame_no, attempt)
+    });
+}
+
+/// A frame attempt's response deadline fired: if the result has not
+/// come back, give up on the attempt (its late result, should one still
+/// arrive, re-attributes to `ResponseDeadline`) and schedule a
+/// backed-off retry while the budget lasts.
+fn deadline_expire(
+    w: &mut PipelineWorld,
+    sim: &mut SimW,
+    client: usize,
+    frame_no: u64,
+    attempt: u8,
+) {
+    let now = sim.now();
+    let Some(dcfg) = w.cfg.resilience.deadline else {
+        return;
+    };
+    let Some(entry) = w.inflight.get_mut(&(client, frame_no)) else {
+        return;
+    };
+    if entry.settled || entry.attempt != attempt {
+        return;
+    }
+    entry.expired_attempts = attempt + 1;
+    w.resilience.deadline_expired += 1;
+    if (attempt as u32) < dcfg.max_retries {
+        let delay = dcfg.retry_delay(attempt as u32 + 1);
+        if now + delay < w.end_at {
+            sim.schedule(delay, move |w, s| {
+                client_retry(w, s, client, frame_no, attempt + 1)
+            });
+        }
+    }
 }
 
 /// Pick a replica via the service's balancer and ship the message over
@@ -458,16 +655,43 @@ fn route_to_service(
     src_node: simnet::NodeId,
 ) {
     let ki = kind.index();
+    if w.routable[ki].is_empty() {
+        // Every replica of the next service is detected-failed (only
+        // reachable with the detection leg on): an explicit, counted
+        // outage drop instead of a datagram into a dead port.
+        let now = sim.now();
+        w.resilience.outage_drops += 1;
+        w.tracer.terminal(
+            msg.trace,
+            now.as_nanos(),
+            trace::FrameFate::Dropped(trace::DropReason::ServiceOutage),
+        );
+        if let Some(o) = w.obs.as_mut() {
+            o.slo_breach(now.as_secs_f64());
+        }
+        return;
+    }
     let n_replicas = w.balancers[ki].n_replicas();
     // matching must reach the sift replica holding the frame state; that
     // path bypasses this router (see send_fetch). Frames to sift record
     // their replica binding for the later fetch.
     let replica = w.balancers[ki].pick(msg.client as u64);
+    // Identical to `routable[ki][replica]` whenever balancer and map are
+    // in sync (always, outside a mid-outage autoscale race).
+    let slot = w.routable[ki][replica % w.routable[ki].len()];
+    if w.derouted[slot] {
+        // Failover correctness: the balancer must never hand a frame to
+        // an instance the detector already removed. Counted (and gated
+        // to zero) rather than asserted so a regression is observable.
+        w.resilience.post_detection_misroutes += 1;
+    }
     if kind == ServiceKind::Sift {
-        msg.sift_replica = Some(replica);
+        // The binding is recorded as the *stable* replica ordinal (the
+        // index into `replicas`), not the balancer position — failover
+        // compacts balancer positions but never reorders `replicas`.
+        msg.sift_replica = w.replicas[ki].iter().position(|&s| s == slot);
     }
     msg.step = kind;
-    let slot = w.replicas[ki][replica];
     let dst_node = w.cluster.machines()[w.services[slot].machine].net;
     let lb_extra = if n_replicas > 1 {
         SimDuration::from_millis_f64(w.cost.lb_overhead_ms)
@@ -647,6 +871,15 @@ fn start_compute(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameM
     let duration = w
         .cost
         .sample_service_time(kind, arch_mult, virtualized, &mut w.rng_service);
+    // Pyramid-downscaled captures (ladder rung ≥ 1) cost proportionally
+    // less work at every stage. The sample above is drawn regardless so
+    // the RNG stream stays aligned with a ladder-off run.
+    let duration = if msg.quality >= crate::resilience::LADDER_DOWNSCALE {
+        let f = w.cfg.resilience.ladder.map_or(1.0, |l| l.downscale_compute);
+        SimDuration::from_secs_f64(duration.as_secs_f64() * f)
+    } else {
+        duration
+    };
     // Processor-sharing GPU contention: the kernel starts now, slowed by
     // the machine's current GPU oversubscription.
     let (wall, occupancy, ps_weight) = if kind.needs_gpu() {
@@ -724,7 +957,10 @@ fn complete_compute(
     };
     w.services[slot].ewma_service_ms = ewma;
     if let Some(sc) = w.services[slot].sidecar.as_mut() {
-        sc.set_service_est(SimDuration::from_millis_f64(ewma));
+        // The sidecar folds the raw observation into its own running
+        // EWMA (seeded from the cost model at deploy time) — the same
+        // estimate its backpressure export is built from.
+        sc.observe_service_ms(observed_ms);
     }
     w.services[slot].processed += 1;
     w.services[slot].busy = false;
@@ -1014,6 +1250,34 @@ fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node
             );
             sim.schedule(d, move |w, s| {
                 let now = s.now();
+                // Deadline leg: a result whose attempt already expired
+                // (or whose frame was settled by another attempt) is
+                // re-attributed, not double-counted.
+                if w.cfg.resilience.deadline.is_some() {
+                    let late = match w.inflight.get_mut(&msg.key()) {
+                        Some(e) => {
+                            if e.settled || msg.attempt < e.expired_attempts {
+                                true
+                            } else {
+                                e.settled = true;
+                                false
+                            }
+                        }
+                        None => false,
+                    };
+                    if late {
+                        w.resilience.late_completions += 1;
+                        w.tracer.terminal(
+                            msg.trace,
+                            now.as_nanos(),
+                            trace::FrameFate::Dropped(trace::DropReason::ResponseDeadline),
+                        );
+                        if let Some(o) = w.obs.as_mut() {
+                            o.slo_breach(now.as_secs_f64());
+                        }
+                        return;
+                    }
+                }
                 w.tracer
                     .terminal(msg.trace, now.as_nanos(), trace::FrameFate::Completed);
                 let e2e_ms = now.saturating_since(msg.emitted_at).as_millis_f64();
@@ -1109,6 +1373,10 @@ fn crash_instance(w: &mut PipelineWorld, sim: &mut SimW, kind: ServiceKind, repl
         return;
     };
     let revive_at = now + w.cfg.recovery;
+    if w.cfg.resilience.detection.is_some() {
+        // The detection-latency clock starts at the crash instant.
+        w.crash_pending.insert(slot, now);
+    }
     let mut lost: Vec<trace::TraceCtx> = Vec::new();
     {
         let svc = &mut w.services[slot];
@@ -1142,9 +1410,145 @@ fn crash_instance(w: &mut PipelineWorld, sim: &mut SimW, kind: ServiceKind, repl
             o.slo_breach(now.as_secs_f64());
         }
     }
-    sim.schedule_at(revive_at, move |w, _s| {
-        w.services[slot].down_until = None;
-    });
+    sim.schedule_at(revive_at, move |w, s| revive_instance(w, s, slot));
+}
+
+/// The orchestrator's restart completed: the instance's port is live
+/// again. With the detection leg on, the revived instance rejoins the
+/// routing set and the detector's watch list (its redeployed identity
+/// registers fresh, so the outage gap never poisons the EWMA).
+fn revive_instance(w: &mut PipelineWorld, sim: &mut SimW, slot: usize) {
+    w.services[slot].down_until = None;
+    // Recovered before anyone suspected it: cancel the latency clock.
+    w.crash_pending.remove(&slot);
+    if !w.derouted[slot] {
+        return;
+    }
+    w.derouted[slot] = false;
+    let ki = w.services[slot].kind.index();
+    // Invariant: the balancer serves max(routable.len(), 1) positions —
+    // through `Err(LastReplica)` it keeps a single (binding-cleared)
+    // replica while `routable` is empty. Grow it only when the revived
+    // slot actually needs a new position.
+    if w.balancers[ki].n_replicas() < w.routable[ki].len() + 1 {
+        w.balancers[ki].add_replica();
+    }
+    w.routable[ki].push(slot);
+    if let Some(det) = w.detector.as_mut() {
+        det.register(w.instance_ids[slot], sim.now().as_millis_f64());
+    }
+}
+
+/// One instance's heartbeat loop (detection leg only): beat while the
+/// container is up, stay silent while it is down, always reschedule —
+/// the loop itself survives crashes just like a real heartbeat thread
+/// inside a restarted container would be respawned.
+fn heartbeat(w: &mut PipelineWorld, sim: &mut SimW, slot: usize) {
+    let now = sim.now();
+    if now >= w.end_at {
+        return;
+    }
+    let Some(det_cfg) = w.cfg.resilience.detection else {
+        return;
+    };
+    if w.services[slot].down_until.is_none() {
+        if let Some(det) = w.detector.as_mut() {
+            det.heartbeat(w.instance_ids[slot], now.as_millis_f64());
+        }
+    }
+    let jitter_ms = w
+        .rng_hb
+        .as_mut()
+        .map_or(0.0, |r| r.uniform(0.0, det_cfg.hb_jitter.as_millis_f64()));
+    sim.schedule(
+        det_cfg.hb_interval + SimDuration::from_millis_f64(jitter_ms),
+        move |w, s| heartbeat(w, s, slot),
+    );
+}
+
+/// The detector's periodic sweep: newly suspected instances are failed
+/// in the cluster, redeployed (§3.2's self-healing loop), and removed
+/// from routing so sticky flows rebind to surviving replicas.
+fn detector_check(w: &mut PipelineWorld, sim: &mut SimW) {
+    let now = sim.now();
+    let Some(det_cfg) = w.cfg.resilience.detection else {
+        return;
+    };
+    let suspicions = w
+        .detector
+        .as_mut()
+        .map(|d| d.check(now.as_millis_f64()))
+        .unwrap_or_default();
+    for sus in suspicions {
+        let Some(slot) = w.instance_ids.iter().position(|&id| id == sus.instance) else {
+            continue;
+        };
+        if w.derouted[slot] {
+            continue;
+        }
+        w.resilience.detections += 1;
+        if let Some(t0) = w.crash_pending.remove(&slot) {
+            w.resilience
+                .detection_latency_ms
+                .push(now.saturating_since(t0).as_millis_f64());
+        }
+        // Failover: pull the instance out of the routing set. Sticky
+        // bindings compact onto the survivors; the last replica's
+        // removal is a counted outage, not a panic.
+        let ki = w.services[slot].kind.index();
+        if let Some(pos) = w.routable[ki].iter().position(|&s| s == slot) {
+            match w.balancers[ki].remove_replica(pos) {
+                Ok(()) => {
+                    w.routable[ki].remove(pos);
+                }
+                Err(_last) => {
+                    w.routable[ki].clear();
+                }
+            }
+        }
+        w.derouted[slot] = true;
+        // Orchestrator bookkeeping: fail the instance and let the
+        // self-healing loop redeploy it on its machine. The redeployed
+        // identity takes over the slot when the restart completes.
+        let old_id = w.instance_ids[slot];
+        w.cluster.fail_instance(old_id);
+        let slas = w.slas.clone();
+        let healed = w.cluster.redeploy_failed(&slas);
+        w.resilience.redeploys += healed.len() as u64;
+        if let Some((_, new_id)) = healed.iter().find(|(o, _)| *o == old_id) {
+            w.instance_ids[slot] = *new_id;
+        }
+        if let Some(det) = w.detector.as_mut() {
+            det.deregister(old_id);
+        }
+    }
+    if now + det_cfg.hb_interval <= w.end_at {
+        sim.schedule(det_cfg.hb_interval, detector_check);
+    }
+}
+
+/// The overload controller's tick (ladder leg only): sample the worst
+/// live sidecar's projected wait and step the ladder with hysteresis.
+fn ladder_tick(w: &mut PipelineWorld, sim: &mut SimW) {
+    let now = sim.now();
+    let Some(lcfg) = w.cfg.resilience.ladder else {
+        return;
+    };
+    let backpressure = (0..w.services.len())
+        .filter(|&s| w.services[s].down_until.is_none())
+        .filter_map(|s| {
+            w.services[s]
+                .sidecar
+                .as_ref()
+                .map(|sc| sc.backpressure_ms())
+        })
+        .fold(0.0f64, f64::max);
+    if let Some(l) = w.ladder.as_mut() {
+        l.tick(backpressure);
+    }
+    if now + lcfg.tick <= w.end_at {
+        sim.schedule(lcfg.tick, ladder_tick);
+    }
 }
 
 /// Live-migrate a service instance to another machine: the container is
@@ -1233,7 +1637,7 @@ fn autoscale_check(w: &mut PipelineWorld, sim: &mut SimW) {
         crate::autoscale::pick_target(auto.policy, &signals, &replica_counts, auto.max_replicas)
     {
         if let Some(machine_idx) = pick_scale_machine(w, auto.spread_over) {
-            add_replica(w, kind_idx, machine_idx, now, signal);
+            add_replica(w, sim, kind_idx, machine_idx, now, signal);
         }
     }
 
@@ -1263,6 +1667,7 @@ fn pick_scale_machine(w: &PipelineWorld, pool: MachinePool) -> Option<usize> {
 /// Deploy one more replica of a service mid-run.
 fn add_replica(
     w: &mut PipelineWorld,
+    sim: &mut SimW,
     kind_idx: usize,
     machine_idx: usize,
     now: SimTime,
@@ -1271,9 +1676,9 @@ fn add_replica(
     let kind = ServiceKind::from_index(kind_idx);
     let machine_name = w.cluster.machines()[machine_idx].name.clone();
     let sla = w.slas[kind_idx].clone();
-    if w.cluster.deploy_on(&sla, &machine_name).is_err() {
+    let Ok(new_id) = w.cluster.deploy_on(&sla, &machine_name) else {
         return; // out of capacity — skip this round
-    }
+    };
     let replica = w.replicas[kind_idx].len();
     let sidecar = make_sidecar(w.cfg.mode, &w.cost, &w.cluster, machine_idx, kind_idx);
     let slot = w.services.len();
@@ -1281,6 +1686,15 @@ fn add_replica(
         .push(SvcRuntime::new(kind, replica, machine_idx, sidecar));
     w.replicas[kind_idx].push(slot);
     w.balancers[kind_idx].add_replica();
+    w.routable[kind_idx].push(slot);
+    w.derouted.push(false);
+    w.instance_ids.push(new_id);
+    if let Some(det_cfg) = w.cfg.resilience.detection {
+        if let Some(det) = w.detector.as_mut() {
+            det.register(new_id, now.as_millis_f64());
+        }
+        sim.schedule(det_cfg.hb_interval, move |w, s| heartbeat(w, s, slot));
+    }
     w.mem_series.push(TimeSeries::new());
     if let Some(o) = w.obs.as_mut() {
         let s = o.register_slot(kind.name(), replica, &machine_name);
@@ -1352,6 +1766,12 @@ fn evict_sweep(w: &mut PipelineWorld, sim: &mut SimW) {
 fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
     let measure_start = w.warmup_at;
     let measure_end = w.end_at;
+
+    let mut resilience = std::mem::take(&mut w.resilience);
+    if let Some(l) = &w.ladder {
+        resilience.ladder_steps = l.steps;
+        resilience.max_ladder_level = l.max_level_seen;
+    }
 
     let per_client_fps: Vec<f64> = w
         .clients
@@ -1460,6 +1880,7 @@ fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
         breakdown_queue: w.breakdown_queue,
         breakdown_network: w.breakdown_network,
         events_executed,
+        resilience,
     }
 }
 
@@ -1723,6 +2144,178 @@ mod tests {
             crashed.success_rate,
             clean.success_rate
         );
+    }
+
+    #[test]
+    fn detection_without_failures_is_report_neutral() {
+        // Enabling the detection leg splits a 4th RNG stream off the
+        // root *after* the three baseline streams and sends no bytes on
+        // the wire, so a failure-free run must match the baseline QoS
+        // numbers exactly — the plane observes until something fails.
+        let base = quick(Mode::ScatterPP, placements::c1(), 2);
+        let cfg = RunConfig::new(Mode::ScatterPP, placements::c1(), 2)
+            .with_duration(SimDuration::from_secs(20))
+            .with_warmup(SimDuration::from_secs(3))
+            .with_resilience(
+                crate::resilience::ResilienceConfig::default()
+                    .with_detection(crate::resilience::DetectionConfig::default()),
+            );
+        let detected = run_experiment(cfg);
+        assert_eq!(base.per_client_fps, detected.per_client_fps);
+        assert_eq!(base.bytes_on_wire, detected.bytes_on_wire);
+        assert_eq!(detected.resilience.detections, 0);
+        assert_eq!(detected.resilience.post_detection_misroutes, 0);
+    }
+
+    #[test]
+    fn detection_reroutes_and_redeploys_after_a_crash() {
+        let run = |detect: bool| {
+            let mut cfg = RunConfig::new(Mode::ScatterPP, placements::replicas([1, 2, 1, 1, 1]), 2)
+                .with_duration(SimDuration::from_secs(20))
+                .with_warmup(SimDuration::from_secs(3))
+                .with_failure(SimDuration::from_secs(8), ServiceKind::Sift, 0)
+                .with_recovery(SimDuration::from_secs(2));
+            if detect {
+                cfg = cfg.with_resilience(
+                    crate::resilience::ResilienceConfig::default()
+                        .with_detection(crate::resilience::DetectionConfig::default()),
+                );
+            }
+            run_experiment(cfg)
+        };
+        let blind = run(false);
+        let detected = run(true);
+        assert_eq!(
+            detected.resilience.detections, 1,
+            "one crash, one suspicion"
+        );
+        assert_eq!(detected.resilience.redeploys, 1);
+        assert_eq!(detected.resilience.post_detection_misroutes, 0);
+        let lat = detected.resilience.mean_detection_latency_ms();
+        assert!(
+            (100.0..=400.0).contains(&lat),
+            "detection latency {lat:.0} ms outside the 3×50 ms + sweep band"
+        );
+        // Failover: once detected, frames rebind to the surviving sift
+        // replica instead of dying on the dark port.
+        let down_drops = |r: &RunReport| {
+            r.services
+                .iter()
+                .filter(|s| s.kind == ServiceKind::Sift)
+                .map(|s| s.drops.down)
+                .sum::<u64>()
+        };
+        assert!(
+            down_drops(&detected) < down_drops(&blind),
+            "failover should cut dead-port drops: {} vs blind {}",
+            down_drops(&detected),
+            down_drops(&blind)
+        );
+        assert!(
+            detected.fps() > blind.fps(),
+            "failover should help QoS: {:.1} vs blind {:.1}",
+            detected.fps(),
+            blind.fps()
+        );
+    }
+
+    #[test]
+    fn last_replica_crash_is_a_counted_outage_not_a_panic() {
+        let cfg = RunConfig::new(Mode::ScatterPP, placements::c1(), 1)
+            .with_duration(SimDuration::from_secs(15))
+            .with_warmup(SimDuration::from_secs(2))
+            .with_failure(SimDuration::from_secs(6), ServiceKind::Encoding, 0)
+            .with_recovery(SimDuration::from_secs(2))
+            .with_resilience(
+                crate::resilience::ResilienceConfig::default()
+                    .with_detection(crate::resilience::DetectionConfig::default()),
+            );
+        let r = run_experiment(cfg);
+        assert_eq!(r.resilience.detections, 1);
+        assert!(
+            r.resilience.outage_drops > 0,
+            "frames during the single-replica outage must be attributed"
+        );
+        assert_eq!(r.resilience.post_detection_misroutes, 0);
+        assert!(r.success_rate > 0.5, "service must recover after revival");
+    }
+
+    #[test]
+    fn deadlines_expire_and_retries_recover_during_an_outage() {
+        let cfg = RunConfig::new(Mode::ScatterPP, placements::c1(), 2)
+            .with_duration(SimDuration::from_secs(15))
+            .with_warmup(SimDuration::from_secs(2))
+            .with_failure(SimDuration::from_secs(6), ServiceKind::Lsh, 0)
+            .with_recovery(SimDuration::from_secs(1))
+            .with_resilience(
+                crate::resilience::ResilienceConfig::default()
+                    .with_deadline(crate::resilience::DeadlineConfig::default()),
+            );
+        let r = run_experiment(cfg);
+        assert!(
+            r.resilience.deadline_expired > 0,
+            "outage frames must trip the client deadline"
+        );
+        assert!(r.resilience.retries > 0, "expiries must drive retries");
+        assert!(
+            r.resilience.retries <= r.resilience.deadline_expired,
+            "at most one retry per expiry"
+        );
+    }
+
+    #[test]
+    fn ladder_engages_under_overload_and_stays_idle_when_light() {
+        let resilience = crate::resilience::ResilienceConfig::default()
+            .with_ladder(crate::resilience::LadderConfig::default());
+        let light = RunConfig::new(Mode::ScatterPP, placements::c1(), 1)
+            .with_duration(SimDuration::from_secs(15))
+            .with_warmup(SimDuration::from_secs(2))
+            .with_resilience(resilience.clone());
+        let light = run_experiment(light);
+        assert_eq!(
+            light.resilience.max_ladder_level, 0,
+            "one client must not trip the ladder"
+        );
+        let heavy = RunConfig::new(Mode::ScatterPP, placements::c1(), 8)
+            .with_duration(SimDuration::from_secs(15))
+            .with_warmup(SimDuration::from_secs(2))
+            .with_resilience(resilience);
+        let heavy = run_experiment(heavy);
+        assert!(
+            heavy.resilience.max_ladder_level >= 1,
+            "eight clients must push someone down the ladder"
+        );
+        assert!(heavy.resilience.degraded_frames > 0);
+        assert!(heavy.resilience.ladder_steps > 0);
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic() {
+        let run = || {
+            let cfg = RunConfig::new(Mode::ScatterPP, placements::replicas([1, 2, 1, 1, 1]), 3)
+                .with_duration(SimDuration::from_secs(15))
+                .with_warmup(SimDuration::from_secs(2))
+                .with_failure(SimDuration::from_secs(6), ServiceKind::Sift, 1)
+                .with_recovery(SimDuration::from_secs(2))
+                .with_resilience(
+                    crate::resilience::ResilienceConfig::default()
+                        .with_detection(crate::resilience::DetectionConfig::default())
+                        .with_deadline(crate::resilience::DeadlineConfig::default())
+                        .with_ladder(crate::resilience::LadderConfig::default()),
+                );
+            run_experiment(cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.per_client_fps, b.per_client_fps);
+        assert_eq!(a.bytes_on_wire, b.bytes_on_wire);
+        assert_eq!(a.resilience.detections, b.resilience.detections);
+        assert_eq!(
+            a.resilience.detection_latency_ms,
+            b.resilience.detection_latency_ms
+        );
+        assert_eq!(a.resilience.retries, b.resilience.retries);
+        assert_eq!(a.resilience.ladder_steps, b.resilience.ladder_steps);
     }
 
     #[test]

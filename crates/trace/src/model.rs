@@ -132,6 +132,20 @@ pub enum DropReason {
     /// in-compute at crash time, or parked awaiting a fetch that the
     /// crash voided.
     Crash,
+    /// Every replica of a required service is down (the failure
+    /// detector removed the last one): nothing to route to, so the
+    /// frame is dropped at the load balancer instead of aborting the
+    /// run.
+    ServiceOutage,
+    /// The client's response deadline expired before the result came
+    /// back; a late completion is re-attributed to this reason so the
+    /// frame is not double-counted as a success after the client gave
+    /// up (and possibly retried).
+    ResponseDeadline,
+    /// Refused at emission by the overload controller's last ladder
+    /// rung: the client received an explicit NACK instead of silently
+    /// losing the frame past the scalability knee.
+    AdmissionNack,
     /// Still in flight when the run ended — assigned by
     /// [`crate::analysis::Analysis`], never by an instrument site. Keeps
     /// attribution at exactly 100% for finite runs.
@@ -139,13 +153,16 @@ pub enum DropReason {
 }
 
 impl DropReason {
-    pub const ALL: [DropReason; 7] = [
+    pub const ALL: [DropReason; 10] = [
         DropReason::BusyIngress,
         DropReason::ThresholdFilter,
         DropReason::NetemLoss,
         DropReason::FragmentLoss,
         DropReason::StaleFetch,
         DropReason::Crash,
+        DropReason::ServiceOutage,
+        DropReason::ResponseDeadline,
+        DropReason::AdmissionNack,
         DropReason::RunEnd,
     ];
 
@@ -157,6 +174,9 @@ impl DropReason {
             DropReason::FragmentLoss => "fragment-loss",
             DropReason::StaleFetch => "stale-fetch",
             DropReason::Crash => "crash",
+            DropReason::ServiceOutage => "service-outage",
+            DropReason::ResponseDeadline => "response-deadline",
+            DropReason::AdmissionNack => "admission-nack",
             DropReason::RunEnd => "run-end",
         }
     }

@@ -3,10 +3,11 @@
 # telemetry smoke stage (the live metrics plane reconciles against the
 # post-hoc report, the binary exits non-zero on drift), a chaos smoke
 # stage (the DES and the real-UDP runtime must agree bit-exactly on
-# crash-attributed drops under one seeded fault schedule), and a perf
-# smoke stage (parallel figure suite completes, parallelism is
-# deterministic, DES throughput has not regressed below the floor in
-# BENCH_2.json).
+# crash-attributed drops under one seeded fault schedule), a resilience
+# smoke stage (heartbeat detection, failover, and the degradation
+# ladder hold their cross-plane gates), and a perf smoke stage
+# (parallel figure suite completes, parallelism is deterministic, DES
+# throughput has not regressed below the floor in BENCH_2.json).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,6 +35,9 @@ SCATTER_EXP_SECS=8 SCATTER_JOBS=2 ./target/release/telemetry --smoke --json > /d
 
 echo "==> chaos smoke: DES and runtime agree on crash-attributed drops"
 ./target/release/chaos --smoke --json > /dev/null
+
+echo "==> resilience smoke: detection, failover, and the degradation ladder hold their gates"
+./target/release/resilience --smoke --json > /dev/null
 
 echo "==> perf smoke: DES throughput floor from BENCH_2.json"
 ./target/release/perfbench --smoke BENCH_2.json

@@ -36,3 +36,40 @@ fn invalid_env_warns_on_stderr_and_keeps_json_stdout_clean() {
         "stderr missing the SCATTER_JOBS warning: {stderr}"
     );
 }
+
+/// Same contract for the resilience knobs: garbage in
+/// `SCATTER_HB_INTERVAL` / `SCATTER_HB_SUSPECT` warns once on stderr,
+/// the detector falls back to its defaults, and the run (gates
+/// included) still succeeds with machine-parsable JSON on stdout.
+#[test]
+fn invalid_heartbeat_env_warns_and_falls_back_to_defaults() {
+    let out = Command::new(env!("CARGO_BIN_EXE_resilience"))
+        .args(["--smoke", "--json"])
+        .env("SCATTER_HB_INTERVAL", "soon") // invalid: warn, keep 50 ms
+        .env("SCATTER_HB_SUSPECT", "0.5") // invalid: factor must exceed 1
+        .output()
+        .expect("spawn resilience bin");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "resilience --smoke --json failed under invalid env: {:?}\nstderr: {stderr}",
+        out.status
+    );
+
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let v = trace::json::Value::parse(stdout.trim())
+        .expect("stdout must parse as JSON — no warnings may leak into it");
+    assert!(
+        v.idx(0).and_then(|t| t.get("title")).is_some(),
+        "expected a non-empty array of tables"
+    );
+
+    assert!(
+        stderr.contains("warning: invalid SCATTER_HB_INTERVAL"),
+        "stderr missing the SCATTER_HB_INTERVAL warning: {stderr}"
+    );
+    assert!(
+        stderr.contains("warning: invalid SCATTER_HB_SUSPECT"),
+        "stderr missing the SCATTER_HB_SUSPECT warning: {stderr}"
+    );
+}
