@@ -1,0 +1,3 @@
+fn main() {
+    experiments::wire_study::main();
+}

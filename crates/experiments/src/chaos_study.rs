@@ -273,6 +273,10 @@ pub struct SurvivalPoint {
     pub fault_fps: f64,
     /// Restart → first completion of a frame emitted after the restart.
     pub recovery_ms: f64,
+    /// Total datagram bytes offered at every send site (the wire
+    /// subsystem's accounting; the DES counts simnet transmissions, the
+    /// runtime counts socket sends).
+    pub bytes_on_wire: u64,
     pub reasons: Vec<(DropReason, usize)>,
     pub audit: Result<(), String>,
 }
@@ -302,6 +306,7 @@ fn survival_point(
     audit_res: Result<(), String>,
     kill_at: Duration,
     outage: Duration,
+    bytes_on_wire: u64,
 ) -> SurvivalPoint {
     let kill_ns = kill_at.as_nanos() as u64;
     let restart_ns = kill_ns + outage.as_nanos() as u64;
@@ -318,6 +323,7 @@ fn survival_point(
         ),
         fault_fps: fps_in(a, kill_ns, fault_end_ns),
         recovery_ms: recovery_ms(a, restart_ns),
+        bytes_on_wire,
         reasons: a.drop_reasons().into_iter().collect(),
         audit: audit_res,
     }
@@ -364,7 +370,15 @@ fn rt_survival_run(mode: Mode, sched: FaultSchedule) -> (SurvivalPoint, RuntimeR
     let audit_res = audit(&log, drain).map(|_| ());
     let a = Analysis::from_log(&log);
     (
-        survival_point("runtime", mode, &a, audit_res, at, outage),
+        survival_point(
+            "runtime",
+            mode,
+            &a,
+            audit_res,
+            at,
+            outage,
+            report.bytes_on_wire,
+        ),
         RuntimeReportLite {
             emitted: report.emitted,
             completed: report.completed,
@@ -392,10 +406,10 @@ fn des_survival_run(mode: Mode, sched: FaultSchedule) -> SurvivalPoint {
         )
         .with_recovery(SimDuration::from_secs_f64(outage.as_secs_f64()))
         .with_trace(TraceConfig::default());
-    let (_report, log) = scatter::run_experiment_traced(cfg);
+    let (report, log) = scatter::run_experiment_traced(cfg);
     let audit_res = audit(&log, Duration::from_millis(1500)).map(|_| ());
     let a = Analysis::from_log(&log);
-    survival_point("DES", mode, &a, audit_res, at, outage)
+    survival_point("DES", mode, &a, audit_res, at, outage, report.bytes_on_wire)
 }
 
 // ---------------------------------------------------------------------
@@ -565,6 +579,7 @@ pub fn run_study(smoke: bool) -> ChaosStudy {
             "baseline fps",
             "fault-window fps",
             "recovery ms",
+            "bytes on wire",
             "audit",
         ],
     );
@@ -581,6 +596,7 @@ pub fn run_study(smoke: bool) -> ChaosStudy {
             } else {
                 "never".into()
             },
+            s.bytes_on_wire.to_string(),
             s.audit
                 .as_ref()
                 .map_or_else(|e| e.clone(), |()| "ok".into()),

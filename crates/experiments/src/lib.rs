@@ -40,5 +40,6 @@ pub mod scheduler_study;
 pub mod table;
 pub mod telemetry_study;
 pub mod trace_study;
+pub mod wire_study;
 
 pub use table::Table;

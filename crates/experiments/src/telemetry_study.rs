@@ -273,6 +273,7 @@ fn window_table(points: &[ModePoint]) -> Table {
             "first win fps",
             "last win fps",
             "last win e2e p95 ms",
+            "bytes on wire",
         ],
     );
     for p in points {
@@ -309,6 +310,7 @@ fn window_table(points: &[ModePoint]) -> Table {
             f1(first_fps),
             f1(last_fps),
             f1(last_p95),
+            p.report.bytes_on_wire.to_string(),
         ]);
     }
     t.note("the DES dumps one full scrape per 5 simulated seconds; deltas between");

@@ -41,6 +41,77 @@ impl Mode {
     }
 }
 
+/// Analytic wire-protocol model for the DES plane (see
+/// [`crate::wirev2`]). When set, client uplink bytes stop being the
+/// cost model's abstract payload and become the bytes the *real*
+/// encoder pipeline would put on the wire: the scene generator + DCT
+/// encoder + [`UplinkTx`](crate::wirev2::tx::UplinkTx) key/delta state
+/// machine + store-if-smaller codec, framed as v1 or v2 datagrams.
+/// The schedule is precomputed at world build
+/// ([`crate::wirev2::predict`]), so the simulation draws no extra
+/// randomness — and `None` leaves every byte of a run untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSimConfig {
+    /// Model v2 framing (delta + codec + envelope); `false` models the
+    /// same client pixels under v1 framing — the baseline side of the
+    /// cross-plane bytes gate.
+    pub v2: bool,
+    /// Client capture geometry and encoder quality, shared verbatim
+    /// with the runtime clients.
+    pub width: usize,
+    pub height: usize,
+    pub quality: u8,
+    /// Uplink shaping knobs (ignored when `v2` is off).
+    pub policy: crate::wirev2::tx::UplinkPolicy,
+    /// Client-side encode cost of the v2 transforms (delta + codec),
+    /// applied as a fixed delay between capture and uplink send. Zero
+    /// for v1.
+    pub codec_cost_ms: f64,
+    /// Corrupt the first `n` uplink datagrams in flight — the DES twin
+    /// of [`LinkImpairment::corrupt_first`](crate::runtime::impair::LinkImpairment):
+    /// under v2 each one dies at ingress as a counted `InvalidCrc`
+    /// drop; under v1 the damage is silently accepted and the frame
+    /// sails on, which is exactly the contrast the wire experiment
+    /// gates.
+    pub corrupt_first: u64,
+}
+
+impl Default for WireSimConfig {
+    fn default() -> Self {
+        WireSimConfig {
+            v2: true,
+            width: 256,
+            height: 144,
+            quality: 85,
+            policy: crate::wirev2::tx::UplinkPolicy::default(),
+            codec_cost_ms: 0.2,
+            corrupt_first: 0,
+        }
+    }
+}
+
+impl WireSimConfig {
+    pub fn v1() -> Self {
+        WireSimConfig {
+            v2: false,
+            codec_cost_ms: 0.0,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_corrupt_first(mut self, n: u64) -> Self {
+        self.corrupt_first = n;
+        self
+    }
+
+    pub fn with_geometry(mut self, width: usize, height: usize, quality: u8) -> Self {
+        self.width = width;
+        self.height = height;
+        self.quality = quality;
+        self
+    }
+}
+
 /// One experiment run, fully specified.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -85,6 +156,10 @@ pub struct RunConfig {
     /// client deadlines/retries, the degradation ladder). The default
     /// is fully inert and byte-identical to a pre-resilience run.
     pub resilience: crate::resilience::ResilienceConfig,
+    /// Wire-protocol model for the client uplink. `None` (the default)
+    /// keeps the cost model's abstract bytes and is bit-identical to a
+    /// pre-wirev2 run.
+    pub wire: Option<WireSimConfig>,
 }
 
 impl RunConfig {
@@ -104,7 +179,14 @@ impl RunConfig {
             migrations: Vec::new(),
             trace: None,
             resilience: crate::resilience::ResilienceConfig::default(),
+            wire: None,
         }
+    }
+
+    /// Model the wire protocol (v1 or v2 per `w.v2`) on the uplink.
+    pub fn with_wire(mut self, w: WireSimConfig) -> Self {
+        self.wire = Some(w);
+        self
     }
 
     /// Enable (parts of) the resilience control plane for this run.

@@ -40,6 +40,7 @@ pub mod resilience;
 pub mod runtime;
 pub mod service;
 pub mod sidecar;
+pub mod wirev2;
 pub mod world;
 
 pub use config::{Mode, RunConfig};

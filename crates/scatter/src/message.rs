@@ -115,6 +115,10 @@ pub struct FrameMsg {
     /// per-attempt trace identities distinct so frame conservation
     /// holds attempt by attempt.
     pub attempt: u8,
+    /// The emulated network corrupted this datagram in flight (wire
+    /// model only). A v2 ingress catches it by CRC and drops it as
+    /// `InvalidCrc`; a v1 ingress never notices.
+    pub corrupted: bool,
 }
 
 impl FrameMsg {
@@ -139,6 +143,7 @@ impl FrameMsg {
             trace: trace::TraceCtx::unsampled(),
             quality: 0,
             attempt: 0,
+            corrupted: false,
         }
     }
 

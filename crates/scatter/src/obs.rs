@@ -277,6 +277,12 @@ pub struct RtSvcObs {
     pub net_drop_netem: Counter,
     /// Same, for multi-fragment messages (all fragments eaten).
     pub net_drop_fragment: Counter,
+    /// Wire-v2 datagrams rejected by their CRC check (corrupted in
+    /// flight, dropped before any payload byte was parsed).
+    pub invalid_crc: Counter,
+    /// Wire-v2 delta frames dropped because their keyframe anchor was
+    /// unavailable (self-synchronizing resync).
+    pub delta_resync: Counter,
     pub malformed: Counter,
     pub send_errors: Counter,
     /// Real (non-WouldBlock/TimedOut) socket errors on the receive
@@ -349,6 +355,16 @@ impl RtSvcObs {
                 "scatter_net_drops_total",
                 "Frame datagrams lost in the network, by reason",
                 l().with_reason("fragment-loss"),
+            ),
+            invalid_crc: registry.counter(
+                "scatter_drops_total",
+                "Frames dropped at a service instance, by reason",
+                l().with_reason("invalid-crc"),
+            ),
+            delta_resync: registry.counter(
+                "scatter_drops_total",
+                "Frames dropped at a service instance, by reason",
+                l().with_reason("delta-resync"),
             ),
             malformed: registry.counter(
                 "scatter_malformed_datagrams_total",

@@ -84,6 +84,23 @@ impl ResilienceReport {
     }
 }
 
+/// Wire-model accounting for one run. All zeros when the wire model is
+/// off ([`crate::config::RunConfig::wire`] = `None`).
+#[derive(Debug, Clone, Default)]
+pub struct WireReport {
+    /// The model ran (distinguishes "v1 modelled" from "no model").
+    pub enabled: bool,
+    /// v2 framing was modelled (delta + codec + CRC envelope).
+    pub v2: bool,
+    /// Total client→ingress datagram bytes, headers included — the
+    /// number the cross-plane bytes gate compares against the runtime's
+    /// send-site counter.
+    pub uplink_bytes: u64,
+    /// Corrupted datagrams caught by the v2 CRC at ingress (always 0
+    /// under v1 framing: the damage passes silently).
+    pub invalid_crc: u64,
+}
+
 /// Hardware aggregates for one machine.
 #[derive(Debug, Clone)]
 pub struct MachineReport {
@@ -133,6 +150,8 @@ pub struct RunReport {
     pub events_executed: u64,
     /// Resilience-plane accounting (all zeros when the plane is off).
     pub resilience: ResilienceReport,
+    /// Wire-model accounting (all zeros when the model is off).
+    pub wire: WireReport,
 }
 
 impl RunReport {

@@ -24,11 +24,12 @@ use crate::message::{ServiceKind, SERVICE_KINDS};
 use crate::obs::{RtClientObs, RtSvcObs};
 use crate::runtime::impair::{Ep, ImpairedNet, ImpairmentProfile, RtSocket};
 use crate::runtime::services::{
-    attribute_net_drop, is_would_block, run_service, send_msg, ExitReport, FaultCell,
-    ServiceWiring, SharedCtx, SvcStats,
+    attribute_ingest_error, attribute_net_drop, is_would_block, run_service, send_msg_wire,
+    ExitReport, FaultCell, ServiceWiring, SharedCtx, SvcStats, WireRtConfig,
 };
 use crate::runtime::stateful::{run_stateful_matching, run_stateful_sift, StatefulOptions};
 use crate::runtime::wire::{self, Reassembler, WireMsg};
+use crate::wirev2::{self, predict, FrameKind, RxState, UplinkTx};
 
 /// Options for a local run.
 #[derive(Debug, Clone)]
@@ -72,6 +73,9 @@ pub struct RuntimeOptions {
     /// thread that runs the same [`orchestra::FailureDetector`] math as
     /// the DES plane. `None` (default) spawns no extra threads.
     pub detection: Option<crate::resilience::DetectionConfig>,
+    /// Wire dialect: v2 (CRC-sealed, optionally compressed,
+    /// delta-encoded uplink) or the byte-identical v1 default.
+    pub wire: WireRtConfig,
 }
 
 impl Default for RuntimeOptions {
@@ -92,6 +96,7 @@ impl Default for RuntimeOptions {
             impair: None,
             kills: Vec::new(),
             detection: None,
+            wire: WireRtConfig::default(),
         }
     }
 }
@@ -148,6 +153,17 @@ pub struct RuntimeReport {
     /// Wall-clock detection latencies (take-down instant → suspicion),
     /// ms, one per detected crash.
     pub detection_latency_ms: Vec<f64>,
+    /// Client uplink datagram bytes, counted at the send site before
+    /// the impairment shim's verdict (all clients summed).
+    pub uplink_bytes: u64,
+    /// Datagram bytes offered at *every* send site (clients + services).
+    pub bytes_on_wire: u64,
+    /// v2 datagrams rejected by their CRC check across all receivers.
+    pub invalid_crc: u64,
+    /// v2 delta frames dropped for want of their keyframe anchor.
+    pub delta_resyncs: u64,
+    /// 95th-percentile end-to-end latency over completed frames, ms.
+    pub p95_e2e_ms: f64,
 }
 
 impl RuntimeReport {
@@ -382,7 +398,10 @@ impl DownReplica {
 impl LocalDeployment {
     /// Train the recognition database and launch the five services.
     pub fn start(opts: RuntimeOptions) -> LocalDeployment {
-        let scene = SceneGenerator::workplace_scaled(opts.seed, opts.width, opts.height);
+        // Client 0's scene, via the shared derivation the DES predictor
+        // uses (cid 0 reduces to the plain seed) — what anchors the
+        // cross-plane bytes-on-wire gate to identical payloads.
+        let scene = predict::client_scene(opts.seed, 0, opts.width, opts.height);
         let mut rng = SimRng::new(opts.seed);
         let db = ReferenceDb::train(&scene, TrainParams::default(), &mut rng);
 
@@ -410,6 +429,7 @@ impl LocalDeployment {
             max_descriptors: 200,
             threshold_ms: opts.threshold_ms,
             epoch: Instant::now(),
+            wire: opts.wire,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let fetch_failures = Arc::new(AtomicU64::new(0));
@@ -618,9 +638,9 @@ impl LocalDeployment {
             .unwrap_or_default();
 
         let mut seen: HashSet<(u16, u32)> = HashSet::new();
-        for (client, frame_no, flags) in exit.lost_frames {
-            if seen.insert((client, frame_no)) {
-                self.attribute_crash(runner, client, frame_no, flags);
+        for key in exit.lost_frames {
+            if seen.insert((key.client, key.frame_no)) {
+                self.attribute_crash(runner, key.client, key.frame_no, key.flags);
             }
         }
         DownReplica { kind, seen }
@@ -646,7 +666,13 @@ impl LocalDeployment {
         while Instant::now() < t_end && !self.shutdown.load(Ordering::Relaxed) {
             match runner.socket.recv_from(&mut buf) {
                 Ok((n, _)) => {
-                    if let Ok(frag) = wire::decode_fragment(&buf[..n]) {
+                    // Bilingual drain: recover the frame identity from
+                    // either wire dialect.
+                    if let Ok(decoded) = wirev2::decode_any(&buf[..n]) {
+                        let frag = match decoded {
+                            wirev2::Decoded::V1(f) => f,
+                            wirev2::Decoded::V2(f, _) => f,
+                        };
                         if frag.flags & wire::FLAG_CTRL != 0 {
                             continue; // fetch responses: not frame traffic
                         }
@@ -725,6 +751,11 @@ impl LocalDeployment {
             .expect("set_read_timeout");
         let period = Duration::from_secs_f64(1.0 / opts.fps);
         let mut reassembler = Reassembler::new();
+        let mut rx = RxState::new();
+        // v2 uplink shaping: the delta/keyframe state machine. Acked by
+        // each completed result (the client hears about its own frames),
+        // re-keyed automatically when acks stop coming.
+        let mut uplink = opts.wire.v2.then(|| UplinkTx::new(opts.wire.policy));
         let mut buf = vec![0u8; 65_536];
         let mut completed = 0u32;
         let mut e2e = Vec::new();
@@ -739,6 +770,12 @@ impl LocalDeployment {
                 // clients stream compressed video; primary decodes).
                 let img = scene.frame(emitted);
                 let compressed = vision::codec::encode(&img, vision::codec::Quality(85));
+                // v2: run the delta/keyframe decision; v1 ships the full
+                // DCT stream every frame.
+                let (kind, base, payload) = match &mut uplink {
+                    Some(tx) => tx.prepare(emitted, compressed),
+                    None => (FrameKind::Plain, 0, compressed),
+                };
                 let tctx = tracer.ctx(client_id, emitted);
                 let emit_micros = ctx.epoch.elapsed().as_micros() as u64;
                 tracer.emitted(tctx, emit_micros * 1_000);
@@ -751,9 +788,18 @@ impl LocalDeployment {
                     trace_id: tctx.trace_id,
                     flags: if tctx.sampled { wire::FLAG_SAMPLED } else { 0 },
                     sent_micros: emit_micros,
-                    payload: compressed,
+                    payload,
                 };
-                let outcome = send_msg(socket, primary_addr, &msg, client_stats);
+                let outcome = send_msg_wire(
+                    socket,
+                    primary_addr,
+                    &msg,
+                    &opts.wire,
+                    kind,
+                    base,
+                    client_stats,
+                    None,
+                );
                 // An uplink frame the shim ate whole never reaches
                 // primary: the client is the only witness.
                 attribute_net_drop(
@@ -780,11 +826,18 @@ impl LocalDeployment {
                     continue;
                 }
             };
-            let Ok(frag) = wire::decode_fragment(&buf[..n]) else {
-                client_stats.malformed.fetch_add(1, Ordering::Relaxed);
-                continue;
+            let frag = match rx.ingest(&buf[..n]) {
+                Ok(frag) => frag,
+                Err(e) => {
+                    attribute_ingest_error(e, ctx.epoch, tracer, client_stats, None);
+                    continue;
+                }
             };
             let Some(msg) = reassembler.offer(frag) else {
+                continue;
+            };
+            let Ok((msg, _meta)) = rx.finish(msg) else {
+                client_stats.malformed.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
             // Full-ns receive stamp: matching's `sent_micros` is rounded
@@ -803,6 +856,11 @@ impl LocalDeployment {
                 recv_ns,
             );
             tracer.terminal(tctx, recv_ns, trace::FrameFate::Completed);
+            // A completed round trip proves primary reconstructed the
+            // frame: safe to anchor future deltas on it.
+            if let Some(tx) = &mut uplink {
+                tx.ack(msg.frame_no);
+            }
             let e2e_ms = now_micros.saturating_sub(msg.emit_micros) as f64 / 1e3;
             if let Some(o) = obs {
                 o.frames_completed.inc();
@@ -810,7 +868,7 @@ impl LocalDeployment {
             }
             e2e.push(e2e_ms);
             completed += 1;
-            if let Some(recs) = wire::decode_result(msg.payload) {
+            if let Ok(recs) = wire::decode_result(msg.payload) {
                 for (name, _) in recs {
                     *recognitions.entry(name).or_insert(0) += 1;
                 }
@@ -860,12 +918,9 @@ impl LocalDeployment {
                 let obs = self.client_obs.clone();
                 let client_stats = self.client_stats.clone();
                 let net = self.net.clone();
-                // Each client replays its own camera (distinct seed).
-                let scene = SceneGenerator::workplace_scaled(
-                    opts.seed ^ (cid as u64) << 8,
-                    opts.width,
-                    opts.height,
-                );
+                // Each client replays its own camera (distinct seed),
+                // via the shared derivation the DES predictor uses.
+                let scene = predict::client_scene(opts.seed, cid, opts.width, opts.height);
                 std::thread::Builder::new()
                     .name(format!("scatter-client-{cid}"))
                     .spawn(move || {
@@ -920,6 +975,13 @@ impl LocalDeployment {
             e2e.iter().sum::<f64>() / e2e.len() as f64
         };
         let max_e2e = e2e.iter().copied().fold(0.0f64, f64::max);
+        let p95_e2e = if e2e.is_empty() {
+            0.0
+        } else {
+            let mut sorted = e2e.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            sorted[((sorted.len() as f64 * 0.95).ceil() as usize).saturating_sub(1)]
+        };
         let sum = |f: &dyn Fn(&SvcStats) -> u64| -> u64 {
             self.stats.iter().map(|s| f(s)).sum::<u64>() + f(&self.client_stats)
         };
@@ -957,6 +1019,11 @@ impl LocalDeployment {
                 .as_ref()
                 .map(|d| d.latencies.lock().expect("latencies lock").clone())
                 .unwrap_or_default(),
+            uplink_bytes: self.client_stats.bytes_sent.load(Ordering::Relaxed),
+            bytes_on_wire: sum(&|s| s.bytes_sent.load(Ordering::Relaxed)),
+            invalid_crc: sum(&|s| s.invalid_crc.load(Ordering::Relaxed)),
+            delta_resyncs: sum(&|s| s.delta_resync.load(Ordering::Relaxed)),
+            p95_e2e_ms: p95_e2e,
             service_counts: SERVICE_KINDS
                 .iter()
                 .zip(&self.stats)

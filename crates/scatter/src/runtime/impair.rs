@@ -82,6 +82,21 @@ pub struct LinkImpairment {
     /// the knob fault-injection tests use to force e.g. "the first
     /// fetch-request datagram is lost".
     pub drop_first: u64,
+    /// Deterministically corrupt (bit-flip) the first `n` datagrams on
+    /// this link instead of dropping them. The datagram still ships —
+    /// the point is to exercise the receive path: a v2 receiver counts
+    /// `InvalidCrc` and drops; a v1 receiver silently accepts the
+    /// garbage. Checked after `drop_first`, before any RNG draw, so the
+    /// count is exact and the loss schedule is unchanged.
+    pub corrupt_first: u64,
+    /// Radio-cell MTU: when set, the loss draws (`loss` and `burst`)
+    /// are made once per `ceil(len / cell_mtu)` cell rather than once
+    /// per datagram, and the datagram dies if *any* cell dies. This is
+    /// the LTE reality that makes byte count matter: a frame twice as
+    /// long crosses twice as many cells and is roughly twice as likely
+    /// to be eaten, which is what rewards v2's smaller frames with
+    /// higher goodput, not just fewer bytes.
+    pub cell_mtu: Option<usize>,
 }
 
 impl LinkImpairment {
@@ -104,6 +119,19 @@ impl LinkImpairment {
             drop_first: n,
             ..Default::default()
         }
+    }
+
+    pub fn corrupt_first(n: u64) -> Self {
+        LinkImpairment {
+            corrupt_first: n,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_cell_mtu(mut self, mtu: usize) -> Self {
+        assert!(mtu > 0, "cell MTU must be positive");
+        self.cell_mtu = Some(mtu);
+        self
     }
 
     pub fn with_delay(mut self, delay: Duration, jitter: Duration) -> Self {
@@ -190,6 +218,10 @@ pub enum Verdict {
     Pass,
     /// Caller sends it now *and* the delay line ships a duplicate.
     PassAndDuplicate,
+    /// Caller flips a byte and then sends it: the emulated network
+    /// corrupted the datagram in flight (see
+    /// [`LinkImpairment::corrupt_first`]).
+    PassCorrupted,
     /// Queued on the delay line; the caller must not send it.
     Delayed,
     /// Eaten by the emulated network; the caller must not send it.
@@ -303,14 +335,28 @@ impl ImpairedNet {
         if idx < state.imp.drop_first {
             return Verdict::Dropped;
         }
+        if idx < state.imp.drop_first + state.imp.corrupt_first {
+            return Verdict::PassCorrupted;
+        }
         // Draw order is fixed (burst, loss, duplicate, delay) so the
-        // decision stream is a pure function of the link's send index.
-        let burst_lost = match state.gilbert.as_mut() {
-            Some(ge) => ge.lose_packet(&mut state.rng),
-            None => false,
+        // decision stream is a pure function of the link's send index
+        // (and, under `cell_mtu`, the datagram lengths).
+        let cells = match state.imp.cell_mtu {
+            Some(mtu) => datagram.len().div_ceil(mtu).max(1),
+            None => 1,
         };
-        let iid_lost = state.imp.loss > 0.0 && state.rng.bernoulli(state.imp.loss);
-        if burst_lost || iid_lost {
+        let mut lost = false;
+        for _ in 0..cells {
+            let burst_lost = match state.gilbert.as_mut() {
+                Some(ge) => ge.lose_packet(&mut state.rng),
+                None => false,
+            };
+            let iid_lost = state.imp.loss > 0.0 && state.rng.bernoulli(state.imp.loss);
+            // No early exit: every cell advances the channel state so
+            // the schedule stays well-defined regardless of outcome.
+            lost |= burst_lost || iid_lost;
+        }
+        if lost {
             return Verdict::Dropped;
         }
         let duplicated = state.imp.duplicate > 0.0 && state.rng.bernoulli(state.imp.duplicate);
@@ -469,6 +515,20 @@ impl RtSocket {
                 Ok(_) => SendDisposition::Sent,
                 Err(_) => SendDisposition::Error,
             },
+            Verdict::PassCorrupted => {
+                // Flip one payload-end byte: past every header, so a v1
+                // receiver accepts the damage silently while a v2
+                // receiver's CRC catches it — the contrast the wire
+                // experiment gates on.
+                let mut mangled = datagram.to_vec();
+                if let Some(last) = mangled.last_mut() {
+                    *last ^= 0xFF;
+                }
+                match self.sock.send_to(&mangled, to) {
+                    Ok(_) => SendDisposition::Sent,
+                    Err(_) => SendDisposition::Error,
+                }
+            }
             Verdict::PassAndDuplicate => {
                 let first = self.sock.send_to(datagram, to);
                 if self
@@ -542,6 +602,73 @@ mod tests {
         assert_eq!(net.admit(from, addr(9002), b"req"), Verdict::Pass);
         // Other links untouched.
         assert_eq!(net.admit(Ep::Client, addr(9002), b"req"), Verdict::Pass);
+    }
+
+    #[test]
+    fn corrupt_first_is_exact_and_after_drop_first() {
+        let profile = ImpairmentProfile::new(2).with_rule(LinkRule::any(LinkImpairment {
+            drop_first: 1,
+            corrupt_first: 2,
+            ..Default::default()
+        }));
+        let net = ImpairedNet::new(profile);
+        assert_eq!(net.admit(Ep::Client, addr(9000), b"x"), Verdict::Dropped);
+        assert_eq!(
+            net.admit(Ep::Client, addr(9000), b"x"),
+            Verdict::PassCorrupted
+        );
+        assert_eq!(
+            net.admit(Ep::Client, addr(9000), b"x"),
+            Verdict::PassCorrupted
+        );
+        assert_eq!(net.admit(Ep::Client, addr(9000), b"x"), Verdict::Pass);
+    }
+
+    #[test]
+    fn corrupted_datagram_ships_with_one_byte_flipped() {
+        let rx_sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        rx_sock
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .expect("timeout");
+        let to = rx_sock.local_addr().expect("addr");
+        let profile =
+            ImpairmentProfile::new(4).with_rule(LinkRule::any(LinkImpairment::corrupt_first(1)));
+        let net = ImpairedNet::new(profile);
+        let tx_sock = RtSocket::new(
+            Arc::new(UdpSocket::bind("127.0.0.1:0").expect("bind")),
+            Ep::Client,
+            Some(net),
+        );
+        assert_eq!(tx_sock.send_to(b"abc", to), SendDisposition::Sent);
+        let mut buf = [0u8; 16];
+        let (n, _) = rx_sock.recv_from(&mut buf).expect("corrupted datagram");
+        assert_eq!(&buf[..n], &[b'a', b'b', b'c' ^ 0xFF]);
+    }
+
+    #[test]
+    fn cell_mtu_makes_loss_length_dependent() {
+        let lost_rate = |mtu: Option<usize>, len: usize| {
+            let mut imp = LinkImpairment::loss(0.02);
+            if let Some(m) = mtu {
+                imp = imp.with_cell_mtu(m);
+            }
+            let profile = ImpairmentProfile::new(6).with_rule(LinkRule::any(imp));
+            let net = ImpairedNet::new(profile);
+            let payload = vec![0u8; len];
+            let lost = (0..2_000)
+                .filter(|_| net.admit(Ep::Client, addr(9000), &payload) == Verdict::Dropped)
+                .count();
+            lost as f64 / 2_000.0
+        };
+        let short = lost_rate(Some(1_400), 1_400);
+        let long = lost_rate(Some(1_400), 11_200); // 8 cells
+        assert!(
+            long > short * 3.0,
+            "8-cell datagrams should die far more often: short {short}, long {long}"
+        );
+        // Without an MTU the length is irrelevant.
+        let flat_long = lost_rate(None, 11_200);
+        assert!((flat_long - short).abs() < 0.02);
     }
 
     #[test]

@@ -17,9 +17,23 @@ use crate::message::ServiceKind;
 use crate::obs::RtSvcObs;
 use crate::runtime::impair::{RtSocket, SendDisposition};
 use crate::runtime::wire::{
-    self, decode_frame, decode_state, encode_frame, encode_result, encode_state, FrameState,
-    Reassembler, WireMsg,
+    self, decode_frame, decode_state, encode_frame, encode_result, encode_state, FrameKey,
+    FrameState, Reassembler, WireError, WireMsg,
 };
+use crate::wirev2::{self, DeltaRx, FrameKind, IngestError, RxState, UplinkPolicy};
+
+/// Runtime-plane wire protocol selection, shared by every socket in a
+/// deployment (all sockets of one deployment speak the same dialect;
+/// receivers stay bilingual regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WireRtConfig {
+    /// Frame v2 envelopes (CRC + codec + delta) on every message send.
+    /// Off (the default) is byte-for-byte the v1 runtime.
+    pub v2: bool,
+    /// Client uplink shaping (delta/keyframe cadence, compression).
+    /// `policy.compress` also governs inter-service sends.
+    pub policy: UplinkPolicy,
+}
 
 /// Shared read-only context: the trained recognition artifacts.
 pub struct SharedCtx {
@@ -32,6 +46,8 @@ pub struct SharedCtx {
     pub threshold_ms: f64,
     /// Deployment epoch for timestamping.
     pub epoch: Instant,
+    /// Wire dialect every service (and client) sends with.
+    pub wire: WireRtConfig,
 }
 
 /// Per-service counters, shared with the deployment for reporting.
@@ -70,6 +86,16 @@ pub struct SvcStats {
     pub tracks_active: AtomicU64,
     /// `matching` only: tracks retired after going unobserved.
     pub tracks_retired: AtomicU64,
+    /// v2 datagrams rejected by their CRC check (corrupted in flight).
+    pub invalid_crc: AtomicU64,
+    /// v2 delta frames dropped because their keyframe anchor was
+    /// unavailable (self-synchronizing resync, never a bad splice).
+    pub delta_resync: AtomicU64,
+    /// Datagram bytes offered at this socket's send sites (counted
+    /// before the impairment shim's verdict — the same "offered at the
+    /// send site" definition the DES uses, which is what makes the
+    /// cross-plane bytes-on-wire gate exact).
+    pub bytes_sent: AtomicU64,
 }
 
 /// Crash-injection cell shared between a replica's thread, its runner,
@@ -94,7 +120,7 @@ impl FaultCell {
 /// clean shutdown.
 #[derive(Debug, Default)]
 pub struct ExitReport {
-    pub lost_frames: Vec<(u16, u32, u8)>,
+    pub lost_frames: Vec<FrameKey>,
 }
 
 /// One service's wiring: its socket, where its output goes, and (for
@@ -130,11 +156,50 @@ pub fn send_msg_obs(
     stats: &SvcStats,
     obs: Option<&RtSvcObs>,
 ) -> SendOutcome {
+    send_datagrams(socket, to, &wire::encode(msg), stats, obs)
+}
+
+/// Ship a message under the deployment's wire dialect: v2 envelopes
+/// (with `kind`/`base_frame_no` and the configured codec) when the
+/// config says so, bare v1 fragments otherwise. Non-frame hops pass
+/// [`FrameKind::Plain`] and `base 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn send_msg_wire(
+    socket: &RtSocket,
+    to: SocketAddr,
+    msg: &WireMsg,
+    wire_cfg: &WireRtConfig,
+    kind: FrameKind,
+    base_frame_no: u32,
+    stats: &SvcStats,
+    obs: Option<&RtSvcObs>,
+) -> SendOutcome {
+    if wire_cfg.v2 {
+        let (dgrams, _codec) =
+            wirev2::encode_msg(msg, wire_cfg.policy.compress, kind, base_frame_no);
+        send_datagrams(socket, to, &dgrams, stats, obs)
+    } else {
+        send_msg_obs(socket, to, msg, stats, obs)
+    }
+}
+
+/// The one place datagrams meet the socket: per-datagram send-error
+/// accounting and offered-bytes counting (see [`SvcStats::bytes_sent`]).
+fn send_datagrams(
+    socket: &RtSocket,
+    to: SocketAddr,
+    datagrams: &[Bytes],
+    stats: &SvcStats,
+    obs: Option<&RtSvcObs>,
+) -> SendOutcome {
     let mut frags = 0usize;
     let mut shim_dropped = 0usize;
-    for frame in wire::encode(msg) {
+    for frame in datagrams {
         frags += 1;
-        match socket.send_to(&frame, to) {
+        stats
+            .bytes_sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        match socket.send_to(frame, to) {
             SendDisposition::Sent => {}
             SendDisposition::ShimDropped => shim_dropped += 1,
             SendDisposition::Error => {
@@ -183,6 +248,49 @@ pub fn attribute_net_drop(
     }
 }
 
+/// Count (and, when the corrupted datagram's inner identity survived,
+/// attribute) a datagram rejected by [`RxState::ingest`]. A corrupt
+/// fragment of a *multi-fragment* message is instead attributed by
+/// reassembly eviction (`FragmentLoss`) — it IS a lost fragment; CTRL
+/// traffic never gets a frame terminal (its loss is recovered by
+/// retransmit or surfaces as a stale fetch).
+pub fn attribute_ingest_error(
+    err: IngestError,
+    epoch: Instant,
+    tracer: &trace::ThreadTracer,
+    stats: &SvcStats,
+    obs: Option<&RtSvcObs>,
+) {
+    match err {
+        IngestError::InvalidCrc { recovered } => {
+            stats.invalid_crc.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = obs {
+                o.invalid_crc.inc();
+            }
+            if let Some(id) = recovered {
+                if id.single_fragment && id.flags & wire::FLAG_CTRL == 0 {
+                    let tctx = trace::TraceCtx::new(
+                        id.client,
+                        id.frame_no,
+                        id.flags & wire::FLAG_SAMPLED != 0,
+                    );
+                    tracer.terminal(
+                        tctx,
+                        epoch_ns(epoch),
+                        trace::FrameFate::Dropped(trace::DropReason::InvalidCrc),
+                    );
+                }
+            }
+        }
+        IngestError::Malformed(_) => {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = obs {
+                o.malformed.inc();
+            }
+        }
+    }
+}
+
 /// Classify a receive-path error: `true` = "no data yet" (WouldBlock /
 /// TimedOut — keep polling), `false` = a real socket error the caller
 /// must count. Previously every error was treated as the former, which
@@ -213,11 +321,10 @@ pub fn attribute_evictions(
 ) {
     reassembler.sweep(REASM_MAX_AGE);
     let at_ns = epoch_ns(epoch);
-    for (client, frame_no, flags) in reassembler.drain_evicted() {
+    for key in reassembler.drain_evicted() {
         stats.dropped_fragment.fetch_add(1, Ordering::Relaxed);
-        let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
         tracer.terminal(
-            tctx,
+            key.trace_ctx(),
             at_ns,
             trace::FrameFate::Dropped(trace::DropReason::FragmentLoss),
         );
@@ -257,6 +364,7 @@ pub fn run_service(
         .set_read_timeout(Some(Duration::from_millis(20)))
         .expect("set_read_timeout");
     let mut reassembler = Reassembler::new();
+    let mut rx = RxState::new();
     let mut rng = SimRng::new(rng_seed);
     let mut buf = vec![0u8; 65_536];
     // matching keeps per-client track tables: the "(ii) tracking them
@@ -264,6 +372,10 @@ pub fn run_service(
     // plus a per-track pose filter that smooths the rendered overlay.
     let mut tracks: HashMap<u16, TrackTable> = HashMap::new();
     let mut filters: HashMap<(u16, u64), PoseFilter> = HashMap::new();
+    // primary only: per-client delta anchor stores. A crash loses them
+    // with the thread — the respawned replica resyncs on the next
+    // keyframe (deltas until then drop counted, never mis-splice).
+    let mut delta_rx: HashMap<u16, DeltaRx> = HashMap::new();
     while !shutdown.load(Ordering::Relaxed) && fault.current() == my_gen {
         let n = match socket.recv_from(&mut buf) {
             Ok((n, _)) => n,
@@ -282,13 +394,10 @@ pub fn run_service(
                 continue;
             }
         };
-        let frag = match wire::decode_fragment(&buf[..n]) {
+        let frag = match rx.ingest(&buf[..n]) {
             Ok(frag) => frag,
-            Err(_) => {
-                stats.malformed.fetch_add(1, Ordering::Relaxed);
-                if let Some(o) = &obs {
-                    o.malformed.inc();
-                }
+            Err(e) => {
+                attribute_ingest_error(e, ctx.epoch, &tracer, &stats, obs.as_ref());
                 continue;
             }
         };
@@ -300,6 +409,17 @@ pub fn run_service(
         }
         let Some(msg) = completed else {
             continue;
+        };
+        // Post-reassembly v2 reconstruction: decompression first …
+        let (mut msg, meta) = match rx.finish(msg) {
+            Ok(x) => x,
+            Err(_) => {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.malformed.inc();
+                }
+                continue;
+            }
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = &obs {
@@ -317,6 +437,32 @@ pub fn run_service(
             (msg.sent_micros * 1_000).min(recv_ns),
             recv_ns,
         );
+        // … then delta reconstruction (primary's uplink only): splice
+        // the delta onto its keyframe anchor, or drop for resync when
+        // the anchor is gone. The reconstructed payload is byte-equal
+        // to the full stream the client would have sent.
+        if kind == ServiceKind::Primary && meta.kind != FrameKind::Plain {
+            match delta_rx.entry(msg.client).or_default().accept_frame(
+                meta.kind,
+                meta.base_frame_no,
+                msg.frame_no,
+                msg.payload.clone(),
+            ) {
+                Some(full) => msg.payload = full,
+                None => {
+                    stats.delta_resync.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &obs {
+                        o.delta_resync.inc();
+                    }
+                    tracer.terminal(
+                        tctx,
+                        epoch_ns(ctx.epoch),
+                        trace::FrameFate::Dropped(trace::DropReason::DeltaResync),
+                    );
+                    continue;
+                }
+            }
+        }
         // Sidecar staleness filter: do not spend compute on frames that
         // can no longer meet the latency budget.
         if ctx.threshold_ms > 0.0 && msg.age_ms(ctx.epoch) > ctx.threshold_ms {
@@ -331,7 +477,19 @@ pub fn run_service(
             );
             continue;
         }
-        if let Some(out) = process(kind, &msg, &ctx, &mut rng, &mut tracks, &mut filters) {
+        let out = match process(kind, &msg, &ctx, &mut rng, &mut tracks, &mut filters) {
+            Ok(out) => Some(out),
+            Err(_) => {
+                // Payload decoded fine at the wire layer but failed the
+                // stage's typed decode: counted like any malformed input.
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.malformed.inc();
+                }
+                None
+            }
+        };
+        if let Some(out) = out {
             let done_ns = epoch_ns(ctx.epoch);
             tracer.span(tctx, track, stage, trace::Phase::Compute, recv_ns, done_ns);
             let fwd = WireMsg {
@@ -370,7 +528,16 @@ pub fn run_service(
                     .tracks_retired
                     .store(tracks.values().map(|t| t.retired).sum(), Ordering::Relaxed);
             }
-            let outcome = send_msg_obs(&socket, next, &fwd, &stats, obs.as_ref());
+            let outcome = send_msg_wire(
+                &socket,
+                next,
+                &fwd,
+                &ctx.wire,
+                FrameKind::Plain,
+                0,
+                &stats,
+                obs.as_ref(),
+            );
             attribute_net_drop(
                 outcome,
                 tctx,
@@ -394,17 +561,17 @@ fn process(
     rng: &mut SimRng,
     tracks: &mut HashMap<u16, TrackTable>,
     filters: &mut HashMap<(u16, u64), PoseFilter>,
-) -> Option<Bytes> {
+) -> Result<Bytes, WireError> {
     match kind {
         ServiceKind::Primary => {
             // The client uplink is DCT-compressed; primary decodes it,
             // grayscales (implicit) and dimension-reduces, forwarding
             // *raw* pixels — the compressed-vs-raw asymmetry that makes
             // fig. 11's hybrid split expensive.
-            let img = vision::codec::decode(msg.payload.clone())?;
+            let img = vision::codec::decode(msg.payload.clone()).ok_or(WireError::PayloadValue)?;
             let w = ((img.width() as f32 * ctx.reduce) as usize).max(16);
             let h = ((img.height() as f32 * ctx.reduce) as usize).max(16);
-            Some(encode_frame(&img.resize(w, h)))
+            Ok(encode_frame(&img.resize(w, h)))
         }
         ServiceKind::Sift => {
             let img = decode_frame(msg.payload.clone())?;
@@ -412,7 +579,7 @@ fn process(
             let mut descriptors = vision::descriptor::describe_all(&pyr, &kps);
             descriptors.truncate(ctx.max_descriptors);
             // Stateless sift: the descriptors travel IN the frame.
-            Some(encode_state(&FrameState {
+            Ok(encode_state(&FrameState {
                 descriptors,
                 fisher: Vec::new(),
                 candidates: Vec::new(),
@@ -422,7 +589,7 @@ fn process(
             let mut state = decode_state(msg.payload.clone())?;
             let fisher = ctx.db.encode_frame(&state.descriptors);
             state.fisher = fisher.iter().map(|&v| v as f32).collect();
-            Some(encode_state(&state))
+            Ok(encode_state(&state))
         }
         ServiceKind::Lsh => {
             let mut state = decode_state(msg.payload.clone())?;
@@ -433,7 +600,7 @@ fn process(
                 .into_iter()
                 .map(|(idx, _)| idx as u32)
                 .collect();
-            Some(encode_state(&state))
+            Ok(encode_state(&state))
         }
         ServiceKind::Matching => {
             let state = decode_state(msg.payload.clone())?;
@@ -459,7 +626,7 @@ fn process(
                     (name, smoothed.corners)
                 })
                 .collect();
-            Some(encode_result(&recognitions))
+            Ok(encode_result(&recognitions))
         }
     }
 }
@@ -480,6 +647,7 @@ mod tests {
             max_descriptors: 200,
             threshold_ms: 0.0,
             epoch: Instant::now(),
+            wire: WireRtConfig::default(),
         }
     }
 
@@ -567,6 +735,6 @@ mod tests {
             &mut HashMap::new(),
             &mut HashMap::new()
         )
-        .is_none());
+        .is_err());
     }
 }

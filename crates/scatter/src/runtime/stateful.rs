@@ -37,12 +37,14 @@ use crate::message::ServiceKind;
 use crate::obs::RtSvcObs;
 use crate::runtime::impair::{RtSocket, SendDisposition};
 use crate::runtime::services::{
-    attribute_evictions, attribute_net_drop, epoch_ns, is_would_block, send_msg_obs, ExitReport,
-    FaultCell, SharedCtx, SvcStats,
+    attribute_evictions, attribute_net_drop, epoch_ns, is_would_block, send_msg_obs, send_msg_wire,
+    ExitReport, FaultCell, SharedCtx, SvcStats,
 };
 use crate::runtime::wire::{
-    self, decode_frame, decode_state, encode_result, encode_state, FrameState, Reassembler, WireMsg,
+    self, decode_frame, decode_state, encode_result, encode_state, FrameKey, FrameState,
+    Reassembler, WireMsg,
 };
+use crate::wirev2::{FrameKind, RxState};
 
 /// Control datagrams of the fetch protocol ride the payload of a
 /// `WireMsg` whose `step` is the *origin* service, flagged by a leading
@@ -116,7 +118,7 @@ fn decode_fetch_rsp(mut buf: Bytes) -> Option<FrameState> {
     if !buf.has_remaining() || buf.get_u8() != CTRL_FETCH_RSP {
         return None;
     }
-    decode_state(buf)
+    decode_state(buf).ok()
 }
 
 /// One parked frame state in sift's store.
@@ -153,6 +155,7 @@ pub fn run_stateful_sift(
         .set_read_timeout(Some(Duration::from_millis(20)))
         .expect("set_read_timeout");
     let mut reassembler = Reassembler::new();
+    let mut rx = RxState::new();
     let mut buf = vec![0u8; 65_536];
     let mut store: HashMap<(u16, u32), StoredState> = HashMap::new();
     while !shutdown.load(Ordering::Relaxed) && fault.current() == my_gen {
@@ -215,13 +218,16 @@ pub fn run_stateful_sift(
             }
             continue;
         }
-        let frag = match wire::decode_fragment(&buf[..n]) {
+        let frag = match rx.ingest(&buf[..n]) {
             Ok(frag) => frag,
-            Err(_) => {
-                stats.malformed.fetch_add(1, Ordering::Relaxed);
-                if let Some(o) = &obs {
-                    o.malformed.inc();
-                }
+            Err(e) => {
+                crate::runtime::services::attribute_ingest_error(
+                    e,
+                    ctx.epoch,
+                    &tracer,
+                    &stats,
+                    obs.as_ref(),
+                );
                 continue;
             }
         };
@@ -232,6 +238,16 @@ pub fn run_stateful_sift(
         }
         let Some(msg) = completed else {
             continue;
+        };
+        let (msg, _meta) = match rx.finish(msg) {
+            Ok(x) => x,
+            Err(_) => {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &obs {
+                    o.malformed.inc();
+                }
+                continue;
+            }
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = &obs {
@@ -247,7 +263,11 @@ pub fn run_stateful_sift(
             (msg.sent_micros * 1_000).min(recv_ns),
             recv_ns,
         );
-        let Some(img) = decode_frame(msg.payload.clone()) else {
+        let Ok(img) = decode_frame(msg.payload.clone()) else {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &obs {
+                o.malformed.inc();
+            }
             continue;
         };
         let (pyr, kps) = vision::keypoints::detect(&img, &DetectorParams::default());
@@ -297,7 +317,16 @@ pub fn run_stateful_sift(
             o.latency_ms
                 .record(done_ns.saturating_sub(recv_ns) as f64 / 1e6);
         }
-        let outcome = send_msg_obs(&socket, next, &fwd, &stats, obs.as_ref());
+        let outcome = send_msg_wire(
+            &socket,
+            next,
+            &fwd,
+            &ctx.wire,
+            FrameKind::Plain,
+            0,
+            &stats,
+            obs.as_ref(),
+        );
         attribute_net_drop(
             outcome,
             tctx,
@@ -339,6 +368,7 @@ pub fn run_stateful_matching(
         .set_read_timeout(Some(Duration::from_millis(20)))
         .expect("set_read_timeout");
     let mut reassembler = Reassembler::new();
+    let mut rx = RxState::new();
     let mut rng = SimRng::new(rng_seed);
     let mut buf = vec![0u8; 65_536];
     let my_port = socket.local_addr().expect("local addr").port();
@@ -346,7 +376,7 @@ pub fn run_stateful_matching(
     // their own turn (the fix for the fetch-wait frame-swallowing bug).
     let mut parked: VecDeque<WireMsg> = VecDeque::new();
     // The frame whose fetch-wait a kill interrupted, for the exit report.
-    let mut killed_mid_fetch: Option<(u16, u32, u8)> = None;
+    let mut killed_mid_fetch: Option<FrameKey> = None;
     while !shutdown.load(Ordering::Relaxed) && fault.current() == my_gen {
         // Parked frames (arrived during an earlier fetch-wait) are
         // served before new socket traffic.
@@ -368,13 +398,16 @@ pub fn run_stateful_matching(
                     continue;
                 }
             };
-            let frag = match wire::decode_fragment(&buf[..n]) {
+            let frag = match rx.ingest(&buf[..n]) {
                 Ok(frag) => frag,
-                Err(_) => {
-                    stats.malformed.fetch_add(1, Ordering::Relaxed);
-                    if let Some(o) = &obs {
-                        o.malformed.inc();
-                    }
+                Err(e) => {
+                    crate::runtime::services::attribute_ingest_error(
+                        e,
+                        ctx.epoch,
+                        &tracer,
+                        &stats,
+                        obs.as_ref(),
+                    );
                     continue;
                 }
             };
@@ -393,7 +426,16 @@ pub fn run_stateful_matching(
             let Some(msg) = completed else {
                 continue;
             };
-            msg
+            match rx.finish(msg) {
+                Ok((msg, _meta)) => msg,
+                Err(_) => {
+                    stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &obs {
+                        o.malformed.inc();
+                    }
+                    continue;
+                }
+            }
         };
         stats.received.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = &obs {
@@ -423,7 +465,11 @@ pub fn run_stateful_matching(
             );
             continue;
         }
-        let Some(lsh_state) = decode_state(msg.payload.clone()) else {
+        let Ok(lsh_state) = decode_state(msg.payload.clone()) else {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &obs {
+                o.malformed.inc();
+            }
             continue;
         };
 
@@ -477,7 +523,7 @@ pub fn run_stateful_matching(
                     continue;
                 }
             };
-            match wire::decode_fragment(&buf[..n]) {
+            match rx.ingest(&buf[..n]) {
                 Ok(frag) if frag.flags & wire::FLAG_CTRL != 0 => {
                     if let Some(rsp) = fetch_reasm.offer(frag) {
                         if rsp.client == msg.client && rsp.frame_no == msg.frame_no {
@@ -498,34 +544,47 @@ pub fn run_stateful_matching(
                     // unrelated in-flight frames vanished without a
                     // counter or a trace terminal.)
                     if let Some(m) = reassembler.offer(frag) {
-                        if parked.len() >= PARK_CAP {
-                            stats.dropped_busy.fetch_add(1, Ordering::Relaxed);
-                            if let Some(o) = &obs {
-                                o.drop_busy.inc();
+                        match rx.finish(m) {
+                            Ok((m, _meta)) => {
+                                if parked.len() >= PARK_CAP {
+                                    stats.dropped_busy.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(o) = &obs {
+                                        o.drop_busy.inc();
+                                    }
+                                    tracer.terminal(
+                                        m.trace_ctx(),
+                                        epoch_ns(ctx.epoch),
+                                        trace::FrameFate::Dropped(trace::DropReason::BusyIngress),
+                                    );
+                                } else {
+                                    parked.push_back(m);
+                                }
                             }
-                            tracer.terminal(
-                                m.trace_ctx(),
-                                epoch_ns(ctx.epoch),
-                                trace::FrameFate::Dropped(trace::DropReason::BusyIngress),
-                            );
-                        } else {
-                            parked.push_back(m);
+                            Err(_) => {
+                                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                                if let Some(o) = &obs {
+                                    o.malformed.inc();
+                                }
+                            }
                         }
                     }
                     attribute_evictions(&mut reassembler, ctx.epoch, &tracer, &stats, obs.as_ref());
                 }
-                Err(_) => {
-                    stats.malformed.fetch_add(1, Ordering::Relaxed);
-                    if let Some(o) = &obs {
-                        o.malformed.inc();
-                    }
+                Err(e) => {
+                    crate::runtime::services::attribute_ingest_error(
+                        e,
+                        ctx.epoch,
+                        &tracer,
+                        &stats,
+                        obs.as_ref(),
+                    );
                 }
             }
         }
         if fetched.is_none() && (shutdown.load(Ordering::Relaxed) || fault.current() != my_gen) {
             // Killed (or shut down) mid-wait: this frame's in-memory
             // state dies with the thread; the supervisor attributes it.
-            killed_mid_fetch = Some((msg.client, msg.frame_no, msg.flags));
+            killed_mid_fetch = Some(FrameKey::new(msg.client, msg.frame_no, msg.flags));
             break;
         }
         let fetch_end_ns = epoch_ns(ctx.epoch);
@@ -586,7 +645,16 @@ pub fn run_stateful_matching(
                 .record(done_ns.saturating_sub(recv_ns) as f64 / 1e6);
         }
         let to = SocketAddr::from(([127, 0, 0, 1], msg.return_port));
-        let outcome = send_msg_obs(&socket, to, &out, &stats, obs.as_ref());
+        let outcome = send_msg_wire(
+            &socket,
+            to,
+            &out,
+            &ctx.wire,
+            FrameKind::Plain,
+            0,
+            &stats,
+            obs.as_ref(),
+        );
         attribute_net_drop(
             outcome,
             tctx,
@@ -597,7 +665,11 @@ pub fn run_stateful_matching(
         );
     }
     let mut lost_frames = reassembler.pending_keys();
-    lost_frames.extend(parked.iter().map(|m| (m.client, m.frame_no, m.flags)));
+    lost_frames.extend(
+        parked
+            .iter()
+            .map(|m| FrameKey::new(m.client, m.frame_no, m.flags)),
+    );
     lost_frames.extend(killed_mid_fetch);
     ExitReport { lost_frames }
 }

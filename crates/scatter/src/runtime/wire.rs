@@ -30,7 +30,35 @@ pub const FLAG_SAMPLED: u8 = 0b0000_0001;
 /// frame traffic — the fix for the fetch-wait frame-swallowing bug.
 pub const FLAG_CTRL: u8 = 0b0000_0010;
 
-const HEADER_BYTES: usize = 4 + 2 + 4 + 1 + 8 + 2 + 8 + 1 + 8 + 2 + 2 + 4;
+/// Fixed fragment header size (public so the v2 byte predictor can
+/// account for framing overhead exactly).
+pub const HEADER_BYTES: usize = 4 + 2 + 4 + 1 + 8 + 2 + 8 + 1 + 8 + 2 + 2 + 4;
+
+/// The trace identity of a frame as the reassembly/forensics plane
+/// reports it: which client's frame, and the trace flags it was
+/// carrying (enough to rebuild its [`trace::TraceCtx`] and emit a
+/// terminal on the right trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameKey {
+    pub client: u16,
+    pub frame_no: u32,
+    pub flags: u8,
+}
+
+impl FrameKey {
+    pub fn new(client: u16, frame_no: u32, flags: u8) -> FrameKey {
+        FrameKey {
+            client,
+            frame_no,
+            flags,
+        }
+    }
+
+    /// Reconstruct the trace context this frame was carrying.
+    pub fn trace_ctx(&self) -> trace::TraceCtx {
+        trace::TraceCtx::new(self.client, self.frame_no, self.flags & FLAG_SAMPLED != 0)
+    }
+}
 
 /// Why a datagram failed to parse. Malformed traffic on a UDP socket is
 /// a fact of life, not a panic: callers count the reason and drop the
@@ -47,6 +75,19 @@ pub enum WireError {
     BadFragmentIndex,
     /// Body length disagrees with the header's length field.
     LengthMismatch,
+    /// v2 envelope names a protocol version this receiver doesn't speak.
+    BadVersion,
+    /// v2 envelope names an unknown codec, or the payload failed to
+    /// decompress to its declared length.
+    BadCodec,
+    /// v2 envelope names an unknown frame kind.
+    BadKind,
+    /// A typed payload (`decode_frame`/`decode_state`/`decode_result`)
+    /// ended before its own structure said it would.
+    PayloadTruncated,
+    /// A typed payload carried a structurally impossible value (zero
+    /// dimensions, absurd counts, non-UTF-8 names, length mismatch).
+    PayloadValue,
 }
 
 impl fmt::Display for WireError {
@@ -57,6 +98,11 @@ impl fmt::Display for WireError {
             WireError::BadStep => "step index out of range",
             WireError::BadFragmentIndex => "fragment index/count invalid",
             WireError::LengthMismatch => "body length disagrees with header",
+            WireError::BadVersion => "unsupported protocol version",
+            WireError::BadCodec => "unknown codec or decompression failure",
+            WireError::BadKind => "unknown frame kind",
+            WireError::PayloadTruncated => "typed payload shorter than its structure",
+            WireError::PayloadValue => "typed payload carries an impossible value",
         };
         f.write_str(s)
     }
@@ -210,8 +256,8 @@ pub struct Reassembler {
     order: Vec<(u16, u32, u8)>,
     /// Keys evicted as incomplete; late fragments for these are ignored.
     tombstones: HashSet<(u16, u32, u8)>,
-    /// Evicted frames awaiting drop attribution: `(client, frame_no, flags)`.
-    evicted: Vec<(u16, u32, u8)>,
+    /// Evicted frames awaiting drop attribution.
+    evicted: Vec<FrameKey>,
 }
 
 #[derive(Debug)]
@@ -307,7 +353,8 @@ impl Reassembler {
         if self.pending.len() > Self::MAX_PENDING {
             let victim = self.order.remove(0);
             if let Some(lost) = self.pending.remove(&victim) {
-                self.evicted.push((victim.0, victim.1, lost.flags));
+                self.evicted
+                    .push(FrameKey::new(victim.0, victim.1, lost.flags));
             }
             if self.tombstones.len() >= Self::MAX_TOMBSTONES {
                 self.tombstones.clear();
@@ -317,10 +364,9 @@ impl Reassembler {
         None
     }
 
-    /// Take the log of frames evicted incomplete since the last call:
-    /// `(client, frame_no, flags)` — enough to emit a fragment-loss
-    /// terminal on the frame's trace.
-    pub fn drain_evicted(&mut self) -> Vec<(u16, u32, u8)> {
+    /// Take the log of frames evicted incomplete since the last call —
+    /// enough to emit a fragment-loss terminal on the frame's trace.
+    pub fn drain_evicted(&mut self) -> Vec<FrameKey> {
         std::mem::take(&mut self.evicted)
     }
 
@@ -340,7 +386,7 @@ impl Reassembler {
         }
         for key in victims {
             if let Some(lost) = self.pending.remove(&key) {
-                self.evicted.push((key.0, key.1, lost.flags));
+                self.evicted.push(FrameKey::new(key.0, key.1, lost.flags));
             }
             self.order.retain(|k| *k != key);
             if self.tombstones.len() >= Self::MAX_TOMBSTONES {
@@ -354,13 +400,13 @@ impl Reassembler {
         self.pending.len()
     }
 
-    /// Identities of the partially-reassembled frames currently held:
-    /// `(client, frame_no, flags)`. A crashing service reports these so
-    /// the supervisor can attribute them as crash-lost.
-    pub fn pending_keys(&self) -> Vec<(u16, u32, u8)> {
+    /// Identities of the partially-reassembled frames currently held.
+    /// A crashing service reports these so the supervisor can attribute
+    /// them as crash-lost.
+    pub fn pending_keys(&self) -> Vec<FrameKey> {
         self.pending
             .iter()
-            .map(|(k, v)| (k.0, k.1, v.flags))
+            .map(|(k, v)| FrameKey::new(k.0, k.1, v.flags))
             .collect()
     }
 }
@@ -380,17 +426,27 @@ pub fn encode_frame(img: &vision::GrayImage) -> Bytes {
     buf.freeze()
 }
 
-pub fn decode_frame(mut buf: Bytes) -> Option<vision::GrayImage> {
+/// Decode a frame payload. Typed errors (like [`decode_fragment`]'s)
+/// so malformed-payload drops get exact attribution instead of a bare
+/// `None`.
+pub fn decode_frame(mut buf: Bytes) -> Result<vision::GrayImage, WireError> {
     if buf.remaining() < 8 {
-        return None;
+        return Err(WireError::PayloadTruncated);
     }
     let w = buf.get_u32() as usize;
     let h = buf.get_u32() as usize;
-    if w == 0 || h == 0 || buf.remaining() != w * h {
-        return None;
+    if w == 0 || h == 0 {
+        return Err(WireError::PayloadValue);
+    }
+    if buf.remaining() != w * h {
+        return Err(if buf.remaining() < w * h {
+            WireError::PayloadTruncated
+        } else {
+            WireError::PayloadValue
+        });
     }
     let data: Vec<f32> = buf.iter().map(|&b| b as f32 / 255.0).collect();
-    Some(vision::GrayImage::from_vec(w, h, data))
+    Ok(vision::GrayImage::from_vec(w, h, data))
 }
 
 /// Descriptor-set payload: keypoint geometry + 128-d vectors, plus an
@@ -437,18 +493,19 @@ pub fn encode_state(state: &FrameState) -> Bytes {
     buf.freeze()
 }
 
-pub fn decode_state(mut buf: Bytes) -> Option<FrameState> {
+/// Decode a frame-state payload; typed errors like [`decode_frame`].
+pub fn decode_state(mut buf: Bytes) -> Result<FrameState, WireError> {
     if buf.remaining() < 4 {
-        return None;
+        return Err(WireError::PayloadTruncated);
     }
     let n = buf.get_u32() as usize;
     if n > 100_000 {
-        return None;
+        return Err(WireError::PayloadValue);
     }
     let mut descriptors = Vec::with_capacity(n);
     for _ in 0..n {
         if buf.remaining() < 5 * 4 + 2 + 128 * 4 {
-            return None;
+            return Err(WireError::PayloadTruncated);
         }
         let keypoint = vision::Keypoint {
             x: buf.get_f32(),
@@ -466,22 +523,26 @@ pub fn decode_state(mut buf: Bytes) -> Option<FrameState> {
         descriptors.push(vision::Descriptor { keypoint, v });
     }
     if buf.remaining() < 4 {
-        return None;
+        return Err(WireError::PayloadTruncated);
     }
     let nf = buf.get_u32() as usize;
     if buf.remaining() < nf * 4 {
-        return None;
+        return Err(WireError::PayloadTruncated);
     }
     let fisher = (0..nf).map(|_| buf.get_f32()).collect();
     if buf.remaining() < 4 {
-        return None;
+        return Err(WireError::PayloadTruncated);
     }
     let nc = buf.get_u32() as usize;
     if buf.remaining() != nc * 4 {
-        return None;
+        return Err(if buf.remaining() < nc * 4 {
+            WireError::PayloadTruncated
+        } else {
+            WireError::PayloadValue
+        });
     }
     let candidates = (0..nc).map(|_| buf.get_u32()).collect();
-    Some(FrameState {
+    Ok(FrameState {
         descriptors,
         fisher,
         candidates,
@@ -506,28 +567,30 @@ pub fn encode_result(recognitions: &[ResultEntry]) -> Bytes {
     buf.freeze()
 }
 
-pub fn decode_result(mut buf: Bytes) -> Option<Vec<ResultEntry>> {
+/// Decode a result payload; typed errors like [`decode_frame`].
+pub fn decode_result(mut buf: Bytes) -> Result<Vec<ResultEntry>, WireError> {
     if buf.remaining() < 2 {
-        return None;
+        return Err(WireError::PayloadTruncated);
     }
     let n = buf.get_u16() as usize;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         if buf.remaining() < 1 {
-            return None;
+            return Err(WireError::PayloadTruncated);
         }
         let len = buf.get_u8() as usize;
         if buf.remaining() < len + 32 {
-            return None;
+            return Err(WireError::PayloadTruncated);
         }
-        let name = String::from_utf8(buf.copy_to_bytes(len).to_vec()).ok()?;
+        let name = String::from_utf8(buf.copy_to_bytes(len).to_vec())
+            .map_err(|_| WireError::PayloadValue)?;
         let mut corners = [(0.0, 0.0); 4];
         for c in &mut corners {
             *c = (buf.get_f32() as f64, buf.get_f32() as f64);
         }
         out.push((name, corners));
     }
-    Some(out)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -646,7 +709,12 @@ mod tests {
             all_frames.push(frames);
         }
         let evicted = r.drain_evicted();
-        assert_eq!(evicted, vec![(3, 0, FLAG_SAMPLED)], "oldest frame evicted");
+        assert_eq!(
+            evicted,
+            vec![FrameKey::new(3, 0, FLAG_SAMPLED)],
+            "oldest frame evicted"
+        );
+        assert!(evicted[0].trace_ctx().sampled);
         assert!(r.drain_evicted().is_empty(), "drain is one-shot");
         // The straggler second fragment of the evicted frame must not
         // complete a half message nor create a fresh pending entry.
@@ -669,7 +737,7 @@ mod tests {
         // Zero patience evicts, attributes, and tombstones.
         r.sweep(std::time::Duration::ZERO);
         assert_eq!(r.pending_count(), 0);
-        assert_eq!(r.drain_evicted(), vec![(3, 42, FLAG_SAMPLED)]);
+        assert_eq!(r.drain_evicted(), vec![FrameKey::new(3, 42, FLAG_SAMPLED)]);
         let straggler = decode_fragment(&frames[1]).unwrap();
         assert!(r.offer(straggler).is_none(), "swept key is tombstoned");
         assert_eq!(r.pending_count(), 0);
@@ -752,6 +820,47 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].0, "monitor");
         assert_eq!(back[0].1[2], (5.0, 6.0));
+    }
+
+    #[test]
+    fn typed_payload_errors_are_exact() {
+        assert_eq!(
+            decode_frame(Bytes::from_static(&[0, 0])),
+            Err(WireError::PayloadTruncated)
+        );
+        // Valid header, zero dimensions.
+        let mut z = BytesMut::new();
+        z.put_u32(0);
+        z.put_u32(4);
+        assert_eq!(decode_frame(z.freeze()), Err(WireError::PayloadValue));
+        // Header promises more pixels than the body carries.
+        let mut short = BytesMut::new();
+        short.put_u32(4);
+        short.put_u32(4);
+        short.put_slice(&[1, 2, 3]);
+        assert_eq!(
+            decode_frame(short.freeze()),
+            Err(WireError::PayloadTruncated)
+        );
+        assert_eq!(
+            decode_state(Bytes::from_static(&[0])),
+            Err(WireError::PayloadTruncated)
+        );
+        // Absurd descriptor count.
+        let mut huge = BytesMut::new();
+        huge.put_u32(200_000);
+        assert_eq!(decode_state(huge.freeze()), Err(WireError::PayloadValue));
+        assert_eq!(
+            decode_result(Bytes::from_static(&[])),
+            Err(WireError::PayloadTruncated)
+        );
+        // Non-UTF-8 name.
+        let mut bad = BytesMut::new();
+        bad.put_u16(1);
+        bad.put_u8(2);
+        bad.put_slice(&[0xFF, 0xFE]);
+        bad.put_slice(&[0u8; 32]);
+        assert_eq!(decode_result(bad.freeze()), Err(WireError::PayloadValue));
     }
 
     #[test]

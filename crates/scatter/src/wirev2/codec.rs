@@ -1,0 +1,208 @@
+//! Payload compression behind a trait, in the repo's shims spirit: a
+//! dependency-free byte-level RLE codec. Negotiation is per *message*,
+//! not per handshake: [`maybe_compress`] keeps the compressed form only
+//! when it is strictly smaller (the envelope's codec id records the
+//! outcome), so a codec that loses on some payload costs nothing but
+//! the byte that says "stored raw".
+
+/// A payload codec. Implementations must be deterministic and
+/// self-contained (no allocator tricks, no external state): the DES
+/// byte predictor runs the same code as the runtime send path.
+pub trait Codec {
+    /// Envelope codec id (must round-trip through [`CodecKind`]).
+    fn id(&self) -> CodecKind;
+    /// Compress `data`. May return something *larger* than the input —
+    /// callers use [`maybe_compress`] for the store-if-smaller policy.
+    fn compress(&self, data: &[u8]) -> Vec<u8>;
+    /// Decompress `data`, expecting exactly `raw_len` output bytes.
+    /// `None` on any malformation (truncated stream, length mismatch,
+    /// output overrun) — corrupt input must never panic or produce a
+    /// wrong-length payload.
+    fn decompress(&self, data: &[u8], raw_len: usize) -> Option<Vec<u8>>;
+}
+
+/// Codec id as carried in the v2 envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CodecKind {
+    /// Payload stored raw.
+    None = 0,
+    /// Byte-level run-length encoding ([`Rle`]).
+    Rle = 1,
+}
+
+impl CodecKind {
+    pub fn from_u8(v: u8) -> Option<CodecKind> {
+        match v {
+            0 => Some(CodecKind::None),
+            1 => Some(CodecKind::Rle),
+            _ => None,
+        }
+    }
+}
+
+/// Byte-level RLE. Stream = sequence of groups, each led by a control
+/// byte `c`:
+///
+/// - `c < 0x80`: literal group — the next `c + 1` bytes are copied
+///   verbatim (1..=128 literals).
+/// - `c >= 0x80`: run group — the next byte repeats `(c - 0x80) + 3`
+///   times (3..=130 copies; runs shorter than 3 never win).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rle;
+
+impl Codec for Rle {
+    fn id(&self) -> CodecKind {
+        CodecKind::Rle
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 8);
+        let mut i = 0;
+        let mut lit_start = i;
+        while i < data.len() {
+            // Measure the run starting here.
+            let b = data[i];
+            let mut run = 1;
+            while i + run < data.len() && data[i + run] == b && run < 130 {
+                run += 1;
+            }
+            if run >= 3 {
+                flush_literals(&mut out, &data[lit_start..i]);
+                out.push(0x80 + (run as u8 - 3));
+                out.push(b);
+                i += run;
+                lit_start = i;
+            } else {
+                i += run;
+            }
+        }
+        flush_literals(&mut out, &data[lit_start..]);
+        out
+    }
+
+    fn decompress(&self, data: &[u8], raw_len: usize) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(raw_len);
+        let mut i = 0;
+        while i < data.len() {
+            let c = data[i];
+            i += 1;
+            if c < 0x80 {
+                let n = c as usize + 1;
+                if i + n > data.len() || out.len() + n > raw_len {
+                    return None;
+                }
+                out.extend_from_slice(&data[i..i + n]);
+                i += n;
+            } else {
+                let n = (c - 0x80) as usize + 3;
+                if i >= data.len() || out.len() + n > raw_len {
+                    return None;
+                }
+                out.resize(out.len() + n, data[i]);
+                i += 1;
+            }
+        }
+        if out.len() != raw_len {
+            return None;
+        }
+        Some(out)
+    }
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+    while !lits.is_empty() {
+        let n = lits.len().min(128);
+        out.push(n as u8 - 1);
+        out.extend_from_slice(&lits[..n]);
+        lits = &lits[n..];
+    }
+}
+
+/// Look up the codec for an envelope id ([`CodecKind::None`] yields no
+/// codec — the payload is stored raw).
+pub fn for_kind(kind: CodecKind) -> Option<&'static dyn Codec> {
+    match kind {
+        CodecKind::None => None,
+        CodecKind::Rle => Some(&Rle),
+    }
+}
+
+/// Store-if-smaller policy shared by the runtime send path and the DES
+/// byte predictor: returns the codec id that won and the bytes to ship.
+/// With `compress` off (or a losing codec) the payload ships raw under
+/// [`CodecKind::None`].
+pub fn maybe_compress(payload: &[u8], compress: bool) -> (CodecKind, Option<Vec<u8>>) {
+    if !compress {
+        return (CodecKind::None, None);
+    }
+    let c = Rle.compress(payload);
+    if c.len() < payload.len() {
+        (CodecKind::Rle, Some(c))
+    } else {
+        (CodecKind::None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_misc() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![7, 7],
+            vec![7, 7, 7],
+            vec![0; 1000],
+            (0..=255u8).collect(),
+            b"aaabbbcccabcabc".to_vec(),
+            vec![1, 1, 1, 1, 2, 3, 3, 3, 3, 3, 4],
+        ];
+        for raw in cases {
+            let enc = Rle.compress(&raw);
+            let dec = Rle.decompress(&enc, raw.len()).expect("decompress");
+            assert_eq!(dec, raw);
+        }
+    }
+
+    #[test]
+    fn long_runs_and_literals_cross_group_bounds() {
+        let mut raw = vec![9u8; 500]; // crosses the 130-run cap
+        raw.extend((0..300).map(|i| (i % 251) as u8)); // crosses the 128-literal cap
+        let enc = Rle.compress(&raw);
+        assert!(enc.len() < raw.len());
+        assert_eq!(Rle.decompress(&enc, raw.len()).unwrap(), raw);
+    }
+
+    #[test]
+    fn wrong_raw_len_rejected() {
+        let enc = Rle.compress(&[5u8; 64]);
+        assert!(Rle.decompress(&enc, 63).is_none());
+        assert!(Rle.decompress(&enc, 65).is_none());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let raw = b"aaaaaabcdefgh".to_vec();
+        let enc = Rle.compress(&raw);
+        for cut in 0..enc.len() {
+            assert!(
+                Rle.decompress(&enc[..cut], raw.len()).is_none(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn store_if_smaller_falls_back_on_incompressible() {
+        let raw: Vec<u8> = (0..200u32).map(|i| (i * 7 + 13) as u8).collect();
+        let (kind, body) = maybe_compress(&raw, true);
+        assert_eq!(kind, CodecKind::None);
+        assert!(body.is_none());
+        let (kind, body) = maybe_compress(&vec![0u8; 256], true);
+        assert_eq!(kind, CodecKind::Rle);
+        assert!(body.unwrap().len() < 256);
+    }
+}

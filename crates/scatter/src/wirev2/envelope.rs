@@ -1,0 +1,320 @@
+//! The v2 datagram envelope: 19 bytes wrapping an unmodified v1
+//! fragment (layout in the [module docs](crate::wirev2)). Encoding
+//! compresses the *message* payload once (store-if-smaller), fragments
+//! it with the v1 encoder, then seals each fragment; decoding verifies
+//! the CRC before a single inner byte is parsed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::message::ServiceKind;
+use crate::runtime::wire::{self, Fragment, WireError, WireMsg};
+use crate::wirev2::codec::{self, CodecKind};
+use crate::wirev2::crc::crc32;
+use crate::wirev2::FrameKind;
+
+/// v2 magic: "SC2V".
+pub const MAGIC2: u32 = 0x5343_3256;
+
+/// Envelope overhead per datagram, on top of the v1 fragment.
+pub const V2_ENVELOPE_BYTES: usize = 19;
+
+/// The envelope metadata a receiver needs to reconstruct the message
+/// payload after reassembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V2Meta {
+    pub codec: CodecKind,
+    pub kind: FrameKind,
+    /// Delta anchor frame number (0 unless `kind == DctDelta`).
+    pub base_frame_no: u32,
+    /// Payload length before compression.
+    pub raw_len: u32,
+}
+
+impl V2Meta {
+    /// Metadata equivalent to a v1 datagram: raw, plain, no anchor.
+    pub fn plain() -> V2Meta {
+        V2Meta {
+            codec: CodecKind::None,
+            kind: FrameKind::Plain,
+            base_frame_no: 0,
+            raw_len: 0,
+        }
+    }
+}
+
+/// Best-effort identity of a CRC-failed datagram, recovered from the
+/// inner v1 header when the corruption spared it. Enough to emit an
+/// `InvalidCrc` terminal on the frame's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredId {
+    pub client: u16,
+    pub frame_no: u32,
+    pub step: ServiceKind,
+    pub flags: u8,
+    /// The message fits one datagram, so this CRC failure kills the
+    /// whole frame (multi-fragment losses are attributed by reassembly
+    /// eviction instead, exactly like v1 fragment loss).
+    pub single_fragment: bool,
+}
+
+/// Why an incoming datagram was rejected before reassembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// The envelope CRC did not match: the datagram was corrupted in
+    /// flight. Dropped and counted — never parsed further.
+    InvalidCrc { recovered: Option<RecoveredId> },
+    /// Structurally invalid (v1 or v2): counted as malformed.
+    Malformed(WireError),
+}
+
+/// A structurally valid incoming datagram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decoded {
+    /// Bare v1 datagram (v2 receivers stay bilingual — mixed fleets
+    /// and the v1 control plane keep working).
+    V1(Fragment),
+    /// CRC-verified v2 datagram.
+    V2(Fragment, V2Meta),
+}
+
+/// Encode `msg` into sealed v2 datagrams. The payload is compressed
+/// once (store-if-smaller when `compress`), fragmented by the v1
+/// encoder, and each fragment wrapped and CRC-sealed. Returns the
+/// datagrams and the codec that won.
+pub fn encode_msg(
+    msg: &WireMsg,
+    compress: bool,
+    kind: FrameKind,
+    base_frame_no: u32,
+) -> (Vec<Bytes>, CodecKind) {
+    let raw_len = msg.payload.len() as u32;
+    let (codec_kind, compressed) = codec::maybe_compress(&msg.payload, compress);
+    let inner = match compressed {
+        Some(c) => WireMsg {
+            payload: Bytes::from(c),
+            ..msg.clone()
+        },
+        None => msg.clone(),
+    };
+    let datagrams = wire::encode(&inner)
+        .into_iter()
+        .map(|frag| seal(&frag, codec_kind, kind, base_frame_no, raw_len))
+        .collect();
+    (datagrams, codec_kind)
+}
+
+/// Wrap one v1 fragment datagram in a sealed envelope.
+pub fn seal(
+    inner: &[u8],
+    codec: CodecKind,
+    kind: FrameKind,
+    base_frame_no: u32,
+    raw_len: u32,
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(V2_ENVELOPE_BYTES + inner.len());
+    buf.put_u32(MAGIC2);
+    buf.put_u32(0); // CRC placeholder
+    buf.put_u8(2);
+    buf.put_u8(codec as u8);
+    buf.put_u8(kind as u8);
+    buf.put_u32(base_frame_no);
+    buf.put_u32(raw_len);
+    buf.put_slice(inner);
+    let crc = crc32(&buf[8..]);
+    buf[4..8].copy_from_slice(&crc.to_be_bytes());
+    buf.freeze()
+}
+
+/// Parse one datagram, v1 or v2. The CRC is checked before anything
+/// inside the envelope is interpreted; corrupt datagrams come back as
+/// [`IngestError::InvalidCrc`] with a best-effort identity so the drop
+/// can be attributed on the frame's trace.
+pub fn decode_any(datagram: &[u8]) -> Result<Decoded, IngestError> {
+    if datagram.len() < 4 {
+        return Err(IngestError::Malformed(WireError::Truncated));
+    }
+    let magic = u32::from_be_bytes([datagram[0], datagram[1], datagram[2], datagram[3]]);
+    if magic == wire::MAGIC {
+        return wire::decode_fragment(datagram)
+            .map(Decoded::V1)
+            .map_err(IngestError::Malformed);
+    }
+    if magic != MAGIC2 {
+        return Err(IngestError::Malformed(WireError::BadMagic));
+    }
+    if datagram.len() < V2_ENVELOPE_BYTES {
+        return Err(IngestError::Malformed(WireError::Truncated));
+    }
+    let mut hdr = &datagram[4..V2_ENVELOPE_BYTES];
+    let crc = hdr.get_u32();
+    if crc != crc32(&datagram[8..]) {
+        return Err(IngestError::InvalidCrc {
+            recovered: recover_id(&datagram[V2_ENVELOPE_BYTES..]),
+        });
+    }
+    let version = hdr.get_u8();
+    if version != 2 {
+        return Err(IngestError::Malformed(WireError::BadVersion));
+    }
+    let codec =
+        CodecKind::from_u8(hdr.get_u8()).ok_or(IngestError::Malformed(WireError::BadCodec))?;
+    let kind =
+        FrameKind::from_u8(hdr.get_u8()).ok_or(IngestError::Malformed(WireError::BadKind))?;
+    let base_frame_no = hdr.get_u32();
+    let raw_len = hdr.get_u32();
+    let frag =
+        wire::decode_fragment(&datagram[V2_ENVELOPE_BYTES..]).map_err(IngestError::Malformed)?;
+    Ok(Decoded::V2(
+        frag,
+        V2Meta {
+            codec,
+            kind,
+            base_frame_no,
+            raw_len,
+        },
+    ))
+}
+
+/// Try to name the frame a CRC-failed datagram belonged to. The flip
+/// may have landed in the envelope (inner header intact) or in the
+/// body (header still intact) — only a flip inside the 46 header bytes
+/// loses the identity, and then this returns `None`.
+fn recover_id(inner: &[u8]) -> Option<RecoveredId> {
+    let frag = wire::decode_fragment(inner).ok()?;
+    Some(RecoveredId {
+        client: frag.client,
+        frame_no: frag.frame_no,
+        step: frag.step,
+        flags: frag.flags,
+        single_fragment: frag.frag_count == 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(payload: Vec<u8>) -> WireMsg {
+        WireMsg {
+            client: 3,
+            frame_no: 42,
+            step: ServiceKind::Primary,
+            emit_micros: 123_456,
+            return_port: 40_123,
+            trace_id: (3u64 << 32) | 42,
+            flags: wire::FLAG_SAMPLED,
+            sent_micros: 123_500,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    #[test]
+    fn v2_round_trip_uncompressed() {
+        let m = msg((0..200u32).map(|i| (i * 7) as u8).collect());
+        let (dgrams, codec) = encode_msg(&m, false, FrameKind::DctKey, 0);
+        assert_eq!(codec, CodecKind::None);
+        assert_eq!(dgrams.len(), 1);
+        match decode_any(&dgrams[0]).expect("valid") {
+            Decoded::V2(frag, meta) => {
+                assert_eq!(frag.client, 3);
+                assert_eq!(frag.frame_no, 42);
+                assert_eq!(frag.body, m.payload);
+                assert_eq!(meta.kind, FrameKind::DctKey);
+                assert_eq!(meta.codec, CodecKind::None);
+                assert_eq!(meta.raw_len, m.payload.len() as u32);
+            }
+            other => panic!("expected v2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_round_trip_compressed() {
+        let m = msg(vec![0u8; 4096]);
+        let (dgrams, codec) = encode_msg(&m, true, FrameKind::Plain, 0);
+        assert_eq!(codec, CodecKind::Rle);
+        assert_eq!(dgrams.len(), 1);
+        match decode_any(&dgrams[0]).expect("valid") {
+            Decoded::V2(frag, meta) => {
+                assert_eq!(meta.codec, CodecKind::Rle);
+                assert_eq!(meta.raw_len, 4096);
+                let raw = codec::for_kind(meta.codec)
+                    .unwrap()
+                    .decompress(&frag.body, meta.raw_len as usize)
+                    .expect("decompress");
+                assert_eq!(raw, vec![0u8; 4096]);
+            }
+            other => panic!("expected v2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_datagrams_pass_through() {
+        let m = msg(vec![1, 2, 3]);
+        let dgrams = wire::encode(&m);
+        match decode_any(&dgrams[0]).expect("valid") {
+            Decoded::V1(frag) => assert_eq!(frag.frame_no, 42),
+            other => panic!("expected v1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn any_byte_flip_is_caught_with_identity_recovery() {
+        let m = msg(vec![7u8; 100]);
+        let (dgrams, _) = encode_msg(&m, false, FrameKind::DctKey, 0);
+        let clean = dgrams[0].to_vec();
+        let inner_header = V2_ENVELOPE_BYTES..V2_ENVELOPE_BYTES + wire::HEADER_BYTES;
+        let mut crc_failures = 0;
+        for i in 0..clean.len() {
+            let mut d = clean.clone();
+            d[i] ^= 0x40;
+            match decode_any(&d) {
+                Ok(_) => panic!("flip at byte {i} accepted"),
+                Err(IngestError::InvalidCrc { recovered }) => {
+                    crc_failures += 1;
+                    // Identity recovery reads the (unchecked) inner v1
+                    // header: exact whenever the flip landed outside
+                    // it; best-effort garbage-or-None when it landed
+                    // inside (v1 carries no integrity of its own —
+                    // that is the whole point of the v2 CRC).
+                    if !inner_header.contains(&i) {
+                        let id = recovered.expect("identity survives");
+                        assert_eq!((id.client, id.frame_no), (3, 42));
+                        assert!(id.single_fragment);
+                    }
+                }
+                // A flip in the outer magic makes it foreign, not corrupt.
+                Err(IngestError::Malformed(e)) => {
+                    assert!(i < 4, "flip at byte {i} misclassified: {e}")
+                }
+            }
+        }
+        assert!(crc_failures >= clean.len() - 4);
+    }
+
+    #[test]
+    fn bad_version_codec_kind_are_typed() {
+        let m = msg(vec![7u8; 10]);
+        let (dgrams, _) = encode_msg(&m, false, FrameKind::Plain, 0);
+        // Patch a field then re-seal so the CRC passes and the typed
+        // check is what rejects it.
+        let patch = |idx: usize, val: u8| {
+            let mut d = dgrams[0].to_vec();
+            d[idx] = val;
+            let crc = crc32(&d[8..]);
+            d[4..8].copy_from_slice(&crc.to_be_bytes());
+            decode_any(&d)
+        };
+        assert_eq!(
+            patch(8, 3),
+            Err(IngestError::Malformed(WireError::BadVersion))
+        );
+        assert_eq!(
+            patch(9, 9),
+            Err(IngestError::Malformed(WireError::BadCodec))
+        );
+        assert_eq!(
+            patch(10, 7),
+            Err(IngestError::Malformed(WireError::BadKind))
+        );
+    }
+}

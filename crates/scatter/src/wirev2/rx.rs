@@ -1,0 +1,158 @@
+//! Receive-side v2 state for one service socket: datagram ingestion
+//! (CRC + envelope checks before anything is parsed) and post-
+//! reassembly payload reconstruction (decompression). Sits *around*
+//! the existing v1 [`Reassembler`](crate::runtime::wire::Reassembler),
+//! which stays unchanged: `ingest` yields plain v1 fragments, `finish`
+//! fixes up the reassembled message.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use crate::runtime::wire::{Fragment, WireError, WireMsg};
+use crate::wirev2::codec;
+use crate::wirev2::envelope::{self, Decoded, IngestError, V2Meta};
+
+/// Per-socket receive state: envelope metadata for messages currently
+/// in flight through the reassembler, keyed like the reassembler's
+/// pending map (`client, frame_no, step`). Bounded FIFO — an evicted
+/// message's stale metadata costs nothing (its key is gone too).
+#[derive(Debug, Default)]
+pub struct RxState {
+    meta: HashMap<(u16, u32, u8), V2Meta>,
+    order: Vec<(u16, u32, u8)>,
+}
+
+impl RxState {
+    /// Metadata entries retained; far above the reassembler's own
+    /// pending cap, so eviction here only fires under floods.
+    const MAX_META: usize = 1024;
+
+    pub fn new() -> RxState {
+        RxState::default()
+    }
+
+    /// Parse one datagram (v1 or v2). On success the returned fragment
+    /// feeds the ordinary reassembler; envelope metadata is stashed
+    /// until [`RxState::finish`]. Errors are typed so the caller can
+    /// count `InvalidCrc` separately from structural garbage.
+    pub fn ingest(&mut self, datagram: &[u8]) -> Result<Fragment, IngestError> {
+        match envelope::decode_any(datagram)? {
+            Decoded::V1(frag) => Ok(frag),
+            Decoded::V2(frag, meta) => {
+                let key = (frag.client, frag.frame_no, frag.step.index() as u8);
+                if self.meta.insert(key, meta).is_none() {
+                    self.order.push(key);
+                    if self.order.len() > Self::MAX_META {
+                        let victim = self.order.remove(0);
+                        self.meta.remove(&victim);
+                    }
+                }
+                Ok(frag)
+            }
+        }
+    }
+
+    /// Post-reassembly step: decompress the payload if the envelope
+    /// said so, and surface the v2 metadata (delta kind + anchor) the
+    /// pipeline needs. v1 messages pass through with
+    /// [`V2Meta::plain`]. A payload that fails to decompress is a
+    /// typed [`WireError::BadCodec`] — corrupt-but-CRC-valid input
+    /// cannot exist, so this means a buggy or hostile sender.
+    pub fn finish(&mut self, msg: WireMsg) -> Result<(WireMsg, V2Meta), WireError> {
+        let key = (msg.client, msg.frame_no, msg.step.index() as u8);
+        let meta = match self.meta.remove(&key) {
+            Some(m) => {
+                self.order.retain(|k| *k != key);
+                m
+            }
+            None => V2Meta::plain(),
+        };
+        if let Some(c) = codec::for_kind(meta.codec) {
+            let raw = c
+                .decompress(&msg.payload, meta.raw_len as usize)
+                .ok_or(WireError::BadCodec)?;
+            return Ok((
+                WireMsg {
+                    payload: Bytes::from(raw),
+                    ..msg
+                },
+                meta,
+            ));
+        }
+        Ok((msg, meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ServiceKind;
+    use crate::runtime::wire::{self, Reassembler};
+    use crate::wirev2::codec::CodecKind;
+    use crate::wirev2::FrameKind;
+
+    fn msg(frame_no: u32, payload: Vec<u8>) -> WireMsg {
+        WireMsg {
+            client: 1,
+            frame_no,
+            step: ServiceKind::Primary,
+            emit_micros: 10,
+            return_port: 9,
+            trace_id: (1u64 << 32) | frame_no as u64,
+            flags: 0,
+            sent_micros: 11,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    #[test]
+    fn v2_compressed_message_reconstructs_through_reassembler() {
+        let m = msg(5, vec![3u8; 2048]);
+        let (dgrams, _) = envelope::encode_msg(&m, true, FrameKind::DctKey, 0);
+        let mut rx = RxState::new();
+        let mut re = Reassembler::new();
+        let mut out = None;
+        for d in &dgrams {
+            let frag = rx.ingest(d).expect("valid datagram");
+            if let Some(m) = re.offer(frag) {
+                out = Some(rx.finish(m).expect("finish"));
+            }
+        }
+        let (got, meta) = out.expect("message completed");
+        assert_eq!(got.payload, m.payload);
+        assert_eq!(meta.kind, FrameKind::DctKey);
+        assert_eq!(meta.codec, CodecKind::Rle);
+    }
+
+    #[test]
+    fn v1_message_finishes_as_plain() {
+        let m = msg(6, vec![1, 2, 3]);
+        let dgrams = wire::encode(&m);
+        let mut rx = RxState::new();
+        let mut re = Reassembler::new();
+        let frag = rx.ingest(&dgrams[0]).expect("valid");
+        let got = re.offer(frag).expect("single fragment");
+        let (got, meta) = rx.finish(got).expect("finish");
+        assert_eq!(got.payload, m.payload);
+        assert_eq!(meta, V2Meta::plain());
+    }
+
+    #[test]
+    fn corrupt_datagram_counted_not_parsed() {
+        let m = msg(7, vec![9u8; 128]);
+        let (dgrams, _) = envelope::encode_msg(&m, false, FrameKind::DctKey, 0);
+        let mut d = dgrams[0].to_vec();
+        let last = d.len() - 1;
+        d[last] ^= 0xFF;
+        let mut rx = RxState::new();
+        match rx.ingest(&d) {
+            Err(IngestError::InvalidCrc { recovered }) => {
+                let id = recovered.expect("inner header intact");
+                assert_eq!(id.frame_no, 7);
+                assert!(id.single_fragment);
+            }
+            other => panic!("expected InvalidCrc, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Client-side uplink policy: when to send a keyframe, when to delta,
+//! and against which anchor.
+//!
+//! The rule set is deliberately *frame-number-deterministic* on a
+//! healthy link: given the same frames and an ack for every anchor by
+//! its horizon, the key/delta sequence — and therefore every byte on
+//! the wire — is a pure function of the stream. That is what lets the
+//! DES predict the runtime's uplink bytes exactly
+//! ([`crate::wirev2::predict`] runs this same state machine with
+//! [`UplinkTx::assume_acked`]).
+//!
+//! Per frame `n`:
+//!
+//! 1. Candidate anchor = the newest retained keyframe sent at frame
+//!    `k ≤ n − ack_horizon` and not marked dead. (Younger keys may not
+//!    have been acked yet; deltas only reference bases the receiver
+//!    provably holds.)
+//! 2. If the candidate was *not* acked by now, the key (or its ack)
+//!    was lost: mark it dead and send a fresh keyframe — the refresh
+//!    that makes the stream self-synchronizing under loss.
+//! 3. A keyframe is also due every `key_interval` frames (bounds how
+//!    long a corrupted epoch can last even if acks lie).
+//! 4. Otherwise delta against the candidate — unless the delta would
+//!    not actually be smaller, in which case key anyway.
+
+use std::collections::{HashSet, VecDeque};
+
+use bytes::Bytes;
+
+use crate::wirev2::delta::{self, DeltaRx};
+use crate::wirev2::FrameKind;
+
+/// Uplink shaping knobs, shared by the runtime client and the DES
+/// predictor (both planes must agree on every field for the byte gate
+/// to hold).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkPolicy {
+    /// Delta-encode the uplink (off = every frame is a keyframe).
+    pub delta: bool,
+    /// Try the RLE codec per message (store-if-smaller).
+    pub compress: bool,
+    /// Force a keyframe at least every this many frames.
+    pub key_interval: u32,
+    /// Frames after which a sent keyframe must have been acked to be
+    /// used as a delta anchor. At 30 fps, 3 frames = 100 ms — the e2e
+    /// latency budget, so on a healthy link the result (our implicit
+    /// ack) is back before the anchor matures. Must stay below
+    /// [`DeltaRx::MAX_ANCHORS`]: a re-keying burst pushes an anchor
+    /// per frame, and one of them has to live long enough to mature.
+    pub ack_horizon: u32,
+}
+
+impl Default for UplinkPolicy {
+    fn default() -> Self {
+        UplinkPolicy {
+            delta: true,
+            compress: true,
+            key_interval: 8,
+            ack_horizon: 3,
+        }
+    }
+}
+
+/// Per-client uplink encoder state.
+#[derive(Debug)]
+pub struct UplinkTx {
+    policy: UplinkPolicy,
+    /// Predictor mode: treat every anchor as acked (the DES models a
+    /// link whose losses are accounted elsewhere; on a pristine link
+    /// the runtime behaves identically).
+    assume_acked: bool,
+    /// Sent keyframes, oldest first — mirror of [`DeltaRx`]'s store.
+    anchors: VecDeque<(u32, Bytes)>,
+    /// Anchors that missed their ack horizon; never delta against
+    /// these again.
+    dead: HashSet<u32>,
+    /// Frame numbers whose result came back (pruned as anchors age
+    /// out).
+    acked: HashSet<u32>,
+    last_key: Option<u32>,
+}
+
+impl UplinkTx {
+    pub fn new(policy: UplinkPolicy) -> UplinkTx {
+        UplinkTx {
+            policy,
+            assume_acked: false,
+            anchors: VecDeque::new(),
+            dead: HashSet::new(),
+            acked: HashSet::new(),
+            last_key: None,
+        }
+    }
+
+    /// Predictor mode (see [`UplinkTx::assume_acked`] field docs).
+    pub fn assume_acked(policy: UplinkPolicy) -> UplinkTx {
+        UplinkTx {
+            assume_acked: true,
+            ..UplinkTx::new(policy)
+        }
+    }
+
+    /// Record that `frame_no`'s result reached the client (every
+    /// completed frame is an implicit ack of its uplink datagram).
+    pub fn ack(&mut self, frame_no: u32) {
+        self.acked.insert(frame_no);
+    }
+
+    /// Decide how frame `frame_no` (already DCT-encoded as `stream`)
+    /// ships: `(kind, base_frame_no, payload)`.
+    pub fn prepare(&mut self, frame_no: u32, stream: Bytes) -> (FrameKind, u32, Bytes) {
+        if !self.policy.delta {
+            return (FrameKind::DctKey, 0, stream);
+        }
+        let candidate = self
+            .anchors
+            .iter()
+            .rev()
+            .find(|(f, _)| {
+                frame_no.saturating_sub(*f) >= self.policy.ack_horizon && !self.dead.contains(f)
+            })
+            .map(|(f, s)| (*f, s.clone()));
+        let candidate = match candidate {
+            Some((f, s)) => {
+                if self.assume_acked || self.acked.contains(&f) {
+                    Some((f, s))
+                } else {
+                    // Keyframe refresh: the anchor (or its ack path)
+                    // was lost. Re-key now; the receiver resyncs on
+                    // this frame.
+                    self.dead.insert(f);
+                    None
+                }
+            }
+            None => None,
+        };
+        let key_due = match self.last_key {
+            Some(k) => frame_no.saturating_sub(k) >= self.policy.key_interval,
+            None => true,
+        };
+        if !key_due {
+            if let Some((base, anchor)) = candidate {
+                if let Some(d) = delta::encode_delta(&anchor, &stream) {
+                    return (FrameKind::DctDelta, base, Bytes::from(d));
+                }
+            }
+        }
+        self.push_anchor(frame_no, stream.clone());
+        (FrameKind::DctKey, 0, stream)
+    }
+
+    fn push_anchor(&mut self, frame_no: u32, stream: Bytes) {
+        self.anchors.push_back((frame_no, stream));
+        while self.anchors.len() > DeltaRx::MAX_ANCHORS {
+            self.anchors.pop_front();
+        }
+        self.last_key = Some(frame_no);
+        // Keep the ack/dead books bounded: nothing older than the
+        // oldest retained anchor can matter again.
+        if let Some(&(oldest, _)) = self.anchors.front() {
+            self.acked.retain(|&f| f >= oldest);
+            self.dead.retain(|&f| f >= oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vision::codec::{encode, Quality};
+    use vision::scene::SceneGenerator;
+
+    fn stream(g: &SceneGenerator, i: u32) -> Bytes {
+        encode(&g.frame(i), Quality(85))
+    }
+
+    fn policy() -> UplinkPolicy {
+        UplinkPolicy {
+            delta: true,
+            compress: true,
+            key_interval: 8,
+            ack_horizon: 3,
+        }
+    }
+
+    #[test]
+    fn acked_steady_state_alternates_keys_and_deltas() {
+        let g = SceneGenerator::workplace_scaled(7, 128, 72);
+        let mut tx = UplinkTx::new(policy());
+        let mut kinds = Vec::new();
+        for f in 0..24u32 {
+            let (kind, base, payload) = tx.prepare(f, stream(&g, f));
+            if kind == FrameKind::DctDelta {
+                assert!(
+                    f - base >= 3,
+                    "delta at {f} against too-young anchor {base}"
+                );
+                assert!(payload.len() < stream(&g, f).len());
+            }
+            kinds.push(kind);
+            tx.ack(f); // prompt acks
+        }
+        assert_eq!(kinds[0], FrameKind::DctKey);
+        let deltas = kinds.iter().filter(|k| **k == FrameKind::DctDelta).count();
+        let keys = kinds.iter().filter(|k| **k == FrameKind::DctKey).count();
+        assert!(
+            deltas > keys,
+            "steady state should be delta-dominated: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn unacked_anchor_forces_keyframe_refresh() {
+        let g = SceneGenerator::workplace_scaled(7, 128, 72);
+        let mut tx = UplinkTx::new(policy());
+        // Never ack anything: every frame past the horizon re-keys.
+        for f in 0..8u32 {
+            let (kind, _, _) = tx.prepare(f, stream(&g, f));
+            assert_eq!(
+                kind,
+                FrameKind::DctKey,
+                "frame {f} must re-key without acks"
+            );
+        }
+    }
+
+    #[test]
+    fn predictor_matches_acked_runtime_sequence() {
+        let g = SceneGenerator::workplace_scaled(7, 128, 72);
+        let mut live = UplinkTx::new(policy());
+        let mut pred = UplinkTx::assume_acked(policy());
+        for f in 0..40u32 {
+            let a = live.prepare(f, stream(&g, f));
+            let b = pred.prepare(f, stream(&g, f));
+            assert_eq!(a, b, "divergence at frame {f}");
+            live.ack(f);
+        }
+    }
+
+    #[test]
+    fn key_interval_bounds_delta_epochs() {
+        let g = SceneGenerator::workplace_scaled(7, 128, 72);
+        let mut tx = UplinkTx::new(policy());
+        let mut last_key = None;
+        for f in 0..64u32 {
+            let (kind, _, _) = tx.prepare(f, stream(&g, f));
+            if kind == FrameKind::DctKey {
+                if let Some(k) = last_key {
+                    assert!(f - k <= 8, "keyframe gap {k}..{f} exceeds interval");
+                }
+                last_key = Some(f);
+            }
+            tx.ack(f);
+        }
+    }
+}

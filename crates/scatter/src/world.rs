@@ -110,6 +110,66 @@ pub struct PipelineWorld {
     pub ladder: Option<crate::resilience::OverloadController>,
     /// Resilience-plane accumulators, moved into the report at the end.
     pub resilience: crate::report::ResilienceReport,
+    /// Wire-protocol model (inert `None` unless `cfg.wire` is set): the
+    /// precomputed per-client uplink byte schedule plus accumulators.
+    pub wire: Option<WireSim>,
+}
+
+/// Live state of the DES wire model: the uplink byte schedule computed
+/// at world build by running the *real* client pipeline
+/// ([`crate::wirev2::predict`]), plus run accumulators. Everything here
+/// is deterministic given the config — the model draws no randomness.
+pub struct WireSim {
+    pub cfg: crate::config::WireSimConfig,
+    /// Per-client, per-frame uplink datagram bytes (headers included).
+    schedule: Vec<Vec<u64>>,
+    /// Uplink datagrams routed so far (the `corrupt_first` counter —
+    /// mirrors the impairment shim's per-link send index).
+    sent: u64,
+    /// Total uplink datagram bytes offered at the send site.
+    pub uplink_bytes: u64,
+    /// Corrupted datagrams the v2 ingress CRC caught.
+    pub invalid_crc: u64,
+}
+
+impl WireSim {
+    fn build(cfg: &RunConfig) -> Option<WireSim> {
+        let w = cfg.wire?;
+        // One schedule entry per capture-grid slot over the run, plus
+        // slack for half-rate frame-number skips and end-of-run edges.
+        let frames = (cfg.duration.as_secs_f64() / FRAME_PERIOD.as_secs_f64()).ceil() as usize + 8;
+        let schedule = (0..cfg.clients)
+            .map(|cid| {
+                if w.v2 {
+                    crate::wirev2::predict::uplink_schedule_v2(
+                        cfg.seed, cid as u16, w.width, w.height, w.quality, frames, w.policy,
+                    )
+                } else {
+                    crate::wirev2::predict::uplink_schedule_v1(
+                        cfg.seed, cid as u16, w.width, w.height, w.quality, frames,
+                    )
+                }
+            })
+            .collect();
+        Some(WireSim {
+            cfg: w,
+            schedule,
+            sent: 0,
+            uplink_bytes: 0,
+            invalid_crc: 0,
+        })
+    }
+
+    /// Uplink datagram bytes for one frame. Frame numbers past the
+    /// schedule (half-rate skips) reuse the last entry — v2's key/delta
+    /// cadence has long settled by then.
+    fn frame_bytes(&self, client: usize, frame_no: u64) -> u64 {
+        let s = &self.schedule[client];
+        s.get(frame_no as usize)
+            .or(s.last())
+            .copied()
+            .expect("schedule is never empty")
+    }
 }
 
 /// Client-side deadline state for one original frame.
@@ -390,6 +450,7 @@ fn run_world(
         .map(|l| crate::resilience::OverloadController::new(l, cfg.clients));
     let derouted = vec![false; services.len()];
     let routable = replicas.clone();
+    let wire = WireSim::build(&cfg);
 
     let mut world = PipelineWorld {
         cfg,
@@ -426,6 +487,7 @@ fn run_world(
         inflight: HashMap::new(),
         ladder,
         resilience: crate::report::ResilienceReport::default(),
+        wire,
     };
 
     let mut sim: SimW = Sim::new();
@@ -522,6 +584,12 @@ fn client_emit(w: &mut PipelineWorld, sim: &mut SimW, client: usize) {
         let lcfg = w.cfg.resilience.ladder.expect("rung > 0 implies a ladder");
         bytes = ((bytes as f64) * lcfg.downscale_payload).max(1.0) as usize;
     }
+    if let Some(ws) = &w.wire {
+        // Wire model: the uplink carries what the real encoder pipeline
+        // produces for this frame (overriding the abstract cost-model
+        // payload, and any ladder downscale — the model owns the bytes).
+        bytes = ws.frame_bytes(client, frame_no) as usize;
+    }
     let mut msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
     msg.quality = level.min(crate::resilience::LADDER_HALF_RATE);
     msg.trace = w.tracer.ctx(client as u16, frame_no as u32);
@@ -547,7 +615,7 @@ fn client_emit(w: &mut PipelineWorld, sim: &mut SimW, client: usize) {
             w.resilience.degraded_frames += 1;
         }
         arm_deadline(w, sim, client, frame_no, 0);
-        route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
+        send_uplink(w, sim, msg);
     }
 
     // Half-rate rungs skip every other slot on the capture grid (the
@@ -584,6 +652,11 @@ fn client_retry(w: &mut PipelineWorld, sim: &mut SimW, client: usize, frame_no: 
         let lcfg = w.cfg.resilience.ladder.expect("rung > 0 implies a ladder");
         bytes = ((bytes as f64) * lcfg.downscale_payload).max(1.0) as usize;
     }
+    if let Some(ws) = &w.wire {
+        // A retry re-captures the scene at the same grid slot, so it
+        // re-ships the same frame's schedule entry.
+        bytes = ws.frame_bytes(client, frame_no) as usize;
+    }
     let mut msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
     msg.quality = level.min(crate::resilience::LADDER_HALF_RATE);
     msg.attempt = attempt;
@@ -596,7 +669,25 @@ fn client_retry(w: &mut PipelineWorld, sim: &mut SimW, client: usize, frame_no: 
     }
     w.resilience.retries += 1;
     arm_deadline(w, sim, client, frame_no, attempt);
-    route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
+    send_uplink(w, sim, msg);
+}
+
+/// Ship a client frame toward `primary`. Under the v2 wire model the
+/// send is delayed by the client-side codec cost (delta + compression
+/// are work the capture pipeline must do before the first datagram
+/// leaves); otherwise it goes out immediately, exactly as before.
+fn send_uplink(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg) {
+    let codec_ms = match &w.wire {
+        Some(ws) if ws.cfg.v2 => ws.cfg.codec_cost_ms,
+        _ => 0.0,
+    };
+    if codec_ms > 0.0 {
+        sim.schedule(SimDuration::from_millis_f64(codec_ms), move |w, s| {
+            route_to_service(w, s, ServiceKind::Primary, msg, w.testbed.client_host)
+        });
+    } else {
+        route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
+    }
 }
 
 /// Arm (or re-arm, for a retry) the client's response deadline for one
@@ -699,6 +790,19 @@ fn route_to_service(
         SimDuration::ZERO
     };
     let now = sim.now();
+    if kind == ServiceKind::Primary && src_node == w.testbed.client_host {
+        if let Some(ws) = w.wire.as_mut() {
+            // Bytes are counted where they are *offered* — the same
+            // send-site definition the runtime's per-socket counter
+            // uses, so the two planes agree datagram for datagram.
+            ws.uplink_bytes += msg.payload_bytes as u64;
+            let idx = ws.sent;
+            ws.sent += 1;
+            if idx < ws.cfg.corrupt_first {
+                msg.corrupted = true;
+            }
+        }
+    }
     match w.net.send(src_node, dst_node, msg.payload_bytes, now) {
         simnet::Delivery::Lost => {
             let reason = net_loss_reason(msg.payload_bytes);
@@ -747,6 +851,29 @@ fn frame_arrive(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameMs
         );
         if let Some(o) = w.obs.as_mut() {
             o.slots[slot].drop_crash.inc();
+            o.slo_breach(now.as_secs_f64());
+        }
+        return;
+    }
+    // v1 ingress has no integrity check: a corrupted payload is accepted
+    // silently and sails on — the contrast the wire experiment makes
+    // visible. Only a v2 ingress catches the damage here.
+    if msg.corrupted
+        && msg.step == ServiceKind::Primary
+        && w.wire.as_ref().is_some_and(|ws| ws.cfg.v2)
+    {
+        // v2 ingress: the envelope CRC catches the in-flight damage
+        // before anything is parsed — a counted, attributed drop.
+        if let Some(ws) = w.wire.as_mut() {
+            ws.invalid_crc += 1;
+        }
+        w.services[slot].record_drop(now);
+        w.tracer.terminal(
+            msg.trace,
+            now.as_nanos(),
+            trace::FrameFate::Dropped(trace::DropReason::InvalidCrc),
+        );
+        if let Some(o) = w.obs.as_mut() {
             o.slo_breach(now.as_secs_f64());
         }
         return;
@@ -1881,6 +2008,15 @@ fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
         breakdown_network: w.breakdown_network,
         events_executed,
         resilience,
+        wire: match &w.wire {
+            Some(ws) => crate::report::WireReport {
+                enabled: true,
+                v2: ws.cfg.v2,
+                uplink_bytes: ws.uplink_bytes,
+                invalid_crc: ws.invalid_crc,
+            },
+            None => crate::report::WireReport::default(),
+        },
     }
 }
 
@@ -1894,6 +2030,61 @@ mod tests {
             .with_duration(SimDuration::from_secs(20))
             .with_warmup(SimDuration::from_secs(3));
         run_experiment(cfg)
+    }
+
+    fn wire_cfg(secs: u64, wire: crate::config::WireSimConfig) -> RunConfig {
+        RunConfig::new(Mode::ScatterPP, placements::c1(), 1)
+            .with_duration(SimDuration::from_secs(secs))
+            .with_warmup(SimDuration::from_secs(1))
+            .with_wire(wire)
+    }
+
+    #[test]
+    fn wire_model_is_deterministic_and_v2_undercuts_v1() {
+        let v2a = run_experiment(wire_cfg(4, crate::config::WireSimConfig::default()));
+        let v2b = run_experiment(wire_cfg(4, crate::config::WireSimConfig::default()));
+        assert_eq!(v2a.wire.uplink_bytes, v2b.wire.uplink_bytes);
+        assert!(v2a.wire.enabled && v2a.wire.v2);
+        assert!(v2a.wire.uplink_bytes > 0);
+        let v1 = run_experiment(wire_cfg(4, crate::config::WireSimConfig::v1()));
+        assert!(v1.wire.enabled && !v1.wire.v2);
+        assert!(
+            v2a.wire.uplink_bytes < v1.wire.uplink_bytes * 9 / 10,
+            "v2 uplink {} should undercut v1 {} by well over 10%",
+            v2a.wire.uplink_bytes,
+            v1.wire.uplink_bytes
+        );
+        // The model must not hurt delivery: v2 still completes frames.
+        assert!(v2a.fps() >= 24.0, "v2 wire model fps {:.1}", v2a.fps());
+    }
+
+    #[test]
+    fn corrupt_first_is_caught_by_v2_and_swallowed_by_v1() {
+        let n = 5u64;
+        let v2 = run_experiment(wire_cfg(
+            4,
+            crate::config::WireSimConfig::default().with_corrupt_first(n),
+        ));
+        assert_eq!(
+            v2.wire.invalid_crc, n,
+            "every corrupted datagram must be caught, exactly once"
+        );
+        let v1 = run_experiment(wire_cfg(
+            4,
+            crate::config::WireSimConfig::v1().with_corrupt_first(n),
+        ));
+        assert_eq!(
+            v1.wire.invalid_crc, 0,
+            "v1 has no CRC: corruption passes silently"
+        );
+    }
+
+    #[test]
+    fn wire_off_run_report_carries_inert_wire_fields() {
+        let r = quick(Mode::Scatter, placements::c1(), 1);
+        assert!(!r.wire.enabled);
+        assert_eq!(r.wire.uplink_bytes, 0);
+        assert_eq!(r.wire.invalid_crc, 0);
     }
 
     #[test]

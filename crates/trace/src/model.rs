@@ -150,10 +150,19 @@ pub enum DropReason {
     /// [`crate::analysis::Analysis`], never by an instrument site. Keeps
     /// attribution at exactly 100% for finite runs.
     RunEnd,
+    /// A wire-v2 datagram failed its CRC check: corrupted in flight,
+    /// dropped before a single payload byte was parsed. v1 has no
+    /// equivalent — corruption there surfaces (if at all) as an
+    /// unattributable payload-decode failure downstream.
+    InvalidCrc,
+    /// A wire-v2 delta frame could not resolve its keyframe anchor
+    /// (the anchor was lost or evicted): dropped whole rather than
+    /// spliced against the wrong base. The next keyframe resyncs.
+    DeltaResync,
 }
 
 impl DropReason {
-    pub const ALL: [DropReason; 10] = [
+    pub const ALL: [DropReason; 12] = [
         DropReason::BusyIngress,
         DropReason::ThresholdFilter,
         DropReason::NetemLoss,
@@ -164,6 +173,8 @@ impl DropReason {
         DropReason::ResponseDeadline,
         DropReason::AdmissionNack,
         DropReason::RunEnd,
+        DropReason::InvalidCrc,
+        DropReason::DeltaResync,
     ];
 
     pub fn as_str(&self) -> &'static str {
@@ -178,6 +189,8 @@ impl DropReason {
             DropReason::ResponseDeadline => "response-deadline",
             DropReason::AdmissionNack => "admission-nack",
             DropReason::RunEnd => "run-end",
+            DropReason::InvalidCrc => "invalid-crc",
+            DropReason::DeltaResync => "delta-resync",
         }
     }
 }

@@ -5,7 +5,9 @@
 # stage (the DES and the real-UDP runtime must agree bit-exactly on
 # crash-attributed drops under one seeded fault schedule), a resilience
 # smoke stage (heartbeat detection, failover, and the degradation
-# ladder hold their cross-plane gates), and a perf smoke stage
+# ladder hold their cross-plane gates), a wire smoke stage (both
+# planes agree exactly on bytes-on-wire and CRC-drop counts, and v2
+# beats v1 over the cellular profile), and a perf smoke stage
 # (parallel figure suite completes, parallelism is deterministic, DES
 # throughput has not regressed below the floor in BENCH_2.json).
 # Run from anywhere; operates on the repo root.
@@ -38,6 +40,9 @@ echo "==> chaos smoke: DES and runtime agree on crash-attributed drops"
 
 echo "==> resilience smoke: detection, failover, and the degradation ladder hold their gates"
 ./target/release/resilience --smoke --json > /dev/null
+
+echo "==> wire smoke: planes agree on bytes-on-wire and CRC drops; v2 beats v1 over LTE"
+./target/release/wire --smoke --json > /dev/null
 
 echo "==> perf smoke: DES throughput floor from BENCH_2.json"
 ./target/release/perfbench --smoke BENCH_2.json

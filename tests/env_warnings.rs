@@ -5,9 +5,17 @@
 //! pinned by spawning the real binary.
 
 use std::process::Command;
+use std::sync::Mutex;
+
+/// Each test here spawns a full release study binary; the wire and
+/// resilience studies gate on real-thread latency, so running them
+/// concurrently on a small box starves their timing. One spawn at a
+/// time.
+static SPAWN: Mutex<()> = Mutex::new(());
 
 #[test]
 fn invalid_env_warns_on_stderr_and_keeps_json_stdout_clean() {
+    let _serial = SPAWN.lock().unwrap_or_else(|e| e.into_inner());
     let out = Command::new(env!("CARGO_BIN_EXE_telemetry"))
         .args(["--smoke", "--json"])
         .env("SCATTER_EXP_SECS", "6")
@@ -43,6 +51,7 @@ fn invalid_env_warns_on_stderr_and_keeps_json_stdout_clean() {
 /// included) still succeeds with machine-parsable JSON on stdout.
 #[test]
 fn invalid_heartbeat_env_warns_and_falls_back_to_defaults() {
+    let _serial = SPAWN.lock().unwrap_or_else(|e| e.into_inner());
     let out = Command::new(env!("CARGO_BIN_EXE_resilience"))
         .args(["--smoke", "--json"])
         .env("SCATTER_HB_INTERVAL", "soon") // invalid: warn, keep 50 ms
@@ -71,5 +80,42 @@ fn invalid_heartbeat_env_warns_and_falls_back_to_defaults() {
     assert!(
         stderr.contains("warning: invalid SCATTER_HB_SUSPECT"),
         "stderr missing the SCATTER_HB_SUSPECT warning: {stderr}"
+    );
+}
+
+/// Same contract for the wire-policy knobs: garbage in
+/// `SCATTER_WIRE_DELTA` / `SCATTER_WIRE_COMPRESS` warns once on
+/// stderr, the study falls back to the default policy (both on), and
+/// stdout stays one machine-parsable JSON document. The latency/parity
+/// gates themselves are *not* asserted here: `CARGO_BIN_EXE_wire` is
+/// the debug-profile build, which is far too slow to hold the exact
+/// ack-timing parity or the 100 ms p95 — the release binary's gates
+/// are enforced by `scripts/verify.sh`'s wire smoke stage instead.
+#[test]
+fn invalid_wire_env_warns_and_falls_back_to_defaults() {
+    let _serial = SPAWN.lock().unwrap_or_else(|e| e.into_inner());
+    let out = Command::new(env!("CARGO_BIN_EXE_wire"))
+        .args(["--smoke", "--json"])
+        .env("SCATTER_WIRE_DELTA", "maybe") // invalid: warn, keep delta on
+        .env("SCATTER_WIRE_COMPRESS", "2") // invalid: want 0/1
+        .output()
+        .expect("spawn wire bin");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let v = trace::json::Value::parse(stdout.trim())
+        .expect("stdout must parse as JSON — no warnings may leak into it");
+    assert!(
+        v.idx(0).and_then(|t| t.get("title")).is_some(),
+        "expected a non-empty array of tables"
+    );
+
+    assert!(
+        stderr.contains("warning: invalid SCATTER_WIRE_DELTA"),
+        "stderr missing the SCATTER_WIRE_DELTA warning: {stderr}"
+    );
+    assert!(
+        stderr.contains("warning: invalid SCATTER_WIRE_COMPRESS"),
+        "stderr missing the SCATTER_WIRE_COMPRESS warning: {stderr}"
     );
 }
