@@ -21,6 +21,17 @@
 //! `perfbench --smoke <BENCH_2.json>` re-measures `des_steady` quickly
 //! and fails (exit 1) if throughput regressed below 25% of the recorded
 //! figure — the floor `scripts/verify.sh` enforces.
+//!
+//! The scale stage (DESIGN.md §14) is separate because its numbers are
+//! memory- as well as time-shaped:
+//!
+//! * `perfbench --scale [--full] [OUT]` — the site-sharded streaming
+//!   ladder (1k/10k/100k clients, 1M with `--full`), ascending so each
+//!   stage's `VmHWM` read is its own peak; lands in `BENCH_7.json` as
+//!   `scale_<n> → {wall_ms, events_per_sec, peak_rss_mb}`.
+//! * `perfbench --smoke-scale <BENCH_7.json>` — fresh-process 100k run
+//!   gated on the ISSUE's absolute acceptance: ≥ 2M events/sec AND
+//!   peak RSS ≤ 2048 MiB.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -179,6 +190,100 @@ fn read_recorded(json: &str, bench: &str, field: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// One scale-ladder point: run it once, return (wall_ms, events/sec,
+/// peak_rss_mb so far). Ascending callers get per-stage peaks because
+/// `VmHWM` only ratchets upward with the largest world yet built.
+fn bench_scale_point(clients: usize) -> (f64, f64, Option<f64>) {
+    let t = Instant::now();
+    let r = run_experiment(experiments::scale::scale_cfg(clients));
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        r.scale.is_some() && r.events_executed > 0,
+        "scale run produced no events"
+    );
+    let eps = r.events_executed as f64 / (wall_ms / 1e3);
+    let rss_mb = bench::peak_rss_bytes().map(|b| b as f64 / (1024.0 * 1024.0));
+    (wall_ms, eps, rss_mb)
+}
+
+fn render_scale_json(entries: &[(usize, f64, f64, Option<f64>)]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"host_cpus\": {cpus},");
+    for (i, (clients, wall_ms, eps, rss_mb)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let rss = match rss_mb {
+            Some(mb) => format!("{mb:.1}"),
+            None => "null".into(),
+        };
+        let _ = writeln!(
+            out,
+            "  \"scale_{clients}\": {{\"wall_ms\": {wall_ms:.2}, \
+             \"events_per_sec\": {eps:.2}, \"peak_rss_mb\": {rss}}}{comma}"
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn scale_stage(full: bool, out_path: &str) {
+    let mut counts: Vec<usize> = experiments::scale::SCALE_CLIENTS.to_vec();
+    if full {
+        counts.push(experiments::scale::SCALE_CLIENTS_FULL);
+    }
+    let mut entries = Vec::new();
+    for clients in counts {
+        eprintln!("perfbench --scale: {clients} clients...");
+        let (wall_ms, eps, rss_mb) = bench_scale_point(clients);
+        eprintln!(
+            "perfbench --scale: {clients} clients: {eps:.0} events/sec \
+             ({wall_ms:.1} ms, peak rss {})",
+            rss_mb.map_or("n/a".into(), |m| format!("{m:.0} MiB")),
+        );
+        entries.push((clients, wall_ms, eps, rss_mb));
+    }
+    let json = render_scale_json(&entries);
+    print!("{json}");
+    std::fs::write(out_path, &json).expect("write scale benchmark results");
+    eprintln!("perfbench: wrote {out_path}");
+}
+
+/// Absolute acceptance gates for the 100k-client point (single-core
+/// container budget): events/sec floor and peak-RSS ceiling.
+const SCALE_EPS_FLOOR: f64 = 2_000_000.0;
+const SCALE_RSS_CEILING_MB: f64 = 2048.0;
+
+fn smoke_scale(path: &str) -> i32 {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perfbench --smoke-scale: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    if read_recorded(&json, "scale_100000", "events_per_sec").is_none() {
+        eprintln!("perfbench --smoke-scale: no scale_100000.events_per_sec in {path}");
+        return 1;
+    }
+    let (wall_ms, eps, rss_mb) = bench_scale_point(100_000);
+    println!(
+        "smoke scale_100000: {eps:.0} events/sec ({wall_ms:.1} ms), \
+         peak rss {} (floor {SCALE_EPS_FLOOR:.0} ev/s, ceiling {SCALE_RSS_CEILING_MB:.0} MiB)",
+        rss_mb.map_or("n/a".into(), |m| format!("{m:.0} MiB")),
+    );
+    if eps < SCALE_EPS_FLOOR {
+        eprintln!("perfbench --smoke-scale: events/sec below the 100k-client floor");
+        return 1;
+    }
+    if let Some(mb) = rss_mb {
+        if mb > SCALE_RSS_CEILING_MB {
+            eprintln!("perfbench --smoke-scale: peak RSS above the 2 GiB ceiling");
+            return 1;
+        }
+    }
+    0
+}
+
 fn smoke(path: &str) -> i32 {
     let json = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -211,6 +316,19 @@ fn main() {
     if args.first().map(String::as_str) == Some("--smoke") {
         let path = args.get(1).map(String::as_str).unwrap_or("BENCH_2.json");
         std::process::exit(smoke(path));
+    }
+    if args.first().map(String::as_str) == Some("--smoke-scale") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_7.json");
+        std::process::exit(smoke_scale(path));
+    }
+    if args.first().map(String::as_str) == Some("--scale") {
+        let full = args.get(1).map(String::as_str) == Some("--full");
+        let out = args
+            .get(if full { 2 } else { 1 })
+            .map(String::as_str)
+            .unwrap_or("BENCH_7.json");
+        scale_stage(full, out);
+        return;
     }
     let out_path = args
         .first()

@@ -36,6 +36,7 @@ pub mod headline;
 pub mod latency_breakdown;
 pub mod migration_study;
 pub mod resilience_study;
+pub mod scale;
 pub mod scheduler_study;
 pub mod table;
 pub mod telemetry_study;

@@ -11,6 +11,42 @@ use simcore::{SimDuration, SimTime};
 /// Inter-frame period of the 30 FPS source.
 pub const FRAME_PERIOD: SimDuration = SimDuration::from_nanos(33_333_333);
 
+/// O(1)-memory per-client QoS state for streaming-metrics runs
+/// (DESIGN.md §14). Mirrors the exact collectors' arithmetic — same
+/// grid-jitter formula as [`JitterMeter::record_grid`], same
+/// `[start, end)` window convention as [`RateMeter::rate_over`] — but
+/// folds each completion into counters instead of per-event vectors,
+/// so a 1M-client world carries a few dozen bytes per client instead
+/// of an unbounded `Vec` per metric.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamQos {
+    /// Completions inside the measurement window (`start <= t < end`).
+    pub completed_in_window: u64,
+    /// Previous completion arrival (grid-jitter state).
+    last_arrival: Option<SimTime>,
+    /// Sum / count of |off-grid excess| in ms — mean equals
+    /// `JitterMeter::jitter_ms` exactly.
+    jitter_sum_ms: f64,
+    jitter_n: u64,
+    /// Highest frame number completed so far (freeze-gap state).
+    prev_frame: Option<u64>,
+    /// Longest gap of missing frames between *in-order* completions —
+    /// equals `longest_freeze` when completions arrive in frame order
+    /// (the overwhelmingly common case), a lower bound otherwise.
+    pub max_freeze: u64,
+}
+
+impl StreamQos {
+    /// Per-client mean |Δ grid| jitter in ms.
+    pub fn jitter_ms(&self) -> f64 {
+        if self.jitter_n == 0 {
+            0.0
+        } else {
+            self.jitter_sum_ms / self.jitter_n as f64
+        }
+    }
+}
+
 /// One emulated client and its QoS collectors.
 pub struct ClientState {
     pub id: usize,
@@ -32,6 +68,11 @@ pub struct ClientState {
     pub e2e_ms: Summary,
     /// Frame numbers of completed frames (for gap statistics).
     pub completed_frames: Vec<u64>,
+    /// Streaming-metrics state. Only fed when the run's
+    /// [`ScaleConfig::streaming`](crate::config::ScaleConfig) is on; the
+    /// exact collectors above then stay empty (an empty `Vec`/`Summary`
+    /// allocates nothing, so the dormant fields are free).
+    pub stream: StreamQos,
 }
 
 impl ClientState {
@@ -47,6 +88,7 @@ impl ClientState {
             jitter: JitterMeter::new(),
             e2e_ms: Summary::new(),
             completed_frames: Vec::new(),
+            stream: StreamQos::default(),
         }
     }
 
@@ -65,6 +107,46 @@ impl ClientState {
         self.jitter.record_grid(now, FRAME_PERIOD);
         self.e2e_ms
             .record(now.saturating_since(emitted_at).as_millis_f64());
+    }
+
+    /// Streaming counterpart of [`ClientState::record_completion`]:
+    /// folds the completion into [`StreamQos`] instead of the per-event
+    /// vectors, using the `[window_start, window_end)` convention of
+    /// [`RateMeter::rate_over`]. Returns the end-to-end latency in ms so
+    /// the world can feed its run-wide histogram.
+    pub fn record_completion_streaming(
+        &mut self,
+        frame_no: u64,
+        emitted_at: SimTime,
+        now: SimTime,
+        window_start: SimTime,
+        window_end: SimTime,
+    ) -> f64 {
+        self.completed += 1;
+        if now >= window_start && now < window_end {
+            self.stream.completed_in_window += 1;
+        }
+        // Identical arithmetic to JitterMeter::record_grid.
+        if let Some(prev) = self.stream.last_arrival {
+            let gap = now.saturating_since(prev).as_millis_f64();
+            let p = FRAME_PERIOD.as_millis_f64();
+            if p > 0.0 && gap > 0.0 {
+                let excess = gap - p * (gap / p).round();
+                self.stream.jitter_sum_ms += excess.abs();
+                self.stream.jitter_n += 1;
+            }
+        }
+        self.stream.last_arrival = Some(now);
+        // Freeze gaps over the monotone frame subsequence.
+        if let Some(prev) = self.stream.prev_frame {
+            if frame_no > prev {
+                self.stream.max_freeze = self.stream.max_freeze.max(frame_no - prev - 1);
+                self.stream.prev_frame = Some(frame_no);
+            }
+        } else {
+            self.stream.prev_frame = Some(frame_no);
+        }
+        now.saturating_since(emitted_at).as_millis_f64()
     }
 
     /// Longest run of consecutive frame numbers missing between two
@@ -137,5 +219,42 @@ mod tests {
     fn success_rate_handles_zero_emissions() {
         let c = ClientState::new(0, SimTime::ZERO);
         assert_eq!(c.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn streaming_mirrors_exact_collectors() {
+        let mut exact = ClientState::new(0, SimTime::ZERO);
+        let mut streaming = ClientState::new(1, SimTime::ZERO);
+        let (win_start, win_end) = (SimTime::from_millis(50), SimTime::from_secs(1));
+        let arrivals: [(u64, u64, u64); 5] = [
+            (0, 0, 40),
+            (1, 33, 75),
+            (2, 66, 112),
+            (6, 200, 245),
+            (7, 233, 270),
+        ];
+        let mut e2e_streamed = Vec::new();
+        for &(frame, emitted_ms, now_ms) in &arrivals {
+            let (emitted, now) = (
+                SimTime::from_millis(emitted_ms),
+                SimTime::from_millis(now_ms),
+            );
+            exact.record_completion(frame, emitted, now);
+            e2e_streamed.push(
+                streaming.record_completion_streaming(frame, emitted, now, win_start, win_end),
+            );
+        }
+        // 4 of the 5 arrivals land in [50 ms, 1 s); the window count must
+        // agree with the exact meter's rate over the same window.
+        assert_eq!(streaming.stream.completed_in_window, 4);
+        let secs = win_end.saturating_since(win_start).as_secs_f64();
+        let exact_rate = exact.rate.rate_over(win_start, win_end);
+        assert!((exact_rate - 4.0 / secs).abs() < 1e-12);
+        assert_eq!(streaming.stream.jitter_ms(), exact.jitter.jitter_ms());
+        assert_eq!(streaming.stream.max_freeze, exact.longest_freeze());
+        assert_eq!(e2e_streamed, exact.e2e_ms.samples());
+        // The exact collectors stayed empty on the streaming client.
+        assert!(streaming.completed_frames.is_empty());
+        assert!(streaming.e2e_ms.samples().is_empty());
     }
 }

@@ -112,6 +112,49 @@ impl WireSimConfig {
     }
 }
 
+/// Scale-out shape of a run (see DESIGN.md §14). `None` on
+/// [`RunConfig::scale`] — the default — runs the legacy paper-sized
+/// world and is bit-identical to a pre-scale run. `Some` attaches
+/// clients to access sites, optionally shards the event queue by site,
+/// and optionally replaces the O(clients) exact per-client metric
+/// collectors with O(sites + buckets) streaming aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Access-site nodes standing in for the single client host
+    /// (clamped to ≥ 1). Clients attach round-robin; each site carries
+    /// the client-host link set (Ethernet→E1, LAN→E2, Internet→cloud).
+    pub sites: usize,
+    /// Event-queue shards (clamped to ≥ 1; overridable via
+    /// `SCATTER_SHARDS`). Sharding never changes results — see
+    /// [`simcore::Sim::with_shards`] — only heap sizes.
+    pub shards: usize,
+    /// Streaming metrics: per-client QoS folds into histograms +
+    /// counters instead of per-event vectors. Exact for counts and
+    /// means; quantiles within one log-bucket width (≈2 %).
+    pub streaming: bool,
+}
+
+impl ScaleConfig {
+    pub fn new(sites: usize) -> Self {
+        ScaleConfig {
+            sites,
+            shards: 1,
+            streaming: true,
+        }
+    }
+
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Keep the exact per-client collectors (small-n validation runs).
+    pub fn exact(mut self) -> Self {
+        self.streaming = false;
+        self
+    }
+}
+
 /// One experiment run, fully specified.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -160,6 +203,9 @@ pub struct RunConfig {
     /// keeps the cost model's abstract bytes and is bit-identical to a
     /// pre-wirev2 run.
     pub wire: Option<WireSimConfig>,
+    /// Scale-out shape: access sites, queue shards, streaming metrics.
+    /// `None` (the default) is the legacy paper-sized world.
+    pub scale: Option<ScaleConfig>,
 }
 
 impl RunConfig {
@@ -180,7 +226,14 @@ impl RunConfig {
             trace: None,
             resilience: crate::resilience::ResilienceConfig::default(),
             wire: None,
+            scale: None,
         }
+    }
+
+    /// Run the scale-out world shape (sites / shards / streaming).
+    pub fn with_scale(mut self, s: ScaleConfig) -> Self {
+        self.scale = Some(s);
+        self
     }
 
     /// Model the wire protocol (v1 or v2 per `w.v2`) on the uplink.

@@ -43,7 +43,7 @@ pub mod sidecar;
 pub mod wirev2;
 pub mod world;
 
-pub use config::{Mode, RunConfig};
+pub use config::{Mode, RunConfig, ScaleConfig};
 pub use costmodel::CostModel;
 pub use message::{FrameMsg, ServiceKind, SERVICE_KINDS, SERVICE_NAMES};
 pub use obs::DesTelemetry;

@@ -1,7 +1,7 @@
 //! Per-run results: the QoS and hardware numbers every figure is
 //! assembled from.
 
-use metrics::{Summary, TimeSeries};
+use metrics::{LogHistogram, Summary, TimeSeries};
 use simcore::SimTime;
 
 use crate::config::Mode;
@@ -17,10 +17,17 @@ pub struct ServiceReport {
     pub processed: u64,
     pub drops: DropCounters,
     pub latency_ms: Summary,
-    /// Ingress arrivals over time (1.0 per arrival).
+    /// Ingress arrivals over time (1.0 per arrival). Empty in streaming
+    /// runs — the counters below carry the aggregates instead.
     pub ingress: TimeSeries,
-    /// Drops over time (1.0 per drop).
+    /// Drops over time (1.0 per drop). Empty in streaming runs.
     pub drops_over_time: TimeSeries,
+    /// Whole-run / in-window ingress arrivals and in-window drop events.
+    /// Populated in both modes (derived from the series in exact runs),
+    /// so scale-aware consumers never need the O(events) series.
+    pub ingress_total: u64,
+    pub ingress_in_window: u64,
+    pub drop_events_in_window: u64,
     /// Mean resident memory over the run, GB.
     pub mean_memory_gb: f64,
     pub peak_memory_gb: f64,
@@ -101,6 +108,26 @@ pub struct WireReport {
     pub invalid_crc: u64,
 }
 
+/// Streaming-metrics aggregates for a scale-out run (DESIGN.md §14).
+/// Present iff the run's [`crate::config::ScaleConfig::streaming`] was
+/// on; the exact per-client vectors on [`RunReport`] are then empty and
+/// the accessor methods fall back to these. Memory is O(sites +
+/// histogram buckets) regardless of client count.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    pub sites: usize,
+    /// Effective event-queue shard count the run executed with.
+    pub shards: usize,
+    /// Completions inside the measurement window, summed over clients —
+    /// exact (the numerator of the mean-FPS fallback).
+    pub completed_in_window: u64,
+    /// Distribution of per-client mean FPS over the window (one sample
+    /// per client; ≈2 % bucket resolution).
+    pub fps_per_client: LogHistogram,
+    /// End-to-end latency distribution over all completed frames, ms.
+    pub e2e_hist: LogHistogram,
+}
+
 /// Hardware aggregates for one machine.
 #[derive(Debug, Clone)]
 pub struct MachineReport {
@@ -152,27 +179,54 @@ pub struct RunReport {
     pub resilience: ResilienceReport,
     /// Wire-model accounting (all zeros when the model is off).
     pub wire: WireReport,
+    /// Streaming scale-out aggregates (`None` unless the run streamed
+    /// its metrics — exact runs, including sited non-streaming ones,
+    /// keep the legacy fields and stay byte-identical to pre-scale
+    /// reports).
+    pub scale: Option<ScaleReport>,
 }
 
 impl RunReport {
-    /// Mean per-client FPS — the figures' headline y-axis.
+    /// Mean per-client FPS — the figures' headline y-axis. Streaming
+    /// runs compute it exactly from the completion counter (the mean of
+    /// per-client rates over a shared window equals total completions /
+    /// clients / seconds).
     pub fn fps(&self) -> f64 {
+        if let Some(scale) = &self.scale {
+            let secs = self
+                .measure_end
+                .saturating_since(self.measure_start)
+                .as_secs_f64();
+            if self.clients == 0 || secs <= 0.0 {
+                return 0.0;
+            }
+            return scale.completed_in_window as f64 / self.clients as f64 / secs;
+        }
         if self.per_client_fps.is_empty() {
             return 0.0;
         }
         self.per_client_fps.iter().sum::<f64>() / self.per_client_fps.len() as f64
     }
 
-    /// Median per-second FPS averaged over clients.
+    /// Median per-second FPS averaged over clients. Streaming runs
+    /// approximate with the median of the per-client mean-FPS histogram
+    /// (within one ≈2 % bucket).
     pub fn fps_median(&self) -> f64 {
+        if let Some(scale) = &self.scale {
+            return scale.fps_per_client.median();
+        }
         if self.per_client_fps_median.is_empty() {
             return 0.0;
         }
         self.per_client_fps_median.iter().sum::<f64>() / self.per_client_fps_median.len() as f64
     }
 
-    /// Mean E2E latency in ms.
+    /// Mean E2E latency in ms. Streaming runs read the histogram (mean
+    /// within one bucket width).
     pub fn e2e_mean_ms(&self) -> f64 {
+        if let Some(scale) = &self.scale {
+            return scale.e2e_hist.mean();
+        }
         self.e2e_ms.mean()
     }
 
@@ -198,7 +252,14 @@ impl RunReport {
         self.services
             .iter()
             .filter(|s| s.kind == kind)
-            .map(|s| s.ingress.window_count(self.measure_start, self.measure_end) as f64)
+            .map(|s| {
+                if s.ingress.is_empty() {
+                    // Streaming run: the counter carries the window count.
+                    s.ingress_in_window as f64
+                } else {
+                    s.ingress.window_count(self.measure_start, self.measure_end) as f64
+                }
+            })
             .sum::<f64>()
             / secs
     }
@@ -208,7 +269,11 @@ impl RunReport {
         let (mut drops, mut arrivals) = (0u64, 0u64);
         for s in self.services.iter().filter(|s| s.kind == kind) {
             drops += s.drops.total();
-            arrivals += s.ingress.window_count(SimTime::ZERO, self.measure_end) as u64;
+            arrivals += if s.ingress.is_empty() {
+                s.ingress_total
+            } else {
+                s.ingress.window_count(SimTime::ZERO, self.measure_end) as u64
+            };
         }
         if arrivals == 0 {
             0.0

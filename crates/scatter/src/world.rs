@@ -20,11 +20,11 @@
 
 use std::collections::HashMap;
 
-use metrics::TimeSeries;
+use metrics::{LogHistogram, TimeSeries};
 use orchestra::{Balancer, BalancerKind, Cluster, ServiceSla};
 
 use simcore::{Sim, SimDuration, SimRng, SimTime};
-use simnet::{NodeId, Testbed, UdpNet};
+use simnet::{NodeId, SiteMap, Testbed, UdpNet};
 
 use crate::autoscale::{MachinePool, ScaleEvent};
 use crate::client::{ClientState, FRAME_PERIOD};
@@ -113,6 +113,39 @@ pub struct PipelineWorld {
     /// Wire-protocol model (inert `None` unless `cfg.wire` is set): the
     /// precomputed per-client uplink byte schedule plus accumulators.
     pub wire: Option<WireSim>,
+    // --- scale-out plane (DESIGN.md §14; inert unless `cfg.scale` is
+    // set — a `None` run is byte-identical to a pre-scale build) ---
+    /// Client → access-site assignment. `None` = the legacy single
+    /// `client-host` node.
+    pub site_map: Option<SiteMap>,
+    /// Streaming-metrics mode: per-client QoS folds into [`crate::client::StreamQos`]
+    /// counters and the run-wide histogram below instead of per-event vectors.
+    pub streaming: bool,
+    /// Effective event-queue shard count the run executed with (after
+    /// the `SCATTER_SHARDS` override).
+    pub shards: usize,
+    /// Run-wide E2E latency histogram (`Some` iff `streaming`).
+    pub scale_e2e: Option<LogHistogram>,
+}
+
+impl PipelineWorld {
+    /// The network node a client's frames originate from (and results
+    /// return to): its access site at scale, `client-host` otherwise.
+    fn client_node(&self, client: usize) -> NodeId {
+        match &self.site_map {
+            Some(sm) => sm.node_of(client),
+            None => self.testbed.client_host,
+        }
+    }
+
+    /// Event-queue shard key for a client: its site index. Every event
+    /// keyed this way lands in shard `site % shards`; the cross-shard
+    /// merge keeps execution order identical for any shard count.
+    fn client_key(&self, client: usize) -> u64 {
+        self.site_map
+            .as_ref()
+            .map_or(0, |sm| sm.site_index(client) as u64)
+    }
 }
 
 /// Live state of the DES wire model: the uplink byte schedule computed
@@ -259,6 +292,26 @@ pub fn run_experiment_telemetered(
     run_world(cfg, CostModel::default(), Some(registry)).0
 }
 
+/// Parse the `SCATTER_SHARDS` override (a positive integer forcing the
+/// event-queue shard count, mainly for the determinism tests). Invalid
+/// values warn once per process and fall back to the config's count.
+fn env_shards() -> Option<usize> {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let raw = std::env::var("SCATTER_SHARDS").ok()?;
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: invalid SCATTER_SHARDS={raw} (want a positive integer); \
+                     using the config's shard count"
+                );
+            });
+            None
+        }
+    }
+}
+
 fn run_world(
     cfg: RunConfig,
     cost: CostModel,
@@ -273,8 +326,41 @@ fn run_world(
     // exact same three splits as before and stays byte-identical.
     let rng_hb = cfg.resilience.detection.map(|_| root.split());
 
-    // Topology + netem overrides on the client↔ingress link(s).
-    let (mut topo, testbed) = Testbed::build();
+    // Scale-out plane (DESIGN.md §14). Sharding draws no randomness and
+    // the cross-shard merge preserves execution order exactly, so the
+    // shard count is free to vary (or be overridden) without touching
+    // any output byte.
+    let scale = cfg.scale;
+    let streaming = scale.is_some_and(|sc| sc.streaming);
+    let shards = env_shards()
+        .or(scale.map(|sc| sc.shards))
+        .unwrap_or(1)
+        .max(1);
+    // The autoscaler's signals are the ingress/drop time series, which
+    // streaming metrics deliberately do not populate (DESIGN.md §14) —
+    // a sited autoscale run would silently see zeros. Config error.
+    assert!(
+        !(streaming && cfg.autoscale.is_some()),
+        "autoscale is unsupported under streaming scale metrics; use ScaleConfig::exact()"
+    );
+
+    // Topology + netem overrides on the client↔ingress link(s). At
+    // scale the clients attach to per-site access nodes; `build_with_sites(1)`
+    // reproduces the legacy topology exactly.
+    let (mut topo, testbed, site_nodes) = match scale {
+        Some(sc) => Testbed::build_with_sites(sc.sites),
+        None => {
+            let (topo, testbed) = Testbed::build();
+            (topo, testbed, Vec::new())
+        }
+    };
+    // Client-side endpoints for netem/burst overrides: every access
+    // site at scale, the single legacy client host otherwise.
+    let client_side: Vec<NodeId> = if site_nodes.is_empty() {
+        vec![testbed.client_host]
+    } else {
+        site_nodes.clone()
+    };
     let mut cluster = Cluster::testbed(testbed.e1, testbed.e2, testbed.cloud);
     if let Some(profile) = &cfg.netem {
         let ingress_machines = cfg
@@ -285,7 +371,9 @@ fn run_world(
         for name in ingress_machines {
             let mi = cluster.machine_index(&name).expect("known machine");
             let node = cluster.machines()[mi].net;
-            topo.connect(testbed.client_host, node, profile.to_link());
+            for &cs in &client_side {
+                topo.connect(cs, node, profile.to_link());
+            }
         }
     }
     let mut net = UdpNet::new(topo, rng_net);
@@ -304,19 +392,22 @@ fn run_world(
                 })
                 .collect();
             for node in ingress {
-                net.set_burst_channel(
-                    testbed.client_host,
-                    node,
-                    simnet::GilbertElliott::with_average_loss(profile.loss, burst_len),
-                );
-                net.set_burst_channel(
-                    node,
-                    testbed.client_host,
-                    simnet::GilbertElliott::with_average_loss(profile.loss, burst_len),
-                );
+                for &cs in &client_side {
+                    net.set_burst_channel(
+                        cs,
+                        node,
+                        simnet::GilbertElliott::with_average_loss(profile.loss, burst_len),
+                    );
+                    net.set_burst_channel(
+                        node,
+                        cs,
+                        simnet::GilbertElliott::with_average_loss(profile.loss, burst_len),
+                    );
+                }
             }
         }
     }
+    let site_map = scale.map(|_| SiteMap::round_robin(cfg.clients, &site_nodes));
 
     // Deploy the placement through the orchestrator.
     let slas: Vec<ServiceSla> = SERVICE_NAMES
@@ -411,12 +502,28 @@ fn run_world(
             )
         })
         .collect();
-    let client_tracks: Vec<trace::TrackId> = (0..cfg.clients)
-        .map(|i| tracer.register_track(format!("client-{i}"), "client-host"))
-        .collect();
+    // At scale, per-client tracks would overflow the u16 track id space
+    // (and churn a String per client); all clients share one track — the
+    // per-client distinction lives in the trace ctx, not the track.
+    let client_tracks: Vec<trace::TrackId> = if scale.is_some() {
+        let shared = tracer.register_track("clients".to_string(), "client-host");
+        vec![shared; cfg.clients]
+    } else {
+        (0..cfg.clients)
+            .map(|i| tracer.register_track(format!("client-{i}"), "client-host"))
+            .collect()
+    };
 
     let end_at = SimTime::ZERO + cfg.duration;
     let warmup_at = SimTime::ZERO + cfg.warmup;
+
+    // Streaming mode: services fold arrivals/drops into counters over
+    // the measurement window instead of per-event series.
+    if streaming {
+        for svc in &mut services {
+            svc.streaming_window = Some((warmup_at, end_at));
+        }
+    }
 
     // Live telemetry handles (only if the caller passed a registry).
     let obs = registry.map(|reg| {
@@ -488,13 +595,19 @@ fn run_world(
         ladder,
         resilience: crate::report::ResilienceReport::default(),
         wire,
+        site_map,
+        streaming,
+        shards,
+        scale_e2e: streaming.then(LogHistogram::for_latency_ms),
     };
 
-    let mut sim: SimW = Sim::new();
-    // Kick off client sources.
+    let mut sim: SimW = Sim::with_shards(shards);
+    // Kick off client sources, keyed by access site so a client's whole
+    // emission chain stays in its site's shard.
     for i in 0..world.clients.len() {
         let at = world.clients[i].start_at;
-        sim.schedule_at(at, move |w, s| client_emit(w, s, i));
+        let key = world.client_key(i);
+        sim.schedule_at_keyed(key, at, move |w, s| client_emit(w, s, i));
     }
     // 1 Hz metric sampling.
     sim.schedule(SimDuration::from_secs(1), sample_metrics);
@@ -590,7 +703,7 @@ fn client_emit(w: &mut PipelineWorld, sim: &mut SimW, client: usize) {
         // payload, and any ladder downscale — the model owns the bytes).
         bytes = ws.frame_bytes(client, frame_no) as usize;
     }
-    let mut msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
+    let mut msg = FrameMsg::new(client, frame_no, w.client_node(client), now, bytes);
     msg.quality = level.min(crate::resilience::LADDER_HALF_RATE);
     msg.trace = w.tracer.ctx(client as u16, frame_no as u32);
     w.tracer.emitted(msg.trace, now.as_nanos());
@@ -628,7 +741,8 @@ fn client_emit(w: &mut PipelineWorld, sim: &mut SimW, client: usize) {
     // concurrent clients cannot phase-lock against each other.
     let jitter = SimDuration::from_millis_f64(w.rng_misc.uniform(0.0, w.cost.emit_jitter_ms));
     let next = w.clients[client].next_emit_at() + jitter;
-    sim.schedule_at(next, move |w, s| client_emit(w, s, client));
+    let key = w.client_key(client);
+    sim.schedule_at_keyed(key, next, move |w, s| client_emit(w, s, client));
 }
 
 /// Re-emit a fresh capture after a response deadline expired. AR cannot
@@ -657,7 +771,7 @@ fn client_retry(w: &mut PipelineWorld, sim: &mut SimW, client: usize, frame_no: 
         // re-ships the same frame's schedule entry.
         bytes = ws.frame_bytes(client, frame_no) as usize;
     }
-    let mut msg = FrameMsg::new(client, frame_no, w.testbed.client_host, now, bytes);
+    let mut msg = FrameMsg::new(client, frame_no, w.client_node(client), now, bytes);
     msg.quality = level.min(crate::resilience::LADDER_HALF_RATE);
     msg.attempt = attempt;
     msg.trace = w
@@ -681,12 +795,13 @@ fn send_uplink(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg) {
         Some(ws) if ws.cfg.v2 => ws.cfg.codec_cost_ms,
         _ => 0.0,
     };
+    let src = msg.client_addr;
     if codec_ms > 0.0 {
         sim.schedule(SimDuration::from_millis_f64(codec_ms), move |w, s| {
-            route_to_service(w, s, ServiceKind::Primary, msg, w.testbed.client_host)
+            route_to_service(w, s, ServiceKind::Primary, msg, src)
         });
     } else {
-        route_to_service(w, sim, ServiceKind::Primary, msg, w.testbed.client_host);
+        route_to_service(w, sim, ServiceKind::Primary, msg, src);
     }
 }
 
@@ -790,7 +905,9 @@ fn route_to_service(
         SimDuration::ZERO
     };
     let now = sim.now();
-    if kind == ServiceKind::Primary && src_node == w.testbed.client_host {
+    // An uplink send is one originating at the frame's own client node
+    // (legacy: always `client-host`; at scale: the client's site).
+    if kind == ServiceKind::Primary && src_node == msg.client_addr {
         if let Some(ws) = w.wire.as_mut() {
             // Bytes are counted where they are *offered* — the same
             // send-site definition the runtime's per-socket counter
@@ -1419,13 +1536,26 @@ fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node
                     o.e2e_ms.record(e2e_ms);
                     o.slo_complete(now.as_secs_f64(), e2e_ms);
                 }
-                let c = &mut w.clients[msg.client];
-                c.record_completion(msg.frame_no, msg.emitted_at, now);
+                if w.streaming {
+                    let (ws, we) = (w.warmup_at, w.end_at);
+                    let e2e = w.clients[msg.client].record_completion_streaming(
+                        msg.frame_no,
+                        msg.emitted_at,
+                        now,
+                        ws,
+                        we,
+                    );
+                    if let Some(h) = w.scale_e2e.as_mut() {
+                        h.record(e2e);
+                    }
+                } else {
+                    w.clients[msg.client].record_completion(msg.frame_no, msg.emitted_at, now);
+                }
                 // A completion belongs to the measurement window iff its
                 // *emission* did — otherwise warmup-boundary frames can
                 // push the success ratio past 1.
                 if msg.emitted_at >= w.warmup_at {
-                    c.completed_measured += 1;
+                    w.clients[msg.client].completed_measured += 1;
                 }
             });
         }
@@ -1900,16 +2030,25 @@ fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
         resilience.max_ladder_level = l.max_level_seen;
     }
 
-    let per_client_fps: Vec<f64> = w
-        .clients
-        .iter()
-        .map(|c| c.rate.rate_over(measure_start, measure_end))
-        .collect();
-    let per_client_fps_median: Vec<f64> = w
-        .clients
-        .iter()
-        .map(|c| c.rate.median_per_second_rate(measure_start, measure_end))
-        .collect();
+    // Streaming runs keep no per-client vectors: the aggregates come
+    // from the StreamQos counters and land in the ScaleReport instead.
+    let streaming = w.streaming;
+    let per_client_fps: Vec<f64> = if streaming {
+        Vec::new()
+    } else {
+        w.clients
+            .iter()
+            .map(|c| c.rate.rate_over(measure_start, measure_end))
+            .collect()
+    };
+    let per_client_fps_median: Vec<f64> = if streaming {
+        Vec::new()
+    } else {
+        w.clients
+            .iter()
+            .map(|c| c.rate.median_per_second_rate(measure_start, measure_end))
+            .collect()
+    };
 
     let (mut em, mut cm) = (0u64, 0u64);
     let mut e2e = metrics::Summary::new();
@@ -1917,21 +2056,52 @@ fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
     for c in &w.clients {
         em += c.emitted_measured;
         cm += c.completed_measured;
-        e2e.merge(&c.e2e_ms);
-        jitter_sum += c.jitter.jitter_ms();
+        if streaming {
+            jitter_sum += c.stream.jitter_ms();
+        } else {
+            e2e.merge(&c.e2e_ms);
+            jitter_sum += c.jitter.jitter_ms();
+        }
     }
     let success_rate = if em == 0 { 0.0 } else { cm as f64 / em as f64 };
+    // Mean of per-client means in both modes — identical arithmetic.
     let jitter_ms = if w.clients.is_empty() {
         0.0
     } else {
         jitter_sum / w.clients.len() as f64
     };
-    let max_freeze_frames = w
-        .clients
-        .iter()
-        .map(|c| c.longest_freeze())
-        .max()
-        .unwrap_or(0);
+    let max_freeze_frames = if streaming {
+        w.clients.iter().map(|c| c.stream.max_freeze).max()
+    } else {
+        w.clients.iter().map(|c| c.longest_freeze()).max()
+    }
+    .unwrap_or(0);
+
+    let scale = if streaming {
+        let secs = measure_end.saturating_since(measure_start).as_secs_f64();
+        let mut fps_per_client = LogHistogram::for_latency_ms();
+        let mut completed_in_window = 0u64;
+        for c in &w.clients {
+            completed_in_window += c.stream.completed_in_window;
+            if secs > 0.0 {
+                // A log histogram has no zero bucket: idle clients are
+                // invisible here but exact in `completed_in_window`.
+                fps_per_client.record(c.stream.completed_in_window as f64 / secs);
+            }
+        }
+        Some(crate::report::ScaleReport {
+            sites: w.site_map.as_ref().map_or(1, |sm| sm.sites()),
+            shards: w.shards,
+            completed_in_window,
+            fps_per_client,
+            e2e_hist: w
+                .scale_e2e
+                .take()
+                .unwrap_or_else(LogHistogram::for_latency_ms),
+        })
+    } else {
+        None
+    };
 
     let services: Vec<ServiceReport> = (0..w.services.len())
         .map(|slot| {
@@ -1945,6 +2115,20 @@ fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
                 .sidecar
                 .as_ref()
                 .map(|sc| sc.mean_queue_time().as_millis_f64());
+            // Counters are carried in both modes: streaming runs kept
+            // them live; exact runs derive them from the series here.
+            let (ing_total, ing_win, drop_win) = match svc.streaming_window {
+                Some(_) => (
+                    svc.ingress_total,
+                    svc.ingress_in_window,
+                    svc.drop_events_in_window,
+                ),
+                None => (
+                    svc.ingress.len() as u64,
+                    svc.ingress.window_count(measure_start, measure_end) as u64,
+                    svc.drops_over_time.window_count(measure_start, measure_end) as u64,
+                ),
+            };
             ServiceReport {
                 kind: svc.kind,
                 replica: svc.replica,
@@ -1954,6 +2138,9 @@ fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
                 latency_ms: svc.service_latency_ms.clone(),
                 ingress: svc.ingress.clone(),
                 drops_over_time: svc.drops_over_time.clone(),
+                ingress_total: ing_total,
+                ingress_in_window: ing_win,
+                drop_events_in_window: drop_win,
                 mean_memory_gb: mem.mean(),
                 peak_memory_gb: peak,
                 sidecar_drop_ratio: sc_ratio,
@@ -2017,6 +2204,7 @@ fn build_report(mut w: PipelineWorld, events_executed: u64) -> RunReport {
             },
             None => crate::report::WireReport::default(),
         },
+        scale,
     }
 }
 

@@ -1,10 +1,30 @@
 //! The event queue and simulation driver.
 //!
-//! [`Sim`] owns a binary heap of scheduled events ordered by `(time, seq)`.
-//! The sequence number makes same-instant events fire in the order they
-//! were scheduled, which is what keeps multi-client experiments
-//! deterministic: two frames arriving at a service in the same nanosecond
-//! are processed in a stable order regardless of heap internals.
+//! [`Sim`] owns one or more binary heaps of scheduled events ordered by
+//! `(time, seq)`. The sequence number makes same-instant events fire in
+//! the order they were scheduled, which is what keeps multi-client
+//! experiments deterministic: two frames arriving at a service in the
+//! same nanosecond are processed in a stable order regardless of heap
+//! internals.
+//!
+//! # Sharding
+//!
+//! [`Sim::with_shards`] partitions the queue into `k` independent heaps;
+//! [`Sim::schedule_keyed`] routes an event to shard `key % k` (the
+//! scale-out world keys client events by access site). Determinism is
+//! preserved *by construction*, not by luck:
+//!
+//! - sequence numbers are assigned from one global counter at schedule
+//!   time, independent of shard assignment;
+//! - every pop scans the shard heads in fixed index order and fires the
+//!   global `(time, seq)` minimum.
+//!
+//! The fired sequence is therefore exactly the sorted `(time, seq)`
+//! order of all live events — the same total order a single heap
+//! produces — for *any* shard count and *any* key assignment. Sharded
+//! and unsharded runs of the same seeded world are byte-identical; the
+//! win is smaller heaps (better sift depth and cache locality) once a
+//! single heap holds hundreds of thousands of in-flight client events.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -81,7 +101,7 @@ impl<W> Ord for Scheduled<W> {
 pub struct Sim<W> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Scheduled<W>>,
+    shards: Vec<BinaryHeap<Scheduled<W>>>,
     cancelled: SeqSet,
     executed: u64,
     stopped: bool,
@@ -95,16 +115,30 @@ impl<W> Default for Sim<W> {
 
 impl<W> Sim<W> {
     pub fn new() -> Self {
+        Self::with_shards(1)
+    }
+
+    /// A simulator whose queue is partitioned into `k` shards (clamped to
+    /// at least 1). See the module docs: the fired order is identical for
+    /// every `k`, so sharding is purely a heap-size/locality decision.
+    pub fn with_shards(k: usize) -> Self {
+        let k = k.max(1);
         Sim {
             now: SimTime::ZERO,
             seq: 0,
             // A steady-state AR pipeline run keeps a few hundred events in
-            // flight; pre-reserving skips the early growth reallocations.
-            heap: BinaryHeap::with_capacity(1024),
+            // flight per shard; pre-reserving skips the early growth
+            // reallocations.
+            shards: (0..k).map(|_| BinaryHeap::with_capacity(1024)).collect(),
             cancelled: SeqSet::default(),
             executed: 0,
             stopped: false,
         }
+    }
+
+    /// Number of queue shards (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Current virtual time. Monotone across event executions.
@@ -120,7 +154,7 @@ impl<W> Sim<W> {
 
     /// Number of events still pending (including cancelled-but-unreaped).
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.shards.iter().map(|h| h.len()).sum()
     }
 
     /// Schedule `f` to run after `delay`. Returns an [`EventId`] that can
@@ -139,10 +173,28 @@ impl<W> Sim<W> {
     where
         F: FnOnce(&mut W, &mut Sim<W>) + 'static,
     {
+        self.schedule_at_keyed(0, at, f)
+    }
+
+    /// [`Sim::schedule`] routed to shard `key % shards`.
+    pub fn schedule_keyed<F>(&mut self, key: u64, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        self.schedule_at_keyed(key, self.now + delay, f)
+    }
+
+    /// [`Sim::schedule_at`] routed to shard `key % shards`. The key only
+    /// selects a heap; it never affects execution order.
+    pub fn schedule_at_keyed<F>(&mut self, key: u64, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled {
+        let shard = (key % self.shards.len() as u64) as usize;
+        self.shards[shard].push(Scheduled {
             at,
             seq,
             run: Box::new(f),
@@ -166,19 +218,43 @@ impl<W> Sim<W> {
     /// Execute the single earliest pending event. Returns `false` when the
     /// queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
-        loop {
-            let Some(ev) = self.heap.pop() else {
-                return false;
-            };
+        let Some(shard) = self.next_live_shard() else {
+            return false;
+        };
+        let ev = self.shards[shard].pop().expect("live head vanished");
+        self.fire(ev, world);
+        true
+    }
+
+    /// Reap cancelled heads on every shard, then return the shard whose
+    /// head is the global `(time, seq)` minimum — scanning shards in fixed
+    /// index order so the choice is deterministic. After this returns
+    /// `Some(i)`, shard `i`'s head is known live and may be popped and
+    /// fired directly.
+    fn next_live_shard(&mut self) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for i in 0..self.shards.len() {
             // Fast path: no outstanding cancellations (the common case in
             // scAtteR++ runs, which cancel only on served fetches) means no
             // set lookup per pop at all.
-            if !self.cancelled.is_empty() && self.cancelled.remove(&ev.seq) {
-                continue;
+            if !self.cancelled.is_empty() {
+                while let Some(head) = self.shards[i].peek() {
+                    if self.cancelled.remove(&head.seq) {
+                        self.shards[i].pop();
+                    } else {
+                        break;
+                    }
+                }
             }
-            self.fire(ev, world);
-            return true;
+            if let Some(head) = self.shards[i].peek() {
+                // Seqs are globally unique, so (at, seq) is a strict total
+                // order and `<` picks exactly one winner.
+                if best.is_none_or(|(at, seq, _)| (head.at, head.seq) < (at, seq)) {
+                    best = Some((head.at, head.seq, i));
+                }
+            }
         }
+        best.map(|(_, _, i)| i)
     }
 
     /// Advance the clock to `ev` and run it. Caller guarantees `ev` is
@@ -204,13 +280,15 @@ impl<W> Sim<W> {
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
         self.stopped = false;
         while !self.stopped {
-            // `peek_time` reaps cancelled heads, so after it returns the
-            // head is known live and can be popped and fired directly —
-            // the old peek-then-step double inspection paid the
+            // `next_live_shard` reaps cancelled heads, so after it returns
+            // the chosen head is known live and can be popped and fired
+            // directly — the old peek-then-step double inspection paid the
             // cancellation check twice per event.
-            match self.peek_time() {
-                Some(t) if t <= deadline => {
-                    let ev = self.heap.pop().expect("peeked entry vanished");
+            match self.next_live_shard() {
+                Some(shard)
+                    if self.shards[shard].peek().expect("live head vanished").at <= deadline =>
+                {
+                    let ev = self.shards[shard].pop().expect("live head vanished");
                     self.fire(ev, world);
                 }
                 _ => break,
@@ -223,19 +301,8 @@ impl<W> Sim<W> {
 
     /// Instant of the earliest live pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        if self.cancelled.is_empty() {
-            // Fast path: nothing tombstoned, the head is authoritative.
-            return self.heap.peek().map(|head| head.at);
-        }
-        while let Some(head) = self.heap.peek() {
-            if self.cancelled.contains(&head.seq) {
-                let ev = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&ev.seq);
-                continue;
-            }
-            return Some(head.at);
-        }
-        None
+        self.next_live_shard()
+            .map(|shard| self.shards[shard].peek().expect("live head vanished").at)
     }
 }
 
@@ -354,6 +421,51 @@ mod tests {
         sim.cancel(id);
         assert_eq!(sim.peek_time(), Some(SimTime::from_millis(3)));
     }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let sim: Sim<u32> = Sim::with_shards(0);
+        assert_eq!(sim.shards(), 1);
+    }
+
+    #[test]
+    fn keyed_events_interleave_across_shards_in_global_order() {
+        let mut sim: Sim<Vec<(u64, u64)>> = Sim::with_shards(3);
+        // Same instant, keys striped over shards: FIFO by global seq must
+        // hold even though each entry sits in a different heap.
+        for key in 0..9u64 {
+            sim.schedule_keyed(key, SimDuration::from_millis(5), move |w, _| {
+                w.push((5, key));
+            });
+        }
+        sim.schedule_keyed(7, SimDuration::from_millis(1), |w, s| {
+            w.push((s.now().as_millis(), 7));
+        });
+        let mut out = Vec::new();
+        sim.run(&mut out);
+        let expected: Vec<(u64, u64)> = std::iter::once((1, 7))
+            .chain((0..9).map(|k| (5, k)))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn cancel_works_across_shards() {
+        let mut sim: Sim<Vec<u64>> = Sim::with_shards(4);
+        let id = sim.schedule_keyed(3, SimDuration::from_millis(1), |w: &mut Vec<u64>, _| {
+            w.push(1)
+        });
+        sim.schedule_keyed(2, SimDuration::from_millis(2), |w: &mut Vec<u64>, _| {
+            w.push(2)
+        });
+        sim.cancel(id);
+        assert_eq!(sim.pending(), 2);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(2)));
+        let mut out = Vec::new();
+        sim.run(&mut out);
+        assert_eq!(out, vec![2]);
+        assert_eq!(sim.executed(), 1);
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +546,42 @@ mod proptests {
             sim.run(&mut rest);
             prop_assert!(rest.iter().all(|&t| t > deadline));
             prop_assert_eq!(first.len() + rest.len(), delays.len());
+        }
+
+        /// The fired order is independent of shard count and key
+        /// assignment: any `(shards, keys)` produces exactly the single-heap
+        /// execution trace. This is the determinism foundation the
+        /// scale-out world builds on.
+        #[test]
+        fn sharding_never_changes_execution_order(
+            delays in proptest::collection::vec(0u64..50, 1..150),
+            keys in proptest::collection::vec(0u64..97, 150),
+            shards in 1usize..8,
+            cancel_mask in proptest::collection::vec(proptest::bool::ANY, 150),
+        ) {
+            let run = |k: usize| {
+                let mut sim: Sim<Vec<(u64, usize)>> = Sim::with_shards(k);
+                let mut ids = Vec::new();
+                for (i, &d) in delays.iter().enumerate() {
+                    let id = sim.schedule_keyed(
+                        if k == 1 { 0 } else { keys[i] },
+                        SimDuration::from_millis(d),
+                        move |w: &mut Vec<(u64, usize)>, s| w.push((s.now().as_millis(), i)),
+                    );
+                    ids.push(id);
+                }
+                for (i, &id) in ids.iter().enumerate() {
+                    if cancel_mask[i] {
+                        sim.cancel(id);
+                    }
+                }
+                let mut log = Vec::new();
+                sim.run(&mut log);
+                (log, sim.executed(), sim.now())
+            };
+            let single = run(1);
+            let sharded = run(shards);
+            prop_assert_eq!(single, sharded);
         }
     }
 }

@@ -19,11 +19,13 @@
 pub mod gilbert;
 pub mod link;
 pub mod netem;
+pub mod sites;
 pub mod topology;
 pub mod udp;
 
 pub use gilbert::GilbertElliott;
 pub use link::{Delivery, Link};
 pub use netem::NetemProfile;
+pub use sites::SiteMap;
 pub use topology::{NodeId, Testbed, Topology};
 pub use udp::UdpNet;

@@ -20,74 +20,205 @@ pub struct PairStats {
     pub bytes_sent: u64,
 }
 
-/// Datagram transport facade: topology + RNG + counters + per-direction
-/// serialization queues for bandwidth-limited links.
+/// Where a direction's state lives in the active [`DirStore`].
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Index into the pair vectors (dense: `src * n + dst`, including
+    /// the diagonal; sparse: `2 * edge_id + direction`).
+    Pair(usize),
+    /// Sparse-layout loopback state, indexed by node.
+    Loop(usize),
+}
+
+/// Per-direction transport state (counters, transmitter free times,
+/// burst channels), in the layout matching the topology's.
 ///
-/// Per-direction state (counters, transmitter free times, burst
-/// channels) lives in dense `n × n` matrices indexed by `(src, dst)`:
-/// `send` is called for every datagram in the simulation, and the three
-/// hash lookups it used to perform per call (SipHash each) dominated
-/// the transport's cost with only a handful of nodes.
+/// `Dense` mirrors the topology's pair matrix: with a handful of nodes
+/// the `(src, dst)` multiply-add beats any lookup, and the three SipHash
+/// probes `send` once performed per datagram dominated the transport's
+/// cost. `Sparse` allocates two slots per *connected edge*
+/// (`2 * edge_id + direction`) plus per-node loopback slots — O(edges)
+/// instead of O(n²), which is what lets a 100k-client world with
+/// thousands of access-site nodes keep the transport's memory flat.
+#[derive(Debug)]
+enum DirStore {
+    Dense {
+        /// Node count the matrices were sized for (re-sized lazily if
+        /// the topology grows after construction).
+        n: usize,
+        stats: Vec<PairStats>,
+        tx_free_at: Vec<SimTime>,
+        burst: Vec<Option<GilbertElliott>>,
+    },
+    Sparse {
+        stats: Vec<PairStats>,
+        tx_free_at: Vec<SimTime>,
+        burst: Vec<Option<GilbertElliott>>,
+        loop_stats: Vec<PairStats>,
+        loop_tx_free_at: Vec<SimTime>,
+        loop_burst: Vec<Option<GilbertElliott>>,
+    },
+}
+
+impl DirStore {
+    fn stats_mut(&mut self, slot: Slot) -> &mut PairStats {
+        match (self, slot) {
+            (DirStore::Dense { stats, .. }, Slot::Pair(i))
+            | (DirStore::Sparse { stats, .. }, Slot::Pair(i)) => &mut stats[i],
+            (DirStore::Sparse { loop_stats, .. }, Slot::Loop(i)) => &mut loop_stats[i],
+            (DirStore::Dense { .. }, Slot::Loop(_)) => {
+                unreachable!("dense store has no loop slots")
+            }
+        }
+    }
+
+    fn tx_free_at_mut(&mut self, slot: Slot) -> &mut SimTime {
+        match (self, slot) {
+            (DirStore::Dense { tx_free_at, .. }, Slot::Pair(i))
+            | (DirStore::Sparse { tx_free_at, .. }, Slot::Pair(i)) => &mut tx_free_at[i],
+            (
+                DirStore::Sparse {
+                    loop_tx_free_at, ..
+                },
+                Slot::Loop(i),
+            ) => &mut loop_tx_free_at[i],
+            (DirStore::Dense { .. }, Slot::Loop(_)) => {
+                unreachable!("dense store has no loop slots")
+            }
+        }
+    }
+
+    fn burst_mut(&mut self, slot: Slot) -> &mut Option<GilbertElliott> {
+        match (self, slot) {
+            (DirStore::Dense { burst, .. }, Slot::Pair(i))
+            | (DirStore::Sparse { burst, .. }, Slot::Pair(i)) => &mut burst[i],
+            (DirStore::Sparse { loop_burst, .. }, Slot::Loop(i)) => &mut loop_burst[i],
+            (DirStore::Dense { .. }, Slot::Loop(_)) => {
+                unreachable!("dense store has no loop slots")
+            }
+        }
+    }
+}
+
+/// Datagram transport facade: topology + RNG + counters + per-direction
+/// serialization queues for bandwidth-limited links. The directed state
+/// lives in a [`DirStore`] whose layout follows the topology's — dense
+/// matrices for the paper testbed, per-edge vectors at scale. Both
+/// layouts execute the identical decision sequence (and draw from the
+/// RNG in the identical order), so outcomes are layout-independent;
+/// the sparse-vs-dense proptest pins that.
 #[derive(Debug)]
 pub struct UdpNet {
     topo: Topology,
     rng: SimRng,
-    /// Node count the matrices were sized for (re-sized lazily if the
-    /// topology grows after construction).
-    n: usize,
-    stats: Vec<PairStats>,
-    /// When the (src, dst) direction's transmitter frees up.
-    tx_free_at: Vec<SimTime>,
-    /// Optional per-direction burst-loss channels (Gilbert–Elliott),
-    /// replacing the link's i.i.d. fragment loss when present. `true`
-    /// in `has_burst` only when at least one channel is installed, so
-    /// the common no-burst run skips the per-send check entirely.
-    burst: Vec<Option<GilbertElliott>>,
+    store: DirStore,
+    /// `true` only when at least one burst channel is installed, so the
+    /// common no-burst run skips the per-send check entirely.
     has_burst: bool,
 }
 
 impl UdpNet {
     pub fn new(topo: Topology, rng: SimRng) -> Self {
         let n = topo.node_count();
+        let store = if topo.is_sparse() {
+            let slots = 2 * topo.edge_count();
+            DirStore::Sparse {
+                stats: vec![PairStats::default(); slots],
+                tx_free_at: vec![SimTime::ZERO; slots],
+                burst: (0..slots).map(|_| None).collect(),
+                loop_stats: vec![PairStats::default(); n],
+                loop_tx_free_at: vec![SimTime::ZERO; n],
+                loop_burst: (0..n).map(|_| None).collect(),
+            }
+        } else {
+            DirStore::Dense {
+                n,
+                stats: vec![PairStats::default(); n * n],
+                tx_free_at: vec![SimTime::ZERO; n * n],
+                burst: (0..n * n).map(|_| None).collect(),
+            }
+        };
         UdpNet {
             topo,
             rng,
-            n,
-            stats: vec![PairStats::default(); n * n],
-            tx_free_at: vec![SimTime::ZERO; n * n],
-            burst: (0..n * n).map(|_| None).collect(),
+            store,
             has_burst: false,
         }
     }
 
-    /// Directed-pair matrix slot; grows the matrices first if nodes were
-    /// added through [`UdpNet::topology_mut`] after construction.
+    /// Resolve the `(src, dst)` direction's slot, growing the store
+    /// first if the topology gained nodes/edges through
+    /// [`UdpNet::topology_mut`] after construction. Panics if the pair
+    /// is unroutable — a placement bug, not a runtime condition.
     #[inline]
-    fn dir_index(&mut self, src: NodeId, dst: NodeId) -> usize {
-        let n = self.topo.node_count();
-        if n != self.n {
-            self.resize_matrices(n);
+    fn dir_slot(&mut self, src: NodeId, dst: NodeId) -> Slot {
+        match &mut self.store {
+            DirStore::Dense { n, .. } => {
+                let count = self.topo.node_count();
+                if count != *n {
+                    self.resize_dense(count);
+                }
+                Slot::Pair(src.0 as usize * count + dst.0 as usize)
+            }
+            DirStore::Sparse {
+                stats,
+                tx_free_at,
+                burst,
+                loop_stats,
+                loop_tx_free_at,
+                loop_burst,
+            } => {
+                if src == dst {
+                    let node = src.0 as usize;
+                    if node >= loop_stats.len() {
+                        let count = self.topo.node_count();
+                        loop_stats.resize(count, PairStats::default());
+                        loop_tx_free_at.resize(count, SimTime::ZERO);
+                        loop_burst.resize_with(count, || None);
+                    }
+                    return Slot::Loop(node);
+                }
+                let (edge, _) = self
+                    .topo
+                    .edge_entry(src, dst)
+                    .unwrap_or_else(|| panic!("no route {:?} -> {:?}", src, dst));
+                let slots = 2 * self.topo.edge_count();
+                if stats.len() < slots {
+                    stats.resize(slots, PairStats::default());
+                    tx_free_at.resize(slots, SimTime::ZERO);
+                    burst.resize_with(slots, || None);
+                }
+                Slot::Pair(2 * edge as usize + usize::from(src > dst))
+            }
         }
-        src.0 as usize * n + dst.0 as usize
     }
 
     #[cold]
-    fn resize_matrices(&mut self, n: usize) {
-        let old = self.n;
-        let mut stats = vec![PairStats::default(); n * n];
-        let mut tx_free_at = vec![SimTime::ZERO; n * n];
-        let mut burst: Vec<Option<GilbertElliott>> = (0..n * n).map(|_| None).collect();
+    fn resize_dense(&mut self, count: usize) {
+        let DirStore::Dense {
+            n,
+            stats,
+            tx_free_at,
+            burst,
+        } = &mut self.store
+        else {
+            unreachable!("resize_dense on sparse store");
+        };
+        let old = *n;
+        let mut new_stats = vec![PairStats::default(); count * count];
+        let mut new_tx = vec![SimTime::ZERO; count * count];
+        let mut new_burst: Vec<Option<GilbertElliott>> = (0..count * count).map(|_| None).collect();
         for a in 0..old {
             for b in 0..old {
-                stats[a * n + b] = self.stats[a * old + b];
-                tx_free_at[a * n + b] = self.tx_free_at[a * old + b];
-                burst[a * n + b] = self.burst[a * old + b].take();
+                new_stats[a * count + b] = stats[a * old + b];
+                new_tx[a * count + b] = tx_free_at[a * old + b];
+                new_burst[a * count + b] = burst[a * old + b].take();
             }
         }
-        self.stats = stats;
-        self.tx_free_at = tx_free_at;
-        self.burst = burst;
-        self.n = n;
+        *n = count;
+        *stats = new_stats;
+        *tx_free_at = new_tx;
+        *burst = new_burst;
     }
 
     /// Install a burst-loss channel on the `(src, dst)` direction (and
@@ -95,8 +226,8 @@ impl UdpNet {
     /// losses on this direction then come from the Markov channel
     /// instead of the link's i.i.d. loss probability.
     pub fn set_burst_channel(&mut self, src: NodeId, dst: NodeId, ch: GilbertElliott) {
-        let idx = self.dir_index(src, dst);
-        self.burst[idx] = Some(ch);
+        let slot = self.dir_slot(src, dst);
+        *self.store.burst_mut(slot) = Some(ch);
         self.has_burst = true;
     }
 
@@ -117,7 +248,7 @@ impl UdpNet {
     /// suffers from. Panics if the pair is unroutable — a placement bug,
     /// not a runtime condition.
     pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: usize, now: SimTime) -> Delivery {
-        let idx = self.dir_index(src, dst);
+        let slot = self.dir_slot(src, dst);
         let link = self
             .topo
             .link_between(src, dst)
@@ -129,7 +260,7 @@ impl UdpNet {
         // Burst-loss override: advance the Markov channel one step per
         // fragment; any lost fragment kills the datagram.
         if self.has_burst {
-            if let Some(ch) = self.burst[idx].as_mut() {
+            if let Some(ch) = self.store.burst_mut(slot).as_mut() {
                 let frags = crate::link::Link::fragments(bytes);
                 let mut lost = false;
                 for _ in 0..frags {
@@ -143,19 +274,19 @@ impl UdpNet {
         // FIFO transmitter queueing for bandwidth-limited links.
         if let (Delivery::Delayed(d), Some(bps)) = (outcome, bandwidth_bps) {
             let ser = SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps);
-            let free_at = self.tx_free_at[idx];
-            let start = free_at.max(now);
+            let tx_free_at = self.store.tx_free_at_mut(slot);
+            let start = (*tx_free_at).max(now);
             let queue_wait = start.saturating_since(now);
             if queue_wait > queue_limit {
                 outcome = Delivery::Lost;
             } else {
-                self.tx_free_at[idx] = start + ser;
+                *tx_free_at = start + ser;
                 // `link.send` already charged one serialization time; add
                 // only the queueing component.
                 outcome = Delivery::Delayed(d + queue_wait);
             }
         }
-        let entry = &mut self.stats[idx];
+        let entry = self.store.stats_mut(slot);
         entry.datagrams_sent += 1;
         entry.bytes_sent += bytes as u64;
         if outcome.is_lost() {
@@ -166,26 +297,58 @@ impl UdpNet {
 
     /// Counters for the `(src, dst)` direction.
     pub fn pair_stats(&self, src: NodeId, dst: NodeId) -> PairStats {
-        let n = self.topo.node_count();
-        if n != self.n {
-            // Matrices lag a grown topology; new pairs have no traffic.
-            let (s, d) = (src.0 as usize, dst.0 as usize);
-            if s >= self.n || d >= self.n {
-                return PairStats::default();
+        match &self.store {
+            DirStore::Dense { n, stats, .. } => {
+                // Matrices lag a grown topology; new pairs have no traffic.
+                let (s, d) = (src.0 as usize, dst.0 as usize);
+                if s >= *n || d >= *n {
+                    return PairStats::default();
+                }
+                stats[s * *n + d]
             }
-            return self.stats[s * self.n + d];
+            DirStore::Sparse {
+                stats, loop_stats, ..
+            } => {
+                if src == dst {
+                    return loop_stats.get(src.0 as usize).copied().unwrap_or_default();
+                }
+                match self.topo.edge_entry(src, dst) {
+                    Some((edge, _)) => stats
+                        .get(2 * edge as usize + usize::from(src > dst))
+                        .copied()
+                        .unwrap_or_default(),
+                    None => PairStats::default(),
+                }
+            }
         }
-        self.stats[src.0 as usize * n + dst.0 as usize]
     }
 
     /// Total bytes offered to the network (all pairs, both directions).
     pub fn total_bytes(&self) -> u64 {
-        self.stats.iter().map(|s| s.bytes_sent).sum()
+        match &self.store {
+            DirStore::Dense { stats, .. } => stats.iter().map(|s| s.bytes_sent).sum(),
+            DirStore::Sparse {
+                stats, loop_stats, ..
+            } => stats
+                .iter()
+                .chain(loop_stats.iter())
+                .map(|s| s.bytes_sent)
+                .sum(),
+        }
     }
 
     /// Total datagrams lost across all pairs.
     pub fn total_lost(&self) -> u64 {
-        self.stats.iter().map(|s| s.datagrams_lost).sum()
+        match &self.store {
+            DirStore::Dense { stats, .. } => stats.iter().map(|s| s.datagrams_lost).sum(),
+            DirStore::Sparse {
+                stats, loop_stats, ..
+            } => stats
+                .iter()
+                .chain(loop_stats.iter())
+                .map(|s| s.datagrams_lost)
+                .sum(),
+        }
     }
 }
 
@@ -298,6 +461,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no route")]
+    fn sparse_unroutable_pair_panics() {
+        let mut topo = Topology::sparse();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let mut net = UdpNet::new(topo, SimRng::new(3));
+        net.send(a, b, 1, SimTime::ZERO);
+    }
+
+    #[test]
     fn same_seed_same_outcomes() {
         let run = |seed| {
             let (topo, tb) = Testbed::build();
@@ -311,5 +484,107 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn sparse_loopback_and_stats() {
+        let mut topo = Topology::sparse();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        topo.connect(a, b, Link::with_latency(SimDuration::from_millis(1)));
+        let mut net = UdpNet::new(topo, SimRng::new(6));
+        assert!(!net.send(a, a, 500, SimTime::ZERO).is_lost());
+        net.send(a, b, 100, SimTime::ZERO);
+        net.send(b, a, 100, SimTime::ZERO);
+        assert_eq!(net.pair_stats(a, a).bytes_sent, 500);
+        assert_eq!(net.pair_stats(a, b).datagrams_sent, 1);
+        assert_eq!(net.pair_stats(b, a).datagrams_sent, 1);
+        assert_eq!(net.total_bytes(), 700);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::link::Link;
+    use proptest::prelude::*;
+    use simcore::SimDuration;
+
+    proptest! {
+        /// Same world, same seed, same send sequence: the dense matrix and
+        /// the sparse adjacency store must produce identical deliveries and
+        /// identical counters. This is the layout-equivalence guarantee the
+        /// automatic dense/sparse selection rests on.
+        #[test]
+        fn sparse_store_matches_dense(
+            n in 2usize..24,
+            seed in 0u64..1000,
+            edges in proptest::collection::vec((0usize..24, 0usize..24, 1u64..20, 0u8..2), 1..40),
+            sends in proptest::collection::vec((0usize..24, 0usize..24, 1usize..30_000, 0u64..50), 1..200),
+        ) {
+            let build = |sparse: bool| {
+                let mut topo = if sparse { Topology::sparse() } else { Topology::new() };
+                for i in 0..n {
+                    topo.add_node(&format!("n{i}"));
+                }
+                for &(a, b, rtt, bw) in &edges {
+                    let (a, b) = (a % n, b % n);
+                    if a == b {
+                        continue;
+                    }
+                    let mut link = Link::from_rtt_ms(rtt as f64).loss(0.05);
+                    if bw == 1 {
+                        link = link.bandwidth_mbps(8.0);
+                    }
+                    topo.connect(NodeId(a as u32), NodeId(b as u32), link);
+                }
+                UdpNet::new(topo, SimRng::new(seed))
+            };
+            let mut dense = build(false);
+            let mut sparse = build(true);
+            prop_assert!(!dense.topology().is_sparse());
+            prop_assert!(sparse.topology().is_sparse());
+            for &(src, dst, bytes, at_ms) in &sends {
+                let (src, dst) = (NodeId((src % n) as u32), NodeId((dst % n) as u32));
+                if src != dst && dense.topology().link_between(src, dst).is_none() {
+                    continue;
+                }
+                let now = SimTime::from_millis(at_ms);
+                let d = dense.send(src, dst, bytes, now);
+                let s = sparse.send(src, dst, bytes, now);
+                prop_assert_eq!(d.delay(), s.delay(), "delivery diverged for {:?}->{:?}", src, dst);
+                prop_assert_eq!(dense.pair_stats(src, dst), sparse.pair_stats(src, dst));
+            }
+            prop_assert_eq!(dense.total_bytes(), sparse.total_bytes());
+            prop_assert_eq!(dense.total_lost(), sparse.total_lost());
+        }
+
+        /// Burst channels behave identically across layouts too (they sit
+        /// on the same per-direction slots).
+        #[test]
+        fn sparse_burst_matches_dense(
+            seed in 0u64..500,
+            sends in proptest::collection::vec((0u8..2, 1usize..5_000), 1..150),
+        ) {
+            let build = |sparse: bool| {
+                let mut topo = if sparse { Topology::sparse() } else { Topology::new() };
+                let a = topo.add_node("a");
+                let b = topo.add_node("b");
+                topo.connect(a, b, Link::with_latency(SimDuration::from_millis(1)));
+                let mut net = UdpNet::new(topo, SimRng::new(seed));
+                net.set_burst_channel(a, b, GilbertElliott::with_average_loss(0.2, 8.0));
+                (net, a, b)
+            };
+            let (mut dense, da, db) = build(false);
+            let (mut sparse, sa, sb) = build(true);
+            for &(rev, bytes) in &sends {
+                let (src, dst) = if rev == 0 { (da, db) } else { (db, da) };
+                let (ssrc, sdst) = if rev == 0 { (sa, sb) } else { (sb, sa) };
+                let d = dense.send(src, dst, bytes, SimTime::ZERO);
+                let s = sparse.send(ssrc, sdst, bytes, SimTime::ZERO);
+                prop_assert_eq!(d.delay(), s.delay());
+            }
+            prop_assert_eq!(dense.total_lost(), sparse.total_lost());
+        }
     }
 }

@@ -5,8 +5,12 @@
 # kernels) over fixed seeds, writing BENCH_2.json at the repo root.
 #
 # Usage:
-#   scripts/bench.sh                # write BENCH_2.json
-#   scripts/bench.sh out.json       # write elsewhere
+#   scripts/bench.sh                # write BENCH_2.json + BENCH_7.json
+#   scripts/bench.sh out.json       # write the perf matrix elsewhere
+#
+# The scale stage (BENCH_7.json) measures the site-sharded client
+# ladder from DESIGN.md §14 — events/sec and peak RSS at 1k/10k/100k
+# clients; add `--full` by hand for the 1M point.
 #
 # The matrix is single-machine wall-clock: compare BENCH_*.json files
 # from the *same* host only. See README "Performance".
@@ -23,3 +27,7 @@ echo "==> perfbench -> ${OUT}"
 # comparable run to run.
 env -u SCATTER_EXP_SECS -u SCATTER_JOBS -u SCATTER_RUN_CACHE \
     ./target/release/perfbench "${OUT}"
+
+echo "==> perfbench --scale -> BENCH_7.json"
+env -u SCATTER_EXP_SECS -u SCATTER_JOBS -u SCATTER_RUN_CACHE -u SCATTER_SHARDS \
+    ./target/release/perfbench --scale BENCH_7.json

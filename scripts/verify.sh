@@ -47,4 +47,7 @@ echo "==> wire smoke: planes agree on bytes-on-wire and CRC drops; v2 beats v1 o
 echo "==> perf smoke: DES throughput floor from BENCH_2.json"
 ./target/release/perfbench --smoke BENCH_2.json
 
+echo "==> scale smoke: 100k-client throughput floor and peak-RSS ceiling from BENCH_7.json"
+./target/release/perfbench --smoke-scale BENCH_7.json
+
 echo "verify: all green"
