@@ -1,0 +1,5 @@
+//! The observatory's hard gates: overhead, retention, replay,
+//! cross-plane agreement. See `experiments::observatory_study`.
+fn main() {
+    experiments::observatory_study::main();
+}

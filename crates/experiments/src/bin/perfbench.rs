@@ -32,6 +32,11 @@
 //! * `perfbench --smoke-scale <BENCH_7.json>` — fresh-process 100k run
 //!   gated on the ISSUE's absolute acceptance: ≥ 2M events/sec AND
 //!   peak RSS ≤ 2048 MiB.
+//!
+//! `perfbench --diff [DIR]` compares the two newest committed
+//! `BENCH_<n>.json` (by numeric suffix) over their common bench names
+//! and fails (exit 1) on a >10 % events/sec regression or >20 % peak-RSS
+//! growth — the cross-PR ratchet behind `scripts/bench_diff.sh`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -190,6 +195,115 @@ fn read_recorded(json: &str, bench: &str, field: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Bench names of a machine-written `BENCH_*.json`: one
+/// `"name": { ... }` object per line (scalar context fields like
+/// `"jobs"` and `"host_cpus"` have no object and are skipped).
+fn bench_names(json: &str) -> Vec<String> {
+    json.lines()
+        .filter(|l| l.contains(": {"))
+        .filter_map(|l| {
+            let rest = l.trim_start().strip_prefix('"')?;
+            Some(rest[..rest.find('"')?].to_string())
+        })
+        .collect()
+}
+
+/// `--diff` tolerances: a bench may lose at most 10 % events/sec and
+/// gain at most 20 % peak RSS against the previous recorded file.
+const DIFF_EPS_FLOOR: f64 = 0.90;
+const DIFF_RSS_CEILING: f64 = 1.20;
+
+/// Compare the two newest `BENCH_<n>.json` in `dir` by numeric suffix.
+/// Bench sets legitimately drift across PRs (BENCH_2 is the figure
+/// suite, BENCH_7+ the scale ladder), so only names present in both
+/// files are compared — and an empty intersection is reported loudly
+/// rather than passed off as coverage.
+fn diff(dir: &str) -> i32 {
+    let mut files: Vec<(u64, std::path::PathBuf)> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| {
+                let p = e.ok()?.path();
+                let name = p.file_name()?.to_str()?;
+                let n = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+                Some((n.parse().ok()?, p))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("perfbench --diff: cannot read {dir}: {e}");
+            return 1;
+        }
+    };
+    files.sort();
+    let Some([(old_n, old_path), (new_n, new_path)]) = files.last_chunk::<2>() else {
+        eprintln!(
+            "perfbench --diff: found {} BENCH_<n>.json in {dir}, need 2 — nothing to diff",
+            files.len()
+        );
+        return 0;
+    };
+    let read = |p: &std::path::Path| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("perfbench --diff: cannot read {}: {e}", p.display());
+            None
+        }
+    };
+    let (Some(old_json), Some(new_json)) = (read(old_path), read(new_path)) else {
+        return 1;
+    };
+
+    println!(
+        "perfbench --diff: BENCH_{new_n}.json vs BENCH_{old_n}.json \
+         (floor {DIFF_EPS_FLOOR:.2}x events/sec, ceiling {DIFF_RSS_CEILING:.2}x peak RSS)"
+    );
+    let mut compared = 0usize;
+    let mut failed = false;
+    for name in bench_names(&new_json) {
+        let pair = |field: &str| {
+            Some((
+                read_recorded(&old_json, &name, field)?,
+                read_recorded(&new_json, &name, field)?,
+            ))
+        };
+        if let Some((old, new)) = pair("events_per_sec") {
+            compared += 1;
+            let ratio = new / old.max(1e-9);
+            println!(
+                "  {name}: events/sec {old:.0} -> {new:.0} ({:+.1} %)",
+                (ratio - 1.0) * 100.0
+            );
+            if ratio < DIFF_EPS_FLOOR {
+                eprintln!("perfbench --diff: {name} lost more than 10 % events/sec");
+                failed = true;
+            }
+        }
+        if let Some((old, new)) = pair("peak_rss_mb") {
+            compared += 1;
+            let ratio = new / old.max(1e-9);
+            println!(
+                "  {name}: peak RSS {old:.1} MiB -> {new:.1} MiB ({:+.1} %)",
+                (ratio - 1.0) * 100.0
+            );
+            if ratio > DIFF_RSS_CEILING {
+                eprintln!("perfbench --diff: {name} grew peak RSS more than 20 %");
+                failed = true;
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!(
+            "perfbench --diff: BENCH_{new_n}.json and BENCH_{old_n}.json share no \
+             comparable bench (events_per_sec/peak_rss_mb) — diff is vacuous"
+        );
+        return 1;
+    }
+    if failed {
+        return 1;
+    }
+    println!("perfbench --diff: {compared} comparison(s) within tolerance");
+    0
+}
+
 /// One scale-ladder point: run it once, return (wall_ms, events/sec,
 /// peak_rss_mb so far). Ascending callers get per-stage peaks because
 /// `VmHWM` only ratchets upward with the largest world yet built.
@@ -320,6 +434,10 @@ fn main() {
     if args.first().map(String::as_str) == Some("--smoke-scale") {
         let path = args.get(1).map(String::as_str).unwrap_or("BENCH_7.json");
         std::process::exit(smoke_scale(path));
+    }
+    if args.first().map(String::as_str) == Some("--diff") {
+        let dir = args.get(1).map(String::as_str).unwrap_or(".");
+        std::process::exit(diff(dir));
     }
     if args.first().map(String::as_str) == Some("--scale") {
         let full = args.get(1).map(String::as_str) == Some("--full");

@@ -35,6 +35,7 @@ pub mod fig9_network;
 pub mod headline;
 pub mod latency_breakdown;
 pub mod migration_study;
+pub mod observatory_study;
 pub mod resilience_study;
 pub mod scale;
 pub mod scheduler_study;

@@ -15,6 +15,11 @@ use trace::{Analysis, DropReason, Phase, TraceLog};
 use crate::common::{run_secs, SEED};
 use crate::table::{f1, f2, pct, Table};
 
+/// Hard cap on frame events per exported Chrome trace document. Study
+/// logs sit far below it; a scale-sized log is cut here with a counted
+/// truncation marker instead of materializing gigabytes of JSON.
+const CHROME_EXPORT_MAX_EVENTS: usize = 2_000_000;
+
 /// One traced experiment point: the standard 4-client C1 deployment in
 /// either mode. No warmup — the trace sees every frame the report sees,
 /// so the two aggregate views cover identical populations.
@@ -214,10 +219,23 @@ pub fn main() {
             _ => "trace_scatter.json",
         };
         let path = dir.join(name);
-        match std::fs::write(&path, trace::chrome::export(log)) {
-            Ok(()) => eprintln!(
-                "wrote {} (load in Perfetto / chrome://tracing)",
-                path.display()
+        // Stream straight to disk (capped): the document is never
+        // materialized in memory, so a scale-sized log exports in O(1)
+        // space; past the cap a counted `truncated:<n>` meta event
+        // marks the cut for the viewer.
+        match std::fs::File::create(&path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            trace::chrome::export_stream(log, &mut w, CHROME_EXPORT_MAX_EVENTS)
+        }) {
+            Ok(stats) => eprintln!(
+                "wrote {} ({} events{}; load in Perfetto / chrome://tracing)",
+                path.display(),
+                stats.written,
+                if stats.omitted > 0 {
+                    format!(", {} omitted by the cap", stats.omitted)
+                } else {
+                    String::new()
+                }
             ),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }

@@ -1,0 +1,194 @@
+//! The DES-side recording facade.
+//!
+//! The simulation records trace events at a dozen sites (`client_emit`,
+//! `route_to_service`, `deliver_result`, …). Those sites must not care
+//! whether the run is untraced, head-sampled (the PR 1 `trace::Tracer`,
+//! kept for the original small-world studies), or tail-sampled (this
+//! crate). [`DesSink`] is the one type behind them: an enum rather than
+//! a trait object so the hot path is a two-arm match the optimizer can
+//! see through, with the `Off` arm collapsing to a `sampled` flag test
+//! exactly as before.
+
+use trace::{FrameFate, Phase, TraceCtx, TraceLog, Tracer, TrackId};
+
+use crate::tail::{TailSampler, TailStats};
+
+/// Either the legacy head-sampling tracer, the tail sampler, or inert.
+pub enum DesSink {
+    Off(Tracer),
+    Head(Tracer),
+    Tail(Box<TailSampler>),
+}
+
+impl Default for DesSink {
+    fn default() -> Self {
+        DesSink::disabled()
+    }
+}
+
+impl DesSink {
+    /// Records nothing, mints unsampled contexts (so every record site
+    /// short-circuits on the `sampled` flag).
+    pub fn disabled() -> DesSink {
+        DesSink::Off(Tracer::disabled())
+    }
+
+    pub fn head(tracer: Tracer) -> DesSink {
+        DesSink::Head(tracer)
+    }
+
+    pub fn tail(sampler: TailSampler) -> DesSink {
+        DesSink::Tail(Box::new(sampler))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, DesSink::Off(_))
+    }
+
+    pub fn is_tail(&self) -> bool {
+        matches!(self, DesSink::Tail(_))
+    }
+
+    pub fn register_track(
+        &mut self,
+        name: impl Into<String>,
+        machine: impl Into<String>,
+    ) -> TrackId {
+        match self {
+            DesSink::Off(t) | DesSink::Head(t) => t.register_track(name, machine),
+            DesSink::Tail(t) => t.register_track(name, machine),
+        }
+    }
+
+    #[inline]
+    pub fn ctx(&self, client: u16, frame_no: u32) -> TraceCtx {
+        match self {
+            DesSink::Off(t) | DesSink::Head(t) => t.ctx(client, frame_no),
+            DesSink::Tail(t) => t.ctx(client, frame_no),
+        }
+    }
+
+    #[inline]
+    pub fn emitted(&mut self, ctx: TraceCtx, at_ns: u64) {
+        match self {
+            DesSink::Off(t) | DesSink::Head(t) => t.emitted(ctx, at_ns),
+            DesSink::Tail(t) => t.emitted(ctx, at_ns),
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        ctx: TraceCtx,
+        track: TrackId,
+        stage: u8,
+        phase: Phase,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        match self {
+            DesSink::Off(t) | DesSink::Head(t) => {
+                t.span(ctx, track, stage, phase, start_ns, end_ns)
+            }
+            DesSink::Tail(t) => t.span(ctx, track, stage, phase, start_ns, end_ns),
+        }
+    }
+
+    #[inline]
+    pub fn terminal(&mut self, ctx: TraceCtx, at_ns: u64, fate: FrameFate) {
+        match self {
+            DesSink::Off(t) | DesSink::Head(t) => t.terminal(ctx, at_ns, fate),
+            DesSink::Tail(t) => t.terminal(ctx, at_ns, fate),
+        }
+    }
+
+    /// [`DesSink::terminal`] with the caller's record of the frame's
+    /// emit time. Head and off modes have no use for the hint; tail
+    /// mode needs it to keep SLO classification exact once the
+    /// retention cap flips the sampler into counting mode (see
+    /// [`TailSampler::terminal_with_emit`]).
+    #[inline]
+    pub fn terminal_with_emit(
+        &mut self,
+        ctx: TraceCtx,
+        emitted_hint_ns: u64,
+        at_ns: u64,
+        fate: FrameFate,
+    ) {
+        match self {
+            DesSink::Off(t) | DesSink::Head(t) => t.terminal(ctx, at_ns, fate),
+            DesSink::Tail(t) => t.terminal_with_emit(ctx, emitted_hint_ns, at_ns, fate),
+        }
+    }
+
+    /// Forwarded to the tail sampler's crash-adjacency mark; head and
+    /// off modes have no use for it.
+    #[inline]
+    pub fn note_crash(&mut self, at_ns: u64) {
+        if let DesSink::Tail(t) = self {
+            t.note_crash(at_ns);
+        }
+    }
+
+    /// Close the log. Tail mode also yields its retention accounting.
+    pub fn finish(self, end_ns: u64) -> (TraceLog, Option<TailStats>) {
+        match self {
+            DesSink::Off(t) | DesSink::Head(t) => (t.finish(end_ns), None),
+            DesSink::Tail(t) => {
+                let (log, stats) = t.finish(end_ns);
+                (log, Some(stats))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tail::TailConfig;
+    use trace::{DropReason, TraceConfig};
+
+    #[test]
+    fn off_sink_records_nothing() {
+        let mut s = DesSink::disabled();
+        let tr = s.register_track("svc", "m");
+        let ctx = s.ctx(0, 0);
+        assert!(!ctx.sampled);
+        s.emitted(ctx, 0);
+        s.span(ctx, tr, 0, Phase::Compute, 0, 1);
+        s.terminal(ctx, 1, FrameFate::Completed);
+        let (log, stats) = s.finish(10);
+        assert!(log.events.is_empty());
+        assert!(stats.is_none());
+    }
+
+    #[test]
+    fn head_sink_behaves_like_tracer() {
+        let mut s = DesSink::head(Tracer::new(TraceConfig { sample_every: 2 }));
+        let _tr = s.register_track("svc", "m");
+        for f in 0..4u32 {
+            let ctx = s.ctx(0, f);
+            s.emitted(ctx, f as u64);
+            s.terminal(ctx, f as u64 + 1, FrameFate::Completed);
+        }
+        let (log, stats) = s.finish(10);
+        assert_eq!(log.events.len(), 4, "frames 0 and 2 sampled");
+        assert!(stats.is_none());
+    }
+
+    #[test]
+    fn tail_sink_keeps_anomalies_and_reports_stats() {
+        let mut s = DesSink::tail(TailSampler::new(TailConfig {
+            reservoir_1_in: 1 << 30,
+            ..TailConfig::default()
+        }));
+        let ctx = s.ctx(3, 9);
+        assert!(ctx.sampled, "tail mode has no head gate");
+        s.emitted(ctx, 0);
+        s.terminal(ctx, 5, FrameFate::Dropped(DropReason::Crash));
+        let (log, stats) = s.finish(10);
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(stats.unwrap().dropped, 1);
+    }
+}

@@ -206,6 +206,11 @@ pub struct RunConfig {
     /// Scale-out shape: access sites, queue shards, streaming metrics.
     /// `None` (the default) is the legacy paper-sized world.
     pub scale: Option<ScaleConfig>,
+    /// The observatory plane: tail-sampled tracing, anomaly-triggered
+    /// flight recorder, driver self-profiling. `None` (the default)
+    /// changes nothing; when set, tail sampling supersedes `trace`'s
+    /// head sampling (both planes record at the same sites).
+    pub observatory: Option<observatory::ObservatoryConfig>,
 }
 
 impl RunConfig {
@@ -227,7 +232,15 @@ impl RunConfig {
             resilience: crate::resilience::ResilienceConfig::default(),
             wire: None,
             scale: None,
+            observatory: None,
         }
+    }
+
+    /// Enable the observatory plane (tail sampling + flight recorder +
+    /// self-profiler) for this run.
+    pub fn with_observatory(mut self, o: observatory::ObservatoryConfig) -> Self {
+        self.observatory = Some(o);
+        self
     }
 
     /// Run the scale-out world shape (sites / shards / streaming).

@@ -49,6 +49,7 @@ pub use message::{FrameMsg, ServiceKind, SERVICE_KINDS, SERVICE_NAMES};
 pub use obs::DesTelemetry;
 pub use report::RunReport;
 pub use world::{
-    run_experiment, run_experiment_telemetered, run_experiment_traced, run_experiment_traced_with,
-    run_experiment_with,
+    run_experiment, run_experiment_observed, run_experiment_observed_with,
+    run_experiment_telemetered, run_experiment_telemetered_observed, run_experiment_traced,
+    run_experiment_traced_with, run_experiment_with, ObsArtifacts,
 };

@@ -25,7 +25,8 @@ use crate::obs::{RtClientObs, RtSvcObs};
 use crate::runtime::impair::{Ep, ImpairedNet, ImpairmentProfile, RtSocket};
 use crate::runtime::services::{
     attribute_ingest_error, attribute_net_drop, is_would_block, run_service, send_msg_wire,
-    ExitReport, FaultCell, ServiceWiring, SharedCtx, SvcStats, WireRtConfig,
+    ExitReport, FaultCell, ServiceWiring, SharedCtx, SvcStats, WireRtConfig, RT_PHASES,
+    RT_PROF_SHIFT,
 };
 use crate::runtime::stateful::{run_stateful_matching, run_stateful_sift, StatefulOptions};
 use crate::runtime::wire::{self, Reassembler, WireMsg};
@@ -164,6 +165,14 @@ pub struct RuntimeReport {
     pub delta_resyncs: u64,
     /// 95th-percentile end-to-end latency over completed frames, ms.
     pub p95_e2e_ms: f64,
+    /// Flight-recorder dumps frozen by anomaly triggers during the run
+    /// (kills and detector suspicions); empty on a quiet run. Unlike the
+    /// DES plane's, these are real concurrent snapshots and make no
+    /// byte-identity promise — the cross-plane gate compares counts.
+    pub flight_dumps: Vec<observatory::FlightDump>,
+    /// Always-on self-profiler totals across all service threads
+    /// (per-stage compute + datagram send path).
+    pub prof: observatory::ProfSnapshot,
 }
 
 impl RuntimeReport {
@@ -374,6 +383,9 @@ pub struct LocalDeployment {
     net: Option<Arc<ImpairedNet>>,
     /// Heartbeat failure detection (None when `opts.detection` is off).
     detection: Option<DetectionPlane>,
+    /// Always-on flight recorder (kills, drops, detections); dumps are
+    /// frozen on anomaly triggers and surfaced in the report.
+    flight: Arc<observatory::FlightRecorder>,
 }
 
 fn bind_loopback() -> UdpSocket {
@@ -430,7 +442,16 @@ impl LocalDeployment {
             threshold_ms: opts.threshold_ms,
             epoch: Instant::now(),
             wire: opts.wire,
+            prof: observatory::AtomicPhaseProf::new(RT_PHASES, RT_PROF_SHIFT),
         });
+        // Always-on flight recorder: ring 0 carries control-plane events
+        // (kills, detections, revives), rings 1..=5 the per-service drop
+        // history. ~60 KB fixed at the default capacity — cheap enough
+        // to never be behind an option.
+        let flight = Arc::new(observatory::FlightRecorder::new(
+            1 + SERVICE_KINDS.len(),
+            crate::world::env_flightrec().unwrap_or(256),
+        ));
         let shutdown = Arc::new(AtomicBool::new(false));
         let fetch_failures = Arc::new(AtomicU64::new(0));
         let sift_store_size = Arc::new(AtomicU64::new(0));
@@ -463,6 +484,7 @@ impl LocalDeployment {
                 let latencies = latencies.clone();
                 let crash_at = crash_at.clone();
                 let detected_down = detected_down.clone();
+                let flight = flight.clone();
                 std::thread::Builder::new()
                     .name("scatter-monitor".into())
                     .spawn(move || {
@@ -496,6 +518,15 @@ impl LocalDeployment {
                                         .push(at.elapsed().as_secs_f64() * 1e3);
                                 }
                                 detected_down.lock().expect("detected lock")[idx] = true;
+                                let now_ns = (now_ms * 1e6) as u64;
+                                flight.record(
+                                    0,
+                                    now_ns,
+                                    observatory::flight::KIND_DETECT,
+                                    idx as u64,
+                                    0,
+                                );
+                                flight.trigger(now_ns, "detect");
                                 let _ = tx.send(ServiceKind::from_index(idx));
                             }
                         }
@@ -581,6 +612,7 @@ impl LocalDeployment {
             client_obs,
             net,
             detection,
+            flight,
         }
     }
 
@@ -629,6 +661,13 @@ impl LocalDeployment {
         let runner = &self.runners[idx];
         runner.stats.kills.fetch_add(1, Ordering::Relaxed);
         runner.fault.generation.fetch_add(1, Ordering::Relaxed);
+        self.flight.record(
+            0,
+            self.ctx.epoch.elapsed().as_nanos() as u64,
+            observatory::flight::KIND_KILL,
+            idx as u64,
+            0,
+        );
         if let Some(d) = &self.detection {
             d.crash_at.lock().expect("crash_at lock")[idx] = Some(Instant::now());
         }
@@ -643,6 +682,8 @@ impl LocalDeployment {
                 self.attribute_crash(runner, key.client, key.frame_no, key.flags);
             }
         }
+        self.flight
+            .trigger(self.ctx.epoch.elapsed().as_nanos() as u64, "kill");
         DownReplica { kind, seen }
     }
 
@@ -702,6 +743,13 @@ impl LocalDeployment {
                 // measure against it.
                 d.crash_at.lock().expect("crash_at lock")[idx] = None;
             }
+            self.flight.record(
+                0,
+                self.ctx.epoch.elapsed().as_nanos() as u64,
+                observatory::flight::KIND_REVIVE,
+                idx as u64,
+                0,
+            );
             self.handles.lock().expect("handles lock")[idx] = Some(runner.spawn());
         }
     }
@@ -723,6 +771,13 @@ impl LocalDeployment {
         if let Some(o) = &runner.obs {
             o.drop_crash.inc();
         }
+        self.flight.record(
+            1 + runner.kind.index(),
+            self.ctx.epoch.elapsed().as_nanos() as u64,
+            observatory::flight::KIND_DROP,
+            ((client as u64) << 32) | frame_no as u64,
+            runner.kind.index() as u64,
+        );
         let tctx = trace::TraceCtx::new(client, frame_no, flags & wire::FLAG_SAMPLED != 0);
         runner.tracer.terminal(
             tctx,
@@ -1024,6 +1079,8 @@ impl LocalDeployment {
             invalid_crc: sum(&|s| s.invalid_crc.load(Ordering::Relaxed)),
             delta_resyncs: sum(&|s| s.delta_resync.load(Ordering::Relaxed)),
             p95_e2e_ms: p95_e2e,
+            flight_dumps: self.flight.take_dumps(),
+            prof: self.ctx.prof.snapshot(),
             service_counts: SERVICE_KINDS
                 .iter()
                 .zip(&self.stats)
@@ -1434,6 +1491,27 @@ mod fault_tests {
         assert_eq!(
             crashed as u64, report.crash_drops,
             "crash terminals must match the crash counter"
+        );
+        // Observatory: the kill must freeze a flight dump whose merged
+        // history contains the KIND_KILL record, and the always-on
+        // profiler must have timed the per-stage compute.
+        let kill_dump = report
+            .flight_dumps
+            .iter()
+            .find(|d| d.reason == "kill")
+            .expect("a kill trigger freezes a flight dump");
+        assert!(
+            kill_dump
+                .events
+                .iter()
+                .any(|e| e.kind == observatory::flight::KIND_KILL
+                    && e.a == ServiceKind::Sift.index() as u64),
+            "the kill dump names the killed replica"
+        );
+        let compute = report.prof.get("compute").expect("compute phase exists");
+        assert!(
+            compute.calls > 0 && compute.est_total_ns > 0,
+            "the always-on profiler saw no compute: {compute:?}"
         );
     }
 }

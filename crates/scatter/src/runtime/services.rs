@@ -48,7 +48,19 @@ pub struct SharedCtx {
     pub epoch: Instant,
     /// Wire dialect every service (and client) sends with.
     pub wire: WireRtConfig,
+    /// Always-on sampled self-profiler shared by every service thread
+    /// (1-in-64 clock pairs on the unsampled path cost one relaxed
+    /// fetch_add — cheap enough to never be optional).
+    pub prof: observatory::AtomicPhaseProf,
 }
+
+/// Runtime self-profiler phases (see [`SharedCtx::prof`]): the per-stage
+/// CV compute and the datagram send path.
+pub const RT_PHASES: &[&str] = &["compute", "net-send"];
+pub(crate) const PH_RT_COMPUTE: usize = 0;
+pub(crate) const PH_RT_SEND: usize = 1;
+/// Default sampling shift for the runtime profiler (1 in 64).
+pub(crate) const RT_PROF_SHIFT: u32 = 6;
 
 /// Per-service counters, shared with the deployment for reporting.
 #[derive(Debug, Default)]
@@ -477,7 +489,10 @@ pub fn run_service(
             );
             continue;
         }
-        let out = match process(kind, &msg, &ctx, &mut rng, &mut tracks, &mut filters) {
+        let pt = ctx.prof.enter(PH_RT_COMPUTE);
+        let out = process(kind, &msg, &ctx, &mut rng, &mut tracks, &mut filters);
+        ctx.prof.exit(PH_RT_COMPUTE, pt);
+        let out = match out {
             Ok(out) => Some(out),
             Err(_) => {
                 // Payload decoded fine at the wire layer but failed the
@@ -528,6 +543,7 @@ pub fn run_service(
                     .tracks_retired
                     .store(tracks.values().map(|t| t.retired).sum(), Ordering::Relaxed);
             }
+            let pt = ctx.prof.enter(PH_RT_SEND);
             let outcome = send_msg_wire(
                 &socket,
                 next,
@@ -538,6 +554,7 @@ pub fn run_service(
                 &stats,
                 obs.as_ref(),
             );
+            ctx.prof.exit(PH_RT_SEND, pt);
             attribute_net_drop(
                 outcome,
                 tctx,
@@ -648,6 +665,7 @@ mod tests {
             threshold_ms: 0.0,
             epoch: Instant::now(),
             wire: WireRtConfig::default(),
+            prof: observatory::AtomicPhaseProf::new(RT_PHASES, RT_PROF_SHIFT),
         }
     }
 

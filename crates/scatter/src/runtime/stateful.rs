@@ -38,7 +38,7 @@ use crate::obs::RtSvcObs;
 use crate::runtime::impair::{RtSocket, SendDisposition};
 use crate::runtime::services::{
     attribute_evictions, attribute_net_drop, epoch_ns, is_would_block, send_msg_obs, send_msg_wire,
-    ExitReport, FaultCell, SharedCtx, SvcStats,
+    ExitReport, FaultCell, SharedCtx, SvcStats, PH_RT_COMPUTE,
 };
 use crate::runtime::wire::{
     self, decode_frame, decode_state, encode_result, encode_state, FrameKey, FrameState,
@@ -270,9 +270,11 @@ pub fn run_stateful_sift(
             }
             continue;
         };
+        let pt = ctx.prof.enter(PH_RT_COMPUTE);
         let (pyr, kps) = vision::keypoints::detect(&img, &DetectorParams::default());
         let mut descriptors = vision::descriptor::describe_all(&pyr, &kps);
         descriptors.truncate(ctx.max_descriptors);
+        ctx.prof.exit(PH_RT_COMPUTE, pt);
         // Park the real state; forward a stub so downstream stages can
         // still compute the Fisher/LSH path... which needs descriptors.
         // Like the real scAtteR, the compact representation (descriptors
@@ -609,6 +611,7 @@ pub fn run_stateful_matching(
             continue;
         };
 
+        let pt = ctx.prof.enter(PH_RT_COMPUTE);
         let mut recognitions = Vec::new();
         for &cand in &lsh_state.candidates {
             if let Some(rec) = ctx
@@ -618,6 +621,7 @@ pub fn run_stateful_matching(
                 recognitions.push((rec.name, rec.pose.corners));
             }
         }
+        ctx.prof.exit(PH_RT_COMPUTE, pt);
         let done_ns = epoch_ns(ctx.epoch);
         tracer.span(
             tctx,

@@ -71,10 +71,11 @@ pub struct PipelineWorld {
     pub breakdown_compute: [metrics::Summary; 5],
     pub breakdown_queue: [metrics::Summary; 5],
     pub breakdown_network: metrics::Summary,
-    /// Per-frame causal tracing (inert unless `cfg.trace` is set). Event
-    /// recording is append-only and draws no randomness, so enabling it
-    /// cannot perturb the simulation's determinism.
-    pub tracer: trace::Tracer,
+    /// Per-frame causal tracing: inert, head-sampled (`cfg.trace`), or
+    /// tail-sampled (`cfg.observatory`). Event recording is append-only
+    /// and draws no randomness, so enabling it cannot perturb the
+    /// simulation's determinism.
+    pub tracer: observatory::DesSink,
     /// Trace track per service slot (parallel to `services`).
     pub track_of_slot: Vec<trace::TrackId>,
     /// Trace track per client (the result's return transit lands here).
@@ -126,7 +127,25 @@ pub struct PipelineWorld {
     pub shards: usize,
     /// Run-wide E2E latency histogram (`Some` iff `streaming`).
     pub scale_e2e: Option<LogHistogram>,
+    // --- observatory (inert unless `cfg.observatory` is set) ---
+    /// Anomaly-triggered flight recorder. Rings are keyed by *client*
+    /// (plus ring 0 for control-plane events), never by event-queue
+    /// shard, so dump contents are invariant under `SCATTER_SHARDS`.
+    pub flight: Option<observatory::FlightRecorder>,
+    /// Sampled self-profiler over the DES hot paths (see [`DES_PHASES`]).
+    pub prof: Option<observatory::PhaseProfiler>,
+    /// SLO events already mirrored into the flight recorder.
+    pub slo_seen: usize,
 }
+
+/// Self-profiler phases over the DES hot paths. Indices are the `PH_*`
+/// constants; the observatory bin reconciles these against the report's
+/// `latency_breakdown`.
+pub const DES_PHASES: &[&str] = &["net-decide", "cost-sample", "deliver", "slo-tick"];
+const PH_NET: usize = 0;
+const PH_COST: usize = 1;
+const PH_DELIVER: usize = 2;
+const PH_SLO: usize = 3;
 
 impl PipelineWorld {
     /// The network node a client's frames originate from (and results
@@ -145,6 +164,16 @@ impl PipelineWorld {
         self.site_map
             .as_ref()
             .map_or(0, |sm| sm.site_index(client) as u64)
+    }
+
+    /// Flight-recorder ring for one client's drop events. Rings `1..`
+    /// are client-keyed (ring 0 carries control-plane events) — a pure
+    /// function of the event, so recording order and placement are
+    /// identical for any `SCATTER_SHARDS` layout.
+    fn flight_ring(&self, client: u16) -> usize {
+        self.flight
+            .as_ref()
+            .map_or(0, |f| 1 + client as usize % (f.ring_count() - 1).max(1))
     }
 }
 
@@ -251,6 +280,22 @@ fn make_sidecar(
     ))
 }
 
+/// Everything the observatory plane collects beyond the report and the
+/// trace log: tail-sampling retention accounting, frozen flight-recorder
+/// dumps, and the self-profiler snapshots (world phases + the simulator
+/// core's own queue loop).
+#[derive(Default)]
+pub struct ObsArtifacts {
+    /// Tail-sampling stats (`Some` iff `cfg.observatory` was set).
+    pub tail: Option<observatory::TailStats>,
+    /// Flight-recorder dumps frozen by anomaly triggers, in trigger order.
+    pub flight_dumps: Vec<observatory::FlightDump>,
+    /// World-phase profile (`Some` iff `cfg.observatory` was set).
+    pub prof: Option<observatory::ProfSnapshot>,
+    /// Simulator-core pop/exec counters (`Some` iff profiling was on).
+    pub sim_prof: Option<simcore::SimProfStats>,
+}
+
 /// Build the world, run to completion, and report.
 pub fn run_experiment(cfg: RunConfig) -> RunReport {
     run_experiment_with(cfg, CostModel::default())
@@ -266,7 +311,7 @@ pub fn run_experiment_with(cfg: RunConfig, cost: CostModel) -> RunReport {
 /// identical to [`run_experiment`]'s, which is the point: tracing is an
 /// observer, not a participant).
 pub fn run_experiment_traced(cfg: RunConfig) -> (RunReport, trace::TraceLog) {
-    let ((report, _), log) = run_world(cfg, CostModel::default(), None);
+    let ((report, _), log, _) = run_world(cfg, CostModel::default(), None);
     (report, log)
 }
 
@@ -274,8 +319,25 @@ pub fn run_experiment_traced(cfg: RunConfig) -> (RunReport, trace::TraceLog) {
 /// run a low-noise calibration whose fault windows can be reasoned about
 /// exactly (see `experiments --bin chaos`).
 pub fn run_experiment_traced_with(cfg: RunConfig, cost: CostModel) -> (RunReport, trace::TraceLog) {
-    let ((report, _), log) = run_world(cfg, cost, None);
+    let ((report, _), log, _) = run_world(cfg, cost, None);
     (report, log)
+}
+
+/// Run with the observatory plane on (callers set `cfg.observatory`):
+/// tail-sampled tracing, the flight recorder, and the self-profiler.
+/// Like every other observer, none of it perturbs the report.
+pub fn run_experiment_observed(cfg: RunConfig) -> (RunReport, trace::TraceLog, ObsArtifacts) {
+    run_experiment_observed_with(cfg, CostModel::default())
+}
+
+/// Observed run with an explicit cost model (the observatory bin's
+/// chaos-schedule retention gate uses the low-noise calibration).
+pub fn run_experiment_observed_with(
+    cfg: RunConfig,
+    cost: CostModel,
+) -> (RunReport, trace::TraceLog, ObsArtifacts) {
+    let ((report, _), log, artifacts) = run_world(cfg, cost, None);
+    (report, log, artifacts)
 }
 
 /// Run with live telemetry recording into `registry`. Every service
@@ -290,6 +352,17 @@ pub fn run_experiment_telemetered(
     registry: telemetry::Registry,
 ) -> (RunReport, DesTelemetry) {
     run_world(cfg, CostModel::default(), Some(registry)).0
+}
+
+/// Telemetered *and* observed run — what the observatory bin's
+/// cross-plane gate uses: the SLO event log and the flight dumps come
+/// from the same run, so their anomaly counts can be reconciled.
+pub fn run_experiment_telemetered_observed(
+    cfg: RunConfig,
+    registry: telemetry::Registry,
+) -> (RunReport, DesTelemetry, ObsArtifacts) {
+    let ((report, tele), _, artifacts) = run_world(cfg, CostModel::default(), Some(registry));
+    (report, tele, artifacts)
 }
 
 /// Parse the `SCATTER_SHARDS` override (a positive integer forcing the
@@ -312,11 +385,52 @@ fn env_shards() -> Option<usize> {
     }
 }
 
+/// Parse the `SCATTER_OBS_SAMPLE` override: the tail sampler's reservoir
+/// rate (keep 1 in N healthy frames; anomalous frames are always kept).
+/// Invalid values warn once and fall back to the config's rate.
+fn env_obs_sample() -> Option<u64> {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let raw = std::env::var("SCATTER_OBS_SAMPLE").ok()?;
+    match raw.parse::<u64>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: invalid SCATTER_OBS_SAMPLE={raw} (want a positive integer); \
+                     using the config's reservoir rate"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// Parse the `SCATTER_FLIGHTREC` override: per-ring flight-recorder
+/// capacity (events kept per ring). Invalid values warn once and fall
+/// back to the config's capacity. Shared with the runtime plane, whose
+/// always-on recorder uses the same knob over its built-in default.
+pub(crate) fn env_flightrec() -> Option<usize> {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let raw = std::env::var("SCATTER_FLIGHTREC").ok()?;
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: invalid SCATTER_FLIGHTREC={raw} (want a positive integer); \
+                     using the config's ring capacity"
+                );
+            });
+            None
+        }
+    }
+}
+
 fn run_world(
     cfg: RunConfig,
     cost: CostModel,
     registry: Option<telemetry::Registry>,
-) -> ((RunReport, DesTelemetry), trace::TraceLog) {
+) -> ((RunReport, DesTelemetry), trace::TraceLog, ObsArtifacts) {
     let mut root = SimRng::new(cfg.seed);
     let rng_net = root.split();
     let rng_service = root.split();
@@ -488,10 +602,23 @@ fn run_world(
 
     // Trace tracks: one per service instance per machine, one per client.
     // Registration is unconditional (cheap) so slot ↔ track stays aligned
-    // whether or not tracing is on.
-    let mut tracer = match cfg.trace {
-        Some(tc) => trace::Tracer::new(tc),
-        None => trace::Tracer::disabled(),
+    // whether or not tracing is on. The observatory's tail sampler
+    // supersedes head sampling: every frame is traced and the
+    // keep/discard decision happens at its terminal.
+    let mut tracer = match (cfg.observatory, cfg.trace) {
+        (Some(oc), _) => {
+            let mut tc = oc.tail;
+            // Fold the run seed in so the reservoir decorrelates across
+            // seeds without the caller managing a second seed. The
+            // decision stays a pure function of (seed, trace_id).
+            tc.seed ^= cfg.seed;
+            if let Some(n) = env_obs_sample() {
+                tc.reservoir_1_in = n;
+            }
+            observatory::DesSink::tail(observatory::TailSampler::new(tc))
+        }
+        (None, Some(tc)) => observatory::DesSink::head(trace::Tracer::new(tc)),
+        (None, None) => observatory::DesSink::disabled(),
     };
     let track_of_slot: Vec<trace::TrackId> = services
         .iter()
@@ -542,6 +669,24 @@ fn run_world(
             .collect();
         obs
     });
+
+    // Observatory: flight recorder + world-phase profiler (both `None`
+    // when `cfg.observatory` is unset — the hot paths then only pay a
+    // branch-not-taken per site, same discipline as `obs`).
+    let flight = cfg.observatory.map(|oc| {
+        let cap = env_flightrec().unwrap_or(oc.flight_cap);
+        // One ring per access site (clamped) plus ring 0 for the
+        // control plane. Keyed by client/site — never by event-queue
+        // shard — so dump contents survive `SCATTER_SHARDS` changes.
+        let data_rings = scale.map_or(1, |sc| sc.sites).clamp(1, 15);
+        observatory::FlightRecorder::new(1 + data_rings, cap)
+    });
+    let mut prof = cfg
+        .observatory
+        .map(|oc| observatory::PhaseProfiler::new(DES_PHASES, oc.prof_shift));
+    if let (Some(p), Some(o)) = (prof.as_mut(), obs.as_ref()) {
+        p.attach_registry(&o.registry, crate::obs::PLANE);
+    }
 
     // Resilience-plane state (all `None`/empty when the plane is off).
     let detector = cfg.resilience.detection.map(|d| {
@@ -599,9 +744,17 @@ fn run_world(
         streaming,
         shards,
         scale_e2e: streaming.then(LogHistogram::for_latency_ms),
+        flight,
+        prof,
+        slo_seen: 0,
     };
 
     let mut sim: SimW = Sim::with_shards(shards);
+    // The simulator core's own pop/exec phase timers ride the same
+    // sampling shift as the world profiler.
+    if let Some(oc) = world.cfg.observatory {
+        sim.enable_profiling(oc.prof_shift);
+    }
     // Kick off client sources, keyed by access site so a client's whole
     // emission chain stays in its site's shard.
     for i in 0..world.clients.len() {
@@ -648,8 +801,16 @@ fn run_world(
 
     sim.run_until(&mut world, end_at);
     let events_executed = sim.executed();
-    let tracer = std::mem::replace(&mut world.tracer, trace::Tracer::disabled());
-    let log = tracer.finish(end_at.as_nanos());
+    let (log, tail_stats) = std::mem::take(&mut world.tracer).finish(end_at.as_nanos());
+    let artifacts = ObsArtifacts {
+        tail: tail_stats,
+        flight_dumps: world
+            .flight
+            .as_ref()
+            .map_or_else(Vec::new, |f| f.take_dumps()),
+        prof: world.prof.as_ref().map(|p| p.snapshot()),
+        sim_prof: sim.profile(),
+    };
     let des_telemetry = match world.obs.take() {
         Some(obs) => DesTelemetry {
             slo_events: obs.slo_events,
@@ -662,7 +823,11 @@ fn run_world(
             slo: telemetry::SloTracker::new(telemetry::SloConfig::default()),
         },
     };
-    ((build_report(world, events_executed), des_telemetry), log)
+    (
+        (build_report(world, events_executed), des_telemetry),
+        log,
+        artifacts,
+    )
 }
 
 /// Network-loss drop reason: a multi-fragment datagram dies to
@@ -920,7 +1085,12 @@ fn route_to_service(
             }
         }
     }
-    match w.net.send(src_node, dst_node, msg.payload_bytes, now) {
+    let t0 = w.prof.as_mut().and_then(|p| p.enter(PH_NET));
+    let delivery = w.net.send(src_node, dst_node, msg.payload_bytes, now);
+    if let Some(p) = w.prof.as_mut() {
+        p.exit(PH_NET, t0);
+    }
+    match delivery {
         simnet::Delivery::Lost => {
             let reason = net_loss_reason(msg.payload_bytes);
             w.tracer
@@ -1112,9 +1282,13 @@ fn start_compute(w: &mut PipelineWorld, sim: &mut SimW, slot: usize, msg: FrameM
     // Wall time (what the service latency metric sees) vs GPU occupancy
     // (what contends on the token pool): a virtualized V100 is slow in
     // wall time without saturating its GPU.
+    let t0 = w.prof.as_mut().and_then(|p| p.enter(PH_COST));
     let duration = w
         .cost
         .sample_service_time(kind, arch_mult, virtualized, &mut w.rng_service);
+    if let Some(p) = w.prof.as_mut() {
+        p.exit(PH_COST, t0);
+    }
     // Pyramid-downscaled captures (ladder rung ≥ 1) cost proportionally
     // less work at every stage. The sample above is drawn regardless so
     // the RNG stream stays aligned with a ladder-off run.
@@ -1466,10 +1640,14 @@ fn fetch_timeout(w: &mut PipelineWorld, sim: &mut SimW, matching_slot: usize, ke
 /// Send the processed frame (bounding boxes) back to its client.
 fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node: simnet::NodeId) {
     let now = sim.now();
-    match w
+    let t0 = w.prof.as_mut().and_then(|p| p.enter(PH_DELIVER));
+    let delivery = w
         .net
-        .send(src_node, msg.client_addr, msg.payload_bytes, now)
-    {
+        .send(src_node, msg.client_addr, msg.payload_bytes, now);
+    if let Some(p) = w.prof.as_mut() {
+        p.exit(PH_DELIVER, t0);
+    }
+    match delivery {
         simnet::Delivery::Lost => {
             let reason = net_loss_reason(msg.payload_bytes);
             w.tracer
@@ -1522,8 +1700,12 @@ fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node
                         return;
                     }
                 }
-                w.tracer
-                    .terminal(msg.trace, now.as_nanos(), trace::FrameFate::Completed);
+                w.tracer.terminal_with_emit(
+                    msg.trace,
+                    msg.emitted_at.as_nanos(),
+                    now.as_nanos(),
+                    trace::FrameFate::Completed,
+                );
                 let e2e_ms = now.saturating_since(msg.emitted_at).as_millis_f64();
                 for i in 0..5 {
                     w.breakdown_compute[i].record(msg.stage_compute_ms[i]);
@@ -1565,6 +1747,7 @@ fn deliver_result(w: &mut PipelineWorld, sim: &mut SimW, msg: FrameMsg, src_node
 /// 1 Hz resident-memory sampling (per instance and per machine).
 fn sample_metrics(w: &mut PipelineWorld, sim: &mut SimW) {
     let now = sim.now();
+    let t0 = w.prof.as_mut().and_then(|p| p.enter(PH_SLO));
     let mut machine_totals = vec![0.0f64; w.cluster.machines().len()];
     for slot in 0..w.services.len() {
         let svc = &w.services[slot];
@@ -1613,6 +1796,33 @@ fn sample_metrics(w: &mut PipelineWorld, sim: &mut SimW) {
             o.tick(now.as_secs_f64());
         }
     }
+    // Flight recorder: mirror new SLO transitions into the control
+    // ring; a burn-rate *alert* freezes a dump (a clear does not —
+    // recovery is not an anomaly).
+    let (mut alerts, mut clears) = (0u64, 0u64);
+    if let Some(o) = &w.obs {
+        for ev in &o.slo_events[w.slo_seen..] {
+            match ev.kind {
+                telemetry::SloEventKind::BurnRateAlert { .. } => alerts += 1,
+                telemetry::SloEventKind::BurnRateClear { .. } => clears += 1,
+            }
+        }
+        w.slo_seen = o.slo_events.len();
+    }
+    if let Some(fr) = &w.flight {
+        for _ in 0..alerts {
+            fr.record(0, now.as_nanos(), observatory::flight::KIND_SLO_ALERT, 0, 0);
+        }
+        for _ in 0..clears {
+            fr.record(0, now.as_nanos(), observatory::flight::KIND_SLO_CLEAR, 0, 0);
+        }
+        if alerts > 0 {
+            fr.trigger(now.as_nanos(), "slo-alert");
+        }
+    }
+    if let Some(p) = w.prof.as_mut() {
+        p.exit(PH_SLO, t0);
+    }
     if now + SimDuration::from_secs(1) <= w.end_at {
         sim.schedule(SimDuration::from_secs(1), sample_metrics);
     }
@@ -1654,7 +1864,30 @@ fn crash_instance(w: &mut PipelineWorld, sim: &mut SimW, kind: ServiceKind, repl
             *sc = Sidecar::new(sc.threshold(), sc.service_est(), sc.downstream_est());
         }
     }
+    // Observatory: mark the crash instant for tail-sampling adjacency
+    // (frames terminating inside the window after it are retained), put
+    // the crash and each voided frame on the flight rings, then freeze
+    // a dump of the recent history.
+    w.tracer.note_crash(now.as_nanos());
+    if let Some(fr) = &w.flight {
+        fr.record(
+            0,
+            now.as_nanos(),
+            observatory::flight::KIND_CRASH,
+            slot as u64,
+            lost.len() as u64,
+        );
+    }
     for ctx in lost {
+        if let Some(fr) = &w.flight {
+            fr.record(
+                w.flight_ring(ctx.client),
+                now.as_nanos(),
+                observatory::flight::KIND_DROP,
+                ctx.trace_id,
+                slot as u64,
+            );
+        }
         w.tracer.terminal(
             ctx,
             now.as_nanos(),
@@ -1667,6 +1900,9 @@ fn crash_instance(w: &mut PipelineWorld, sim: &mut SimW, kind: ServiceKind, repl
             o.slo_breach(now.as_secs_f64());
         }
     }
+    if let Some(fr) = &w.flight {
+        fr.trigger(now.as_nanos(), "crash");
+    }
     sim.schedule_at(revive_at, move |w, s| revive_instance(w, s, slot));
 }
 
@@ -1678,6 +1914,15 @@ fn revive_instance(w: &mut PipelineWorld, sim: &mut SimW, slot: usize) {
     w.services[slot].down_until = None;
     // Recovered before anyone suspected it: cancel the latency clock.
     w.crash_pending.remove(&slot);
+    if let Some(fr) = &w.flight {
+        fr.record(
+            0,
+            sim.now().as_nanos(),
+            observatory::flight::KIND_REVIVE,
+            slot as u64,
+            0,
+        );
+    }
     if !w.derouted[slot] {
         return;
     }
@@ -1736,6 +1981,7 @@ fn detector_check(w: &mut PipelineWorld, sim: &mut SimW) {
         .as_mut()
         .map(|d| d.check(now.as_millis_f64()))
         .unwrap_or_default();
+    let mut detected = false;
     for sus in suspicions {
         let Some(slot) = w.instance_ids.iter().position(|&id| id == sus.instance) else {
             continue;
@@ -1744,6 +1990,16 @@ fn detector_check(w: &mut PipelineWorld, sim: &mut SimW) {
             continue;
         }
         w.resilience.detections += 1;
+        detected = true;
+        if let Some(fr) = &w.flight {
+            fr.record(
+                0,
+                now.as_nanos(),
+                observatory::flight::KIND_DETECT,
+                slot as u64,
+                0,
+            );
+        }
         if let Some(t0) = w.crash_pending.remove(&slot) {
             w.resilience
                 .detection_latency_ms
@@ -1764,6 +2020,15 @@ fn detector_check(w: &mut PipelineWorld, sim: &mut SimW) {
             }
         }
         w.derouted[slot] = true;
+        if let Some(fr) = &w.flight {
+            fr.record(
+                0,
+                now.as_nanos(),
+                observatory::flight::KIND_FAILOVER,
+                ki as u64,
+                slot as u64,
+            );
+        }
         // Orchestrator bookkeeping: fail the instance and let the
         // self-healing loop redeploy it on its machine. The redeployed
         // identity takes over the slot when the restart completes.
@@ -1777,6 +2042,11 @@ fn detector_check(w: &mut PipelineWorld, sim: &mut SimW) {
         }
         if let Some(det) = w.detector.as_mut() {
             det.deregister(old_id);
+        }
+    }
+    if detected {
+        if let Some(fr) = &w.flight {
+            fr.trigger(now.as_nanos(), "detect");
         }
     }
     if now + det_cfg.hb_interval <= w.end_at {
@@ -2707,5 +2977,98 @@ mod tests {
             .unwrap();
         assert_eq!(sift.fetch_served, 0);
         assert_eq!(sift.fetch_dropped, 0);
+    }
+
+    fn observed_cfg() -> RunConfig {
+        RunConfig::new(Mode::ScatterPP, placements::c2(), 2)
+            .with_duration(SimDuration::from_secs(15))
+            .with_warmup(SimDuration::from_secs(2))
+            .with_failure(SimDuration::from_secs(6), ServiceKind::Sift, 0)
+            .with_recovery(SimDuration::from_secs(2))
+            .with_observatory(observatory::ObservatoryConfig::default())
+    }
+
+    #[test]
+    fn observatory_is_report_neutral() {
+        // The whole observatory plane — tail sampler, flight recorder,
+        // profiler (world + sim core) — is an observer: the report from
+        // an observed run must match the unobserved run byte for byte.
+        let mut plain = observed_cfg();
+        plain.observatory = None;
+        let base = run_experiment(plain);
+        let (observed, _, art) = run_experiment_observed(observed_cfg());
+        assert_eq!(base.per_client_fps, observed.per_client_fps);
+        assert_eq!(base.bytes_on_wire, observed.bytes_on_wire);
+        assert_eq!(base.success_rate, observed.success_rate);
+        assert!(art.tail.is_some() && art.prof.is_some() && art.sim_prof.is_some());
+    }
+
+    #[test]
+    fn observatory_retains_anomalies_and_dumps_on_crash() {
+        let (report, log, art) = run_experiment_observed(observed_cfg());
+        let stats = art.tail.expect("tail stats present");
+        assert!(stats.frames_seen > 0);
+        assert!(
+            stats.dropped > 0,
+            "the injected crash must surface dropped frames"
+        );
+        assert!(
+            stats.frames_retained < stats.frames_seen,
+            "healthy frames must be discarded: {} retained of {}",
+            stats.frames_retained,
+            stats.frames_seen
+        );
+        // Every retained frame's events are in the log; dropped frames
+        // never lose their terminal.
+        assert!(!log.events.is_empty());
+        // The crash froze at least one flight dump whose merged history
+        // contains the crash record itself.
+        assert!(
+            art.flight_dumps.iter().any(|d| d.reason == "crash"),
+            "crash trigger missing: {:?}",
+            art.flight_dumps
+                .iter()
+                .map(|d| d.reason.clone())
+                .collect::<Vec<_>>()
+        );
+        let crash_dump = art
+            .flight_dumps
+            .iter()
+            .find(|d| d.reason == "crash")
+            .unwrap();
+        assert!(crash_dump
+            .events
+            .iter()
+            .any(|e| e.kind == observatory::flight::KIND_CRASH));
+        assert!(report.success_rate > 0.0, "sanity: the run still served");
+    }
+
+    #[test]
+    fn observed_runs_are_bit_identical_across_reruns_and_shards() {
+        use std::fmt::Write as _;
+        let fingerprint = |shards: usize| {
+            let mut cfg = observed_cfg();
+            cfg = cfg.with_scale(
+                crate::config::ScaleConfig::new(3)
+                    .exact()
+                    .with_shards(shards),
+            );
+            let (_, log, art) = run_experiment_observed(cfg);
+            let mut s = String::new();
+            for ev in &log.events {
+                writeln!(s, "{ev:?}").unwrap();
+            }
+            for d in &art.flight_dumps {
+                s.push_str(&observatory::flight::dump_json(d));
+            }
+            let st = art.tail.unwrap();
+            writeln!(s, "{st:?}").unwrap();
+            s
+        };
+        let a = fingerprint(1);
+        let b = fingerprint(1);
+        assert_eq!(a, b, "rerun must be bit-identical");
+        let c = fingerprint(3);
+        assert_eq!(a, c, "shard count must not change retained bytes");
     }
 }

@@ -30,6 +30,6 @@ pub mod queue;
 pub mod rng;
 pub mod time;
 
-pub use queue::{EventId, Sim};
+pub use queue::{EventId, Sim, SimProfStats};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -20,6 +20,16 @@ pub struct PairStats {
     pub bytes_sent: u64,
 }
 
+/// Whole-transport aggregate of every direction's counters — what the
+/// observatory's per-phase attribution table reconciles its net-decide
+/// call count against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetTotals {
+    pub datagrams_sent: u64,
+    pub datagrams_lost: u64,
+    pub bytes_sent: u64,
+}
+
 /// Where a direction's state lives in the active [`DirStore`].
 #[derive(Debug, Clone, Copy)]
 enum Slot {
@@ -337,6 +347,24 @@ impl UdpNet {
         }
     }
 
+    /// One-pass aggregate across all pairs and both directions.
+    pub fn totals(&self) -> NetTotals {
+        let fold = |acc: NetTotals, s: &PairStats| NetTotals {
+            datagrams_sent: acc.datagrams_sent + s.datagrams_sent,
+            datagrams_lost: acc.datagrams_lost + s.datagrams_lost,
+            bytes_sent: acc.bytes_sent + s.bytes_sent,
+        };
+        match &self.store {
+            DirStore::Dense { stats, .. } => stats.iter().fold(NetTotals::default(), fold),
+            DirStore::Sparse {
+                stats, loop_stats, ..
+            } => stats
+                .iter()
+                .chain(loop_stats.iter())
+                .fold(NetTotals::default(), fold),
+        }
+    }
+
     /// Total datagrams lost across all pairs.
     pub fn total_lost(&self) -> u64 {
         match &self.store {
@@ -500,6 +528,10 @@ mod tests {
         assert_eq!(net.pair_stats(a, b).datagrams_sent, 1);
         assert_eq!(net.pair_stats(b, a).datagrams_sent, 1);
         assert_eq!(net.total_bytes(), 700);
+        let t = net.totals();
+        assert_eq!(t.datagrams_sent, 3);
+        assert_eq!(t.bytes_sent, 700);
+        assert_eq!(t.datagrams_lost, net.total_lost());
     }
 }
 

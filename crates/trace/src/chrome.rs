@@ -13,13 +13,44 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io;
 
 use crate::collect::TraceLog;
 use crate::json::escape;
 use crate::model::{FrameFate, TraceEvent};
 
+/// What [`export_stream`] wrote: frame events shipped vs dropped by the
+/// `max_events` cap (metadata rows are never counted or capped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportStats {
+    pub written: usize,
+    pub omitted: usize,
+}
+
 /// Render the log as a Chrome trace-event JSON document.
+///
+/// Convenience wrapper over [`export_stream`] with no event cap — fine
+/// for study-sized logs, but a 100k-client run can hold tens of
+/// millions of events; at scale, stream straight to disk with a cap
+/// instead of materializing the document.
 pub fn export(log: &TraceLog) -> String {
+    let mut buf = Vec::with_capacity(4096 + log.events.len() * 128);
+    export_stream(log, &mut buf, usize::MAX).expect("write to Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// Stream the log as Chrome trace-event JSON into `w`, shipping at most
+/// `max_events` frame events (spans + terminals). Memory stays O(1) in
+/// the log size: events are formatted and written one at a time, never
+/// collected into a document string. When the cap truncates, a final
+/// metadata instant event (`"cat":"meta"`, named `truncated:<n>`,
+/// carrying the omitted count in `args`) marks the cut so a viewer —
+/// or a gate — can tell a capped export from a complete one.
+pub fn export_stream<W: io::Write>(
+    log: &TraceLog,
+    w: &mut W,
+    max_events: usize,
+) -> io::Result<ExportStats> {
     // Stable machine -> pid mapping (registration order).
     let mut pids: BTreeMap<&str, u32> = BTreeMap::new();
     for t in &log.tracks {
@@ -33,44 +64,61 @@ pub fn export(log: &TraceLog) -> String {
             .unwrap_or(0)
     };
 
-    let mut out = String::with_capacity(4096 + log.events.len() * 128);
-    out.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+    w.write_all(b"{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n")?;
     let mut first = true;
-    let mut push = |out: &mut String, line: String| {
+    let mut push = |w: &mut W, line: &str| -> io::Result<()> {
         if !std::mem::take(&mut first) {
-            out.push_str(",\n");
+            w.write_all(b",\n")?;
         }
-        out.push_str(&line);
+        w.write_all(line.as_bytes())
     };
 
     for (machine, pid) in &pids {
         push(
-            &mut out,
-            format!(
+            w,
+            &format!(
                 "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
                  \"args\":{{\"name\":\"{}\"}}}}",
                 escape(machine)
             ),
-        );
+        )?;
     }
     for t in &log.tracks {
         push(
-            &mut out,
-            format!(
+            w,
+            &format!(
                 "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\
                  \"args\":{{\"name\":\"{}\"}}}}",
                 pid_of(t.id.0),
                 t.id.0,
                 escape(&t.name)
             ),
-        );
+        )?;
     }
 
+    // Client-name -> tid lookup built once (terminals land on the
+    // frame's client track); the linear scan per terminal was fine for
+    // study logs but not for millions of events.
+    let client_tids: BTreeMap<&str, u16> = log
+        .tracks
+        .iter()
+        .filter(|t| t.name.starts_with("client-"))
+        .map(|t| (t.name.as_str(), t.id.0))
+        .collect();
+
+    let mut written = 0usize;
+    let mut omitted = 0usize;
+    let mut last_ts_us = 0u64;
+    let mut line = String::with_capacity(256);
     for ev in &log.events {
         match ev {
-            TraceEvent::Emitted { .. } => {} // implicit: first span starts here
+            TraceEvent::Emitted { .. } => continue, // implicit: first span starts here
             TraceEvent::Span(s) => {
-                let mut line = String::with_capacity(160);
+                if written >= max_events {
+                    omitted += 1;
+                    continue;
+                }
+                line.clear();
                 let _ = write!(
                     line,
                     "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"frame\",\"pid\":{},\"tid\":{},\
@@ -85,41 +133,53 @@ pub fn export(log: &TraceLog) -> String {
                     s.ctx.trace_id,
                     s.stage,
                 );
-                push(&mut out, line);
+                last_ts_us = last_ts_us.max(s.start_ns / 1_000);
+                push(w, &line)?;
+                written += 1;
             }
             TraceEvent::Terminal { ctx, at_ns, fate } => {
+                if written >= max_events {
+                    omitted += 1;
+                    continue;
+                }
                 let name = match fate {
                     FrameFate::Completed => "completed".to_string(),
                     FrameFate::Dropped(r) => format!("dropped:{}", r.as_str()),
                 };
-                // Terminals land on the frame's client track when we can
-                // name one; tid 0 otherwise. Client tracks are registered
-                // as `client-N`.
-                let tid = log
-                    .tracks
-                    .iter()
-                    .find(|t| t.name == format!("client-{}", ctx.client))
-                    .map(|t| t.id.0)
+                let tid = client_tids
+                    .get(format!("client-{}", ctx.client).as_str())
+                    .copied()
                     .unwrap_or(0);
-                push(
-                    &mut out,
-                    format!(
-                        "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"fate\",\"s\":\"t\",\"pid\":{},\"tid\":{},\
-                         \"ts\":{},\"args\":{{\"client\":{},\"frame\":{},\"trace_id\":{}}}}}",
-                        escape(&name),
-                        pid_of(tid),
-                        tid,
-                        at_ns / 1_000,
-                        ctx.client,
-                        ctx.frame_no,
-                        ctx.trace_id,
-                    ),
+                line.clear();
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"fate\",\"s\":\"t\",\"pid\":{},\"tid\":{},\
+                     \"ts\":{},\"args\":{{\"client\":{},\"frame\":{},\"trace_id\":{}}}}}",
+                    escape(&name),
+                    pid_of(tid),
+                    tid,
+                    at_ns / 1_000,
+                    ctx.client,
+                    ctx.frame_no,
+                    ctx.trace_id,
                 );
+                last_ts_us = last_ts_us.max(at_ns / 1_000);
+                push(w, &line)?;
+                written += 1;
             }
         }
     }
-    out.push_str("\n]\n}\n");
-    out
+    if omitted > 0 {
+        push(
+            w,
+            &format!(
+                "{{\"ph\":\"i\",\"name\":\"truncated:{omitted}\",\"cat\":\"meta\",\"s\":\"g\",\
+                 \"pid\":0,\"tid\":0,\"ts\":{last_ts_us},\"args\":{{\"omitted\":{omitted}}}}}"
+            ),
+        )?;
+    }
+    w.write_all(b"\n]\n}\n")?;
+    Ok(ExportStats { written, omitted })
 }
 
 #[cfg(test)]
@@ -162,6 +222,41 @@ mod tests {
             .find(|e| e.get("name").unwrap().as_str() == Some("dropped:netem-loss"))
             .unwrap();
         assert_eq!(term.get("ph").unwrap().as_str(), Some("i"));
+    }
+
+    #[test]
+    fn stream_cap_truncates_with_counted_marker() {
+        let l = log(); // 2 spans + 2 terminals = 4 frame events
+        let mut buf = Vec::new();
+        let stats = export_stream(&l, &mut buf, 3).unwrap();
+        assert_eq!(
+            stats,
+            ExportStats {
+                written: 3,
+                omitted: 1
+            }
+        );
+        let v = Value::parse(std::str::from_utf8(&buf).unwrap()).expect("capped export is JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let marker = events
+            .iter()
+            .find(|e| e.get("cat").and_then(|c| c.as_str()) == Some("meta"))
+            .expect("truncation marker present");
+        assert_eq!(marker.get("name").unwrap().as_str(), Some("truncated:1"));
+        assert_eq!(
+            marker.get("args").unwrap().get("omitted").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn uncapped_stream_matches_export_and_has_no_marker() {
+        let l = log();
+        let mut buf = Vec::new();
+        let stats = export_stream(&l, &mut buf, usize::MAX).unwrap();
+        assert_eq!(stats.omitted, 0);
+        assert_eq!(std::str::from_utf8(&buf).unwrap(), export(&l));
+        assert!(!export(&l).contains("\"cat\":\"meta\""));
     }
 
     #[test]

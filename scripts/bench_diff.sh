@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Cross-PR performance ratchet: compare the two newest committed
+# BENCH_<n>.json (by numeric suffix) over their common bench names and
+# fail on a >10 % events/sec regression or >20 % peak-RSS growth.
+# Record a fresh file first (e.g. `perfbench --scale BENCH_9.json`) so
+# the diff prices this checkout against the previous PR's numbers.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p experiments --bin perfbench
+exec ./target/release/perfbench --diff "${1:-.}"

@@ -7,9 +7,13 @@
 # smoke stage (heartbeat detection, failover, and the degradation
 # ladder hold their cross-plane gates), a wire smoke stage (both
 # planes agree exactly on bytes-on-wire and CRC-drop counts, and v2
-# beats v1 over the cellular profile), and a perf smoke stage
-# (parallel figure suite completes, parallelism is deterministic, DES
-# throughput has not regressed below the floor in BENCH_2.json).
+# beats v1 over the cellular profile), an observatory smoke stage
+# (tail-sampling retention, bit-identical replay, cross-plane fault
+# agreement, and the observability-overhead bound), and a perf smoke
+# stage (parallel figure suite completes, parallelism is deterministic,
+# DES throughput has not regressed below the floor in BENCH_2.json,
+# and the newest committed BENCH_<n>.json has not regressed >10 %
+# events/sec or >20 % peak RSS against the previous one).
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,10 +48,16 @@ echo "==> resilience smoke: detection, failover, and the degradation ladder hold
 echo "==> wire smoke: planes agree on bytes-on-wire and CRC drops; v2 beats v1 over LTE"
 ./target/release/wire --smoke --json > /dev/null
 
+echo "==> observatory smoke: retention, replay, overhead, and cross-plane fault gates"
+./target/release/observatory --smoke --json > /dev/null
+
 echo "==> perf smoke: DES throughput floor from BENCH_2.json"
 ./target/release/perfbench --smoke BENCH_2.json
 
 echo "==> scale smoke: 100k-client throughput floor and peak-RSS ceiling from BENCH_7.json"
 ./target/release/perfbench --smoke-scale BENCH_7.json
+
+echo "==> bench diff: newest BENCH_<n>.json vs previous"
+./target/release/perfbench --diff
 
 echo "verify: all green"

@@ -123,6 +123,44 @@ fn invalid_shards_env_warns_and_keeps_config_shard_count() {
     );
 }
 
+/// Same contract for the observatory knobs: garbage in
+/// `SCATTER_OBS_SAMPLE` (tail reservoir rate) / `SCATTER_FLIGHTREC`
+/// (flight-recorder ring capacity) warns exactly once on stderr even
+/// though the study performs many observed runs, the observatory falls
+/// back to the config's values, and stdout stays one machine-parsable
+/// JSON document. The overhead/retention gates are not asserted here —
+/// `CARGO_BIN_EXE_observatory` is the debug-profile build, whose
+/// uninlined sampler cannot hold the release overhead bound; the
+/// release binary's gates are enforced by `scripts/verify.sh`.
+#[test]
+fn invalid_observatory_env_warns_once_and_falls_back() {
+    let _serial = SPAWN.lock().unwrap_or_else(|e| e.into_inner());
+    let out = Command::new(env!("CARGO_BIN_EXE_observatory"))
+        .args(["--smoke", "--json"])
+        .env("SCATTER_OBS_SAMPLE", "sometimes") // invalid: warn, keep 1-in-64
+        .env("SCATTER_FLIGHTREC", "0") // invalid: capacity must be >= 1
+        .output()
+        .expect("spawn observatory bin");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let v = trace::json::Value::parse(stdout.trim())
+        .expect("stdout must parse as JSON — no warnings may leak into it");
+    assert!(
+        v.idx(0).and_then(|t| t.get("title")).is_some(),
+        "expected a non-empty array of tables"
+    );
+
+    for knob in ["SCATTER_OBS_SAMPLE", "SCATTER_FLIGHTREC"] {
+        let needle = format!("warning: invalid {knob}");
+        assert_eq!(
+            stderr.matches(needle.as_str()).count(),
+            1,
+            "{knob} warning must fire exactly once across every observed run: {stderr}"
+        );
+    }
+}
+
 /// Same contract for the wire-policy knobs: garbage in
 /// `SCATTER_WIRE_DELTA` / `SCATTER_WIRE_COMPRESS` warns once on
 /// stderr, the study falls back to the default policy (both on), and
