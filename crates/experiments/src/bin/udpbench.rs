@@ -1,0 +1,303 @@
+//! Loopback UDP packets-per-second microbenchmark — the data-plane
+//! gate behind the sharded/batched runtime (DESIGN.md §16).
+//!
+//! Measures end-to-end loopback pps: each timed round pushes a burst
+//! of datagrams through the full 127.0.0.1 hop — send syscalls *and*
+//! the receive drain — and pps is datagrams completing the hop per
+//! second. That is the figure the data plane actually moves: syscall
+//! batching cuts per-datagram cost on both sides (`UDP_SEGMENT`
+//! supersends pay route lookup and socket bookkeeping once per run;
+//! `recvmmsg` sweeps the queue in one wakeup), while the single path
+//! pays one `send_to` plus one `recv_from` per datagram.
+//!
+//! Three shapes, at two payload sizes (64 B ≈ heartbeat / control
+//! traffic, 1400 B ≈ a full frame fragment):
+//!
+//! * `single`  — one socket each side, one `send_to` and one
+//!   `recv_from` syscall per datagram: the pre-shard plane, and the
+//!   fallback everywhere batching or `SO_REUSEPORT` is unavailable.
+//! * `sharded` — N `SO_REUSEPORT` sockets on one port, still
+//!   single-datagram syscalls, drained socket by socket. The shape
+//!   wins by putting cores behind one port; a single-core container
+//!   records ≈ the single number, which is the honest figure there.
+//! * `batched` — the batched plane end to end: the burst goes out
+//!   through [`batch::send_many`] (GSO supersends, `sendmmsg` when
+//!   GSO is off) and comes back through `recvmmsg` with up to
+//!   [`batch::BATCH_DATAGRAMS`] datagrams per syscall.
+//!
+//! The full run writes `BENCH_9.json`: `udp_<mode>_<payload>` entries
+//! (`events_per_sec` = hop pps, so the cross-PR `perfbench --diff`
+//! ratchet picks them up) plus a fresh `scale_*` ladder so the newest
+//! bench file still shares names with the previous one.
+//!
+//! `udpbench --smoke <BENCH_9.json>` re-measures the 64 B single and
+//! batched points and fails (exit 1) if batched pps fell below the
+//! recorded floor or lost its ≥2× edge over single-datagram recv —
+//! the acceptance gate `scripts/verify.sh` enforces. Hosts where the
+//! kernel refuses batching skip the gate (the runtime falls back to
+//! the single path there by construction).
+
+use std::fmt::Write as _;
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use scatter::run_experiment;
+use scatter::runtime::batch::{self, RecvBatch};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Shape {
+    Single,
+    Sharded(usize),
+    Batched,
+}
+
+impl Shape {
+    fn name(self) -> &'static str {
+        match self {
+            Shape::Single => "single",
+            Shape::Sharded(_) => "sharded",
+            Shape::Batched => "batched",
+        }
+    }
+}
+
+/// Bind the receive side for one point: the shard set (one socket
+/// unless sharding), non-blocking so a drain ends the instant the
+/// queue is empty.
+fn bind_rx(shape: Shape) -> Vec<UdpSocket> {
+    let socks = match shape {
+        Shape::Sharded(n) => {
+            let Ok(first) = batch::bind_reuseport(0) else {
+                return vec![UdpSocket::bind("127.0.0.1:0").expect("bind")];
+            };
+            let port = first.local_addr().expect("addr").port();
+            let mut set = vec![first];
+            for _ in 1..n {
+                match batch::bind_reuseport(port) {
+                    Ok(s) => set.push(s),
+                    Err(_) => break,
+                }
+            }
+            set
+        }
+        _ => vec![UdpSocket::bind("127.0.0.1:0").expect("bind")],
+    };
+    for s in &socks {
+        s.set_nonblocking(true).expect("nonblocking");
+    }
+    socks
+}
+
+/// Datagrams per round: small enough that a default-rmem receive
+/// buffer never overflows at either payload size (skb truesize on
+/// loopback is ~2 KiB regardless of a 64 B payload), large enough
+/// that one round amortizes many batched syscalls.
+const BURST: usize = 64;
+
+/// One measured point: timed rounds of burst-send + drain across the
+/// loopback hop. The recorded pps is datagrams completing the hop per
+/// second of wall time — send syscalls and receive syscalls both on
+/// the clock, because the batched plane accelerates both.
+fn run_point(shape: Shape, payload: usize, secs: f64) -> f64 {
+    let rx_socks = bind_rx(shape);
+    let to = rx_socks[0].local_addr().expect("addr");
+    // Sharded needs several source sockets: the kernel steers by
+    // 4-tuple hash, so one sender would land every burst on one shard.
+    let tx_count = match shape {
+        Shape::Sharded(n) => n.max(1) * 2,
+        _ => 1,
+    };
+    let tx_socks: Vec<UdpSocket> = (0..tx_count)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind tx"))
+        .collect();
+    let datagram = vec![0x5Au8; payload];
+    let burst: Vec<&[u8]> = (0..BURST).map(|_| datagram.as_slice()).collect();
+    let mut batch = RecvBatch::new(shape == Shape::Batched);
+
+    let mut hopped = 0u64;
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs_f64(secs);
+    while Instant::now() < deadline {
+        match shape {
+            // The batched plane's send side: one send_many call per
+            // burst — GSO supersends when the kernel takes them.
+            Shape::Batched => {
+                let _ = batch::send_many(&tx_socks[0], &burst, to);
+            }
+            _ => {
+                for (i, d) in burst.iter().enumerate() {
+                    let _ = tx_socks[i % tx_socks.len()].send_to(d, to);
+                }
+            }
+        }
+        for sock in &rx_socks {
+            // Until WouldBlock: this queue is empty.
+            while let Ok(n) = batch.recv(sock) {
+                hopped += n as u64;
+            }
+        }
+    }
+    assert!(hopped > 0, "nothing crossed the loopback hop");
+    hopped as f64 / t0.elapsed().as_secs_f64()
+}
+
+const PAYLOADS: [usize; 2] = [64, 1400];
+const SHARDS: usize = 4;
+
+/// Fresh scale-ladder points (same derivation as `perfbench --scale`,
+/// best-of-2 like the DES points' best-of-reps timing so one noisy
+/// lap on a shared host can't fake a regression) so BENCH_9.json
+/// shares bench names with the previous file and the cross-PR diff
+/// has a non-vacuous intersection.
+fn scale_entries() -> Vec<(String, f64, f64, Option<f64>)> {
+    experiments::scale::SCALE_CLIENTS
+        .iter()
+        .map(|&clients| {
+            eprintln!("udpbench: scale ladder, {clients} clients...");
+            let mut best: Option<(f64, f64)> = None;
+            for _ in 0..2 {
+                let t = Instant::now();
+                let r = run_experiment(experiments::scale::scale_cfg(clients));
+                let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+                assert!(
+                    r.scale.is_some() && r.events_executed > 0,
+                    "scale run produced no events"
+                );
+                let eps = r.events_executed as f64 / (wall_ms / 1e3);
+                if best.is_none_or(|(_, b)| eps > b) {
+                    best = Some((wall_ms, eps));
+                }
+            }
+            let (wall_ms, eps) = best.expect("two laps ran");
+            let rss = bench::peak_rss_bytes().map(|b| b as f64 / (1024.0 * 1024.0));
+            (format!("scale_{clients}"), wall_ms, eps, rss)
+        })
+        .collect()
+}
+
+fn render_json(udp: &[(String, f64, f64)], scale: &[(String, f64, f64, Option<f64>)]) -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"host_cpus\": {cpus},");
+    let _ = writeln!(out, "  \"batch_available\": {},", batch::batch_available());
+    for (name, secs, pps) in udp {
+        let _ = writeln!(
+            out,
+            "  \"{name}\": {{\"wall_ms\": {:.2}, \"events_per_sec\": {pps:.2}}},",
+            secs * 1e3,
+        );
+    }
+    for (i, (name, wall_ms, eps, rss)) in scale.iter().enumerate() {
+        let comma = if i + 1 < scale.len() { "," } else { "" };
+        let rss = match rss {
+            Some(mb) => format!("{mb:.1}"),
+            None => "null".into(),
+        };
+        let _ = writeln!(
+            out,
+            "  \"{name}\": {{\"wall_ms\": {wall_ms:.2}, \
+             \"events_per_sec\": {eps:.2}, \"peak_rss_mb\": {rss}}}{comma}"
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Same line-scan parser the perfbench gates use: the file is
+/// machine-written, one bench object per line.
+fn read_recorded(json: &str, bench: &str, field: &str) -> Option<f64> {
+    let line = json.lines().find(|l| l.contains(&format!("\"{bench}\"")))?;
+    let at = line.find(&format!("\"{field}\""))?;
+    let rest = &line[at..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The verify-gate knobs: a quick re-measure may lose at most 4× pps
+/// against the recorded figure (order-of-magnitude floor, like the
+/// DES smoke), and batched must keep its ≥2× edge over single.
+const SMOKE_SECS: f64 = 0.3;
+const SMOKE_FLOOR_FRACTION: f64 = 0.25;
+const BATCH_EDGE: f64 = 2.0;
+
+fn smoke(path: &str) -> i32 {
+    if !batch::batch_available() {
+        println!("udpbench --smoke: no syscall batching on this host; runtime falls back to single-datagram I/O — skipping the pps gate");
+        return 0;
+    }
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("udpbench --smoke: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let Some(recorded) = read_recorded(&json, "udp_batched_64", "events_per_sec") else {
+        eprintln!("udpbench --smoke: no udp_batched_64.events_per_sec in {path}");
+        return 1;
+    };
+    let single = run_point(Shape::Single, 64, SMOKE_SECS);
+    let batched = run_point(Shape::Batched, 64, SMOKE_SECS);
+    let floor = recorded * SMOKE_FLOOR_FRACTION;
+    println!(
+        "smoke udp 64B: single {single:.0} pps, batched {batched:.0} pps \
+         ({:.1}x; recorded {recorded:.0}, floor {floor:.0})",
+        batched / single.max(1.0)
+    );
+    if batched < floor {
+        eprintln!("udpbench --smoke: batched pps below the recorded floor — data-plane regression");
+        return 1;
+    }
+    if batched < single * BATCH_EDGE {
+        eprintln!(
+            "udpbench --smoke: batched recv lost its {BATCH_EDGE:.0}x edge over \
+             single-datagram recv"
+        );
+        return 1;
+    }
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--smoke") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_9.json");
+        std::process::exit(smoke(path));
+    }
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
+
+    let secs = 0.4;
+    let shapes = [Shape::Single, Shape::Sharded(SHARDS), Shape::Batched];
+    let mut udp = Vec::new();
+    for payload in PAYLOADS {
+        for shape in shapes {
+            let pps = run_point(shape, payload, secs);
+            eprintln!(
+                "udpbench: {:>7} {payload:>5} B: {pps:>10.0} pps",
+                shape.name()
+            );
+            udp.push((format!("udp_{}_{payload}", shape.name()), secs, pps));
+        }
+    }
+    // The headline number the ISSUE gates on.
+    let single64 = udp.iter().find(|e| e.0 == "udp_single_64").expect("ran").2;
+    let batched64 = udp.iter().find(|e| e.0 == "udp_batched_64").expect("ran").2;
+    eprintln!(
+        "udpbench: batched/single at 64 B = {:.1}x",
+        batched64 / single64.max(1.0)
+    );
+
+    let scale = scale_entries();
+    let json = render_json(&udp, &scale);
+    print!("{json}");
+    std::fs::write(&out_path, &json).expect("write benchmark results");
+    eprintln!("udpbench: wrote {out_path}");
+}

@@ -43,6 +43,7 @@ pub const KIND_SLO_CLEAR: u64 = 5;
 pub const KIND_KILL: u64 = 6;
 pub const KIND_DROP: u64 = 7;
 pub const KIND_FAILOVER: u64 = 8;
+pub const KIND_SEND_ERR: u64 = 9;
 
 pub fn kind_name(kind: u64) -> &'static str {
     match kind {
@@ -54,6 +55,7 @@ pub fn kind_name(kind: u64) -> &'static str {
         KIND_KILL => "kill",
         KIND_DROP => "drop",
         KIND_FAILOVER => "failover",
+        KIND_SEND_ERR => "send-err",
         _ => "unknown",
     }
 }

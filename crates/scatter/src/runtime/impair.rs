@@ -30,14 +30,17 @@
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use simcore::SimRng;
 use simnet::GilbertElliott;
 
 use crate::message::ServiceKind;
+use crate::runtime::batch::{self, RecvBatch};
 
 /// One endpoint class of a runtime link. All clients share a class:
 /// impairment profiles describe *links*, not individual phones.
@@ -253,6 +256,38 @@ impl Ord for DelayedDatagram {
     }
 }
 
+/// Where the shim's *own* send failures are reported: the counter the
+/// deployment reads into `RuntimeReport::delay_send_errors`, plus a
+/// flight-recorder hook attached after the deployment builds one (the
+/// delay thread outlives no deployment, but is spawned before it).
+/// Historically these sends were `let _ =`-discarded, making a
+/// transient ENOBUFS on the shim indistinguishable from an intentional
+/// shim drop.
+/// A flight recorder plus the deployment epoch its timestamps count
+/// from.
+type FlightHook = (Arc<observatory::FlightRecorder>, Instant);
+
+#[derive(Clone, Default)]
+struct SendErrSink {
+    errors: Arc<AtomicU64>,
+    flight: Arc<Mutex<Option<FlightHook>>>,
+}
+
+impl SendErrSink {
+    fn note(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        if let Some((flight, epoch)) = &*self.flight.lock().expect("flight lock") {
+            flight.record(
+                0,
+                epoch.elapsed().as_nanos() as u64,
+                observatory::flight::KIND_SEND_ERR,
+                0,
+                0,
+            );
+        }
+    }
+}
+
 /// The shared impairment plane for one deployment.
 pub struct ImpairedNet {
     profile: ImpairmentProfile,
@@ -262,15 +297,20 @@ pub struct ImpairedNet {
     links: Mutex<HashMap<(Ep, Ep), LinkState>>,
     delay_tx: Option<mpsc::Sender<DelayedDatagram>>,
     seq: std::sync::atomic::AtomicU64,
+    /// OS-level failures of the shim's own sends (delay line + the
+    /// synchronous duplicate path).
+    send_errs: SendErrSink,
 }
 
 impl ImpairedNet {
     pub fn new(profile: ImpairmentProfile) -> Arc<ImpairedNet> {
+        let send_errs = SendErrSink::default();
         let delay_tx = if profile.rules.iter().any(|r| r.imp.needs_delay_line()) {
             let (tx, rx) = mpsc::channel::<DelayedDatagram>();
+            let sink = send_errs.clone();
             std::thread::Builder::new()
                 .name("scatter-delay-line".into())
-                .spawn(move || delay_line(rx))
+                .spawn(move || delay_line(rx, sink))
                 .expect("spawn delay-line thread");
             Some(tx)
         } else {
@@ -282,7 +322,21 @@ impl ImpairedNet {
             links: Mutex::new(HashMap::new()),
             delay_tx,
             seq: std::sync::atomic::AtomicU64::new(0),
+            send_errs,
         })
+    }
+
+    /// Route shim send failures into the deployment's flight recorder
+    /// (ring 0, [`observatory::flight::KIND_SEND_ERR`]). Idempotent;
+    /// the delay thread picks the hook up on its next error.
+    pub fn attach_flight(&self, flight: Arc<observatory::FlightRecorder>, epoch: Instant) {
+        *self.send_errs.flight.lock().expect("flight lock") = Some((flight, epoch));
+    }
+
+    /// OS send failures on the shim's own datagrams (delay line +
+    /// synchronous duplicates) since construction.
+    pub fn delay_send_errors(&self) -> u64 {
+        self.send_errs.errors.load(Ordering::Relaxed)
     }
 
     /// Register a service's port so sends toward it resolve to the
@@ -407,7 +461,7 @@ impl ImpairedNet {
 /// The delay-line thread: a time-ordered heap of queued datagrams,
 /// shipped from its own socket when due. Exits when every sender side
 /// of the channel is gone (deployment shutdown).
-fn delay_line(rx: mpsc::Receiver<DelayedDatagram>) {
+fn delay_line(rx: mpsc::Receiver<DelayedDatagram>, errs: SendErrSink) {
     let socket = UdpSocket::bind("127.0.0.1:0").expect("bind delay-line socket");
     let mut heap: BinaryHeap<DelayedDatagram> = BinaryHeap::new();
     loop {
@@ -417,7 +471,9 @@ fn delay_line(rx: mpsc::Receiver<DelayedDatagram>) {
                 break;
             }
             let d = heap.pop().expect("peeked");
-            let _ = socket.send_to(&d.bytes, d.to);
+            if socket.send_to(&d.bytes, d.to).is_err() {
+                errs.note();
+            }
         }
         let wait = heap
             .peek()
@@ -434,7 +490,9 @@ fn delay_line(rx: mpsc::Receiver<DelayedDatagram>) {
                         break;
                     }
                     let d = heap.pop().expect("peeked");
-                    let _ = socket.send_to(&d.bytes, d.to);
+                    if socket.send_to(&d.bytes, d.to).is_err() {
+                        errs.note();
+                    }
                 }
                 return;
             }
@@ -462,11 +520,19 @@ pub struct RtSocket {
     sock: Arc<UdpSocket>,
     ep: Ep,
     net: Option<Arc<ImpairedNet>>,
+    /// Syscall batching (`recvmmsg`/`sendmmsg` via [`batch`]); off =
+    /// bit-compatible single-datagram I/O.
+    batched: bool,
 }
 
 impl RtSocket {
     pub fn new(sock: Arc<UdpSocket>, ep: Ep, net: Option<Arc<ImpairedNet>>) -> RtSocket {
-        RtSocket { sock, ep, net }
+        RtSocket {
+            sock,
+            ep,
+            net,
+            batched: false,
+        }
     }
 
     /// An unimpaired socket (tests, default wiring).
@@ -475,7 +541,25 @@ impl RtSocket {
             sock: Arc::new(sock),
             ep,
             net: None,
+            batched: false,
         }
+    }
+
+    /// Enable syscall batching on this socket's receive and send paths.
+    pub fn with_batch(mut self, on: bool) -> RtSocket {
+        self.batched = on;
+        self
+    }
+
+    pub fn batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Drain up to one batch of datagrams in a single wakeup (the batch
+    /// itself carries the single-vs-batched mode; see
+    /// [`RecvBatch::recv`]).
+    pub fn recv_batch(&self, batch: &mut RecvBatch) -> std::io::Result<usize> {
+        batch.recv(&self.sock)
     }
 
     pub fn endpoint(&self) -> Ep {
@@ -508,6 +592,11 @@ impl RtSocket {
             Some(net) => net.admit(self.ep, to, datagram),
             None => Verdict::Pass,
         };
+        self.dispatch(verdict, datagram, to)
+    }
+
+    /// Execute a verdict the shim already rendered for this datagram.
+    fn dispatch(&self, verdict: Verdict, datagram: &[u8], to: SocketAddr) -> SendDisposition {
         match verdict {
             Verdict::Dropped => SendDisposition::ShimDropped,
             Verdict::Delayed => SendDisposition::Sent,
@@ -531,14 +620,13 @@ impl RtSocket {
             }
             Verdict::PassAndDuplicate => {
                 let first = self.sock.send_to(datagram, to);
-                if self
-                    .net
-                    .as_ref()
-                    .map(|n| n.delay_tx.is_none())
-                    .unwrap_or(true)
-                {
+                if let Some(net) = self.net.as_ref().filter(|n| n.delay_tx.is_none()) {
                     // No delay line: ship the duplicate synchronously.
-                    let _ = self.sock.send_to(datagram, to);
+                    // The duplicate is the *shim's* datagram — its OS
+                    // failure is the shim's to count, not the caller's.
+                    if self.sock.send_to(datagram, to).is_err() {
+                        net.send_errs.note();
+                    }
                 }
                 match first {
                     Ok(_) => SendDisposition::Sent,
@@ -547,6 +635,68 @@ impl RtSocket {
             }
         }
     }
+
+    /// Ship a message's fragments in one call, preserving the shim's
+    /// per-datagram verdict stream (decisions are drawn in datagram
+    /// order, exactly as the sequential loop would). Runs of consecutive
+    /// `Pass` verdicts go to the wire through one `sendmmsg` when
+    /// batching is on; every other verdict is executed in place so
+    /// chaos/wire schedules hold bit-for-bit.
+    pub fn send_many(&self, datagrams: &[Bytes], to: SocketAddr) -> BatchSendReport {
+        let mut rep = BatchSendReport::default();
+        if !self.batched || datagrams.len() <= 1 {
+            for d in datagrams {
+                rep.count(self.send_to(d, to));
+            }
+            return rep;
+        }
+        let mut run: Vec<&[u8]> = Vec::with_capacity(datagrams.len());
+        for d in datagrams {
+            let verdict = match &self.net {
+                Some(net) => net.admit(self.ep, to, d),
+                None => Verdict::Pass,
+            };
+            if verdict == Verdict::Pass {
+                run.push(d);
+                continue;
+            }
+            // A non-Pass verdict breaks the run: flush what queued up
+            // (order on the wire = offer order), then execute it.
+            rep.errors += flush_run(&self.sock, &mut run, to);
+            rep.count(self.dispatch(verdict, d, to));
+        }
+        rep.errors += flush_run(&self.sock, &mut run, to);
+        rep
+    }
+}
+
+/// Per-datagram accounting from [`RtSocket::send_many`] — the same three
+/// outcomes `send_to` reports, aggregated over one message's fragments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSendReport {
+    pub shim_dropped: usize,
+    pub errors: usize,
+}
+
+impl BatchSendReport {
+    fn count(&mut self, d: SendDisposition) {
+        match d {
+            SendDisposition::Sent => {}
+            SendDisposition::ShimDropped => self.shim_dropped += 1,
+            SendDisposition::Error => self.errors += 1,
+        }
+    }
+}
+
+/// Ship a run of already-admitted datagrams through one `sendmmsg` (or
+/// the sequential fallback); returns the per-datagram error count.
+fn flush_run(sock: &UdpSocket, run: &mut Vec<&[u8]>, to: SocketAddr) -> usize {
+    if run.is_empty() {
+        return 0;
+    }
+    let errors = batch::send_many(sock, run, to);
+    run.clear();
+    errors
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! application-level fragmentation and reassembly — loss of any fragment
 //! loses the message, exactly like the testbed's fragmented frames.
 
+pub mod batch;
 pub mod deploy;
 pub mod impair;
 pub mod services;

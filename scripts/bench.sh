@@ -5,7 +5,7 @@
 # kernels) over fixed seeds, writing BENCH_2.json at the repo root.
 #
 # Usage:
-#   scripts/bench.sh                # write BENCH_2.json + BENCH_7.json
+#   scripts/bench.sh                # write BENCH_2/BENCH_7/BENCH_9.json
 #   scripts/bench.sh out.json       # write the perf matrix elsewhere
 #
 # The scale stage (BENCH_7.json) measures the site-sharded client
@@ -31,3 +31,9 @@ env -u SCATTER_EXP_SECS -u SCATTER_JOBS -u SCATTER_RUN_CACHE \
 echo "==> perfbench --scale -> BENCH_7.json"
 env -u SCATTER_EXP_SECS -u SCATTER_JOBS -u SCATTER_RUN_CACHE -u SCATTER_SHARDS \
     ./target/release/perfbench --scale BENCH_7.json
+
+echo "==> udpbench -> BENCH_9.json"
+# Loopback data-plane pps (single / sharded / batched) plus a fresh
+# scale ladder so the cross-PR diff keeps a shared name set.
+env -u SCATTER_EXP_SECS -u SCATTER_JOBS -u SCATTER_RUN_CACHE -u SCATTER_SHARDS \
+    ./target/release/udpbench BENCH_9.json > /dev/null

@@ -51,6 +51,9 @@ echo "==> wire smoke: planes agree on bytes-on-wire and CRC drops; v2 beats v1 o
 echo "==> observatory smoke: retention, replay, overhead, and cross-plane fault gates"
 ./target/release/observatory --smoke --json > /dev/null
 
+echo "==> data-plane smoke: batched loopback pps floor and 2x edge from BENCH_9.json"
+./target/release/udpbench --smoke BENCH_9.json
+
 echo "==> perf smoke: DES throughput floor from BENCH_2.json"
 ./target/release/perfbench --smoke BENCH_2.json
 
